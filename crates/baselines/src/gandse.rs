@@ -1,0 +1,365 @@
+//! GANDSE (Feng et al., TODAES 2023): a conditional GAN that generates
+//! design points for a workload specification.
+//!
+//! The generator maps `(features, noise)` to a continuous configuration
+//! in `[0, 1]²` (normalized PE / buffer coordinates); the discriminator
+//! judges `(features, configuration)` pairs. As in the original, a
+//! supervised term anchors the generator to the known optima while the
+//! adversarial term sharpens it — and, as the paper observes, the
+//! "large unconstrained learning problem" of the generative approach
+//! caps its accuracy below AIrchitect v2's.
+
+use ai2_dse::{DesignPoint, DseDataset, DseTask};
+use ai2_nn::layers::{Activation, Mlp};
+use ai2_nn::optim::{Adam, Optimizer};
+use ai2_nn::{Graph, ParamStore};
+use ai2_tensor::{rng, Tensor};
+use ai2_workloads::generator::DseInput;
+use airchitect::predictor::PredictFn;
+use airchitect::{FeatureEncoder, NUM_FEATURES};
+use rand::seq::SliceRandom;
+
+/// Hyperparameters of the GANDSE baseline.
+#[derive(Debug, Clone)]
+pub struct GandseConfig {
+    /// Noise-vector width.
+    pub noise_dim: usize,
+    /// Hidden widths of generator and discriminator.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Weight of the supervised (L2-to-optimum) generator term.
+    pub supervised_weight: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for GandseConfig {
+    fn default() -> Self {
+        GandseConfig {
+            noise_dim: 4,
+            hidden: 128,
+            epochs: 60,
+            batch_size: 256,
+            lr: 1e-3,
+            supervised_weight: 4.0,
+            seed: 0x6A,
+        }
+    }
+}
+
+impl GandseConfig {
+    /// Fast preset for tests.
+    pub fn quick() -> Self {
+        GandseConfig {
+            hidden: 48,
+            epochs: 15,
+            batch_size: 64,
+            ..Self::default()
+        }
+    }
+}
+
+/// The trained GANDSE baseline.
+pub struct Gandse {
+    cfg: GandseConfig,
+    gen_store: ParamStore,
+    disc_store: ParamStore,
+    generator: Mlp,
+    discriminator: Mlp,
+    features: FeatureEncoder,
+    task: DseTask,
+}
+
+impl Gandse {
+    /// Builds generator and discriminator, fitting feature statistics on
+    /// `train`.
+    pub fn new(cfg: &GandseConfig, task: &DseTask, train: &DseDataset) -> Gandse {
+        let features = FeatureEncoder::fit(train);
+        let mut gen_store = ParamStore::new(cfg.seed);
+        let generator = Mlp::new(
+            &mut gen_store,
+            "g",
+            &[NUM_FEATURES + cfg.noise_dim, cfg.hidden, cfg.hidden, 2],
+            Activation::Relu,
+        );
+        let mut disc_store = ParamStore::new(cfg.seed ^ 0xff);
+        let discriminator = Mlp::new(
+            &mut disc_store,
+            "d",
+            &[NUM_FEATURES + 2, cfg.hidden, cfg.hidden, 1],
+            Activation::LeakyRelu,
+        );
+        Gandse {
+            cfg: cfg.clone(),
+            gen_store,
+            disc_store,
+            generator,
+            discriminator,
+            features,
+            task: task.clone(),
+        }
+    }
+
+    /// Total scalar parameters of both networks.
+    pub fn model_size(&self) -> usize {
+        self.gen_store.num_scalars() + self.disc_store.num_scalars()
+    }
+
+    fn normalize_point(&self, p: DesignPoint) -> [f32; 2] {
+        let s = self.task.space();
+        [
+            p.pe_idx as f32 / (s.num_pe_choices() - 1) as f32,
+            p.buf_idx as f32 / (s.num_buf_choices() - 1) as f32,
+        ]
+    }
+
+    fn denormalize(&self, xy: &[f32]) -> DesignPoint {
+        let s = self.task.space();
+        DesignPoint {
+            pe_idx: ((xy[0].clamp(0.0, 1.0) * (s.num_pe_choices() - 1) as f32).round() as usize)
+                .min(s.num_pe_choices() - 1),
+            buf_idx: ((xy[1].clamp(0.0, 1.0) * (s.num_buf_choices() - 1) as f32).round() as usize)
+                .min(s.num_buf_choices() - 1),
+        }
+    }
+
+    /// Runs generator forward (sigmoid output in `[0,1]²`) on the given
+    /// store (values only).
+    fn generate(&self, feats: &Tensor, noise: &Tensor) -> Tensor {
+        let gin = Tensor::concat_cols(&[feats, noise]);
+        let mut g = Graph::new(&self.gen_store);
+        let x = g.constant(gin);
+        let h = self.generator.forward(&mut g, x);
+        let y = g.sigmoid(h);
+        g.value(y).clone()
+    }
+
+    /// Adversarial + supervised training. Returns
+    /// `(generator_losses, discriminator_losses)` per epoch.
+    pub fn fit(&mut self, train: &DseDataset) -> (Vec<f32>, Vec<f32>) {
+        let inputs: Vec<DseInput> = train.samples.iter().map(|s| s.input()).collect();
+        let feats = self.features.encode_inputs(&inputs);
+        let optima: Vec<[f32; 2]> = train
+            .samples
+            .iter()
+            .map(|s| self.normalize_point(s.optimal))
+            .collect();
+
+        let mut g_opt = Adam::new(self.cfg.lr);
+        let mut d_opt = Adam::new(self.cfg.lr);
+        let mut r = rng::seeded(self.cfg.seed ^ 0x77);
+        let mut g_hist = Vec::new();
+        let mut d_hist = Vec::new();
+        for _ in 0..self.cfg.epochs {
+            let mut idx: Vec<usize> = (0..train.len()).collect();
+            idx.shuffle(&mut r);
+            let mut g_loss_sum = 0.0f64;
+            let mut d_loss_sum = 0.0f64;
+            let mut batches = 0;
+            for chunk in idx.chunks(self.cfg.batch_size.max(2)) {
+                let b = chunk.len();
+                let f_rows: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| Tensor::from_slice(feats.row(i)))
+                    .collect();
+                let fb = Tensor::stack_rows(&f_rows);
+                let real_rows: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| Tensor::from_slice(&optima[i]))
+                    .collect();
+                let real = Tensor::stack_rows(&real_rows);
+                let noise = rng::rand_uniform(&mut r, &[b, self.cfg.noise_dim], -1.0, 1.0);
+
+                // --- discriminator step: real → 1, fake → 0
+                let fake = self.generate(&fb, &noise);
+                let d_in_real = Tensor::concat_cols(&[&fb, &real]);
+                let d_in_fake = Tensor::concat_cols(&[&fb, &fake]);
+                let d_in = Tensor::concat_rows(&[&d_in_real, &d_in_fake]);
+                let mut dgraph = Graph::new(&self.disc_store);
+                let x = dgraph.constant(d_in);
+                let logits = self.discriminator.forward(&mut dgraph, x);
+                let mut targets = Tensor::ones(&[2 * b, 1]);
+                for i in b..2 * b {
+                    targets.as_mut_slice()[i] = 0.0;
+                }
+                let d_loss = dgraph.bce_with_logits_loss(logits, targets);
+                d_loss_sum += dgraph.scalar(d_loss) as f64;
+                let d_grads = dgraph.backward(d_loss);
+                drop(dgraph);
+                d_opt.step(&mut self.disc_store, &d_grads);
+
+                // --- generator step: fool D + stay close to the optimum.
+                // The discriminator is frozen here: its parameters live in
+                // a separate store, so the generator graph embeds D's
+                // weights as constants and only G receives gradients.
+                let mut ggraph = Graph::new(&self.gen_store);
+                let gin = Tensor::concat_cols(&[&fb, &noise]);
+                let x = ggraph.constant(gin);
+                let h = self.generator.forward(&mut ggraph, x);
+                let gen_cfg = ggraph.sigmoid(h);
+                // inline frozen discriminator on [fb, gen_cfg]
+                let fb_v = ggraph.constant(fb.clone());
+                let d_input = concat_cols_var(&mut ggraph, fb_v, gen_cfg, b);
+                let d_logits = forward_frozen_mlp(
+                    &mut ggraph,
+                    &self.disc_store,
+                    &["d.l0", "d.l1", "d.l2"],
+                    d_input,
+                );
+                let adv = ggraph.bce_with_logits_loss(d_logits, Tensor::ones(&[b, 1]));
+                let sup = ggraph.mse_loss(gen_cfg, real);
+                let sup_w = ggraph.scale(sup, self.cfg.supervised_weight);
+                let g_loss = ggraph.add(adv, sup_w);
+                g_loss_sum += ggraph.scalar(g_loss) as f64;
+                let g_grads = ggraph.backward(g_loss);
+                drop(ggraph);
+                g_opt.step(&mut self.gen_store, &g_grads);
+                batches += 1;
+            }
+            g_hist.push((g_loss_sum / batches.max(1) as f64) as f32);
+            d_hist.push((d_loss_sum / batches.max(1) as f64) as f32);
+        }
+        (g_hist, d_hist)
+    }
+
+    /// The bound task.
+    pub fn task(&self) -> &DseTask {
+        &self.task
+    }
+}
+
+/// Concatenates two variables column-wise by value (no gradient through
+/// the first operand, which is a constant anyway in the GANDSE use).
+fn concat_cols_var(
+    g: &mut Graph<'_>,
+    a_const: ai2_nn::VarId,
+    b_grad: ai2_nn::VarId,
+    rows: usize,
+) -> ai2_nn::VarId {
+    // pad the gradient-carrying part into the right columns with matmul
+    // selectors: [a | b] = a × Sa + b × Sb
+    let (ca, cb) = (g.value(a_const).cols(), g.value(b_grad).cols());
+    let total = ca + cb;
+    let mut sa = Tensor::zeros(&[ca, total]);
+    for i in 0..ca {
+        sa[(i, i)] = 1.0;
+    }
+    let mut sb = Tensor::zeros(&[cb, total]);
+    for i in 0..cb {
+        sb[(i, ca + i)] = 1.0;
+    }
+    let sa = g.constant(sa);
+    let sb = g.constant(sb);
+    let left = g.matmul(a_const, sa);
+    let right = g.matmul(b_grad, sb);
+    debug_assert_eq!(g.value(left).rows(), rows);
+    g.add(left, right)
+}
+
+/// Forward pass of an MLP whose parameters live in a *different* store,
+/// embedded as constants (frozen discriminator inside the generator
+/// step).
+fn forward_frozen_mlp(
+    g: &mut Graph<'_>,
+    store: &ParamStore,
+    layer_prefixes: &[&str],
+    mut x: ai2_nn::VarId,
+) -> ai2_nn::VarId {
+    for (i, prefix) in layer_prefixes.iter().enumerate() {
+        let w = store
+            .find(&format!("{prefix}.w"))
+            .unwrap_or_else(|| panic!("missing frozen weight {prefix}.w"));
+        let b = store
+            .find(&format!("{prefix}.b"))
+            .unwrap_or_else(|| panic!("missing frozen bias {prefix}.b"));
+        let wv = g.constant(store.get(w).clone());
+        let bv = g.constant(store.get(b).clone());
+        x = g.matmul(x, wv);
+        x = g.add_row(x, bv);
+        if i + 1 < layer_prefixes.len() {
+            x = g.leaky_relu(x, 0.2);
+        }
+    }
+    x
+}
+
+impl PredictFn for Gandse {
+    fn predict_points(&self, inputs: &[DseInput]) -> Vec<DesignPoint> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let feats = self.features.encode_inputs(inputs);
+        // deterministic inference: zero noise (the conditional mean)
+        let noise = Tensor::zeros(&[inputs.len(), self.cfg.noise_dim]);
+        let out = self.generate(&feats, &noise);
+        (0..inputs.len())
+            .map(|i| self.denormalize(out.row(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_dse::GenerateConfig;
+    use airchitect::predictor::{bucket_accuracy_of, latency_ratio_of};
+
+    fn setup(n: usize) -> (DseTask, DseDataset) {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(
+            &task,
+            &GenerateConfig {
+                num_samples: n,
+                seed: 31,
+                threads: 2,
+                ..GenerateConfig::default()
+            },
+        );
+        (task, ds)
+    }
+
+    #[test]
+    fn gandse_losses_are_finite_and_generator_learns() {
+        let (task, ds) = setup(300);
+        let mut gan = Gandse::new(&GandseConfig::quick(), &task, &ds);
+        let (g_hist, d_hist) = gan.fit(&ds);
+        assert!(g_hist.iter().all(|l| l.is_finite()));
+        assert!(d_hist.iter().all(|l| l.is_finite()));
+        // generator loss should come down as the supervised term fits
+        assert!(g_hist.last().unwrap() < &g_hist[0], "{g_hist:?}");
+    }
+
+    #[test]
+    fn gandse_predictions_improve_over_untrained() {
+        let (task, ds) = setup(600);
+        let (train, test) = ds.split(0.8, 2);
+        let cfg = GandseConfig {
+            epochs: 40,
+            hidden: 64,
+            batch_size: 128,
+            ..GandseConfig::default()
+        };
+        let mut gan = Gandse::new(&cfg, &task, &train);
+        let acc_before = bucket_accuracy_of(&gan, &task, &test);
+        gan.fit(&train);
+        let acc_after = bucket_accuracy_of(&gan, &task, &test);
+        let ratio = latency_ratio_of(&gan, &task, &test);
+        assert!(
+            acc_after > acc_before + 5.0,
+            "GANDSE did not learn: acc {acc_before} → {acc_after} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let (task, ds) = setup(60);
+        let gan = Gandse::new(&GandseConfig::quick(), &task, &ds);
+        let inputs: Vec<DseInput> = ds.samples.iter().map(|s| s.input()).collect();
+        assert_eq!(gan.predict_points(&inputs), gan.predict_points(&inputs));
+    }
+}

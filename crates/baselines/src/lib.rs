@@ -1,0 +1,22 @@
+//! Learning-based DSE baselines the paper compares against (Table III,
+//! Figs. 7–9):
+//!
+//! * [`AirchitectV1`] — the MLP classifier of AIrchitect v1 \[5\], with a
+//!   selectable output head so the Fig. 9 "classification vs UOV"
+//!   comparison applies to it too;
+//! * [`Gandse`] — the conditional-GAN design generator of GANDSE \[16\];
+//! * [`Vaesa`] — the VAE latent space + Bayesian-optimization search of
+//!   VAESA \[11\].
+//!
+//! All baselines train on the same [`airchitect::PreparedDataset`]
+//! tensors and are scored through the same metric functions
+//! ([`airchitect::predictor`]) as AIrchitect v2, so the comparisons are
+//! apples-to-apples.
+
+mod gandse;
+mod v1;
+mod vaesa;
+
+pub use gandse::{Gandse, GandseConfig};
+pub use v1::{AirchitectV1, V1Config};
+pub use vaesa::{Vaesa, VaesaConfig};

@@ -1,0 +1,266 @@
+//! AIrchitect v1 (Samajdar et al. 2021): a plain MLP trained to classify
+//! the optimal design choice.
+
+use ai2_dse::{DesignPoint, DseDataset, DseTask};
+use ai2_nn::layers::{Activation, Linear, Mlp};
+use ai2_nn::optim::{Adam, Optimizer};
+use ai2_nn::{Gradients, Graph, ParamStore};
+use ai2_tensor::{rng, Tensor};
+use ai2_uov::ConfigCodec;
+use ai2_workloads::generator::DseInput;
+use airchitect::predictor::PredictFn;
+use airchitect::{FeatureEncoder, HeadKind, PreparedDataset};
+use rand::seq::SliceRandom;
+
+/// Hyperparameters of the v1 baseline.
+#[derive(Debug, Clone)]
+pub struct V1Config {
+    /// Hidden-layer widths of the MLP backbone (paper: shallow MLP).
+    pub hidden: Vec<usize>,
+    /// Output representation: classification in the original, UOV for
+    /// the Fig. 9 variant.
+    pub head: HeadKind,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for V1Config {
+    fn default() -> Self {
+        V1Config {
+            hidden: vec![256, 256],
+            head: HeadKind::Classification,
+            epochs: 60,
+            batch_size: 256,
+            lr: 2e-3,
+            seed: 0xA1,
+        }
+    }
+}
+
+impl V1Config {
+    /// Fast preset for tests.
+    pub fn quick() -> Self {
+        V1Config {
+            hidden: vec![64, 64],
+            epochs: 15,
+            batch_size: 64,
+            ..Self::default()
+        }
+    }
+}
+
+/// The trained v1 baseline: MLP backbone + two per-axis heads.
+pub struct AirchitectV1 {
+    cfg: V1Config,
+    store: ParamStore,
+    backbone: Mlp,
+    head_pe: Linear,
+    head_buf: Linear,
+    pe_codec: Box<dyn ConfigCodec>,
+    buf_codec: Box<dyn ConfigCodec>,
+    features: FeatureEncoder,
+    task: DseTask,
+}
+
+impl AirchitectV1 {
+    /// Builds the model, fitting feature statistics on `train`.
+    pub fn new(cfg: &V1Config, task: &DseTask, train: &DseDataset) -> AirchitectV1 {
+        let features = FeatureEncoder::fit(train);
+        let mut store = ParamStore::new(cfg.seed);
+        let mut widths = vec![airchitect::NUM_FEATURES];
+        widths.extend(&cfg.hidden);
+        let backbone = Mlp::new(&mut store, "v1.mlp", &widths, Activation::Relu);
+        let last = *widths.last().expect("non-empty widths");
+        let pe_codec = cfg.head.codec(task.space().num_pe_choices());
+        let buf_codec = cfg.head.codec(task.space().num_buf_choices());
+        let head_pe = Linear::new(&mut store, "v1.head_pe", last, pe_codec.width(), true);
+        let head_buf = Linear::new(&mut store, "v1.head_buf", last, buf_codec.width(), true);
+        AirchitectV1 {
+            cfg: cfg.clone(),
+            store,
+            backbone,
+            head_pe,
+            head_buf,
+            pe_codec,
+            buf_codec,
+            features,
+            task: task.clone(),
+        }
+    }
+
+    /// Total scalar parameters (Fig. 9 model-size axis).
+    pub fn model_size(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// The feature encoder fitted at construction.
+    pub fn feature_encoder(&self) -> &FeatureEncoder {
+        &self.features
+    }
+
+    /// Trains the MLP; returns the mean loss per epoch.
+    pub fn fit(&mut self, train: &DseDataset) -> Vec<f32> {
+        let prep = PreparedDataset::build(
+            train,
+            &self.task,
+            &self.features,
+            self.pe_codec.as_ref(),
+            self.buf_codec.as_ref(),
+            16,
+        );
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut r = rng::seeded(self.cfg.seed ^ 0x11);
+        let mut history = Vec::with_capacity(self.cfg.epochs);
+        for _ in 0..self.cfg.epochs {
+            let mut idx: Vec<usize> = (0..prep.len()).collect();
+            idx.shuffle(&mut r);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0;
+            for chunk in idx.chunks(self.cfg.batch_size.max(2)) {
+                let batch = prep.batch(chunk);
+                let (loss_value, grads) = self.step(&batch);
+                epoch_loss += loss_value as f64;
+                batches += 1;
+                opt.step(&mut self.store, &grads);
+            }
+            history.push((epoch_loss / batches.max(1) as f64) as f32);
+        }
+        history
+    }
+
+    fn step(&self, batch: &airchitect::PreparedBatch) -> (f32, Gradients) {
+        let mut g = Graph::new(&self.store);
+        let x = g.constant(batch.features.clone());
+        let h = self.backbone.forward(&mut g, x);
+        let h = g.relu(h);
+        let pe_logits = self.head_pe.forward(&mut g, h);
+        let buf_logits = self.head_buf.forward(&mut g, h);
+        let l_pe = self.head_loss(&mut g, pe_logits, &batch.pe_encoded, &batch.pe_targets);
+        let l_buf = self.head_loss(&mut g, buf_logits, &batch.buf_encoded, &batch.buf_targets);
+        let loss = g.add(l_pe, l_buf);
+        let v = g.scalar(loss);
+        let grads = g.backward(loss);
+        (v, grads)
+    }
+
+    fn head_loss(
+        &self,
+        g: &mut Graph<'_>,
+        logits: ai2_nn::VarId,
+        encoded: &Tensor,
+        targets: &[usize],
+    ) -> ai2_nn::VarId {
+        match self.cfg.head {
+            HeadKind::Uov { .. } => g.unification_loss(logits, encoded.clone(), 0.75, 1.0),
+            HeadKind::Classification => g.cross_entropy_loss(logits, targets),
+            HeadKind::Regression => {
+                let y = g.sigmoid(logits);
+                g.mse_loss(y, encoded.clone())
+            }
+        }
+    }
+
+    /// The bound task.
+    pub fn task(&self) -> &DseTask {
+        &self.task
+    }
+}
+
+impl PredictFn for AirchitectV1 {
+    fn predict_points(&self, inputs: &[DseInput]) -> Vec<DesignPoint> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let f = self.features.encode_inputs(inputs);
+        let mut g = Graph::new(&self.store);
+        let x = g.constant(f);
+        let h = self.backbone.forward(&mut g, x);
+        let h = g.relu(h);
+        let pe = self.head_pe.forward(&mut g, h);
+        let buf = self.head_buf.forward(&mut g, h);
+        let pe = g.sigmoid(pe);
+        let buf = g.sigmoid(buf);
+        let pe_v = g.value(pe);
+        let buf_v = g.value(buf);
+        (0..inputs.len())
+            .map(|i| DesignPoint {
+                pe_idx: self.pe_codec.decode(pe_v.row(i)),
+                buf_idx: self.buf_codec.decode(buf_v.row(i)),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_dse::GenerateConfig;
+    use airchitect::predictor::{bucket_accuracy_of, latency_ratio_of};
+
+    fn setup(n: usize) -> (DseTask, DseDataset) {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(
+            &task,
+            &GenerateConfig {
+                num_samples: n,
+                seed: 21,
+                threads: 2,
+                ..GenerateConfig::default()
+            },
+        );
+        (task, ds)
+    }
+
+    #[test]
+    fn v1_loss_decreases() {
+        let (task, ds) = setup(300);
+        let mut v1 = AirchitectV1::new(&V1Config::quick(), &task, &ds);
+        let hist = v1.fit(&ds);
+        assert!(hist.last().unwrap() < &hist[0], "{hist:?}");
+    }
+
+    #[test]
+    fn v1_predictions_valid_and_learnable() {
+        let (task, ds) = setup(500);
+        let (train, test) = ds.split(0.8, 1);
+        let mut v1 = AirchitectV1::new(&V1Config::quick(), &task, &train);
+        let before = latency_ratio_of(&v1, &task, &test);
+        v1.fit(&train);
+        let after = latency_ratio_of(&v1, &task, &test);
+        let acc = bucket_accuracy_of(&v1, &task, &test);
+        assert!(
+            after < before || acc > 10.0,
+            "v1 did not learn: ratio {before} → {after}, acc {acc}"
+        );
+        for p in v1.predict_points(&test.samples.iter().map(|s| s.input()).collect::<Vec<_>>()) {
+            assert!(p.pe_idx < task.space().num_pe_choices());
+            assert!(p.buf_idx < task.space().num_buf_choices());
+        }
+    }
+
+    #[test]
+    fn uov_head_variant_is_smaller_than_classification() {
+        let (task, ds) = setup(60);
+        let cls = AirchitectV1::new(&V1Config::default(), &task, &ds);
+        let uov = AirchitectV1::new(
+            &V1Config {
+                head: HeadKind::Uov { k: 16 },
+                ..V1Config::default()
+            },
+            &task,
+            &ds,
+        );
+        assert!(
+            uov.model_size() < cls.model_size(),
+            "UOV head should shrink the model: {} vs {}",
+            uov.model_size(),
+            cls.model_size()
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench: throughput of the MAESTRO-style cost model — the
+//! substrate every experiment (and the oracle labeling of the dataset)
+//! rests on. One evaluation must stay in the microsecond range for the
+//! 768-point oracle grid to be practical.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ai2_maestro::{AcceleratorConfig, CostModel, Dataflow, GemmWorkload};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = CostModel::default();
+    let hw = AcceleratorConfig::new(128, 256 * 1024);
+
+    let mut group = c.benchmark_group("cost_model");
+    for (name, wl) in [
+        ("small_gemm", GemmWorkload::new(16, 64, 32)),
+        ("bert_ffn", GemmWorkload::new(128, 1536, 768)),
+        ("table1_max", GemmWorkload::new(256, 1677, 1185)),
+    ] {
+        for df in Dataflow::ALL {
+            group.bench_function(format!("{name}/{}", df.mnemonic()), |b| {
+                b.iter(|| {
+                    let r = model.evaluate(black_box(&wl), black_box(df), black_box(&hw));
+                    black_box(r.latency_cycles)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: model-level deployment (paper §III-E / Fig. 7) —
+//! Method 1 and Method 2 selection over a whole network's layers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ai2_dse::{DesignPoint, DseTask};
+use ai2_workloads::generator::DseInput;
+use ai2_workloads::zoo;
+use airchitect::deploy::{method1, method2, model_latency};
+
+fn bench_deployment(c: &mut Criterion) {
+    let task = DseTask::table_i_default();
+    let resnet = zoo::resnet18().to_dse_layers();
+    let bert = zoo::bert_base().to_dse_layers();
+    // a cheap, deterministic recommender so the bench isolates the
+    // deployment machinery rather than model inference
+    let rec = |input: &DseInput| -> DesignPoint {
+        let pe = ((input.gemm.m as usize * 7 + input.gemm.n as usize) % 60) + 2;
+        DesignPoint {
+            pe_idx: pe.min(63),
+            buf_idx: (input.gemm.k as usize % 10) + 1,
+        }
+    };
+
+    let mut group = c.benchmark_group("deployment");
+    group.bench_function("method1/resnet18", |b| {
+        b.iter(|| black_box(method1(&task, black_box(&resnet), &rec)))
+    });
+    group.bench_function("method2/resnet18", |b| {
+        b.iter(|| black_box(method2(&task, black_box(&resnet), &rec)))
+    });
+    group.bench_function("method1/bert_base", |b| {
+        b.iter(|| black_box(method1(&task, black_box(&bert), &rec)))
+    });
+    let p = DesignPoint { pe_idx: 30, buf_idx: 7 };
+    group.bench_function("model_latency/resnet18", |b| {
+        b.iter(|| black_box(model_latency(&task, black_box(&resnet), p)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deployment);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: the paper's headline motivation (Fig. 1) — one-shot
+//! learned inference vs iterative search-based DSE. AIrchitect v2
+//! answers in one forward pass; ConfuciuX/GAMMA/BO burn hundreds of cost
+//! model queries per workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ai2_dse::search::{bo::BoSearcher, ConfuciuxSearcher, GammaSearcher, RandomSearcher, Searcher};
+use ai2_dse::{DseDataset, DseTask, GenerateConfig};
+use ai2_maestro::{Dataflow, GemmWorkload};
+use ai2_workloads::generator::DseInput;
+use airchitect::train::TrainConfig;
+use airchitect::{Airchitect2, ModelConfig};
+
+fn bench_oneshot_vs_search(c: &mut Criterion) {
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 400,
+            seed: 5,
+            threads: 0,
+            ..GenerateConfig::default()
+        },
+    );
+    let mut model = Airchitect2::new(&ModelConfig::default(), &task, &ds);
+    model.fit(&ds, &TrainConfig::quick());
+    let input = DseInput {
+        gemm: GemmWorkload::new(48, 400, 300),
+        dataflow: Dataflow::OutputStationary,
+    };
+
+    let mut group = c.benchmark_group("dse_per_workload");
+    group.bench_function("airchitect_v2_oneshot", |b| {
+        b.iter(|| black_box(model.predict(black_box(&[input]))))
+    });
+    group.bench_function("random_200evals", |b| {
+        b.iter(|| black_box(RandomSearcher::new(1).search(&task, input, 200)))
+    });
+    group.bench_function("gamma_ga_200evals", |b| {
+        b.iter(|| black_box(GammaSearcher::new(1).search(&task, input, 200)))
+    });
+    group.bench_function("confuciux_200evals", |b| {
+        b.iter(|| black_box(ConfuciuxSearcher::new(1).search(&task, input, 200)))
+    });
+    group.bench_function("bayesian_opt_60evals", |b| {
+        b.iter(|| black_box(BoSearcher::new(1).search(&task, input, 60)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oneshot_vs_search);
+criterion_main!(benches);

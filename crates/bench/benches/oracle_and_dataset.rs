@@ -1,0 +1,36 @@
+//! Criterion bench: the exhaustive oracle (768-point grid per workload)
+//! and dataset-generation throughput — the pipeline behind the paper's
+//! 100 K-sample corpus (§IV-A) and Figs. 3/4.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use ai2_dse::{DseDataset, DseTask, GenerateConfig};
+use ai2_maestro::{Dataflow, GemmWorkload};
+use ai2_workloads::generator::DseInput;
+
+fn bench_oracle(c: &mut Criterion) {
+    let task = DseTask::table_i_default();
+    let input = DseInput {
+        gemm: GemmWorkload::new(96, 800, 400),
+        dataflow: Dataflow::OutputStationary,
+    };
+    c.bench_function("oracle/768_grid_label", |b| {
+        b.iter(|| black_box(task.oracle(black_box(&input))))
+    });
+
+    c.bench_function("dataset/generate_64_samples", |b| {
+        b.iter_batched(
+            || GenerateConfig {
+                num_samples: 64,
+                seed: 1,
+                threads: 1,
+                ..GenerateConfig::default()
+            },
+            |cfg| black_box(DseDataset::generate(&task, &cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

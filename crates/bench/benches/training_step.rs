@@ -1,0 +1,72 @@
+//! Criterion bench: one optimizer step of each training stage and of the
+//! Table III baselines — the per-step costs behind Tables II/III.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ai2_dse::{DseDataset, DseTask, GenerateConfig};
+use ai2_nn::optim::{Adam, Optimizer};
+use ai2_nn::Graph;
+use airchitect::train::TrainConfig;
+use airchitect::{Airchitect2, ModelConfig};
+
+fn setup() -> (DseTask, DseDataset, Airchitect2) {
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 256,
+            seed: 3,
+            threads: 0,
+            ..GenerateConfig::default()
+        },
+    );
+    let model = Airchitect2::new(&ModelConfig::default(), &task, &ds);
+    (task, ds, model)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (_task, ds, mut model) = setup();
+    let prep = model.prepare(&ds);
+    let cfg = TrainConfig::default();
+    let idx: Vec<usize> = (0..cfg.batch_size.min(prep.len())).collect();
+    let batch = prep.batch(&idx);
+
+    c.bench_function("train/stage1_step_b256", |b| {
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| {
+            let mut g = Graph::new(model.store());
+            let x = g.constant(batch.features.clone());
+            let z = model.forward_encoder(&mut g, x);
+            let zn = g.normalize_rows(z);
+            let lc = g.info_nce_loss(zn, &batch.labels, cfg.tau);
+            let p = model.forward_perf(&mut g, z);
+            let lp = g.l1_loss(p, batch.perf.clone());
+            let loss = g.add(lc, lp);
+            let grads = g.backward(loss);
+            drop(g);
+            opt.step(model.store_mut(), &grads);
+            black_box(())
+        })
+    });
+
+    let embeddings = model.embeddings(&prep.features);
+    let z = embeddings.slice_rows(0, idx.len());
+    c.bench_function("train/stage2_step_b256", |b| {
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| {
+            let mut g = Graph::new(model.store());
+            let zv = g.constant(z.clone());
+            let (pe, buf) = model.forward_decoder(&mut g, zv);
+            let l1 = g.unification_loss(pe, batch.pe_encoded.clone(), cfg.alpha, cfg.gamma);
+            let l2 = g.unification_loss(buf, batch.buf_encoded.clone(), cfg.alpha, cfg.gamma);
+            let loss = g.add(l1, l2);
+            let grads = g.backward(loss);
+            drop(g);
+            opt.step(model.store_mut(), &grads);
+            black_box(())
+        })
+    });
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

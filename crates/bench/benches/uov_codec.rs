@@ -1,0 +1,30 @@
+//! Criterion bench: UOV encode / decode (paper Algorithm 1 and its
+//! reverse) across bucket counts — the representation cost behind
+//! Figs. 8b and 9.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ai2_uov::{ConfigCodec, OneHotCodec, UovCodec};
+
+fn bench_uov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uov");
+    for k in [4usize, 16, 32] {
+        let codec = UovCodec::new(k, 64);
+        group.bench_function(format!("encode/k{k}"), |b| {
+            b.iter(|| black_box(codec.encode(black_box(37))))
+        });
+        let v = codec.encode(37);
+        group.bench_function(format!("decode/k{k}"), |b| {
+            b.iter(|| black_box(codec.decode(black_box(&v))))
+        });
+    }
+    let onehot = OneHotCodec::new(64);
+    let v = onehot.encode(37);
+    group.bench_function("onehot/decode", |b| {
+        b.iter(|| black_box(onehot.decode(black_box(&v))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uov);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! **Figure 3** — the two DSE-dataset pathologies that motivate the
+//! paper:
+//!
+//! * **(a)** non-uniform, non-convex performance landscape: PCA of the
+//!   input features (x, y) against normalized optimal latency (z),
+//! * **(b)** long-tailed distribution of samples over optimal design
+//!   points (log scale).
+
+use ai2_bench::{default_task, load_or_generate, write_csv, Sizes};
+use ai2_dse::stats::LabelHistogram;
+use ai2_tensor::linalg::Pca;
+use ai2_tensor::{stats, Tensor};
+
+fn main() {
+    let sizes = Sizes::from_args();
+    let task = default_task();
+    let ds = load_or_generate(&task, &sizes);
+
+    // --- (a) landscape: PCA of standardized input features vs latency
+    let feats: Vec<Tensor> = ds
+        .samples
+        .iter()
+        .map(|s| {
+            Tensor::from_slice(&[
+                (s.m as f32).ln(),
+                (s.n as f32).ln(),
+                (s.k as f32).ln(),
+                s.dataflow as f32,
+            ])
+        })
+        .collect();
+    let x = Tensor::stack_rows(&feats);
+    let std = stats::Standardizer::fit(&x);
+    let xz = std.transform(&x);
+    let pca = Pca::fit(&xz, 2);
+    let proj = pca.transform(&xz);
+    let lat: Vec<f32> = ds.samples.iter().map(|s| s.best_score as f32).collect();
+    let lat_norm = stats::minmax_normalize(&lat.iter().map(|l| l.ln()).collect::<Vec<_>>());
+
+    let rows: Vec<Vec<String>> = (0..ds.len())
+        .map(|i| {
+            vec![
+                format!("{:.5}", proj[(i, 0)]),
+                format!("{:.5}", proj[(i, 1)]),
+                format!("{:.5}", lat_norm[i]),
+            ]
+        })
+        .collect();
+    write_csv(&sizes.out_dir.join("fig3a_landscape.csv"), "pca0,pca1,norm_latency", &rows);
+
+    // quantify non-uniformity: latency spread among feature-space
+    // neighbours vs global spread
+    let (mean_l, std_l) = stats::mean_std(&lat_norm);
+    println!("Fig 3a — landscape: {} points, normalized latency mean {mean_l:.3} std {std_l:.3}", ds.len());
+    println!(
+        "         explained variance of 2 PCs: {:?}",
+        pca.explained_variance()
+    );
+
+    // --- (b) long-tail histogram
+    let hist = LabelHistogram::from_dataset(&ds);
+    let counts = hist.sorted_counts();
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .enumerate()
+        .map(|(rank, c)| vec![rank.to_string(), c.to_string()])
+        .collect();
+    write_csv(&sizes.out_dir.join("fig3b_longtail.csv"), "rank,count", &rows);
+
+    println!("\nFig 3b — label distribution over optimal design points");
+    println!("  distinct optima      : {}", hist.num_distinct());
+    println!("  head-10 coverage     : {:.1}%", 100.0 * hist.head_coverage(10));
+    println!("  imbalance (max/min)  : {:.0}x", hist.imbalance_factor());
+    println!(
+        "  entropy              : {:.2} bits (uniform would be {:.2})",
+        hist.entropy_bits(),
+        (hist.num_distinct() as f64).log2()
+    );
+    println!("  top counts (log-scale series): {:?}", &counts[..counts.len().min(15)]);
+    println!("\npaper reference: markedly long-tailed — a few design points dominate");
+}

@@ -1,0 +1,104 @@
+//! **Figure 7** — model-level deployment on unseen DNNs/LLMs.
+//!
+//! Each DSE technique recommends per-layer hardware; deployment Method 1
+//! (paper §III-E) picks the single configuration minimising model-level
+//! latency. Results are normalized to AIrchitect v2 (= 1.0), as in the
+//! paper; bars above 1.0 mean slower than v2. The paper reports v2
+//! winning consistently, with ~1.7× average gains and VAESA+BO closest.
+
+use ai2_bench::{
+    default_task, load_or_generate, print_table, train_gandse, train_v1, train_v2, train_vaesa,
+    write_csv, Sizes,
+};
+use ai2_dse::{DesignPoint, DseTask};
+use ai2_workloads::generator::DseInput;
+use ai2_workloads::zoo;
+use airchitect::deploy::{method1, model_latency, Deployment};
+use airchitect::predictor::PredictFn;
+
+fn deploy_with(
+    task: &DseTask,
+    layers: &[ai2_workloads::Layer],
+    method: &dyn PredictFn,
+) -> Deployment {
+    let rec = |input: &DseInput| -> DesignPoint { method.predict_points(&[*input])[0] };
+    method1(task, layers, &rec)
+}
+
+fn main() {
+    let sizes = Sizes::from_args();
+    let task = default_task();
+    let ds = load_or_generate(&task, &sizes);
+    let (train, _) = ds.split(0.8, sizes.seed);
+
+    let v1 = train_v1(&task, &train, &sizes);
+    let gan = train_gandse(&task, &train, &sizes);
+    let vae = train_vaesa(&task, &train, &sizes);
+    let v2 = train_v2(&task, &train, &sizes);
+    let v2p = v2.predictor();
+
+    let models = zoo::evaluation_models();
+    let mut csv = Vec::new();
+    let mut summary: Vec<(String, String)> = Vec::new();
+    let mut geo: std::collections::HashMap<&str, f64> = Default::default();
+
+    println!("\nFig 7 — model-level latency normalized to AIrchitect v2 (lower is better)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "model", "v1", "GANDSE", "VAESA+BO", "v2", "oracle-ref"
+    );
+    for m in &models {
+        let layers = m.to_dse_layers();
+        let d_v1 = deploy_with(&task, &layers, &v1);
+        let d_gan = deploy_with(&task, &layers, &gan);
+        let d_vae = deploy_with(&task, &layers, &vae);
+        let d_v2 = deploy_with(&task, &layers, &v2p);
+        // oracle reference: best single config over all candidates the
+        // oracle recommends per layer
+        let oracle_rec = |input: &DseInput| -> DesignPoint { task.oracle(input).best_point };
+        let d_oracle = method1(&task, &layers, &oracle_rec);
+
+        let base = d_v2.latency;
+        let norm = |d: &Deployment| d.latency / base;
+        println!(
+            "{:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
+            m.name,
+            norm(&d_v1),
+            norm(&d_gan),
+            norm(&d_vae),
+            1.0,
+            norm(&d_oracle)
+        );
+        for (name, d) in [
+            ("v1", &d_v1),
+            ("gandse", &d_gan),
+            ("vaesa", &d_vae),
+            ("v2", &d_v2),
+            ("oracle", &d_oracle),
+        ] {
+            *geo.entry(name).or_insert(0.0) += norm(d).ln();
+            csv.push(vec![
+                m.name.clone(),
+                name.to_string(),
+                format!("{:.6}", norm(d)),
+                format!("{:.1}", d.latency),
+                task.space().config(d.point).to_string(),
+            ]);
+        }
+        // sanity: the chosen config's absolute latency
+        let _ = model_latency(&task, &layers, d_v2.point);
+    }
+
+    println!();
+    for name in ["v1", "gandse", "vaesa", "oracle"] {
+        let g = (geo[name] / models.len() as f64).exp();
+        summary.push((format!("geomean {name} / v2"), format!("{g:.3}")));
+    }
+    print_table("Fig 7 summary", ("ratio", "value"), &summary);
+    println!("\npaper reference: v2 fastest everywhere; ~1.7x average advantage; VAESA+BO closest");
+    write_csv(
+        &sizes.out_dir.join("fig7_deployment.csv"),
+        "model,method,normalized_latency,latency_cycles,config",
+        &csv,
+    );
+}

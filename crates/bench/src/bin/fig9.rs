@@ -1,0 +1,95 @@
+//! **Figure 9** — effect of the UOV representation on prediction
+//! accuracy and model size, for *both* AIrchitect v1 and v2.
+//!
+//! The paper's point: UOV is not specific to v2 — swapping the
+//! classification head of either model for UOV heads improves accuracy
+//! while shrinking the model.
+
+use ai2_baselines::{AirchitectV1, V1Config};
+use ai2_bench::{default_task, load_or_generate, write_csv, Sizes};
+use airchitect::predictor::bucket_accuracy_of;
+use airchitect::{Airchitect2, HeadKind, ModelConfig};
+
+fn main() {
+    let sizes = Sizes::from_args();
+    let task = default_task();
+    let ds = load_or_generate(&task, &sizes);
+    let (train, test) = ds.split(0.8, sizes.seed);
+
+    let heads = [
+        (HeadKind::Classification, "classification"),
+        (HeadKind::Uov { k: 16 }, "uov"),
+    ];
+
+    let mut csv = Vec::new();
+    println!("\nFig 9 — classification vs UOV heads (accuracy %, model size)");
+    println!(
+        "{:<14} {:<16} {:>12} {:>12} {:>10}",
+        "model", "head", "accuracy", "size", "size ratio"
+    );
+
+    // --- AIrchitect v1 variants
+    let mut v1_sizes = Vec::new();
+    for (head, tag) in heads {
+        let cfg = V1Config {
+            head,
+            epochs: sizes.baseline_epochs,
+            ..V1Config::default()
+        };
+        let mut v1 = AirchitectV1::new(&cfg, &task, &train);
+        eprintln!("[fig9] training v1/{tag}…");
+        v1.fit(&train);
+        let acc = bucket_accuracy_of(&v1, &task, &test);
+        v1_sizes.push((tag, acc, v1.model_size()));
+    }
+    let v1_base = v1_sizes[0].2 as f64;
+    for (tag, acc, size) in &v1_sizes {
+        println!(
+            "{:<14} {:<16} {:>11.2}% {:>12} {:>10.3}",
+            "v1", tag, acc, size, *size as f64 / v1_base
+        );
+        csv.push(vec![
+            "v1".into(),
+            tag.to_string(),
+            format!("{acc:.4}"),
+            size.to_string(),
+            format!("{:.4}", *size as f64 / v1_base),
+        ]);
+    }
+
+    // --- AIrchitect v2 variants
+    let mut v2_sizes = Vec::new();
+    for (head, tag) in heads {
+        let cfg_model = ModelConfig {
+            head,
+            ..ModelConfig::default()
+        };
+        let mut v2 = Airchitect2::new(&cfg_model, &task, &train);
+        eprintln!("[fig9] training v2/{tag}…");
+        v2.fit(&train, &sizes.train_config());
+        let p = v2.predictor();
+        let acc = bucket_accuracy_of(&p, &task, &test);
+        v2_sizes.push((tag, acc, v2.model_size()));
+    }
+    let v2_base = v2_sizes[0].2 as f64;
+    for (tag, acc, size) in &v2_sizes {
+        println!(
+            "{:<14} {:<16} {:>11.2}% {:>12} {:>10.3}",
+            "v2", tag, acc, size, *size as f64 / v2_base
+        );
+        csv.push(vec![
+            "v2".into(),
+            tag.to_string(),
+            format!("{acc:.4}"),
+            size.to_string(),
+            format!("{:.4}", *size as f64 / v2_base),
+        ]);
+    }
+
+    println!("\npaper reference: UOV improves accuracy AND shrinks both models");
+    write_csv(
+        &sizes.out_dir.join("fig9_uov_vs_classification.csv"),
+        "model,head,bucket_accuracy,model_size,normalized_size",
+        &csv,
+    );
+}

@@ -1,0 +1,63 @@
+//! **Table II** — stage-1 loss ablation.
+//!
+//! Paper values (prediction accuracy, %):
+//!
+//! | L_C | L_perf | accuracy |
+//! |-----|--------|----------|
+//! |     |        | 79.43    |
+//! |     | ✓      | 81.27    |
+//! | ✓   |        | 89.97    |
+//! | ✓   | ✓      | 91.17    |
+//!
+//! The reproduction trains four encoders that differ only in the stage-1
+//! objective and reports bucket-level accuracy on the held-out split.
+
+use ai2_bench::{default_task, load_or_generate, print_table, write_csv, Sizes};
+use airchitect::{Airchitect2, ModelConfig};
+
+fn main() {
+    let sizes = Sizes::from_args();
+    let task = default_task();
+    let ds = load_or_generate(&task, &sizes);
+    let (train, test) = ds.split(0.8, sizes.seed);
+
+    let variants = [
+        (false, false, "L2 only (neither)"),
+        (false, true, "L_perf only"),
+        (true, false, "L_C only"),
+        (true, true, "L_C + L_perf (paper)"),
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (contrastive, perf, label) in variants {
+        let mut model = Airchitect2::new(&ModelConfig::default(), &task, &train);
+        let cfg = sizes.train_config().with_stage1_losses(contrastive, perf);
+        eprintln!("[table2] training variant: {label}");
+        model.fit(&train, &cfg);
+        let p = model.predictor();
+        let acc = p.accuracy(&test);
+        let exact = p.exact_accuracy(&test);
+        let ratio = p.latency_ratio(&test);
+        rows.push((label.to_string(), format!("{acc:.2}")));
+        csv.push(vec![
+            contrastive.to_string(),
+            perf.to_string(),
+            format!("{acc:.4}"),
+            format!("{exact:.4}"),
+            format!("{ratio:.4}"),
+        ]);
+    }
+
+    print_table(
+        "Table II — AIrchitect v2 stage-1 ablations",
+        ("stage-1 objective", "accuracy (%)"),
+        &rows,
+    );
+    println!("\npaper reference: 79.43 / 81.27 / 89.97 / 91.17");
+    write_csv(
+        &sizes.out_dir.join("table2.csv"),
+        "contrastive,perf,bucket_accuracy,exact_accuracy,latency_ratio",
+        &csv,
+    );
+}

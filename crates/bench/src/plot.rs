@@ -1,0 +1,115 @@
+//! Minimal ASCII rendering for experiment binaries: the paper's figures
+//! as terminal sketches, so `cargo run --bin figX` shows the shape
+//! without leaving the shell.
+
+/// Renders a log-scale bar chart of descending counts (Fig. 3b style).
+pub fn ascii_log_bars(counts: &[usize], max_rows: usize) -> String {
+    let mut out = String::new();
+    let max = counts.first().copied().unwrap_or(1).max(1) as f64;
+    for (i, &c) in counts.iter().take(max_rows).enumerate() {
+        let frac = ((c.max(1) as f64).ln() / max.ln()).max(0.0);
+        let width = (frac * 50.0).round() as usize;
+        out.push_str(&format!("{i:>4} | {:<50} {c}\n", "█".repeat(width)));
+    }
+    if counts.len() > max_rows {
+        out.push_str(&format!("     … {} more labels\n", counts.len() - max_rows));
+    }
+    out
+}
+
+/// Renders an x/y series as a sparkline (best-so-far traces, Fig. 8a
+/// style). Values are min-max normalised; `levels` characters code the
+/// height.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || hi - lo < 1e-12 {
+        return "▁".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            let t = (v - lo) / (hi - lo);
+            LEVELS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Renders a 2-D scatter as a character grid (Fig. 4/5 style); `label`
+/// maps each point to a glyph class (0..36 → '0'..'9a'..'z').
+pub fn ascii_scatter(xs: &[f32], ys: &[f32], labels: &[u32], width: usize, height: usize) -> String {
+    assert_eq!(xs.len(), ys.len());
+    assert_eq!(xs.len(), labels.len());
+    let glyph = |l: u32| -> char {
+        let l = (l % 36) as u8;
+        if l < 10 {
+            (b'0' + l) as char
+        } else {
+            (b'a' + l - 10) as char
+        }
+    };
+    let (mut xlo, mut xhi, mut ylo, mut yhi) = (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
+    for (&x, &y) in xs.iter().zip(ys) {
+        xlo = xlo.min(x);
+        xhi = xhi.max(x);
+        ylo = ylo.min(y);
+        yhi = yhi.max(y);
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for ((&x, &y), &l) in xs.iter().zip(ys).zip(labels) {
+        let cx = (((x - xlo) / (xhi - xlo).max(1e-9)) * (width - 1) as f32).round() as usize;
+        let cy = (((y - ylo) / (yhi - ylo).max(1e-9)) * (height - 1) as f32).round() as usize;
+        grid[height - 1 - cy][cx] = glyph(l);
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_render_and_truncate() {
+        let s = ascii_log_bars(&[100, 10, 1, 1, 1], 3);
+        assert!(s.contains("100"));
+        assert!(s.contains("… 2 more"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn sparkline_monotone_series() {
+        let s = sparkline(&[1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_constant_is_flat() {
+        assert_eq!(sparkline(&[3.0, 3.0, 3.0]), "▁▁▁");
+    }
+
+    #[test]
+    fn scatter_places_extremes() {
+        let s = ascii_scatter(&[0.0, 1.0], &[0.0, 1.0], &[0, 1], 10, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains('1')); // top-right
+        assert!(lines[4].contains('0')); // bottom-left
+    }
+}

@@ -1,0 +1,50 @@
+//! Diagnostic: accuracy trajectory of a realistic (small) training run.
+use ai2_dse::{DseDataset, DseTask, GenerateConfig};
+use airchitect::{train::TrainConfig, Airchitect2, ModelConfig};
+
+fn main() {
+    let task = DseTask::table_i_default();
+    let t0 = std::time::Instant::now();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 4000,
+            seed: 1,
+            threads: 2,
+            ..GenerateConfig::default()
+        },
+    );
+    println!("dataset in {:?}", t0.elapsed());
+    // label concentration
+    let hist = ai2_dse::stats::LabelHistogram::from_dataset(&ds);
+    println!(
+        "distinct labels {} / {} samples, head10 {:.2}, imbalance {:.0}",
+        hist.num_distinct(),
+        hist.total(),
+        hist.head_coverage(10),
+        hist.imbalance_factor()
+    );
+    let (train, test) = ds.split(0.8, 42);
+    let mut model = Airchitect2::new(&ModelConfig::default(), &task, &train);
+    let cfg = TrainConfig {
+        stage1_epochs: 40,
+        stage2_epochs: 60,
+        batch_size: 256,
+        ..TrainConfig::default()
+    };
+    let t1 = std::time::Instant::now();
+    let report = model.fit(&train, &cfg);
+    println!("trained in {:?}", t1.elapsed());
+    println!(
+        "stage1 loss {:.4} -> {:.4}; stage2 {:.4} -> {:.4}",
+        report.stage1[0],
+        report.stage1.last().unwrap(),
+        report.stage2[0],
+        report.stage2.last().unwrap()
+    );
+    let p = model.predictor();
+    let acc = p.accuracy(&test);
+    let (pe, buf) = p.per_axis_accuracy(&test);
+    let ratio = p.latency_ratio(&test);
+    println!("test acc {acc:.2}%  pe {pe:.2}%  buf {buf:.2}%  latency-ratio {ratio:.3}");
+}

@@ -1,0 +1,139 @@
+//! Model hyperparameters and output-head configuration.
+
+use ai2_uov::{ConfigCodec, DiscretizationKind, OneHotCodec, RegressionCodec, UovCodec};
+use serde::{Deserialize, Serialize};
+
+/// Output-head representation — UOV by default, with the paper's ablation
+/// alternatives (Figs. 8b, 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeadKind {
+    /// Unified Ordinal Vectors with `K` buckets (the paper's default,
+    /// `K = 16`).
+    Uov {
+        /// Bucket count.
+        k: usize,
+    },
+    /// One-hot classification over all choices (the "Classification"
+    /// columns of Fig. 9).
+    Classification,
+    /// Single-scalar regression (the `K = 1` end of Fig. 8b).
+    Regression,
+}
+
+impl HeadKind {
+    /// Builds the codec for an axis with `num_choices` options.
+    pub fn codec(self, num_choices: usize) -> Box<dyn ConfigCodec> {
+        match self {
+            HeadKind::Uov { k } => Box::new(
+                UovCodec::with_kind(DiscretizationKind::SpaceIncreasing, k, num_choices),
+            ),
+            HeadKind::Classification => Box::new(OneHotCodec::new(num_choices)),
+            HeadKind::Regression => Box::new(RegressionCodec::new(num_choices)),
+        }
+    }
+}
+
+impl Default for HeadKind {
+    fn default() -> Self {
+        HeadKind::Uov { k: 16 }
+    }
+}
+
+/// Architecture hyperparameters of [`crate::Airchitect2`].
+///
+/// The defaults are the CPU-scaled equivalent of the paper's setup:
+/// `L = 2` stacked self-attention blocks in both encoder and decoder,
+/// 4 input tokens (one per Table I feature), 16 UOV buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Transformer width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Stacked blocks per side (`L` in the paper's Fig. 2).
+    pub layers: usize,
+    /// Width of the intermediate representation (embedding space).
+    pub d_emb: usize,
+    /// Input tokens (4: `M`, `N`, `K`, dataflow).
+    pub tokens: usize,
+    /// Output-head representation.
+    pub head: HeadKind,
+    /// Parameter-init / batching seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            d_model: 32,
+            heads: 4,
+            layers: 2,
+            d_emb: 16,
+            tokens: 4,
+            head: HeadKind::default(),
+            seed: 0xD47E,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A tiny configuration for unit tests (width 16, one layer).
+    pub fn tiny() -> Self {
+        ModelConfig {
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            d_emb: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `heads`, or any dimension
+    /// is zero.
+    pub fn validate(&self) {
+        assert!(self.d_model > 0 && self.heads > 0 && self.layers > 0, "zero dimension");
+        assert!(self.d_emb > 0 && self.tokens > 0, "zero dimension");
+        assert_eq!(
+            self.d_model % self.heads,
+            0,
+            "d_model {} not divisible by heads {}",
+            self.d_model,
+            self.heads
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ModelConfig::default().validate();
+        ModelConfig::tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_heads_rejected() {
+        ModelConfig {
+            d_model: 30,
+            heads: 4,
+            ..ModelConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn head_kinds_produce_codecs() {
+        assert_eq!(HeadKind::Uov { k: 16 }.codec(64).width(), 16);
+        assert_eq!(HeadKind::Classification.codec(64).width(), 64);
+        assert_eq!(HeadKind::Regression.codec(64).width(), 1);
+        // more buckets than choices degenerate to per-choice buckets
+        assert_eq!(HeadKind::Uov { k: 16 }.codec(12).width(), 12);
+    }
+}

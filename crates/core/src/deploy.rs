@@ -1,0 +1,215 @@
+//! Model-level deployment: turning per-layer recommendations into one
+//! hardware configuration for a whole network (paper §III-E).
+
+use ai2_dse::{DesignPoint, DseTask};
+use ai2_maestro::Dataflow;
+use ai2_workloads::generator::DseInput;
+use ai2_workloads::Layer;
+
+/// Model-level latency of running every layer (tiled, with repetition
+/// counts) on hardware `point`, letting each layer use its best dataflow
+/// — the "estimate the model-wise latency across all layers" step of
+/// Method 1, computed with the MAESTRO-style cost model.
+pub fn model_latency(task: &DseTask, layers: &[Layer], point: DesignPoint) -> f64 {
+    layers
+        .iter()
+        .map(|layer| {
+            let best_df = Dataflow::ALL
+                .iter()
+                .map(|&df| {
+                    task.score_unchecked(
+                        &DseInput {
+                            gemm: layer.gemm,
+                            dataflow: df,
+                        },
+                        point,
+                    )
+                })
+                .fold(f64::INFINITY, f64::min);
+            best_df * layer.count as f64
+        })
+        .sum()
+}
+
+/// Per-layer recommendations from any one-shot or search method.
+pub trait LayerRecommender {
+    /// Recommends a design point for one layer-level DSE input.
+    fn recommend(&self, input: &DseInput) -> DesignPoint;
+}
+
+impl<F: Fn(&DseInput) -> DesignPoint> LayerRecommender for F {
+    fn recommend(&self, input: &DseInput) -> DesignPoint {
+        self(input)
+    }
+}
+
+/// Outcome of a model-level deployment selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deployment {
+    /// The chosen hardware configuration.
+    pub point: DesignPoint,
+    /// Model-level latency (cycles) on that configuration.
+    pub latency: f64,
+}
+
+fn candidate_points(
+    task: &DseTask,
+    layers: &[Layer],
+    rec: &dyn LayerRecommender,
+) -> Vec<(usize, DesignPoint)> {
+    // one recommendation per (layer, dataflow) input, deduplicated but
+    // remembering which layer produced each candidate
+    let mut cands: Vec<(usize, DesignPoint)> = Vec::new();
+    for (li, layer) in layers.iter().enumerate() {
+        for df in Dataflow::ALL {
+            let p = rec.recommend(&DseInput {
+                gemm: layer.gemm,
+                dataflow: df,
+            });
+            if task.is_feasible(p) && !cands.iter().any(|(_, q)| *q == p) {
+                cands.push((li, p));
+            }
+        }
+    }
+    if cands.is_empty() {
+        // every recommendation violated the budget: fall back to the
+        // smallest configuration, which the task guarantees feasible
+        cands.push((0, DesignPoint { pe_idx: 0, buf_idx: 0 }));
+    }
+    cands
+}
+
+/// **Method 1**: evaluate each per-layer recommendation model-wide and
+/// pick the one minimising total latency.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty.
+pub fn method1(task: &DseTask, layers: &[Layer], rec: &dyn LayerRecommender) -> Deployment {
+    assert!(!layers.is_empty(), "method1: no layers");
+    let mut best: Option<Deployment> = None;
+    for (_, p) in candidate_points(task, layers, rec) {
+        let lat = model_latency(task, layers, p);
+        if best.is_none_or(|b| lat < b.latency) {
+            best = Some(Deployment { point: p, latency: lat });
+        }
+    }
+    best.expect("at least one candidate")
+}
+
+/// **Method 2**: find the bottleneck layer (largest latency on its own
+/// recommended hardware) and adopt its recommendation model-wide.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty.
+pub fn method2(task: &DseTask, layers: &[Layer], rec: &dyn LayerRecommender) -> Deployment {
+    assert!(!layers.is_empty(), "method2: no layers");
+    let mut bottleneck: Option<(f64, DesignPoint)> = None;
+    for layer in layers {
+        // recommended point for this layer (best dataflow by its own score)
+        let mut layer_best: Option<(f64, DesignPoint)> = None;
+        for df in Dataflow::ALL {
+            let input = DseInput {
+                gemm: layer.gemm,
+                dataflow: df,
+            };
+            let p = rec.recommend(&input);
+            if !task.is_feasible(p) {
+                continue;
+            }
+            let s = task.score_unchecked(&input, p);
+            if layer_best.is_none_or(|(b, _)| s < b) {
+                layer_best = Some((s, p));
+            }
+        }
+        let Some((score, p)) = layer_best else { continue };
+        let weighted = score * layer.count as f64;
+        if bottleneck.is_none_or(|(b, _)| weighted > b) {
+            bottleneck = Some((weighted, p));
+        }
+    }
+    let (_, point) = bottleneck.unwrap_or((0.0, DesignPoint { pe_idx: 0, buf_idx: 0 }));
+    Deployment {
+        point,
+        latency: model_latency(task, layers, point),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_maestro::GemmWorkload;
+    use ai2_workloads::zoo;
+
+    fn layers() -> Vec<Layer> {
+        zoo::resnet18().to_dse_layers()
+    }
+
+    fn oracle_rec(task: &DseTask) -> impl LayerRecommender + '_ {
+        move |input: &DseInput| task.oracle(input).best_point
+    }
+
+    #[test]
+    fn method1_latency_is_min_over_candidates() {
+        let task = DseTask::table_i_default();
+        let ls = layers();
+        let rec = oracle_rec(&task);
+        let d = method1(&task, &ls, &rec);
+        assert!(d.latency > 0.0);
+        assert!(task.is_feasible(d.point));
+        // any single-layer recommendation cannot beat the Method-1 choice
+        let alt = task.oracle(&DseInput {
+            gemm: ls[0].gemm,
+            dataflow: Dataflow::WeightStationary,
+        });
+        let alt_lat = model_latency(&task, &ls, alt.best_point);
+        assert!(d.latency <= alt_lat + 1e-6);
+    }
+
+    #[test]
+    fn method2_picks_feasible_bottleneck_config() {
+        let task = DseTask::table_i_default();
+        let ls = layers();
+        let rec = oracle_rec(&task);
+        let d = method2(&task, &ls, &rec);
+        assert!(task.is_feasible(d.point));
+        assert!(d.latency > 0.0);
+    }
+
+    #[test]
+    fn method1_never_worse_than_method2_with_same_recommender() {
+        // Method 1 evaluates a superset of deployment candidates, so with
+        // the same recommender it is at least as good.
+        let task = DseTask::table_i_default();
+        let ls = layers();
+        let rec = oracle_rec(&task);
+        let d1 = method1(&task, &ls, &rec);
+        let d2 = method2(&task, &ls, &rec);
+        assert!(d1.latency <= d2.latency + 1e-6);
+    }
+
+    #[test]
+    fn bad_recommender_yields_worse_deployment() {
+        let task = DseTask::table_i_default();
+        let ls = layers();
+        let good = method1(&task, &ls, &oracle_rec(&task));
+        let bad_rec = |_: &DseInput| DesignPoint { pe_idx: 0, buf_idx: 0 };
+        let bad = method1(&task, &ls, &bad_rec);
+        assert!(
+            bad.latency >= good.latency,
+            "tiny config should not beat oracle deployment"
+        );
+    }
+
+    #[test]
+    fn model_latency_scales_with_counts() {
+        let task = DseTask::table_i_default();
+        let one = vec![Layer::new("l", GemmWorkload::new(64, 128, 64))];
+        let two = vec![Layer::repeated("l", GemmWorkload::new(64, 128, 64), 2)];
+        let p = DesignPoint { pe_idx: 8, buf_idx: 5 };
+        let l1 = model_latency(&task, &one, p);
+        let l2 = model_latency(&task, &two, p);
+        assert!((l2 - 2.0 * l1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,137 @@
+//! Embedding-space analysis: the quantitative counterpart of the paper's
+//! Fig. 5 ("contrastive learning results in a uniform embedding space").
+//!
+//! Two standard metrics (Wang & Isola, ICML 2020) summarise what the
+//! figure shows visually:
+//!
+//! * **alignment** — mean squared distance between embeddings of
+//!   same-class samples (lower = positives cluster),
+//! * **uniformity** — `log E exp(−2‖zᵢ − zⱼ‖²)` over all pairs (lower =
+//!   embeddings spread uniformly on the hypersphere).
+
+use ai2_tensor::linalg::Pca;
+use ai2_tensor::Tensor;
+
+/// Summary metrics of an embedding space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmbeddingReport {
+    /// Mean squared distance over same-class pairs (lower is better).
+    pub alignment: f64,
+    /// `log E exp(−2‖zᵢ−zⱼ‖²)` over all pairs (lower is better).
+    pub uniformity: f64,
+    /// Number of samples analysed.
+    pub samples: usize,
+}
+
+/// Computes alignment/uniformity on L2-normalised copies of `embeddings`
+/// (`[n, d]`) with one class label per row.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of rows or fewer
+/// than two rows are given.
+pub fn analyze(embeddings: &Tensor, labels: &[u32]) -> EmbeddingReport {
+    let n = embeddings.rows();
+    assert_eq!(labels.len(), n, "analyze: labels/rows mismatch");
+    assert!(n >= 2, "analyze: need at least two samples");
+    let z = embeddings.normalize_rows(1e-8);
+
+    let mut align_sum = 0.0f64;
+    let mut align_pairs = 0usize;
+    let mut unif_sum = 0.0f64;
+    let mut unif_pairs = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            let d2: f64 = z
+                .row(i)
+                .iter()
+                .zip(z.row(j))
+                .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                .sum();
+            unif_sum += (-2.0 * d2).exp();
+            unif_pairs += 1;
+            if labels[i] == labels[j] {
+                align_sum += d2;
+                align_pairs += 1;
+            }
+        }
+    }
+    EmbeddingReport {
+        alignment: if align_pairs > 0 {
+            align_sum / align_pairs as f64
+        } else {
+            f64::NAN
+        },
+        uniformity: (unif_sum / unif_pairs as f64).ln(),
+        samples: n,
+    }
+}
+
+/// PCA projection of embeddings to 2-D for the Fig. 5 scatter export.
+///
+/// # Panics
+///
+/// Panics if fewer than two samples or fewer than two dimensions.
+pub fn project_2d(embeddings: &Tensor) -> Tensor {
+    let pca = Pca::fit(embeddings, 2);
+    pca.transform(embeddings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_tensor::rng;
+
+    #[test]
+    fn clustered_embeddings_have_better_alignment() {
+        // two tight clusters vs the same points with shuffled labels
+        let mut r = rng::seeded(3);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let class = i % 2;
+            let center = if class == 0 { 1.0 } else { -1.0 };
+            let noise = rng::randn(&mut r, &[4]).scale(0.05);
+            let mut v = vec![center; 4];
+            for (a, b) in v.iter_mut().zip(noise.as_slice()) {
+                *a += b;
+            }
+            rows.push(Tensor::from_slice(&v));
+            labels.push(class as u32);
+        }
+        let z = Tensor::stack_rows(&rows);
+        let clustered = analyze(&z, &labels);
+        let shuffled: Vec<u32> = (0..40).map(|i| (i / 20) as u32).collect();
+        let mixed = analyze(&z, &shuffled);
+        assert!(
+            clustered.alignment < mixed.alignment,
+            "clustered {} !< mixed {}",
+            clustered.alignment,
+            mixed.alignment
+        );
+    }
+
+    #[test]
+    fn uniform_embeddings_have_lower_uniformity_loss() {
+        let mut r = rng::seeded(4);
+        // spread points vs all-identical points
+        let spread = rng::randn(&mut r, &[50, 8]);
+        let collapsed = Tensor::ones(&[50, 8]);
+        let labels: Vec<u32> = (0..50).map(|i| i as u32 % 5).collect();
+        let u_spread = analyze(&spread, &labels).uniformity;
+        let u_collapsed = analyze(&collapsed, &labels).uniformity;
+        assert!(
+            u_spread < u_collapsed,
+            "spread {u_spread} !< collapsed {u_collapsed}"
+        );
+    }
+
+    #[test]
+    fn projection_shape() {
+        let mut r = rng::seeded(5);
+        let z = rng::randn(&mut r, &[30, 8]);
+        let p = project_2d(&z);
+        assert_eq!(p.shape(), &[30, 2]);
+        assert!(p.all_finite());
+    }
+}

@@ -1,0 +1,48 @@
+//! AIRCHITECT v2 — learning the hardware accelerator design space through
+//! unified representations (Seo, Ramachandran et al., DATE 2025).
+//!
+//! This crate is the paper's primary contribution, rebuilt in Rust on the
+//! substrates of this workspace:
+//!
+//! * an **encoder–decoder transformer** ([`Airchitect2`]) over the 4-token
+//!   workload embedding (`M`, `N`, `K`, dataflow),
+//! * **stage-1 training** ([`train::Stage1Trainer`]): supervised-infoNCE
+//!   contrastive loss (Eq. 1) plus an L1 performance-prediction loss,
+//!   shaping a uniform, smooth embedding space,
+//! * **stage-2 training** ([`train::Stage2Trainer`]): the encoder frozen,
+//!   two [`ai2_uov::UovCodec`] heads trained with the unification loss
+//!   (Eq. 3) to predict `#PEs` and L2 buffer size,
+//! * **one-shot inference** ([`predictor::Predictor`]) with exact-match
+//!   accuracy and latency-quality metrics,
+//! * **model-level deployment** ([`deploy`]) via the paper's Method 1
+//!   (global argmin) and Method 2 (bottleneck layer),
+//! * **embedding-space analysis** ([`embedding`]) reproducing the
+//!   alignment/uniformity comparison of Fig. 5.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ai2_dse::{DseDataset, DseTask, GenerateConfig};
+//! use airchitect::{Airchitect2, ModelConfig, train::TrainConfig};
+//!
+//! let task = DseTask::table_i_default();
+//! let data = DseDataset::generate(&task, &GenerateConfig::default());
+//! let (train, test) = data.split(0.8, 42);
+//! let mut model = Airchitect2::new(&ModelConfig::default(), &task, &train);
+//! model.fit(&train, &TrainConfig::quick());
+//! let accuracy = model.predictor().accuracy(&test);
+//! println!("exact-match accuracy: {accuracy:.2}%");
+//! ```
+
+mod config;
+mod features;
+mod model;
+
+pub mod deploy;
+pub mod embedding;
+pub mod predictor;
+pub mod train;
+
+pub use config::{HeadKind, ModelConfig};
+pub use features::{FeatureEncoder, PreparedBatch, PreparedDataset, NUM_FEATURES};
+pub use model::Airchitect2;

@@ -1,0 +1,413 @@
+//! The AIrchitect v2 encoder–decoder transformer.
+
+use ai2_dse::{DesignPoint, DseDataset, DseTask};
+use ai2_nn::layers::{LayerNorm, Linear, TransformerBlock};
+use ai2_nn::{Graph, ParamId, ParamStore, VarId};
+use ai2_tensor::Tensor;
+use ai2_uov::ConfigCodec;
+use ai2_workloads::generator::DseInput;
+
+use crate::config::{HeadKind, ModelConfig};
+use crate::features::{FeatureEncoder, PreparedDataset, NUM_FEATURES};
+use crate::predictor::Predictor;
+use crate::train::{Stage1Trainer, Stage2Trainer, TrainConfig, TrainReport};
+
+/// Number of UOV buckets used for the stage-1 contrastive class labels
+/// (independent of the head codec, fixed at the paper's K = 16).
+pub(crate) const CONTRASTIVE_BUCKETS: usize = 16;
+
+/// The AIrchitect v2 model: a contrastively trained encoder producing the
+/// intermediate representation, and a decoder with two output heads
+/// (`#PEs`, buffer size) predicting Unified Ordinal Vectors.
+pub struct Airchitect2 {
+    cfg: ModelConfig,
+    store: ParamStore,
+    // encoder (stage 1)
+    embed: Linear,
+    pos_enc: ParamId,
+    enc_blocks: Vec<TransformerBlock>,
+    enc_ln: LayerNorm,
+    enc_proj: Linear,
+    perf_head: Linear,
+    encoder_param_count: usize,
+    // decoder (stage 2)
+    dec_in: Linear,
+    pos_dec: ParamId,
+    dec_blocks: Vec<TransformerBlock>,
+    dec_ln: LayerNorm,
+    head_pe: Linear,
+    head_buf: Linear,
+    // problem binding
+    pe_codec: Box<dyn ConfigCodec>,
+    buf_codec: Box<dyn ConfigCodec>,
+    features: FeatureEncoder,
+    task: DseTask,
+}
+
+impl Airchitect2 {
+    /// Builds a model bound to `task`, fitting feature statistics on
+    /// `train`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or `train` is empty.
+    pub fn new(cfg: &ModelConfig, task: &DseTask, train: &DseDataset) -> Airchitect2 {
+        cfg.validate();
+        let features = FeatureEncoder::fit(train);
+        let mut store = ParamStore::new(cfg.seed);
+        let td = cfg.tokens * cfg.d_model;
+
+        let embed = Linear::new(&mut store, "enc.embed", NUM_FEATURES, td, true);
+        let pos_enc = store.add_zeros("enc.pos", &[td]);
+        let enc_blocks = (0..cfg.layers)
+            .map(|i| TransformerBlock::new(&mut store, &format!("enc.blk{i}"), cfg.d_model, cfg.heads))
+            .collect();
+        let enc_ln = LayerNorm::new(&mut store, "enc.ln", cfg.d_model);
+        let enc_proj = Linear::new(&mut store, "enc.proj", cfg.d_model, cfg.d_emb, true);
+        let perf_head = Linear::new(&mut store, "enc.perf", cfg.d_emb, 1, true);
+        let encoder_param_count = store.len();
+
+        let dec_in = Linear::new(&mut store, "dec.in", cfg.d_emb, td, true);
+        let pos_dec = store.add_zeros("dec.pos", &[td]);
+        let dec_blocks = (0..cfg.layers)
+            .map(|i| TransformerBlock::new(&mut store, &format!("dec.blk{i}"), cfg.d_model, cfg.heads))
+            .collect();
+        let dec_ln = LayerNorm::new(&mut store, "dec.ln", cfg.d_model);
+        let pe_codec = cfg.head.codec(task.space().num_pe_choices());
+        let buf_codec = cfg.head.codec(task.space().num_buf_choices());
+        let head_pe = Linear::new(&mut store, "dec.head_pe", cfg.d_model, pe_codec.width(), true);
+        let head_buf = Linear::new(&mut store, "dec.head_buf", cfg.d_model, buf_codec.width(), true);
+
+        Airchitect2 {
+            cfg: *cfg,
+            store,
+            embed,
+            pos_enc,
+            enc_blocks,
+            enc_ln,
+            enc_proj,
+            perf_head,
+            encoder_param_count,
+            dec_in,
+            pos_dec,
+            dec_blocks,
+            dec_ln,
+            head_pe,
+            head_buf,
+            pe_codec,
+            buf_codec,
+            features,
+            task: task.clone(),
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The bound DSE task.
+    pub fn task(&self) -> &DseTask {
+        &self.task
+    }
+
+    /// The fitted feature encoder.
+    pub fn feature_encoder(&self) -> &FeatureEncoder {
+        &self.features
+    }
+
+    /// The PE head's codec.
+    pub fn pe_codec(&self) -> &dyn ConfigCodec {
+        self.pe_codec.as_ref()
+    }
+
+    /// The buffer head's codec.
+    pub fn buf_codec(&self) -> &dyn ConfigCodec {
+        self.buf_codec.as_ref()
+    }
+
+    /// The parameter store (shared by both stages).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store, exposed for custom training loops (the
+    /// built-in trainers and the step-level benchmarks use it).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Total scalar parameters — the "model size" axis of Figs. 8b / 9.
+    pub fn model_size(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Parameters of the encoder side (frozen during stage 2).
+    pub fn encoder_params(&self) -> Vec<ParamId> {
+        self.store
+            .iter()
+            .map(|(id, _, _)| id)
+            .take(self.encoder_param_count)
+            .collect()
+    }
+
+    /// Parameters of the decoder side.
+    pub fn decoder_params(&self) -> Vec<ParamId> {
+        self.store
+            .iter()
+            .map(|(id, _, _)| id)
+            .skip(self.encoder_param_count)
+            .collect()
+    }
+
+    /// Renders a dataset into training tensors for this model's codecs.
+    pub fn prepare(&self, ds: &DseDataset) -> PreparedDataset {
+        PreparedDataset::build(
+            ds,
+            &self.task,
+            &self.features,
+            self.pe_codec.as_ref(),
+            self.buf_codec.as_ref(),
+            CONTRASTIVE_BUCKETS,
+        )
+    }
+
+    // ---- graph builders ---------------------------------------------------
+
+    /// Records the encoder on `g`: features `[B, F]` → embedding
+    /// `[B, d_emb]`.
+    pub fn forward_encoder(&self, g: &mut Graph<'_>, x: VarId) -> VarId {
+        let b = g.value(x).rows();
+        let h = self.embed.forward(g, x);
+        let pos = g.param(self.pos_enc);
+        let h = g.add_row(h, pos);
+        let mut h = g.reshape(h, &[b * self.cfg.tokens, self.cfg.d_model]);
+        for blk in &self.enc_blocks {
+            h = blk.forward(g, h, b, self.cfg.tokens);
+        }
+        let h = self.enc_ln.forward(g, h);
+        let pooled = g.mean_pool_tokens(h, self.cfg.tokens);
+        self.enc_proj.forward(g, pooled)
+    }
+
+    /// Records the performance-prediction head: embedding → `[B, 1]`.
+    pub fn forward_perf(&self, g: &mut Graph<'_>, z: VarId) -> VarId {
+        self.perf_head.forward(g, z)
+    }
+
+    /// Records the decoder: embedding `[B, d_emb]` → raw logits of the
+    /// two heads (`[B, pe_width]`, `[B, buf_width]`).
+    pub fn forward_decoder(&self, g: &mut Graph<'_>, z: VarId) -> (VarId, VarId) {
+        let b = g.value(z).rows();
+        let h = self.dec_in.forward(g, z);
+        let pos = g.param(self.pos_dec);
+        let h = g.add_row(h, pos);
+        let mut h = g.reshape(h, &[b * self.cfg.tokens, self.cfg.d_model]);
+        for blk in &self.dec_blocks {
+            h = blk.forward(g, h, b, self.cfg.tokens);
+        }
+        let h = self.dec_ln.forward(g, h);
+        let pooled = g.mean_pool_tokens(h, self.cfg.tokens);
+        (
+            self.head_pe.forward(g, pooled),
+            self.head_buf.forward(g, pooled),
+        )
+    }
+
+    // ---- inference ----------------------------------------------------------
+
+    /// Embeddings for a feature matrix `[n, F]`, chunked to bound graph
+    /// size.
+    pub fn embeddings(&self, features: &Tensor) -> Tensor {
+        let mut parts = Vec::new();
+        let n = features.rows();
+        let chunk = 512;
+        let mut i = 0;
+        while i < n {
+            let j = (i + chunk).min(n);
+            let mut g = Graph::new(&self.store);
+            let x = g.constant(features.slice_rows(i, j));
+            let z = self.forward_encoder(&mut g, x);
+            parts.push(g.value(z).clone());
+            i = j;
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat_rows(&refs)
+    }
+
+    /// Predicted (sigmoided) head outputs for an embedding matrix.
+    pub fn head_outputs(&self, embeddings: &Tensor) -> (Tensor, Tensor) {
+        let mut pe_parts = Vec::new();
+        let mut buf_parts = Vec::new();
+        let n = embeddings.rows();
+        let chunk = 512;
+        let mut i = 0;
+        while i < n {
+            let j = (i + chunk).min(n);
+            let mut g = Graph::new(&self.store);
+            let z = g.constant(embeddings.slice_rows(i, j));
+            let (pe, buf) = self.forward_decoder(&mut g, z);
+            let pe = g.sigmoid(pe);
+            let buf = g.sigmoid(buf);
+            pe_parts.push(g.value(pe).clone());
+            buf_parts.push(g.value(buf).clone());
+            i = j;
+        }
+        (
+            Tensor::concat_rows(&pe_parts.iter().collect::<Vec<_>>()),
+            Tensor::concat_rows(&buf_parts.iter().collect::<Vec<_>>()),
+        )
+    }
+
+    /// One-shot prediction for a batch of DSE inputs.
+    pub fn predict(&self, inputs: &[DseInput]) -> Vec<DesignPoint> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let f = self.features.encode_inputs(inputs);
+        let z = self.embeddings(&f);
+        self.decode_embedding_batch(&z)
+    }
+
+    /// Decodes a batch of embedding rows into design points — the hook
+    /// used by the latent-space BO of Fig. 8a.
+    pub fn decode_embedding_batch(&self, embeddings: &Tensor) -> Vec<DesignPoint> {
+        let (pe_out, buf_out) = self.head_outputs(embeddings);
+        (0..embeddings.rows())
+            .map(|i| DesignPoint {
+                pe_idx: self.pe_codec.decode(pe_out.row(i)),
+                buf_idx: self.buf_codec.decode(buf_out.row(i)),
+            })
+            .collect()
+    }
+
+    /// Decodes a single embedding vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != d_emb`.
+    pub fn decode_embedding(&self, z: &[f32]) -> DesignPoint {
+        assert_eq!(z.len(), self.cfg.d_emb, "decode_embedding: wrong width");
+        let t = Tensor::from_vec(z.to_vec(), &[1, z.len()]).expect("sized");
+        self.decode_embedding_batch(&t)[0]
+    }
+
+    /// Predicted (de-standardised) latency score for raw inputs — the
+    /// stage-1 performance predictor.
+    pub fn predict_perf(&self, inputs: &[DseInput]) -> Vec<f64> {
+        let f = self.features.encode_inputs(inputs);
+        let z = self.embeddings(&f);
+        let mut g = Graph::new(&self.store);
+        let zv = g.constant(z);
+        let p = self.forward_perf(&mut g, zv);
+        g.value(p)
+            .as_slice()
+            .iter()
+            .map(|&v| self.features.decode_perf(v))
+            .collect()
+    }
+
+    /// Trains both stages with `cfg` and returns the loss history.
+    pub fn fit(&mut self, train: &DseDataset, cfg: &TrainConfig) -> TrainReport {
+        let prep = self.prepare(train);
+        let stage1 = Stage1Trainer::new(cfg.clone()).run(self, &prep);
+        let stage2 = Stage2Trainer::new(cfg.clone()).run(self, &prep);
+        TrainReport { stage1, stage2 }
+    }
+
+    /// The evaluation interface over this trained model.
+    pub fn predictor(&self) -> Predictor<'_> {
+        Predictor::new(self)
+    }
+
+    /// Head kind shortcut (for reporting).
+    pub fn head_kind(&self) -> HeadKind {
+        self.cfg.head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_dse::GenerateConfig;
+
+    fn tiny_setup() -> (DseTask, DseDataset, Airchitect2) {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(
+            &task,
+            &GenerateConfig {
+                num_samples: 60,
+                seed: 5,
+                threads: 2,
+                ..GenerateConfig::default()
+            },
+        );
+        let model = Airchitect2::new(&ModelConfig::tiny(), &task, &ds);
+        (task, ds, model)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (_, ds, model) = tiny_setup();
+        let prep = model.prepare(&ds);
+        let z = model.embeddings(&prep.features);
+        assert_eq!(z.shape(), &[60, model.config().d_emb]);
+        let (pe, buf) = model.head_outputs(&z);
+        assert_eq!(pe.shape(), &[60, model.pe_codec().width()]);
+        assert_eq!(buf.shape(), &[60, model.buf_codec().width()]);
+        assert!(pe.all_finite() && buf.all_finite());
+        // sigmoid outputs in (0,1)
+        assert!(pe.max() < 1.0 && pe.min() > 0.0);
+    }
+
+    #[test]
+    fn predictions_are_valid_points() {
+        let (task, ds, model) = tiny_setup();
+        let inputs: Vec<DseInput> = ds.samples.iter().map(|s| s.input()).collect();
+        for p in model.predict(&inputs) {
+            assert!(p.pe_idx < task.space().num_pe_choices());
+            assert!(p.buf_idx < task.space().num_buf_choices());
+        }
+    }
+
+    #[test]
+    fn encoder_decoder_param_split_is_complete() {
+        let (_, _, model) = tiny_setup();
+        let e = model.encoder_params();
+        let d = model.decoder_params();
+        assert!(!e.is_empty() && !d.is_empty());
+        assert_eq!(e.len() + d.len(), model.store().len());
+        // no overlap
+        for id in &e {
+            assert!(!d.contains(id));
+        }
+        // heads belong to the decoder
+        let names: Vec<&str> = d.iter().map(|&id| model.store().name(id)).collect();
+        assert!(names.iter().any(|n| n.contains("head_pe")));
+        assert!(names.iter().all(|n| n.starts_with("dec.")));
+    }
+
+    #[test]
+    fn embeddings_are_deterministic() {
+        let (_, ds, model) = tiny_setup();
+        let prep = model.prepare(&ds);
+        assert_eq!(model.embeddings(&prep.features), model.embeddings(&prep.features));
+    }
+
+    #[test]
+    fn decode_single_embedding_matches_batch() {
+        let (_, ds, model) = tiny_setup();
+        let prep = model.prepare(&ds);
+        let z = model.embeddings(&prep.features);
+        let batch = model.decode_embedding_batch(&z);
+        let single = model.decode_embedding(z.row(4));
+        assert_eq!(single, batch[4]);
+    }
+
+    #[test]
+    fn model_size_counts_scalars() {
+        let (_, _, model) = tiny_setup();
+        assert_eq!(model.model_size(), model.store().num_scalars());
+        assert!(model.model_size() > 1000);
+    }
+}

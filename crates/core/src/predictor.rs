@@ -1,0 +1,231 @@
+//! Evaluation of one-shot predictions: exact-match accuracy (the paper's
+//! Tables II/III metric) and latency quality (how close the predicted
+//! configuration's latency is to the oracle optimum).
+
+use ai2_dse::{DesignPoint, DseDataset, DseTask};
+use ai2_uov::UovCodec;
+use ai2_workloads::generator::DseInput;
+
+use crate::model::{Airchitect2, CONTRASTIVE_BUCKETS};
+
+/// Evaluation interface over a trained [`Airchitect2`] (or any method
+/// exposing per-input design-point predictions via [`PredictFn`]).
+#[derive(Clone, Copy)]
+pub struct Predictor<'m> {
+    model: &'m Airchitect2,
+}
+
+/// Any one-shot DSE method: inputs → recommended design points. Allows
+/// the baselines to reuse the same metrics.
+pub trait PredictFn {
+    /// Recommends one design point per input.
+    fn predict_points(&self, inputs: &[DseInput]) -> Vec<DesignPoint>;
+}
+
+impl PredictFn for Predictor<'_> {
+    fn predict_points(&self, inputs: &[DseInput]) -> Vec<DesignPoint> {
+        self.model.predict(inputs)
+    }
+}
+
+impl<'m> Predictor<'m> {
+    /// Wraps a trained model.
+    pub fn new(model: &'m Airchitect2) -> Self {
+        Predictor { model }
+    }
+
+    /// Bucket-level accuracy in percent — the headline metric of the
+    /// reproduction (Tables II/III): a prediction is correct when both
+    /// output heads land in the same K = 16 UOV bucket as the oracle
+    /// optimum. This matches the paper's bucketized output space; the
+    /// stricter index-exact metric is [`Predictor::exact_accuracy`].
+    pub fn accuracy(&self, ds: &DseDataset) -> f64 {
+        bucket_accuracy_of(self, self.model.task(), ds)
+    }
+
+    /// Index-exact accuracy in percent: both predicted indices equal the
+    /// oracle optimum exactly.
+    pub fn exact_accuracy(&self, ds: &DseDataset) -> f64 {
+        accuracy_of(self, ds)
+    }
+
+    /// Per-axis accuracies `(pe %, buffer %)`.
+    pub fn per_axis_accuracy(&self, ds: &DseDataset) -> (f64, f64) {
+        per_axis_accuracy_of(self, ds)
+    }
+
+    /// Geometric-mean latency ratio `predicted / oracle` (≥ 1, lower is
+    /// better). 1.00 means every prediction is latency-optimal even when
+    /// not index-identical.
+    pub fn latency_ratio(&self, ds: &DseDataset) -> f64 {
+        latency_ratio_of(self, self.model.task(), ds)
+    }
+}
+
+/// Bucket-level accuracy (%) of any prediction method: both axes must
+/// fall into the oracle's K = 16 UOV bucket. All methods in Table III are
+/// scored through this same bucketizer, so classification and UOV heads
+/// compare fairly.
+pub fn bucket_accuracy_of(method: &dyn PredictFn, task: &DseTask, ds: &DseDataset) -> f64 {
+    if ds.is_empty() {
+        return 0.0;
+    }
+    let space = task.space();
+    let pe_b = UovCodec::new(CONTRASTIVE_BUCKETS, space.num_pe_choices());
+    let buf_b = UovCodec::new(CONTRASTIVE_BUCKETS, space.num_buf_choices());
+    let inputs: Vec<DseInput> = ds.samples.iter().map(|s| s.input()).collect();
+    let preds = method.predict_points(&inputs);
+    let hits = preds
+        .iter()
+        .zip(&ds.samples)
+        .filter(|(p, s)| {
+            pe_b.bucket_of(p.pe_idx) == pe_b.bucket_of(s.optimal.pe_idx)
+                && buf_b.bucket_of(p.buf_idx) == buf_b.bucket_of(s.optimal.buf_idx)
+        })
+        .count();
+    100.0 * hits as f64 / ds.len() as f64
+}
+
+/// Index-exact accuracy (%) of any prediction method.
+pub fn accuracy_of(method: &dyn PredictFn, ds: &DseDataset) -> f64 {
+    if ds.is_empty() {
+        return 0.0;
+    }
+    let inputs: Vec<DseInput> = ds.samples.iter().map(|s| s.input()).collect();
+    let preds = method.predict_points(&inputs);
+    let hits = preds
+        .iter()
+        .zip(&ds.samples)
+        .filter(|(p, s)| **p == s.optimal)
+        .count();
+    100.0 * hits as f64 / ds.len() as f64
+}
+
+/// Per-axis accuracies (%) of any prediction method.
+pub fn per_axis_accuracy_of(method: &dyn PredictFn, ds: &DseDataset) -> (f64, f64) {
+    if ds.is_empty() {
+        return (0.0, 0.0);
+    }
+    let inputs: Vec<DseInput> = ds.samples.iter().map(|s| s.input()).collect();
+    let preds = method.predict_points(&inputs);
+    let pe = preds
+        .iter()
+        .zip(&ds.samples)
+        .filter(|(p, s)| p.pe_idx == s.optimal.pe_idx)
+        .count();
+    let buf = preds
+        .iter()
+        .zip(&ds.samples)
+        .filter(|(p, s)| p.buf_idx == s.optimal.buf_idx)
+        .count();
+    (
+        100.0 * pe as f64 / ds.len() as f64,
+        100.0 * buf as f64 / ds.len() as f64,
+    )
+}
+
+/// Geometric-mean `predicted-score / oracle-score` of any method
+/// (infeasible predictions are scored without the budget, matching how a
+/// deployed over-budget config would simply be rejected and rated badly).
+pub fn latency_ratio_of(method: &dyn PredictFn, task: &DseTask, ds: &DseDataset) -> f64 {
+    if ds.is_empty() {
+        return 1.0;
+    }
+    let inputs: Vec<DseInput> = ds.samples.iter().map(|s| s.input()).collect();
+    let preds = method.predict_points(&inputs);
+    let mut log_sum = 0.0f64;
+    for (p, s) in preds.iter().zip(&ds.samples) {
+        let score = task
+            .score(&s.input(), *p)
+            .unwrap_or_else(|| task.score_unchecked(&s.input(), *p) * 10.0);
+        log_sum += (score / s.best_score).max(1.0).ln();
+    }
+    (log_sum / ds.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::train::TrainConfig;
+    use ai2_dse::{DseTask, GenerateConfig};
+
+    struct OraclePredictor<'a>(&'a DseTask);
+
+    impl PredictFn for OraclePredictor<'_> {
+        fn predict_points(&self, inputs: &[DseInput]) -> Vec<DesignPoint> {
+            inputs.iter().map(|i| self.0.oracle(i).best_point).collect()
+        }
+    }
+
+    struct ConstantPredictor(DesignPoint);
+
+    impl PredictFn for ConstantPredictor {
+        fn predict_points(&self, inputs: &[DseInput]) -> Vec<DesignPoint> {
+            vec![self.0; inputs.len()]
+        }
+    }
+
+    fn setup() -> (DseTask, DseDataset) {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(
+            &task,
+            &GenerateConfig {
+                num_samples: 50,
+                seed: 13,
+                threads: 2,
+                ..GenerateConfig::default()
+            },
+        );
+        (task, ds)
+    }
+
+    #[test]
+    fn oracle_predictor_scores_perfectly() {
+        let (task, ds) = setup();
+        let p = OraclePredictor(&task);
+        assert_eq!(accuracy_of(&p, &ds), 100.0);
+        let (a, b) = per_axis_accuracy_of(&p, &ds);
+        assert_eq!((a, b), (100.0, 100.0));
+    }
+
+    #[test]
+    fn constant_predictor_scores_poorly() {
+        let (_, ds) = setup();
+        let p = ConstantPredictor(DesignPoint { pe_idx: 0, buf_idx: 0 });
+        assert!(accuracy_of(&p, &ds) < 50.0);
+    }
+
+    #[test]
+    fn latency_ratio_is_one_for_oracle_points() {
+        let (task, ds) = setup();
+        let ratio = latency_ratio_of(&OraclePredictor(&task), &task, &ds);
+        assert!((ratio - 1.0).abs() < 1e-9, "oracle ratio {ratio}");
+        assert_eq!(bucket_accuracy_of(&OraclePredictor(&task), &task, &ds), 100.0);
+    }
+
+    #[test]
+    fn trained_model_beats_constant_on_latency_ratio() {
+        let (task, ds) = setup();
+        let mut bigger = GenerateConfig {
+            num_samples: 300,
+            seed: 14,
+            threads: 2,
+            ..GenerateConfig::default()
+        };
+        bigger.num_samples = 300;
+        let ds_big = DseDataset::generate(&task, &bigger);
+        let mut model = Airchitect2::new(&ModelConfig::tiny(), &task, &ds_big);
+        model.fit(&ds_big, &TrainConfig::quick());
+        let ratio = model.predictor().latency_ratio(&ds);
+        let const_ratio = latency_ratio_of(
+            &ConstantPredictor(DesignPoint { pe_idx: 0, buf_idx: 0 }),
+            &task,
+            &ds,
+        );
+        assert!(
+            ratio < const_ratio,
+            "trained ratio {ratio} not better than constant {const_ratio}"
+        );
+    }
+}

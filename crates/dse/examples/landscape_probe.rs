@@ -1,0 +1,42 @@
+//! Diagnostic: how isolated is the oracle optimum for the search tests?
+use ai2_dse::DseTask;
+use ai2_maestro::{Dataflow, GemmWorkload};
+use ai2_workloads::generator::DseInput;
+
+fn main() {
+    let task = DseTask::table_i_default();
+    let input = DseInput {
+        gemm: GemmWorkload::new(48, 400, 300),
+        dataflow: Dataflow::OutputStationary,
+    };
+    let oracle = task.oracle(&input);
+    println!(
+        "oracle: {:?} score {} feasible {}",
+        oracle.best_point, oracle.best_score, oracle.feasible_points
+    );
+    let grid = task.score_grid(&input);
+    let mut near = 0;
+    let mut near5 = 0;
+    for s in grid.iter().filter(|s| !s.is_nan()) {
+        if *s <= oracle.best_score * 1.10 {
+            near += 1;
+        }
+        if *s <= oracle.best_score * 1.05 {
+            near5 += 1;
+        }
+    }
+    println!("points within 10%: {near}, within 5%: {near5}");
+    // top-10 points
+    let mut idx: Vec<usize> = (0..grid.len()).filter(|&i| !grid[i].is_nan()).collect();
+    idx.sort_by(|&a, &b| grid[a].partial_cmp(&grid[b]).unwrap());
+    for &i in idx.iter().take(10) {
+        let p = task.space().from_flat(i);
+        println!(
+            "  {:?} -> {} ({} PEs, {} KiB)",
+            p,
+            grid[i],
+            task.space().pe_options()[p.pe_idx],
+            task.space().buf_options()[p.buf_idx] / 1024
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! DSE dataset generation, splitting and persistence.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ai2_maestro::{Dataflow, GemmWorkload};
+use ai2_workloads::generator::{DseInput, SamplingStrategy, WorkloadSampler};
+use ai2_tensor::rng;
+use serde::{Deserialize, Serialize};
+
+use crate::objective::DseTask;
+use crate::space::DesignPoint;
+
+/// One labeled sample: DSE input features plus the oracle-optimal design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DseSample {
+    /// Workload `M` dimension.
+    pub m: u64,
+    /// Workload `N` dimension.
+    pub n: u64,
+    /// Workload `K` dimension.
+    pub k: u64,
+    /// Dataflow index (0 = WS, 1 = OS, 2 = RS).
+    pub dataflow: usize,
+    /// Optimal design point.
+    pub optimal: DesignPoint,
+    /// Objective score at the optimum (latency in cycles by default).
+    pub best_score: f64,
+}
+
+impl DseSample {
+    /// Reconstructs the [`DseInput`] of this sample.
+    pub fn input(&self) -> DseInput {
+        DseInput {
+            gemm: GemmWorkload::new(self.m, self.n, self.k),
+            dataflow: Dataflow::from_index(self.dataflow),
+        }
+    }
+
+    /// Raw input features `[M, N, K, dataflow]`.
+    pub fn features(&self) -> [f32; 4] {
+        [
+            self.m as f32,
+            self.n as f32,
+            self.k as f32,
+            self.dataflow as f32,
+        ]
+    }
+}
+
+/// Parameters of a generation run.
+#[derive(Debug, Clone)]
+pub struct GenerateConfig {
+    /// Number of samples.
+    pub num_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Sampling strategy over the Table I input space.
+    pub strategy: SamplingStrategy,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        GenerateConfig {
+            num_samples: 20_000,
+            seed: 0xA12C,
+            threads: 0,
+            strategy: SamplingStrategy::default(),
+        }
+    }
+}
+
+/// A labeled DSE dataset (the paper's 100 K-sample corpus, scaled by
+/// configuration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseDataset {
+    /// Samples in generation order.
+    pub samples: Vec<DseSample>,
+}
+
+/// Error loading or saving a dataset.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "dataset io error: {e}"),
+            DatasetError::Parse(e) => write!(f, "dataset parse error: {e}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DatasetError {
+    fn from(e: serde_json::Error) -> Self {
+        DatasetError::Parse(e)
+    }
+}
+
+impl DseDataset {
+    /// Generates a dataset by sampling inputs and labeling each with the
+    /// exhaustive oracle, fanned out over `threads` workers with
+    /// crossbeam scoped threads.
+    ///
+    /// Inputs are drawn up front from a single seeded stream, so the
+    /// result is deterministic regardless of thread count.
+    pub fn generate(task: &DseTask, config: &GenerateConfig) -> DseDataset {
+        let sampler = WorkloadSampler::with_strategy(config.strategy);
+        let mut r = rng::seeded(config.seed);
+        let inputs = sampler.sample_n(&mut r, config.num_samples);
+
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        }
+        .max(1);
+
+        // Workers claim indices from a shared counter and write results
+        // into disjoint slots of a pre-sized buffer, so the output order
+        // (and therefore the dataset) is independent of the thread count.
+        let next = AtomicUsize::new(0);
+        let label = |input: &DseInput| -> DseSample {
+            let res = task.oracle(input);
+            DseSample {
+                m: input.gemm.m,
+                n: input.gemm.n,
+                k: input.gemm.k,
+                dataflow: input.dataflow.index(),
+                optimal: res.best_point,
+                best_score: res.best_score,
+            }
+        };
+        let mut samples: Vec<Option<DseSample>> = vec![None; inputs.len()];
+        {
+            let slots: Vec<parking_lot::Mutex<&mut Option<DseSample>>> =
+                samples.iter_mut().map(parking_lot::Mutex::new).collect();
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        let sample = label(&inputs[i]);
+                        **slots[i].lock() = Some(sample);
+                    });
+                }
+            })
+            .expect("dataset generation threads panicked");
+        }
+
+        DseDataset {
+            samples: samples
+                .into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits into `(train, test)` with `train_frac` of the samples in
+    /// the training set, after a seeded shuffle (the paper's 80/20).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac < 1`.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (DseDataset, DseDataset) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "split: train_frac {train_frac} out of (0, 1)"
+        );
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        let mut r = rng::seeded(seed);
+        idx.shuffle(&mut r);
+        let cut = ((self.samples.len() as f64) * train_frac).round() as usize;
+        let take = |ids: &[usize]| DseDataset {
+            samples: ids.iter().map(|&i| self.samples[i]).collect(),
+        };
+        (take(&idx[..cut]), take(&idx[cut..]))
+    }
+
+    /// Saves as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DatasetError> {
+        fs::write(path, serde_json::to_string(self)?)?;
+        Ok(())
+    }
+
+    /// Loads from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or parsed.
+    pub fn load(path: impl AsRef<Path>) -> Result<DseDataset, DatasetError> {
+        Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(n: usize) -> GenerateConfig {
+        GenerateConfig {
+            num_samples: n,
+            seed: 7,
+            threads: 2,
+            ..GenerateConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_thread_counts() {
+        let task = DseTask::table_i_default();
+        let mut c1 = tiny_config(24);
+        c1.threads = 1;
+        let mut c2 = tiny_config(24);
+        c2.threads = 2;
+        let a = DseDataset::generate(&task, &c1);
+        let b = DseDataset::generate(&task, &c2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_match_oracle() {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(&task, &tiny_config(8));
+        for s in &ds.samples {
+            let oracle = task.oracle(&s.input());
+            assert_eq!(s.optimal, oracle.best_point);
+            assert_eq!(s.best_score, oracle.best_score);
+        }
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(&task, &tiny_config(30));
+        let (train, test) = ds.split(0.8, 1);
+        assert_eq!(train.len() + test.len(), 30);
+        assert_eq!(train.len(), 24);
+        // deterministic
+        let (train2, _) = ds.split(0.8, 1);
+        assert_eq!(train, train2);
+        // different seed → different split
+        let (train3, _) = ds.split(0.8, 2);
+        assert_ne!(train, train3);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(&task, &tiny_config(6));
+        let dir = std::env::temp_dir().join("ai2_dse_ds_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        ds.save(&path).unwrap();
+        let back = DseDataset::load(&path).unwrap();
+        assert_eq!(ds, back);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sample_feature_roundtrip() {
+        let s = DseSample {
+            m: 10,
+            n: 20,
+            k: 30,
+            dataflow: 2,
+            optimal: DesignPoint { pe_idx: 1, buf_idx: 2 },
+            best_score: 123.0,
+        };
+        assert_eq!(s.features(), [10.0, 20.0, 30.0, 2.0]);
+        assert_eq!(s.input().dataflow.index(), 2);
+    }
+}

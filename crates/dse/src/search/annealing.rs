@@ -1,0 +1,125 @@
+//! Simulated annealing over the design grid.
+
+use ai2_tensor::rng;
+use ai2_workloads::generator::DseInput;
+use rand::Rng;
+
+use crate::objective::DseTask;
+use crate::search::{SearchContext, SearchResult, Searcher};
+use crate::space::DesignPoint;
+
+/// Simulated annealing: random-walk proposals over neighbouring grid
+/// points with a geometric temperature schedule.
+#[derive(Debug, Clone)]
+pub struct AnnealingSearcher {
+    seed: u64,
+    /// Initial temperature as a fraction of the first score.
+    t0_frac: f64,
+    /// Per-step temperature decay.
+    decay: f64,
+}
+
+impl AnnealingSearcher {
+    /// Annealer with the default schedule (`T₀ = 0.3·score₀`, decay 0.97).
+    pub fn new(seed: u64) -> Self {
+        AnnealingSearcher {
+            seed,
+            t0_frac: 0.3,
+            decay: 0.97,
+        }
+    }
+
+    /// Overrides the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < decay < 1` and `t0_frac > 0`.
+    pub fn with_schedule(mut self, t0_frac: f64, decay: f64) -> Self {
+        assert!(t0_frac > 0.0, "AnnealingSearcher: t0_frac must be positive");
+        assert!((0.0..1.0).contains(&decay), "AnnealingSearcher: decay in (0,1)");
+        self.t0_frac = t0_frac;
+        self.decay = decay;
+        self
+    }
+}
+
+impl Searcher for AnnealingSearcher {
+    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
+        let mut r = rng::seeded(self.seed);
+        let mut ctx = SearchContext::new(task, input);
+        let space = task.space();
+        if budget_evals == 0 {
+            return SearchResult::from_context(ctx);
+        }
+        let mut current = DesignPoint {
+            pe_idx: r.random_range(0..space.num_pe_choices()),
+            buf_idx: r.random_range(0..space.num_buf_choices()),
+        };
+        let mut current_score = ctx.evaluate(current);
+        let mut temp = current_score * self.t0_frac;
+        for _ in 1..budget_evals {
+            // neighbour proposal: jump ±1..4 in PE, ±1 in buffer
+            let dp = r.random_range(-4i64..=4) as isize;
+            let db = r.random_range(-1i64..=1) as isize;
+            let cand = space.clamp(current.pe_idx as isize + dp, current.buf_idx as isize + db);
+            let cand_score = ctx.evaluate(cand);
+            let accept = cand_score <= current_score || {
+                let p = ((current_score - cand_score) / temp.max(1e-9)).exp();
+                r.random_range(0.0..1.0) < p
+            };
+            if accept {
+                current = cand;
+                current_score = cand_score;
+            }
+            temp *= self.decay;
+        }
+        SearchResult::from_context(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::tests::{assert_searcher_close_to_oracle, test_input};
+    use crate::search::RandomSearcher;
+
+    #[test]
+    fn annealing_close_to_oracle() {
+        assert_searcher_close_to_oracle(&mut AnnealingSearcher::new(5), 250, 1.30);
+    }
+
+    #[test]
+    fn annealing_beats_random_at_equal_budget() {
+        let task = DseTask::table_i_default();
+        let input = test_input();
+        let budget = 60;
+        // average over seeds to keep the comparison robust
+        let avg = |res: Vec<f64>| res.iter().sum::<f64>() / res.len() as f64;
+        let ann = avg((0..5)
+            .map(|s| {
+                AnnealingSearcher::new(s)
+                    .search(&task, input, budget)
+                    .best_score
+            })
+            .collect());
+        let rnd = avg((0..5)
+            .map(|s| RandomSearcher::new(s).search(&task, input, budget).best_score)
+            .collect());
+        assert!(
+            ann <= rnd * 1.25,
+            "annealing ({ann}) should not lose clearly to random ({rnd})"
+        );
+    }
+
+    #[test]
+    fn zero_budget_falls_back_to_smallest_config() {
+        let task = DseTask::table_i_default();
+        let res = AnnealingSearcher::new(1).search(&task, test_input(), 0);
+        assert_eq!(res.num_evals, 0);
+        assert!(task.is_feasible(res.best_point));
+    }
+}

@@ -1,0 +1,188 @@
+//! ConfuciuX-style searcher: REINFORCE for coarse-grained resource
+//! assignment, then a genetic fine-tuning stage (Kao et al., MICRO 2020).
+//!
+//! This is the method the paper used to label its dataset; here the exact
+//! oracle labels the dataset instead, and this searcher exists for the
+//! search-vs-learning comparisons. Its structure follows the original:
+//! an RL agent proposes coarse resource bins, and a local GA refines the
+//! best bin found.
+
+use ai2_tensor::rng;
+use ai2_workloads::generator::DseInput;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::objective::DseTask;
+use crate::search::{SearchContext, SearchResult, Searcher};
+use crate::space::DesignPoint;
+
+/// REINFORCE + GA fine-tune.
+#[derive(Debug, Clone)]
+pub struct ConfuciuxSearcher {
+    seed: u64,
+    pe_bins: usize,
+    buf_bins: usize,
+    lr: f64,
+    /// Fraction of the budget spent in the RL stage (the rest fine-tunes).
+    rl_fraction: f64,
+}
+
+impl ConfuciuxSearcher {
+    /// Defaults: 8 × 6 coarse bins, lr 0.2, 60 % RL / 40 % GA.
+    pub fn new(seed: u64) -> Self {
+        ConfuciuxSearcher {
+            seed,
+            pe_bins: 8,
+            buf_bins: 6,
+            lr: 0.2,
+            rl_fraction: 0.6,
+        }
+    }
+
+    fn softmax(logits: &[f64]) -> Vec<f64> {
+        let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let e: Vec<f64> = logits.iter().map(|l| (l - m).exp()).collect();
+        let z: f64 = e.iter().sum();
+        e.into_iter().map(|x| x / z).collect()
+    }
+
+    fn sample_cat(r: &mut StdRng, probs: &[f64]) -> usize {
+        let u: f64 = r.random_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+}
+
+impl Searcher for ConfuciuxSearcher {
+    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
+        let mut r = rng::seeded(self.seed);
+        let mut ctx = SearchContext::new(task, input);
+        let space = task.space();
+        let npe = space.num_pe_choices();
+        let nbuf = space.num_buf_choices();
+        let pe_bin_w = npe.div_ceil(self.pe_bins);
+        let buf_bin_w = nbuf.div_ceil(self.buf_bins);
+
+        // --- stage 1: REINFORCE over coarse bins
+        let mut theta_pe = vec![0.0f64; self.pe_bins];
+        let mut theta_buf = vec![0.0f64; self.buf_bins];
+        let rl_budget = ((budget_evals as f64) * self.rl_fraction) as usize;
+        let mut baseline = 0.0f64;
+        let mut episodes = 0usize;
+        let mut best_bins = (0usize, 0usize);
+        let mut best_bin_score = f64::INFINITY;
+        while ctx.num_evals() < rl_budget {
+            let ppe = Self::softmax(&theta_pe);
+            let pbuf = Self::softmax(&theta_buf);
+            let a_pe = Self::sample_cat(&mut r, &ppe);
+            let a_buf = Self::sample_cat(&mut r, &pbuf);
+            // evaluate a random point inside the chosen bins
+            let pe_idx = (a_pe * pe_bin_w + r.random_range(0..pe_bin_w)).min(npe - 1);
+            let buf_idx = (a_buf * buf_bin_w + r.random_range(0..buf_bin_w)).min(nbuf - 1);
+            let score = ctx.evaluate(DesignPoint { pe_idx, buf_idx });
+            if score < best_bin_score {
+                best_bin_score = score;
+                best_bins = (a_pe, a_buf);
+            }
+            // reward: negative log-score (scale-free across workloads)
+            let reward = -score.max(1.0).ln();
+            episodes += 1;
+            baseline += (reward - baseline) / episodes as f64;
+            let adv = reward - baseline;
+            for (i, t) in theta_pe.iter_mut().enumerate() {
+                let grad = if i == a_pe { 1.0 - ppe[i] } else { -ppe[i] };
+                *t += self.lr * adv * grad;
+            }
+            for (i, t) in theta_buf.iter_mut().enumerate() {
+                let grad = if i == a_buf { 1.0 - pbuf[i] } else { -pbuf[i] };
+                *t += self.lr * adv * grad;
+            }
+        }
+
+        // --- stage 2: GA fine-tune inside (and around) the best bin
+        let (bin_pe, bin_buf) = best_bins;
+        let center = DesignPoint {
+            pe_idx: (bin_pe * pe_bin_w + pe_bin_w / 2).min(npe - 1),
+            buf_idx: (bin_buf * buf_bin_w + buf_bin_w / 2).min(nbuf - 1),
+        };
+        let mut pop: Vec<(DesignPoint, f64)> = Vec::new();
+        let pop_size = 8usize;
+        for _ in 0..pop_size {
+            if ctx.num_evals() >= budget_evals {
+                break;
+            }
+            let p = space.clamp(
+                center.pe_idx as isize + r.random_range(-(pe_bin_w as i64)..=pe_bin_w as i64) as isize,
+                center.buf_idx as isize + r.random_range(-(buf_bin_w as i64)..=buf_bin_w as i64) as isize,
+            );
+            let s = ctx.evaluate(p);
+            pop.push((p, s));
+        }
+        while ctx.num_evals() < budget_evals && !pop.is_empty() {
+            pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+            pop.truncate(pop_size / 2);
+            let parents = pop.clone();
+            for (p, _) in parents {
+                if ctx.num_evals() >= budget_evals {
+                    break;
+                }
+                let child = space.clamp(
+                    p.pe_idx as isize + r.random_range(-3i64..=3) as isize,
+                    p.buf_idx as isize + r.random_range(-1i64..=1) as isize,
+                );
+                let s = ctx.evaluate(child);
+                pop.push((child, s));
+            }
+        }
+        SearchResult::from_context(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        "confuciux"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::tests::{assert_searcher_close_to_oracle, test_input};
+    use crate::search::RandomSearcher;
+
+    #[test]
+    fn confuciux_close_to_oracle() {
+        assert_searcher_close_to_oracle(&mut ConfuciuxSearcher::new(11), 250, 1.30);
+    }
+
+    #[test]
+    fn confuciux_competitive_with_random() {
+        let task = DseTask::table_i_default();
+        let input = test_input();
+        let budget = 100;
+        let avg = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        let cx = avg((0..5)
+            .map(|s| {
+                ConfuciuxSearcher::new(s)
+                    .search(&task, input, budget)
+                    .best_score
+            })
+            .collect());
+        let rnd = avg((0..5)
+            .map(|s| RandomSearcher::new(s).search(&task, input, budget).best_score)
+            .collect());
+        assert!(cx <= rnd * 1.25, "ConfuciuX ({cx}) far worse than random ({rnd})");
+    }
+
+    #[test]
+    fn confuciux_is_deterministic_per_seed() {
+        let task = DseTask::table_i_default();
+        let a = ConfuciuxSearcher::new(3).search(&task, test_input(), 60);
+        let b = ConfuciuxSearcher::new(3).search(&task, test_input(), 60);
+        assert_eq!(a.best_point, b.best_point);
+    }
+}

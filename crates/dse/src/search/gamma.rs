@@ -1,0 +1,153 @@
+//! GAMMA-style genetic algorithm (Kao & Krishna, ICCAD 2020).
+
+use ai2_tensor::rng;
+use ai2_workloads::generator::DseInput;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::objective::DseTask;
+use crate::search::{SearchContext, SearchResult, Searcher};
+use crate::space::DesignPoint;
+
+/// Genetic algorithm over `(pe_idx, buf_idx)` genomes: tournament
+/// selection, uniform crossover, ±step mutation, elitism.
+#[derive(Debug, Clone)]
+pub struct GammaSearcher {
+    seed: u64,
+    population: usize,
+    mutation_rate: f64,
+    elite: usize,
+}
+
+impl GammaSearcher {
+    /// GA with the defaults used in the experiments (population 20,
+    /// mutation 0.25, elite 2).
+    pub fn new(seed: u64) -> Self {
+        GammaSearcher {
+            seed,
+            population: 20,
+            mutation_rate: 0.25,
+            elite: 2,
+        }
+    }
+
+    /// Overrides the population size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population < 2`.
+    pub fn with_population(mut self, population: usize) -> Self {
+        assert!(population >= 2, "GammaSearcher: population must be ≥ 2");
+        self.population = population;
+        self
+    }
+
+    fn mutate(&self, r: &mut StdRng, task: &DseTask, p: DesignPoint) -> DesignPoint {
+        let mut pe = p.pe_idx as isize;
+        let mut buf = p.buf_idx as isize;
+        if r.random_range(0.0..1.0) < self.mutation_rate {
+            pe += r.random_range(-6i64..=6) as isize;
+        }
+        if r.random_range(0.0..1.0) < self.mutation_rate {
+            buf += r.random_range(-2i64..=2) as isize;
+        }
+        task.space().clamp(pe, buf)
+    }
+}
+
+impl Searcher for GammaSearcher {
+    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
+        let mut r = rng::seeded(self.seed);
+        let mut ctx = SearchContext::new(task, input);
+        let space = task.space();
+        let pop_size = self.population.min(budget_evals.max(2));
+
+        // initial population
+        let mut pop: Vec<(DesignPoint, f64)> = (0..pop_size)
+            .map(|_| {
+                let p = DesignPoint {
+                    pe_idx: r.random_range(0..space.num_pe_choices()),
+                    buf_idx: r.random_range(0..space.num_buf_choices()),
+                };
+                let s = ctx.evaluate(p);
+                (p, s)
+            })
+            .collect();
+
+        while ctx.num_evals() < budget_evals {
+            // rank ascending by score
+            pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+            let mut next: Vec<(DesignPoint, f64)> = pop[..self.elite.min(pop.len())].to_vec();
+            while next.len() < pop_size && ctx.num_evals() < budget_evals {
+                // tournament selection of two parents
+                let pick = |r: &mut StdRng| {
+                    let a = r.random_range(0..pop.len());
+                    let b = r.random_range(0..pop.len());
+                    if pop[a].1 <= pop[b].1 {
+                        pop[a].0
+                    } else {
+                        pop[b].0
+                    }
+                };
+                let pa = pick(&mut r);
+                let pb = pick(&mut r);
+                // uniform crossover of the two genes
+                let child = DesignPoint {
+                    pe_idx: if r.random_range(0.0..1.0) < 0.5 {
+                        pa.pe_idx
+                    } else {
+                        pb.pe_idx
+                    },
+                    buf_idx: if r.random_range(0.0..1.0) < 0.5 {
+                        pa.buf_idx
+                    } else {
+                        pb.buf_idx
+                    },
+                };
+                let child = self.mutate(&mut r, task, child);
+                let s = ctx.evaluate(child);
+                next.push((child, s));
+            }
+            pop = next;
+        }
+        SearchResult::from_context(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        "gamma-ga"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::tests::{assert_searcher_close_to_oracle, test_input};
+    use crate::search::RandomSearcher;
+
+    #[test]
+    fn ga_close_to_oracle() {
+        assert_searcher_close_to_oracle(&mut GammaSearcher::new(7), 250, 1.30);
+    }
+
+    #[test]
+    fn ga_beats_random_at_tight_budget() {
+        let task = DseTask::table_i_default();
+        let input = test_input();
+        let budget = 80;
+        let avg = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        let ga = avg((0..5)
+            .map(|s| GammaSearcher::new(s).search(&task, input, budget).best_score)
+            .collect());
+        let rnd = avg((0..5)
+            .map(|s| RandomSearcher::new(s).search(&task, input, budget).best_score)
+            .collect());
+        assert!(ga <= rnd * 1.25, "GA ({ga}) should match or beat random ({rnd})");
+    }
+
+    #[test]
+    fn ga_respects_budget() {
+        let task = DseTask::table_i_default();
+        let res = GammaSearcher::new(1).search(&task, test_input(), 37);
+        assert!(res.num_evals <= 37 + 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Search-based DSE baselines.
+//!
+//! These are the iterative techniques of the paper's Fig. 1 ("search-based
+//! DSE methods") and §V, reproduced so that the one-shot learned methods
+//! can be compared against them for both quality and query cost:
+//!
+//! * [`RandomSearcher`] — uniform sampling, the canonical lower bound.
+//! * [`AnnealingSearcher`] — simulated annealing over the grid.
+//! * [`GammaSearcher`] — a GAMMA-style genetic algorithm \[13\].
+//! * [`ConfuciuxSearcher`] — REINFORCE for coarse-grained search followed
+//!   by GA fine-tuning, after ConfuciuX \[12\].
+//! * [`bo`] — Bayesian optimization with a Gaussian-process surrogate and
+//!   expected improvement, usable over the hardware grid or any
+//!   continuous latent space (the paper's Fig. 8a and VAESA \[11\]).
+//!
+//! All searchers operate through [`SearchContext`], which counts oracle
+//! queries and records the best-so-far trace used by the convergence
+//! figures.
+
+mod annealing;
+pub mod bo;
+mod confuciux;
+mod gamma;
+mod random;
+
+pub use annealing::AnnealingSearcher;
+pub use confuciux::ConfuciuxSearcher;
+pub use gamma::GammaSearcher;
+pub use random::RandomSearcher;
+
+use ai2_workloads::generator::DseInput;
+
+use crate::objective::DseTask;
+use crate::space::DesignPoint;
+
+/// Evaluation bookkeeping shared by every searcher: scores design points,
+/// counts queries, tracks the best-so-far trajectory.
+#[derive(Debug)]
+pub struct SearchContext<'t> {
+    task: &'t DseTask,
+    input: DseInput,
+    evals: usize,
+    best: Option<(f64, DesignPoint)>,
+    trace: Vec<f64>,
+}
+
+impl<'t> SearchContext<'t> {
+    /// Starts a fresh context for one workload.
+    pub fn new(task: &'t DseTask, input: DseInput) -> Self {
+        SearchContext {
+            task,
+            input,
+            evals: 0,
+            best: None,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The task under search.
+    pub fn task(&self) -> &DseTask {
+        self.task
+    }
+
+    /// The workload under search.
+    pub fn input(&self) -> DseInput {
+        self.input
+    }
+
+    /// Scores a point (infeasible points get a large penalty), updating
+    /// the query count and the best-so-far trace.
+    pub fn evaluate(&mut self, p: DesignPoint) -> f64 {
+        self.evals += 1;
+        let score = match self.task.score(&self.input, p) {
+            Some(s) => s,
+            // soft penalty keeps population methods moving instead of
+            // stalling on the feasibility boundary
+            None => self.task.score_unchecked(&self.input, p) * 10.0,
+        };
+        let feasible = self.task.is_feasible(p);
+        if feasible {
+            match self.best {
+                Some((b, _)) if b <= score => {}
+                _ => self.best = Some((score, p)),
+            }
+        }
+        self.trace.push(self.best.map_or(f64::INFINITY, |(b, _)| b));
+        score
+    }
+
+    /// Number of oracle queries so far.
+    pub fn num_evals(&self) -> usize {
+        self.evals
+    }
+
+    /// Best feasible `(score, point)` found, if any.
+    pub fn best(&self) -> Option<(f64, DesignPoint)> {
+        self.best
+    }
+
+    /// Best-so-far score after each query (∞ before the first feasible
+    /// hit) — the convergence curves of Fig. 8a.
+    pub fn trace(&self) -> &[f64] {
+        &self.trace
+    }
+}
+
+/// Outcome of a search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Best feasible point found (the task guarantees one exists; a
+    /// searcher that never sampled a feasible point returns the smallest
+    /// configuration).
+    pub best_point: DesignPoint,
+    /// Score of `best_point`.
+    pub best_score: f64,
+    /// Oracle queries consumed.
+    pub num_evals: usize,
+    /// Best-so-far score after each query.
+    pub trace: Vec<f64>,
+}
+
+impl SearchResult {
+    fn from_context(ctx: SearchContext<'_>) -> SearchResult {
+        let (best_score, best_point) = ctx.best.unwrap_or_else(|| {
+            // pathological budget: fall back to the smallest config,
+            // which DseTask guarantees feasible
+            let p = DesignPoint {
+                pe_idx: 0,
+                buf_idx: 0,
+            };
+            (
+                ctx.task.score(&ctx.input, p).unwrap_or(f64::INFINITY),
+                p,
+            )
+        });
+        SearchResult {
+            best_point,
+            best_score,
+            num_evals: ctx.evals,
+            trace: ctx.trace,
+        }
+    }
+}
+
+/// A search-based DSE method: spends up to `budget_evals` cost-model
+/// queries to find a good design point for one workload.
+pub trait Searcher {
+    /// Runs the search.
+    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult;
+
+    /// Short name for tables and logs.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_maestro::{Dataflow, GemmWorkload};
+
+    pub(crate) fn test_input() -> DseInput {
+        DseInput {
+            gemm: GemmWorkload::new(48, 400, 300),
+            dataflow: Dataflow::OutputStationary,
+        }
+    }
+
+    #[test]
+    fn context_counts_and_traces() {
+        let task = DseTask::table_i_default();
+        let mut ctx = SearchContext::new(&task, test_input());
+        let p1 = DesignPoint { pe_idx: 3, buf_idx: 3 };
+        let p2 = DesignPoint { pe_idx: 10, buf_idx: 5 };
+        ctx.evaluate(p1);
+        ctx.evaluate(p2);
+        assert_eq!(ctx.num_evals(), 2);
+        assert_eq!(ctx.trace().len(), 2);
+        assert!(ctx.trace()[1] <= ctx.trace()[0]);
+        assert!(ctx.best().is_some());
+    }
+
+    #[test]
+    fn infeasible_points_get_penalized_not_best() {
+        let task = DseTask::table_i_default();
+        let mut ctx = SearchContext::new(&task, test_input());
+        let infeasible = DesignPoint { pe_idx: 63, buf_idx: 11 };
+        assert!(!task.is_feasible(infeasible));
+        ctx.evaluate(infeasible);
+        assert!(ctx.best().is_none(), "infeasible point must not become best");
+    }
+
+    /// Shared harness: every searcher must beat random-ish baselines of
+    /// the oracle gap within its budget.
+    pub(crate) fn assert_searcher_close_to_oracle(s: &mut dyn Searcher, budget: usize, slack: f64) {
+        let task = DseTask::table_i_default();
+        let input = test_input();
+        let oracle = task.oracle(&input);
+        let res = s.search(&task, input, budget);
+        assert!(res.num_evals <= budget + 8, "{} overspent: {}", s.name(), res.num_evals);
+        assert!(
+            res.best_score <= oracle.best_score * slack,
+            "{}: {} vs oracle {} (slack {slack})",
+            s.name(),
+            res.best_score,
+            oracle.best_score
+        );
+        assert!(task.is_feasible(res.best_point));
+    }
+}

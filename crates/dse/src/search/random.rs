@@ -1,0 +1,72 @@
+//! Uniform random search.
+
+use ai2_tensor::rng;
+use ai2_workloads::generator::DseInput;
+use rand::Rng;
+
+use crate::objective::DseTask;
+use crate::search::{SearchContext, SearchResult, Searcher};
+use crate::space::DesignPoint;
+
+/// Samples design points uniformly at random — the sanity baseline every
+/// smarter searcher must beat in convergence speed.
+#[derive(Debug, Clone)]
+pub struct RandomSearcher {
+    seed: u64,
+}
+
+impl RandomSearcher {
+    /// Creates a seeded random searcher.
+    pub fn new(seed: u64) -> Self {
+        RandomSearcher { seed }
+    }
+}
+
+impl Searcher for RandomSearcher {
+    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
+        let mut r = rng::seeded(self.seed);
+        let mut ctx = SearchContext::new(task, input);
+        let space = task.space();
+        for _ in 0..budget_evals {
+            let p = DesignPoint {
+                pe_idx: r.random_range(0..space.num_pe_choices()),
+                buf_idx: r.random_range(0..space.num_buf_choices()),
+            };
+            ctx.evaluate(p);
+        }
+        SearchResult::from_context(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::tests::{assert_searcher_close_to_oracle, test_input};
+
+    #[test]
+    fn random_search_respects_budget() {
+        let task = DseTask::table_i_default();
+        let mut s = RandomSearcher::new(1);
+        let res = s.search(&task, test_input(), 50);
+        assert_eq!(res.num_evals, 50);
+        assert_eq!(res.trace.len(), 50);
+    }
+
+    #[test]
+    fn random_search_gets_reasonably_close_with_many_samples() {
+        // 400 of 768 grid points sampled → should land within 15% of the oracle
+        assert_searcher_close_to_oracle(&mut RandomSearcher::new(2), 400, 1.15);
+    }
+
+    #[test]
+    fn random_search_is_deterministic_per_seed() {
+        let task = DseTask::table_i_default();
+        let a = RandomSearcher::new(3).search(&task, test_input(), 30);
+        let b = RandomSearcher::new(3).search(&task, test_input(), 30);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,177 @@
+//! The hardware design space of the paper's Table I.
+
+use ai2_maestro::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// One point of the output design space: indices into the PE-count and
+/// buffer-size option lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Index into [`DesignSpace::pe_options`].
+    pub pe_idx: usize,
+    /// Index into [`DesignSpace::buf_options`].
+    pub buf_idx: usize,
+}
+
+/// The discrete output grid (Table I: `PE (64)`, `buffer size (12)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    pe_options: Vec<u32>,
+    buf_options: Vec<u64>,
+}
+
+impl DesignSpace {
+    /// The paper's space: PE counts `8, 16, …, 512` (64 options) and L2
+    /// buffer sizes `1 KiB … 2 MiB` in powers of two (12 options).
+    pub fn table_i() -> Self {
+        DesignSpace {
+            pe_options: (1..=64).map(|i| i * 8).collect(),
+            buf_options: (0..12).map(|i| 1024u64 << i).collect(),
+        }
+    }
+
+    /// A custom space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either option list is empty or not strictly ascending.
+    pub fn new(pe_options: Vec<u32>, buf_options: Vec<u64>) -> Self {
+        assert!(!pe_options.is_empty(), "DesignSpace: no PE options");
+        assert!(!buf_options.is_empty(), "DesignSpace: no buffer options");
+        assert!(
+            pe_options.windows(2).all(|w| w[0] < w[1]),
+            "DesignSpace: PE options must ascend"
+        );
+        assert!(
+            buf_options.windows(2).all(|w| w[0] < w[1]),
+            "DesignSpace: buffer options must ascend"
+        );
+        DesignSpace {
+            pe_options,
+            buf_options,
+        }
+    }
+
+    /// PE-count options, ascending.
+    pub fn pe_options(&self) -> &[u32] {
+        &self.pe_options
+    }
+
+    /// Buffer-size options in bytes, ascending.
+    pub fn buf_options(&self) -> &[u64] {
+        &self.buf_options
+    }
+
+    /// Number of PE choices (64 in Table I).
+    pub fn num_pe_choices(&self) -> usize {
+        self.pe_options.len()
+    }
+
+    /// Number of buffer choices (12 in Table I).
+    pub fn num_buf_choices(&self) -> usize {
+        self.buf_options.len()
+    }
+
+    /// Total grid size (768 in Table I).
+    pub fn num_points(&self) -> usize {
+        self.pe_options.len() * self.buf_options.len()
+    }
+
+    /// The hardware configuration at a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn config(&self, p: DesignPoint) -> AcceleratorConfig {
+        AcceleratorConfig::new(self.pe_options[p.pe_idx], self.buf_options[p.buf_idx])
+    }
+
+    /// Iterates over every design point, PE-major.
+    pub fn iter_points(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        let nb = self.buf_options.len();
+        (0..self.num_points()).map(move |f| DesignPoint {
+            pe_idx: f / nb,
+            buf_idx: f % nb,
+        })
+    }
+
+    /// Flat index of a point (PE-major), the classification label of the
+    /// joint-output baselines.
+    pub fn flat_index(&self, p: DesignPoint) -> usize {
+        p.pe_idx * self.buf_options.len() + p.buf_idx
+    }
+
+    /// Inverse of [`DesignSpace::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat ≥ num_points()`.
+    pub fn from_flat(&self, flat: usize) -> DesignPoint {
+        assert!(flat < self.num_points(), "from_flat: {flat} out of range");
+        DesignPoint {
+            pe_idx: flat / self.buf_options.len(),
+            buf_idx: flat % self.buf_options.len(),
+        }
+    }
+
+    /// Clamps arbitrary indices into range (used by mutation operators).
+    pub fn clamp(&self, pe_idx: isize, buf_idx: isize) -> DesignPoint {
+        DesignPoint {
+            pe_idx: pe_idx.clamp(0, self.pe_options.len() as isize - 1) as usize,
+            buf_idx: buf_idx.clamp(0, self.buf_options.len() as isize - 1) as usize,
+        }
+    }
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_dimensions_match_paper() {
+        let s = DesignSpace::table_i();
+        assert_eq!(s.num_pe_choices(), 64);
+        assert_eq!(s.num_buf_choices(), 12);
+        assert_eq!(s.num_points(), 768);
+        assert_eq!(s.pe_options()[0], 8);
+        assert_eq!(*s.pe_options().last().unwrap(), 512);
+        assert_eq!(s.buf_options()[0], 1024);
+        assert_eq!(*s.buf_options().last().unwrap(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let s = DesignSpace::table_i();
+        for p in s.iter_points() {
+            assert_eq!(s.from_flat(s.flat_index(p)), p);
+        }
+        assert_eq!(s.iter_points().count(), 768);
+    }
+
+    #[test]
+    fn config_translates_indices() {
+        let s = DesignSpace::table_i();
+        let hw = s.config(DesignPoint { pe_idx: 7, buf_idx: 6 });
+        assert_eq!(hw.num_pes, 64);
+        assert_eq!(hw.l2_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let s = DesignSpace::table_i();
+        assert_eq!(s.clamp(-5, 100), DesignPoint { pe_idx: 0, buf_idx: 11 });
+        assert_eq!(s.clamp(1000, -1), DesignPoint { pe_idx: 63, buf_idx: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "must ascend")]
+    fn non_ascending_rejected() {
+        DesignSpace::new(vec![8, 8], vec![1024]);
+    }
+}

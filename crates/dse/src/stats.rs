@@ -1,0 +1,160 @@
+//! Label-distribution statistics — the quantitative side of the paper's
+//! Fig. 3b (long-tailed distribution of samples over optimal design
+//! points).
+
+use std::collections::HashMap;
+
+use crate::dataset::DseDataset;
+use crate::space::{DesignPoint, DesignSpace};
+
+/// Histogram of how often each design point is the optimum.
+#[derive(Debug, Clone)]
+pub struct LabelHistogram {
+    counts: HashMap<DesignPoint, usize>,
+    total: usize,
+}
+
+impl LabelHistogram {
+    /// Builds the histogram from a dataset.
+    pub fn from_dataset(ds: &DseDataset) -> Self {
+        let mut counts = HashMap::new();
+        for s in &ds.samples {
+            *counts.entry(s.optimal).or_insert(0) += 1;
+        }
+        LabelHistogram {
+            counts,
+            total: ds.samples.len(),
+        }
+    }
+
+    /// Number of distinct design points that appear as optima.
+    pub fn num_distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Counts sorted descending — the series plotted (log-scale) in
+    /// Fig. 3b.
+    pub fn sorted_counts(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Fraction of all samples covered by the `top` most frequent labels
+    /// (head concentration of the long tail).
+    pub fn head_coverage(&self, top: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: usize = self.sorted_counts().iter().take(top).sum();
+        s as f64 / self.total as f64
+    }
+
+    /// Shannon entropy of the label distribution in bits; low entropy
+    /// relative to `log2(num_distinct)` indicates imbalance.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        self.counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Imbalance factor: count of most frequent label ÷ least frequent.
+    pub fn imbalance_factor(&self) -> f64 {
+        let sorted = self.sorted_counts();
+        match (sorted.first(), sorted.last()) {
+            (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Count for one design point.
+    pub fn count(&self, p: DesignPoint) -> usize {
+        self.counts.get(&p).copied().unwrap_or(0)
+    }
+
+    /// `(flat_label, count)` pairs for CSV export, sorted by flat index.
+    pub fn flat_counts(&self, space: &DesignSpace) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self
+            .counts
+            .iter()
+            .map(|(p, c)| (space.flat_index(*p), *c))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DseSample;
+
+    fn ds_with_labels(labels: &[(usize, usize)]) -> DseDataset {
+        DseDataset {
+            samples: labels
+                .iter()
+                .map(|&(pe, buf)| DseSample {
+                    m: 1,
+                    n: 1,
+                    k: 1,
+                    dataflow: 0,
+                    optimal: DesignPoint {
+                        pe_idx: pe,
+                        buf_idx: buf,
+                    },
+                    best_score: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let ds = ds_with_labels(&[(0, 0), (0, 0), (1, 0), (2, 3)]);
+        let h = LabelHistogram::from_dataset(&ds);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.num_distinct(), 3);
+        assert_eq!(h.sorted_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(DesignPoint { pe_idx: 0, buf_idx: 0 }), 2);
+    }
+
+    #[test]
+    fn head_coverage_and_imbalance() {
+        let ds = ds_with_labels(&[(0, 0); 8].iter().copied().chain([(1, 1), (2, 2)]).collect::<Vec<_>>().as_slice());
+        let h = LabelHistogram::from_dataset(&ds);
+        assert!((h.head_coverage(1) - 0.8).abs() < 1e-9);
+        assert_eq!(h.imbalance_factor(), 8.0);
+    }
+
+    #[test]
+    fn entropy_uniform_vs_skewed() {
+        let uniform = LabelHistogram::from_dataset(&ds_with_labels(&[(0, 0), (1, 1), (2, 2), (3, 3)]));
+        let skewed = LabelHistogram::from_dataset(&ds_with_labels(&[(0, 0), (0, 0), (0, 0), (1, 1)]));
+        assert!(uniform.entropy_bits() > skewed.entropy_bits());
+        assert!((uniform.entropy_bits() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_counts_sorted() {
+        let space = DesignSpace::table_i();
+        let ds = ds_with_labels(&[(5, 2), (0, 1), (5, 2)]);
+        let h = LabelHistogram::from_dataset(&ds);
+        let fc = h.flat_counts(&space);
+        assert_eq!(fc.len(), 2);
+        assert!(fc[0].0 < fc[1].0);
+        assert_eq!(fc[1], (5 * 12 + 2, 2));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests of the oracle and design-space invariants.
+
+use ai2_dse::{DesignPoint, DseTask};
+use ai2_maestro::{Dataflow, GemmWorkload};
+use ai2_workloads::generator::DseInput;
+use proptest::prelude::*;
+
+fn arb_input() -> impl Strategy<Value = DseInput> {
+    (1u64..=256, 1u64..=1677, 1u64..=1185, 0usize..3).prop_map(|(m, n, k, df)| DseInput {
+        gemm: GemmWorkload::new(m, n, k),
+        dataflow: Dataflow::from_index(df),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn oracle_dominates_random_feasible_points(input in arb_input(), probes in proptest::collection::vec((0usize..64, 0usize..12), 20)) {
+        let task = DseTask::table_i_default();
+        let oracle = task.oracle(&input);
+        prop_assert!(task.is_feasible(oracle.best_point));
+        for (pe, buf) in probes {
+            let p = DesignPoint { pe_idx: pe, buf_idx: buf };
+            if let Some(s) = task.score(&input, p) {
+                prop_assert!(
+                    oracle.best_score <= s,
+                    "oracle {} beaten by {p:?} with {s}",
+                    oracle.best_score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_score_matches_its_point(input in arb_input()) {
+        let task = DseTask::table_i_default();
+        let oracle = task.oracle(&input);
+        let recomputed = task.score(&input, oracle.best_point).expect("feasible");
+        prop_assert_eq!(oracle.best_score, recomputed);
+    }
+
+    #[test]
+    fn feasible_count_matches_grid_scan(input in arb_input()) {
+        let task = DseTask::table_i_default();
+        let oracle = task.oracle(&input);
+        let by_scan = task
+            .space()
+            .iter_points()
+            .filter(|&p| task.is_feasible(p))
+            .count();
+        prop_assert_eq!(oracle.feasible_points, by_scan);
+    }
+
+    #[test]
+    fn score_grid_agrees_with_point_scores(input in arb_input(), pe in 0usize..64, buf in 0usize..12) {
+        let task = DseTask::table_i_default();
+        let grid = task.score_grid(&input);
+        let p = DesignPoint { pe_idx: pe, buf_idx: buf };
+        let flat = task.space().flat_index(p);
+        match task.score(&input, p) {
+            Some(s) => prop_assert_eq!(grid[flat], s),
+            None => prop_assert!(grid[flat].is_nan()),
+        }
+    }
+}

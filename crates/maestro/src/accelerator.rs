@@ -1,0 +1,115 @@
+//! Hardware configuration and area model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One point in the hardware design space: a PE array plus a shared L2
+/// scratchpad. The per-PE L1 is fixed, following the ConfuciuX search
+/// assumptions the paper adopts (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Number of processing elements (MAC units with private L1).
+    pub num_pes: u32,
+    /// Shared L2 scratchpad capacity in bytes.
+    pub l2_bytes: u64,
+    /// Private L1 per PE in bytes (fixed at 512 in the DSE task).
+    pub l1_bytes_per_pe: u32,
+}
+
+impl AcceleratorConfig {
+    /// Default fixed L1 size per PE (bytes), per the ConfuciuX setup.
+    pub const DEFAULT_L1_BYTES: u32 = 512;
+
+    /// Creates a configuration with the fixed default L1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` or `l2_bytes` is zero.
+    pub fn new(num_pes: u32, l2_bytes: u64) -> Self {
+        assert!(num_pes > 0, "AcceleratorConfig: zero PEs");
+        assert!(l2_bytes > 0, "AcceleratorConfig: zero L2");
+        AcceleratorConfig {
+            num_pes,
+            l2_bytes,
+            l1_bytes_per_pe: Self::DEFAULT_L1_BYTES,
+        }
+    }
+
+    /// L2 capacity in KiB (rounded down).
+    pub fn l2_kib(&self) -> u64 {
+        self.l2_bytes / 1024
+    }
+}
+
+impl fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}pe/{}KiB", self.num_pes, self.l2_kib())
+    }
+}
+
+/// Silicon-area model used for the resource-budget constraint.
+///
+/// Constants are loosely calibrated to a 28 nm systolic-array accelerator:
+/// a MAC PE with its 512 B register file costs far less than a KiB of SRAM
+/// macro plus its periphery. What matters for the DSE task is the *ratio*
+/// (PEs and buffers compete for the same budget), not the absolute mm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// mm² per PE (MAC + control + fixed L1).
+    pub mm2_per_pe: f64,
+    /// mm² per KiB of shared L2 SRAM.
+    pub mm2_per_l2_kib: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            mm2_per_pe: 6.0e-4,
+            mm2_per_l2_kib: 3.9e-4,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Total area of a configuration in mm².
+    pub fn area_mm2(&self, hw: &AcceleratorConfig) -> f64 {
+        self.mm2_per_pe * hw.num_pes as f64 + self.mm2_per_l2_kib * hw.l2_kib() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let hw = AcceleratorConfig::new(64, 128 * 1024);
+        assert_eq!(hw.l2_kib(), 128);
+        assert_eq!(hw.l1_bytes_per_pe, 512);
+        assert_eq!(hw.to_string(), "64pe/128KiB");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero PEs")]
+    fn zero_pes_rejected() {
+        AcceleratorConfig::new(0, 1024);
+    }
+
+    #[test]
+    fn area_is_monotone_in_both_resources() {
+        let a = AreaModel::default();
+        let base = a.area_mm2(&AcceleratorConfig::new(64, 64 * 1024));
+        assert!(a.area_mm2(&AcceleratorConfig::new(128, 64 * 1024)) > base);
+        assert!(a.area_mm2(&AcceleratorConfig::new(64, 128 * 1024)) > base);
+    }
+
+    #[test]
+    fn max_grid_config_area_is_near_one_mm2() {
+        // the largest Table-I config should land near 1 mm² so that budget
+        // presets (0.25 / 0.55 mm²) cut through the middle of the grid
+        let a = AreaModel::default();
+        let max = a.area_mm2(&AcceleratorConfig::new(512, 2048 * 1024));
+        assert!(max > 0.9 && max < 1.4, "max area {max}");
+    }
+}

@@ -1,0 +1,469 @@
+//! The analytical latency / energy / traffic model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AcceleratorConfig, AreaModel, Dataflow, GemmWorkload};
+
+/// Calibration constants of the cost model.
+///
+/// Defaults approximate a 1 GHz accelerator with fp16 operands, a 16 GB/s
+/// DRAM interface and SRAM energy ratios in line with published
+/// per-access numbers (DRAM ≈ two orders of magnitude above a MAC).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Bytes per operand element (2 = fp16).
+    pub elem_bytes: u32,
+    /// DRAM bandwidth in bytes per cycle.
+    pub dram_bw_bytes_per_cycle: f64,
+    /// L2→L1 bandwidth in elements per cycle.
+    pub l2_bw_elems_per_cycle: f64,
+    /// Effective operand reuse provided by the fixed per-PE L1 (how many
+    /// MACs each L2-fetched element feeds on average).
+    pub l1_reuse: f64,
+    /// Energy per MAC (pJ).
+    pub e_mac_pj: f64,
+    /// Energy per L1 access (pJ).
+    pub e_l1_pj: f64,
+    /// Energy per L2 access (pJ).
+    pub e_l2_pj: f64,
+    /// Energy per DRAM access (pJ per element).
+    pub e_dram_pj: f64,
+    /// Leakage per PE per cycle (pJ).
+    pub leak_pj_per_pe_cycle: f64,
+    /// Area model used for budget checks.
+    pub area: AreaModel,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            elem_bytes: 2,
+            dram_bw_bytes_per_cycle: 16.0,
+            l2_bw_elems_per_cycle: 64.0,
+            l1_reuse: 64.0,
+            e_mac_pj: 1.0,
+            e_l1_pj: 1.0,
+            e_l2_pj: 6.0,
+            e_dram_pj: 100.0,
+            leak_pj_per_pe_cycle: 0.01,
+            area: AreaModel {
+                mm2_per_pe: 6.0e-4,
+                mm2_per_l2_kib: 3.9e-4,
+            },
+        }
+    }
+}
+
+/// The tile shape the model selects for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tiling {
+    /// Tile extent along `M`.
+    pub m_t: u64,
+    /// Tile extent along `N`.
+    pub n_t: u64,
+    /// Tile extent along `K`.
+    pub k_t: u64,
+    /// Number of tiles along `M`.
+    pub tiles_m: u64,
+    /// Number of tiles along `N`.
+    pub tiles_n: u64,
+    /// Number of tiles along `K`.
+    pub tiles_k: u64,
+}
+
+impl Tiling {
+    /// Total number of tile passes through the array.
+    pub fn passes(&self) -> u64 {
+        self.tiles_m * self.tiles_n * self.tiles_k
+    }
+}
+
+/// Full output of one cost evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// End-to-end latency in cycles.
+    pub latency_cycles: u64,
+    /// Cycles spent if purely compute-bound.
+    pub compute_cycles: u64,
+    /// Cycles to move the DRAM traffic at full bandwidth.
+    pub dram_cycles: u64,
+    /// Cycles to move the L2 traffic at full bandwidth.
+    pub l2_cycles: u64,
+    /// Array fill/drain overhead cycles.
+    pub fill_drain_cycles: u64,
+    /// DRAM traffic in elements.
+    pub dram_traffic_elems: u64,
+    /// L2→L1 traffic in elements.
+    pub l2_traffic_elems: u64,
+    /// Total energy in pJ.
+    pub energy_pj: f64,
+    /// MAC-utilization of the PE array in `[0, 1]`.
+    pub utilization: f64,
+    /// Chosen tiling.
+    pub tiling: Tiling,
+}
+
+impl CostReport {
+    /// Energy-delay product (pJ · cycles), one of ConfuciuX's objectives.
+    pub fn edp(&self) -> f64 {
+        self.energy_pj * self.latency_cycles as f64
+    }
+}
+
+/// The analytical cost model. Cheap enough to evaluate the full 768-point
+/// hardware grid per workload (the oracle of the DSE dataset) millions of
+/// times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Calibration constants.
+    pub params: CostParams,
+}
+
+impl CostModel {
+    /// Creates a model with explicit parameters.
+    pub fn new(params: CostParams) -> Self {
+        CostModel { params }
+    }
+
+    /// Area of `hw` under this model's area constants (mm²).
+    pub fn area_mm2(&self, hw: &AcceleratorConfig) -> f64 {
+        self.params.area.area_mm2(hw)
+    }
+
+    /// Estimates latency, energy and traffic for running `wl` with
+    /// dataflow `df` on hardware `hw`.
+    pub fn evaluate(&self, wl: &GemmWorkload, df: Dataflow, hw: &AcceleratorConfig) -> CostReport {
+        let p = &self.params;
+        let (m, n, k) = (wl.m, wl.n, wl.k);
+        let macs = wl.macs();
+        let words = (hw.l2_bytes / p.elem_bytes as u64).max(4);
+        let stationary_budget = (words / 2).max(1);
+        let stream_budget = (words / 4).max(1);
+        let pes = hw.num_pes as u64;
+
+        // --- tiling: stationary operand gets half the L2, each streaming
+        //     operand a quarter (double-buffered halves are folded into
+        //     the budget constants).
+        let (tiling, spatial_a, spatial_b) = match df {
+            Dataflow::WeightStationary => {
+                // stationary B (k×n)
+                let (k_t, n_t) = fit_pair(k, n, stationary_budget);
+                let m_t = (stream_budget / k_t.max(n_t)).clamp(1, m);
+                let t = make_tiling(m, n, k, m_t, n_t, k_t);
+                // spatial unroll over (k_t, n_t)
+                let (a_s, b_s) = spatial_factorize(pes, k_t, n_t);
+                (t, a_s, b_s)
+            }
+            Dataflow::OutputStationary => {
+                // stationary C (m×n)
+                let (m_t, n_t) = fit_pair(m, n, stationary_budget);
+                let k_t = (stream_budget / m_t.max(n_t)).clamp(1, k);
+                let t = make_tiling(m, n, k, m_t, n_t, k_t);
+                let (a_s, b_s) = spatial_factorize(pes, m_t, n_t);
+                (t, a_s, b_s)
+            }
+            Dataflow::RowStationary => {
+                // stationary A (m×k)
+                let (m_t, k_t) = fit_pair(m, k, stationary_budget);
+                let n_t = (stream_budget / m_t.max(k_t)).clamp(1, n);
+                let t = make_tiling(m, n, k, m_t, n_t, k_t);
+                let (a_s, b_s) = spatial_factorize(pes, m_t, k_t);
+                (t, a_s, b_s)
+            }
+        };
+
+        // --- DRAM traffic in elements.
+        let (tm, tn, tk) = (tiling.tiles_m, tiling.tiles_n, tiling.tiles_k);
+        // partial sums spill when K is split: one write per pass plus a
+        // read-modify-write for every revisit.
+        let psum_traffic = m * n * (2 * tk - 1);
+        let dram_traffic_elems = match df {
+            // B loaded once; A reloaded per N-tile; C partials per K-tile.
+            Dataflow::WeightStationary => k * n + m * k * tn + psum_traffic,
+            // C written once; A reloaded per N-tile; B reloaded per M-tile.
+            Dataflow::OutputStationary => m * n + m * k * tn + k * n * tm,
+            // A loaded once; B reloaded per M-tile; C partials per K-tile.
+            Dataflow::RowStationary => m * k + k * n * tm + psum_traffic,
+        };
+
+        // --- compute cycles with spatial quantization.
+        let per_tile_steps = match df {
+            Dataflow::WeightStationary => {
+                tiling.k_t.div_ceil(spatial_a) * tiling.n_t.div_ceil(spatial_b) * tiling.m_t
+            }
+            Dataflow::OutputStationary => {
+                tiling.m_t.div_ceil(spatial_a) * tiling.n_t.div_ceil(spatial_b) * tiling.k_t
+            }
+            Dataflow::RowStationary => {
+                // spatial reduction over k_s needs an adder-tree pass
+                let tree = (64 - spatial_b.leading_zeros()) as u64; // ≈ log2 + 1
+                tiling.m_t.div_ceil(spatial_a) * tiling.k_t.div_ceil(spatial_b) * tiling.n_t + tree
+            }
+        };
+        let compute_cycles = per_tile_steps * tiling.passes();
+
+        // RS pays an extra accumulate for spatially-split K.
+        // (already folded into per-tile steps via the adder tree)
+
+        // --- memory cycles.
+        let dram_cycles = ((dram_traffic_elems * p.elem_bytes as u64) as f64
+            / p.dram_bw_bytes_per_cycle)
+            .ceil() as u64;
+        let l2_traffic_elems = ((2 * macs) as f64 / p.l1_reuse).ceil() as u64 + m * n;
+        let l2_cycles = (l2_traffic_elems as f64 / p.l2_bw_elems_per_cycle).ceil() as u64;
+
+        // --- fill/drain: the array refills its pipeline once per pass.
+        let used = spatial_a * spatial_b;
+        let array_dim = (used as f64).sqrt().ceil() as u64;
+        let fill_drain_cycles = tiling.passes() * 2 * array_dim;
+
+        let latency_cycles =
+            compute_cycles.max(dram_cycles).max(l2_cycles) + fill_drain_cycles;
+
+        let utilization = (macs as f64 / (latency_cycles as f64 * pes as f64)).min(1.0);
+
+        // --- energy.
+        let l1_accesses = 3 * macs; // two operand reads + one psum update
+        let energy_pj = macs as f64 * p.e_mac_pj
+            + l1_accesses as f64 * p.e_l1_pj
+            + l2_traffic_elems as f64 * p.e_l2_pj
+            + dram_traffic_elems as f64 * p.e_dram_pj
+            + latency_cycles as f64 * pes as f64 * p.leak_pj_per_pe_cycle;
+
+        CostReport {
+            latency_cycles,
+            compute_cycles,
+            dram_cycles,
+            l2_cycles,
+            fill_drain_cycles,
+            dram_traffic_elems,
+            l2_traffic_elems,
+            energy_pj,
+            utilization,
+            tiling,
+        }
+    }
+}
+
+/// Picks `(a_t, b_t)` with `a_t·b_t ≤ budget`, near-square but clamped to
+/// the problem extents, preferring to cover the full extent of the
+/// smaller dimension.
+fn fit_pair(a: u64, b: u64, budget: u64) -> (u64, u64) {
+    if a * b <= budget {
+        return (a, b);
+    }
+    let side = (budget as f64).sqrt() as u64;
+    let mut a_t = a.min(side.max(1));
+    let b_t = b.min((budget / a_t).max(1));
+    // re-expand a_t if b was the binding constraint
+    a_t = a.min((budget / b_t).max(1));
+    (a_t.max(1), b_t.max(1))
+}
+
+fn make_tiling(m: u64, n: u64, k: u64, m_t: u64, n_t: u64, k_t: u64) -> Tiling {
+    Tiling {
+        m_t,
+        n_t,
+        k_t,
+        tiles_m: m.div_ceil(m_t),
+        tiles_n: n.div_ceil(n_t),
+        tiles_k: k.div_ceil(k_t),
+    }
+}
+
+/// Splits `pes` across two spatial dimensions bounded by `a` and `b`,
+/// maximizing occupied PEs. Candidates are powers of two plus the exact
+/// bounds, which keeps evaluation cheap while retaining the utilization
+/// staircase that makes the landscape non-convex.
+fn spatial_factorize(pes: u64, a: u64, b: u64) -> (u64, u64) {
+    let mut best = (1u64, 1u64);
+    let mut best_used = 0u64;
+    let mut consider = |x: u64| {
+        if x == 0 || x > pes {
+            return;
+        }
+        let x = x.min(a);
+        let y = (pes / x).min(b).max(1);
+        let used = x * y;
+        // prefer more PEs used; tie-break toward balance
+        if used > best_used || (used == best_used && x.abs_diff(y) < best.0.abs_diff(best.1)) {
+            best = (x, y);
+            best_used = used;
+        }
+    };
+    let mut x = 1u64;
+    while x <= pes {
+        consider(x);
+        x = x.saturating_mul(2);
+    }
+    consider(a.min(pes));
+    if b > 0 {
+        consider((pes / b.min(pes)).max(1));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    fn hw(pes: u32, l2_kib: u64) -> AcceleratorConfig {
+        AcceleratorConfig::new(pes, l2_kib * 1024)
+    }
+
+    #[test]
+    fn latency_positive_and_finite() {
+        let m = model();
+        let r = m.evaluate(&GemmWorkload::new(64, 256, 128), Dataflow::WeightStationary, &hw(64, 64));
+        assert!(r.latency_cycles > 0);
+        assert!(r.energy_pj.is_finite() && r.energy_pj > 0.0);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn more_pes_never_hurt_compute_cycles() {
+        let m = model();
+        let wl = GemmWorkload::new(128, 512, 256);
+        for df in Dataflow::ALL {
+            let mut prev = u64::MAX;
+            for pes in [8u32, 16, 32, 64, 128, 256, 512] {
+                let r = m.evaluate(&wl, df, &hw(pes, 256));
+                assert!(
+                    r.compute_cycles <= prev,
+                    "{df}: compute cycles rose from {prev} to {} at {pes} PEs",
+                    r.compute_cycles
+                );
+                prev = r.compute_cycles;
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_l2_never_increases_dram_traffic() {
+        let m = model();
+        let wl = GemmWorkload::new(200, 1500, 900);
+        for df in Dataflow::ALL {
+            let mut prev = u64::MAX;
+            for kib in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048] {
+                let r = m.evaluate(&wl, df, &hw(128, kib));
+                assert!(
+                    r.dram_traffic_elems <= prev,
+                    "{df}: dram traffic rose at {kib} KiB"
+                );
+                prev = r.dram_traffic_elems;
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_workload_is_compute_bound_on_big_buffer() {
+        let m = model();
+        let r = m.evaluate(&GemmWorkload::new(8, 32, 16), Dataflow::OutputStationary, &hw(8, 2048));
+        // whole problem fits: single tile in M/N
+        assert_eq!(r.tiling.tiles_m, 1);
+        assert_eq!(r.tiling.tiles_n, 1);
+    }
+
+    #[test]
+    fn huge_workload_small_buffer_is_memory_bound() {
+        let m = model();
+        let r = m.evaluate(
+            &GemmWorkload::new(256, 1677, 1185),
+            Dataflow::WeightStationary,
+            &hw(512, 1),
+        );
+        assert!(
+            r.dram_cycles > r.compute_cycles,
+            "expected memory bound: dram {} vs compute {}",
+            r.dram_cycles,
+            r.compute_cycles
+        );
+    }
+
+    #[test]
+    fn dataflows_disagree_on_skewed_shapes() {
+        // A tall-skinny GEMM should not have identical costs across
+        // dataflows: stationarity choices must matter.
+        let m = model();
+        let wl = GemmWorkload::new(4, 1600, 1024); // LLM-decode-like
+        let ws = m.evaluate(&wl, Dataflow::WeightStationary, &hw(128, 64));
+        let os = m.evaluate(&wl, Dataflow::OutputStationary, &hw(128, 64));
+        let rs = m.evaluate(&wl, Dataflow::RowStationary, &hw(128, 64));
+        let lats = [ws.latency_cycles, os.latency_cycles, rs.latency_cycles];
+        assert!(
+            lats.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "all dataflows identical: {lats:?}"
+        );
+    }
+
+    #[test]
+    fn best_config_is_interior_not_maximal() {
+        // The premise of the DSE task: throwing maximal resources at a
+        // small layer is *not* optimal (fill/drain overhead grows with the
+        // array), so the argmin over the grid is an interior point.
+        let m = model();
+        let wl = GemmWorkload::new(32, 128, 64);
+        let mut best = (u64::MAX, 0u32, 0u64);
+        for pes in [8u32, 64, 128, 256, 512] {
+            for kib in [1u64, 16, 256, 2048] {
+                let r = m.evaluate(&wl, Dataflow::OutputStationary, &hw(pes, kib));
+                if r.latency_cycles < best.0 {
+                    best = (r.latency_cycles, pes, kib);
+                }
+            }
+        }
+        let max_cfg = m.evaluate(&wl, Dataflow::OutputStationary, &hw(512, 2048));
+        assert!(
+            best.0 < max_cfg.latency_cycles,
+            "maximal config should be strictly suboptimal: best {} (at {}pe/{}KiB) vs max {}",
+            best.0,
+            best.1,
+            best.2,
+            max_cfg.latency_cycles
+        );
+        assert!(best.1 < 512, "optimal PE count should be interior");
+    }
+
+    #[test]
+    fn edp_combines_energy_and_latency() {
+        let m = model();
+        let r = m.evaluate(&GemmWorkload::new(16, 16, 16), Dataflow::RowStationary, &hw(16, 16));
+        assert!((r.edp() - r.energy_pj * r.latency_cycles as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spatial_factorize_respects_bounds() {
+        let (x, y) = spatial_factorize(64, 4, 100);
+        assert!(x <= 4 && y <= 100 && x * y <= 64);
+        assert_eq!(x * y, 64); // 4 × 16
+        let (x, y) = spatial_factorize(7, 100, 100);
+        assert!(x * y <= 7 && x * y >= 4);
+    }
+
+    #[test]
+    fn fit_pair_respects_budget() {
+        let (a, b) = fit_pair(1000, 1000, 256);
+        assert!(a * b <= 256);
+        assert!(a >= 1 && b >= 1);
+        // fits entirely
+        assert_eq!(fit_pair(10, 10, 1000), (10, 10));
+        // degenerate budget
+        assert_eq!(fit_pair(10, 10, 1), (1, 1));
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let m = model();
+        let r = m.evaluate(&GemmWorkload::new(100, 200, 300), Dataflow::WeightStationary, &hw(64, 64));
+        assert!(r.latency_cycles >= r.compute_cycles.max(r.dram_cycles).max(r.l2_cycles));
+        assert_eq!(
+            r.latency_cycles,
+            r.compute_cycles.max(r.dram_cycles).max(r.l2_cycles) + r.fill_drain_cycles
+        );
+        assert!(r.tiling.passes() >= 1);
+    }
+}

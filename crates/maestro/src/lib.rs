@@ -1,0 +1,50 @@
+//! An analytical cost model for DNN accelerators in the spirit of
+//! MAESTRO (Kwon et al., *IEEE Micro* 2020) — the evaluation substrate of
+//! the AIrchitect v2 reproduction.
+//!
+//! Given a GEMM workload, a dataflow and a hardware configuration
+//! (#PEs + L2 buffer size), [`CostModel::evaluate`] estimates:
+//!
+//! * **latency** in cycles — a roofline-style maximum of compute cycles,
+//!   DRAM-traffic cycles and L2-traffic cycles, plus array fill/drain
+//!   overhead per tile pass,
+//! * **energy** in pJ — per-access costs at each memory level plus MAC and
+//!   leakage energy,
+//! * **utilization**, per-level traffic, and tiling details.
+//!
+//! The three dataflows of the paper's Table I are modeled with distinct
+//! spatial mappings and reuse patterns:
+//!
+//! | Dataflow            | Stationary operand | Spatial dims | Temporal dim |
+//! |---------------------|--------------------|--------------|--------------|
+//! | weight-stationary   | `B (K×N)`          | `K, N`       | `M`          |
+//! | output-stationary   | `C (M×N)`          | `M, N`       | `K`          |
+//! | row-stationary      | `A (M×K)`          | `M, K`       | `N`          |
+//!
+//! The integer tiling and spatial-factorisation steps produce the jagged,
+//! non-convex latency landscape that motivates the paper (its Fig. 3a);
+//! the area model makes resource allocation a genuine trade-off so the
+//! per-layer optimum is workload-dependent (Fig. 3b's long tail).
+//!
+//! # Example
+//!
+//! ```
+//! use ai2_maestro::{AcceleratorConfig, CostModel, Dataflow, GemmWorkload};
+//!
+//! let model = CostModel::default();
+//! let hw = AcceleratorConfig::new(128, 256 * 1024);
+//! let wl = GemmWorkload::new(64, 1024, 512);
+//! let report = model.evaluate(&wl, Dataflow::WeightStationary, &hw);
+//! assert!(report.latency_cycles > 0);
+//! assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+//! ```
+
+mod accelerator;
+mod cost;
+mod dataflow;
+mod workload;
+
+pub use accelerator::{AcceleratorConfig, AreaModel};
+pub use cost::{CostModel, CostParams, CostReport, Tiling};
+pub use dataflow::Dataflow;
+pub use workload::GemmWorkload;

@@ -1,0 +1,89 @@
+//! GEMM workload description.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single GEMM `C[M,N] = A[M,K] × B[K,N]` — the per-layer workload unit
+/// of the paper's DSE task (Table I).
+///
+/// Convolutions are lowered to GEMMs (im2col) by the `ai2-workloads`
+/// crate, matching how MAESTRO-based studies treat CNN layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmWorkload {
+    /// Rows of `A`/`C` (batch × output pixels, or tokens).
+    pub m: u64,
+    /// Columns of `B`/`C` (output channels / features).
+    pub n: u64,
+    /// Contraction dimension (input channels × kernel window).
+    pub k: u64,
+}
+
+impl GemmWorkload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero — a zero-sized GEMM has no
+    /// meaningful cost and almost always indicates an upstream bug.
+    pub fn new(m: u64, n: u64, k: u64) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "GemmWorkload: zero dimension in ({m}, {n}, {k})");
+        GemmWorkload { m, n, k }
+    }
+
+    /// Number of multiply-accumulate operations, `M·N·K`.
+    pub fn macs(&self) -> u64 {
+        self.m * self.n * self.k
+    }
+
+    /// Total operand footprint in elements (`A + B + C`).
+    pub fn footprint_elems(&self) -> u64 {
+        self.m * self.k + self.k * self.n + self.m * self.n
+    }
+
+    /// Arithmetic intensity: MACs per element touched once.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.macs() as f64 / self.footprint_elems() as f64
+    }
+
+    /// The feature vector `(M, N, K)` as `f32`, in Table I order.
+    pub fn features(&self) -> [f32; 3] {
+        [self.m as f32, self.n as f32, self.k as f32]
+    }
+}
+
+impl fmt::Display for GemmWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gemm({}×{}×{})", self.m, self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_and_footprint() {
+        let w = GemmWorkload::new(2, 3, 4);
+        assert_eq!(w.macs(), 24);
+        assert_eq!(w.footprint_elems(), 8 + 12 + 6);
+        assert!((w.arithmetic_intensity() - 24.0 / 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dim_rejected() {
+        GemmWorkload::new(0, 1, 1);
+    }
+
+    #[test]
+    fn features_order_matches_table_i() {
+        let w = GemmWorkload::new(10, 20, 30);
+        assert_eq!(w.features(), [10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(GemmWorkload::new(1, 2, 3).to_string(), "gemm(1×2×3)");
+    }
+}

@@ -1,0 +1,220 @@
+//! Saving and restoring [`ParamStore`] contents.
+//!
+//! Checkpoints are JSON maps from parameter name to `{shape, data}`. The
+//! format is deliberately boring: the models here are < 1 M parameters and
+//! the experiment harness re-loads them for the figure/table binaries.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use ai2_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::params::ParamStore;
+
+/// One serialised parameter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedParam {
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+/// A serialisable snapshot of every parameter in a store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Parameters keyed by registration name.
+    pub params: BTreeMap<String, SavedParam>,
+}
+
+/// Error loading or applying a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(serde_json::Error),
+    /// The checkpoint is missing a parameter the store expects.
+    MissingParam(String),
+    /// Shape in the checkpoint differs from the registered parameter.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape registered in the store.
+        expected: Vec<usize>,
+        /// Shape found in the checkpoint.
+        found: Vec<usize>,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            CheckpointError::MissingParam(n) => write!(f, "checkpoint missing parameter {n:?}"),
+            CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint shape mismatch for {name:?}: expected {expected:?}, found {found:?}"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Parse(e)
+    }
+}
+
+impl Checkpoint {
+    /// Snapshots every parameter of `store`.
+    pub fn from_store(store: &ParamStore) -> Checkpoint {
+        let mut params = BTreeMap::new();
+        for (_, name, value) in store.iter() {
+            params.insert(
+                name.to_owned(),
+                SavedParam {
+                    shape: value.shape().to_vec(),
+                    data: value.as_slice().to_vec(),
+                },
+            );
+        }
+        Checkpoint { params }
+    }
+
+    /// Writes the checkpoint as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self)?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or parsed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        let json = fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+
+    /// Copies values into `store`, matching parameters by name.
+    ///
+    /// Every parameter registered in `store` must be present with the same
+    /// shape; extra entries in the checkpoint are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::MissingParam`] or
+    /// [`CheckpointError::ShapeMismatch`] accordingly.
+    pub fn apply_to(&self, store: &mut ParamStore) -> Result<(), CheckpointError> {
+        let ids: Vec<_> = store.iter().map(|(id, name, _)| (id, name.to_owned())).collect();
+        for (id, name) in ids {
+            let saved = self
+                .params
+                .get(&name)
+                .ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
+            let current = store.get(id);
+            if current.shape() != saved.shape.as_slice() {
+                return Err(CheckpointError::ShapeMismatch {
+                    name,
+                    expected: current.shape().to_vec(),
+                    found: saved.shape.clone(),
+                });
+            }
+            *store.get_mut(id) = Tensor::from_vec(saved.data.clone(), &saved.shape)
+                .expect("saved shape matches data by construction");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let mut a = ParamStore::new(1);
+        let _ = Linear::new(&mut a, "l", 3, 2, true);
+        let ck = Checkpoint::from_store(&a);
+
+        let mut b = ParamStore::new(999); // different init
+        let _ = Linear::new(&mut b, "l", 3, 2, true);
+        assert_ne!(a.get(a.find("l.w").unwrap()), b.get(b.find("l.w").unwrap()));
+
+        ck.apply_to(&mut b).unwrap();
+        assert_eq!(a.get(a.find("l.w").unwrap()), b.get(b.find("l.w").unwrap()));
+        assert_eq!(a.get(a.find("l.b").unwrap()), b.get(b.find("l.b").unwrap()));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mut a = ParamStore::new(2);
+        let _ = Linear::new(&mut a, "l", 2, 2, false);
+        let dir = std::env::temp_dir().join("ai2_nn_ckpt_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.json");
+        Checkpoint::from_store(&a).save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        let mut b = ParamStore::new(3);
+        let _ = Linear::new(&mut b, "l", 2, 2, false);
+        loaded.apply_to(&mut b).unwrap();
+        assert_eq!(a.get(a.find("l.w").unwrap()), b.get(b.find("l.w").unwrap()));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_param_is_reported() {
+        let mut a = ParamStore::new(4);
+        let _ = Linear::new(&mut a, "enc", 2, 2, false);
+        let ck = Checkpoint::from_store(&a);
+        let mut b = ParamStore::new(5);
+        let _ = Linear::new(&mut b, "dec", 2, 2, false);
+        let err = ck.apply_to(&mut b).unwrap_err();
+        assert!(matches!(err, CheckpointError::MissingParam(_)));
+        assert!(err.to_string().contains("dec.w"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let mut a = ParamStore::new(6);
+        let _ = Linear::new(&mut a, "l", 2, 2, false);
+        let ck = Checkpoint::from_store(&a);
+        let mut b = ParamStore::new(7);
+        let _ = Linear::new(&mut b, "l", 2, 3, false);
+        let err = ck.apply_to(&mut b).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }));
+    }
+}

@@ -1,0 +1,346 @@
+//! Finite-difference gradient checking.
+//!
+//! Every fused op in [`crate::Graph`] (attention, layer-norm, the infoNCE
+//! and unification losses) has a hand-derived backward pass; this module
+//! verifies them against central differences. It is exercised heavily in
+//! this crate's test suite and exported so downstream crates can check
+//! their composite models too.
+
+
+
+use crate::graph::{Gradients, Graph};
+use crate::params::{ParamId, ParamStore};
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Parameter name.
+    pub name: String,
+    /// Largest relative error over all elements checked.
+    pub max_rel_err: f32,
+    /// Largest absolute error over all elements checked.
+    pub max_abs_err: f32,
+}
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `f` must build a scalar loss from a fresh [`Graph`] over `store`;
+/// it is called `2·n + 1` times where `n` is the number of scalar
+/// parameters perturbed. Perturbation step is `eps`.
+///
+/// Returns one report per parameter. A healthy op satisfies
+/// `max_rel_err < 1e-2` with `eps = 1e-3` in `f32`.
+pub fn check_gradients(
+    store: &mut ParamStore,
+    params: &[ParamId],
+    eps: f32,
+    mut f: impl FnMut(&ParamStore) -> (f32, Gradients),
+) -> Vec<GradCheckReport> {
+    let (_, analytic) = f(store);
+    let mut reports = Vec::new();
+    for &pid in params {
+        let n = store.get(pid).len();
+        let name = store.name(pid).to_owned();
+        let mut max_rel: f32 = 0.0;
+        let mut max_abs: f32 = 0.0;
+        for i in 0..n {
+            let orig = store.get(pid).at(i);
+            store.get_mut(pid).as_mut_slice()[i] = orig + eps;
+            let (lp, _) = f(store);
+            store.get_mut(pid).as_mut_slice()[i] = orig - eps;
+            let (lm, _) = f(store);
+            store.get_mut(pid).as_mut_slice()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic_g = analytic
+                .get(pid)
+                .map_or(0.0, |g| g.at(i));
+            let abs = (numeric - analytic_g).abs();
+            // The 1e-3 floor keeps f32 finite-difference noise on
+            // near-zero gradients from masquerading as backward bugs;
+            // genuine errors produce relative errors of O(1).
+            let rel = abs / numeric.abs().max(analytic_g.abs()).max(1e-3);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+        reports.push(GradCheckReport {
+            name,
+            max_rel_err: max_rel,
+            max_abs_err: max_abs,
+        });
+    }
+    reports
+}
+
+/// Convenience assertion over [`check_gradients`].
+///
+/// # Panics
+///
+/// Panics if any parameter's maximum relative error exceeds `tol`.
+pub fn assert_gradients_close(
+    store: &mut ParamStore,
+    params: &[ParamId],
+    eps: f32,
+    tol: f32,
+    f: impl FnMut(&ParamStore) -> (f32, Gradients),
+) {
+    let reports = check_gradients(store, params, eps, f);
+    for r in &reports {
+        assert!(
+            r.max_rel_err < tol,
+            "gradient check failed for {:?}: rel err {} (abs {})",
+            r.name,
+            r.max_rel_err,
+            r.max_abs_err
+        );
+    }
+}
+
+/// Helper: runs `build` on a fresh graph and returns `(loss, grads)`.
+///
+/// Most gradient-check closures are exactly this pattern.
+pub fn loss_and_grads(
+    store: &ParamStore,
+    build: impl FnOnce(&mut Graph<'_>) -> crate::graph::VarId,
+) -> (f32, Gradients) {
+    let mut g = Graph::new(store);
+    let loss = build(&mut g);
+    let value = g.scalar(loss);
+    let grads = g.backward(loss);
+    (value, grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, LayerNorm, Linear, Mlp, MultiHeadSelfAttention, TransformerBlock};
+    use ai2_tensor::{rng, Tensor};
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 3e-2;
+
+    fn input(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut r = rng::seeded(seed);
+        rng::rand_uniform(&mut r, &[rows, cols], -1.0, 1.0)
+    }
+
+    #[test]
+    fn linear_mse_gradients() {
+        let mut s = ParamStore::new(11);
+        let lin = Linear::new(&mut s, "l", 3, 2, true);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(4, 3, 1);
+        let t = input(4, 2, 2);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let y = lin.forward(g, xv);
+                g.mse_loss(y, t.clone())
+            })
+        });
+    }
+
+    #[test]
+    fn mlp_l1_gradients() {
+        let mut s = ParamStore::new(12);
+        let mlp = Mlp::new(&mut s, "m", &[3, 5, 2], Activation::Gelu);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(4, 3, 3);
+        let t = input(4, 2, 4);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let y = mlp.forward(g, xv);
+                g.l1_loss(y, t.clone())
+            })
+        });
+    }
+
+    #[test]
+    fn layernorm_gradients() {
+        let mut s = ParamStore::new(13);
+        let ln = LayerNorm::new(&mut s, "ln", 4);
+        // include an upstream linear so dx of layer-norm is exercised
+        let lin = Linear::new(&mut s, "l", 4, 4, true);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(3, 4, 5);
+        let t = input(3, 4, 6);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let h = lin.forward(g, xv);
+                let y = ln.forward(g, h);
+                g.mse_loss(y, t.clone())
+            })
+        });
+    }
+
+    #[test]
+    fn attention_gradients() {
+        let mut s = ParamStore::new(14);
+        let attn = MultiHeadSelfAttention::new(&mut s, "a", 4, 2);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(6, 4, 7); // batch 2, tokens 3
+        let t = input(6, 4, 8);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let y = attn.forward(g, xv, 2, 3);
+                g.mse_loss(y, t.clone())
+            })
+        });
+    }
+
+    #[test]
+    fn transformer_block_gradients() {
+        let mut s = ParamStore::new(15);
+        let blk = TransformerBlock::new(&mut s, "b", 4, 2);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(4, 4, 9); // batch 2, tokens 2
+        let t = input(4, 4, 10);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let y = blk.forward(g, xv, 2, 2);
+                g.mse_loss(y, t.clone())
+            })
+        });
+    }
+
+    #[test]
+    fn info_nce_gradients() {
+        let mut s = ParamStore::new(16);
+        let lin = Linear::new(&mut s, "l", 3, 4, false);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(6, 3, 11);
+        let labels = [0u32, 0, 1, 1, 2, 2];
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let z = lin.forward(g, xv);
+                let zn = g.normalize_rows(z);
+                g.info_nce_loss(zn, &labels, 0.4)
+            })
+        });
+    }
+
+    #[test]
+    fn unification_loss_gradients() {
+        let mut s = ParamStore::new(17);
+        let lin = Linear::new(&mut s, "l", 3, 5, true);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(4, 3, 12);
+        // UOV-like targets: monotone ramp then zeros
+        let t = Tensor::from_rows(&[
+            &[0.9, 0.6, 0.0, 0.0, 0.0],
+            &[0.8, 0.0, 0.0, 0.0, 0.0],
+            &[0.95, 0.9, 0.7, 0.3, 0.0],
+            &[1.0, 0.9, 0.8, 0.6, 0.4],
+        ]);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let y = lin.forward(g, xv);
+                g.unification_loss(y, t.clone(), 0.75, 1.0)
+            })
+        });
+    }
+
+    #[test]
+    fn bce_and_softmax_gradients() {
+        let mut s = ParamStore::new(18);
+        let lin = Linear::new(&mut s, "l", 3, 4, true);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(5, 3, 13);
+        let t = Tensor::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[1.0, 0.0, 0.0, 0.0],
+        ]);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let y = lin.forward(g, xv);
+                g.bce_with_logits_loss(y, t.clone())
+            })
+        });
+    }
+
+    #[test]
+    fn token_ops_gradients() {
+        let mut s = ParamStore::new(19);
+        let lin = Linear::new(&mut s, "l", 3, 4, true);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(6, 3, 14); // batch 3, tokens 2
+        let t = input(6, 4, 15);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let h = lin.forward(g, xv);
+                let pooled = g.mean_pool_tokens(h, 2);
+                let rep = g.repeat_tokens(pooled, 2);
+                g.mse_loss(rep, t.clone())
+            })
+        });
+    }
+
+    #[test]
+    fn cross_entropy_gradients() {
+        let mut s = ParamStore::new(21);
+        let lin = Linear::new(&mut s, "l", 3, 5, true);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(4, 3, 17);
+        let targets = [0usize, 2, 4, 1];
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let y = lin.forward(g, xv);
+                g.cross_entropy_loss(y, &targets)
+            })
+        });
+    }
+
+    #[test]
+    fn reshape_gradients() {
+        let mut s = ParamStore::new(22);
+        let lin = Linear::new(&mut s, "l", 3, 8, true);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(2, 3, 18);
+        let t = input(4, 4, 19);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let y = lin.forward(g, xv); // [2, 8]
+                let r = g.reshape(y, &[4, 4]);
+                g.mse_loss(r, t.clone())
+            })
+        });
+    }
+
+    #[test]
+    fn vae_style_composite_gradients() {
+        // exercise exp / mul / scale / add_scalar / mean_all used by the
+        // VAESA baseline's KL term
+        let mut s = ParamStore::new(20);
+        let lin_mu = Linear::new(&mut s, "mu", 3, 2, true);
+        let lin_lv = Linear::new(&mut s, "lv", 3, 2, true);
+        let params: Vec<_> = s.iter().map(|(id, _, _)| id).collect();
+        let x = input(4, 3, 16);
+        assert_gradients_close(&mut s, &params, EPS, TOL, |st| {
+            loss_and_grads(st, |g| {
+                let xv = g.constant(x.clone());
+                let mu = lin_mu.forward(g, xv);
+                let lv = lin_lv.forward(g, xv);
+                // KL = -0.5 mean(1 + lv - mu² - e^lv)
+                let mu2 = g.mul(mu, mu);
+                let elv = g.exp(lv);
+                let t1 = g.add_scalar(lv, 1.0);
+                let t2 = g.sub(t1, mu2);
+                let t3 = g.sub(t2, elv);
+                let m = g.mean_all(t3);
+                g.scale(m, -0.5)
+            })
+        });
+    }
+}

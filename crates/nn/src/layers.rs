@@ -1,0 +1,350 @@
+//! Neural-network modules: linear, layer-norm, multi-head self-attention,
+//! feed-forward, and the pre-norm transformer block used by both the
+//! AIrchitect v2 encoder and decoder.
+//!
+//! Modules are plain structs holding [`ParamId`]s; `forward` records ops
+//! onto a [`Graph`]. Constructing a module registers its parameters in the
+//! given [`ParamStore`] under `"{prefix}.{field}"` names, which become the
+//! checkpoint keys.
+
+use crate::graph::{Graph, VarId};
+use crate::params::{ParamId, ParamStore};
+
+/// Fully connected layer `y = x W (+ b)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a `[in_dim, out_dim]` Xavier-initialised weight (and a
+    /// zero bias when `bias` is true) under `prefix`.
+    pub fn new(store: &mut ParamStore, prefix: &str, in_dim: usize, out_dim: usize, bias: bool) -> Self {
+        let w = store.add_xavier(format!("{prefix}.w"), in_dim, out_dim);
+        let b = bias.then(|| store.add_zeros(format!("{prefix}.b"), &[out_dim]));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Applies the layer to `[batch, in_dim]` input.
+    pub fn forward(&self, g: &mut Graph<'_>, x: VarId) -> VarId {
+        let w = g.param(self.w);
+        let y = g.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = g.param(b);
+                g.add_row(y, bv)
+            }
+            None => y,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// Layer normalisation with learned gain and bias.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers unit gain / zero bias of width `dim` under `prefix`.
+    pub fn new(store: &mut ParamStore, prefix: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: store.add_ones(format!("{prefix}.gamma"), &[dim]),
+            beta: store.add_zeros(format!("{prefix}.beta"), &[dim]),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises each row of `[batch, dim]`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: VarId) -> VarId {
+        let gamma = g.param(self.gamma);
+        let beta = g.param(self.beta);
+        g.layer_norm(x, gamma, beta, self.eps)
+    }
+}
+
+/// Activation functions selectable by the MLP-style modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// GELU (tanh approximation) — the transformer default here.
+    #[default]
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Leaky ReLU with slope 0.2 (GAN discriminators).
+    LeakyRelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    /// Records the activation on the graph.
+    pub fn apply(self, g: &mut Graph<'_>, x: VarId) -> VarId {
+        match self {
+            Activation::Relu => g.relu(x),
+            Activation::Gelu => g.gelu(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::LeakyRelu => g.leaky_relu(x, 0.2),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Two-layer position-wise feed-forward network.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    lin1: Linear,
+    lin2: Linear,
+    act: Activation,
+}
+
+impl FeedForward {
+    /// `d_model → d_hidden → d_model` with the given activation.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        d_model: usize,
+        d_hidden: usize,
+        act: Activation,
+    ) -> Self {
+        FeedForward {
+            lin1: Linear::new(store, &format!("{prefix}.ff1"), d_model, d_hidden, true),
+            lin2: Linear::new(store, &format!("{prefix}.ff2"), d_hidden, d_model, true),
+            act,
+        }
+    }
+
+    /// Applies both layers.
+    pub fn forward(&self, g: &mut Graph<'_>, x: VarId) -> VarId {
+        let h = self.lin1.forward(g, x);
+        let h = self.act.apply(g, h);
+        self.lin2.forward(g, h)
+    }
+}
+
+/// Multi-head self-attention with learned Q/K/V/output projections.
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// `d_model` must be divisible by `heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model % heads != 0`.
+    pub fn new(store: &mut ParamStore, prefix: &str, d_model: usize, heads: usize) -> Self {
+        assert_eq!(
+            d_model % heads,
+            0,
+            "MultiHeadSelfAttention: d_model {d_model} not divisible by heads {heads}"
+        );
+        MultiHeadSelfAttention {
+            wq: Linear::new(store, &format!("{prefix}.wq"), d_model, d_model, false),
+            wk: Linear::new(store, &format!("{prefix}.wk"), d_model, d_model, false),
+            wv: Linear::new(store, &format!("{prefix}.wv"), d_model, d_model, false),
+            wo: Linear::new(store, &format!("{prefix}.wo"), d_model, d_model, true),
+            heads,
+        }
+    }
+
+    /// Attends over `tokens` positions within each of `batch` samples;
+    /// `x` is `[batch·tokens, d_model]`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: VarId, batch: usize, tokens: usize) -> VarId {
+        let q = self.wq.forward(g, x);
+        let k = self.wk.forward(g, x);
+        let v = self.wv.forward(g, x);
+        let a = g.attention(q, k, v, batch, self.heads, tokens);
+        self.wo.forward(g, a)
+    }
+}
+
+/// Pre-norm transformer block: `x + Attn(LN(x))` then `x + FFN(LN(x))`.
+///
+/// This is the `L ×` stacked unit of the paper's encoder and decoder
+/// (Fig. 2: self-attention → add & norm → linear).
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadSelfAttention,
+    ln2: LayerNorm,
+    ffn: FeedForward,
+}
+
+impl TransformerBlock {
+    /// Builds a block of width `d_model` with `heads` attention heads and
+    /// an FFN hidden width of `4·d_model`.
+    pub fn new(store: &mut ParamStore, prefix: &str, d_model: usize, heads: usize) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(store, &format!("{prefix}.ln1"), d_model),
+            attn: MultiHeadSelfAttention::new(store, &format!("{prefix}.attn"), d_model, heads),
+            ln2: LayerNorm::new(store, &format!("{prefix}.ln2"), d_model),
+            ffn: FeedForward::new(
+                store,
+                &format!("{prefix}.ffn"),
+                d_model,
+                4 * d_model,
+                Activation::Gelu,
+            ),
+        }
+    }
+
+    /// Applies the block to `[batch·tokens, d_model]`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: VarId, batch: usize, tokens: usize) -> VarId {
+        let h = self.ln1.forward(g, x);
+        let h = self.attn.forward(g, h, batch, tokens);
+        let x = g.add(x, h);
+        let h = self.ln2.forward(g, x);
+        let h = self.ffn.forward(g, h);
+        g.add(x, h)
+    }
+}
+
+/// A plain multi-layer perceptron (the AIrchitect v1 baseline backbone).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    act: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[4, 128, 128, 76]`.
+    /// The activation is applied between layers but not after the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(store: &mut ParamStore, prefix: &str, widths: &[usize], act: Activation) -> Self {
+        assert!(widths.len() >= 2, "Mlp: need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{prefix}.l{i}"), w[0], w[1], true))
+            .collect();
+        Mlp { layers, act }
+    }
+
+    /// Applies all layers.
+    pub fn forward(&self, g: &mut Graph<'_>, x: VarId) -> VarId {
+        let mut h = x;
+        for (i, l) in self.layers.iter().enumerate() {
+            h = l.forward(g, h);
+            if i + 1 < self.layers.len() {
+                h = self.act.apply(g, h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_tensor::Tensor;
+
+    #[test]
+    fn linear_shapes() {
+        let mut s = ParamStore::new(1);
+        let lin = Linear::new(&mut s, "l", 3, 5, true);
+        assert_eq!(lin.in_dim(), 3);
+        assert_eq!(lin.out_dim(), 5);
+        let mut g = Graph::new(&s);
+        let x = g.constant(Tensor::zeros(&[2, 3]));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 5]);
+    }
+
+    #[test]
+    fn layernorm_output_is_standardised() {
+        let mut s = ParamStore::new(1);
+        let ln = LayerNorm::new(&mut s, "ln", 4);
+        let mut g = Graph::new(&s);
+        let x = g.constant(Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]));
+        let y = ln.forward(&mut g, x);
+        let row = g.value(y).row(0);
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transformer_block_preserves_shape() {
+        let mut s = ParamStore::new(2);
+        let blk = TransformerBlock::new(&mut s, "blk", 8, 2);
+        let mut g = Graph::new(&s);
+        let x = g.constant(Tensor::ones(&[2 * 3, 8])); // batch 2, tokens 3
+        let y = blk.forward(&mut g, x, 2, 3);
+        assert_eq!(g.value(y).shape(), &[6, 8]);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn mlp_depth_and_shapes() {
+        let mut s = ParamStore::new(3);
+        let mlp = Mlp::new(&mut s, "mlp", &[4, 16, 16, 2], Activation::Relu);
+        let mut g = Graph::new(&s);
+        let x = g.constant(Tensor::zeros(&[5, 4]));
+        let y = mlp.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[5, 2]);
+        // 3 linear layers → 6 parameters
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn attention_module_trains_toward_target() {
+        use crate::optim::{Adam, Optimizer};
+        let mut s = ParamStore::new(4);
+        let attn = MultiHeadSelfAttention::new(&mut s, "a", 8, 2);
+        let mut opt = Adam::new(5e-3);
+        let x = Tensor::ones(&[4, 8]); // 1 sample, 4 tokens
+        let target = Tensor::full(&[4, 8], 0.25);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let mut g = Graph::new(&s);
+            let xv = g.constant(x.clone());
+            let y = attn.forward(&mut g, xv, 1, 4);
+            let loss = g.mse_loss(y, target.clone());
+            last = g.scalar(loss);
+            first.get_or_insert(last);
+            let grads = g.backward(loss);
+            opt.step(&mut s, &grads);
+        }
+        assert!(
+            last < first.unwrap() * 0.1,
+            "loss did not decrease: {} → {last}",
+            first.unwrap()
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! First-order optimizers and learning-rate schedules.
+
+use ai2_tensor::Tensor;
+
+use crate::graph::Gradients;
+use crate::params::ParamStore;
+
+/// Common interface for parameter-updating optimizers.
+pub trait Optimizer {
+    /// Applies one update step given the gradients of a backward pass.
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients);
+
+    /// Current base learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the base learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        for (pid, g) in grads.iter() {
+            let idx = pid.index();
+            if self.velocity.len() <= idx {
+                self.velocity.resize(idx + 1, None);
+            }
+            let p = store.get_mut(pid);
+            if self.momentum > 0.0 {
+                let v = self.velocity[idx].get_or_insert_with(|| Tensor::zeros(g.shape()));
+                *v = v.scale(self.momentum).add(g);
+                *p = p.sub(&v.scale(self.lr));
+            } else {
+                *p = p.sub(&g.scale(self.lr));
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with standard β₁ = 0.9, β₂ = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// AdamW: decoupled weight decay applied to every updated parameter.
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        let mut a = Self::new(lr);
+        a.weight_decay = weight_decay;
+        a
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (pid, g) in grads.iter() {
+            let idx = pid.index();
+            if self.m.len() <= idx {
+                self.m.resize(idx + 1, None);
+                self.v.resize(idx + 1, None);
+            }
+            let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            *v = v
+                .scale(self.beta2)
+                .add(&g.map(|x| x * x).scale(1.0 - self.beta2));
+            let p = store.get_mut(pid);
+            let mhat = m.scale(1.0 / bc1);
+            let vhat = v.scale(1.0 / bc2);
+            let update = mhat.zip_map(&vhat, |mm, vv| mm / (vv.sqrt() + self.eps));
+            if self.weight_decay > 0.0 {
+                *p = p.scale(1.0 - self.lr * self.weight_decay);
+            }
+            *p = p.sub(&update.scale(self.lr));
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Learning-rate schedules evaluated per epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Cosine decay from the base LR to `min_lr` over `total_epochs`.
+    Cosine {
+        /// Final learning rate.
+        min_lr: f32,
+        /// Number of epochs over which to decay.
+        total_epochs: usize,
+    },
+    /// Multiply the LR by `factor` every `every` epochs.
+    Step {
+        /// Multiplicative decay factor (e.g. 0.5).
+        factor: f32,
+        /// Epoch interval between decays.
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based) given the base rate.
+    pub fn lr_at(self, base_lr: f32, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::Cosine {
+                min_lr,
+                total_epochs,
+            } => {
+                let t = (epoch as f32 / total_epochs.max(1) as f32).min(1.0);
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Step { factor, every } => {
+                base_lr * factor.powi((epoch / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimises mean((w - 3)²) and checks convergence to w = 3.
+    fn converges_to_three(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut s = ParamStore::new(5);
+        let w = s.add("w", Tensor::from_slice(&[0.0]));
+        for _ in 0..steps {
+            let mut g = Graph::new(&s);
+            let wv = g.param(w);
+            let loss = g.mse_loss(wv, Tensor::from_slice(&[3.0]));
+            let grads = g.backward(loss);
+            opt.step(&mut s, &grads);
+        }
+        s.get(w).at(0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges_to_three(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let w = converges_to_three(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = converges_to_three(&mut opt, 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adamw_decays_unused_direction() {
+        // weight decay pulls parameters toward zero relative to plain Adam
+        let mut plain = Adam::new(0.01);
+        let mut decayed = Adam::with_weight_decay(0.01, 0.5);
+        let w_plain = converges_to_three(&mut plain, 300);
+        let w_decayed = converges_to_three(&mut decayed, 300);
+        assert!(w_decayed < w_plain, "{w_decayed} !< {w_plain}");
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = LrSchedule::Cosine {
+            min_lr: 1e-5,
+            total_epochs: 100,
+        };
+        assert!((s.lr_at(1e-3, 0) - 1e-3).abs() < 1e-9);
+        assert!((s.lr_at(1e-3, 100) - 1e-5).abs() < 1e-7);
+        assert!(s.lr_at(1e-3, 50) < 1e-3);
+        assert!(s.lr_at(1e-3, 50) > 1e-5);
+    }
+
+    #[test]
+    fn step_schedule_halves() {
+        let s = LrSchedule::Step {
+            factor: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.lr_at(1.0, 9), 1.0);
+        assert_eq!(s.lr_at(1.0, 10), 0.5);
+        assert_eq!(s.lr_at(1.0, 25), 0.25);
+    }
+}

@@ -1,0 +1,176 @@
+//! Parameter storage shared by all modules of a model.
+
+use ai2_tensor::{rng, Tensor};
+use rand::rngs::StdRng;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index of the parameter inside its store (stable for the store's
+    /// lifetime; used by optimizers to key their state).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Owns every trainable tensor of a model and the RNG used to initialise
+/// them.
+///
+/// Modules (see [`crate::layers`]) register parameters at construction time
+/// and hold the returned [`ParamId`]s. A [`crate::Graph`] reads parameter
+/// values when the forward pass touches them; optimizers write updated
+/// values back through [`ParamStore::get_mut`].
+#[derive(Debug, Clone)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    rng: StdRng,
+}
+
+impl ParamStore {
+    /// Creates an empty store whose initialisers draw from a deterministic
+    /// RNG seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        ParamStore {
+            names: Vec::new(),
+            values: Vec::new(),
+            rng: rng::seeded(seed),
+        }
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered — parameter names double as
+    /// checkpoint keys and must be unique.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "ParamStore: duplicate parameter name {name:?}"
+        );
+        self.names.push(name);
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Registers a `[fan_in, fan_out]` weight with Xavier-uniform init.
+    pub fn add_xavier(&mut self, name: impl Into<String>, fan_in: usize, fan_out: usize) -> ParamId {
+        let w = rng::xavier_uniform(&mut self.rng, fan_in, fan_out);
+        self.add(name, w)
+    }
+
+    /// Registers a `[fan_in, fan_out]` weight with He-normal init.
+    pub fn add_he(&mut self, name: impl Into<String>, fan_in: usize, fan_out: usize) -> ParamId {
+        let w = rng::he_normal(&mut self.rng, fan_in, fan_out);
+        self.add(name, w)
+    }
+
+    /// Registers a zero-initialised parameter (typical for biases).
+    pub fn add_zeros(&mut self, name: impl Into<String>, shape: &[usize]) -> ParamId {
+        self.add(name, Tensor::zeros(shape))
+    }
+
+    /// Registers a one-initialised parameter (typical for LayerNorm gains).
+    pub fn add_ones(&mut self, name: impl Into<String>, shape: &[usize]) -> ParamId {
+        self.add(name, Tensor::ones(shape))
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable value of a parameter (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar parameters — the paper's "model size" metric
+    /// (Figs. 8b and 9).
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.names
+            .iter()
+            .zip(&self.values)
+            .enumerate()
+            .map(|(i, (n, v))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// The store's RNG, for modules that need extra randomness (e.g. GAN
+    /// noise) tied to the same seed.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s = ParamStore::new(0);
+        let w = s.add_xavier("w", 4, 3);
+        let b = s.add_zeros("b", &[3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 15);
+        assert_eq!(s.name(w), "w");
+        assert_eq!(s.find("b"), Some(b));
+        assert_eq!(s.find("missing"), None);
+        assert_eq!(s.get(b).shape(), &[3]);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let mut a = ParamStore::new(7);
+        let mut b = ParamStore::new(7);
+        let wa = a.add_xavier("w", 8, 8);
+        let wb = b.add_xavier("w", 8, 8);
+        assert_eq!(a.get(wa), b.get(wb));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new(0);
+        s.add_zeros("w", &[1]);
+        s.add_zeros("w", &[1]);
+    }
+
+    #[test]
+    fn iter_order_is_registration_order() {
+        let mut s = ParamStore::new(0);
+        s.add_zeros("a", &[1]);
+        s.add_zeros("b", &[2]);
+        let names: Vec<&str> = s.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

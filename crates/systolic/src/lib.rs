@@ -1,0 +1,35 @@
+//! A cycle-level output-stationary systolic-array GEMM simulator, in the
+//! spirit of Scale-Sim (Samajdar et al., ISPASS 2020) — the simulator
+//! behind the original AIrchitect v1 datasets and a lineage reference of
+//! the paper.
+//!
+//! Where `ai2-maestro` is *analytical* (closed-form latency/energy), this
+//! crate actually **simulates**: operands skew into an `R×C` PE grid
+//! cycle by cycle, every PE executes one MAC per cycle on the operands
+//! flowing through it, and partial sums accumulate in place
+//! (output-stationary). The simulator therefore produces
+//!
+//! * the **numerical GEMM result**, bit-identical to a reference matrix
+//!   multiply — catching dataflow wiring bugs that a cost model cannot,
+//! * an **exact cycle count**, which validates the analytical model's
+//!   compute-side behaviour (see `tests/` and the root
+//!   `tests/simulator_vs_analytical.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use ai2_systolic::{ArrayConfig, GemmSimulation};
+//!
+//! let cfg = ArrayConfig::new(4, 4);
+//! let a = vec![1.0f32; 6 * 8]; // A: 6×8
+//! let b = vec![2.0f32; 8 * 5]; // B: 8×5
+//! let sim = GemmSimulation::run(&cfg, &a, &b, 6, 5, 8);
+//! assert_eq!(sim.output()[0], 16.0); // Σ_k 1·2 over K = 8
+//! assert!(sim.report().total_cycles > 0);
+//! ```
+
+mod array;
+mod sim;
+
+pub use array::{ArrayConfig, SystolicArray};
+pub use sim::{GemmSimulation, SimReport};

@@ -1,0 +1,35 @@
+//! Dense `f32` tensors and the small amount of linear algebra needed by the
+//! AIrchitect v2 reproduction.
+//!
+//! This crate is the lowest substrate of the workspace: it provides the
+//! row-major [`Tensor`] type with the elementwise, broadcast, reduction and
+//! matrix-multiplication kernels used by the neural-network crate
+//! (`ai2-nn`), plus a few numerical routines used elsewhere:
+//!
+//! * [`linalg::cholesky`] / [`linalg::cholesky_solve`] — used by the
+//!   Gaussian-process surrogate inside the Bayesian-optimization searcher,
+//! * [`linalg::Pca`] — used to reproduce the landscape visualisations of
+//!   Figs. 3 and 4 of the paper,
+//! * [`rng`] — seeded random construction (uniform, Gaussian) so that every
+//!   experiment in the repository is reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use ai2_tensor::Tensor;
+//!
+//! let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod matmul;
+mod ops;
+mod tensor;
+
+pub mod linalg;
+pub mod rng;
+pub mod stats;
+
+pub use tensor::{Tensor, TensorError};

@@ -1,0 +1,395 @@
+//! Small dense linear algebra: Cholesky factorisation, triangular solves,
+//! symmetric eigendecomposition (Jacobi) and PCA.
+//!
+//! These routines back the Gaussian-process surrogate of the Bayesian
+//! optimization searcher (`ai2-dse::bo`) and the landscape visualisations
+//! of Figs. 3–5 of the paper. Matrices here are at most a few hundred rows,
+//! so `O(n³)` dense algorithms are entirely adequate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Tensor;
+
+/// Error returned when a matrix is not suitable for a factorisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The input matrix was not square.
+    NotSquare {
+        /// Observed shape.
+        shape: Vec<usize>,
+    },
+    /// A non-positive pivot was encountered; the matrix is not positive
+    /// definite (within tolerance).
+    NotPositiveDefinite {
+        /// Pivot index at which factorisation failed.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { shape } => write!(f, "matrix {shape:?} is not square"),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, returning the lower-triangular factor `L`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
+/// positive.
+///
+/// # Example
+///
+/// ```
+/// use ai2_tensor::{linalg, Tensor};
+///
+/// let a = Tensor::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let l = linalg::cholesky(&a)?;
+/// let back = l.matmul(&l.transpose2d());
+/// assert!(back.max_abs_diff(&a) < 1e-5);
+/// # Ok::<(), linalg::LinalgError>(())
+/// ```
+pub fn cholesky(a: &Tensor) -> Result<Tensor, LinalgError> {
+    if a.rank() != 2 || a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            shape: a.shape().to_vec(),
+        });
+    }
+    let n = a.rows();
+    let mut l = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (`A = L Lᵀ`).
+///
+/// # Panics
+///
+/// Panics if the dimensions of `l` and `b` are inconsistent.
+pub fn cholesky_solve(l: &Tensor, b: &Tensor) -> Tensor {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "cholesky_solve: rhs length {} != {n}", b.len());
+    // forward solve L y = b
+    let mut y = vec![0.0f32; n];
+    for i in 0..n {
+        let mut sum = b.at(i);
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // back solve Lᵀ x = y
+    let mut x = vec![0.0f32; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Tensor::from_slice(&x)
+}
+
+/// Log-determinant of `A` from its Cholesky factor `L`:
+/// `log|A| = 2 Σ log L_ii`.
+pub fn cholesky_logdet(l: &Tensor) -> f32 {
+    let n = l.rows();
+    (0..n).map(|i| l[(i, i)].ln()).sum::<f32>() * 2.0
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted in
+/// descending order; column `j` of the eigenvector matrix corresponds to
+/// eigenvalue `j`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn symmetric_eigen(a: &Tensor) -> (Vec<f32>, Tensor) {
+    assert_eq!(a.rows(), a.cols(), "symmetric_eigen: matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Tensor::eye(n);
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f32;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off < 1e-18 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-12 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // rotate rows/cols p and q
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f32> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    let values: Vec<f32> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Tensor::zeros(&[n, n]);
+    for (newj, &oldj) in idx.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, newj)] = v[(i, oldj)];
+        }
+    }
+    (values, vectors)
+}
+
+/// Principal component analysis fitted on the rows of a data matrix.
+///
+/// Used to reproduce the paper's Fig. 3(a) and Fig. 4 input-feature
+/// projections.
+///
+/// # Example
+///
+/// ```
+/// use ai2_tensor::{linalg::Pca, Tensor};
+///
+/// // points on the line y = 2x: first component dominates
+/// let data = Tensor::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0], &[-1.0, -2.0]]);
+/// let pca = Pca::fit(&data, 2);
+/// assert!(pca.explained_variance()[0] > 100.0 * pca.explained_variance()[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Tensor,
+    components: Tensor, // [n_features, n_components]
+    explained: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits a PCA with `n_components` on the rows of `data` (`[n, d]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has fewer than 2 rows or `n_components > d`.
+    pub fn fit(data: &Tensor, n_components: usize) -> Pca {
+        let (n, d) = (data.rows(), data.cols());
+        assert!(n >= 2, "Pca::fit: need at least 2 samples, got {n}");
+        assert!(
+            n_components <= d,
+            "Pca::fit: {n_components} components > {d} features"
+        );
+        let mean = data.mean_axis0();
+        // covariance = centeredᵀ centered / (n - 1)
+        let mut centered = data.clone();
+        for i in 0..n {
+            for (x, &mu) in centered.row_mut(i).iter_mut().zip(mean.as_slice()) {
+                *x -= mu;
+            }
+        }
+        let cov = centered.matmul_tn(&centered).scale(1.0 / (n as f32 - 1.0));
+        let (values, vectors) = symmetric_eigen(&cov);
+        let mut components = Tensor::zeros(&[d, n_components]);
+        for j in 0..n_components {
+            for i in 0..d {
+                components[(i, j)] = vectors[(i, j)];
+            }
+        }
+        Pca {
+            mean,
+            components,
+            explained: values[..n_components].to_vec(),
+        }
+    }
+
+    /// Projects rows of `data` onto the fitted components, `[n, k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the fitted data.
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        let (n, d) = (data.rows(), data.cols());
+        assert_eq!(
+            d,
+            self.mean.len(),
+            "Pca::transform: feature count {d} != fitted {}",
+            self.mean.len()
+        );
+        let mut centered = data.clone();
+        for i in 0..n {
+            for (x, &mu) in centered.row_mut(i).iter_mut().zip(self.mean.as_slice()) {
+                *x -= mu;
+            }
+        }
+        centered.matmul(&self.components)
+    }
+
+    /// Variance captured by each retained component, descending.
+    pub fn explained_variance(&self) -> &[f32] {
+        &self.explained
+    }
+
+    /// The fitted component matrix `[n_features, n_components]`.
+    pub fn components(&self) -> &Tensor {
+        &self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn spd(n: usize, seed: u64) -> Tensor {
+        let mut r = rng::seeded(seed);
+        let a = rng::rand_uniform(&mut r, &[n, n], -1.0, 1.0);
+        // AᵀA + n·I is SPD
+        let mut s = a.matmul_tn(&a);
+        for i in 0..n {
+            s[(i, i)] += n as f32;
+        }
+        s
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let a = spd(8, 5);
+        let l = cholesky(&a).unwrap();
+        let back = l.matmul(&l.transpose2d());
+        assert!(back.max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let e = cholesky(&Tensor::zeros(&[2, 3])).unwrap_err();
+        assert!(matches!(e, LinalgError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let e = cholesky(&a).unwrap_err();
+        assert_eq!(e, LinalgError::NotPositiveDefinite { pivot: 1 });
+        assert!(e.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = spd(6, 9);
+        let mut r = rng::seeded(10);
+        let x_true = rng::rand_uniform(&mut r, &[6], -2.0, 2.0);
+        let b = a.matvec(&x_true);
+        let l = cholesky(&a).unwrap();
+        let x = cholesky_solve(&l, &b);
+        assert!(x.max_abs_diff(&x_true) < 1e-2);
+    }
+
+    #[test]
+    fn logdet_matches_diagonal_case() {
+        let a = Tensor::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let l = cholesky(&a).unwrap();
+        let ld = cholesky_logdet(&l);
+        assert!((ld - (36.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jacobi_diagonalises() {
+        let a = spd(5, 3);
+        let (vals, vecs) = symmetric_eigen(&a);
+        // A v_j = λ_j v_j
+        for j in 0..5 {
+            let mut v = Vec::new();
+            for i in 0..5 {
+                v.push(vecs[(i, j)]);
+            }
+            let v = Tensor::from_slice(&v);
+            let av = a.matvec(&v);
+            let lv = v.scale(vals[j]);
+            assert!(av.max_abs_diff(&lv) < 1e-2, "eigenpair {j}");
+        }
+        // descending order
+        for j in 1..5 {
+            assert!(vals[j - 1] >= vals[j] - 1e-5);
+        }
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        let mut r = rng::seeded(21);
+        // data stretched along (1, 1)/√2
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let t: f32 = r.sample_range();
+            let noise = rng::box_muller(&mut r).0 * 0.01;
+            rows.push(Tensor::from_slice(&[t + noise, t - noise]));
+        }
+        let data = Tensor::stack_rows(&rows);
+        let pca = Pca::fit(&data, 1);
+        let c = pca.components();
+        let ratio = (c[(0, 0)] / c[(1, 0)]).abs();
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+        let proj = pca.transform(&data);
+        assert_eq!(proj.shape(), &[200, 1]);
+    }
+
+    trait SampleRange {
+        fn sample_range(&mut self) -> f32;
+    }
+    impl SampleRange for rand::rngs::StdRng {
+        fn sample_range(&mut self) -> f32 {
+            use rand::Rng;
+            self.random_range(-3.0..3.0)
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Matrix multiplication kernels.
+//!
+//! A simple cache-blocked `i-k-j` kernel is fast enough for the model sizes
+//! in this repository (hidden dimensions ≤ 256): training the full
+//! AIrchitect v2 model is dominated by Rust-level op dispatch, not GEMM
+//! throughput.
+
+use crate::Tensor;
+
+/// Cache block edge for the matmul kernels, chosen so three `BLOCK²` f32
+/// tiles fit comfortably in a 32 KiB L1 cache.
+const BLOCK: usize = 48;
+
+impl Tensor {
+    /// Matrix product `self × rhs` for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `rhs` is `[k, n]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (rhs.rows(), rhs.cols());
+        assert_eq!(
+            k, k2,
+            "matmul: inner dimensions differ: {:?} × {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(
+            self.as_slice(),
+            rhs.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
+        out
+    }
+
+    /// Matrix product `selfᵀ × rhs`.
+    ///
+    /// Equivalent to `self.transpose2d().matmul(rhs)` but without forming
+    /// the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[k, m]` and `rhs` is `[k, n]`.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (rhs.rows(), rhs.cols());
+        assert_eq!(
+            k, k2,
+            "matmul_tn: leading dimensions differ: {:?}ᵀ × {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = Tensor::zeros(&[m, n]);
+        let o = out.as_mut_slice();
+        // aᵀ[i, kk] = a[kk, i]
+        for kk in 0..k {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av != 0.0 {
+                    let orow = &mut o[i * n..(i + 1) * n];
+                    for (ov, &bv) in orow.iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × rhsᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `rhs` is `[n, k]`.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (rhs.rows(), rhs.cols());
+        assert_eq!(
+            k, k2,
+            "matmul_nt: trailing dimensions differ: {:?} × {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = Tensor::zeros(&[m, n]);
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * n..(i + 1) * n];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                orow[j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2d(&self) -> Tensor {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product for a rank-2 tensor and a rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `v.len() == k`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        assert_eq!(v.len(), k, "matvec: vector length {} != cols {k}", v.len());
+        let mut out = Vec::with_capacity(m);
+        let vv = v.as_slice();
+        for i in 0..m {
+            out.push(
+                self.row(i)
+                    .iter()
+                    .zip(vv)
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>(),
+            );
+        }
+        Tensor::from_slice(&out)
+    }
+}
+
+/// `out += a × b` with `a: [m,k]`, `b: [k,n]`, `out: [m,n]`, all row-major.
+///
+/// Exposed for the `ai2-nn` backward pass, which accumulates into existing
+/// gradient buffers.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i0 in (0..m).step_by(BLOCK) {
+        let imax = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let kmax = (k0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let jmax = (j0 + BLOCK).min(n);
+                for i in i0..imax {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let orow = &mut out[i * n + j0..i * n + jmax];
+                    for kk in k0..kmax {
+                        let av = arow[kk];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n + j0..kk * n + jmax];
+                        for (ov, &bv) in orow.iter_mut().zip(brow) {
+                            *ov += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_mismatch_panics() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_on_large_sizes() {
+        let mut r = rng::seeded(7);
+        let a = rng::rand_uniform(&mut r, &[67, 129], -1.0, 1.0);
+        let b = rng::rand_uniform(&mut r, &[129, 53], -1.0, 1.0);
+        let fast = a.matmul(&b);
+        // naive reference
+        let mut naive = Tensor::zeros(&[67, 53]);
+        for i in 0..67 {
+            for j in 0..53 {
+                let mut acc = 0.0;
+                for kk in 0..129 {
+                    acc += a[(i, kk)] * b[(kk, j)];
+                }
+                naive[(i, j)] = acc;
+            }
+        }
+        assert!(fast.max_abs_diff(&naive) < 1e-3);
+    }
+
+    #[test]
+    fn transposed_variants_agree() {
+        let mut r = rng::seeded(11);
+        let a = rng::rand_uniform(&mut r, &[13, 7], -1.0, 1.0);
+        let b = rng::rand_uniform(&mut r, &[13, 9], -1.0, 1.0);
+        let tn = a.matmul_tn(&b);
+        let reference = a.transpose2d().matmul(&b);
+        assert!(tn.max_abs_diff(&reference) < 1e-4);
+
+        let c = rng::rand_uniform(&mut r, &[9, 7], -1.0, 1.0);
+        let nt = c.matmul_nt(&a); // [9,7] × [13,7]ᵀ = [9,13]
+        let reference = c.matmul(&a.transpose2d());
+        assert!(nt.max_abs_diff(&reference) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose2d().transpose2d(), a);
+        assert_eq!(a.transpose2d()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = Tensor::from_slice(&[5.0, 6.0]);
+        let got = a.matvec(&v);
+        assert_eq!(got.as_slice(), &[17.0, 39.0]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Elementwise, broadcast and reduction operations.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip_map: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = self.clone();
+        for (o, &b) in out.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *o = f(*o, b);
+        }
+        out
+    }
+
+    /// Elementwise sum. Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference. Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product. Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient. Panics on shape mismatch.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Adds a 1-D row vector to every row of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is rank 2 and `row.len() == self.cols()`.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        let c = self.cols();
+        assert_eq!(
+            row.len(),
+            c,
+            "add_row_broadcast: row length {} != cols {c}",
+            row.len()
+        );
+        let mut out = self.clone();
+        let rv = row.as_slice();
+        for r in 0..out.shape()[0] {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(rv) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sums a matrix over rows, producing a row vector of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_axis0(&self) -> Tensor {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        Tensor::from_slice(&out)
+    }
+
+    /// Sums a matrix over columns, producing a vector of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_axis1(&self) -> Tensor {
+        let r = self.rows();
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            out.push(self.row(i).iter().sum());
+        }
+        Tensor::from_slice(&out)
+    }
+
+    /// Mean over rows, producing a row vector of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero rows.
+    pub fn mean_axis0(&self) -> Tensor {
+        let r = self.rows();
+        assert!(r > 0, "mean_axis0: zero rows");
+        self.sum_axis0().scale(1.0 / r as f32)
+    }
+
+    /// Index of the largest element of each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (r, c) = (self.rows(), self.cols());
+        assert!(c > 0, "argmax_rows: zero columns");
+        (0..r)
+            .map(|i| {
+                let row = self.row(i);
+                let mut best = 0;
+                for j in 1..c {
+                    if row[j] > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Row-wise softmax of a matrix (numerically stabilised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        let (r, _c) = (self.rows(), self.cols());
+        let mut out = self.clone();
+        for i in 0..r {
+            let row = out.row_mut(i);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        out
+    }
+
+    /// L2 norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Normalises each row of a matrix to unit L2 norm.
+    ///
+    /// Rows with norm below `eps` are left unchanged to avoid division by
+    /// (near-)zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn normalize_rows(&self, eps: f32) -> Tensor {
+        let r = self.rows();
+        let mut out = self.clone();
+        for i in 0..r {
+            let row = out.row_mut(i);
+            let n = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if n > eps {
+                for v in row.iter_mut() {
+                    *v /= n;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dot product of two 1-D tensors (or flattened tensors of equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Tensor {
+        Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = m();
+        assert_eq!(a.add(&a)[(1, 1)], 8.0);
+        assert_eq!(a.sub(&a).sum(), 0.0);
+        assert_eq!(a.mul(&a)[(1, 0)], 9.0);
+        assert_eq!(a.div(&a)[(0, 0)], 1.0);
+        assert_eq!(a.scale(2.0)[(0, 1)], 4.0);
+        assert_eq!(a.add_scalar(1.0)[(0, 0)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zip_map")]
+    fn add_shape_mismatch_panics() {
+        m().add(&Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn broadcast_row() {
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        let r = m().add_row_broadcast(&b);
+        assert_eq!(r[(0, 0)], 11.0);
+        assert_eq!(r[(1, 1)], 24.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m();
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.sum_axis0().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.sum_axis1().as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.mean_axis0().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_and_softmax() {
+        let a = Tensor::from_rows(&[&[0.0, 1.0, 0.5], &[9.0, 1.0, 2.0]]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+        let s = a.softmax_rows();
+        for i in 0..2 {
+            let rowsum: f32 = s.row(i).iter().sum();
+            assert!((rowsum - 1.0).abs() < 1e-6);
+        }
+        assert!(s[(1, 0)] > 0.9);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = Tensor::from_rows(&[&[1000.0, 1000.0]]);
+        let s = a.softmax_rows();
+        assert!((s[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let v = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(&v), 25.0);
+        let n = Tensor::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]).normalize_rows(1e-8);
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-6);
+        // zero row untouched
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = m();
+        let mut b = m();
+        b[(1, 1)] = 10.0;
+        assert_eq!(a.max_abs_diff(&b), 6.0);
+    }
+}

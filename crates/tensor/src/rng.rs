@@ -1,0 +1,124 @@
+//! Seeded random tensor construction.
+//!
+//! Every stochastic component in this repository (initialisers, searchers,
+//! dataset generators) takes an explicit seed so that experiments reproduce
+//! exactly. This module centralises the RNG plumbing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Tensor;
+
+/// Creates the deterministic RNG used throughout the workspace.
+///
+/// ```
+/// # use ai2_tensor::rng;
+/// let mut a = rng::seeded(42);
+/// let mut b = rng::seeded(42);
+/// let x = rng::rand_uniform(&mut a, &[3], 0.0, 1.0);
+/// let y = rng::rand_uniform(&mut b, &[3], 0.0, 1.0);
+/// assert_eq!(x, y);
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn rand_uniform(rng: &mut StdRng, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "rand_uniform: empty range [{lo}, {hi})");
+    let len = shape.iter().product();
+    let data: Vec<f32> = (0..len).map(|_| rng.random_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape).expect("length matches shape by construction")
+}
+
+/// Tensor with standard-normal elements (Box–Muller transform).
+pub fn randn(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let len: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        let (z0, z1) = box_muller(rng);
+        data.push(z0);
+        if data.len() < len {
+            data.push(z1);
+        }
+    }
+    Tensor::from_vec(data, shape).expect("length matches shape by construction")
+}
+
+/// One pair of independent standard-normal samples.
+pub fn box_muller(rng: &mut StdRng) -> (f32, f32) {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f32 = 1.0 - rng.random_range(0.0..1.0f32);
+    let u2: f32 = rng.random_range(0.0..1.0f32);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Xavier/Glorot-uniform initialisation for a `[fan_in, fan_out]` weight.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rand_uniform(rng, &[fan_in, fan_out], -limit, limit)
+}
+
+/// He/Kaiming-normal initialisation for a `[fan_in, fan_out]` weight.
+pub fn he_normal(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    randn(rng, &[fan_in, fan_out]).scale(std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(123);
+        let mut b = seeded(123);
+        assert_eq!(
+            rand_uniform(&mut a, &[16], -2.0, 2.0),
+            rand_uniform(&mut b, &[16], -2.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = seeded(1);
+        let t = rand_uniform(&mut r, &[1000], -0.5, 0.5);
+        assert!(t.max() < 0.5);
+        assert!(t.min() >= -0.5);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut r = seeded(2);
+        let t = randn(&mut r, &[20000]);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn xavier_limits() {
+        let mut r = seeded(3);
+        let w = xavier_uniform(&mut r, 8, 8);
+        let limit = (6.0f32 / 16.0).sqrt();
+        assert!(w.max() <= limit && w.min() >= -limit);
+        assert_eq!(w.shape(), &[8, 8]);
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let mut r = seeded(4);
+        let w = he_normal(&mut r, 128, 4096);
+        let std = (w.map(|v| v * v).mean()).sqrt();
+        let expected = (2.0f32 / 128.0).sqrt();
+        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+    }
+}

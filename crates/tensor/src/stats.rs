@@ -1,0 +1,251 @@
+//! Feature-scaling helpers shared by dataset pipelines.
+//!
+//! The DSE dataset features (`M`, `N`, `K` up to 1677) span several orders
+//! of magnitude, and latencies span many more; all learned models in this
+//! repository train on standardised features and log-scaled targets. The
+//! [`Standardizer`] records the statistics at fit time so that held-out
+//! workloads are transformed identically at inference time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Tensor;
+
+/// Per-column mean/std scaler for 2-D feature matrices (z-score).
+///
+/// # Example
+///
+/// ```
+/// use ai2_tensor::{stats::Standardizer, Tensor};
+///
+/// let train = Tensor::from_rows(&[&[0.0, 10.0], &[2.0, 30.0]]);
+/// let s = Standardizer::fit(&train);
+/// let z = s.transform(&train);
+/// assert!(z.mean().abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Computes per-column statistics from `data` (`[n, d]`).
+    ///
+    /// Columns with a standard deviation below `1e-8` get `std = 1` so the
+    /// transform is a no-op for constant features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has zero rows.
+    pub fn fit(data: &Tensor) -> Standardizer {
+        let (n, d) = (data.rows(), data.cols());
+        assert!(n > 0, "Standardizer::fit: zero rows");
+        let mean = data.mean_axis0();
+        let mut var = vec![0.0f32; d];
+        for i in 0..n {
+            for (j, (&x, &mu)) in data.row(i).iter().zip(mean.as_slice()).enumerate() {
+                var[j] += (x - mu) * (x - mu);
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|v| {
+                let s = (v / n as f32).sqrt();
+                if s < 1e-8 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Standardizer {
+            mean: mean.into_vec(),
+            std,
+        }
+    }
+
+    /// Applies the transform `(x - mean) / std` column-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        let (n, d) = (data.rows(), data.cols());
+        assert_eq!(d, self.mean.len(), "Standardizer: feature count mismatch");
+        let mut out = data.clone();
+        for i in 0..n {
+            for (j, x) in out.row_mut(i).iter_mut().enumerate() {
+                *x = (*x - self.mean[j]) / self.std[j];
+            }
+        }
+        out
+    }
+
+    /// Inverts the transform for a single row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted feature count.
+    pub fn inverse_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.mean.len(), "Standardizer: feature count mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(j, &x)| x * self.std[j] + self.mean[j])
+            .collect()
+    }
+
+    /// Fitted per-column means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Fitted per-column standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+}
+
+/// Min-max scaling of a slice to `[0, 1]`; constant slices map to `0.5`.
+pub fn minmax_normalize(values: &[f32]) -> Vec<f32> {
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !(hi - lo).is_normal() {
+        return vec![0.5; values.len()];
+    }
+    values.iter().map(|v| (v - lo) / (hi - lo)).collect()
+}
+
+/// Sample mean and (population) standard deviation of a slice.
+pub fn mean_std(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    (mean, var.sqrt())
+}
+
+/// Pearson correlation of two equal-length slices (0 when degenerate).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let (ma, sa) = mean_std(a);
+    let (mb, sb) = mean_std(b);
+    if sa < 1e-12 || sb < 1e-12 {
+        return 0.0;
+    }
+    let cov = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - ma) * (y - mb))
+        .sum::<f32>()
+        / a.len() as f32;
+    cov / (sa * sb)
+}
+
+/// Spearman rank correlation of two equal-length slices.
+///
+/// Used to validate the stage-1 performance predictor: the paper's encoder
+/// must *order* configurations by latency, which rank correlation measures
+/// directly.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn spearman(a: &[f32], b: &[f32]) -> f32 {
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(values: &[f32]) -> Vec<f32> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("finite values"));
+    let mut out = vec![0.0f32; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // average ranks over ties
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f32 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let data = Tensor::from_rows(&[&[1.0, 100.0], &[3.0, 300.0], &[5.0, 500.0]]);
+        let s = Standardizer::fit(&data);
+        let z = s.transform(&data);
+        for j in 0..2 {
+            let col: Vec<f32> = (0..3).map(|i| z[(i, j)]).collect();
+            let (m, sd) = mean_std(&col);
+            assert!(m.abs() < 1e-5);
+            assert!((sd - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn standardizer_roundtrip() {
+        let data = Tensor::from_rows(&[&[1.0, -5.0], &[2.0, 7.0], &[4.0, 0.0]]);
+        let s = Standardizer::fit(&data);
+        let z = s.transform(&data);
+        let back = s.inverse_row(z.row(1));
+        assert!((back[0] - 2.0).abs() < 1e-5);
+        assert!((back[1] - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn standardizer_constant_column() {
+        let data = Tensor::from_rows(&[&[5.0, 1.0], &[5.0, 2.0]]);
+        let s = Standardizer::fit(&data);
+        let z = s.transform(&data);
+        assert_eq!(z[(0, 0)], 0.0);
+        assert_eq!(z[(1, 0)], 0.0);
+        assert!(z.all_finite());
+    }
+
+    #[test]
+    fn minmax_basics() {
+        assert_eq!(minmax_normalize(&[2.0, 4.0]), vec![0.0, 1.0]);
+        assert_eq!(minmax_normalize(&[3.0, 3.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-5);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-5);
+        assert_eq!(pearson(&a, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 8.0, 27.0, 64.0, 125.0]; // cubic: nonlinear but monotone
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-5);
+    }
+}

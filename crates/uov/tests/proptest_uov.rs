@@ -1,0 +1,105 @@
+//! Property-based tests for the UOV representation invariants.
+
+use ai2_uov::{ConfigCodec, DiscretizationKind, OneHotCodec, RegressionCodec, UovCodec};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uov_roundtrip_is_lossless(
+        k in 1usize..33,
+        c in 2usize..128,
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let codec = UovCodec::new(k, c);
+        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
+        let v = codec.encode(idx);
+        prop_assert_eq!(codec.decode(&v), idx);
+    }
+
+    #[test]
+    fn uov_is_zero_above_target_and_positive_below(
+        k in 2usize..17,
+        c in 8usize..65,
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let codec = UovCodec::new(k, c);
+        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
+        let n = codec.bucket_of(idx);
+        let v = codec.encode(idx);
+        for (i, &x) in v.iter().enumerate() {
+            if i > n {
+                prop_assert_eq!(x, 0.0);
+            }
+            if i < n {
+                prop_assert!(x > 0.0);
+            }
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uov_preserves_ordering(
+        k in 2usize..17,
+        c in 8usize..65,
+        a_frac in 0.0f64..1.0,
+        b_frac in 0.0f64..1.0,
+    ) {
+        // a larger choice never encodes to an elementwise-smaller UOV
+        let codec = UovCodec::new(k, c);
+        let a = ((c - 1) as f64 * a_frac).round() as usize;
+        let b = ((c - 1) as f64 * b_frac).round() as usize;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let vlo = codec.encode(lo);
+        let vhi = codec.encode(hi);
+        for (l, h) in vlo.iter().zip(&vhi) {
+            prop_assert!(h >= l, "ordering violated: {:?} vs {:?}", vlo, vhi);
+        }
+    }
+
+    #[test]
+    fn uov_decode_small_noise_stays_within_one_choice(
+        k in 4usize..17,
+        c in 12usize..65,
+        idx_frac in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let codec = UovCodec::new(k, c);
+        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
+        let mut v = codec.encode(idx);
+        // deterministic ±0.02 perturbation
+        for (j, x) in v.iter_mut().enumerate() {
+            let s = ((seed as usize + j * 13) % 5) as f32 / 5.0 - 0.4;
+            *x = (*x + 0.05 * s).clamp(0.0, 1.0);
+        }
+        let d = codec.decode(&v);
+        // small head noise may move the estimate within the bucket but
+        // never to a distant choice
+        let tol = (c / k).max(1) + 1;
+        prop_assert!(
+            d.abs_diff(idx) <= tol,
+            "decoded {} from {} (tol {})", d, idx, tol
+        );
+    }
+
+    #[test]
+    fn uniform_and_sid_both_roundtrip(
+        k in 1usize..17,
+        c in 2usize..65,
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
+        for kind in [DiscretizationKind::Uniform, DiscretizationKind::SpaceIncreasing] {
+            let codec = UovCodec::with_kind(kind, k, c);
+            prop_assert_eq!(codec.decode(&codec.encode(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn one_hot_and_regression_roundtrip(c in 1usize..200, idx_frac in 0.0f64..1.0) {
+        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
+        let oh = OneHotCodec::new(c);
+        prop_assert_eq!(oh.decode(&oh.encode(idx)), idx);
+        let rg = RegressionCodec::new(c);
+        prop_assert_eq!(rg.decode(&rg.encode(idx)), idx);
+    }
+}

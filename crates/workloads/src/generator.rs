@@ -1,0 +1,217 @@
+//! Randomized workload sampling over the Table I input space.
+//!
+//! The paper generates its DSE dataset "by executing ConfuciuX on the
+//! randomized input parameters" drawn from 105 real DNN workloads. The
+//! [`WorkloadSampler`] reproduces that: a mixture of
+//!
+//! * uniform samples over the raw Table I ranges (design-space coverage),
+//! * log-uniform samples (realistic density of small layers), and
+//! * jittered copies of manifest layers (the real-workload component).
+
+use ai2_maestro::{Dataflow, GemmWorkload};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::layer::{TABLE_I_MAX_K, TABLE_I_MAX_M, TABLE_I_MAX_N};
+use crate::manifest;
+
+/// One DSE input sample: a GEMM plus the mapping's dataflow, matching the
+/// paper's input features `M, N, K, dataflow`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DseInput {
+    /// The workload GEMM.
+    pub gemm: GemmWorkload,
+    /// The mapping dataflow (a categorical *input* of the DSE task).
+    pub dataflow: Dataflow,
+}
+
+impl DseInput {
+    /// Raw feature vector `[M, N, K, dataflow_index]`.
+    pub fn features(&self) -> [f32; 4] {
+        let g = self.gemm.features();
+        [g[0], g[1], g[2], self.dataflow.index() as f32]
+    }
+}
+
+/// How a [`WorkloadSampler`] draws GEMM dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplingStrategy {
+    /// Uniform over `[1, max]` per dimension.
+    Uniform,
+    /// Log-uniform over `[1, max]` per dimension (dense small layers).
+    LogUniform,
+    /// Mixture: uniform / log-uniform / manifest-jitter with the given
+    /// weights (normalised internally).
+    Mixture {
+        /// Weight of the uniform component.
+        uniform: f32,
+        /// Weight of the log-uniform component.
+        log_uniform: f32,
+        /// Weight of the manifest-jitter component.
+        manifest: f32,
+    },
+}
+
+impl Default for SamplingStrategy {
+    fn default() -> Self {
+        SamplingStrategy::Mixture {
+            uniform: 0.4,
+            log_uniform: 0.3,
+            manifest: 0.3,
+        }
+    }
+}
+
+/// Seeded sampler of [`DseInput`]s over the Table I space.
+#[derive(Debug)]
+pub struct WorkloadSampler {
+    strategy: SamplingStrategy,
+    manifest: Vec<GemmWorkload>,
+}
+
+impl WorkloadSampler {
+    /// Creates a sampler with the default mixture strategy.
+    pub fn new() -> Self {
+        Self::with_strategy(SamplingStrategy::default())
+    }
+
+    /// Creates a sampler with an explicit strategy.
+    pub fn with_strategy(strategy: SamplingStrategy) -> Self {
+        WorkloadSampler {
+            strategy,
+            manifest: manifest::manifest_105()
+                .into_iter()
+                .map(|l| l.gemm)
+                .collect(),
+        }
+    }
+
+    /// Draws one DSE input.
+    pub fn sample(&self, rng: &mut StdRng) -> DseInput {
+        let gemm = match self.strategy {
+            SamplingStrategy::Uniform => self.sample_uniform(rng),
+            SamplingStrategy::LogUniform => self.sample_log_uniform(rng),
+            SamplingStrategy::Mixture {
+                uniform,
+                log_uniform,
+                manifest,
+            } => {
+                let total = (uniform + log_uniform + manifest).max(1e-9);
+                let r: f32 = rng.random_range(0.0..1.0);
+                if r < uniform / total {
+                    self.sample_uniform(rng)
+                } else if r < (uniform + log_uniform) / total {
+                    self.sample_log_uniform(rng)
+                } else {
+                    self.sample_manifest_jitter(rng)
+                }
+            }
+        };
+        let dataflow = Dataflow::from_index(rng.random_range(0..3));
+        DseInput { gemm, dataflow }
+    }
+
+    /// Draws `n` DSE inputs.
+    pub fn sample_n(&self, rng: &mut StdRng, n: usize) -> Vec<DseInput> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    fn sample_uniform(&self, rng: &mut StdRng) -> GemmWorkload {
+        GemmWorkload::new(
+            rng.random_range(1..=TABLE_I_MAX_M),
+            rng.random_range(1..=TABLE_I_MAX_N),
+            rng.random_range(1..=TABLE_I_MAX_K),
+        )
+    }
+
+    fn sample_log_uniform(&self, rng: &mut StdRng) -> GemmWorkload {
+        let draw = |rng: &mut StdRng, max: u64| -> u64 {
+            let lo = 0.0f64;
+            let hi = (max as f64).ln();
+            let v = rng.random_range(lo..hi).exp().round() as u64;
+            v.clamp(1, max)
+        };
+        GemmWorkload::new(
+            draw(rng, TABLE_I_MAX_M),
+            draw(rng, TABLE_I_MAX_N),
+            draw(rng, TABLE_I_MAX_K),
+        )
+    }
+
+    fn sample_manifest_jitter(&self, rng: &mut StdRng) -> GemmWorkload {
+        let base = self.manifest[rng.random_range(0..self.manifest.len())];
+        let jitter = |rng: &mut StdRng, v: u64, max: u64| -> u64 {
+            let f: f64 = rng.random_range(0.8..1.25);
+            ((v as f64 * f).round() as u64).clamp(1, max)
+        };
+        GemmWorkload::new(
+            jitter(rng, base.m, TABLE_I_MAX_M),
+            jitter(rng, base.n, TABLE_I_MAX_N),
+            jitter(rng, base.k, TABLE_I_MAX_K),
+        )
+    }
+}
+
+impl Default for WorkloadSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_tensor::rng::seeded;
+
+    #[test]
+    fn samples_stay_in_table_i_ranges() {
+        let s = WorkloadSampler::new();
+        let mut r = seeded(1);
+        for inp in s.sample_n(&mut r, 2000) {
+            assert!(inp.gemm.m >= 1 && inp.gemm.m <= TABLE_I_MAX_M);
+            assert!(inp.gemm.n >= 1 && inp.gemm.n <= TABLE_I_MAX_N);
+            assert!(inp.gemm.k >= 1 && inp.gemm.k <= TABLE_I_MAX_K);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = WorkloadSampler::new();
+        let a = s.sample_n(&mut seeded(42), 50);
+        let b = s.sample_n(&mut seeded(42), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_dataflows_appear() {
+        let s = WorkloadSampler::new();
+        let mut r = seeded(3);
+        let samples = s.sample_n(&mut r, 300);
+        for df in Dataflow::ALL {
+            assert!(samples.iter().any(|s| s.dataflow == df), "{df} missing");
+        }
+    }
+
+    #[test]
+    fn log_uniform_skews_small() {
+        let s = WorkloadSampler::with_strategy(SamplingStrategy::LogUniform);
+        let u = WorkloadSampler::with_strategy(SamplingStrategy::Uniform);
+        let mut r = seeded(4);
+        let med = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        let log_med = med(s.sample_n(&mut r, 1000).iter().map(|x| x.gemm.n).collect());
+        let uni_med = med(u.sample_n(&mut r, 1000).iter().map(|x| x.gemm.n).collect());
+        assert!(log_med < uni_med / 2, "log {log_med} vs uniform {uni_med}");
+    }
+
+    #[test]
+    fn features_encode_dataflow_index() {
+        let inp = DseInput {
+            gemm: GemmWorkload::new(1, 2, 3),
+            dataflow: Dataflow::RowStationary,
+        };
+        assert_eq!(inp.features(), [1.0, 2.0, 3.0, 2.0]);
+    }
+}

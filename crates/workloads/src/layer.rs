@@ -1,0 +1,159 @@
+//! A named layer lowered to a GEMM, with a repetition count.
+
+use ai2_maestro::GemmWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Maximum `M` in the paper's Table I input space.
+pub const TABLE_I_MAX_M: u64 = 256;
+/// Maximum `N` in the paper's Table I input space.
+pub const TABLE_I_MAX_N: u64 = 1677;
+/// Maximum `K` in the paper's Table I input space.
+pub const TABLE_I_MAX_K: u64 = 1185;
+
+/// One layer of a model: a GEMM plus how many times it repeats
+/// (e.g. the 12 identical blocks of BERT-base).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable layer name (`"conv2_x.3x3"`, `"ffn.up"` …).
+    pub name: String,
+    /// The GEMM this layer lowers to.
+    pub gemm: GemmWorkload,
+    /// How many times the layer executes per inference.
+    pub count: u32,
+}
+
+impl Layer {
+    /// Creates a layer executing once.
+    pub fn new(name: impl Into<String>, gemm: GemmWorkload) -> Self {
+        Layer {
+            name: name.into(),
+            gemm,
+            count: 1,
+        }
+    }
+
+    /// Creates a layer repeated `count` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn repeated(name: impl Into<String>, gemm: GemmWorkload, count: u32) -> Self {
+        assert!(count > 0, "Layer: zero repetition count");
+        Layer {
+            name: name.into(),
+            gemm,
+            count,
+        }
+    }
+
+    /// Lowers a 2-D convolution to its im2col GEMM:
+    /// `M = out_h·out_w`, `N = out_channels`, `K = in_channels·kh·kw`.
+    pub fn conv2d(
+        name: impl Into<String>,
+        out_h: u64,
+        out_w: u64,
+        out_c: u64,
+        in_c: u64,
+        kh: u64,
+        kw: u64,
+    ) -> Self {
+        Layer::new(name, GemmWorkload::new(out_h * out_w, out_c, in_c * kh * kw))
+    }
+
+    /// Lowers a fully connected / projection layer:
+    /// `M = tokens (or batch)`, `N = out_features`, `K = in_features`.
+    pub fn linear(name: impl Into<String>, tokens: u64, out_features: u64, in_features: u64) -> Self {
+        Layer::new(name, GemmWorkload::new(tokens, out_features, in_features))
+    }
+
+    /// MACs contributed by all repetitions.
+    pub fn total_macs(&self) -> u64 {
+        self.gemm.macs() * self.count as u64
+    }
+
+    /// Splits an out-of-range GEMM into equal in-range tiles.
+    ///
+    /// A dimension exceeding its Table I bound is divided into the
+    /// smallest number of equal chunks that fit; the returned layer holds
+    /// the (ceiling-balanced) tile GEMM and a count multiplied by the
+    /// number of tiles. In-range layers are returned unchanged.
+    ///
+    /// This mirrors how a compiler blocks a large GEMM onto a fixed
+    /// accelerator, and keeps every DSE query inside the training
+    /// distribution of the paper's Table I.
+    pub fn tiled_to_ranges(&self) -> Layer {
+        let split = |dim: u64, cap: u64| -> (u64, u64) {
+            let parts = dim.div_ceil(cap);
+            (dim.div_ceil(parts), parts)
+        };
+        let (m_t, pm) = split(self.gemm.m, TABLE_I_MAX_M);
+        let (n_t, pn) = split(self.gemm.n, TABLE_I_MAX_N);
+        let (k_t, pk) = split(self.gemm.k, TABLE_I_MAX_K);
+        let tiles = pm * pn * pk;
+        if tiles == 1 {
+            return self.clone();
+        }
+        Layer {
+            name: format!("{}[{}t]", self.name, tiles),
+            gemm: GemmWorkload::new(m_t, n_t, k_t),
+            count: self.count * tiles as u32,
+        }
+    }
+
+    /// Whether the GEMM lies inside the Table I input space.
+    pub fn in_table_i_ranges(&self) -> bool {
+        self.gemm.m <= TABLE_I_MAX_M && self.gemm.n <= TABLE_I_MAX_N && self.gemm.k <= TABLE_I_MAX_K
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_lowering_matches_im2col() {
+        let l = Layer::conv2d("c", 56, 56, 64, 3, 7, 7);
+        assert_eq!(l.gemm.m, 3136);
+        assert_eq!(l.gemm.n, 64);
+        assert_eq!(l.gemm.k, 147);
+    }
+
+    #[test]
+    fn linear_lowering() {
+        let l = Layer::linear("fc", 128, 3072, 768);
+        assert_eq!(l.gemm, GemmWorkload::new(128, 3072, 768));
+    }
+
+    #[test]
+    fn total_macs_scales_with_count() {
+        let l = Layer::repeated("blk", GemmWorkload::new(2, 3, 4), 5);
+        assert_eq!(l.total_macs(), 24 * 5);
+    }
+
+    #[test]
+    fn tiling_keeps_total_work_approximately() {
+        let l = Layer::conv2d("big", 112, 112, 64, 3, 7, 7); // M = 12544
+        let t = l.tiled_to_ranges();
+        assert!(t.in_table_i_ranges());
+        let orig = l.total_macs() as f64;
+        let tiled = t.total_macs() as f64;
+        // ceiling-balanced tiles may slightly overcount, never undercount
+        assert!(tiled >= orig);
+        assert!(tiled < orig * 1.10, "tiling overhead too large: {tiled} vs {orig}");
+    }
+
+    #[test]
+    fn tiling_in_range_is_identity() {
+        let l = Layer::linear("small", 128, 1024, 512);
+        assert_eq!(l.tiled_to_ranges(), l);
+    }
+
+    #[test]
+    fn tiling_splits_every_axis() {
+        let l = Layer::linear("llm.ffn", 512, 11008, 4096); // all three exceed
+        let t = l.tiled_to_ranges();
+        assert!(t.in_table_i_ranges());
+        assert!(t.count >= 2 * 7 * 4);
+        assert!(t.name.contains('t'));
+    }
+}

@@ -1,0 +1,43 @@
+//! DNN / LLM workload definitions for the AIrchitect v2 reproduction.
+//!
+//! The paper trains on a dataset drawn from **105 real DNN workloads** and
+//! evaluates deployment on unseen models (ResNet-50, Llama2-7B,
+//! Llama3-8B). This crate supplies both sides:
+//!
+//! * [`zoo`] — a model zoo of CNNs, encoder transformers and LLMs whose
+//!   layers are lowered to GEMMs ([`Layer`] / [`ModelWorkload`]); convs use
+//!   im2col lowering, attention/FFN layers are GEMMs natively.
+//! * [`manifest`] — the 105-workload training manifest assembled from the
+//!   zoo, tiled into the Table I feature ranges.
+//! * [`generator`] — randomized workload sampling over the Table I input
+//!   space, used to generate the DSE training dataset exactly as the
+//!   paper does ("executing ConfuciuX on the randomized input
+//!   parameters").
+//!
+//! Layers whose raw GEMM dimensions exceed the Table I ranges
+//! (`M ≤ 256`, `N ≤ 1677`, `K ≤ 1185`) are *tiled*: a GEMM that is too
+//! large runs as a sequence of equal in-range sub-GEMMs, the way a
+//! compiler would block it onto an accelerator ([`Layer::tiled_to_ranges`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ai2_workloads::zoo;
+//!
+//! let resnet = zoo::resnet50();
+//! assert!(resnet.total_macs() > 3_000_000_000); // ~4 GMACs at 224²
+//! let dse_layers = resnet.to_dse_layers();
+//! for layer in &dse_layers {
+//!     assert!(layer.gemm.m <= 256 && layer.gemm.n <= 1677 && layer.gemm.k <= 1185);
+//! }
+//! ```
+
+mod layer;
+mod model;
+
+pub mod generator;
+pub mod manifest;
+pub mod zoo;
+
+pub use layer::{Layer, TABLE_I_MAX_K, TABLE_I_MAX_M, TABLE_I_MAX_N};
+pub use model::ModelWorkload;

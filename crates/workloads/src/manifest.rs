@@ -1,0 +1,90 @@
+//! The 105-workload training manifest.
+//!
+//! The paper's dataset is built from **105 real DNN workloads**; this
+//! module assembles the equivalent: the unique per-layer GEMMs (tiled
+//! into the Table I ranges) contributed by the training half of the
+//! [`crate::zoo`], truncated deterministically to exactly 105 entries.
+
+use std::collections::HashSet;
+
+use ai2_maestro::GemmWorkload;
+
+use crate::layer::Layer;
+use crate::zoo;
+
+/// Number of workloads in the training manifest, matching the paper.
+pub const MANIFEST_SIZE: usize = 105;
+
+/// The 105 unique training workloads (deduplicated by GEMM shape, in
+/// deterministic zoo order, truncated to [`MANIFEST_SIZE`]).
+///
+/// # Panics
+///
+/// Panics if the zoo provides fewer than 105 unique in-range layers —
+/// that would mean the zoo was edited without updating the manifest.
+pub fn manifest_105() -> Vec<Layer> {
+    let mut seen: HashSet<GemmWorkload> = HashSet::new();
+    let mut out: Vec<Layer> = Vec::new();
+    for model in zoo::training_models() {
+        for layer in model.to_dse_layers() {
+            if seen.insert(layer.gemm) {
+                let mut named = layer.clone();
+                named.name = format!("{}::{}", model.name, layer.name);
+                out.push(named);
+            }
+        }
+    }
+    assert!(
+        out.len() >= MANIFEST_SIZE,
+        "zoo provides only {} unique layers; expected at least {MANIFEST_SIZE}",
+        out.len()
+    );
+    out.truncate(MANIFEST_SIZE);
+    out
+}
+
+/// Unique layers the zoo can contribute before truncation (diagnostics).
+pub fn available_unique_layers() -> usize {
+    let mut seen: HashSet<GemmWorkload> = HashSet::new();
+    let mut count = 0;
+    for model in zoo::training_models() {
+        for layer in model.to_dse_layers() {
+            if seen.insert(layer.gemm) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_has_exactly_105_entries() {
+        assert_eq!(manifest_105().len(), MANIFEST_SIZE);
+    }
+
+    #[test]
+    fn manifest_entries_are_unique_and_in_range() {
+        let m = manifest_105();
+        let mut seen = HashSet::new();
+        for l in &m {
+            assert!(l.in_table_i_ranges(), "{} out of range", l.name);
+            assert!(seen.insert(l.gemm), "duplicate shape {}", l.gemm);
+        }
+    }
+
+    #[test]
+    fn manifest_is_deterministic() {
+        assert_eq!(manifest_105(), manifest_105());
+    }
+
+    #[test]
+    fn manifest_spans_cnn_and_transformer_layers() {
+        let m = manifest_105();
+        assert!(m.iter().any(|l| l.name.starts_with("vgg16")));
+        assert!(m.iter().any(|l| l.name.starts_with("bert_base")));
+    }
+}

@@ -1,0 +1,91 @@
+//! A whole model as an ordered list of layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+
+/// A named DNN/LLM workload: an ordered list of [`Layer`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWorkload {
+    /// Model name (`"resnet50"`, `"llama2_7b"` …).
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+}
+
+impl ModelWorkload {
+    /// Creates a model from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "ModelWorkload: no layers");
+        ModelWorkload {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Total MACs over all layers and repetitions.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::total_macs).sum()
+    }
+
+    /// Number of layer entries (not counting repetitions).
+    pub fn num_unique_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total executed layer instances (counting repetitions).
+    pub fn num_layer_instances(&self) -> u64 {
+        self.layers.iter().map(|l| l.count as u64).sum()
+    }
+
+    /// Every layer tiled into the Table I ranges — the form consumed by
+    /// the DSE pipeline (per-layer hardware recommendation).
+    pub fn to_dse_layers(&self) -> Vec<Layer> {
+        self.layers.iter().map(Layer::tiled_to_ranges).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_maestro::GemmWorkload;
+
+    fn model() -> ModelWorkload {
+        ModelWorkload::new(
+            "toy",
+            vec![
+                Layer::new("a", GemmWorkload::new(2, 3, 4)),
+                Layer::repeated("b", GemmWorkload::new(5, 6, 7), 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let m = model();
+        assert_eq!(m.total_macs(), 24 + 3 * 210);
+        assert_eq!(m.num_unique_layers(), 2);
+        assert_eq!(m.num_layer_instances(), 4);
+    }
+
+    #[test]
+    fn dse_layers_are_in_range() {
+        let m = ModelWorkload::new(
+            "big",
+            vec![Layer::linear("l", 1024, 4096, 4096)],
+        );
+        for l in m.to_dse_layers() {
+            assert!(l.in_table_i_ranges());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no layers")]
+    fn empty_model_rejected() {
+        ModelWorkload::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: generate a DSE dataset, train AIrchitect v2, and get a
+//! one-shot hardware recommendation for a new layer.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use airchitect_repro::prelude::*;
+
+fn main() {
+    // 1. The DSE problem of the paper's Table I: inputs (M, N, K,
+    //    dataflow), outputs (#PEs out of 64 options, L2 buffer out of 12),
+    //    latency objective under an edge-area budget.
+    let task = DseTask::table_i_default();
+    println!(
+        "design space: {} PE options × {} buffer options = {} configurations",
+        task.space().num_pe_choices(),
+        task.space().num_buf_choices(),
+        task.space().num_points()
+    );
+
+    // 2. Generate a labeled dataset: random workloads, each labeled with
+    //    the exact optimum by exhaustive evaluation of the cost model
+    //    (the quantity ConfuciuX searches for in the paper's pipeline).
+    println!("generating dataset…");
+    let data = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 3000,
+            seed: 42,
+            threads: 0,
+            ..GenerateConfig::default()
+        },
+    );
+    let (train, test) = data.split(0.8, 42);
+
+    // 3. Train the two-stage model: contrastive encoder, then UOV decoder.
+    println!("training AIrchitect v2 (scaled-down schedule)…");
+    let mut model = Airchitect2::new(&ModelConfig::default(), &task, &train);
+    let mut cfg = TrainConfig::default();
+    cfg.stage1_epochs = 40;
+    cfg.stage2_epochs = 60;
+    model.fit(&train, &cfg);
+
+    // 4. Evaluate.
+    let p = model.predictor();
+    println!("test bucket accuracy : {:.2}%", p.accuracy(&test));
+    println!("test exact accuracy  : {:.2}%", p.exact_accuracy(&test));
+    println!("latency vs oracle    : {:.3}x (geomean)", p.latency_ratio(&test));
+
+    // 5. One-shot inference for a brand-new layer: a BERT-base FFN tile.
+    let layer = DseInput {
+        gemm: GemmWorkload::new(128, 1536, 768),
+        dataflow: Dataflow::WeightStationary,
+    };
+    let point = model.predict(&[layer])[0];
+    let hw = task.space().config(point);
+    let oracle = task.oracle(&layer);
+    let oracle_hw = task.space().config(oracle.best_point);
+    println!("\nnew layer {}:", layer.gemm);
+    println!("  recommended : {hw}");
+    println!("  oracle      : {oracle_hw}");
+    let got = task
+        .score(&layer, point)
+        .unwrap_or(f64::INFINITY);
+    println!(
+        "  latency     : {:.0} cycles (oracle {:.0}, ratio {:.3})",
+        got,
+        oracle.best_score,
+        got / oracle.best_score
+    );
+}

@@ -1,0 +1,58 @@
+//! # AIrchitect v2 — a Rust reproduction
+//!
+//! This crate is the facade of the workspace reproducing *AIRCHITECT v2:
+//! Learning the Hardware Accelerator Design Space through Unified
+//! Representations* (Seo, Ramachandran et al., DATE 2025), including every
+//! substrate the paper depends on:
+//!
+//! | re-export | crate | role |
+//! |-----------|-------|------|
+//! | [`tensor`] | `ai2-tensor` | dense tensors, PCA, Cholesky |
+//! | [`nn`] | `ai2-nn` | autograd, transformer layers, losses, optimizers |
+//! | [`maestro`] | `ai2-maestro` | analytical accelerator cost model |
+//! | [`workloads`] | `ai2-workloads` | DNN/LLM model zoo + generators |
+//! | [`dse`] | `ai2-dse` | design space, oracle, search baselines, dataset |
+//! | [`uov`] | `ai2-uov` | Unified Ordinal Vectors |
+//! | [`airchitect`] | `airchitect` | the paper's encoder–decoder model |
+//! | [`baselines`] | `ai2-baselines` | AIrchitect v1, GANDSE, VAESA |
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow and the
+//! `ai2-bench` binaries (`table2` … `fig9`) for the per-table /
+//! per-figure experiment harness.
+
+pub use ai2_baselines as baselines;
+pub use ai2_systolic as systolic;
+pub use ai2_dse as dse;
+pub use ai2_maestro as maestro;
+pub use ai2_nn as nn;
+pub use ai2_tensor as tensor;
+pub use ai2_uov as uov;
+pub use ai2_workloads as workloads;
+pub use airchitect;
+
+/// Rank-correlation helper shared by the simulator-validation tests.
+pub mod systolic_check {
+    /// Spearman rank correlation over `f64` slices (ties get averaged
+    /// ranks), mirroring `ai2_tensor::stats::spearman` for f64 data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn spearman64(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "spearman64: length mismatch");
+        let fa: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let fb: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+        ai2_tensor::stats::spearman(&fa, &fb) as f64
+    }
+}
+
+/// Convenience prelude importing the types most programs need.
+pub mod prelude {
+    pub use ai2_dse::{
+        Budget, DesignPoint, DesignSpace, DseDataset, DseTask, GenerateConfig, Objective,
+    };
+    pub use ai2_maestro::{AcceleratorConfig, CostModel, Dataflow, GemmWorkload};
+    pub use ai2_uov::{ConfigCodec, UovCodec};
+    pub use ai2_workloads::generator::DseInput;
+    pub use airchitect::{train::TrainConfig, Airchitect2, HeadKind, ModelConfig};
+}

@@ -1,0 +1,151 @@
+//! Edge-case integration tests: boundary workloads and degenerate
+//! configurations through the full pipeline.
+
+use airchitect_repro::airchitect::deploy::model_latency;
+use airchitect_repro::prelude::*;
+use airchitect_repro::workloads::{Layer, TABLE_I_MAX_K, TABLE_I_MAX_M, TABLE_I_MAX_N};
+
+#[test]
+fn unit_gemm_is_labelable_and_predictable() {
+    // the smallest possible layer must flow through oracle and features
+    let task = DseTask::table_i_default();
+    let input = DseInput {
+        gemm: GemmWorkload::new(1, 1, 1),
+        dataflow: Dataflow::WeightStationary,
+    };
+    let oracle = task.oracle(&input);
+    assert!(oracle.best_score > 0.0);
+    // for a unit GEMM every feasible config is latency-equivalent up to
+    // fill/drain; the tie-break must choose the cheapest configuration
+    let smallest = DesignPoint { pe_idx: 0, buf_idx: 0 };
+    let s_small = task.score(&input, smallest).expect("feasible");
+    assert!(
+        oracle.best_score <= s_small,
+        "oracle worse than smallest config"
+    );
+    assert_eq!(
+        oracle.best_point, smallest,
+        "unit GEMM should pick the cheapest configuration, got {:?}",
+        oracle.best_point
+    );
+}
+
+#[test]
+fn maximal_table_i_gemm_is_labelable() {
+    let task = DseTask::table_i_default();
+    for df in Dataflow::ALL {
+        let input = DseInput {
+            gemm: GemmWorkload::new(TABLE_I_MAX_M, TABLE_I_MAX_N, TABLE_I_MAX_K),
+            dataflow: df,
+        };
+        let oracle = task.oracle(&input);
+        assert!(oracle.best_score.is_finite());
+        // a maximal layer must not pick a minimal buffer
+        assert!(
+            oracle.best_point.pe_idx > 0 || oracle.best_point.buf_idx > 0,
+            "maximal workload picked the minimal config"
+        );
+    }
+}
+
+#[test]
+fn skinny_gemms_prefer_smaller_arrays_than_fat_gemms() {
+    // aggregate sanity of the landscape: tiny-M decode-like layers should
+    // not demand more PEs than a large square GEMM
+    let task = DseTask::table_i_default();
+    let skinny = task.oracle(&DseInput {
+        gemm: GemmWorkload::new(1, 64, 64),
+        dataflow: Dataflow::OutputStationary,
+    });
+    let fat = task.oracle(&DseInput {
+        gemm: GemmWorkload::new(256, 1677, 1185),
+        dataflow: Dataflow::OutputStationary,
+    });
+    assert!(
+        skinny.best_point.pe_idx <= fat.best_point.pe_idx,
+        "skinny {:?} vs fat {:?}",
+        skinny.best_point,
+        fat.best_point
+    );
+}
+
+#[test]
+fn single_layer_model_deployment_matches_per_layer_oracle() {
+    let task = DseTask::table_i_default();
+    let layer = Layer::new("only", GemmWorkload::new(64, 256, 128));
+    let input_best = Dataflow::ALL
+        .iter()
+        .map(|&df| {
+            task.oracle(&DseInput {
+                gemm: layer.gemm,
+                dataflow: df,
+            })
+        })
+        .min_by(|a, b| a.best_score.partial_cmp(&b.best_score).expect("finite"))
+        .expect("three dataflows");
+    // deploying a one-layer model on that layer's own optimum must yield
+    // exactly the oracle latency
+    let lat = model_latency(&task, &[layer], input_best.best_point);
+    assert!(
+        (lat - input_best.best_score).abs() < 1e-9,
+        "single-layer deployment {lat} != oracle {}",
+        input_best.best_score
+    );
+}
+
+#[test]
+fn dataset_split_extremes_behave() {
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 10,
+            seed: 1,
+            threads: 1,
+            ..GenerateConfig::default()
+        },
+    );
+    let (train, test) = ds.split(0.9, 0);
+    assert_eq!(train.len(), 9);
+    assert_eq!(test.len(), 1);
+    let (train, test) = ds.split(0.1, 0);
+    assert_eq!(train.len(), 1);
+    assert_eq!(test.len(), 9);
+}
+
+#[test]
+fn feature_encoder_extrapolates_beyond_training_ranges() {
+    use airchitect_repro::airchitect::FeatureEncoder;
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 50,
+            seed: 2,
+            threads: 1,
+            ..GenerateConfig::default()
+        },
+    );
+    let enc = FeatureEncoder::fit(&ds);
+    // an out-of-distribution huge layer must still encode to finite values
+    let f = enc.encode_input(&DseInput {
+        gemm: GemmWorkload::new(10_000, 50_000, 20_000),
+        dataflow: Dataflow::RowStationary,
+    });
+    assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+}
+
+#[test]
+fn uov_and_design_space_widths_are_consistent() {
+    use airchitect_repro::uov::{ConfigCodec, UovCodec};
+    let task = DseTask::table_i_default();
+    let pe = UovCodec::new(16, task.space().num_pe_choices());
+    let buf = UovCodec::new(16, task.space().num_buf_choices());
+    assert_eq!(pe.width(), 16);
+    assert_eq!(buf.width(), 12, "12 buffer choices clamp 16 buckets to 12");
+    // every grid point encodes and decodes
+    for p in task.space().iter_points() {
+        assert_eq!(pe.decode(&pe.encode(p.pe_idx)), p.pe_idx);
+        assert_eq!(buf.decode(&buf.encode(p.buf_idx)), p.buf_idx);
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration: dataset generation → two-stage training →
+//! one-shot prediction → model-level deployment, spanning every crate in
+//! the workspace.
+
+use airchitect_repro::airchitect::deploy::{method1, method2};
+use airchitect_repro::airchitect::train::TrainConfig;
+use airchitect_repro::prelude::*;
+use airchitect_repro::workloads::zoo;
+
+fn small_dataset(task: &DseTask, n: usize, seed: u64) -> DseDataset {
+    DseDataset::generate(
+        task,
+        &GenerateConfig {
+            num_samples: n,
+            seed,
+            threads: 2,
+            ..GenerateConfig::default()
+        },
+    )
+}
+
+#[test]
+fn full_pipeline_produces_usable_model() {
+    let task = DseTask::table_i_default();
+    let ds = small_dataset(&task, 600, 101);
+    let (train, test) = ds.split(0.8, 1);
+
+    let mut model = Airchitect2::new(&ModelConfig::tiny(), &task, &train);
+    let report = model.fit(
+        &train,
+        &TrainConfig {
+            stage1_epochs: 15,
+            stage2_epochs: 20,
+            batch_size: 64,
+            ..TrainConfig::default()
+        },
+    );
+    // losses decrease in both stages
+    assert!(report.stage1.last().unwrap() < &report.stage1[0]);
+    assert!(report.stage2.last().unwrap() < &report.stage2[0]);
+
+    // predictions are valid and better than a pessimal constant
+    let p = model.predictor();
+    let ratio = p.latency_ratio(&test);
+    assert!(ratio.is_finite() && ratio >= 1.0);
+    assert!(ratio < 20.0, "predictions are pathological: ratio {ratio}");
+
+    // deployment works end-to-end on an unseen model
+    let layers = zoo::resnet18().to_dse_layers();
+    let rec = |input: &DseInput| -> DesignPoint { model.predict(&[*input])[0] };
+    let d1 = method1(&task, &layers, &rec);
+    let d2 = method2(&task, &layers, &rec);
+    assert!(task.is_feasible(d1.point));
+    assert!(task.is_feasible(d2.point));
+    assert!(d1.latency > 0.0 && d1.latency.is_finite());
+    assert!(d1.latency <= d2.latency + 1e-6, "Method 1 evaluates a superset");
+}
+
+#[test]
+fn oracle_labels_are_reachable_by_prediction_interface() {
+    // the design points stored in the dataset must round-trip through the
+    // space the model predicts over
+    let task = DseTask::table_i_default();
+    let ds = small_dataset(&task, 100, 102);
+    for s in &ds.samples {
+        let flat = task.space().flat_index(s.optimal);
+        assert_eq!(task.space().from_flat(flat), s.optimal);
+        assert!(task.is_feasible(s.optimal), "oracle produced infeasible label");
+    }
+}
+
+#[test]
+fn trained_model_survives_checkpoint_roundtrip() {
+    use airchitect_repro::nn::checkpoint::Checkpoint;
+
+    let task = DseTask::table_i_default();
+    let ds = small_dataset(&task, 300, 103);
+    let mut model = Airchitect2::new(&ModelConfig::tiny(), &task, &ds);
+    model.fit(
+        &ds,
+        &TrainConfig {
+            stage1_epochs: 6,
+            stage2_epochs: 8,
+            batch_size: 64,
+            ..TrainConfig::default()
+        },
+    );
+    let inputs: Vec<DseInput> = ds.samples.iter().take(16).map(|s| s.input()).collect();
+    let before = model.predict(&inputs);
+
+    // snapshot, perturb nothing, restore into an identically-shaped model
+    let ck = Checkpoint::from_store(model.store());
+    let mut clone = Airchitect2::new(&ModelConfig::tiny(), &task, &ds);
+    ck.apply_to(clone.store_mut()).expect("restore checkpoint");
+    let after = clone.predict(&inputs);
+    assert_eq!(before, after, "checkpoint restore changed predictions");
+}
+
+#[test]
+fn dataflow_is_a_real_input_feature() {
+    // same GEMM, different dataflow, must be able to yield different
+    // optima in the dataset (otherwise the 4th feature is dead)
+    let task = DseTask::table_i_default();
+    let mut differs = false;
+    for (m, n, k) in [(16u64, 1600u64, 900u64), (128, 64, 900), (100, 700, 450)] {
+        let a = task.oracle(&DseInput {
+            gemm: GemmWorkload::new(m, n, k),
+            dataflow: Dataflow::WeightStationary,
+        });
+        let b = task.oracle(&DseInput {
+            gemm: GemmWorkload::new(m, n, k),
+            dataflow: Dataflow::RowStationary,
+        });
+        if a.best_point != b.best_point {
+            differs = true;
+            break;
+        }
+    }
+    assert!(differs, "dataflow never changed the optimal configuration");
+}

@@ -1,0 +1,102 @@
+//! Cross-validation of the two cost substrates: the cycle-level systolic
+//! simulator (`ai2-systolic`) and the analytical MAESTRO-style model
+//! (`ai2-maestro`) must agree on compute-side *trends* — the analytical
+//! model is only trustworthy as a DSE oracle if its latency ordering
+//! matches what an actual array does.
+
+use airchitect_repro::maestro::{AcceleratorConfig, CostModel, Dataflow, GemmWorkload};
+use airchitect_repro::systolic_check::spearman64;
+use airchitect_repro::tensor::stats::spearman;
+
+/// Compute-side comparison points: compute-bound settings (huge L2, so
+/// the analytical model's DRAM term never binds).
+fn analytical_compute_cycles(wl: &GemmWorkload, pes: u32) -> f64 {
+    let model = CostModel::default();
+    let hw = AcceleratorConfig::new(pes, 2 * 1024 * 1024);
+    let r = model.evaluate(wl, Dataflow::OutputStationary, &hw);
+    r.compute_cycles as f64 + r.fill_drain_cycles as f64
+}
+
+fn simulated_cycles(wl: &GemmWorkload, pes: u32) -> f64 {
+    use airchitect_repro::systolic::{ArrayConfig, GemmSimulation};
+    let cfg = ArrayConfig::squarest(pes as usize);
+    let (m, n, k) = (wl.m as usize, wl.n as usize, wl.k as usize);
+    let a = vec![1.0f32; m * k];
+    let b = vec![1.0f32; k * n];
+    GemmSimulation::run(&cfg, &a, &b, m, n, k).report().total_cycles as f64
+}
+
+#[test]
+fn analytical_and_simulated_latencies_correlate_across_workloads() {
+    let workloads = [
+        GemmWorkload::new(8, 8, 16),
+        GemmWorkload::new(16, 16, 32),
+        GemmWorkload::new(32, 8, 64),
+        GemmWorkload::new(4, 48, 24),
+        GemmWorkload::new(24, 24, 96),
+        GemmWorkload::new(48, 16, 48),
+        GemmWorkload::new(12, 40, 80),
+        GemmWorkload::new(64, 32, 16),
+    ];
+    let analytical: Vec<f32> = workloads
+        .iter()
+        .map(|w| analytical_compute_cycles(w, 16) as f32)
+        .collect();
+    let simulated: Vec<f32> = workloads
+        .iter()
+        .map(|w| simulated_cycles(w, 16) as f32)
+        .collect();
+    let rho = spearman(&analytical, &simulated);
+    assert!(
+        rho > 0.85,
+        "analytical vs simulated rank correlation too low: {rho} \
+         (analytical {analytical:?}, simulated {simulated:?})"
+    );
+}
+
+#[test]
+fn both_substrates_agree_more_pes_help_large_gemms() {
+    let wl = GemmWorkload::new(48, 48, 64);
+    let a_small = analytical_compute_cycles(&wl, 16);
+    let a_big = analytical_compute_cycles(&wl, 64);
+    let s_small = simulated_cycles(&wl, 16);
+    let s_big = simulated_cycles(&wl, 64);
+    assert!(a_big < a_small, "analytical: more PEs did not help");
+    assert!(s_big < s_small, "simulated: more PEs did not help");
+}
+
+#[test]
+fn both_substrates_agree_tiny_gemms_waste_big_arrays() {
+    // utilization collapse on a 4×4×8 GEMM over a 64-PE array, in both
+    let wl = GemmWorkload::new(4, 4, 8);
+    use airchitect_repro::systolic::{ArrayConfig, GemmSimulation};
+    let sim = GemmSimulation::run(
+        &ArrayConfig::squarest(64),
+        &vec![1.0; 4 * 8],
+        &vec![1.0; 8 * 4],
+        4,
+        4,
+        8,
+    );
+    assert!(sim.report().utilization < 0.3, "sim util {}", sim.report().utilization);
+    let model = CostModel::default();
+    let r = model.evaluate(
+        &wl,
+        Dataflow::OutputStationary,
+        &AcceleratorConfig::new(64, 2 * 1024 * 1024),
+    );
+    assert!(r.utilization < 0.3, "analytical util {}", r.utilization);
+}
+
+#[test]
+fn spearman_helper_consistency() {
+    // the f64 helper used above must agree with the tensor-crate one
+    let a = [1.0f32, 2.0, 3.0, 4.0];
+    let b = [1.0f32, 4.0, 9.0, 16.0];
+    let r32 = spearman(&a, &b);
+    let r64 = spearman64(
+        &a.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+        &b.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+    );
+    assert!((r32 as f64 - r64).abs() < 1e-6);
+}

@@ -1,0 +1,155 @@
+//! Cross-crate consistency of the substrates: cost model × workloads ×
+//! design space × searchers must agree on units, feasibility, and
+//! determinism.
+
+use airchitect_repro::dse::search::{
+    bo::BoSearcher, AnnealingSearcher, ConfuciuxSearcher, GammaSearcher, RandomSearcher, Searcher,
+};
+use airchitect_repro::dse::stats::LabelHistogram;
+use airchitect_repro::prelude::*;
+use airchitect_repro::workloads::{manifest, zoo};
+
+#[test]
+fn every_zoo_layer_is_costable_on_every_grid_corner() {
+    let task = DseTask::table_i_default();
+    let space = task.space();
+    let corners = [
+        DesignPoint { pe_idx: 0, buf_idx: 0 },
+        DesignPoint { pe_idx: 0, buf_idx: space.num_buf_choices() - 1 },
+        DesignPoint { pe_idx: space.num_pe_choices() - 1, buf_idx: 0 },
+        DesignPoint {
+            pe_idx: space.num_pe_choices() - 1,
+            buf_idx: space.num_buf_choices() - 1,
+        },
+    ];
+    for model in zoo::training_models().into_iter().chain(zoo::evaluation_models()) {
+        for layer in model.to_dse_layers() {
+            for df in Dataflow::ALL {
+                let input = DseInput {
+                    gemm: layer.gemm,
+                    dataflow: df,
+                };
+                for &p in &corners {
+                    let s = task.score_unchecked(&input, p);
+                    assert!(
+                        s.is_finite() && s > 0.0,
+                        "{}::{} {df} at {p:?} → {s}",
+                        model.name,
+                        layer.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn manifest_derived_dataset_matches_table_i_complexity() {
+    // input space ≈ 256 × 1677 × 1185 × 3 ≈ 1.5e9, as claimed in §III-A
+    let m = 256u64 * 1677 * 1185 * 3;
+    assert!(m > 1_000_000_000, "input space should be O(10^9), got {m}");
+    // manifest provides exactly the paper's 105 workloads
+    assert_eq!(manifest::manifest_105().len(), 105);
+    // output grid is exactly 64 × 12
+    let task = DseTask::table_i_default();
+    assert_eq!(task.space().num_points(), 768);
+}
+
+#[test]
+fn dataset_exhibits_long_tail_like_fig3b() {
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 1500,
+            seed: 9,
+            threads: 2,
+            ..GenerateConfig::default()
+        },
+    );
+    let hist = LabelHistogram::from_dataset(&ds);
+    // long tail: many distinct optima, but the head dominates
+    assert!(
+        hist.num_distinct() > 30,
+        "too few distinct optima: {}",
+        hist.num_distinct()
+    );
+    assert!(
+        hist.head_coverage(10) > 0.25,
+        "head-10 coverage too flat: {}",
+        hist.head_coverage(10)
+    );
+    assert!(
+        hist.imbalance_factor() > 10.0,
+        "distribution not long-tailed: imbalance {}",
+        hist.imbalance_factor()
+    );
+}
+
+#[test]
+fn all_searchers_respect_feasibility_and_return_within_grid() {
+    let task = DseTask::table_i_default();
+    let input = DseInput {
+        gemm: GemmWorkload::new(100, 900, 500),
+        dataflow: Dataflow::OutputStationary,
+    };
+    let searchers: Vec<Box<dyn Searcher>> = vec![
+        Box::new(RandomSearcher::new(1)),
+        Box::new(AnnealingSearcher::new(1)),
+        Box::new(GammaSearcher::new(1)),
+        Box::new(ConfuciuxSearcher::new(1)),
+        Box::new(BoSearcher::new(1)),
+    ];
+    for mut s in searchers {
+        let res = s.search(&task, input, 60);
+        assert!(task.is_feasible(res.best_point), "{} infeasible", s.name());
+        assert!(res.best_score.is_finite());
+        assert!(res.trace.len() <= 70, "{} trace too long", s.name());
+        // best-so-far trace is monotone non-increasing once finite
+        let finite: Vec<f64> = res.trace.iter().copied().filter(|v| v.is_finite()).collect();
+        for w in finite.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "{} trace not monotone", s.name());
+        }
+    }
+}
+
+#[test]
+fn energy_and_edp_objectives_change_the_optimum_somewhere() {
+    let base = DseTask::table_i_default();
+    let mut energy_task = base.clone();
+    energy_task.objective = Objective::Energy;
+    let mut found = false;
+    for seed in 0..10u64 {
+        let gemm = GemmWorkload::new(17 + seed * 23, 200 + seed * 140, 100 + seed * 90);
+        let input = DseInput {
+            gemm,
+            dataflow: Dataflow::WeightStationary,
+        };
+        if base.oracle(&input).best_point != energy_task.oracle(&input).best_point {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "energy objective never changed the optimum — suspicious");
+}
+
+#[test]
+fn budgets_are_ordered_edge_within_cloud_within_unbounded() {
+    let edge = DseTask::table_i_default();
+    let mut cloud = edge.clone();
+    cloud.budget = Budget::Cloud;
+    let mut unbounded = edge.clone();
+    unbounded.budget = Budget::Unbounded;
+    let input = DseInput {
+        gemm: GemmWorkload::new(64, 512, 256),
+        dataflow: Dataflow::WeightStationary,
+    };
+    let e = edge.oracle(&input);
+    let c = cloud.oracle(&input);
+    let u = unbounded.oracle(&input);
+    assert!(e.feasible_points <= c.feasible_points);
+    assert!(c.feasible_points <= u.feasible_points);
+    // more freedom can only improve the optimum
+    assert!(c.best_score <= e.best_score);
+    assert!(u.best_score <= c.best_score);
+}
