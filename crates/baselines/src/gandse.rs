@@ -9,7 +9,9 @@
 //! "large unconstrained learning problem" of the generative approach
 //! caps its accuracy below AIrchitect v2's.
 
-use ai2_dse::{DesignPoint, DseDataset, DseTask};
+use std::sync::Arc;
+
+use ai2_dse::{DesignPoint, DseDataset, DseTask, EvalEngine};
 use ai2_nn::layers::{Activation, Mlp};
 use ai2_nn::optim::{Adam, Optimizer};
 use ai2_nn::{Graph, ParamStore};
@@ -72,13 +74,18 @@ pub struct Gandse {
     generator: Mlp,
     discriminator: Mlp,
     features: FeatureEncoder,
-    task: DseTask,
+    engine: Arc<EvalEngine>,
 }
 
 impl Gandse {
     /// Builds generator and discriminator, fitting feature statistics on
     /// `train`.
     pub fn new(cfg: &GandseConfig, task: &DseTask, train: &DseDataset) -> Gandse {
+        Self::with_engine(cfg, EvalEngine::shared(task.clone()), train)
+    }
+
+    /// Builds both networks on a caller-provided shared [`EvalEngine`].
+    pub fn with_engine(cfg: &GandseConfig, engine: Arc<EvalEngine>, train: &DseDataset) -> Gandse {
         let features = FeatureEncoder::fit(train);
         let mut gen_store = ParamStore::new(cfg.seed);
         let generator = Mlp::new(
@@ -101,7 +108,7 @@ impl Gandse {
             generator,
             discriminator,
             features,
-            task: task.clone(),
+            engine,
         }
     }
 
@@ -111,7 +118,7 @@ impl Gandse {
     }
 
     fn normalize_point(&self, p: DesignPoint) -> [f32; 2] {
-        let s = self.task.space();
+        let s = self.engine.space();
         [
             p.pe_idx as f32 / (s.num_pe_choices() - 1) as f32,
             p.buf_idx as f32 / (s.num_buf_choices() - 1) as f32,
@@ -119,7 +126,7 @@ impl Gandse {
     }
 
     fn denormalize(&self, xy: &[f32]) -> DesignPoint {
-        let s = self.task.space();
+        let s = self.engine.space();
         DesignPoint {
             pe_idx: ((xy[0].clamp(0.0, 1.0) * (s.num_pe_choices() - 1) as f32).round() as usize)
                 .min(s.num_pe_choices() - 1),
@@ -229,7 +236,12 @@ impl Gandse {
 
     /// The bound task.
     pub fn task(&self) -> &DseTask {
-        &self.task
+        self.engine.task()
+    }
+
+    /// The shared evaluation substrate.
+    pub fn engine(&self) -> &Arc<EvalEngine> {
+        &self.engine
     }
 }
 
@@ -345,10 +357,10 @@ mod tests {
             ..GandseConfig::default()
         };
         let mut gan = Gandse::new(&cfg, &task, &train);
-        let acc_before = bucket_accuracy_of(&gan, &task, &test);
+        let acc_before = bucket_accuracy_of(&gan, gan.engine(), &test);
         gan.fit(&train);
-        let acc_after = bucket_accuracy_of(&gan, &task, &test);
-        let ratio = latency_ratio_of(&gan, &task, &test);
+        let acc_after = bucket_accuracy_of(&gan, gan.engine(), &test);
+        let ratio = latency_ratio_of(&gan, gan.engine(), &test);
         assert!(
             acc_after > acc_before + 5.0,
             "GANDSE did not learn: acc {acc_before} → {acc_after} (ratio {ratio})"

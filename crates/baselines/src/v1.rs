@@ -1,7 +1,9 @@
 //! AIrchitect v1 (Samajdar et al. 2021): a plain MLP trained to classify
 //! the optimal design choice.
 
-use ai2_dse::{DesignPoint, DseDataset, DseTask};
+use std::sync::Arc;
+
+use ai2_dse::{DesignPoint, DseDataset, DseTask, EvalEngine};
 use ai2_nn::layers::{Activation, Linear, Mlp};
 use ai2_nn::optim::{Adam, Optimizer};
 use ai2_nn::{Gradients, Graph, ParamStore};
@@ -65,12 +67,22 @@ pub struct AirchitectV1 {
     pe_codec: Box<dyn ConfigCodec>,
     buf_codec: Box<dyn ConfigCodec>,
     features: FeatureEncoder,
-    task: DseTask,
+    engine: Arc<EvalEngine>,
 }
 
 impl AirchitectV1 {
     /// Builds the model, fitting feature statistics on `train`.
     pub fn new(cfg: &V1Config, task: &DseTask, train: &DseDataset) -> AirchitectV1 {
+        Self::with_engine(cfg, EvalEngine::shared(task.clone()), train)
+    }
+
+    /// Builds the model on a caller-provided shared [`EvalEngine`].
+    pub fn with_engine(
+        cfg: &V1Config,
+        engine: Arc<EvalEngine>,
+        train: &DseDataset,
+    ) -> AirchitectV1 {
+        let task = engine.task();
         let features = FeatureEncoder::fit(train);
         let mut store = ParamStore::new(cfg.seed);
         let mut widths = vec![airchitect::NUM_FEATURES];
@@ -90,7 +102,7 @@ impl AirchitectV1 {
             pe_codec,
             buf_codec,
             features,
-            task: task.clone(),
+            engine,
         }
     }
 
@@ -108,7 +120,7 @@ impl AirchitectV1 {
     pub fn fit(&mut self, train: &DseDataset) -> Vec<f32> {
         let prep = PreparedDataset::build(
             train,
-            &self.task,
+            self.engine.task(),
             &self.features,
             self.pe_codec.as_ref(),
             self.buf_codec.as_ref(),
@@ -168,7 +180,12 @@ impl AirchitectV1 {
 
     /// The bound task.
     pub fn task(&self) -> &DseTask {
-        &self.task
+        self.engine.task()
+    }
+
+    /// The shared evaluation substrate.
+    pub fn engine(&self) -> &Arc<EvalEngine> {
+        &self.engine
     }
 }
 
@@ -230,10 +247,10 @@ mod tests {
         let (task, ds) = setup(500);
         let (train, test) = ds.split(0.8, 1);
         let mut v1 = AirchitectV1::new(&V1Config::quick(), &task, &train);
-        let before = latency_ratio_of(&v1, &task, &test);
+        let before = latency_ratio_of(&v1, v1.engine(), &test);
         v1.fit(&train);
-        let after = latency_ratio_of(&v1, &task, &test);
-        let acc = bucket_accuracy_of(&v1, &task, &test);
+        let after = latency_ratio_of(&v1, v1.engine(), &test);
+        let acc = bucket_accuracy_of(&v1, v1.engine(), &test);
         assert!(
             after < before || acc > 10.0,
             "v1 did not learn: ratio {before} → {after}, acc {acc}"

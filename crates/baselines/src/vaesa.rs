@@ -7,7 +7,9 @@
 //! with the cost model ("VAESA + BO" in the paper's Table III / Fig. 8a).
 
 use ai2_dse::search::bo::{BoMinimizer, BoTrace};
-use ai2_dse::{DesignPoint, DseDataset, DseTask};
+use std::sync::Arc;
+
+use ai2_dse::{DesignPoint, DseDataset, DseTask, EvalEngine};
 use ai2_nn::layers::{Activation, Linear, Mlp};
 use ai2_nn::optim::{Adam, Optimizer};
 use ai2_nn::{Graph, ParamStore, VarId};
@@ -75,12 +77,17 @@ pub struct Vaesa {
     enc_logvar: Linear,
     dec: Mlp,
     features: FeatureEncoder,
-    task: DseTask,
+    engine: Arc<EvalEngine>,
 }
 
 impl Vaesa {
     /// Builds the VAE, fitting feature statistics on `train`.
     pub fn new(cfg: &VaesaConfig, task: &DseTask, train: &DseDataset) -> Vaesa {
+        Self::with_engine(cfg, EvalEngine::shared(task.clone()), train)
+    }
+
+    /// Builds the VAE on a caller-provided shared [`EvalEngine`].
+    pub fn with_engine(cfg: &VaesaConfig, engine: Arc<EvalEngine>, train: &DseDataset) -> Vaesa {
         let features = FeatureEncoder::fit(train);
         let mut store = ParamStore::new(cfg.seed);
         let enc = Mlp::new(
@@ -105,7 +112,7 @@ impl Vaesa {
             enc_logvar,
             dec,
             features,
-            task: task.clone(),
+            engine,
         }
     }
 
@@ -115,7 +122,7 @@ impl Vaesa {
     }
 
     fn normalize_point(&self, p: DesignPoint) -> [f32; 2] {
-        let s = self.task.space();
+        let s = self.engine.space();
         [
             p.pe_idx as f32 / (s.num_pe_choices() - 1) as f32,
             p.buf_idx as f32 / (s.num_buf_choices() - 1) as f32,
@@ -123,7 +130,7 @@ impl Vaesa {
     }
 
     fn denormalize(&self, xy: &[f32]) -> DesignPoint {
-        let s = self.task.space();
+        let s = self.engine.space();
         DesignPoint {
             pe_idx: ((xy[0].clamp(0.0, 1.0) * (s.num_pe_choices() - 1) as f32).round() as usize)
                 .min(s.num_pe_choices() - 1),
@@ -227,16 +234,19 @@ impl Vaesa {
         let hi = 3.0;
         let bounds = vec![(lo, hi); self.cfg.latent_dim];
         let bo = BoMinimizer::new(bounds, seed);
-        let mut best = DesignPoint { pe_idx: 0, buf_idx: 0 };
+        let mut best = DesignPoint {
+            pe_idx: 0,
+            buf_idx: 0,
+        };
         let mut best_score = f64::INFINITY;
         let trace = bo.minimize(
             |z| {
                 let p = self.decode_latent(input, z);
-                let score = match self.task.score(input, p) {
+                let score = match self.engine.score(input, p) {
                     Some(s) => s,
-                    None => self.task.score_unchecked(input, p) * 10.0,
+                    None => self.engine.score_unchecked(input, p) * 10.0,
                 };
-                if score < best_score && self.task.is_feasible(p) {
+                if score < best_score && self.engine.is_feasible(p) {
                     best_score = score;
                     best = p;
                 }
@@ -249,7 +259,12 @@ impl Vaesa {
 
     /// The bound task.
     pub fn task(&self) -> &DseTask {
-        &self.task
+        self.engine.task()
+    }
+
+    /// The shared evaluation substrate.
+    pub fn engine(&self) -> &Arc<EvalEngine> {
+        &self.engine
     }
 }
 
@@ -339,7 +354,7 @@ mod tests {
         vae.fit(&ds);
         let input = ds.samples[1].input();
         let (best, trace) = vae.search(&input, 25, 7);
-        assert!(task.is_feasible(best));
+        assert!(vae.engine().is_feasible(best));
         let first = trace.best_trace[0];
         let last = *trace.best_trace.last().unwrap();
         assert!(last <= first, "BO made things worse: {first} → {last}");

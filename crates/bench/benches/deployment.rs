@@ -3,13 +3,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use ai2_dse::{DesignPoint, DseTask};
+use ai2_dse::{DesignPoint, EvalEngine};
 use ai2_workloads::generator::DseInput;
 use ai2_workloads::zoo;
 use airchitect::deploy::{method1, method2, model_latency};
 
 fn bench_deployment(c: &mut Criterion) {
-    let task = DseTask::table_i_default();
+    let engine = EvalEngine::table_i_default();
     let resnet = zoo::resnet18().to_dse_layers();
     let bert = zoo::bert_base().to_dse_layers();
     // a cheap, deterministic recommender so the bench isolates the
@@ -24,17 +24,20 @@ fn bench_deployment(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("deployment");
     group.bench_function("method1/resnet18", |b| {
-        b.iter(|| black_box(method1(&task, black_box(&resnet), &rec)))
+        b.iter(|| black_box(method1(&engine, black_box(&resnet), &rec)))
     });
     group.bench_function("method2/resnet18", |b| {
-        b.iter(|| black_box(method2(&task, black_box(&resnet), &rec)))
+        b.iter(|| black_box(method2(&engine, black_box(&resnet), &rec)))
     });
     group.bench_function("method1/bert_base", |b| {
-        b.iter(|| black_box(method1(&task, black_box(&bert), &rec)))
+        b.iter(|| black_box(method1(&engine, black_box(&bert), &rec)))
     });
-    let p = DesignPoint { pe_idx: 30, buf_idx: 7 };
+    let p = DesignPoint {
+        pe_idx: 30,
+        buf_idx: 7,
+    };
     group.bench_function("model_latency/resnet18", |b| {
-        b.iter(|| black_box(model_latency(&task, black_box(&resnet), p)))
+        b.iter(|| black_box(model_latency(&engine, black_box(&resnet), p)))
     });
     group.finish();
 }

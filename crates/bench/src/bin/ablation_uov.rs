@@ -76,7 +76,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (kind, name) in [
-        (DiscretizationKind::SpaceIncreasing, "space-increasing (paper)"),
+        (
+            DiscretizationKind::SpaceIncreasing,
+            "space-increasing (paper)",
+        ),
         (DiscretizationKind::Uniform, "uniform"),
     ] {
         let codec = UovCodec::with_kind(kind, k, choices);

@@ -6,15 +6,15 @@
 //! * **(b)** long-tailed distribution of samples over optimal design
 //!   points (log scale).
 
-use ai2_bench::{default_task, load_or_generate, write_csv, Sizes};
+use ai2_bench::{default_engine, load_or_generate, write_csv, Sizes};
 use ai2_dse::stats::LabelHistogram;
 use ai2_tensor::linalg::Pca;
 use ai2_tensor::{stats, Tensor};
 
 fn main() {
     let sizes = Sizes::from_args();
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
 
     // --- (a) landscape: PCA of standardized input features vs latency
     let feats: Vec<Tensor> = ds
@@ -46,12 +46,19 @@ fn main() {
             ]
         })
         .collect();
-    write_csv(&sizes.out_dir.join("fig3a_landscape.csv"), "pca0,pca1,norm_latency", &rows);
+    write_csv(
+        &sizes.out_dir.join("fig3a_landscape.csv"),
+        "pca0,pca1,norm_latency",
+        &rows,
+    );
 
     // quantify non-uniformity: latency spread among feature-space
     // neighbours vs global spread
     let (mean_l, std_l) = stats::mean_std(&lat_norm);
-    println!("Fig 3a — landscape: {} points, normalized latency mean {mean_l:.3} std {std_l:.3}", ds.len());
+    println!(
+        "Fig 3a — landscape: {} points, normalized latency mean {mean_l:.3} std {std_l:.3}",
+        ds.len()
+    );
     println!(
         "         explained variance of 2 PCs: {:?}",
         pca.explained_variance()
@@ -65,17 +72,27 @@ fn main() {
         .enumerate()
         .map(|(rank, c)| vec![rank.to_string(), c.to_string()])
         .collect();
-    write_csv(&sizes.out_dir.join("fig3b_longtail.csv"), "rank,count", &rows);
+    write_csv(
+        &sizes.out_dir.join("fig3b_longtail.csv"),
+        "rank,count",
+        &rows,
+    );
 
     println!("\nFig 3b — label distribution over optimal design points");
     println!("  distinct optima      : {}", hist.num_distinct());
-    println!("  head-10 coverage     : {:.1}%", 100.0 * hist.head_coverage(10));
+    println!(
+        "  head-10 coverage     : {:.1}%",
+        100.0 * hist.head_coverage(10)
+    );
     println!("  imbalance (max/min)  : {:.0}x", hist.imbalance_factor());
     println!(
         "  entropy              : {:.2} bits (uniform would be {:.2})",
         hist.entropy_bits(),
         (hist.num_distinct() as f64).log2()
     );
-    println!("  top counts (log-scale series): {:?}", &counts[..counts.len().min(15)]);
+    println!(
+        "  top counts (log-scale series): {:?}",
+        &counts[..counts.len().min(15)]
+    );
     println!("\npaper reference: markedly long-tailed — a few design points dominate");
 }

@@ -3,15 +3,15 @@
 //! into UOV buckets (z-axis). The jagged, non-separable structure is the
 //! paper's argument for a sophisticated model architecture.
 
-use ai2_bench::{default_task, load_or_generate, write_csv, Sizes};
+use ai2_bench::{default_engine, load_or_generate, write_csv, Sizes};
 use ai2_tensor::linalg::Pca;
 use ai2_tensor::{stats, Tensor};
 use ai2_uov::UovCodec;
 
 fn main() {
     let sizes = Sizes::from_args();
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
 
     let feats: Vec<Tensor> = ds
         .samples
@@ -29,7 +29,7 @@ fn main() {
     let std = stats::Standardizer::fit(&x);
     let proj = Pca::fit(&std.transform(&x), 2).transform(&std.transform(&x));
 
-    let pe_bucketizer = UovCodec::new(16, task.space().num_pe_choices());
+    let pe_bucketizer = UovCodec::new(16, engine.space().num_pe_choices());
     let buckets: Vec<usize> = ds
         .samples
         .iter()
@@ -45,7 +45,11 @@ fn main() {
             ]
         })
         .collect();
-    write_csv(&sizes.out_dir.join("fig4_complexity.csv"), "pca0,pca1,uov_bucket", &rows);
+    write_csv(
+        &sizes.out_dir.join("fig4_complexity.csv"),
+        "pca0,pca1,uov_bucket",
+        &rows,
+    );
 
     // bucket occupancy summary (how scattered outputs are across inputs)
     let mut occupancy = vec![0usize; 16];

@@ -5,18 +5,20 @@
 //! alignment/uniformity metrics that quantify what the paper's scatter
 //! plots show visually.
 
-use ai2_bench::{default_task, load_or_generate, write_csv, Sizes};
+use ai2_bench::{default_engine, load_or_generate, write_csv, Sizes};
 use airchitect::embedding::{analyze, project_2d};
 use airchitect::{Airchitect2, ModelConfig};
+use std::sync::Arc;
 
 fn main() {
     let sizes = Sizes::from_args();
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
     let (train, test) = ds.split(0.8, sizes.seed);
 
     for (with_contrastive, tag) in [(false, "without"), (true, "with")] {
-        let mut model = Airchitect2::new(&ModelConfig::default(), &task, &train);
+        let mut model =
+            Airchitect2::with_engine(&ModelConfig::default(), Arc::clone(&engine), &train);
         let cfg = sizes
             .train_config()
             .with_stage1_losses(with_contrastive, true);

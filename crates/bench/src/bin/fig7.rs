@@ -7,34 +7,34 @@
 //! winning consistently, with ~1.7× average gains and VAESA+BO closest.
 
 use ai2_bench::{
-    default_task, load_or_generate, print_table, train_gandse, train_v1, train_v2, train_vaesa,
+    default_engine, load_or_generate, print_table, train_gandse, train_v1, train_v2, train_vaesa,
     write_csv, Sizes,
 };
-use ai2_dse::{DesignPoint, DseTask};
+use ai2_dse::{DesignPoint, EvalEngine};
 use ai2_workloads::generator::DseInput;
 use ai2_workloads::zoo;
 use airchitect::deploy::{method1, model_latency, Deployment};
 use airchitect::predictor::PredictFn;
 
 fn deploy_with(
-    task: &DseTask,
+    engine: &EvalEngine,
     layers: &[ai2_workloads::Layer],
     method: &dyn PredictFn,
 ) -> Deployment {
     let rec = |input: &DseInput| -> DesignPoint { method.predict_points(&[*input])[0] };
-    method1(task, layers, &rec)
+    method1(engine, layers, &rec)
 }
 
 fn main() {
     let sizes = Sizes::from_args();
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
     let (train, _) = ds.split(0.8, sizes.seed);
 
-    let v1 = train_v1(&task, &train, &sizes);
-    let gan = train_gandse(&task, &train, &sizes);
-    let vae = train_vaesa(&task, &train, &sizes);
-    let v2 = train_v2(&task, &train, &sizes);
+    let v1 = train_v1(&engine, &train, &sizes);
+    let gan = train_gandse(&engine, &train, &sizes);
+    let vae = train_vaesa(&engine, &train, &sizes);
+    let v2 = train_v2(&engine, &train, &sizes);
     let v2p = v2.predictor();
 
     let models = zoo::evaluation_models();
@@ -49,14 +49,14 @@ fn main() {
     );
     for m in &models {
         let layers = m.to_dse_layers();
-        let d_v1 = deploy_with(&task, &layers, &v1);
-        let d_gan = deploy_with(&task, &layers, &gan);
-        let d_vae = deploy_with(&task, &layers, &vae);
-        let d_v2 = deploy_with(&task, &layers, &v2p);
+        let d_v1 = deploy_with(&engine, &layers, &v1);
+        let d_gan = deploy_with(&engine, &layers, &gan);
+        let d_vae = deploy_with(&engine, &layers, &vae);
+        let d_v2 = deploy_with(&engine, &layers, &v2p);
         // oracle reference: best single config over all candidates the
         // oracle recommends per layer
-        let oracle_rec = |input: &DseInput| -> DesignPoint { task.oracle(input).best_point };
-        let d_oracle = method1(&task, &layers, &oracle_rec);
+        let oracle_rec = |input: &DseInput| -> DesignPoint { engine.oracle(input).best_point };
+        let d_oracle = method1(&engine, &layers, &oracle_rec);
 
         let base = d_v2.latency;
         let norm = |d: &Deployment| d.latency / base;
@@ -82,11 +82,11 @@ fn main() {
                 name.to_string(),
                 format!("{:.6}", norm(d)),
                 format!("{:.1}", d.latency),
-                task.space().config(d.point).to_string(),
+                engine.space().config(d.point).to_string(),
             ]);
         }
         // sanity: the chosen config's absolute latency
-        let _ = model_latency(&task, &layers, d_v2.point);
+        let _ = model_latency(&engine, &layers, d_v2.point);
     }
 
     println!();

@@ -8,7 +8,7 @@
 //! oracle optimum), averaged over layers — the paper shows the
 //! contrastive space converging faster and lower.
 
-use ai2_bench::{default_task, load_or_generate, train_v2, train_vaesa, write_csv, Sizes};
+use ai2_bench::{default_engine, load_or_generate, train_v2, train_vaesa, write_csv, Sizes};
 use ai2_dse::search::bo::BoMinimizer;
 use ai2_maestro::Dataflow;
 use ai2_workloads::generator::DseInput;
@@ -17,12 +17,12 @@ use ai2_workloads::zoo;
 fn main() {
     let sizes = Sizes::from_args();
     let budget = 150usize.min(sizes.samples); // BO queries per layer
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
     let (train, _) = ds.split(0.8, sizes.seed);
 
-    let v2 = train_v2(&task, &train, &sizes);
-    let vae = train_vaesa(&task, &train, &sizes);
+    let v2 = train_v2(&engine, &train, &sizes);
+    let vae = train_vaesa(&engine, &train, &sizes);
 
     // bounds of the contrastive embedding box from the training set
     let prep = v2.prepare(&train);
@@ -50,7 +50,7 @@ fn main() {
             gemm: layer.gemm,
             dataflow: Dataflow::WeightStationary,
         };
-        let oracle = task.oracle(&input).best_score;
+        let oracle = engine.oracle(&input).best_score;
 
         // --- BO over the contrastive embedding
         let bo = BoMinimizer::new(bounds.clone(), 1000 + li as u64);
@@ -58,9 +58,9 @@ fn main() {
             |zq| {
                 let zf: Vec<f32> = zq.iter().map(|&v| v as f32).collect();
                 let p = v2.decode_embedding(&zf);
-                match task.score(&input, p) {
+                match engine.score(&input, p) {
                     Some(s) => s.max(1.0).ln(),
-                    None => (task.score_unchecked(&input, p) * 10.0).max(1.0).ln(),
+                    None => (engine.score_unchecked(&input, p) * 10.0).max(1.0).ln(),
                 }
             },
             budget,
@@ -73,7 +73,12 @@ fn main() {
             vae_acc[i] += (trace_v.best_trace[i].exp() / oracle).ln();
         }
         layer_count += 1;
-        eprintln!("[fig8a] layer {} done ({}/{})", layer.name, li + 1, layers.len());
+        eprintln!(
+            "[fig8a] layer {} done ({}/{})",
+            layer.name,
+            li + 1,
+            layers.len()
+        );
     }
 
     let rows: Vec<Vec<String>> = (0..budget)
@@ -89,17 +94,26 @@ fn main() {
         &rows,
     );
 
-    println!("\nFig 8a — BO convergence on Llama2-7B (normalized latency vs oracle, lower is better)");
+    println!(
+        "\nFig 8a — BO convergence on Llama2-7B (normalized latency vs oracle, lower is better)"
+    );
     for &i in &[0usize, budget / 8, budget / 4, budget / 2, budget - 1] {
         let c = (contrastive_acc[i] / layer_count as f64).exp();
         let v = (vae_acc[i] / layer_count as f64).exp();
-        println!("  after {:>4} samples: contrastive {c:.3}   vaesa {v:.3}", i + 1);
+        println!(
+            "  after {:>4} samples: contrastive {c:.3}   vaesa {v:.3}",
+            i + 1
+        );
     }
     let final_c = (contrastive_acc[budget - 1] / layer_count as f64).exp();
     let final_v = (vae_acc[budget - 1] / layer_count as f64).exp();
     println!("\npaper reference: contrastive+BO converges faster and lower than VAESA+BO");
     println!(
         "reproduced: final contrastive {final_c:.3} vs vaesa {final_v:.3} ({})",
-        if final_c <= final_v { "matches" } else { "DIVERGES" }
+        if final_c <= final_v {
+            "matches"
+        } else {
+            "DIVERGES"
+        }
     );
 }

@@ -5,13 +5,14 @@
 //! while model size keeps growing — 16 is the chosen trade-off. K = 1
 //! reverts to regression; large K approaches classification.
 
-use ai2_bench::{default_task, load_or_generate, print_table, write_csv, Sizes};
+use ai2_bench::{default_engine, load_or_generate, print_table, write_csv, Sizes};
 use airchitect::{Airchitect2, HeadKind, ModelConfig};
+use std::sync::Arc;
 
 fn main() {
     let sizes = Sizes::from_args();
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
     let (train, test) = ds.split(0.8, sizes.seed);
 
     let ks = [1usize, 4, 8, 16, 32];
@@ -26,18 +27,18 @@ fn main() {
             },
             ..ModelConfig::default()
         };
-        let mut model = Airchitect2::new(&cfg_model, &task, &train);
+        let mut model = Airchitect2::with_engine(&cfg_model, Arc::clone(&engine), &train);
         eprintln!("[fig8b] training with K = {k}…");
         model.fit(&train, &sizes.train_config());
-        let p = model.predictor();
-        let acc = p.accuracy(&test);
+        let rep = model.predictor().evaluate(&test);
+        let acc = rep.bucket_accuracy;
         let size = model.model_size();
         rows.push((format!("K = {k}"), format!("{acc:.2}% / {size} params")));
         csv.push(vec![
             k.to_string(),
             format!("{acc:.4}"),
             size.to_string(),
-            format!("{:.4}", p.latency_ratio(&test)),
+            format!("{:.4}", rep.latency_ratio),
         ]);
     }
 

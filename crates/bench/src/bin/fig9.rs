@@ -6,14 +6,15 @@
 //! while shrinking the model.
 
 use ai2_baselines::{AirchitectV1, V1Config};
-use ai2_bench::{default_task, load_or_generate, write_csv, Sizes};
+use ai2_bench::{default_engine, load_or_generate, write_csv, Sizes};
 use airchitect::predictor::bucket_accuracy_of;
 use airchitect::{Airchitect2, HeadKind, ModelConfig};
+use std::sync::Arc;
 
 fn main() {
     let sizes = Sizes::from_args();
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
     let (train, test) = ds.split(0.8, sizes.seed);
 
     let heads = [
@@ -36,17 +37,21 @@ fn main() {
             epochs: sizes.baseline_epochs,
             ..V1Config::default()
         };
-        let mut v1 = AirchitectV1::new(&cfg, &task, &train);
+        let mut v1 = AirchitectV1::with_engine(&cfg, Arc::clone(&engine), &train);
         eprintln!("[fig9] training v1/{tag}…");
         v1.fit(&train);
-        let acc = bucket_accuracy_of(&v1, &task, &test);
+        let acc = bucket_accuracy_of(&v1, &engine, &test);
         v1_sizes.push((tag, acc, v1.model_size()));
     }
     let v1_base = v1_sizes[0].2 as f64;
     for (tag, acc, size) in &v1_sizes {
         println!(
             "{:<14} {:<16} {:>11.2}% {:>12} {:>10.3}",
-            "v1", tag, acc, size, *size as f64 / v1_base
+            "v1",
+            tag,
+            acc,
+            size,
+            *size as f64 / v1_base
         );
         csv.push(vec![
             "v1".into(),
@@ -64,18 +69,22 @@ fn main() {
             head,
             ..ModelConfig::default()
         };
-        let mut v2 = Airchitect2::new(&cfg_model, &task, &train);
+        let mut v2 = Airchitect2::with_engine(&cfg_model, Arc::clone(&engine), &train);
         eprintln!("[fig9] training v2/{tag}…");
         v2.fit(&train, &sizes.train_config());
         let p = v2.predictor();
-        let acc = bucket_accuracy_of(&p, &task, &test);
+        let acc = bucket_accuracy_of(&p, &engine, &test);
         v2_sizes.push((tag, acc, v2.model_size()));
     }
     let v2_base = v2_sizes[0].2 as f64;
     for (tag, acc, size) in &v2_sizes {
         println!(
             "{:<14} {:<16} {:>11.2}% {:>12} {:>10.3}",
-            "v2", tag, acc, size, *size as f64 / v2_base
+            "v2",
+            tag,
+            acc,
+            size,
+            *size as f64 / v2_base
         );
         csv.push(vec![
             "v2".into(),

@@ -12,13 +12,14 @@
 //! The reproduction trains four encoders that differ only in the stage-1
 //! objective and reports bucket-level accuracy on the held-out split.
 
-use ai2_bench::{default_task, load_or_generate, print_table, write_csv, Sizes};
+use ai2_bench::{default_engine, load_or_generate, print_table, write_csv, Sizes};
 use airchitect::{Airchitect2, ModelConfig};
+use std::sync::Arc;
 
 fn main() {
     let sizes = Sizes::from_args();
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
     let (train, test) = ds.split(0.8, sizes.seed);
 
     let variants = [
@@ -31,14 +32,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (contrastive, perf, label) in variants {
-        let mut model = Airchitect2::new(&ModelConfig::default(), &task, &train);
+        let mut model =
+            Airchitect2::with_engine(&ModelConfig::default(), Arc::clone(&engine), &train);
         let cfg = sizes.train_config().with_stage1_losses(contrastive, perf);
         eprintln!("[table2] training variant: {label}");
         model.fit(&train, &cfg);
-        let p = model.predictor();
-        let acc = p.accuracy(&test);
-        let exact = p.exact_accuracy(&test);
-        let ratio = p.latency_ratio(&test);
+        let rep = model.predictor().evaluate(&test);
+        let (acc, exact, ratio) = (rep.bucket_accuracy, rep.exact_accuracy, rep.latency_ratio);
         rows.push((label.to_string(), format!("{acc:.2}")));
         csv.push(vec![
             contrastive.to_string(),

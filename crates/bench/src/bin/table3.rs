@@ -7,15 +7,15 @@
 //! with its BO budget).
 
 use ai2_bench::{
-    default_task, load_or_generate, print_table, train_gandse, train_v1, train_v2, train_vaesa,
+    default_engine, load_or_generate, print_table, train_gandse, train_v1, train_v2, train_vaesa,
     write_csv, Sizes,
 };
-use airchitect::predictor::{bucket_accuracy_of, latency_ratio_of, PredictFn};
+use airchitect::predictor::{evaluate_of, PredictFn};
 
 fn main() {
     let sizes = Sizes::from_args();
-    let task = default_task();
-    let ds = load_or_generate(&task, &sizes);
+    let engine = default_engine();
+    let ds = load_or_generate(&engine, &sizes);
     let (train, test) = ds.split(0.8, sizes.seed);
 
     // VAESA's per-input BO is expensive; score it on a capped subset.
@@ -30,8 +30,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut record = |name: &str, method: &dyn PredictFn, subset: &ai2_dse::DseDataset| {
-        let acc = bucket_accuracy_of(method, &task, subset);
-        let ratio = latency_ratio_of(method, &task, subset);
+        // one forward pass per method: all metrics from a single report
+        let rep = evaluate_of(method, &engine, subset);
+        let (acc, ratio) = (rep.bucket_accuracy, rep.latency_ratio);
         println!("[table3] {name}: accuracy {acc:.2}%, latency ratio {ratio:.3}");
         rows.push((name.to_string(), format!("{acc:.2}")));
         csv.push(vec![
@@ -41,16 +42,16 @@ fn main() {
         ]);
     };
 
-    let v1 = train_v1(&task, &train, &sizes);
+    let v1 = train_v1(&engine, &train, &sizes);
     record("AIrchitect v1 (MLP)", &v1, &test);
 
-    let gan = train_gandse(&task, &train, &sizes);
+    let gan = train_gandse(&engine, &train, &sizes);
     record("GANDSE (cGAN)", &gan, &test);
 
-    let vae = train_vaesa(&task, &train, &sizes);
+    let vae = train_vaesa(&engine, &train, &sizes);
     record("VAESA + BO", &vae, &vaesa_test);
 
-    let v2 = train_v2(&task, &train, &sizes);
+    let v2 = train_v2(&engine, &train, &sizes);
     let p = v2.predictor();
     record("AIrchitect v2 (ours)", &p, &test);
 

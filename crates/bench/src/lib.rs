@@ -19,9 +19,10 @@ pub mod plot;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use ai2_baselines::{AirchitectV1, Gandse, GandseConfig, V1Config, Vaesa, VaesaConfig};
-use ai2_dse::{DseDataset, DseTask, GenerateConfig};
+use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig};
 use airchitect::train::TrainConfig;
 use airchitect::{Airchitect2, ModelConfig};
 
@@ -141,8 +142,17 @@ pub fn default_task() -> DseTask {
     DseTask::table_i_default()
 }
 
-/// Generates (or loads a cached copy of) the experiment dataset.
-pub fn load_or_generate(task: &DseTask, sizes: &Sizes) -> DseDataset {
+/// One shared [`EvalEngine`] over the default task: every binary builds
+/// exactly one and routes all dataset generation, training metrics,
+/// deployment and figure sweeps through it, so identical cost queries
+/// across those stages are answered from cache.
+pub fn default_engine() -> Arc<EvalEngine> {
+    EvalEngine::shared(default_task())
+}
+
+/// Generates (or loads a cached copy of) the experiment dataset through
+/// the shared engine.
+pub fn load_or_generate(engine: &EvalEngine, sizes: &Sizes) -> DseDataset {
     fs::create_dir_all(&sizes.out_dir).expect("create results dir");
     let cache = sizes
         .out_dir
@@ -157,8 +167,8 @@ pub fn load_or_generate(task: &DseTask, sizes: &Sizes) -> DseDataset {
         "[harness] generating {} samples (oracle labels over the 768-point grid)…",
         sizes.samples
     );
-    let ds = DseDataset::generate(
-        task,
+    let ds = DseDataset::generate_with(
+        engine,
         &GenerateConfig {
             num_samples: sizes.samples,
             seed: sizes.seed,
@@ -171,8 +181,8 @@ pub fn load_or_generate(task: &DseTask, sizes: &Sizes) -> DseDataset {
 }
 
 /// Trains AIrchitect v2 with the standard config at the given sizes.
-pub fn train_v2(task: &DseTask, train: &DseDataset, sizes: &Sizes) -> Airchitect2 {
-    let mut model = Airchitect2::new(&ModelConfig::default(), task, train);
+pub fn train_v2(engine: &Arc<EvalEngine>, train: &DseDataset, sizes: &Sizes) -> Airchitect2 {
+    let mut model = Airchitect2::with_engine(&ModelConfig::default(), Arc::clone(engine), train);
     let cfg = sizes.train_config();
     eprintln!(
         "[harness] training AIrchitect v2 ({} + {} epochs on {} samples)…",
@@ -185,24 +195,24 @@ pub fn train_v2(task: &DseTask, train: &DseDataset, sizes: &Sizes) -> Airchitect
 }
 
 /// Trains the AIrchitect v1 baseline.
-pub fn train_v1(task: &DseTask, train: &DseDataset, sizes: &Sizes) -> AirchitectV1 {
-    let mut v1 = AirchitectV1::new(&sizes.v1_config(), task, train);
+pub fn train_v1(engine: &Arc<EvalEngine>, train: &DseDataset, sizes: &Sizes) -> AirchitectV1 {
+    let mut v1 = AirchitectV1::with_engine(&sizes.v1_config(), Arc::clone(engine), train);
     eprintln!("[harness] training AIrchitect v1…");
     v1.fit(train);
     v1
 }
 
 /// Trains the GANDSE baseline.
-pub fn train_gandse(task: &DseTask, train: &DseDataset, sizes: &Sizes) -> Gandse {
-    let mut gan = Gandse::new(&sizes.gandse_config(), task, train);
+pub fn train_gandse(engine: &Arc<EvalEngine>, train: &DseDataset, sizes: &Sizes) -> Gandse {
+    let mut gan = Gandse::with_engine(&sizes.gandse_config(), Arc::clone(engine), train);
     eprintln!("[harness] training GANDSE…");
     gan.fit(train);
     gan
 }
 
 /// Trains the VAESA baseline.
-pub fn train_vaesa(task: &DseTask, train: &DseDataset, sizes: &Sizes) -> Vaesa {
-    let mut vae = Vaesa::new(&sizes.vaesa_config(), task, train);
+pub fn train_vaesa(engine: &Arc<EvalEngine>, train: &DseDataset, sizes: &Sizes) -> Vaesa {
+    let mut vae = Vaesa::with_engine(&sizes.vaesa_config(), Arc::clone(engine), train);
     eprintln!("[harness] training VAESA…");
     vae.fit(train);
     vae
@@ -265,14 +275,14 @@ mod tests {
 
     #[test]
     fn dataset_cache_roundtrip() {
-        let task = default_task();
+        let engine = default_engine();
         let sizes = Sizes {
             samples: 20,
             out_dir: std::env::temp_dir().join("ai2_bench_cache_test"),
             ..Sizes::default()
         };
-        let a = load_or_generate(&task, &sizes);
-        let b = load_or_generate(&task, &sizes); // from cache
+        let a = load_or_generate(&engine, &sizes);
+        let b = load_or_generate(&engine, &sizes); // from cache
         assert_eq!(a, b);
         fs::remove_dir_all(&sizes.out_dir).ok();
     }

@@ -46,7 +46,13 @@ pub fn sparkline(values: &[f64]) -> String {
 
 /// Renders a 2-D scatter as a character grid (Fig. 4/5 style); `label`
 /// maps each point to a glyph class (0..36 → '0'..'9a'..'z').
-pub fn ascii_scatter(xs: &[f32], ys: &[f32], labels: &[u32], width: usize, height: usize) -> String {
+pub fn ascii_scatter(
+    xs: &[f32],
+    ys: &[f32],
+    labels: &[u32],
+    width: usize,
+    height: usize,
+) -> String {
     assert_eq!(xs.len(), ys.len());
     assert_eq!(xs.len(), labels.len());
     let glyph = |l: u32| -> char {

@@ -24,9 +24,11 @@ impl HeadKind {
     /// Builds the codec for an axis with `num_choices` options.
     pub fn codec(self, num_choices: usize) -> Box<dyn ConfigCodec> {
         match self {
-            HeadKind::Uov { k } => Box::new(
-                UovCodec::with_kind(DiscretizationKind::SpaceIncreasing, k, num_choices),
-            ),
+            HeadKind::Uov { k } => Box::new(UovCodec::with_kind(
+                DiscretizationKind::SpaceIncreasing,
+                k,
+                num_choices,
+            )),
             HeadKind::Classification => Box::new(OneHotCodec::new(num_choices)),
             HeadKind::Regression => Box::new(RegressionCodec::new(num_choices)),
         }
@@ -95,7 +97,10 @@ impl ModelConfig {
     /// Panics if `d_model` is not divisible by `heads`, or any dimension
     /// is zero.
     pub fn validate(&self) {
-        assert!(self.d_model > 0 && self.heads > 0 && self.layers > 0, "zero dimension");
+        assert!(
+            self.d_model > 0 && self.heads > 0 && self.layers > 0,
+            "zero dimension"
+        );
         assert!(self.d_emb > 0 && self.tokens > 0, "zero dimension");
         assert_eq!(
             self.d_model % self.heads,

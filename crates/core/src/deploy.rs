@@ -1,7 +1,14 @@
 //! Model-level deployment: turning per-layer recommendations into one
 //! hardware configuration for a whole network (paper §III-E).
+//!
+//! All cost queries flow through the shared
+//! [`EvalEngine`]: per-layer costs are memoized, so the many candidate
+//! configurations Method 1 compares reuse each other's layer sweeps, and
+//! candidate evaluation fans out over the engine's worker pool.
 
-use ai2_dse::{DesignPoint, DseTask};
+use std::collections::HashSet;
+
+use ai2_dse::{DesignPoint, EvalEngine};
 use ai2_maestro::Dataflow;
 use ai2_workloads::generator::DseInput;
 use ai2_workloads::Layer;
@@ -9,26 +16,10 @@ use ai2_workloads::Layer;
 /// Model-level latency of running every layer (tiled, with repetition
 /// counts) on hardware `point`, letting each layer use its best dataflow
 /// — the "estimate the model-wise latency across all layers" step of
-/// Method 1, computed with the MAESTRO-style cost model.
-pub fn model_latency(task: &DseTask, layers: &[Layer], point: DesignPoint) -> f64 {
-    layers
-        .iter()
-        .map(|layer| {
-            let best_df = Dataflow::ALL
-                .iter()
-                .map(|&df| {
-                    task.score_unchecked(
-                        &DseInput {
-                            gemm: layer.gemm,
-                            dataflow: df,
-                        },
-                        point,
-                    )
-                })
-                .fold(f64::INFINITY, f64::min);
-            best_df * layer.count as f64
-        })
-        .sum()
+/// Method 1, computed with the MAESTRO-style cost model through the
+/// shared engine.
+pub fn model_latency(engine: &EvalEngine, layers: &[Layer], point: DesignPoint) -> f64 {
+    engine.model_latency(layers, point)
 }
 
 /// Per-layer recommendations from any one-shot or search method.
@@ -53,12 +44,14 @@ pub struct Deployment {
 }
 
 fn candidate_points(
-    task: &DseTask,
+    engine: &EvalEngine,
     layers: &[Layer],
     rec: &dyn LayerRecommender,
 ) -> Vec<(usize, DesignPoint)> {
-    // one recommendation per (layer, dataflow) input, deduplicated but
-    // remembering which layer produced each candidate
+    // one recommendation per (layer, dataflow) input, deduplicated in
+    // O(1) per candidate while preserving first-seen order (and which
+    // layer produced each candidate)
+    let mut seen: HashSet<DesignPoint> = HashSet::new();
     let mut cands: Vec<(usize, DesignPoint)> = Vec::new();
     for (li, layer) in layers.iter().enumerate() {
         for df in Dataflow::ALL {
@@ -66,7 +59,7 @@ fn candidate_points(
                 gemm: layer.gemm,
                 dataflow: df,
             });
-            if task.is_feasible(p) && !cands.iter().any(|(_, q)| *q == p) {
+            if engine.is_feasible(p) && seen.insert(p) {
                 cands.push((li, p));
             }
         }
@@ -74,24 +67,33 @@ fn candidate_points(
     if cands.is_empty() {
         // every recommendation violated the budget: fall back to the
         // smallest configuration, which the task guarantees feasible
-        cands.push((0, DesignPoint { pe_idx: 0, buf_idx: 0 }));
+        cands.push((
+            0,
+            DesignPoint {
+                pe_idx: 0,
+                buf_idx: 0,
+            },
+        ));
     }
     cands
 }
 
 /// **Method 1**: evaluate each per-layer recommendation model-wide and
-/// pick the one minimising total latency.
+/// pick the one minimising total latency. Candidate evaluations fan out
+/// over the engine's worker pool.
 ///
 /// # Panics
 ///
 /// Panics if `layers` is empty.
-pub fn method1(task: &DseTask, layers: &[Layer], rec: &dyn LayerRecommender) -> Deployment {
+pub fn method1(engine: &EvalEngine, layers: &[Layer], rec: &dyn LayerRecommender) -> Deployment {
     assert!(!layers.is_empty(), "method1: no layers");
+    let cands = candidate_points(engine, layers, rec);
+    let points: Vec<DesignPoint> = cands.iter().map(|&(_, p)| p).collect();
+    let latencies = engine.model_latency_batch(layers, &points);
     let mut best: Option<Deployment> = None;
-    for (_, p) in candidate_points(task, layers, rec) {
-        let lat = model_latency(task, layers, p);
-        if best.is_none_or(|b| lat < b.latency) {
-            best = Some(Deployment { point: p, latency: lat });
+    for (&point, &latency) in points.iter().zip(&latencies) {
+        if best.is_none_or(|b| latency < b.latency) {
+            best = Some(Deployment { point, latency });
         }
     }
     best.expect("at least one candidate")
@@ -103,7 +105,7 @@ pub fn method1(task: &DseTask, layers: &[Layer], rec: &dyn LayerRecommender) -> 
 /// # Panics
 ///
 /// Panics if `layers` is empty.
-pub fn method2(task: &DseTask, layers: &[Layer], rec: &dyn LayerRecommender) -> Deployment {
+pub fn method2(engine: &EvalEngine, layers: &[Layer], rec: &dyn LayerRecommender) -> Deployment {
     assert!(!layers.is_empty(), "method2: no layers");
     let mut bottleneck: Option<(f64, DesignPoint)> = None;
     for layer in layers {
@@ -115,24 +117,32 @@ pub fn method2(task: &DseTask, layers: &[Layer], rec: &dyn LayerRecommender) -> 
                 dataflow: df,
             };
             let p = rec.recommend(&input);
-            if !task.is_feasible(p) {
+            if !engine.is_feasible(p) {
                 continue;
             }
-            let s = task.score_unchecked(&input, p);
+            let s = engine.score_unchecked(&input, p);
             if layer_best.is_none_or(|(b, _)| s < b) {
                 layer_best = Some((s, p));
             }
         }
-        let Some((score, p)) = layer_best else { continue };
+        let Some((score, p)) = layer_best else {
+            continue;
+        };
         let weighted = score * layer.count as f64;
         if bottleneck.is_none_or(|(b, _)| weighted > b) {
             bottleneck = Some((weighted, p));
         }
     }
-    let (_, point) = bottleneck.unwrap_or((0.0, DesignPoint { pe_idx: 0, buf_idx: 0 }));
+    let (_, point) = bottleneck.unwrap_or((
+        0.0,
+        DesignPoint {
+            pe_idx: 0,
+            buf_idx: 0,
+        },
+    ));
     Deployment {
         point,
-        latency: model_latency(task, layers, point),
+        latency: engine.model_latency(layers, point),
     }
 }
 
@@ -146,34 +156,34 @@ mod tests {
         zoo::resnet18().to_dse_layers()
     }
 
-    fn oracle_rec(task: &DseTask) -> impl LayerRecommender + '_ {
-        move |input: &DseInput| task.oracle(input).best_point
+    fn oracle_rec(engine: &EvalEngine) -> impl LayerRecommender + '_ {
+        move |input: &DseInput| engine.oracle(input).best_point
     }
 
     #[test]
     fn method1_latency_is_min_over_candidates() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let ls = layers();
-        let rec = oracle_rec(&task);
-        let d = method1(&task, &ls, &rec);
+        let rec = oracle_rec(&engine);
+        let d = method1(&engine, &ls, &rec);
         assert!(d.latency > 0.0);
-        assert!(task.is_feasible(d.point));
+        assert!(engine.is_feasible(d.point));
         // any single-layer recommendation cannot beat the Method-1 choice
-        let alt = task.oracle(&DseInput {
+        let alt = engine.oracle(&DseInput {
             gemm: ls[0].gemm,
             dataflow: Dataflow::WeightStationary,
         });
-        let alt_lat = model_latency(&task, &ls, alt.best_point);
+        let alt_lat = model_latency(&engine, &ls, alt.best_point);
         assert!(d.latency <= alt_lat + 1e-6);
     }
 
     #[test]
     fn method2_picks_feasible_bottleneck_config() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let ls = layers();
-        let rec = oracle_rec(&task);
-        let d = method2(&task, &ls, &rec);
-        assert!(task.is_feasible(d.point));
+        let rec = oracle_rec(&engine);
+        let d = method2(&engine, &ls, &rec);
+        assert!(engine.is_feasible(d.point));
         assert!(d.latency > 0.0);
     }
 
@@ -181,21 +191,24 @@ mod tests {
     fn method1_never_worse_than_method2_with_same_recommender() {
         // Method 1 evaluates a superset of deployment candidates, so with
         // the same recommender it is at least as good.
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let ls = layers();
-        let rec = oracle_rec(&task);
-        let d1 = method1(&task, &ls, &rec);
-        let d2 = method2(&task, &ls, &rec);
+        let rec = oracle_rec(&engine);
+        let d1 = method1(&engine, &ls, &rec);
+        let d2 = method2(&engine, &ls, &rec);
         assert!(d1.latency <= d2.latency + 1e-6);
     }
 
     #[test]
     fn bad_recommender_yields_worse_deployment() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let ls = layers();
-        let good = method1(&task, &ls, &oracle_rec(&task));
-        let bad_rec = |_: &DseInput| DesignPoint { pe_idx: 0, buf_idx: 0 };
-        let bad = method1(&task, &ls, &bad_rec);
+        let good = method1(&engine, &ls, &oracle_rec(&engine));
+        let bad_rec = |_: &DseInput| DesignPoint {
+            pe_idx: 0,
+            buf_idx: 0,
+        };
+        let bad = method1(&engine, &ls, &bad_rec);
         assert!(
             bad.latency >= good.latency,
             "tiny config should not beat oracle deployment"
@@ -204,12 +217,31 @@ mod tests {
 
     #[test]
     fn model_latency_scales_with_counts() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let one = vec![Layer::new("l", GemmWorkload::new(64, 128, 64))];
         let two = vec![Layer::repeated("l", GemmWorkload::new(64, 128, 64), 2)];
-        let p = DesignPoint { pe_idx: 8, buf_idx: 5 };
-        let l1 = model_latency(&task, &one, p);
-        let l2 = model_latency(&task, &two, p);
+        let p = DesignPoint {
+            pe_idx: 8,
+            buf_idx: 5,
+        };
+        let l1 = model_latency(&engine, &one, p);
+        let l2 = model_latency(&engine, &two, p);
         assert!((l2 - 2.0 * l1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_recommendations_are_deduplicated_in_order() {
+        let engine = EvalEngine::table_i_default();
+        let ls = layers();
+        // constant recommender: every (layer, dataflow) points at the
+        // same config → exactly one candidate survives
+        let p0 = DesignPoint {
+            pe_idx: 3,
+            buf_idx: 2,
+        };
+        let const_rec = move |_: &DseInput| p0;
+        let cands = candidate_points(&engine, &ls, &const_rec);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0], (0, p0));
     }
 }

@@ -34,13 +34,7 @@ impl FeatureEncoder {
         let rows: Vec<Tensor> = train
             .samples
             .iter()
-            .map(|s| {
-                Tensor::from_slice(&[
-                    (s.m as f32).ln(),
-                    (s.n as f32).ln(),
-                    (s.k as f32).ln(),
-                ])
-            })
+            .map(|s| Tensor::from_slice(&[(s.m as f32).ln(), (s.n as f32).ln(), (s.k as f32).ln()]))
             .collect();
         let dims = Standardizer::fit(&Tensor::stack_rows(&rows));
         let perf: Vec<f32> = train
@@ -154,7 +148,9 @@ impl PreparedDataset {
         let contrastive_labels: Vec<u32> = pe_targets
             .iter()
             .zip(&buf_targets)
-            .map(|(&p, &b)| pe_bucketizer.bucket_of(p) as u32 * nbuf + buf_bucketizer.bucket_of(b) as u32)
+            .map(|(&p, &b)| {
+                pe_bucketizer.bucket_of(p) as u32 * nbuf + buf_bucketizer.bucket_of(b) as u32
+            })
             .collect();
 
         PreparedDataset {
@@ -182,10 +178,7 @@ impl PreparedDataset {
     /// labels).
     pub fn batch(&self, idx: &[usize]) -> PreparedBatch {
         let pick_rows = |t: &Tensor| {
-            let rows: Vec<Tensor> = idx
-                .iter()
-                .map(|&i| Tensor::from_slice(t.row(i)))
-                .collect();
+            let rows: Vec<Tensor> = idx.iter().map(|&i| Tensor::from_slice(t.row(i))).collect();
             Tensor::stack_rows(&rows)
         };
         PreparedBatch {

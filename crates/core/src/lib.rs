@@ -46,3 +46,4 @@ pub mod train;
 pub use config::{HeadKind, ModelConfig};
 pub use features::{FeatureEncoder, PreparedBatch, PreparedDataset, NUM_FEATURES};
 pub use model::Airchitect2;
+pub use predictor::{EvalReport, Predictor};

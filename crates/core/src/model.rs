@@ -1,6 +1,8 @@
 //! The AIrchitect v2 encoder–decoder transformer.
 
-use ai2_dse::{DesignPoint, DseDataset, DseTask};
+use std::sync::Arc;
+
+use ai2_dse::{DesignPoint, DseDataset, DseTask, EvalEngine};
 use ai2_nn::layers::{LayerNorm, Linear, TransformerBlock};
 use ai2_nn::{Graph, ParamId, ParamStore, VarId};
 use ai2_tensor::Tensor;
@@ -41,7 +43,7 @@ pub struct Airchitect2 {
     pe_codec: Box<dyn ConfigCodec>,
     buf_codec: Box<dyn ConfigCodec>,
     features: FeatureEncoder,
-    task: DseTask,
+    engine: Arc<EvalEngine>,
 }
 
 impl Airchitect2 {
@@ -52,7 +54,23 @@ impl Airchitect2 {
     ///
     /// Panics if the configuration is inconsistent or `train` is empty.
     pub fn new(cfg: &ModelConfig, task: &DseTask, train: &DseDataset) -> Airchitect2 {
+        Self::with_engine(cfg, EvalEngine::shared(task.clone()), train)
+    }
+
+    /// Builds a model sharing a caller-provided [`EvalEngine`], so its
+    /// metric and deployment queries land in (and reuse) the same cache
+    /// as every other subsystem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or `train` is empty.
+    pub fn with_engine(
+        cfg: &ModelConfig,
+        engine: Arc<EvalEngine>,
+        train: &DseDataset,
+    ) -> Airchitect2 {
         cfg.validate();
+        let task = engine.task();
         let features = FeatureEncoder::fit(train);
         let mut store = ParamStore::new(cfg.seed);
         let td = cfg.tokens * cfg.d_model;
@@ -60,7 +78,9 @@ impl Airchitect2 {
         let embed = Linear::new(&mut store, "enc.embed", NUM_FEATURES, td, true);
         let pos_enc = store.add_zeros("enc.pos", &[td]);
         let enc_blocks = (0..cfg.layers)
-            .map(|i| TransformerBlock::new(&mut store, &format!("enc.blk{i}"), cfg.d_model, cfg.heads))
+            .map(|i| {
+                TransformerBlock::new(&mut store, &format!("enc.blk{i}"), cfg.d_model, cfg.heads)
+            })
             .collect();
         let enc_ln = LayerNorm::new(&mut store, "enc.ln", cfg.d_model);
         let enc_proj = Linear::new(&mut store, "enc.proj", cfg.d_model, cfg.d_emb, true);
@@ -70,13 +90,27 @@ impl Airchitect2 {
         let dec_in = Linear::new(&mut store, "dec.in", cfg.d_emb, td, true);
         let pos_dec = store.add_zeros("dec.pos", &[td]);
         let dec_blocks = (0..cfg.layers)
-            .map(|i| TransformerBlock::new(&mut store, &format!("dec.blk{i}"), cfg.d_model, cfg.heads))
+            .map(|i| {
+                TransformerBlock::new(&mut store, &format!("dec.blk{i}"), cfg.d_model, cfg.heads)
+            })
             .collect();
         let dec_ln = LayerNorm::new(&mut store, "dec.ln", cfg.d_model);
         let pe_codec = cfg.head.codec(task.space().num_pe_choices());
         let buf_codec = cfg.head.codec(task.space().num_buf_choices());
-        let head_pe = Linear::new(&mut store, "dec.head_pe", cfg.d_model, pe_codec.width(), true);
-        let head_buf = Linear::new(&mut store, "dec.head_buf", cfg.d_model, buf_codec.width(), true);
+        let head_pe = Linear::new(
+            &mut store,
+            "dec.head_pe",
+            cfg.d_model,
+            pe_codec.width(),
+            true,
+        );
+        let head_buf = Linear::new(
+            &mut store,
+            "dec.head_buf",
+            cfg.d_model,
+            buf_codec.width(),
+            true,
+        );
 
         Airchitect2 {
             cfg: *cfg,
@@ -97,7 +131,7 @@ impl Airchitect2 {
             pe_codec,
             buf_codec,
             features,
-            task: task.clone(),
+            engine,
         }
     }
 
@@ -108,7 +142,12 @@ impl Airchitect2 {
 
     /// The bound DSE task.
     pub fn task(&self) -> &DseTask {
-        &self.task
+        self.engine.task()
+    }
+
+    /// The shared evaluation substrate the model is bound to.
+    pub fn engine(&self) -> &Arc<EvalEngine> {
+        &self.engine
     }
 
     /// The fitted feature encoder.
@@ -164,7 +203,7 @@ impl Airchitect2 {
     pub fn prepare(&self, ds: &DseDataset) -> PreparedDataset {
         PreparedDataset::build(
             ds,
-            &self.task,
+            self.engine.task(),
             &self.features,
             self.pe_codec.as_ref(),
             self.buf_codec.as_ref(),
@@ -391,7 +430,10 @@ mod tests {
     fn embeddings_are_deterministic() {
         let (_, ds, model) = tiny_setup();
         let prep = model.prepare(&ds);
-        assert_eq!(model.embeddings(&prep.features), model.embeddings(&prep.features));
+        assert_eq!(
+            model.embeddings(&prep.features),
+            model.embeddings(&prep.features)
+        );
     }
 
     #[test]

@@ -226,9 +226,22 @@ impl Stage2Trainer {
                 let mut g = Graph::new(model.store());
                 let zv = g.constant(z);
                 let (pe_logits, buf_logits) = model.forward_decoder(&mut g, zv);
-                let l_pe = head_loss(&mut g, head, cfg, pe_logits, &batch.pe_encoded, &batch.pe_targets);
-                let l_buf =
-                    head_loss(&mut g, head, cfg, buf_logits, &batch.buf_encoded, &batch.buf_targets);
+                let l_pe = head_loss(
+                    &mut g,
+                    head,
+                    cfg,
+                    pe_logits,
+                    &batch.pe_encoded,
+                    &batch.pe_targets,
+                );
+                let l_buf = head_loss(
+                    &mut g,
+                    head,
+                    cfg,
+                    buf_logits,
+                    &batch.buf_encoded,
+                    &batch.buf_targets,
+                );
                 let loss = g.add(l_pe, l_buf);
                 epoch_loss += g.scalar(loss) as f64;
                 let mut grads = g.backward(loss);
@@ -316,7 +329,10 @@ mod tests {
         assert_eq!(hist.len(), 10);
         let first = hist[0];
         let last = *hist.last().unwrap();
-        assert!(last < first, "stage-1 loss did not decrease: {first} → {last}");
+        assert!(
+            last < first,
+            "stage-1 loss did not decrease: {first} → {last}"
+        );
         assert!(hist.iter().all(|l| l.is_finite()));
     }
 
@@ -333,7 +349,10 @@ mod tests {
             .map(|&id| model.store().get(id).clone())
             .collect();
         let hist = Stage2Trainer::new(cfg).run(&mut model, &prep);
-        assert!(hist.last().unwrap() < &hist[0], "stage-2 loss did not decrease");
+        assert!(
+            hist.last().unwrap() < &hist[0],
+            "stage-2 loss did not decrease"
+        );
         for (id, before) in model.encoder_params().iter().zip(&enc_before) {
             assert_eq!(model.store().get(*id), before, "encoder changed in stage 2");
         }

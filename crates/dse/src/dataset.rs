@@ -4,13 +4,13 @@ use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ai2_maestro::{Dataflow, GemmWorkload};
-use ai2_workloads::generator::{DseInput, SamplingStrategy, WorkloadSampler};
 use ai2_tensor::rng;
+use ai2_workloads::generator::{DseInput, SamplingStrategy, WorkloadSampler};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::EvalEngine;
 use crate::objective::DseTask;
 use crate::space::DesignPoint;
 
@@ -124,61 +124,39 @@ impl From<serde_json::Error> for DatasetError {
 
 impl DseDataset {
     /// Generates a dataset by sampling inputs and labeling each with the
-    /// exhaustive oracle, fanned out over `threads` workers with
-    /// crossbeam scoped threads.
+    /// exhaustive oracle, fanned out over a transient [`EvalEngine`]
+    /// with `config.threads` workers.
     ///
-    /// Inputs are drawn up front from a single seeded stream, so the
-    /// result is deterministic regardless of thread count.
+    /// Inputs are drawn up front from a single seeded stream and the
+    /// oracle is a pure function of the input, so the result is
+    /// deterministic regardless of thread count.
     pub fn generate(task: &DseTask, config: &GenerateConfig) -> DseDataset {
+        // The transient engine keeps only oracle labels (no grids): the
+        // inputs of a generation run are almost all distinct, so caching
+        // their grids would cost memory without saving work.
+        let engine = EvalEngine::with_threads(task.clone(), config.threads).with_grid_capacity(0);
+        Self::generate_with(&engine, config)
+    }
+
+    /// [`DseDataset::generate`] through a caller-provided engine, so the
+    /// labels land in (and reuse) a shared cache.
+    pub fn generate_with(engine: &EvalEngine, config: &GenerateConfig) -> DseDataset {
         let sampler = WorkloadSampler::with_strategy(config.strategy);
         let mut r = rng::seeded(config.seed);
         let inputs = sampler.sample_n(&mut r, config.num_samples);
-
-        let threads = if config.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            config.threads
-        }
-        .max(1);
-
-        // Workers claim indices from a shared counter and write results
-        // into disjoint slots of a pre-sized buffer, so the output order
-        // (and therefore the dataset) is independent of the thread count.
-        let next = AtomicUsize::new(0);
-        let label = |input: &DseInput| -> DseSample {
-            let res = task.oracle(input);
-            DseSample {
-                m: input.gemm.m,
-                n: input.gemm.n,
-                k: input.gemm.k,
-                dataflow: input.dataflow.index(),
-                optimal: res.best_point,
-                best_score: res.best_score,
-            }
-        };
-        let mut samples: Vec<Option<DseSample>> = vec![None; inputs.len()];
-        {
-            let slots: Vec<parking_lot::Mutex<&mut Option<DseSample>>> =
-                samples.iter_mut().map(parking_lot::Mutex::new).collect();
-            crossbeam::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= inputs.len() {
-                            break;
-                        }
-                        let sample = label(&inputs[i]);
-                        **slots[i].lock() = Some(sample);
-                    });
-                }
-            })
-            .expect("dataset generation threads panicked");
-        }
-
+        let labels = engine.oracle_batch(&inputs);
         DseDataset {
-            samples: samples
-                .into_iter()
-                .map(|s| s.expect("all slots filled"))
+            samples: inputs
+                .iter()
+                .zip(&labels)
+                .map(|(input, res)| DseSample {
+                    m: input.gemm.m,
+                    n: input.gemm.n,
+                    k: input.gemm.k,
+                    dataflow: input.dataflow.index(),
+                    optimal: res.best_point,
+                    best_score: res.best_score,
+                })
                 .collect(),
         }
     }
@@ -306,7 +284,10 @@ mod tests {
             n: 20,
             k: 30,
             dataflow: 2,
-            optimal: DesignPoint { pe_idx: 1, buf_idx: 2 },
+            optimal: DesignPoint {
+                pe_idx: 1,
+                buf_idx: 2,
+            },
             best_score: 123.0,
         };
         assert_eq!(s.features(), [10.0, 20.0, 30.0, 2.0]);

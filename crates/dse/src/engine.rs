@@ -1,0 +1,737 @@
+//! The unified evaluation substrate: every subsystem's cost queries —
+//! oracle labeling, the search baselines, model-level deployment, and
+//! the prediction metrics — flow through one concurrency-safe,
+//! memoizing [`EvalEngine`].
+//!
+//! # Why one engine
+//!
+//! Each layer of the reproduction ultimately asks the MAESTRO-style cost
+//! model the same question — *what does design point `p` cost on input
+//! `i`?* — and, left alone, each layer answers it independently: the
+//! oracle re-sweeps the grid per call, searchers re-score identical
+//! `(input, point)` pairs, and deployment replays per-layer costs for
+//! every candidate configuration. The engine computes each raw cost at
+//! most once and shares it:
+//!
+//! * **Raw-cost grid cache** — per [`DseInput`], a lazily filled grid of
+//!   `(latency, energy)` pairs. Raw costs are objective-independent, so
+//!   a single sweep answers *latency*, *energy* and *EDP* queries alike.
+//!   Entries are materialised only by the **single-point query** path
+//!   ([`EvalEngine::score`] / [`EvalEngine::score_unchecked`]), whose
+//!   callers revisit the same input point-by-point; sweep and batch
+//!   paths ([`EvalEngine::oracle`], [`EvalEngine::score_grid`],
+//!   [`EvalEngine::eval_batch`]) reuse an existing entry but never
+//!   create one, so bulk passes over thousands of distinct inputs
+//!   cannot exhaust the capacity that repeated-query workloads depend
+//!   on.
+//! * **Oracle cache** — labeled optima keyed by the full
+//!   `(gemm, dataflow, objective, budget)` tuple, so repeated labeling
+//!   (dataset generation, metric evaluation, figure binaries) is free
+//!   after the first sweep.
+//! * **Shared worker pool** — batched APIs ([`EvalEngine::oracle_batch`],
+//!   [`EvalEngine::eval_batch`], [`EvalEngine::model_latency_batch`])
+//!   fan out over one self-balancing [`WorkPool`] instead of each call
+//!   site growing its own thread machinery.
+//!
+//! Results are **bit-identical** to the direct [`DseTask`] methods: the
+//! engine caches the raw `(latency_cycles, energy_pj)` outputs of
+//! [`ai2_maestro::CostModel::evaluate`] and re-derives scores, areas and
+//! tie-breaks with exactly the arithmetic `DseTask` uses (property-tested
+//! in `tests/engine_consistency.rs`).
+//!
+//! # Memory bound
+//!
+//! A full grid entry costs ~20 KiB (768 points). The grid cache holds at
+//! most [`EvalEngine::grid_capacity`] entries (default 1024 ≈ 20 MiB);
+//! beyond that, queries for new inputs compute transiently without
+//! caching — the same cost as the pre-engine code paths. The oracle
+//! cache stores only `(point, score, count)` triples and is unbounded.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use ai2_workloads::generator::DseInput;
+use ai2_workloads::Layer;
+
+use crate::objective::{Budget, DseTask, Objective, OracleResult};
+use crate::pool::WorkPool;
+use crate::space::{DesignPoint, DesignSpace};
+
+/// Raw, objective-independent cost of one `(input, point)` evaluation.
+type RawCost = (u64, f64); // (latency_cycles, energy_pj)
+
+/// One input's lazily filled cost grid.
+struct GridEntry {
+    cells: Box<[OnceLock<RawCost>]>,
+}
+
+impl GridEntry {
+    fn new(num_points: usize) -> GridEntry {
+        GridEntry {
+            cells: (0..num_points).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn filled(&self) -> usize {
+        self.cells.iter().filter(|c| c.get().is_some()).count()
+    }
+}
+
+/// Cache key for labeled optima: the full problem tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OracleKey {
+    input: DseInput,
+    objective: ObjectiveTag,
+    /// `f64::to_bits` of the area limit; `u64::MAX` for unbounded.
+    budget_bits: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ObjectiveTag {
+    Latency,
+    Energy,
+    Edp,
+}
+
+fn objective_tag(o: Objective) -> ObjectiveTag {
+    match o {
+        Objective::Latency => ObjectiveTag::Latency,
+        Objective::Energy => ObjectiveTag::Energy,
+        Objective::Edp => ObjectiveTag::Edp,
+    }
+}
+
+fn budget_bits(b: Budget) -> u64 {
+    match b.limit_mm2() {
+        Some(limit) => limit.to_bits(),
+        None => u64::MAX,
+    }
+}
+
+/// Scores a raw cost exactly as [`Objective::score`] scores a
+/// [`ai2_maestro::CostReport`].
+fn objective_score(o: Objective, (lat, energy): RawCost) -> f64 {
+    match o {
+        Objective::Latency => lat as f64,
+        Objective::Energy => energy,
+        // CostReport::edp() is energy_pj * latency_cycles as f64; keep
+        // the operand order so the f64 result is bit-identical.
+        Objective::Edp => energy * lat as f64,
+    }
+}
+
+/// Cache observability counters (monotonic, relaxed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Point evaluations answered from a cached cell.
+    pub point_hits: u64,
+    /// Point evaluations that ran the cost model.
+    pub point_misses: u64,
+    /// Oracle queries answered from the oracle cache.
+    pub oracle_hits: u64,
+    /// Oracle queries that swept the grid.
+    pub oracle_misses: u64,
+    /// Inputs currently holding a cached grid.
+    pub grid_entries: usize,
+    /// Grid cells filled across all cached inputs.
+    pub cached_points: usize,
+    /// Entries in the oracle cache.
+    pub oracle_entries: usize,
+}
+
+/// The shared, memoizing, parallel cost-evaluation substrate.
+///
+/// Cheap to share: wrap it in an [`Arc`] (see [`EvalEngine::shared`]) and
+/// hand clones to every subsystem. All methods take `&self` and are safe
+/// to call concurrently.
+pub struct EvalEngine {
+    task: DseTask,
+    /// Area of every grid point under the task's cost model, flat-indexed.
+    areas: Vec<f64>,
+    pool: WorkPool,
+    grid_capacity: usize,
+    grids: RwLock<HashMap<DseInput, Arc<GridEntry>>>,
+    oracles: RwLock<HashMap<OracleKey, OracleResult>>,
+    point_hits: AtomicU64,
+    point_misses: AtomicU64,
+    oracle_hits: AtomicU64,
+    oracle_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for EvalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalEngine")
+            .field("task", &self.task)
+            .field("threads", &self.pool.threads())
+            .field("grid_capacity", &self.grid_capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl EvalEngine {
+    /// Default number of cached per-input grids (≈ 20 MiB).
+    pub const DEFAULT_GRID_CAPACITY: usize = 1024;
+
+    /// An engine over `task` with a machine-sized worker pool.
+    pub fn new(task: DseTask) -> EvalEngine {
+        Self::with_threads(task, 0)
+    }
+
+    /// An engine with an explicit worker count (`0` = available
+    /// parallelism).
+    pub fn with_threads(task: DseTask, threads: usize) -> EvalEngine {
+        let areas = task
+            .space()
+            .iter_points()
+            .map(|p| task.cost_model.area_mm2(&task.space().config(p)))
+            .collect();
+        EvalEngine {
+            areas,
+            pool: WorkPool::new(threads),
+            grid_capacity: Self::DEFAULT_GRID_CAPACITY,
+            grids: RwLock::new(HashMap::new()),
+            oracles: RwLock::new(HashMap::new()),
+            point_hits: AtomicU64::new(0),
+            point_misses: AtomicU64::new(0),
+            oracle_hits: AtomicU64::new(0),
+            oracle_misses: AtomicU64::new(0),
+            task,
+        }
+    }
+
+    /// Overrides the grid-cache capacity (entries; `0` disables grid
+    /// caching entirely).
+    pub fn with_grid_capacity(mut self, capacity: usize) -> EvalEngine {
+        self.grid_capacity = capacity;
+        self
+    }
+
+    /// Convenience: a shared engine ready to hand to multiple subsystems.
+    pub fn shared(task: DseTask) -> Arc<EvalEngine> {
+        Arc::new(EvalEngine::new(task))
+    }
+
+    /// The default experimental engine (Table I space, latency objective,
+    /// edge budget).
+    pub fn table_i_default() -> EvalEngine {
+        EvalEngine::new(DseTask::table_i_default())
+    }
+
+    /// The task under evaluation.
+    pub fn task(&self) -> &DseTask {
+        &self.task
+    }
+
+    /// The output design space.
+    pub fn space(&self) -> &DesignSpace {
+        self.task.space()
+    }
+
+    /// The shared worker pool (for callers fanning out their own work).
+    pub fn pool(&self) -> &WorkPool {
+        &self.pool
+    }
+
+    /// Precomputed silicon area of a design point (mm²).
+    pub fn area_mm2(&self, p: DesignPoint) -> f64 {
+        self.areas[self.space().flat_index(p)]
+    }
+
+    /// Whether `p` fits the task's area budget (identical to
+    /// [`DseTask::is_feasible`]).
+    pub fn is_feasible(&self, p: DesignPoint) -> bool {
+        self.feasible_under(p, self.task.budget)
+    }
+
+    fn feasible_under(&self, p: DesignPoint, budget: Budget) -> bool {
+        match budget.limit_mm2() {
+            None => true,
+            Some(limit) => self.areas[self.space().flat_index(p)] <= limit,
+        }
+    }
+
+    /// Cache counters and sizes.
+    pub fn stats(&self) -> EngineStats {
+        let grids = self.grids.read().expect("grid cache poisoned");
+        let cached_points = grids.values().map(|e| e.filled()).sum();
+        EngineStats {
+            point_hits: self.point_hits.load(Ordering::Relaxed),
+            point_misses: self.point_misses.load(Ordering::Relaxed),
+            oracle_hits: self.oracle_hits.load(Ordering::Relaxed),
+            oracle_misses: self.oracle_misses.load(Ordering::Relaxed),
+            grid_entries: grids.len(),
+            cached_points,
+            oracle_entries: self.oracles.read().expect("oracle cache poisoned").len(),
+        }
+    }
+
+    /// Drops every cached grid and oracle label (counters are kept).
+    pub fn clear_cache(&self) {
+        self.grids.write().expect("grid cache poisoned").clear();
+        self.oracles.write().expect("oracle cache poisoned").clear();
+    }
+
+    // ----------------------------------------------------------------
+    // raw-cost plumbing
+
+    fn compute_raw(&self, input: &DseInput, flat: usize) -> RawCost {
+        let p = self.space().from_flat(flat);
+        let report =
+            self.task
+                .cost_model
+                .evaluate(&input.gemm, input.dataflow, &self.space().config(p));
+        (report.latency_cycles, report.energy_pj)
+    }
+
+    /// The cached grid for `input`, if one already exists.
+    fn existing_grid(&self, input: &DseInput) -> Option<Arc<GridEntry>> {
+        self.grids
+            .read()
+            .expect("grid cache poisoned")
+            .get(input)
+            .map(Arc::clone)
+    }
+
+    /// The cached grid for `input`, inserting one if capacity allows.
+    ///
+    /// Only the **point-query** path materialises grids: point-wise
+    /// reuse (searchers hammering one workload) is what a retained grid
+    /// pays for. Sweep paths (`oracle`, `score_grid`) reuse a grid when
+    /// present but never create one — a batch of thousands of distinct
+    /// labeling inputs must not evict-by-filling the capacity that the
+    /// repeated-query workloads rely on.
+    fn grid_for_points(&self, input: &DseInput) -> Option<Arc<GridEntry>> {
+        if let Some(entry) = self.existing_grid(input) {
+            return Some(entry);
+        }
+        if self.grid_capacity == 0 {
+            return None;
+        }
+        let mut grids = self.grids.write().expect("grid cache poisoned");
+        if let Some(entry) = grids.get(input) {
+            return Some(Arc::clone(entry));
+        }
+        if grids.len() >= self.grid_capacity {
+            return None;
+        }
+        let entry = Arc::new(GridEntry::new(self.space().num_points()));
+        grids.insert(*input, Arc::clone(&entry));
+        Some(entry)
+    }
+
+    /// Raw cost of one `(input, point)` pair, memoized when a grid slot
+    /// is available.
+    fn raw_cost(&self, input: &DseInput, flat: usize) -> RawCost {
+        match self.grid_for_points(input) {
+            Some(entry) => {
+                // `computed` disambiguates the race where two threads
+                // both see an empty cell: only the thread whose closure
+                // ran counts a miss, so the hit/miss stats stay exact.
+                let mut computed = false;
+                let cost = *entry.cells[flat].get_or_init(|| {
+                    computed = true;
+                    self.compute_raw(input, flat)
+                });
+                if computed {
+                    self.point_misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.point_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                cost
+            }
+            None => {
+                self.point_misses.fetch_add(1, Ordering::Relaxed);
+                self.compute_raw(input, flat)
+            }
+        }
+    }
+
+    /// All raw costs for `input` (the full grid sweep), parallelized
+    /// over the pool when possible. Reuses (and fills) an existing grid
+    /// entry but never creates one — see [`EvalEngine::grid_for_points`].
+    fn full_raw_costs(&self, input: &DseInput) -> Vec<RawCost> {
+        let n = self.space().num_points();
+        match self.existing_grid(input) {
+            Some(entry) => {
+                self.pool.run(n, |flat| {
+                    entry.cells[flat].get_or_init(|| self.compute_raw(input, flat));
+                });
+                entry
+                    .cells
+                    .iter()
+                    .map(|c| *c.get().expect("filled by the sweep above"))
+                    .collect()
+            }
+            None => self.pool.map(n, |flat| self.compute_raw(input, flat)),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // point queries (bit-identical to DseTask)
+
+    /// Evaluates one design point; `None` if it violates the budget
+    /// (identical to [`DseTask::score`]).
+    pub fn score(&self, input: &DseInput, p: DesignPoint) -> Option<f64> {
+        if !self.is_feasible(p) {
+            return None;
+        }
+        Some(self.score_unchecked(input, p))
+    }
+
+    /// Evaluates one design point ignoring the budget (identical to
+    /// [`DseTask::score_unchecked`]).
+    pub fn score_unchecked(&self, input: &DseInput, p: DesignPoint) -> f64 {
+        let raw = self.raw_cost(input, self.space().flat_index(p));
+        objective_score(self.task.objective, raw)
+    }
+
+    /// Raw cost that reuses (and fills) an existing grid entry but never
+    /// materialises one — for batches of mostly-distinct one-shot
+    /// queries, which would otherwise pin the bounded grid capacity with
+    /// single-use entries.
+    fn raw_cost_transient(&self, input: &DseInput, flat: usize) -> RawCost {
+        match self.existing_grid(input) {
+            Some(entry) => {
+                let mut computed = false;
+                let cost = *entry.cells[flat].get_or_init(|| {
+                    computed = true;
+                    self.compute_raw(input, flat)
+                });
+                if computed {
+                    self.point_misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.point_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                cost
+            }
+            None => {
+                self.point_misses.fetch_add(1, Ordering::Relaxed);
+                self.compute_raw(input, flat)
+            }
+        }
+    }
+
+    /// Scores a batch of `(input, point)` queries in parallel
+    /// (`None` marks budget violations).
+    ///
+    /// Intended for batches of **distinct** one-shot queries (e.g. the
+    /// metric pass scoring one predicted point per test sample): results
+    /// reuse any cached grids but do not create new ones. Workloads that
+    /// revisit the same input repeatedly should use [`EvalEngine::score`],
+    /// which materialises a grid for point-wise reuse.
+    pub fn eval_batch(&self, queries: &[(DseInput, DesignPoint)]) -> Vec<Option<f64>> {
+        self.pool.map(queries.len(), |i| {
+            let (input, p) = &queries[i];
+            if !self.is_feasible(*p) {
+                return None;
+            }
+            let raw = self.raw_cost_transient(input, self.space().flat_index(*p));
+            Some(objective_score(self.task.objective, raw))
+        })
+    }
+
+    /// Budget-ignoring variant of a single transient query (used by
+    /// metric code to penalize infeasible predictions without caching
+    /// one-shot inputs).
+    pub fn score_unchecked_transient(&self, input: &DseInput, p: DesignPoint) -> f64 {
+        let raw = self.raw_cost_transient(input, self.space().flat_index(p));
+        objective_score(self.task.objective, raw)
+    }
+
+    // ----------------------------------------------------------------
+    // grid queries
+
+    /// Scores every grid point (NaN for infeasible), flat-indexed
+    /// (identical to [`DseTask::score_grid`]).
+    pub fn score_grid(&self, input: &DseInput) -> Vec<f64> {
+        let raw = self.full_raw_costs(input);
+        self.space()
+            .iter_points()
+            .map(|p| {
+                if self.is_feasible(p) {
+                    objective_score(self.task.objective, raw[self.space().flat_index(p)])
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect()
+    }
+
+    /// The exact grid optimum for `input` under the task's objective and
+    /// budget (identical to [`DseTask::oracle`], memoized).
+    pub fn oracle(&self, input: &DseInput) -> OracleResult {
+        self.oracle_with(input, self.task.objective, self.task.budget)
+    }
+
+    /// The exact grid optimum under an overridden objective and budget —
+    /// the raw-cost cache is shared across objectives, so sweeping one
+    /// input under latency *and* energy costs one grid sweep, not two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` admits no design point (same invariant as
+    /// [`DseTask::oracle`]).
+    pub fn oracle_with(
+        &self,
+        input: &DseInput,
+        objective: Objective,
+        budget: Budget,
+    ) -> OracleResult {
+        let key = OracleKey {
+            input: *input,
+            objective: objective_tag(objective),
+            budget_bits: budget_bits(budget),
+        };
+        if let Some(res) = self
+            .oracles
+            .read()
+            .expect("oracle cache poisoned")
+            .get(&key)
+        {
+            self.oracle_hits.fetch_add(1, Ordering::Relaxed);
+            return *res;
+        }
+        self.oracle_misses.fetch_add(1, Ordering::Relaxed);
+        let raw = self.full_raw_costs(input);
+
+        // Replicates DseTask::oracle exactly: same iteration order, same
+        // score/area comparisons, same tie-breaks.
+        let mut best: Option<(f64, f64, DesignPoint)> = None;
+        let mut feasible = 0usize;
+        for p in self.space().iter_points() {
+            if !self.feasible_under(p, budget) {
+                continue;
+            }
+            let flat = self.space().flat_index(p);
+            let score = objective_score(objective, raw[flat]);
+            feasible += 1;
+            let area = self.areas[flat];
+            let better = match &best {
+                None => true,
+                Some((bs, ba, _)) => score < *bs || (score == *bs && area < *ba),
+            };
+            if better {
+                best = Some((score, area, p));
+            }
+        }
+        let (best_score, _, best_point) =
+            best.expect("DseTask invariant: at least one feasible point");
+        let res = OracleResult {
+            best_point,
+            best_score,
+            feasible_points: feasible,
+        };
+        self.oracles
+            .write()
+            .expect("oracle cache poisoned")
+            .insert(key, res);
+        res
+    }
+
+    /// Labels a batch of inputs in parallel over the pool.
+    pub fn oracle_batch(&self, inputs: &[DseInput]) -> Vec<OracleResult> {
+        self.pool.map(inputs.len(), |i| self.oracle(&inputs[i]))
+    }
+
+    // ----------------------------------------------------------------
+    // model-level deployment costs
+
+    /// Model-level latency of running every layer (with repetition
+    /// counts) on hardware `point`, letting each layer use its best
+    /// dataflow — the cost kernel of the paper's §III-E deployment
+    /// methods. Ignores the budget, like
+    /// [`DseTask::score_unchecked`]; deployment methods filter candidate
+    /// points for feasibility before calling this.
+    pub fn model_latency(&self, layers: &[Layer], point: DesignPoint) -> f64 {
+        layers
+            .iter()
+            .map(|layer| {
+                let best_df = ai2_maestro::Dataflow::ALL
+                    .iter()
+                    .map(|&df| {
+                        self.score_unchecked(
+                            &DseInput {
+                                gemm: layer.gemm,
+                                dataflow: df,
+                            },
+                            point,
+                        )
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                best_df * layer.count as f64
+            })
+            .sum()
+    }
+
+    /// [`EvalEngine::model_latency`] for many candidate points at once,
+    /// fanned out over the pool.
+    pub fn model_latency_batch(&self, layers: &[Layer], points: &[DesignPoint]) -> Vec<f64> {
+        self.pool
+            .map(points.len(), |i| self.model_latency(layers, points[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_maestro::{Dataflow, GemmWorkload};
+
+    fn input(m: u64, n: u64, k: u64, df: Dataflow) -> DseInput {
+        DseInput {
+            gemm: GemmWorkload::new(m, n, k),
+            dataflow: df,
+        }
+    }
+
+    #[test]
+    fn engine_matches_task_point_queries() {
+        let task = DseTask::table_i_default();
+        let engine = EvalEngine::new(task.clone());
+        let inp = input(48, 300, 200, Dataflow::OutputStationary);
+        for p in task.space().iter_points().step_by(17) {
+            assert_eq!(engine.is_feasible(p), task.is_feasible(p));
+            assert_eq!(engine.score(&inp, p), task.score(&inp, p));
+            assert_eq!(
+                engine.score_unchecked(&inp, p).to_bits(),
+                task.score_unchecked(&inp, p).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_matches_task_oracle_and_grid() {
+        let task = DseTask::table_i_default();
+        let engine = EvalEngine::new(task.clone());
+        let inp = input(64, 700, 450, Dataflow::RowStationary);
+        assert_eq!(engine.oracle(&inp), task.oracle(&inp));
+        let (eg, tg) = (engine.score_grid(&inp), task.score_grid(&inp));
+        assert_eq!(eg.len(), tg.len());
+        for (a, b) in eg.iter().zip(&tg) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn repeated_oracle_hits_the_cache() {
+        let engine = EvalEngine::table_i_default();
+        let inp = input(32, 128, 64, Dataflow::WeightStationary);
+        let first = engine.oracle(&inp);
+        let stats_after_first = engine.stats();
+        let second = engine.oracle(&inp);
+        let stats_after_second = engine.stats();
+        assert_eq!(first, second);
+        assert_eq!(stats_after_first.oracle_misses, 1);
+        assert_eq!(
+            stats_after_second.oracle_hits,
+            stats_after_first.oracle_hits + 1
+        );
+        assert_eq!(
+            stats_after_second.point_misses,
+            stats_after_first.point_misses
+        );
+    }
+
+    #[test]
+    fn oracle_with_shares_raw_costs_across_objectives() {
+        let engine = EvalEngine::table_i_default();
+        let inp = input(40, 220, 90, Dataflow::OutputStationary);
+        // a point query materialises the grid entry (sweep paths alone
+        // never create one — see grid_for_points)
+        engine.score_unchecked(
+            &inp,
+            DesignPoint {
+                pe_idx: 4,
+                buf_idx: 4,
+            },
+        );
+        assert_eq!(engine.stats().grid_entries, 1);
+        // the oracle sweep fills the existing grid…
+        engine.oracle(&inp);
+        assert_eq!(engine.stats().cached_points, 768);
+        // …and a different objective over the same input folds the same
+        // cached raw costs instead of re-running the cost model
+        let misses_before = engine.stats().point_misses;
+        engine.oracle_with(&inp, Objective::Energy, Budget::Edge);
+        assert_eq!(engine.stats().point_misses, misses_before);
+        assert_eq!(engine.stats().grid_entries, 1);
+    }
+
+    #[test]
+    fn eval_batch_does_not_populate_the_grid_cache() {
+        // a metric pass scores one (input, point) pair per sample; those
+        // single-use inputs must not pin the bounded grid capacity
+        let engine = EvalEngine::table_i_default();
+        let queries: Vec<(DseInput, DesignPoint)> = (1..30u64)
+            .map(|i| {
+                (
+                    input(i, i * 5, i * 3, Dataflow::OutputStationary),
+                    DesignPoint {
+                        pe_idx: 2,
+                        buf_idx: 2,
+                    },
+                )
+            })
+            .collect();
+        let scores = engine.eval_batch(&queries);
+        assert!(scores.iter().all(|s| s.is_some()));
+        assert_eq!(engine.stats().grid_entries, 0);
+        // …but it reuses a grid when one already exists
+        engine.score(&queries[0].0, queries[0].1);
+        assert_eq!(engine.stats().grid_entries, 1);
+        let hits_before = engine.stats().point_hits;
+        engine.eval_batch(&queries[..1]);
+        assert_eq!(engine.stats().point_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn sweeps_do_not_populate_the_grid_cache() {
+        // labeling many distinct inputs (dataset generation) must not
+        // fill the bounded grid cache that point-query workloads rely on
+        let engine = EvalEngine::table_i_default();
+        for i in 1..20u64 {
+            engine.oracle(&input(i * 3, i * 17, i * 11, Dataflow::WeightStationary));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.grid_entries, 0);
+        assert_eq!(stats.oracle_entries, 19);
+    }
+
+    #[test]
+    fn zero_capacity_engine_still_answers_correctly() {
+        let task = DseTask::table_i_default();
+        let engine = EvalEngine::new(task.clone()).with_grid_capacity(0);
+        let inp = input(16, 64, 32, Dataflow::WeightStationary);
+        assert_eq!(engine.oracle(&inp), task.oracle(&inp));
+        assert_eq!(engine.stats().grid_entries, 0);
+    }
+
+    #[test]
+    fn batch_apis_match_scalar_apis() {
+        let engine = EvalEngine::table_i_default();
+        let inputs: Vec<DseInput> = (1..6)
+            .map(|i| input(i * 13, i * 40, i * 21, Dataflow::from_index(i as usize % 3)))
+            .collect();
+        let batch = engine.oracle_batch(&inputs);
+        for (inp, res) in inputs.iter().zip(&batch) {
+            assert_eq!(*res, engine.oracle(inp));
+        }
+        let queries: Vec<(DseInput, DesignPoint)> = inputs
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    DesignPoint {
+                        pe_idx: 5,
+                        buf_idx: 4,
+                    },
+                )
+            })
+            .collect();
+        let scores = engine.eval_batch(&queries);
+        for ((inp, p), s) in queries.iter().zip(&scores) {
+            assert_eq!(*s, engine.score(inp, *p));
+        }
+    }
+}

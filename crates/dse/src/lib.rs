@@ -7,6 +7,9 @@
 //!   the exhaustive [`DseTask::oracle`] that labels the dataset with the
 //!   exact per-layer optimum (the quantity ConfuciuX approximates in the
 //!   paper's pipeline).
+//! * [`engine`] — the unified [`EvalEngine`]: every cost query of every
+//!   subsystem (oracle labeling, searchers, deployment, metrics) flows
+//!   through one concurrency-safe, memoizing, parallel substrate.
 //! * [`search`] — the iterative searchers of the paper's Fig. 1 and §V:
 //!   random search, simulated annealing, a GAMMA-style genetic algorithm,
 //!   a ConfuciuX-style REINFORCE + GA fine-tune, and Bayesian
@@ -37,9 +40,13 @@ mod dataset;
 mod objective;
 mod space;
 
+pub mod engine;
+pub mod pool;
 pub mod search;
 pub mod stats;
 
 pub use dataset::{DatasetError, DseDataset, DseSample, GenerateConfig};
+pub use engine::{EngineStats, EvalEngine};
 pub use objective::{Budget, DseTask, Objective, OracleResult};
+pub use pool::WorkPool;
 pub use space::{DesignPoint, DesignSpace};

@@ -100,7 +100,12 @@ impl DseTask {
     ///
     /// Panics if no grid point fits the budget — every task must have at
     /// least one feasible configuration.
-    pub fn new(space: DesignSpace, objective: Objective, budget: Budget, cost_model: CostModel) -> Self {
+    pub fn new(
+        space: DesignSpace,
+        objective: Objective,
+        budget: Budget,
+        cost_model: CostModel,
+    ) -> Self {
         let task = DseTask {
             space,
             objective,
@@ -280,7 +285,10 @@ mod tests {
         let inp = input(32, 128, 64, Dataflow::WeightStationary);
         let grid = task.score_grid(&inp);
         assert_eq!(grid.len(), 768);
-        assert!(grid.iter().any(|s| s.is_nan()), "edge budget should exclude some");
+        assert!(
+            grid.iter().any(|s| s.is_nan()),
+            "edge budget should exclude some"
+        );
         assert!(grid.iter().any(|s| !s.is_nan()));
     }
 

@@ -1,0 +1,198 @@
+//! A small shared worker pool for fanning independent evaluations out
+//! over threads.
+//!
+//! This replaces the previous ad-hoc machinery in `dataset.rs`
+//! (crossbeam scoped threads plus one mutex per output slot): workers
+//! claim chunks of the index range from a shared atomic counter — a
+//! self-balancing schedule where fast workers steal the remaining range
+//! from slow ones — and each output slot is written exactly once, so no
+//! per-slot locking is needed.
+//!
+//! The pool is re-entrancy safe: when [`WorkPool::run`] is called from
+//! inside a pool worker (e.g. a batched oracle sweep whose per-input
+//! labeling itself asks for a parallel grid sweep), the nested call runs
+//! inline on the calling worker instead of over-subscribing the machine.
+
+use std::cell::Cell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// How many indices a worker claims per counter increment. Small enough
+/// to balance jagged per-item costs, large enough to keep the counter
+/// cold.
+const CHUNK: usize = 8;
+
+/// A scoped, self-balancing worker pool.
+#[derive(Debug, Clone)]
+pub struct WorkPool {
+    threads: usize,
+}
+
+impl WorkPool {
+    /// A pool with `threads` workers; `0` means the machine's available
+    /// parallelism.
+    pub fn new(threads: usize) -> WorkPool {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        WorkPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, fanned out over the pool.
+    ///
+    /// `f` must be safe to call concurrently from multiple threads.
+    /// Nested calls (from inside a pool worker) run inline.
+    pub fn run<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.min(n.div_ceil(CHUNK));
+        if workers <= 1 || IN_POOL_WORKER.with(Cell::get) {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    IN_POOL_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + CHUNK).min(n) {
+                            f(i);
+                        }
+                    }
+                    IN_POOL_WORKER.with(|flag| flag.set(false));
+                });
+            }
+        });
+    }
+
+    /// Computes `f(i)` for every `i in 0..n` in parallel and returns the
+    /// results in index order.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: the spare capacity is fully initialised below — `run`
+        // calls the closure for every index in 0..n exactly once, and
+        // each call writes only its own disjoint slot.
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            out.set_len(n);
+        }
+        let slots = SharedSlots(out.as_mut_ptr());
+        let slots_ref = &slots;
+        self.run(n, |i| {
+            // SAFETY: index-disjoint writes; slot `i` is written by the
+            // single worker that claimed index `i`.
+            unsafe {
+                slots_ref.write(i, f(i));
+            }
+        });
+        // SAFETY: every slot was initialised above.
+        out.into_iter()
+            .map(|s| unsafe { s.assume_init() })
+            .collect()
+    }
+}
+
+impl Default for WorkPool {
+    fn default() -> Self {
+        WorkPool::new(0)
+    }
+}
+
+/// Raw output pointer made shareable across scoped workers. Soundness is
+/// guaranteed by the index-disjoint write discipline of [`WorkPool::map`].
+struct SharedSlots<T>(*mut MaybeUninit<T>);
+
+unsafe impl<T: Send> Sync for SharedSlots<T> {}
+
+impl<T> SharedSlots<T> {
+    /// Writes `value` into slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// Each index must be written at most once, by one thread, while the
+    /// backing vector outlives the writes.
+    unsafe fn write(&self, i: usize, value: T) {
+        (*self.0.add(i)).write(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_order_and_covers_every_index() {
+        let pool = WorkPool::new(4);
+        let out = pool.map(1000, |i| i * 3);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn run_executes_each_index_exactly_once() {
+        let pool = WorkPool::new(3);
+        let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(counts.len(), |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_run_does_not_deadlock_or_oversubscribe() {
+        let pool = WorkPool::new(4);
+        let inner_sums = pool.map(16, |i| {
+            let inner = pool.map(10, move |j| i * j);
+            inner.iter().sum::<usize>()
+        });
+        for (i, s) in inner_sums.iter().enumerate() {
+            assert_eq!(*s, i * 45);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_is_inline() {
+        let pool = WorkPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.map(5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let pool = WorkPool::new(4);
+        let out: Vec<usize> = pool.map(0, |i| i);
+        assert!(out.is_empty());
+    }
+}

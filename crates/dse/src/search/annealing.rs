@@ -4,7 +4,7 @@ use ai2_tensor::rng;
 use ai2_workloads::generator::DseInput;
 use rand::Rng;
 
-use crate::objective::DseTask;
+use crate::engine::EvalEngine;
 use crate::search::{SearchContext, SearchResult, Searcher};
 use crate::space::DesignPoint;
 
@@ -36,7 +36,10 @@ impl AnnealingSearcher {
     /// Panics unless `0 < decay < 1` and `t0_frac > 0`.
     pub fn with_schedule(mut self, t0_frac: f64, decay: f64) -> Self {
         assert!(t0_frac > 0.0, "AnnealingSearcher: t0_frac must be positive");
-        assert!((0.0..1.0).contains(&decay), "AnnealingSearcher: decay in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&decay),
+            "AnnealingSearcher: decay in (0,1)"
+        );
         self.t0_frac = t0_frac;
         self.decay = decay;
         self
@@ -44,10 +47,15 @@ impl AnnealingSearcher {
 }
 
 impl Searcher for AnnealingSearcher {
-    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
+    fn search(
+        &mut self,
+        engine: &EvalEngine,
+        input: DseInput,
+        budget_evals: usize,
+    ) -> SearchResult {
         let mut r = rng::seeded(self.seed);
-        let mut ctx = SearchContext::new(task, input);
-        let space = task.space();
+        let mut ctx = SearchContext::new(engine, input);
+        let space = engine.space();
         if budget_evals == 0 {
             return SearchResult::from_context(ctx);
         }
@@ -94,7 +102,7 @@ mod tests {
 
     #[test]
     fn annealing_beats_random_at_equal_budget() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let input = test_input();
         let budget = 60;
         // average over seeds to keep the comparison robust
@@ -102,12 +110,16 @@ mod tests {
         let ann = avg((0..5)
             .map(|s| {
                 AnnealingSearcher::new(s)
-                    .search(&task, input, budget)
+                    .search(&engine, input, budget)
                     .best_score
             })
             .collect());
         let rnd = avg((0..5)
-            .map(|s| RandomSearcher::new(s).search(&task, input, budget).best_score)
+            .map(|s| {
+                RandomSearcher::new(s)
+                    .search(&engine, input, budget)
+                    .best_score
+            })
             .collect());
         assert!(
             ann <= rnd * 1.25,
@@ -117,9 +129,9 @@ mod tests {
 
     #[test]
     fn zero_budget_falls_back_to_smallest_config() {
-        let task = DseTask::table_i_default();
-        let res = AnnealingSearcher::new(1).search(&task, test_input(), 0);
+        let engine = EvalEngine::table_i_default();
+        let res = AnnealingSearcher::new(1).search(&engine, test_input(), 0);
         assert_eq!(res.num_evals, 0);
-        assert!(task.is_feasible(res.best_point));
+        assert!(engine.is_feasible(res.best_point));
     }
 }

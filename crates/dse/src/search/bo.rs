@@ -13,7 +13,7 @@ use ai2_workloads::generator::DseInput;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::objective::DseTask;
+use crate::engine::EvalEngine;
 use crate::search::{SearchContext, SearchResult, Searcher};
 use crate::space::DesignPoint;
 
@@ -95,7 +95,10 @@ impl Gp {
             .map(|(&k, &vv)| (k * vv) as f64)
             .sum();
         let var_n = (1.0 + self.noise - reduction).max(1e-12);
-        (mean_n * self.y_std + self.y_mean, var_n * self.y_std * self.y_std)
+        (
+            mean_n * self.y_std + self.y_mean,
+            var_n * self.y_std * self.y_std,
+        )
     }
 }
 
@@ -255,11 +258,7 @@ impl BoMinimizer {
             ys.push(y);
             best_trace.push(best);
         }
-        BoTrace {
-            xs,
-            ys,
-            best_trace,
-        }
+        BoTrace { xs, ys, best_trace }
     }
 }
 
@@ -278,12 +277,17 @@ impl BoSearcher {
 }
 
 impl Searcher for BoSearcher {
-    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
-        let mut ctx = SearchContext::new(task, input);
+    fn search(
+        &mut self,
+        engine: &EvalEngine,
+        input: DseInput,
+        budget_evals: usize,
+    ) -> SearchResult {
+        let mut ctx = SearchContext::new(engine, input);
         if budget_evals == 0 {
             return SearchResult::from_context(ctx);
         }
-        let space = task.space();
+        let space = engine.space();
         let npe = space.num_pe_choices() as f64;
         let nbuf = space.num_buf_choices() as f64;
         let minimizer = BoMinimizer::new(vec![(0.0, 1.0), (0.0, 1.0)], self.seed);
@@ -364,15 +368,19 @@ mod tests {
 
     #[test]
     fn bo_beats_random_at_small_budget() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let input = test_input();
         let budget = 50;
         let avg = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
         let bo = avg((0..4)
-            .map(|s| BoSearcher::new(s).search(&task, input, budget).best_score)
+            .map(|s| BoSearcher::new(s).search(&engine, input, budget).best_score)
             .collect());
         let rnd = avg((0..4)
-            .map(|s| RandomSearcher::new(s).search(&task, input, budget).best_score)
+            .map(|s| {
+                RandomSearcher::new(s)
+                    .search(&engine, input, budget)
+                    .best_score
+            })
             .collect());
         assert!(bo <= rnd * 1.30, "BO ({bo}) much worse than random ({rnd})");
     }

@@ -12,7 +12,7 @@ use ai2_workloads::generator::DseInput;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::objective::DseTask;
+use crate::engine::EvalEngine;
 use crate::search::{SearchContext, SearchResult, Searcher};
 use crate::space::DesignPoint;
 
@@ -60,10 +60,15 @@ impl ConfuciuxSearcher {
 }
 
 impl Searcher for ConfuciuxSearcher {
-    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
+    fn search(
+        &mut self,
+        engine: &EvalEngine,
+        input: DseInput,
+        budget_evals: usize,
+    ) -> SearchResult {
         let mut r = rng::seeded(self.seed);
-        let mut ctx = SearchContext::new(task, input);
-        let space = task.space();
+        let mut ctx = SearchContext::new(engine, input);
+        let space = engine.space();
         let npe = space.num_pe_choices();
         let nbuf = space.num_buf_choices();
         let pe_bin_w = npe.div_ceil(self.pe_bins);
@@ -118,8 +123,10 @@ impl Searcher for ConfuciuxSearcher {
                 break;
             }
             let p = space.clamp(
-                center.pe_idx as isize + r.random_range(-(pe_bin_w as i64)..=pe_bin_w as i64) as isize,
-                center.buf_idx as isize + r.random_range(-(buf_bin_w as i64)..=buf_bin_w as i64) as isize,
+                center.pe_idx as isize
+                    + r.random_range(-(pe_bin_w as i64)..=pe_bin_w as i64) as isize,
+                center.buf_idx as isize
+                    + r.random_range(-(buf_bin_w as i64)..=buf_bin_w as i64) as isize,
             );
             let s = ctx.evaluate(p);
             pop.push((p, s));
@@ -161,28 +168,35 @@ mod tests {
 
     #[test]
     fn confuciux_competitive_with_random() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let input = test_input();
         let budget = 100;
         let avg = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
         let cx = avg((0..5)
             .map(|s| {
                 ConfuciuxSearcher::new(s)
-                    .search(&task, input, budget)
+                    .search(&engine, input, budget)
                     .best_score
             })
             .collect());
         let rnd = avg((0..5)
-            .map(|s| RandomSearcher::new(s).search(&task, input, budget).best_score)
+            .map(|s| {
+                RandomSearcher::new(s)
+                    .search(&engine, input, budget)
+                    .best_score
+            })
             .collect());
-        assert!(cx <= rnd * 1.25, "ConfuciuX ({cx}) far worse than random ({rnd})");
+        assert!(
+            cx <= rnd * 1.25,
+            "ConfuciuX ({cx}) far worse than random ({rnd})"
+        );
     }
 
     #[test]
     fn confuciux_is_deterministic_per_seed() {
-        let task = DseTask::table_i_default();
-        let a = ConfuciuxSearcher::new(3).search(&task, test_input(), 60);
-        let b = ConfuciuxSearcher::new(3).search(&task, test_input(), 60);
+        let engine = EvalEngine::table_i_default();
+        let a = ConfuciuxSearcher::new(3).search(&engine, test_input(), 60);
+        let b = ConfuciuxSearcher::new(3).search(&engine, test_input(), 60);
         assert_eq!(a.best_point, b.best_point);
     }
 }

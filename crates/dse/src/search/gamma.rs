@@ -5,7 +5,7 @@ use ai2_workloads::generator::DseInput;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::objective::DseTask;
+use crate::engine::EvalEngine;
 use crate::search::{SearchContext, SearchResult, Searcher};
 use crate::space::DesignPoint;
 
@@ -42,7 +42,7 @@ impl GammaSearcher {
         self
     }
 
-    fn mutate(&self, r: &mut StdRng, task: &DseTask, p: DesignPoint) -> DesignPoint {
+    fn mutate(&self, r: &mut StdRng, engine: &EvalEngine, p: DesignPoint) -> DesignPoint {
         let mut pe = p.pe_idx as isize;
         let mut buf = p.buf_idx as isize;
         if r.random_range(0.0..1.0) < self.mutation_rate {
@@ -51,15 +51,20 @@ impl GammaSearcher {
         if r.random_range(0.0..1.0) < self.mutation_rate {
             buf += r.random_range(-2i64..=2) as isize;
         }
-        task.space().clamp(pe, buf)
+        engine.space().clamp(pe, buf)
     }
 }
 
 impl Searcher for GammaSearcher {
-    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
+    fn search(
+        &mut self,
+        engine: &EvalEngine,
+        input: DseInput,
+        budget_evals: usize,
+    ) -> SearchResult {
         let mut r = rng::seeded(self.seed);
-        let mut ctx = SearchContext::new(task, input);
-        let space = task.space();
+        let mut ctx = SearchContext::new(engine, input);
+        let space = engine.space();
         let pop_size = self.population.min(budget_evals.max(2));
 
         // initial population
@@ -104,7 +109,7 @@ impl Searcher for GammaSearcher {
                         pb.buf_idx
                     },
                 };
-                let child = self.mutate(&mut r, task, child);
+                let child = self.mutate(&mut r, engine, child);
                 let s = ctx.evaluate(child);
                 next.push((child, s));
             }
@@ -131,23 +136,34 @@ mod tests {
 
     #[test]
     fn ga_beats_random_at_tight_budget() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let input = test_input();
         let budget = 80;
         let avg = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
         let ga = avg((0..5)
-            .map(|s| GammaSearcher::new(s).search(&task, input, budget).best_score)
+            .map(|s| {
+                GammaSearcher::new(s)
+                    .search(&engine, input, budget)
+                    .best_score
+            })
             .collect());
         let rnd = avg((0..5)
-            .map(|s| RandomSearcher::new(s).search(&task, input, budget).best_score)
+            .map(|s| {
+                RandomSearcher::new(s)
+                    .search(&engine, input, budget)
+                    .best_score
+            })
             .collect());
-        assert!(ga <= rnd * 1.25, "GA ({ga}) should match or beat random ({rnd})");
+        assert!(
+            ga <= rnd * 1.25,
+            "GA ({ga}) should match or beat random ({rnd})"
+        );
     }
 
     #[test]
     fn ga_respects_budget() {
-        let task = DseTask::table_i_default();
-        let res = GammaSearcher::new(1).search(&task, test_input(), 37);
+        let engine = EvalEngine::table_i_default();
+        let res = GammaSearcher::new(1).search(&engine, test_input(), 37);
         assert!(res.num_evals <= 37 + 1);
     }
 }

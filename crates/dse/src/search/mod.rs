@@ -15,7 +15,10 @@
 //!
 //! All searchers operate through [`SearchContext`], which counts oracle
 //! queries and records the best-so-far trace used by the convergence
-//! figures.
+//! figures. Every cost query flows through the shared
+//! [`EvalEngine`](crate::engine::EvalEngine), so identical
+//! `(input, point)` pairs — which population methods revisit constantly —
+//! are scored once and answered from cache thereafter.
 
 mod annealing;
 pub mod bo;
@@ -30,25 +33,26 @@ pub use random::RandomSearcher;
 
 use ai2_workloads::generator::DseInput;
 
-use crate::objective::DseTask;
+use crate::engine::EvalEngine;
 use crate::space::DesignPoint;
 
-/// Evaluation bookkeeping shared by every searcher: scores design points,
-/// counts queries, tracks the best-so-far trajectory.
+/// Evaluation bookkeeping shared by every searcher: scores design points
+/// through the shared engine, counts queries, tracks the best-so-far
+/// trajectory.
 #[derive(Debug)]
-pub struct SearchContext<'t> {
-    task: &'t DseTask,
+pub struct SearchContext<'e> {
+    engine: &'e EvalEngine,
     input: DseInput,
     evals: usize,
     best: Option<(f64, DesignPoint)>,
     trace: Vec<f64>,
 }
 
-impl<'t> SearchContext<'t> {
+impl<'e> SearchContext<'e> {
     /// Starts a fresh context for one workload.
-    pub fn new(task: &'t DseTask, input: DseInput) -> Self {
+    pub fn new(engine: &'e EvalEngine, input: DseInput) -> Self {
         SearchContext {
-            task,
+            engine,
             input,
             evals: 0,
             best: None,
@@ -56,9 +60,9 @@ impl<'t> SearchContext<'t> {
         }
     }
 
-    /// The task under search.
-    pub fn task(&self) -> &DseTask {
-        self.task
+    /// The evaluation substrate under search.
+    pub fn engine(&self) -> &EvalEngine {
+        self.engine
     }
 
     /// The workload under search.
@@ -70,13 +74,13 @@ impl<'t> SearchContext<'t> {
     /// the query count and the best-so-far trace.
     pub fn evaluate(&mut self, p: DesignPoint) -> f64 {
         self.evals += 1;
-        let score = match self.task.score(&self.input, p) {
+        let score = match self.engine.score(&self.input, p) {
             Some(s) => s,
             // soft penalty keeps population methods moving instead of
             // stalling on the feasibility boundary
-            None => self.task.score_unchecked(&self.input, p) * 10.0,
+            None => self.engine.score_unchecked(&self.input, p) * 10.0,
         };
-        let feasible = self.task.is_feasible(p);
+        let feasible = self.engine.is_feasible(p);
         if feasible {
             match self.best {
                 Some((b, _)) if b <= score => {}
@@ -128,10 +132,7 @@ impl SearchResult {
                 pe_idx: 0,
                 buf_idx: 0,
             };
-            (
-                ctx.task.score(&ctx.input, p).unwrap_or(f64::INFINITY),
-                p,
-            )
+            (ctx.engine.score(&ctx.input, p).unwrap_or(f64::INFINITY), p)
         });
         SearchResult {
             best_point,
@@ -143,10 +144,12 @@ impl SearchResult {
 }
 
 /// A search-based DSE method: spends up to `budget_evals` cost-model
-/// queries to find a good design point for one workload.
+/// queries to find a good design point for one workload. All queries go
+/// through the shared [`EvalEngine`].
 pub trait Searcher {
     /// Runs the search.
-    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult;
+    fn search(&mut self, engine: &EvalEngine, input: DseInput, budget_evals: usize)
+        -> SearchResult;
 
     /// Short name for tables and logs.
     fn name(&self) -> &'static str;
@@ -166,10 +169,16 @@ mod tests {
 
     #[test]
     fn context_counts_and_traces() {
-        let task = DseTask::table_i_default();
-        let mut ctx = SearchContext::new(&task, test_input());
-        let p1 = DesignPoint { pe_idx: 3, buf_idx: 3 };
-        let p2 = DesignPoint { pe_idx: 10, buf_idx: 5 };
+        let engine = EvalEngine::table_i_default();
+        let mut ctx = SearchContext::new(&engine, test_input());
+        let p1 = DesignPoint {
+            pe_idx: 3,
+            buf_idx: 3,
+        };
+        let p2 = DesignPoint {
+            pe_idx: 10,
+            buf_idx: 5,
+        };
         ctx.evaluate(p1);
         ctx.evaluate(p2);
         assert_eq!(ctx.num_evals(), 2);
@@ -180,22 +189,53 @@ mod tests {
 
     #[test]
     fn infeasible_points_get_penalized_not_best() {
-        let task = DseTask::table_i_default();
-        let mut ctx = SearchContext::new(&task, test_input());
-        let infeasible = DesignPoint { pe_idx: 63, buf_idx: 11 };
-        assert!(!task.is_feasible(infeasible));
+        let engine = EvalEngine::table_i_default();
+        let mut ctx = SearchContext::new(&engine, test_input());
+        let infeasible = DesignPoint {
+            pe_idx: 63,
+            buf_idx: 11,
+        };
+        assert!(!engine.is_feasible(infeasible));
         ctx.evaluate(infeasible);
-        assert!(ctx.best().is_none(), "infeasible point must not become best");
+        assert!(
+            ctx.best().is_none(),
+            "infeasible point must not become best"
+        );
+    }
+
+    #[test]
+    fn repeated_evaluations_are_answered_from_cache() {
+        let engine = EvalEngine::table_i_default();
+        let mut ctx = SearchContext::new(&engine, test_input());
+        let p = DesignPoint {
+            pe_idx: 9,
+            buf_idx: 4,
+        };
+        let a = ctx.evaluate(p);
+        let misses = engine.stats().point_misses;
+        let b = ctx.evaluate(p);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(
+            engine.stats().point_misses,
+            misses,
+            "second eval re-ran the cost model"
+        );
+        assert_eq!(ctx.num_evals(), 2, "query accounting still counts both");
     }
 
     /// Shared harness: every searcher must beat random-ish baselines of
     /// the oracle gap within its budget.
     pub(crate) fn assert_searcher_close_to_oracle(s: &mut dyn Searcher, budget: usize, slack: f64) {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let input = test_input();
-        let oracle = task.oracle(&input);
-        let res = s.search(&task, input, budget);
-        assert!(res.num_evals <= budget + 8, "{} overspent: {}", s.name(), res.num_evals);
+        let oracle = engine.oracle(&input);
+        let res = s.search(&engine, input, budget);
+        assert!(
+            res.num_evals <= budget + 8,
+            "{} overspent: {}",
+            s.name(),
+            res.num_evals
+        );
         assert!(
             res.best_score <= oracle.best_score * slack,
             "{}: {} vs oracle {} (slack {slack})",
@@ -203,6 +243,6 @@ mod tests {
             res.best_score,
             oracle.best_score
         );
-        assert!(task.is_feasible(res.best_point));
+        assert!(engine.is_feasible(res.best_point));
     }
 }

@@ -4,7 +4,7 @@ use ai2_tensor::rng;
 use ai2_workloads::generator::DseInput;
 use rand::Rng;
 
-use crate::objective::DseTask;
+use crate::engine::EvalEngine;
 use crate::search::{SearchContext, SearchResult, Searcher};
 use crate::space::DesignPoint;
 
@@ -23,10 +23,15 @@ impl RandomSearcher {
 }
 
 impl Searcher for RandomSearcher {
-    fn search(&mut self, task: &DseTask, input: DseInput, budget_evals: usize) -> SearchResult {
+    fn search(
+        &mut self,
+        engine: &EvalEngine,
+        input: DseInput,
+        budget_evals: usize,
+    ) -> SearchResult {
         let mut r = rng::seeded(self.seed);
-        let mut ctx = SearchContext::new(task, input);
-        let space = task.space();
+        let mut ctx = SearchContext::new(engine, input);
+        let space = engine.space();
         for _ in 0..budget_evals {
             let p = DesignPoint {
                 pe_idx: r.random_range(0..space.num_pe_choices()),
@@ -49,9 +54,9 @@ mod tests {
 
     #[test]
     fn random_search_respects_budget() {
-        let task = DseTask::table_i_default();
+        let engine = EvalEngine::table_i_default();
         let mut s = RandomSearcher::new(1);
-        let res = s.search(&task, test_input(), 50);
+        let res = s.search(&engine, test_input(), 50);
         assert_eq!(res.num_evals, 50);
         assert_eq!(res.trace.len(), 50);
     }
@@ -64,9 +69,9 @@ mod tests {
 
     #[test]
     fn random_search_is_deterministic_per_seed() {
-        let task = DseTask::table_i_default();
-        let a = RandomSearcher::new(3).search(&task, test_input(), 30);
-        let b = RandomSearcher::new(3).search(&task, test_input(), 30);
+        let engine = EvalEngine::table_i_default();
+        let a = RandomSearcher::new(3).search(&engine, test_input(), 30);
+        let b = RandomSearcher::new(3).search(&engine, test_input(), 30);
         assert_eq!(a, b);
     }
 }

@@ -97,7 +97,18 @@ impl DesignSpace {
 
     /// Flat index of a point (PE-major), the classification label of the
     /// joint-output baselines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range — an out-of-range
+    /// `buf_idx` would otherwise silently alias a different point.
     pub fn flat_index(&self, p: DesignPoint) -> usize {
+        assert!(
+            p.pe_idx < self.pe_options.len() && p.buf_idx < self.buf_options.len(),
+            "flat_index: {p:?} outside the {}x{} grid",
+            self.pe_options.len(),
+            self.buf_options.len()
+        );
         p.pe_idx * self.buf_options.len() + p.buf_idx
     }
 
@@ -157,7 +168,10 @@ mod tests {
     #[test]
     fn config_translates_indices() {
         let s = DesignSpace::table_i();
-        let hw = s.config(DesignPoint { pe_idx: 7, buf_idx: 6 });
+        let hw = s.config(DesignPoint {
+            pe_idx: 7,
+            buf_idx: 6,
+        });
         assert_eq!(hw.num_pes, 64);
         assert_eq!(hw.l2_bytes, 64 * 1024);
     }
@@ -165,8 +179,20 @@ mod tests {
     #[test]
     fn clamp_bounds() {
         let s = DesignSpace::table_i();
-        assert_eq!(s.clamp(-5, 100), DesignPoint { pe_idx: 0, buf_idx: 11 });
-        assert_eq!(s.clamp(1000, -1), DesignPoint { pe_idx: 63, buf_idx: 0 });
+        assert_eq!(
+            s.clamp(-5, 100),
+            DesignPoint {
+                pe_idx: 0,
+                buf_idx: 11
+            }
+        );
+        assert_eq!(
+            s.clamp(1000, -1),
+            DesignPoint {
+                pe_idx: 63,
+                buf_idx: 0
+            }
+        );
     }
 
     #[test]

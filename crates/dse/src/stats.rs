@@ -128,12 +128,25 @@ mod tests {
         assert_eq!(h.total(), 4);
         assert_eq!(h.num_distinct(), 3);
         assert_eq!(h.sorted_counts(), vec![2, 1, 1]);
-        assert_eq!(h.count(DesignPoint { pe_idx: 0, buf_idx: 0 }), 2);
+        assert_eq!(
+            h.count(DesignPoint {
+                pe_idx: 0,
+                buf_idx: 0
+            }),
+            2
+        );
     }
 
     #[test]
     fn head_coverage_and_imbalance() {
-        let ds = ds_with_labels(&[(0, 0); 8].iter().copied().chain([(1, 1), (2, 2)]).collect::<Vec<_>>().as_slice());
+        let ds = ds_with_labels(
+            [(0, 0); 8]
+                .iter()
+                .copied()
+                .chain([(1, 1), (2, 2)])
+                .collect::<Vec<_>>()
+                .as_slice(),
+        );
         let h = LabelHistogram::from_dataset(&ds);
         assert!((h.head_coverage(1) - 0.8).abs() < 1e-9);
         assert_eq!(h.imbalance_factor(), 8.0);
@@ -141,8 +154,10 @@ mod tests {
 
     #[test]
     fn entropy_uniform_vs_skewed() {
-        let uniform = LabelHistogram::from_dataset(&ds_with_labels(&[(0, 0), (1, 1), (2, 2), (3, 3)]));
-        let skewed = LabelHistogram::from_dataset(&ds_with_labels(&[(0, 0), (0, 0), (0, 0), (1, 1)]));
+        let uniform =
+            LabelHistogram::from_dataset(&ds_with_labels(&[(0, 0), (1, 1), (2, 2), (3, 3)]));
+        let skewed =
+            LabelHistogram::from_dataset(&ds_with_labels(&[(0, 0), (0, 0), (0, 0), (1, 1)]));
         assert!(uniform.entropy_bits() > skewed.entropy_bits());
         assert!((uniform.entropy_bits() - 2.0).abs() < 1e-9);
     }

@@ -1,0 +1,194 @@
+//! Property tests: the memoizing [`EvalEngine`] must be **bit-identical**
+//! to the direct [`DseTask`] evaluation paths across random inputs,
+//! objectives and budgets — cold cache, warm cache, and under concurrent
+//! access.
+
+use std::sync::Arc;
+
+use ai2_dse::{Budget, DesignPoint, DseTask, EvalEngine, Objective};
+use ai2_maestro::{Dataflow, GemmWorkload};
+use ai2_workloads::generator::DseInput;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_input(r: &mut StdRng) -> DseInput {
+    DseInput {
+        gemm: GemmWorkload::new(
+            r.random_range(1u64..=256),
+            r.random_range(1u64..=1677),
+            r.random_range(1u64..=1185),
+        ),
+        dataflow: Dataflow::from_index(r.random_range(0usize..3)),
+    }
+}
+
+fn arb_point(r: &mut StdRng) -> DesignPoint {
+    DesignPoint {
+        pe_idx: r.random_range(0usize..64),
+        buf_idx: r.random_range(0usize..12),
+    }
+}
+
+/// Exact equality that treats NaN as equal to NaN (score grids mark
+/// infeasible points with NaN).
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+#[test]
+fn engine_point_queries_are_bit_identical_to_task() {
+    let task = DseTask::table_i_default();
+    let engine = EvalEngine::new(task.clone());
+    let mut r = StdRng::seed_from_u64(0xE001);
+    for _ in 0..32 {
+        let input = arb_input(&mut r);
+        for _ in 0..24 {
+            let p = arb_point(&mut r);
+            assert_eq!(engine.is_feasible(p), task.is_feasible(p));
+            assert!(bits_eq(
+                engine.score_unchecked(&input, p),
+                task.score_unchecked(&input, p)
+            ));
+            match (engine.score(&input, p), task.score(&input, p)) {
+                (Some(a), Some(b)) => assert!(bits_eq(a, b)),
+                (None, None) => {}
+                (a, b) => panic!("feasibility disagreement at {p:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_oracle_and_grid_are_bit_identical_to_task() {
+    let task = DseTask::table_i_default();
+    let engine = EvalEngine::new(task.clone());
+    let mut r = StdRng::seed_from_u64(0xE002);
+    for _ in 0..24 {
+        let input = arb_input(&mut r);
+        // cold pass and warm (cached) pass must both match the task
+        for pass in 0..2 {
+            let res = engine.oracle(&input);
+            assert_eq!(res, task.oracle(&input), "pass {pass}");
+            let eg = engine.score_grid(&input);
+            let tg = task.score_grid(&input);
+            assert_eq!(eg.len(), tg.len());
+            for (i, (a, b)) in eg.iter().zip(&tg).enumerate() {
+                assert!(bits_eq(*a, *b), "grid[{i}]: {a} vs {b} (pass {pass})");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_matches_task_across_objectives_and_budgets() {
+    let mut r = StdRng::seed_from_u64(0xE003);
+    let objectives = [Objective::Latency, Objective::Energy, Objective::Edp];
+    let budgets = [
+        Budget::Edge,
+        Budget::Cloud,
+        Budget::Unbounded,
+        Budget::Custom(0.4),
+    ];
+    // one engine serves every (objective, budget) combination from a
+    // single raw-cost cache
+    let base = DseTask::table_i_default();
+    let engine = EvalEngine::new(base.clone());
+    for _ in 0..6 {
+        let input = arb_input(&mut r);
+        for objective in objectives {
+            for budget in budgets {
+                let task = DseTask::new(base.space().clone(), objective, budget, base.cost_model);
+                assert_eq!(
+                    engine.oracle_with(&input, objective, budget),
+                    task.oracle(&input),
+                    "{objective:?} under {budget:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_access_returns_identical_results() {
+    let task = DseTask::table_i_default();
+    let engine = Arc::new(EvalEngine::new(task.clone()));
+    let mut r = StdRng::seed_from_u64(0xE004);
+    // a small input set shared by every thread, so cache cells are hit
+    // concurrently while they are still being filled
+    let inputs: Vec<DseInput> = (0..6).map(|_| arb_input(&mut r)).collect();
+    let expected: Vec<_> = inputs.iter().map(|i| task.oracle(i)).collect();
+    let expected_grids: Vec<Vec<f64>> = inputs.iter().map(|i| task.score_grid(i)).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let engine = Arc::clone(&engine);
+            let task = &task;
+            let inputs = &inputs;
+            let expected = &expected;
+            let expected_grids = &expected_grids;
+            scope.spawn(move || {
+                let mut r = StdRng::seed_from_u64(0xE100 + t);
+                for _ in 0..20 {
+                    let i = r.random_range(0..inputs.len());
+                    match r.random_range(0..3u32) {
+                        0 => assert_eq!(engine.oracle(&inputs[i]), expected[i]),
+                        1 => {
+                            let g = engine.score_grid(&inputs[i]);
+                            for (a, b) in g.iter().zip(&expected_grids[i]) {
+                                assert!(bits_eq(*a, *b));
+                            }
+                        }
+                        _ => {
+                            let p = arb_point(&mut r);
+                            assert_eq!(engine.score(&inputs[i], p), task.score(&inputs[i], p));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // after the storm, caches are consistent and still answer correctly
+    for (input, exp) in inputs.iter().zip(&expected) {
+        assert_eq!(engine.oracle(input), *exp);
+    }
+    let stats = engine.stats();
+    assert!(stats.oracle_entries >= inputs.len().min(6));
+}
+
+#[test]
+fn batch_and_scalar_paths_agree_bitwise() {
+    let task = DseTask::table_i_default();
+    let engine = EvalEngine::new(task.clone());
+    let mut r = StdRng::seed_from_u64(0xE005);
+    let inputs: Vec<DseInput> = (0..40).map(|_| arb_input(&mut r)).collect();
+    let batch = engine.oracle_batch(&inputs);
+    for (input, res) in inputs.iter().zip(&batch) {
+        assert_eq!(*res, task.oracle(input));
+    }
+    let queries: Vec<(DseInput, DesignPoint)> =
+        inputs.iter().map(|&i| (i, arb_point(&mut r))).collect();
+    let scores = engine.eval_batch(&queries);
+    for ((input, p), s) in queries.iter().zip(&scores) {
+        assert_eq!(*s, task.score(input, *p));
+    }
+}
+
+#[test]
+fn dataset_generation_is_identical_direct_and_engine_shared() {
+    use ai2_dse::{DseDataset, GenerateConfig};
+    let task = DseTask::table_i_default();
+    let cfg = GenerateConfig {
+        num_samples: 40,
+        seed: 99,
+        threads: 3,
+        ..GenerateConfig::default()
+    };
+    let direct = DseDataset::generate(&task, &cfg);
+    let engine = EvalEngine::new(task.clone());
+    let via_engine = DseDataset::generate_with(&engine, &cfg);
+    assert_eq!(direct, via_engine);
+    // and a second generation through the warm cache is still identical
+    let warm = DseDataset::generate_with(&engine, &cfg);
+    assert_eq!(direct, warm);
+}

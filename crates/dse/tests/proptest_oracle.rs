@@ -1,29 +1,42 @@
 //! Property-based tests of the oracle and design-space invariants.
+//!
+//! Written as seeded random sweeps (the `proptest` crate is unavailable
+//! offline), matching the 48-case budget of the original.
 
 use ai2_dse::{DesignPoint, DseTask};
 use ai2_maestro::{Dataflow, GemmWorkload};
 use ai2_workloads::generator::DseInput;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_input() -> impl Strategy<Value = DseInput> {
-    (1u64..=256, 1u64..=1677, 1u64..=1185, 0usize..3).prop_map(|(m, n, k, df)| DseInput {
-        gemm: GemmWorkload::new(m, n, k),
-        dataflow: Dataflow::from_index(df),
-    })
+const CASES: usize = 48;
+
+fn arb_input(r: &mut StdRng) -> DseInput {
+    DseInput {
+        gemm: GemmWorkload::new(
+            r.random_range(1u64..=256),
+            r.random_range(1u64..=1677),
+            r.random_range(1u64..=1185),
+        ),
+        dataflow: Dataflow::from_index(r.random_range(0usize..3)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn oracle_dominates_random_feasible_points(input in arb_input(), probes in proptest::collection::vec((0usize..64, 0usize..12), 20)) {
-        let task = DseTask::table_i_default();
+#[test]
+fn oracle_dominates_random_feasible_points() {
+    let task = DseTask::table_i_default();
+    let mut r = StdRng::seed_from_u64(0x0DE1);
+    for _ in 0..CASES {
+        let input = arb_input(&mut r);
         let oracle = task.oracle(&input);
-        prop_assert!(task.is_feasible(oracle.best_point));
-        for (pe, buf) in probes {
-            let p = DesignPoint { pe_idx: pe, buf_idx: buf };
+        assert!(task.is_feasible(oracle.best_point));
+        for _ in 0..20 {
+            let p = DesignPoint {
+                pe_idx: r.random_range(0usize..64),
+                buf_idx: r.random_range(0usize..12),
+            };
             if let Some(s) = task.score(&input, p) {
-                prop_assert!(
+                assert!(
                     oracle.best_score <= s,
                     "oracle {} beaten by {p:?} with {s}",
                     oracle.best_score
@@ -31,36 +44,51 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn oracle_score_matches_its_point(input in arb_input()) {
-        let task = DseTask::table_i_default();
+#[test]
+fn oracle_score_matches_its_point() {
+    let task = DseTask::table_i_default();
+    let mut r = StdRng::seed_from_u64(0x0DE2);
+    for _ in 0..CASES {
+        let input = arb_input(&mut r);
         let oracle = task.oracle(&input);
         let recomputed = task.score(&input, oracle.best_point).expect("feasible");
-        prop_assert_eq!(oracle.best_score, recomputed);
+        assert_eq!(oracle.best_score, recomputed);
     }
+}
 
-    #[test]
-    fn feasible_count_matches_grid_scan(input in arb_input()) {
-        let task = DseTask::table_i_default();
+#[test]
+fn feasible_count_matches_grid_scan() {
+    let task = DseTask::table_i_default();
+    let mut r = StdRng::seed_from_u64(0x0DE3);
+    for _ in 0..CASES {
+        let input = arb_input(&mut r);
         let oracle = task.oracle(&input);
         let by_scan = task
             .space()
             .iter_points()
             .filter(|&p| task.is_feasible(p))
             .count();
-        prop_assert_eq!(oracle.feasible_points, by_scan);
+        assert_eq!(oracle.feasible_points, by_scan);
     }
+}
 
-    #[test]
-    fn score_grid_agrees_with_point_scores(input in arb_input(), pe in 0usize..64, buf in 0usize..12) {
-        let task = DseTask::table_i_default();
+#[test]
+fn score_grid_agrees_with_point_scores() {
+    let task = DseTask::table_i_default();
+    let mut r = StdRng::seed_from_u64(0x0DE4);
+    for _ in 0..CASES {
+        let input = arb_input(&mut r);
         let grid = task.score_grid(&input);
-        let p = DesignPoint { pe_idx: pe, buf_idx: buf };
+        let p = DesignPoint {
+            pe_idx: r.random_range(0usize..64),
+            buf_idx: r.random_range(0usize..12),
+        };
         let flat = task.space().flat_index(p);
         match task.score(&input, p) {
-            Some(s) => prop_assert_eq!(grid[flat], s),
-            None => prop_assert!(grid[flat].is_nan()),
+            Some(s) => assert_eq!(grid[flat], s),
+            None => assert!(grid[flat].is_nan()),
         }
     }
 }

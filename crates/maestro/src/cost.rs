@@ -217,8 +217,7 @@ impl CostModel {
         let array_dim = (used as f64).sqrt().ceil() as u64;
         let fill_drain_cycles = tiling.passes() * 2 * array_dim;
 
-        let latency_cycles =
-            compute_cycles.max(dram_cycles).max(l2_cycles) + fill_drain_cycles;
+        let latency_cycles = compute_cycles.max(dram_cycles).max(l2_cycles) + fill_drain_cycles;
 
         let utilization = (macs as f64 / (latency_cycles as f64 * pes as f64)).min(1.0);
 
@@ -318,7 +317,11 @@ mod tests {
     #[test]
     fn latency_positive_and_finite() {
         let m = model();
-        let r = m.evaluate(&GemmWorkload::new(64, 256, 128), Dataflow::WeightStationary, &hw(64, 64));
+        let r = m.evaluate(
+            &GemmWorkload::new(64, 256, 128),
+            Dataflow::WeightStationary,
+            &hw(64, 64),
+        );
         assert!(r.latency_cycles > 0);
         assert!(r.energy_pj.is_finite() && r.energy_pj > 0.0);
         assert!(r.utilization > 0.0 && r.utilization <= 1.0);
@@ -362,7 +365,11 @@ mod tests {
     #[test]
     fn tiny_workload_is_compute_bound_on_big_buffer() {
         let m = model();
-        let r = m.evaluate(&GemmWorkload::new(8, 32, 16), Dataflow::OutputStationary, &hw(8, 2048));
+        let r = m.evaluate(
+            &GemmWorkload::new(8, 32, 16),
+            Dataflow::OutputStationary,
+            &hw(8, 2048),
+        );
         // whole problem fits: single tile in M/N
         assert_eq!(r.tiling.tiles_m, 1);
         assert_eq!(r.tiling.tiles_n, 1);
@@ -431,7 +438,11 @@ mod tests {
     #[test]
     fn edp_combines_energy_and_latency() {
         let m = model();
-        let r = m.evaluate(&GemmWorkload::new(16, 16, 16), Dataflow::RowStationary, &hw(16, 16));
+        let r = m.evaluate(
+            &GemmWorkload::new(16, 16, 16),
+            Dataflow::RowStationary,
+            &hw(16, 16),
+        );
         assert!((r.edp() - r.energy_pj * r.latency_cycles as f64).abs() < 1e-6);
     }
 
@@ -458,7 +469,11 @@ mod tests {
     #[test]
     fn report_fields_are_consistent() {
         let m = model();
-        let r = m.evaluate(&GemmWorkload::new(100, 200, 300), Dataflow::WeightStationary, &hw(64, 64));
+        let r = m.evaluate(
+            &GemmWorkload::new(100, 200, 300),
+            Dataflow::WeightStationary,
+            &hw(64, 64),
+        );
         assert!(r.latency_cycles >= r.compute_cycles.max(r.dram_cycles).max(r.l2_cycles));
         assert_eq!(
             r.latency_cycles,

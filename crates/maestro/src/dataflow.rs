@@ -106,8 +106,14 @@ mod tests {
 
     #[test]
     fn parse_mnemonics() {
-        assert_eq!("ws".parse::<Dataflow>().unwrap(), Dataflow::WeightStationary);
-        assert_eq!("OS".parse::<Dataflow>().unwrap(), Dataflow::OutputStationary);
+        assert_eq!(
+            "ws".parse::<Dataflow>().unwrap(),
+            Dataflow::WeightStationary
+        );
+        assert_eq!(
+            "OS".parse::<Dataflow>().unwrap(),
+            Dataflow::OutputStationary
+        );
         assert_eq!(
             "row-stationary".parse::<Dataflow>().unwrap(),
             Dataflow::RowStationary

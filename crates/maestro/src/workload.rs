@@ -27,7 +27,10 @@ impl GemmWorkload {
     /// Panics if any dimension is zero — a zero-sized GEMM has no
     /// meaningful cost and almost always indicates an upstream bug.
     pub fn new(m: u64, n: u64, k: u64) -> Self {
-        assert!(m > 0 && n > 0 && k > 0, "GemmWorkload: zero dimension in ({m}, {n}, {k})");
+        assert!(
+            m > 0 && n > 0 && k > 0,
+            "GemmWorkload: zero dimension in ({m}, {n}, {k})"
+        );
         GemmWorkload { m, n, k }
     }
 

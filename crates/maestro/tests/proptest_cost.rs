@@ -1,105 +1,150 @@
 //! Property-based tests of cost-model invariants over random workloads
 //! and hardware configurations.
+//!
+//! Written as seeded random sweeps (the `proptest` crate is unavailable
+//! offline): each test draws 128 cases from a fixed seed, matching the
+//! `ProptestConfig::with_cases(128)` of the original.
 
 use ai2_maestro::{AcceleratorConfig, CostModel, Dataflow, GemmWorkload};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_workload() -> impl Strategy<Value = GemmWorkload> {
-    (1u64..=256, 1u64..=1677, 1u64..=1185).prop_map(|(m, n, k)| GemmWorkload::new(m, n, k))
+const CASES: usize = 128;
+
+fn arb_workload(r: &mut StdRng) -> GemmWorkload {
+    GemmWorkload::new(
+        r.random_range(1u64..=256),
+        r.random_range(1u64..=1677),
+        r.random_range(1u64..=1185),
+    )
 }
 
-fn arb_hw() -> impl Strategy<Value = AcceleratorConfig> {
-    (1u32..=64, 0u32..12)
-        .prop_map(|(pe8, bufpow)| AcceleratorConfig::new(pe8 * 8, 1024u64 << bufpow))
+fn arb_hw(r: &mut StdRng) -> AcceleratorConfig {
+    AcceleratorConfig::new(
+        r.random_range(1u32..=64) * 8,
+        1024u64 << r.random_range(0u32..12),
+    )
 }
 
-fn arb_dataflow() -> impl Strategy<Value = Dataflow> {
-    (0usize..3).prop_map(Dataflow::from_index)
+fn arb_dataflow(r: &mut StdRng) -> Dataflow {
+    Dataflow::from_index(r.random_range(0usize..3))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn cases(seed: u64, mut f: impl FnMut(GemmWorkload, AcceleratorConfig, Dataflow)) {
+    let mut r = StdRng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        let (wl, hw, df) = (arb_workload(&mut r), arb_hw(&mut r), arb_dataflow(&mut r));
+        f(wl, hw, df);
+    }
+}
 
-    #[test]
-    fn latency_never_beats_ideal_compute(wl in arb_workload(), hw in arb_hw(), df in arb_dataflow()) {
+#[test]
+fn latency_never_beats_ideal_compute() {
+    cases(0xC051, |wl, hw, df| {
         let r = CostModel::default().evaluate(&wl, df, &hw);
         let ideal = wl.macs().div_ceil(hw.num_pes as u64);
-        prop_assert!(
+        assert!(
             r.latency_cycles >= ideal,
             "latency {} below ideal {} ({wl}, {df}, {hw})",
-            r.latency_cycles, ideal
+            r.latency_cycles,
+            ideal
         );
-    }
+    });
+}
 
-    #[test]
-    fn dram_traffic_at_least_compulsory(wl in arb_workload(), hw in arb_hw(), df in arb_dataflow()) {
+#[test]
+fn dram_traffic_at_least_compulsory() {
+    cases(0xC052, |wl, hw, df| {
         // every operand must cross DRAM at least once
         let r = CostModel::default().evaluate(&wl, df, &hw);
-        prop_assert!(
+        assert!(
             r.dram_traffic_elems >= wl.footprint_elems(),
             "traffic {} below compulsory {}",
             r.dram_traffic_elems,
             wl.footprint_elems()
         );
-    }
+    });
+}
 
-    #[test]
-    fn utilization_is_bounded(wl in arb_workload(), hw in arb_hw(), df in arb_dataflow()) {
+#[test]
+fn utilization_is_bounded() {
+    cases(0xC053, |wl, hw, df| {
         let r = CostModel::default().evaluate(&wl, df, &hw);
-        prop_assert!(r.utilization > 0.0 && r.utilization <= 1.0, "util {}", r.utilization);
-    }
+        assert!(
+            r.utilization > 0.0 && r.utilization <= 1.0,
+            "util {}",
+            r.utilization
+        );
+    });
+}
 
-    #[test]
-    fn energy_positive_and_dominated_by_work(wl in arb_workload(), hw in arb_hw(), df in arb_dataflow()) {
+#[test]
+fn energy_positive_and_dominated_by_work() {
+    cases(0xC054, |wl, hw, df| {
         let r = CostModel::default().evaluate(&wl, df, &hw);
         // at least one MAC worth of energy per MAC
-        prop_assert!(r.energy_pj >= wl.macs() as f64);
-        prop_assert!(r.energy_pj.is_finite());
-    }
+        assert!(r.energy_pj >= wl.macs() as f64);
+        assert!(r.energy_pj.is_finite());
+    });
+}
 
-    #[test]
-    fn report_is_internally_consistent(wl in arb_workload(), hw in arb_hw(), df in arb_dataflow()) {
+#[test]
+fn report_is_internally_consistent() {
+    cases(0xC055, |wl, hw, df| {
         let r = CostModel::default().evaluate(&wl, df, &hw);
-        prop_assert_eq!(
+        assert_eq!(
             r.latency_cycles,
             r.compute_cycles.max(r.dram_cycles).max(r.l2_cycles) + r.fill_drain_cycles
         );
-        prop_assert!(r.tiling.m_t >= 1 && r.tiling.n_t >= 1 && r.tiling.k_t >= 1);
-        prop_assert!(r.tiling.m_t <= wl.m && r.tiling.n_t <= wl.n && r.tiling.k_t <= wl.k);
-        prop_assert!(r.tiling.tiles_m * r.tiling.m_t >= wl.m);
-    }
+        assert!(r.tiling.m_t >= 1 && r.tiling.n_t >= 1 && r.tiling.k_t >= 1);
+        assert!(r.tiling.m_t <= wl.m && r.tiling.n_t <= wl.n && r.tiling.k_t <= wl.k);
+        assert!(r.tiling.tiles_m * r.tiling.m_t >= wl.m);
+    });
+}
 
-    #[test]
-    fn evaluation_is_deterministic(wl in arb_workload(), hw in arb_hw(), df in arb_dataflow()) {
+#[test]
+fn evaluation_is_deterministic() {
+    cases(0xC056, |wl, hw, df| {
         let m = CostModel::default();
-        prop_assert_eq!(m.evaluate(&wl, df, &hw), m.evaluate(&wl, df, &hw));
-    }
+        assert_eq!(m.evaluate(&wl, df, &hw), m.evaluate(&wl, df, &hw));
+    });
+}
 
-    #[test]
-    fn doubling_buffer_never_increases_dram_traffic(
-        wl in arb_workload(),
-        pe8 in 1u32..=64,
-        bufpow in 0u32..11,
-        df in arb_dataflow(),
-    ) {
+#[test]
+fn doubling_buffer_never_increases_dram_traffic() {
+    let mut r = StdRng::seed_from_u64(0xC057);
+    for _ in 0..CASES {
+        let wl = arb_workload(&mut r);
+        let pe8 = r.random_range(1u32..=64);
+        let bufpow = r.random_range(0u32..11);
+        let df = arb_dataflow(&mut r);
         let m = CostModel::default();
         let small = m.evaluate(&wl, df, &AcceleratorConfig::new(pe8 * 8, 1024u64 << bufpow));
-        let big = m.evaluate(&wl, df, &AcceleratorConfig::new(pe8 * 8, 1024u64 << (bufpow + 1)));
-        prop_assert!(
+        let big = m.evaluate(
+            &wl,
+            df,
+            &AcceleratorConfig::new(pe8 * 8, 1024u64 << (bufpow + 1)),
+        );
+        assert!(
             big.dram_traffic_elems <= small.dram_traffic_elems,
             "traffic rose {} → {} when doubling L2",
             small.dram_traffic_elems,
             big.dram_traffic_elems
         );
     }
+}
 
-    #[test]
-    fn area_scales_with_resources(pe8 in 1u32..=63, bufpow in 0u32..11) {
+#[test]
+fn area_scales_with_resources() {
+    let mut r = StdRng::seed_from_u64(0xC058);
+    for _ in 0..CASES {
+        let pe8 = r.random_range(1u32..=63);
+        let bufpow = r.random_range(0u32..11);
         let m = CostModel::default();
         let base = m.area_mm2(&AcceleratorConfig::new(pe8 * 8, 1024u64 << bufpow));
         let more_pe = m.area_mm2(&AcceleratorConfig::new((pe8 + 1) * 8, 1024u64 << bufpow));
         let more_buf = m.area_mm2(&AcceleratorConfig::new(pe8 * 8, 1024u64 << (bufpow + 1)));
-        prop_assert!(more_pe > base);
-        prop_assert!(more_buf > base);
+        assert!(more_pe > base);
+        assert!(more_buf > base);
     }
 }

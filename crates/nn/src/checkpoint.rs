@@ -138,7 +138,10 @@ impl Checkpoint {
     /// Returns [`CheckpointError::MissingParam`] or
     /// [`CheckpointError::ShapeMismatch`] accordingly.
     pub fn apply_to(&self, store: &mut ParamStore) -> Result<(), CheckpointError> {
-        let ids: Vec<_> = store.iter().map(|(id, name, _)| (id, name.to_owned())).collect();
+        let ids: Vec<_> = store
+            .iter()
+            .map(|(id, name, _)| (id, name.to_owned()))
+            .collect();
         for (id, name) in ids {
             let saved = self
                 .params

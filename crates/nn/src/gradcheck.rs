@@ -6,8 +6,6 @@
 //! this crate's test suite and exported so downstream crates can check
 //! their composite models too.
 
-
-
 use crate::graph::{Gradients, Graph};
 use crate::params::{ParamId, ParamStore};
 
@@ -51,9 +49,7 @@ pub fn check_gradients(
             let (lm, _) = f(store);
             store.get_mut(pid).as_mut_slice()[i] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            let analytic_g = analytic
-                .get(pid)
-                .map_or(0.0, |g| g.at(i));
+            let analytic_g = analytic.get(pid).map_or(0.0, |g| g.at(i));
             let abs = (numeric - analytic_g).abs();
             // The 1e-3 floor keeps f32 finite-difference noise on
             // near-zero gradients from masquerading as backward bugs;
@@ -112,7 +108,9 @@ pub fn loss_and_grads(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::{Activation, LayerNorm, Linear, Mlp, MultiHeadSelfAttention, TransformerBlock};
+    use crate::layers::{
+        Activation, LayerNorm, Linear, Mlp, MultiHeadSelfAttention, TransformerBlock,
+    };
     use ai2_tensor::{rng, Tensor};
 
     const EPS: f32 = 1e-2;

@@ -338,7 +338,12 @@ impl<'s> Graph<'s> {
             }
         }
         let ng = self.ng(x) || self.ng(gamma) || self.ng(beta);
-        self.push(out, Op::LayerNorm { x, gamma, beta }, vec![xhat, inv_std], ng)
+        self.push(
+            out,
+            Op::LayerNorm { x, gamma, beta },
+            vec![xhat, inv_std],
+            ng,
+        )
     }
 
     /// Normalises each row to unit L2 norm (contrastive embeddings).
@@ -347,7 +352,13 @@ impl<'s> Graph<'s> {
         let r = xv.rows();
         let mut norms = Tensor::zeros(&[r]);
         for i in 0..r {
-            let n = xv.row(i).iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+            let n = xv
+                .row(i)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt()
+                .max(1e-8);
             norms.as_mut_slice()[i] = n;
         }
         let mut out = xv.clone();
@@ -372,7 +383,11 @@ impl<'s> Graph<'s> {
     pub fn mean_pool_tokens(&mut self, x: VarId, tokens: usize) -> VarId {
         let xv = self.value(x);
         let (rt, d) = (xv.rows(), xv.cols());
-        assert_eq!(rt % tokens, 0, "mean_pool_tokens: {rt} rows not divisible by {tokens}");
+        assert_eq!(
+            rt % tokens,
+            0,
+            "mean_pool_tokens: {rt} rows not divisible by {tokens}"
+        );
         let b = rt / tokens;
         let mut out = Tensor::zeros(&[b, d]);
         for bi in 0..b {
@@ -431,7 +446,11 @@ impl<'s> Graph<'s> {
         assert_eq!(qv.rows(), batch * tokens, "attention: q rows");
         assert_eq!(kv.shape(), qv.shape(), "attention: k shape");
         assert_eq!(vv.shape(), qv.shape(), "attention: v shape");
-        assert_eq!(d % heads, 0, "attention: d_model {d} not divisible by {heads} heads");
+        assert_eq!(
+            d % heads,
+            0,
+            "attention: d_model {d} not divisible by {heads} heads"
+        );
         let dh = d / heads;
         let scale = 1.0 / (dh as f32).sqrt();
 
@@ -510,7 +529,11 @@ impl<'s> Graph<'s> {
     pub fn cross_entropy_loss(&mut self, x: VarId, targets: &[usize]) -> VarId {
         let xv = self.value(x);
         let (r, c) = (xv.rows(), xv.cols());
-        assert_eq!(targets.len(), r, "cross_entropy_loss: targets/rows mismatch");
+        assert_eq!(
+            targets.len(),
+            r,
+            "cross_entropy_loss: targets/rows mismatch"
+        );
         assert!(
             targets.iter().all(|&t| t < c),
             "cross_entropy_loss: target class out of range"
@@ -561,19 +584,18 @@ impl<'s> Graph<'s> {
         assert_eq!(xv.shape(), target.shape(), "l1_loss: shape mismatch");
         let loss = xv.sub(&target).map(f32::abs).mean();
         let ng = self.ng(x);
-        self.push(
-            Tensor::from_slice(&[loss]),
-            Op::L1Loss(x),
-            vec![target],
-            ng,
-        )
+        self.push(Tensor::from_slice(&[loss]), Op::L1Loss(x), vec![target], ng)
     }
 
     /// Numerically stable binary cross-entropy on logits, averaged over all
     /// elements.
     pub fn bce_with_logits_loss(&mut self, x: VarId, target: Tensor) -> VarId {
         let xv = self.value(x);
-        assert_eq!(xv.shape(), target.shape(), "bce_with_logits_loss: shape mismatch");
+        assert_eq!(
+            xv.shape(),
+            target.shape(),
+            "bce_with_logits_loss: shape mismatch"
+        );
         let mut acc = 0.0f64;
         for (&l, &t) in xv.as_slice().iter().zip(target.as_slice()) {
             // max(l,0) - l t + ln(1 + e^{-|l|})
@@ -659,7 +681,11 @@ impl<'s> Graph<'s> {
     /// paper's `Σ_{i=0}^{K−1}`).
     pub fn unification_loss(&mut self, x: VarId, target: Tensor, alpha: f32, gamma: f32) -> VarId {
         let xv = self.value(x);
-        assert_eq!(xv.shape(), target.shape(), "unification_loss: shape mismatch");
+        assert_eq!(
+            xv.shape(),
+            target.shape(),
+            "unification_loss: shape mismatch"
+        );
         let b = xv.rows() as f64;
         let mut acc = 0.0f64;
         for (&l, &q) in xv.as_slice().iter().zip(target.as_slice()) {
@@ -761,7 +787,9 @@ impl<'s> Graph<'s> {
                 accum(grads, *b, self.value(*a).matmul_tn(g));
             }
             Op::Relu(a) => {
-                let d = self.value(*a).zip_map(g, |x, gg| if x > 0.0 { gg } else { 0.0 });
+                let d = self
+                    .value(*a)
+                    .zip_map(g, |x, gg| if x > 0.0 { gg } else { 0.0 });
                 accum(grads, *a, d);
             }
             Op::LeakyRelu(a, s) => {
@@ -917,12 +945,14 @@ impl<'s> Graph<'s> {
                             }
                             // softmax backward
                             let dot: f32 = prow.iter().zip(&dprobs).map(|(a, b)| a * b).sum();
+                            #[allow(clippy::needless_range_loop)]
                             for j in 0..tokens {
                                 dscores[j] = prow[j] * (dprobs[j] - dot);
                             }
                             // dQ_i += Σ_j dS_ij K_j · scale ; dK_j += dS_ij Q_i · scale
                             let qrow: Vec<f32> = qv.row(b * tokens + i)[hs..hs + dh].to_vec();
                             let dqrow = &mut dq.row_mut(b * tokens + i)[hs..hs + dh];
+                            #[allow(clippy::needless_range_loop)]
                             for j in 0..tokens {
                                 let ds = dscores[j] * scale;
                                 if ds == 0.0 {
@@ -1193,22 +1223,12 @@ mod tests {
         // two classes; anchors aligned with their class direction
         let s = store();
         let mut g = Graph::new(&s);
-        let aligned = Tensor::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[0.0, 1.0],
-        ]);
+        let aligned = Tensor::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]);
         let z = g.constant(aligned);
         let loss_good = g.info_nce_loss(z, &[0, 0, 1, 1], 0.4);
 
         let mut g2 = Graph::new(&s);
-        let mixed = Tensor::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-        ]);
+        let mixed = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]);
         let z2 = g2.constant(mixed);
         let loss_bad = g2.info_nce_loss(z2, &[0, 0, 1, 1], 0.4);
 
@@ -1230,11 +1250,7 @@ mod tests {
         let mut g = Graph::new(&s);
         // logits that sigmoid to ≈ the target
         let target = Tensor::from_rows(&[&[0.9, 0.5, 0.0]]);
-        let logits = Tensor::from_rows(&[&[
-            (0.9f32 / 0.1).ln(),
-            0.0,
-            -20.0,
-        ]]);
+        let logits = Tensor::from_rows(&[&[(0.9f32 / 0.1).ln(), 0.0, -20.0]]);
         let x = g.constant(logits);
         let loss = g.unification_loss(x, target, 0.75, 1.0);
         assert!(g.scalar(loss) < 0.05, "loss {}", g.scalar(loss));

@@ -22,7 +22,13 @@ pub struct Linear {
 impl Linear {
     /// Registers a `[in_dim, out_dim]` Xavier-initialised weight (and a
     /// zero bias when `bias` is true) under `prefix`.
-    pub fn new(store: &mut ParamStore, prefix: &str, in_dim: usize, out_dim: usize, bias: bool) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
         let w = store.add_xavier(format!("{prefix}.w"), in_dim, out_dim);
         let b = bias.then(|| store.add_zeros(format!("{prefix}.b"), &[out_dim]));
         Linear {
@@ -245,7 +251,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(store: &mut ParamStore, prefix: &str, widths: &[usize], act: Activation) -> Self {
-        assert!(widths.len() >= 2, "Mlp: need at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "Mlp: need at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()

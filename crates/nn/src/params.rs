@@ -58,7 +58,12 @@ impl ParamStore {
     }
 
     /// Registers a `[fan_in, fan_out]` weight with Xavier-uniform init.
-    pub fn add_xavier(&mut self, name: impl Into<String>, fan_in: usize, fan_out: usize) -> ParamId {
+    pub fn add_xavier(
+        &mut self,
+        name: impl Into<String>,
+        fan_in: usize,
+        fan_out: usize,
+    ) -> ParamId {
         let w = rng::xavier_uniform(&mut self.rng, fan_in, fan_out);
         self.add(name, w)
     }

@@ -58,7 +58,10 @@ fn bce_with_logits_survives_huge_magnitudes() {
     let x = g.constant(Tensor::from_slice(&[1e6, -1e6]));
     let loss = g.bce_with_logits_loss(x, Tensor::from_slice(&[0.0, 1.0]));
     let v = g.scalar(loss);
-    assert!(v.is_finite() && v > 1e5, "stable form should give ~|logit|: {v}");
+    assert!(
+        v.is_finite() && v > 1e5,
+        "stable form should give ~|logit|: {v}"
+    );
 }
 
 #[test]

@@ -36,7 +36,7 @@ impl ArrayConfig {
             if r * r > num_pes {
                 break;
             }
-            if num_pes % r == 0 {
+            if num_pes.is_multiple_of(r) {
                 best = (r, num_pes / r);
             }
         }
@@ -139,6 +139,7 @@ impl SystolicArray {
         }
         self.macs += new_macs;
         // 2. shift A right (process columns from the right edge)
+        #[allow(clippy::needless_range_loop)]
         for r in 0..rows {
             for c in (1..cols).rev() {
                 let src = self.pes[r * cols + c - 1];
@@ -151,6 +152,7 @@ impl SystolicArray {
             dst.av = a_edge[r].is_some();
         }
         // 3. shift B down
+        #[allow(clippy::needless_range_loop)]
         for c in 0..cols {
             for r in (1..rows).rev() {
                 let src = self.pes[(r - 1) * cols + c];
@@ -187,7 +189,12 @@ mod tests {
     fn single_pe_accumulates_dot_product() {
         let mut arr = SystolicArray::new(ArrayConfig::new(1, 1));
         // dot([1,2,3],[4,5,6]) = 32; operands mac one cycle after entry
-        for (a, b) in [(Some(1.0), Some(4.0)), (Some(2.0), Some(5.0)), (Some(3.0), Some(6.0)), (None, None)] {
+        for (a, b) in [
+            (Some(1.0), Some(4.0)),
+            (Some(2.0), Some(5.0)),
+            (Some(3.0), Some(6.0)),
+            (None, None),
+        ] {
             arr.step(&[a], &[b]);
         }
         assert_eq!(arr.accumulator(0, 0), 32.0);

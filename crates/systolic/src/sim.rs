@@ -171,7 +171,9 @@ mod tests {
         let run = |k: usize| {
             let a = vec![1.0f32; 4 * k];
             let b = vec![1.0f32; k * 4];
-            GemmSimulation::run(&cfg, &a, &b, 4, 4, k).report().total_cycles
+            GemmSimulation::run(&cfg, &a, &b, 4, 4, k)
+                .report()
+                .total_cycles
         };
         let c16 = run(16);
         let c64 = run(64);

@@ -1,9 +1,30 @@
 //! Property-based correctness of the cycle-level simulator: for random
 //! GEMMs and array shapes, the simulated output must equal a reference
 //! matrix multiply exactly (integer-valued operands → exact f32).
+//!
+//! Written as seeded random sweeps (the `proptest` crate is unavailable
+//! offline), matching the 64-case budget of the original.
 
 use ai2_systolic::{ArrayConfig, GemmSimulation};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
+
+/// Tiny standalone LCG so this crate needs no RNG dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
 
 fn reference(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
@@ -19,47 +40,42 @@ fn reference(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
     c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn simulated_gemm_is_exact(
-        m in 1usize..12,
-        n in 1usize..12,
-        k in 1usize..20,
-        rows in 1usize..6,
-        cols in 1usize..6,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn simulated_gemm_is_exact() {
+    let mut g = Lcg(0x5751);
+    for _ in 0..CASES {
+        let m = g.range(1, 12);
+        let n = g.range(1, 12);
+        let k = g.range(1, 20);
+        let rows = g.range(1, 6);
+        let cols = g.range(1, 6);
         // integer operands in [-4, 4] keep f32 accumulation exact
-        let mut state = seed;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) % 9) as f32 - 4.0
-        };
+        let mut next = || (g.next_u64() % 9) as f32 - 4.0;
         let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
         let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
         let sim = GemmSimulation::run(&ArrayConfig::new(rows, cols), &a, &b, m, n, k);
         let expected = reference(&a, &b, m, n, k);
-        prop_assert_eq!(sim.output(), expected.as_slice());
-        prop_assert_eq!(sim.report().macs, (m * n * k) as u64);
-        prop_assert!(sim.report().utilization > 0.0 && sim.report().utilization <= 1.0);
+        assert_eq!(sim.output(), expected.as_slice());
+        assert_eq!(sim.report().macs, (m * n * k) as u64);
+        assert!(sim.report().utilization > 0.0 && sim.report().utilization <= 1.0);
     }
+}
 
-    #[test]
-    fn cycles_lower_bounded_by_streaming(
-        m in 1usize..10,
-        n in 1usize..10,
-        k in 1usize..24,
-        pes in 1usize..30,
-    ) {
+#[test]
+fn cycles_lower_bounded_by_streaming() {
+    let mut g = Lcg(0x5752);
+    for _ in 0..CASES {
+        let m = g.range(1, 10);
+        let n = g.range(1, 10);
+        let k = g.range(1, 24);
+        let pes = g.range(1, 30);
         let cfg = ArrayConfig::squarest(pes);
         let a = vec![1.0f32; m * k];
         let b = vec![1.0f32; k * n];
         let sim = GemmSimulation::run(&cfg, &a, &b, m, n, k);
         // each tile needs at least K cycles of streaming
         let tiles = m.div_ceil(cfg.rows) * n.div_ceil(cfg.cols);
-        prop_assert!(
+        assert!(
             sim.report().total_cycles >= (tiles * k) as u64,
             "cycles {} below streaming bound {}",
             sim.report().total_cycles,

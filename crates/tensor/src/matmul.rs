@@ -21,20 +21,14 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (rhs.rows(), rhs.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul: inner dimensions differ: {:?} × {:?}",
             self.shape(),
             rhs.shape()
         );
         let mut out = Tensor::zeros(&[m, n]);
-        matmul_into(
-            self.as_slice(),
-            rhs.as_slice(),
-            out.as_mut_slice(),
-            m,
-            k,
-            n,
-        );
+        matmul_into(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
         out
     }
 
@@ -50,7 +44,8 @@ impl Tensor {
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (rhs.rows(), rhs.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_tn: leading dimensions differ: {:?}ᵀ × {:?}",
             self.shape(),
             rhs.shape()
@@ -84,7 +79,8 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (rhs.rows(), rhs.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_nt: trailing dimensions differ: {:?} × {:?}ᵀ",
             self.shape(),
             rhs.shape()
@@ -135,13 +131,7 @@ impl Tensor {
         let mut out = Vec::with_capacity(m);
         let vv = v.as_slice();
         for i in 0..m {
-            out.push(
-                self.row(i)
-                    .iter()
-                    .zip(vv)
-                    .map(|(a, b)| a * b)
-                    .sum::<f32>(),
-            );
+            out.push(self.row(i).iter().zip(vv).map(|(a, b)| a * b).sum::<f32>());
         }
         Tensor::from_slice(&out)
     }

@@ -108,12 +108,18 @@ impl Tensor {
 
     /// Maximum element (−∞ for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (+∞ for an empty tensor).
     pub fn min(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Sums a matrix over rows, producing a row vector of length `cols`.

@@ -119,6 +119,9 @@ mod tests {
         let w = he_normal(&mut r, 128, 4096);
         let std = (w.map(|v| v * v).mean()).sqrt();
         let expected = (2.0f32 / 128.0).sqrt();
-        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.1,
+            "std {std} vs {expected}"
+        );
     }
 }

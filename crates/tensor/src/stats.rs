@@ -87,7 +87,11 @@ impl Standardizer {
     ///
     /// Panics if `row.len()` differs from the fitted feature count.
     pub fn inverse_row(&self, row: &[f32]) -> Vec<f32> {
-        assert_eq!(row.len(), self.mean.len(), "Standardizer: feature count mismatch");
+        assert_eq!(
+            row.len(),
+            self.mean.len(),
+            "Standardizer: feature count mismatch"
+        );
         row.iter()
             .enumerate()
             .map(|(j, &x)| x * self.std[j] + self.mean[j])

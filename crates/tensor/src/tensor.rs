@@ -234,7 +234,11 @@ impl Tensor {
     /// Panics if the tensor is not rank 2 or `r` is out of bounds.
     pub fn row(&self, r: usize) -> &[f32] {
         let c = self.cols();
-        assert!(r < self.shape[0], "row {r} out of bounds for {:?}", self.shape);
+        assert!(
+            r < self.shape[0],
+            "row {r} out of bounds for {:?}",
+            self.shape
+        );
         &self.data[r * c..(r + 1) * c]
     }
 
@@ -245,7 +249,11 @@ impl Tensor {
     /// Panics if the tensor is not rank 2 or `r` is out of bounds.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         let c = self.cols();
-        assert!(r < self.shape[0], "row {r} out of bounds for {:?}", self.shape);
+        assert!(
+            r < self.shape[0],
+            "row {r} out of bounds for {:?}",
+            self.shape
+        );
         &mut self.data[r * c..(r + 1) * c]
     }
 

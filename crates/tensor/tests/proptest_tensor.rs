@@ -1,96 +1,133 @@
 //! Property-based tests for tensor algebra invariants.
+//!
+//! Written as seeded random sweeps over the in-tree RNG (the `proptest`
+//! crate is unavailable offline): each test draws many random cases from
+//! a fixed seed, so failures are reproducible and the properties cover
+//! the same input distributions the original proptest strategies did.
 
 use ai2_tensor::{linalg, rng, stats, Tensor};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
 
-fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |v| Tensor::from_vec(v, &[r, c]).expect("sized"))
-    })
+const CASES: usize = 64;
+
+fn small_matrix(r: &mut StdRng, max_dim: usize) -> Tensor {
+    let rows = r.random_range(1..=max_dim);
+    let cols = r.random_range(1..=max_dim);
+    rng::rand_uniform(r, &[rows, cols], -10.0, 10.0)
 }
 
-proptest! {
-    #[test]
-    fn matmul_identity_is_noop(a in small_matrix(8)) {
-        let i = Tensor::eye(a.cols());
-        let prod = a.matmul(&i);
-        prop_assert!(prod.max_abs_diff(&a) < 1e-4);
-    }
+fn sized_matrix(r: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    rng::rand_uniform(r, &[rows, cols], -5.0, 5.0)
+}
 
-    #[test]
-    fn matmul_distributes_over_add(
-        (a, b, c) in (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| (
-            proptest::collection::vec(-5.0f32..5.0, m * k)
-                .prop_map(move |v| Tensor::from_vec(v, &[m, k]).expect("sized")),
-            proptest::collection::vec(-5.0f32..5.0, k * n)
-                .prop_map(move |v| Tensor::from_vec(v, &[k, n]).expect("sized")),
-            proptest::collection::vec(-5.0f32..5.0, k * n)
-                .prop_map(move |v| Tensor::from_vec(v, &[k, n]).expect("sized")),
-        ))
-    ) {
+#[test]
+fn matmul_identity_is_noop() {
+    let mut r = rng::seeded(0xA201);
+    for _ in 0..CASES {
+        let a = small_matrix(&mut r, 8);
+        let i = Tensor::eye(a.cols());
+        assert!(a.matmul(&i).max_abs_diff(&a) < 1e-4);
+    }
+}
+
+#[test]
+fn matmul_distributes_over_add() {
+    let mut r = rng::seeded(0xA202);
+    for _ in 0..CASES {
+        let (m, k, n) = (
+            r.random_range(1..6usize),
+            r.random_range(1..6usize),
+            r.random_range(1..6usize),
+        );
+        let a = sized_matrix(&mut r, m, k);
+        let b = sized_matrix(&mut r, k, n);
+        let c = sized_matrix(&mut r, k, n);
         // A(B + C) = AB + AC
         let lhs = a.matmul(&b.add(&c));
         let rhs = a.matmul(&b).add(&a.matmul(&c));
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-2);
     }
+}
 
-    #[test]
-    fn transpose_is_involution(a in small_matrix(10)) {
-        prop_assert_eq!(a.transpose2d().transpose2d(), a);
+#[test]
+fn transpose_is_involution() {
+    let mut r = rng::seeded(0xA203);
+    for _ in 0..CASES {
+        let a = small_matrix(&mut r, 10);
+        assert_eq!(a.transpose2d().transpose2d(), a);
     }
+}
 
-    #[test]
-    fn matmul_transpose_rule(
-        (a, b) in (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| (
-            proptest::collection::vec(-5.0f32..5.0, m * k)
-                .prop_map(move |v| Tensor::from_vec(v, &[m, k]).expect("sized")),
-            proptest::collection::vec(-5.0f32..5.0, k * n)
-                .prop_map(move |v| Tensor::from_vec(v, &[k, n]).expect("sized")),
-        ))
-    ) {
+#[test]
+fn matmul_transpose_rule() {
+    let mut r = rng::seeded(0xA204);
+    for _ in 0..CASES {
+        let (m, k, n) = (
+            r.random_range(1..6usize),
+            r.random_range(1..6usize),
+            r.random_range(1..6usize),
+        );
+        let a = sized_matrix(&mut r, m, k);
+        let b = sized_matrix(&mut r, k, n);
         // (AB)ᵀ = BᵀAᵀ
         let lhs = a.matmul(&b).transpose2d();
         let rhs = b.transpose2d().matmul(&a.transpose2d());
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-2);
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(a in small_matrix(8)) {
+#[test]
+fn softmax_rows_are_distributions() {
+    let mut r = rng::seeded(0xA205);
+    for _ in 0..CASES {
+        let a = small_matrix(&mut r, 8);
         let s = a.softmax_rows();
         for i in 0..s.rows() {
             let sum: f32 = s.row(i).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((sum - 1.0).abs() < 1e-4);
+            assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
+}
 
-    #[test]
-    fn normalize_rows_unit_norm(a in small_matrix(8)) {
+#[test]
+fn normalize_rows_unit_norm() {
+    let mut r = rng::seeded(0xA206);
+    for _ in 0..CASES {
+        let a = small_matrix(&mut r, 8);
         let n = a.normalize_rows(1e-8);
         for i in 0..n.rows() {
             let norm: f32 = n.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
             // either unit norm or an (almost) zero row left untouched
-            prop_assert!((norm - 1.0).abs() < 1e-3 || norm < 1e-6);
+            assert!((norm - 1.0).abs() < 1e-3 || norm < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn standardizer_inverse_roundtrips(a in small_matrix(8)) {
-        prop_assume!(a.rows() >= 2);
+#[test]
+fn standardizer_inverse_roundtrips() {
+    let mut r = rng::seeded(0xA207);
+    for _ in 0..CASES {
+        let rows = r.random_range(2..=8usize);
+        let cols = r.random_range(1..=8usize);
+        let a = rng::rand_uniform(&mut r, &[rows, cols], -10.0, 10.0);
         let s = stats::Standardizer::fit(&a);
         let z = s.transform(&a);
         for i in 0..a.rows() {
             let back = s.inverse_row(z.row(i));
             for (x, y) in back.iter().zip(a.row(i)) {
-                prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+                assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
             }
         }
     }
+}
 
-    #[test]
-    fn cholesky_solve_satisfies_system(seed in 0u64..1000, n in 2usize..8) {
-        let mut r = rng::seeded(seed);
+#[test]
+fn cholesky_solve_satisfies_system() {
+    let mut r = rng::seeded(0xA208);
+    for _ in 0..CASES {
+        let n = r.random_range(2..8usize);
         let g = rng::rand_uniform(&mut r, &[n, n], -1.0, 1.0);
         let mut a = g.matmul_tn(&g);
         for i in 0..n {
@@ -101,26 +138,33 @@ proptest! {
         let l = linalg::cholesky(&a).expect("SPD by construction");
         let x = linalg::cholesky_solve(&l, &b);
         let back = a.matvec(&x);
-        prop_assert!(back.max_abs_diff(&b) < 1e-2 * (1.0 + b.norm()));
+        assert!(back.max_abs_diff(&b) < 1e-2 * (1.0 + b.norm()));
     }
+}
 
-    #[test]
-    fn eigen_reconstructs_trace(seed in 0u64..1000, n in 2usize..7) {
-        let mut r = rng::seeded(seed);
+#[test]
+fn eigen_reconstructs_trace() {
+    let mut r = rng::seeded(0xA209);
+    for _ in 0..CASES {
+        let n = r.random_range(2..7usize);
         let g = rng::rand_uniform(&mut r, &[n, n], -1.0, 1.0);
         let a = g.add(&g.transpose2d()).scale(0.5); // symmetric
         let (vals, _) = linalg::symmetric_eigen(&a);
         let trace: f32 = (0..n).map(|i| a[(i, i)]).sum();
         let sum: f32 = vals.iter().sum();
-        prop_assert!((trace - sum).abs() < 1e-2 * (1.0 + trace.abs()));
+        assert!((trace - sum).abs() < 1e-2 * (1.0 + trace.abs()));
     }
+}
 
-    #[test]
-    fn sum_axis_consistency(a in small_matrix(10)) {
+#[test]
+fn sum_axis_consistency() {
+    let mut r = rng::seeded(0xA20A);
+    for _ in 0..CASES {
+        let a = small_matrix(&mut r, 10);
         let total = a.sum();
         let by_rows = a.sum_axis1().sum();
         let by_cols = a.sum_axis0().sum();
-        prop_assert!((total - by_rows).abs() < 1e-2 * (1.0 + total.abs()));
-        prop_assert!((total - by_cols).abs() < 1e-2 * (1.0 + total.abs()));
+        assert!((total - by_rows).abs() < 1e-2 * (1.0 + total.abs()));
+        assert!((total - by_cols).abs() < 1e-2 * (1.0 + total.abs()));
     }
 }

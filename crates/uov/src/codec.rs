@@ -50,7 +50,11 @@ impl UovCodec {
     /// UOV codec with `num_buckets` space-increasing buckets over
     /// `num_choices` options.
     pub fn new(num_buckets: usize, num_choices: usize) -> Self {
-        Self::with_kind(DiscretizationKind::SpaceIncreasing, num_buckets, num_choices)
+        Self::with_kind(
+            DiscretizationKind::SpaceIncreasing,
+            num_buckets,
+            num_choices,
+        )
     }
 
     /// UOV codec with an explicit discretization kind.
@@ -205,7 +209,11 @@ impl ConfigCodec for OneHotCodec {
     }
 
     fn decode(&self, prediction: &[f32]) -> usize {
-        assert_eq!(prediction.len(), self.num_choices, "OneHotCodec: width mismatch");
+        assert_eq!(
+            prediction.len(),
+            self.num_choices,
+            "OneHotCodec: width mismatch"
+        );
         let mut best = 0;
         for (i, &p) in prediction.iter().enumerate() {
             if p > prediction[best] {
@@ -245,7 +253,10 @@ impl ConfigCodec for RegressionCodec {
     }
 
     fn encode(&self, index: usize) -> Vec<f32> {
-        assert!(index < self.num_choices, "RegressionCodec: index out of range");
+        assert!(
+            index < self.num_choices,
+            "RegressionCodec: index out of range"
+        );
         if self.num_choices == 1 {
             return vec![0.0];
         }
@@ -306,7 +317,7 @@ mod tests {
             let mut v = codec.encode(i);
             // ±0.05 deterministic pseudo-noise
             for (j, x) in v.iter_mut().enumerate() {
-                let noise = 0.05 * ((i * 31 + j * 17) % 7 as usize as usize) as f32 / 7.0
+                let noise = 0.05 * ((i * 31 + j * 17) % 7_usize) as f32 / 7.0
                     * if (i + j) % 2 == 0 { 1.0 } else { -1.0 };
                 *x = (*x + noise).clamp(0.0, 1.0);
             }
@@ -321,7 +332,7 @@ mod tests {
     #[test]
     fn uov_all_zero_prediction_falls_back() {
         let codec = UovCodec::new(8, 64);
-        let idx = codec.decode(&vec![0.0; 8]);
+        let idx = codec.decode(&[0.0; 8]);
         assert!(idx < 64);
     }
 

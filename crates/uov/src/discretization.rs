@@ -166,7 +166,10 @@ mod tests {
 
     #[test]
     fn coordinate_roundtrip_every_choice() {
-        for kind in [DiscretizationKind::Uniform, DiscretizationKind::SpaceIncreasing] {
+        for kind in [
+            DiscretizationKind::Uniform,
+            DiscretizationKind::SpaceIncreasing,
+        ] {
             for k in [1usize, 2, 4, 8, 16, 32] {
                 let d = Discretization::new(kind, k, 64);
                 for i in 0..64 {

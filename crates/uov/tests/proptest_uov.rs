@@ -1,105 +1,142 @@
 //! Property-based tests for the UOV representation invariants.
+//!
+//! Written as seeded random sweeps (the `proptest` crate is unavailable
+//! offline); each test draws many `(k, c, idx)` combinations from a
+//! fixed-seed LCG covering the same ranges as the original strategies.
 
 use ai2_uov::{ConfigCodec, DiscretizationKind, OneHotCodec, RegressionCodec, UovCodec};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn uov_roundtrip_is_lossless(
-        k in 1usize..33,
-        c in 2usize..128,
-        idx_frac in 0.0f64..1.0,
-    ) {
-        let codec = UovCodec::new(k, c);
-        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
-        let v = codec.encode(idx);
-        prop_assert_eq!(codec.decode(&v), idx);
+const CASES: usize = 128;
+
+/// Tiny standalone LCG so this crate needs no RNG dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
     }
 
-    #[test]
-    fn uov_is_zero_above_target_and_positive_below(
-        k in 2usize..17,
-        c in 8usize..65,
-        idx_frac in 0.0f64..1.0,
-    ) {
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn frac(&mut self) -> f64 {
+        (self.next_u64() % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+fn pick_idx(g: &mut Lcg, c: usize) -> usize {
+    ((c - 1) as f64 * g.frac()).round() as usize
+}
+
+#[test]
+fn uov_roundtrip_is_lossless() {
+    let mut g = Lcg(0x0071);
+    for _ in 0..CASES {
+        let k = g.range(1, 33);
+        let c = g.range(2, 128);
+        let idx = pick_idx(&mut g, c);
         let codec = UovCodec::new(k, c);
-        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
+        let v = codec.encode(idx);
+        assert_eq!(codec.decode(&v), idx, "k={k} c={c} idx={idx}");
+    }
+}
+
+#[test]
+fn uov_is_zero_above_target_and_positive_below() {
+    let mut g = Lcg(0x0072);
+    for _ in 0..CASES {
+        let k = g.range(2, 17);
+        let c = g.range(8, 65);
+        let idx = pick_idx(&mut g, c);
+        let codec = UovCodec::new(k, c);
         let n = codec.bucket_of(idx);
         let v = codec.encode(idx);
         for (i, &x) in v.iter().enumerate() {
             if i > n {
-                prop_assert_eq!(x, 0.0);
+                assert_eq!(x, 0.0);
             }
             if i < n {
-                prop_assert!(x > 0.0);
+                assert!(x > 0.0);
             }
-            prop_assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&x));
         }
     }
+}
 
-    #[test]
-    fn uov_preserves_ordering(
-        k in 2usize..17,
-        c in 8usize..65,
-        a_frac in 0.0f64..1.0,
-        b_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn uov_preserves_ordering() {
+    let mut g = Lcg(0x0073);
+    for _ in 0..CASES {
         // a larger choice never encodes to an elementwise-smaller UOV
+        let k = g.range(2, 17);
+        let c = g.range(8, 65);
+        let a = pick_idx(&mut g, c);
+        let b = pick_idx(&mut g, c);
         let codec = UovCodec::new(k, c);
-        let a = ((c - 1) as f64 * a_frac).round() as usize;
-        let b = ((c - 1) as f64 * b_frac).round() as usize;
         let (lo, hi) = (a.min(b), a.max(b));
         let vlo = codec.encode(lo);
         let vhi = codec.encode(hi);
         for (l, h) in vlo.iter().zip(&vhi) {
-            prop_assert!(h >= l, "ordering violated: {:?} vs {:?}", vlo, vhi);
+            assert!(h >= l, "ordering violated: {vlo:?} vs {vhi:?}");
         }
     }
+}
 
-    #[test]
-    fn uov_decode_small_noise_stays_within_one_choice(
-        k in 4usize..17,
-        c in 12usize..65,
-        idx_frac in 0.0f64..1.0,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn uov_decode_small_noise_stays_within_one_choice() {
+    let mut g = Lcg(0x0074);
+    for _ in 0..CASES {
+        let k = g.range(4, 17);
+        let c = g.range(12, 65);
+        let idx = pick_idx(&mut g, c);
+        let seed = g.range(0, 500);
         let codec = UovCodec::new(k, c);
-        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
         let mut v = codec.encode(idx);
         // deterministic ±0.02 perturbation
         for (j, x) in v.iter_mut().enumerate() {
-            let s = ((seed as usize + j * 13) % 5) as f32 / 5.0 - 0.4;
+            let s = ((seed + j * 13) % 5) as f32 / 5.0 - 0.4;
             *x = (*x + 0.05 * s).clamp(0.0, 1.0);
         }
         let d = codec.decode(&v);
         // small head noise may move the estimate within the bucket but
         // never to a distant choice
         let tol = (c / k).max(1) + 1;
-        prop_assert!(
-            d.abs_diff(idx) <= tol,
-            "decoded {} from {} (tol {})", d, idx, tol
-        );
+        assert!(d.abs_diff(idx) <= tol, "decoded {d} from {idx} (tol {tol})");
     }
+}
 
-    #[test]
-    fn uniform_and_sid_both_roundtrip(
-        k in 1usize..17,
-        c in 2usize..65,
-        idx_frac in 0.0f64..1.0,
-    ) {
-        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
-        for kind in [DiscretizationKind::Uniform, DiscretizationKind::SpaceIncreasing] {
+#[test]
+fn uniform_and_sid_both_roundtrip() {
+    let mut g = Lcg(0x0075);
+    for _ in 0..CASES {
+        let k = g.range(1, 17);
+        let c = g.range(2, 65);
+        let idx = pick_idx(&mut g, c);
+        for kind in [
+            DiscretizationKind::Uniform,
+            DiscretizationKind::SpaceIncreasing,
+        ] {
             let codec = UovCodec::with_kind(kind, k, c);
-            prop_assert_eq!(codec.decode(&codec.encode(idx)), idx);
+            assert_eq!(codec.decode(&codec.encode(idx)), idx);
         }
     }
+}
 
-    #[test]
-    fn one_hot_and_regression_roundtrip(c in 1usize..200, idx_frac in 0.0f64..1.0) {
-        let idx = ((c - 1) as f64 * idx_frac).round() as usize;
+#[test]
+fn one_hot_and_regression_roundtrip() {
+    let mut g = Lcg(0x0076);
+    for _ in 0..CASES {
+        let c = g.range(1, 200);
+        let idx = pick_idx(&mut g, c.max(2));
+        let idx = idx.min(c - 1);
         let oh = OneHotCodec::new(c);
-        prop_assert_eq!(oh.decode(&oh.encode(idx)), idx);
+        assert_eq!(oh.decode(&oh.encode(idx)), idx);
         let rg = RegressionCodec::new(c);
-        prop_assert_eq!(rg.decode(&rg.encode(idx)), idx);
+        assert_eq!(rg.decode(&rg.encode(idx)), idx);
     }
 }

@@ -57,12 +57,20 @@ impl Layer {
         kh: u64,
         kw: u64,
     ) -> Self {
-        Layer::new(name, GemmWorkload::new(out_h * out_w, out_c, in_c * kh * kw))
+        Layer::new(
+            name,
+            GemmWorkload::new(out_h * out_w, out_c, in_c * kh * kw),
+        )
     }
 
     /// Lowers a fully connected / projection layer:
     /// `M = tokens (or batch)`, `N = out_features`, `K = in_features`.
-    pub fn linear(name: impl Into<String>, tokens: u64, out_features: u64, in_features: u64) -> Self {
+    pub fn linear(
+        name: impl Into<String>,
+        tokens: u64,
+        out_features: u64,
+        in_features: u64,
+    ) -> Self {
         Layer::new(name, GemmWorkload::new(tokens, out_features, in_features))
     }
 
@@ -139,7 +147,10 @@ mod tests {
         let tiled = t.total_macs() as f64;
         // ceiling-balanced tiles may slightly overcount, never undercount
         assert!(tiled >= orig);
-        assert!(tiled < orig * 1.10, "tiling overhead too large: {tiled} vs {orig}");
+        assert!(
+            tiled < orig * 1.10,
+            "tiling overhead too large: {tiled} vs {orig}"
+        );
     }
 
     #[test]

@@ -74,10 +74,7 @@ mod tests {
 
     #[test]
     fn dse_layers_are_in_range() {
-        let m = ModelWorkload::new(
-            "big",
-            vec![Layer::linear("l", 1024, 4096, 4096)],
-        );
+        let m = ModelWorkload::new("big", vec![Layer::linear("l", 1024, 4096, 4096)]);
         for l in m.to_dse_layers() {
             assert!(l.in_table_i_ranges());
         }

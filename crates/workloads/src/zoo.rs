@@ -420,7 +420,13 @@ pub fn training_models() -> Vec<ModelWorkload> {
 /// Models reserved for deployment evaluation (never in the training
 /// manifest), matching the paper's Fig. 7 protocol.
 pub fn evaluation_models() -> Vec<ModelWorkload> {
-    vec![resnet50(), llama2_7b(), llama3_8b(), bert_large(), vit_base()]
+    vec![
+        resnet50(),
+        llama2_7b(),
+        llama3_8b(),
+        bert_large(),
+        vit_base(),
+    ]
 }
 
 #[cfg(test)]

@@ -12,11 +12,11 @@ use airchitect_repro::prelude::*;
 use airchitect_repro::workloads::zoo;
 
 fn main() {
-    let task = DseTask::table_i_default();
+    let engine = EvalEngine::shared(DseTask::table_i_default());
 
     println!("training AIrchitect v2 (Llama2-7B never seen)…");
-    let data = DseDataset::generate(
-        &task,
+    let data = DseDataset::generate_with(
+        &engine,
         &GenerateConfig {
             num_samples: 3000,
             seed: 11,
@@ -24,10 +24,16 @@ fn main() {
             ..GenerateConfig::default()
         },
     );
-    let mut model = Airchitect2::new(&ModelConfig::default(), &task, &data);
-    let mut cfg = TrainConfig::default();
-    cfg.stage1_epochs = 40;
-    cfg.stage2_epochs = 60;
+    let mut model = Airchitect2::with_engine(
+        &ModelConfig::default(),
+        std::sync::Arc::clone(&engine),
+        &data,
+    );
+    let cfg = TrainConfig {
+        stage1_epochs: 40,
+        stage2_epochs: 60,
+        ..TrainConfig::default()
+    };
     model.fit(&data, &cfg);
 
     let llama = zoo::llama2_7b();
@@ -50,12 +56,10 @@ fn main() {
         };
         // one-shot: a single forward pass
         let p = model.predict(&[input])[0];
-        let v2_lat = task
-            .score(&input, p)
-            .unwrap_or(f64::INFINITY);
+        let v2_lat = engine.score(&input, p).unwrap_or(f64::INFINITY);
         // iterative: 200 cost-model queries
-        let ga_res = ga.search(&task, input, 200);
-        let oracle = task.oracle(&input);
+        let ga_res = ga.search(&engine, input, 200);
+        let oracle = engine.oracle(&input);
         println!(
             "{:<22} {:>14.0} {:>14.0} {:>14.0} {:>10.3}",
             layer.name,
@@ -79,7 +83,7 @@ fn main() {
     let oneshot = t0.elapsed() / n_rep;
     let t1 = std::time::Instant::now();
     for _ in 0..n_rep {
-        let _ = GammaSearcher::new(1).search(&task, input, 200);
+        let _ = GammaSearcher::new(1).search(&engine, input, 200);
     }
     let search = t1.elapsed() / n_rep;
     println!(

@@ -39,16 +39,21 @@ fn main() {
     // 3. Train the two-stage model: contrastive encoder, then UOV decoder.
     println!("training AIrchitect v2 (scaled-down schedule)…");
     let mut model = Airchitect2::new(&ModelConfig::default(), &task, &train);
-    let mut cfg = TrainConfig::default();
-    cfg.stage1_epochs = 40;
-    cfg.stage2_epochs = 60;
+    let cfg = TrainConfig {
+        stage1_epochs: 40,
+        stage2_epochs: 60,
+        ..TrainConfig::default()
+    };
     model.fit(&train, &cfg);
 
     // 4. Evaluate.
     let p = model.predictor();
     println!("test bucket accuracy : {:.2}%", p.accuracy(&test));
     println!("test exact accuracy  : {:.2}%", p.exact_accuracy(&test));
-    println!("latency vs oracle    : {:.3}x (geomean)", p.latency_ratio(&test));
+    println!(
+        "latency vs oracle    : {:.3}x (geomean)",
+        p.latency_ratio(&test)
+    );
 
     // 5. One-shot inference for a brand-new layer: a BERT-base FFN tile.
     let layer = DseInput {
@@ -62,9 +67,7 @@ fn main() {
     println!("\nnew layer {}:", layer.gemm);
     println!("  recommended : {hw}");
     println!("  oracle      : {oracle_hw}");
-    let got = task
-        .score(&layer, point)
-        .unwrap_or(f64::INFINITY);
+    let got = task.score(&layer, point).unwrap_or(f64::INFINITY);
     println!(
         "  latency     : {:.0} cycles (oracle {:.0}, ratio {:.3})",
         got,

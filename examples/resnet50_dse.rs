@@ -7,16 +7,21 @@
 //! cargo run --release --example resnet50_dse
 //! ```
 
+use std::sync::Arc;
+
 use airchitect_repro::airchitect::deploy::{method1, method2};
 use airchitect_repro::prelude::*;
 use airchitect_repro::workloads::zoo;
 
 fn main() {
-    let task = DseTask::table_i_default();
+    // one shared evaluation substrate for dataset labeling, training
+    // metrics, per-layer oracles and deployment
+    let engine = EvalEngine::shared(DseTask::table_i_default());
+    let task = engine.task().clone();
 
     println!("training AIrchitect v2 on random workloads (ResNet-50 never seen)…");
-    let data = DseDataset::generate(
-        &task,
+    let data = DseDataset::generate_with(
+        &engine,
         &GenerateConfig {
             num_samples: 3000,
             seed: 7,
@@ -24,10 +29,12 @@ fn main() {
             ..GenerateConfig::default()
         },
     );
-    let mut model = Airchitect2::new(&ModelConfig::default(), &task, &data);
-    let mut cfg = TrainConfig::default();
-    cfg.stage1_epochs = 40;
-    cfg.stage2_epochs = 60;
+    let mut model = Airchitect2::with_engine(&ModelConfig::default(), Arc::clone(&engine), &data);
+    let cfg = TrainConfig {
+        stage1_epochs: 40,
+        stage2_epochs: 60,
+        ..TrainConfig::default()
+    };
     model.fit(&data, &cfg);
 
     let resnet = zoo::resnet50();
@@ -48,7 +55,7 @@ fn main() {
         };
         let p = model.predict(&[input])[0];
         let hw = task.space().config(p);
-        let oracle = task.space().config(task.oracle(&input).best_point);
+        let oracle = task.space().config(engine.oracle(&input).best_point);
         println!(
             "  {:<28} {:<14} → {:<12} (oracle {})",
             layer.name,
@@ -60,10 +67,10 @@ fn main() {
 
     // model-level deployment
     let rec = |input: &DseInput| -> DesignPoint { model.predict(&[*input])[0] };
-    let d1 = method1(&task, &layers, &rec);
-    let d2 = method2(&task, &layers, &rec);
-    let oracle_rec = |input: &DseInput| -> DesignPoint { task.oracle(input).best_point };
-    let d_oracle = method1(&task, &layers, &oracle_rec);
+    let d1 = method1(&engine, &layers, &rec);
+    let d2 = method2(&engine, &layers, &rec);
+    let oracle_rec = |input: &DseInput| -> DesignPoint { engine.oracle(input).best_point };
+    let d_oracle = method1(&engine, &layers, &oracle_rec);
 
     println!("\nmodel-level deployment:");
     println!(

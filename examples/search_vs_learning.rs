@@ -12,15 +12,15 @@ use airchitect_repro::dse::search::{
     bo::BoSearcher, AnnealingSearcher, ConfuciuxSearcher, GammaSearcher, RandomSearcher, Searcher,
 };
 use airchitect_repro::prelude::*;
-use airchitect_repro::workloads::generator::WorkloadSampler;
 use airchitect_repro::tensor::rng;
+use airchitect_repro::workloads::generator::WorkloadSampler;
 
 fn main() {
-    let task = DseTask::table_i_default();
+    let engine = EvalEngine::shared(DseTask::table_i_default());
 
     println!("training AIrchitect v2 once (amortized over all future queries)…");
-    let data = DseDataset::generate(
-        &task,
+    let data = DseDataset::generate_with(
+        &engine,
         &GenerateConfig {
             num_samples: 3000,
             seed: 3,
@@ -28,10 +28,16 @@ fn main() {
             ..GenerateConfig::default()
         },
     );
-    let mut model = Airchitect2::new(&ModelConfig::default(), &task, &data);
-    let mut cfg = TrainConfig::default();
-    cfg.stage1_epochs = 40;
-    cfg.stage2_epochs = 60;
+    let mut model = Airchitect2::with_engine(
+        &ModelConfig::default(),
+        std::sync::Arc::clone(&engine),
+        &data,
+    );
+    let cfg = TrainConfig {
+        stage1_epochs: 40,
+        stage2_epochs: 60,
+        ..TrainConfig::default()
+    };
     model.fit(&data, &cfg);
 
     // fresh evaluation workloads
@@ -40,9 +46,7 @@ fn main() {
     let inputs = sampler.sample_n(&mut r, 30);
 
     let budgets = [25usize, 50, 100, 200];
-    println!(
-        "\ngeomean latency vs oracle (lower is better; one-shot spends ZERO queries)\n"
-    );
+    println!("\ngeomean latency vs oracle (lower is better; one-shot spends ZERO queries)\n");
     print!("{:<26}", "method");
     for b in budgets {
         print!("{:>12}", format!("{b} evals"));
@@ -53,13 +57,13 @@ fn main() {
         (scores.iter().map(|s| s.ln()).sum::<f64>() / scores.len() as f64).exp()
     };
 
-    let mut run = |name: &str, mk: &mut dyn FnMut(u64) -> Box<dyn Searcher>| {
+    let run = |name: &str, mk: &mut dyn FnMut(u64) -> Box<dyn Searcher>| {
         print!("{name:<26}");
         for &budget in &budgets {
             let mut ratios = Vec::new();
             for (i, input) in inputs.iter().enumerate() {
-                let oracle = task.oracle(input).best_score;
-                let res = mk(i as u64).search(&task, *input, budget);
+                let oracle = engine.oracle(input).best_score;
+                let res = mk(i as u64).search(&engine, *input, budget);
                 ratios.push(res.best_score / oracle);
             }
             print!("{:>12.3}", geomean(&ratios));
@@ -68,19 +72,25 @@ fn main() {
     };
 
     run("random", &mut |s| Box::new(RandomSearcher::new(s)));
-    run("simulated annealing", &mut |s| Box::new(AnnealingSearcher::new(s)));
+    run("simulated annealing", &mut |s| {
+        Box::new(AnnealingSearcher::new(s))
+    });
     run("GAMMA (GA)", &mut |s| Box::new(GammaSearcher::new(s)));
-    run("ConfuciuX (RL+GA)", &mut |s| Box::new(ConfuciuxSearcher::new(s)));
-    run("Bayesian optimization", &mut |s| Box::new(BoSearcher::new(s)));
+    run("ConfuciuX (RL+GA)", &mut |s| {
+        Box::new(ConfuciuxSearcher::new(s))
+    });
+    run("Bayesian optimization", &mut |s| {
+        Box::new(BoSearcher::new(s))
+    });
 
     // the learned model answers with no search at all
     let mut ratios = Vec::new();
     for input in &inputs {
-        let oracle = task.oracle(input).best_score;
+        let oracle = engine.oracle(input).best_score;
         let p = model.predict(&[*input])[0];
-        let score = task
+        let score = engine
             .score(input, p)
-            .unwrap_or_else(|| task.score_unchecked(input, p) * 10.0);
+            .unwrap_or_else(|| engine.score_unchecked(input, p) * 10.0);
         ratios.push(score / oracle);
     }
     println!(

@@ -29,7 +29,10 @@ fn main() {
 
     let classification = OneHotCodec::new(choices);
     show("classification", &classification.encode(target));
-    println!("{:<16} one-hot — constrained but discretizes the space\n", "");
+    println!(
+        "{:<16} one-hot — constrained but discretizes the space\n",
+        ""
+    );
 
     let uov = UovCodec::new(4, choices); // 4 buckets over 8 choices
     let encoded = uov.encode(target);
@@ -42,16 +45,16 @@ fn main() {
 
     // all three decode back to the same choice
     assert_eq!(regression.decode(&regression.encode(target)), target);
-    assert_eq!(classification.decode(&classification.encode(target)), target);
+    assert_eq!(
+        classification.decode(&classification.encode(target)),
+        target
+    );
     assert_eq!(uov.decode(&encoded), target);
     println!("all three representations decode back to choice {target} ✓");
 
     // the ordinal structure: larger choices dominate smaller ones
     let smaller = uov.encode(2);
     show("\nUOV of choice 2", &smaller);
-    let dominated = smaller
-        .iter()
-        .zip(&encoded)
-        .all(|(s, l)| s <= l);
+    let dominated = smaller.iter().zip(&encoded).all(|(s, l)| s <= l);
     println!("choice-2 vector is elementwise ≤ choice-6 vector: {dominated} (ordinal ordering)");
 }

@@ -21,10 +21,10 @@
 //! per-figure experiment harness.
 
 pub use ai2_baselines as baselines;
-pub use ai2_systolic as systolic;
 pub use ai2_dse as dse;
 pub use ai2_maestro as maestro;
 pub use ai2_nn as nn;
+pub use ai2_systolic as systolic;
 pub use ai2_tensor as tensor;
 pub use ai2_uov as uov;
 pub use ai2_workloads as workloads;
@@ -49,7 +49,8 @@ pub mod systolic_check {
 /// Convenience prelude importing the types most programs need.
 pub mod prelude {
     pub use ai2_dse::{
-        Budget, DesignPoint, DesignSpace, DseDataset, DseTask, GenerateConfig, Objective,
+        Budget, DesignPoint, DesignSpace, DseDataset, DseTask, EvalEngine, GenerateConfig,
+        Objective,
     };
     pub use ai2_maestro::{AcceleratorConfig, CostModel, Dataflow, GemmWorkload};
     pub use ai2_uov::{ConfigCodec, UovCodec};

@@ -17,7 +17,10 @@ fn unit_gemm_is_labelable_and_predictable() {
     assert!(oracle.best_score > 0.0);
     // for a unit GEMM every feasible config is latency-equivalent up to
     // fill/drain; the tie-break must choose the cheapest configuration
-    let smallest = DesignPoint { pe_idx: 0, buf_idx: 0 };
+    let smallest = DesignPoint {
+        pe_idx: 0,
+        buf_idx: 0,
+    };
     let s_small = task.score(&input, smallest).expect("feasible");
     assert!(
         oracle.best_score <= s_small,
@@ -71,12 +74,12 @@ fn skinny_gemms_prefer_smaller_arrays_than_fat_gemms() {
 
 #[test]
 fn single_layer_model_deployment_matches_per_layer_oracle() {
-    let task = DseTask::table_i_default();
+    let engine = EvalEngine::table_i_default();
     let layer = Layer::new("only", GemmWorkload::new(64, 256, 128));
     let input_best = Dataflow::ALL
         .iter()
         .map(|&df| {
-            task.oracle(&DseInput {
+            engine.oracle(&DseInput {
                 gemm: layer.gemm,
                 dataflow: df,
             })
@@ -85,7 +88,7 @@ fn single_layer_model_deployment_matches_per_layer_oracle() {
         .expect("three dataflows");
     // deploying a one-layer model on that layer's own optimum must yield
     // exactly the oracle latency
-    let lat = model_latency(&task, &[layer], input_best.best_point);
+    let lat = model_latency(&engine, &[layer], input_best.best_point);
     assert!(
         (lat - input_best.best_score).abs() < 1e-9,
         "single-layer deployment {lat} != oracle {}",

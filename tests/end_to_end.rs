@@ -21,11 +21,12 @@ fn small_dataset(task: &DseTask, n: usize, seed: u64) -> DseDataset {
 
 #[test]
 fn full_pipeline_produces_usable_model() {
-    let task = DseTask::table_i_default();
-    let ds = small_dataset(&task, 600, 101);
+    let engine = EvalEngine::shared(DseTask::table_i_default());
+    let ds = small_dataset(engine.task(), 600, 101);
     let (train, test) = ds.split(0.8, 1);
 
-    let mut model = Airchitect2::new(&ModelConfig::tiny(), &task, &train);
+    let mut model =
+        Airchitect2::with_engine(&ModelConfig::tiny(), std::sync::Arc::clone(&engine), &train);
     let report = model.fit(
         &train,
         &TrainConfig {
@@ -48,12 +49,15 @@ fn full_pipeline_produces_usable_model() {
     // deployment works end-to-end on an unseen model
     let layers = zoo::resnet18().to_dse_layers();
     let rec = |input: &DseInput| -> DesignPoint { model.predict(&[*input])[0] };
-    let d1 = method1(&task, &layers, &rec);
-    let d2 = method2(&task, &layers, &rec);
-    assert!(task.is_feasible(d1.point));
-    assert!(task.is_feasible(d2.point));
+    let d1 = method1(&engine, &layers, &rec);
+    let d2 = method2(&engine, &layers, &rec);
+    assert!(engine.is_feasible(d1.point));
+    assert!(engine.is_feasible(d2.point));
     assert!(d1.latency > 0.0 && d1.latency.is_finite());
-    assert!(d1.latency <= d2.latency + 1e-6, "Method 1 evaluates a superset");
+    assert!(
+        d1.latency <= d2.latency + 1e-6,
+        "Method 1 evaluates a superset"
+    );
 }
 
 #[test]
@@ -65,7 +69,10 @@ fn oracle_labels_are_reachable_by_prediction_interface() {
     for s in &ds.samples {
         let flat = task.space().flat_index(s.optimal);
         assert_eq!(task.space().from_flat(flat), s.optimal);
-        assert!(task.is_feasible(s.optimal), "oracle produced infeasible label");
+        assert!(
+            task.is_feasible(s.optimal),
+            "oracle produced infeasible label"
+        );
     }
 }
 

@@ -23,7 +23,9 @@ fn simulated_cycles(wl: &GemmWorkload, pes: u32) -> f64 {
     let (m, n, k) = (wl.m as usize, wl.n as usize, wl.k as usize);
     let a = vec![1.0f32; m * k];
     let b = vec![1.0f32; k * n];
-    GemmSimulation::run(&cfg, &a, &b, m, n, k).report().total_cycles as f64
+    GemmSimulation::run(&cfg, &a, &b, m, n, k)
+        .report()
+        .total_cycles as f64
 }
 
 #[test]
@@ -72,13 +74,17 @@ fn both_substrates_agree_tiny_gemms_waste_big_arrays() {
     use airchitect_repro::systolic::{ArrayConfig, GemmSimulation};
     let sim = GemmSimulation::run(
         &ArrayConfig::squarest(64),
-        &vec![1.0; 4 * 8],
-        &vec![1.0; 8 * 4],
+        &[1.0; 4 * 8],
+        &[1.0; 8 * 4],
         4,
         4,
         8,
     );
-    assert!(sim.report().utilization < 0.3, "sim util {}", sim.report().utilization);
+    assert!(
+        sim.report().utilization < 0.3,
+        "sim util {}",
+        sim.report().utilization
+    );
     let model = CostModel::default();
     let r = model.evaluate(
         &wl,

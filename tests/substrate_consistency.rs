@@ -14,15 +14,27 @@ fn every_zoo_layer_is_costable_on_every_grid_corner() {
     let task = DseTask::table_i_default();
     let space = task.space();
     let corners = [
-        DesignPoint { pe_idx: 0, buf_idx: 0 },
-        DesignPoint { pe_idx: 0, buf_idx: space.num_buf_choices() - 1 },
-        DesignPoint { pe_idx: space.num_pe_choices() - 1, buf_idx: 0 },
+        DesignPoint {
+            pe_idx: 0,
+            buf_idx: 0,
+        },
+        DesignPoint {
+            pe_idx: 0,
+            buf_idx: space.num_buf_choices() - 1,
+        },
+        DesignPoint {
+            pe_idx: space.num_pe_choices() - 1,
+            buf_idx: 0,
+        },
         DesignPoint {
             pe_idx: space.num_pe_choices() - 1,
             buf_idx: space.num_buf_choices() - 1,
         },
     ];
-    for model in zoo::training_models().into_iter().chain(zoo::evaluation_models()) {
+    for model in zoo::training_models()
+        .into_iter()
+        .chain(zoo::evaluation_models())
+    {
         for layer in model.to_dse_layers() {
             for df in Dataflow::ALL {
                 let input = DseInput {
@@ -88,7 +100,7 @@ fn dataset_exhibits_long_tail_like_fig3b() {
 
 #[test]
 fn all_searchers_respect_feasibility_and_return_within_grid() {
-    let task = DseTask::table_i_default();
+    let engine = EvalEngine::table_i_default();
     let input = DseInput {
         gemm: GemmWorkload::new(100, 900, 500),
         dataflow: Dataflow::OutputStationary,
@@ -101,12 +113,21 @@ fn all_searchers_respect_feasibility_and_return_within_grid() {
         Box::new(BoSearcher::new(1)),
     ];
     for mut s in searchers {
-        let res = s.search(&task, input, 60);
-        assert!(task.is_feasible(res.best_point), "{} infeasible", s.name());
+        let res = s.search(&engine, input, 60);
+        assert!(
+            engine.is_feasible(res.best_point),
+            "{} infeasible",
+            s.name()
+        );
         assert!(res.best_score.is_finite());
         assert!(res.trace.len() <= 70, "{} trace too long", s.name());
         // best-so-far trace is monotone non-increasing once finite
-        let finite: Vec<f64> = res.trace.iter().copied().filter(|v| v.is_finite()).collect();
+        let finite: Vec<f64> = res
+            .trace
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
         for w in finite.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "{} trace not monotone", s.name());
         }
@@ -130,7 +151,10 @@ fn energy_and_edp_objectives_change_the_optimum_somewhere() {
             break;
         }
     }
-    assert!(found, "energy objective never changed the optimum — suspicious");
+    assert!(
+        found,
+        "energy objective never changed the optimum — suspicious"
+    );
 }
 
 #[test]

@@ -1,0 +1,201 @@
+//! Vendored, dependency-free stand-in for the subset of the `criterion`
+//! bench harness this workspace uses.
+//!
+//! The build environment has no network access, so the workspace carries
+//! its own harness: each `bench_function` runs a short warm-up, then
+//! measures batches until a time budget is spent, and prints the mean,
+//! minimum and iteration count. There is no statistical analysis or
+//! HTML report — just honest wall-clock numbers suitable for tracking
+//! the perf trajectory in CI logs.
+//!
+//! Environment knobs:
+//!
+//! * `AI2_BENCH_BUDGET_MS` — measurement budget per benchmark
+//!   (default 1500 ms),
+//! * `AI2_BENCH_MIN_ITERS` — minimum timed iterations (default 5).
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch sizing hint, accepted for API compatibility and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    min: Duration,
+    budget: Duration,
+    min_iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        let budget_ms = std::env::var("AI2_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1500u64);
+        let min_iters = std::env::var("AI2_BENCH_MIN_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5u64);
+        Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            budget: Duration::from_millis(budget_ms),
+            min_iters,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up (untimed)
+        black_box(routine());
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters_done += 1;
+            if self.total >= self.budget && self.iters_done >= self.min_iters {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters_done += 1;
+            if self.total >= self.budget && self.iters_done >= self.min_iters {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mean = if b.iters_done > 0 {
+        b.total / b.iters_done as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench {name:<44} mean {:>12} min {:>12} ({} iters)",
+        fmt_duration(mean),
+        fmt_duration(b.min),
+        b.iters_done
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&name, &b);
+        self
+    }
+
+    /// Opens a named group; member benches print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.into());
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Ends the group (no-op, for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

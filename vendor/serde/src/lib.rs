@@ -1,0 +1,332 @@
+//! Vendored, dependency-free stand-in for the subset of `serde` this
+//! workspace uses: the `Serialize` / `Deserialize` traits, their derive
+//! macros (see `vendor/serde_derive`), and a small document [`Value`]
+//! tree that `serde_json` renders to and parses from.
+//!
+//! The build environment has no network access, so the workspace carries
+//! its own implementation. The data model is deliberately tiny:
+//!
+//! * numbers are kept as their literal text ([`Value::Number`]), so
+//!   `u64`/`f32`/`f64` round-trip bit-exactly through the shortest
+//!   Rust formatting,
+//! * enums use the externally-tagged encoding the real serde defaults
+//!   to (`"Variant"`, `{"Variant": content}`),
+//! * structs become JSON objects in field order.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed or to-be-rendered JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// A numeric literal, kept as text for exact round-trips.
+    Number(String),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure (wrong shape, missing field, bad number…).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to a [`Value`] (stand-in for `serde::Serialize`).
+pub trait Serialize {
+    /// Converts `self` into the document model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from a [`Value`] (stand-in for
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the document model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when `v` has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Extracts and deserializes a struct field (used by the derive macro).
+///
+/// # Errors
+///
+/// Returns a [`DeError`] if `v` is not an object, the key is missing, or
+/// the field fails to parse.
+pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
+    match v.get(key) {
+        Some(field) => T::from_value(field),
+        None => Err(DeError(format!("missing field `{key}`"))),
+    }
+}
+
+/// Extracts and deserializes a tuple element (used by the derive macro).
+///
+/// # Errors
+///
+/// Returns a [`DeError`] if `v` is not an array or is too short.
+pub fn de_index<T: Deserialize>(v: &Value, idx: usize) -> Result<T, DeError> {
+    match v {
+        Value::Array(items) => match items.get(idx) {
+            Some(item) => T::from_value(item),
+            None => Err(DeError(format!("missing tuple element {idx}"))),
+        },
+        _ => Err(DeError("expected array".into())),
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(format!("{self}"))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(s) => s.parse::<$t>().map_err(|e| {
+                        DeError(format!("bad {} literal {s:?}: {e}", stringify!($t)))
+                    }),
+                    _ => Err(DeError(format!("expected number, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        if items.len() != N {
+            return Err(DeError(format!(
+                "expected {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok((de_index(v, 0)?, de_index(v, 1)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok((de_index(v, 0)?, de_index(v, 1)?, de_index(v, 2)?))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError(format!("expected object, got {v:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // sorted for deterministic output
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError(format!("expected object, got {v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_text_roundtrips_exactly() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e300, -2.5e-10, 123_456_789.123_456_79] {
+            let v = x.to_value();
+            assert_eq!(f64::from_value(&v).unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn option_and_vec_shapes() {
+        let v = Some(3u32).to_value();
+        assert_eq!(Option::<u32>::from_value(&v).unwrap(), Some(3));
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let back = BTreeMap::<String, u64>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}
