@@ -1,0 +1,127 @@
+//! Criterion bench: the serving layer's scaling knobs.
+//!
+//! * `shards/burst64_shards{1,2,4}` — an open-loop burst of 64 mixed
+//!   GEMM queries (all three objectives, cold canonical keys per
+//!   iteration) pipelined through the admission queue, swept over the
+//!   shard count. Shards split the backlog into fair-share micro-batches,
+//!   so throughput rises with the shard count until the machine
+//!   saturates. (On a single-core container the sweep is flat by
+//!   construction — the shard threads have nowhere to run in parallel;
+//!   the interesting read-out there is that sharding costs nothing.)
+//! * `cache/warm_repeat` vs `cache/cold_unique` — the same query served
+//!   from the LRU response cache vs a never-seen query paying a forward
+//!   pass + engine verification; the warm path is the p50 a steady-state
+//!   deployment sees.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ai2_dse::{Budget, DseDataset, DseTask, EvalEngine, GenerateConfig, Objective};
+use ai2_serve::{Query, RecommendRequest, RecommendService, Response, ServeConfig};
+use airchitect::train::TrainConfig;
+use airchitect::{Airchitect2, ModelCheckpoint, ModelConfig};
+
+fn trained_checkpoint() -> (Arc<EvalEngine>, ModelCheckpoint) {
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 120,
+            seed: 0x5EE5,
+            threads: 0,
+            ..GenerateConfig::default()
+        },
+    );
+    let engine = EvalEngine::shared(task);
+    let mut model = Airchitect2::with_engine(&ModelConfig::tiny(), Arc::clone(&engine), &ds);
+    model.fit(&ds, &TrainConfig::quick());
+    (engine, model.checkpoint())
+}
+
+fn gemm(id: u64, m: u64, n: u64, k: u64, objective: Objective) -> RecommendRequest {
+    RecommendRequest {
+        id,
+        query: Query::Gemm {
+            m,
+            n,
+            k,
+            dataflow: ["ws", "os", "rs"][id as usize % 3].into(),
+        },
+        objective,
+        budget: Budget::Edge,
+        deadline_ms: None,
+    }
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let (engine, ckpt) = trained_checkpoint();
+
+    let mut group = c.benchmark_group("shards");
+    for shards in [1usize, 2, 4] {
+        let service = RecommendService::start(
+            ServeConfig {
+                shards,
+                max_batch: 16,
+                // cold keys per burst: measure compute, not the LRU
+                cache_capacity: 0,
+            },
+            Arc::clone(&engine),
+            ckpt.clone(),
+        );
+        // unique dims per iteration so every request misses every cache
+        let salt = AtomicU64::new(1);
+        let client = service.client();
+        group.bench_function(format!("burst64_shards{shards}"), |b| {
+            b.iter(|| {
+                let s = salt.fetch_add(1, Ordering::Relaxed);
+                let pending: Vec<_> = (0..64u64)
+                    .map(|id| {
+                        client.submit(gemm(
+                            id,
+                            1 + (s * 131 + id * 17) % 256,
+                            1 + (s * 257 + id * 41) % 1677,
+                            1 + (s * 389 + id * 29) % 1185,
+                            [Objective::Latency, Objective::Energy, Objective::Edp]
+                                [id as usize % 3],
+                        ))
+                    })
+                    .collect();
+                for p in pending {
+                    let resp = p.wait();
+                    assert!(matches!(resp, Response::Recommendation(_)));
+                    black_box(resp);
+                }
+            })
+        });
+        service.shutdown();
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cache");
+    let service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+    let client = service.client();
+    client.recommend(gemm(0, 64, 512, 256, Objective::Latency)); // prime
+    group.bench_function("warm_repeat", |b| {
+        b.iter(|| black_box(client.recommend(gemm(1, 64, 512, 256, Objective::Latency))))
+    });
+    let salt = AtomicU64::new(1);
+    group.bench_function("cold_unique", |b| {
+        b.iter(|| {
+            let s = salt.fetch_add(1, Ordering::Relaxed);
+            black_box(client.recommend(gemm(
+                2,
+                1 + (s * 37) % 256,
+                1 + (s * 113) % 1677,
+                1 + (s * 59) % 1185,
+                Objective::Latency,
+            )))
+        })
+    });
+    group.finish();
+    service.shutdown();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

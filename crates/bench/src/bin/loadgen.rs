@@ -1,0 +1,211 @@
+//! Closed-loop load generator for the `ai2_serve` TCP endpoint.
+//!
+//! Spawns `--concurrency` worker threads, each with its own connection,
+//! firing a deterministic mix of GEMM and (optionally) whole-model
+//! queries across all three objectives until `--requests` responses have
+//! arrived. Prints client-side throughput and p50/p95/p99 latency, then
+//! the server's own `stats` line.
+//!
+//! Exits non-zero if any response is malformed or an unexpected error —
+//! which is what the CI smoke test asserts.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:PORT [--requests N]     total requests (default 64)
+//!         [--concurrency C]                        worker connections (default 8)
+//!         [--models]                               include whole-model queries
+//!         [--deadline-ms N]                        per-request deadline
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ai2_serve::{Query, RecommendRequest, Recommendation, Request, Response, TcpClient};
+use ai2_tensor::stats::percentile;
+
+struct Args {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    models: bool,
+    deadline_ms: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        requests: 64,
+        concurrency: 8,
+        models: false,
+        deadline_ms: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| panic!("{} takes a value", argv[*i - 1]))
+            .clone()
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i),
+            "--requests" => args.requests = value(&mut i).parse().expect("--requests count"),
+            "--concurrency" => {
+                args.concurrency = value(&mut i).parse().expect("--concurrency count");
+            }
+            "--models" => args.models = true,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(value(&mut i).parse().expect("--deadline-ms"))
+            }
+            other => panic!("unknown argument {other:?} (see src/bin/loadgen.rs for usage)"),
+        }
+        i += 1;
+    }
+    assert!(!args.addr.is_empty(), "--addr HOST:PORT is required");
+    assert!(args.requests > 0 && args.concurrency > 0);
+    args
+}
+
+/// Deterministic query mix: GEMM dims sweep the Table I ranges across
+/// all three objectives; every fourth query (starting with the second)
+/// is a zoo model when `--models` is on — so a two-request smoke run
+/// covers one GEMM and one whole-model query.
+fn nth_query(n: u64, models: bool, deadline_ms: Option<u64>) -> RecommendRequest {
+    const ZOO: [&str; 4] = ["resnet18", "resnet50", "bert_base", "mobilenet_v2"];
+    const OBJECTIVES: [ai2_dse::Objective; 3] = [
+        ai2_dse::Objective::Latency,
+        ai2_dse::Objective::Energy,
+        ai2_dse::Objective::Edp,
+    ];
+    const DATAFLOWS: [&str; 3] = ["ws", "os", "rs"];
+    let query = if models && n % 4 == 1 {
+        Query::Model {
+            name: ZOO[(n / 4) as usize % ZOO.len()].to_string(),
+        }
+    } else {
+        Query::Gemm {
+            m: 1 + (n * 37) % 256,
+            n: 1 + (n * 131) % 1677,
+            k: 1 + (n * 89) % 1185,
+            dataflow: DATAFLOWS[n as usize % 3].to_string(),
+        }
+    };
+    RecommendRequest {
+        id: n,
+        query,
+        objective: OBJECTIVES[(n / 2) as usize % 3],
+        budget: ai2_dse::Budget::Edge,
+        deadline_ms,
+    }
+}
+
+fn check(resp: &Response, deadline_set: bool) -> Result<Option<f64>, String> {
+    match resp {
+        Response::Recommendation(Recommendation {
+            num_pes,
+            l2_bytes,
+            cost,
+            layers,
+            ..
+        }) => {
+            if *num_pes == 0 || *l2_bytes == 0 || !cost.is_finite() || *cost <= 0.0 || *layers == 0
+            {
+                return Err(format!("degenerate recommendation {resp:?}"));
+            }
+            Ok(Some(*cost))
+        }
+        Response::Error { message, .. } if deadline_set && message.contains("deadline") => Ok(None),
+        other => Err(format!("unexpected response {other:?}")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let next = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let expired = Arc::new(AtomicU64::new(0));
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.concurrency {
+            let next = Arc::clone(&next);
+            let latencies = Arc::clone(&latencies);
+            let expired = Arc::clone(&expired);
+            let failures = Arc::clone(&failures);
+            let args = &args;
+            scope.spawn(move || {
+                let mut client = match TcpClient::connect(&args.addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        failures.lock().unwrap().push(format!("connect: {e}"));
+                        return;
+                    }
+                };
+                loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    if n >= args.requests as u64 {
+                        return;
+                    }
+                    let req = nth_query(n, args.models, args.deadline_ms);
+                    let sent = Instant::now();
+                    match client.send(&Request::Recommend(req)) {
+                        Ok(resp) => match check(&resp, args.deadline_ms.is_some()) {
+                            Ok(Some(_)) => latencies
+                                .lock()
+                                .unwrap()
+                                .push(sent.elapsed().as_secs_f64() * 1e6),
+                            Ok(None) => {
+                                expired.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(msg) => failures.lock().unwrap().push(msg),
+                        },
+                        Err(e) => failures.lock().unwrap().push(format!("transport: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let failures = failures.lock().unwrap();
+    if !failures.is_empty() {
+        eprintln!("[loadgen] {} FAILURES:", failures.len());
+        for f in failures.iter().take(10) {
+            eprintln!("[loadgen]   {f}");
+        }
+        std::process::exit(1);
+    }
+
+    let lats = latencies.lock().unwrap();
+    println!(
+        "loadgen: {} ok ({} deadline-expired) in {:.3}s → {:.1} req/s | client latency p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs",
+        lats.len(),
+        expired.load(Ordering::Relaxed),
+        elapsed,
+        lats.len() as f64 / elapsed,
+        percentile(&lats, 50.0),
+        percentile(&lats, 95.0),
+        percentile(&lats, 99.0),
+    );
+
+    // the server's own view
+    match TcpClient::connect(&args.addr).and_then(|mut c| c.send(&Request::Stats { id: 0 })) {
+        Ok(Response::Stats(s)) => println!(
+            "server stats: served {} (cache hits {}) | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m",
+            s.served,
+            s.cache_hits,
+            s.throughput_rps,
+            s.p50_us,
+            s.p95_us,
+            s.p99_us,
+            s.engine_point_hits,
+            s.engine_point_misses,
+        ),
+        other => {
+            eprintln!("[loadgen] stats endpoint failed: {other:?}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Whole-model checkpoints: everything a serving process needs to answer
+//! queries from a trained [`Airchitect2`] without re-training — the
+//! architecture configuration, the fitted feature statistics, and every
+//! parameter tensor.
+//!
+//! [`ai2_nn::checkpoint::Checkpoint`] alone is not enough to *serve*: a
+//! restored parameter store still needs the [`FeatureEncoder`] fitted on
+//! the original training split (standardisation statistics change the
+//! inputs, hence the outputs) and the exact [`ModelConfig`] (head codecs
+//! change the output decoding). [`ModelCheckpoint`] bundles all three, so
+//! `save` on the training side and [`Airchitect2::from_checkpoint`] on
+//! the serving side reproduce bit-identical predictions.
+
+use std::fs;
+use std::path::Path;
+
+use ai2_nn::checkpoint::{Checkpoint, CheckpointError};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::features::FeatureEncoder;
+use crate::model::Airchitect2;
+
+/// A self-contained snapshot of a trained [`Airchitect2`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelCheckpoint {
+    /// Architecture hyperparameters (head kind, widths, seed).
+    pub config: ModelConfig,
+    /// Feature / performance statistics fitted on the training split.
+    pub features: FeatureEncoder,
+    /// Every parameter tensor, keyed by registration name.
+    pub params: Checkpoint,
+}
+
+impl ModelCheckpoint {
+    /// Snapshots a trained model.
+    pub fn from_model(model: &Airchitect2) -> ModelCheckpoint {
+        ModelCheckpoint {
+            config: *model.config(),
+            features: model.feature_encoder().clone(),
+            params: Checkpoint::from_store(model.store()),
+        }
+    }
+
+    /// Writes the checkpoint as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self)?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or parsed.
+    pub fn load(path: impl AsRef<Path>) -> Result<ModelCheckpoint, CheckpointError> {
+        let json = fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainConfig;
+    use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig};
+
+    fn trained_tiny() -> (std::sync::Arc<EvalEngine>, DseDataset, Airchitect2) {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(
+            &task,
+            &GenerateConfig {
+                num_samples: 40,
+                seed: 21,
+                threads: 2,
+                ..GenerateConfig::default()
+            },
+        );
+        let engine = EvalEngine::shared(task);
+        let mut model =
+            Airchitect2::with_engine(&ModelConfig::tiny(), std::sync::Arc::clone(&engine), &ds);
+        model.fit(&ds, &TrainConfig::quick());
+        (engine, ds, model)
+    }
+
+    #[test]
+    fn restored_model_predicts_identically() {
+        let (engine, ds, model) = trained_tiny();
+        let ck = ModelCheckpoint::from_model(&model);
+        let restored = Airchitect2::from_checkpoint(engine, &ck).unwrap();
+        let inputs: Vec<_> = ds.samples.iter().map(|s| s.input()).collect();
+        assert_eq!(model.predict(&inputs), restored.predict(&inputs));
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_everything() {
+        let (engine, ds, model) = trained_tiny();
+        let dir = std::env::temp_dir().join("ai2_core_model_ckpt_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ModelCheckpoint::from_model(&model).save(&path).unwrap();
+        let loaded = ModelCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded.config, *model.config());
+        let restored = Airchitect2::from_checkpoint(engine, &loaded).unwrap();
+        let inputs: Vec<_> = ds.samples.iter().map(|s| s.input()).collect();
+        assert_eq!(model.predict(&inputs), restored.predict(&inputs));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_panic() {
+        let (engine, _, model) = trained_tiny();
+        let mut ck = ModelCheckpoint::from_model(&model);
+        let key = ck.params.params.keys().next().unwrap().clone();
+        ck.params.params.remove(&key);
+        assert!(Airchitect2::from_checkpoint(engine, &ck).is_err());
+    }
+}

@@ -38,11 +38,13 @@ mod config;
 mod features;
 mod model;
 
+pub mod checkpoint;
 pub mod deploy;
 pub mod embedding;
 pub mod predictor;
 pub mod train;
 
+pub use checkpoint::ModelCheckpoint;
 pub use config::{HeadKind, ModelConfig};
 pub use features::{FeatureEncoder, PreparedBatch, PreparedDataset, NUM_FEATURES};
 pub use model::Airchitect2;

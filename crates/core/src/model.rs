@@ -69,9 +69,24 @@ impl Airchitect2 {
         engine: Arc<EvalEngine>,
         train: &DseDataset,
     ) -> Airchitect2 {
+        Self::with_features(cfg, engine, FeatureEncoder::fit(train))
+    }
+
+    /// Builds a model from pre-fitted feature statistics instead of a
+    /// training dataset — the serving-side constructor: a restored
+    /// checkpoint must reuse the statistics fitted on the *original*
+    /// training split, not refit them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn with_features(
+        cfg: &ModelConfig,
+        engine: Arc<EvalEngine>,
+        features: FeatureEncoder,
+    ) -> Airchitect2 {
         cfg.validate();
         let task = engine.task();
-        let features = FeatureEncoder::fit(train);
         let mut store = ParamStore::new(cfg.seed);
         let td = cfg.tokens * cfg.d_model;
 
@@ -357,6 +372,32 @@ impl Airchitect2 {
     /// The evaluation interface over this trained model.
     pub fn predictor(&self) -> Predictor<'_> {
         Predictor::new(self)
+    }
+
+    /// Snapshots the trained model (config + feature statistics +
+    /// parameters) for later [`Airchitect2::from_checkpoint`] restores.
+    pub fn checkpoint(&self) -> crate::checkpoint::ModelCheckpoint {
+        crate::checkpoint::ModelCheckpoint::from_model(self)
+    }
+
+    /// Restores a model from a [`ModelCheckpoint`] — the warm-start path
+    /// of the serving layer. Predictions of the restored model are
+    /// bit-identical to the model that produced the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] if the checkpoint is missing a
+    /// parameter or holds one with the wrong shape.
+    ///
+    /// [`ModelCheckpoint`]: crate::checkpoint::ModelCheckpoint
+    /// [`CheckpointError`]: ai2_nn::checkpoint::CheckpointError
+    pub fn from_checkpoint(
+        engine: Arc<EvalEngine>,
+        ck: &crate::checkpoint::ModelCheckpoint,
+    ) -> Result<Airchitect2, ai2_nn::checkpoint::CheckpointError> {
+        let mut model = Self::with_features(&ck.config, engine, ck.features.clone());
+        ck.params.apply_to(model.store_mut())?;
+        Ok(model)
     }
 
     /// Head kind shortcut (for reporting).

@@ -245,6 +245,13 @@ impl EvalEngine {
         self.feasible_under(p, self.task.budget)
     }
 
+    /// Whether `p` fits an arbitrary area budget — the serving path
+    /// answers queries under per-request budgets without rebuilding the
+    /// engine.
+    pub fn is_feasible_under(&self, p: DesignPoint, budget: Budget) -> bool {
+        self.feasible_under(p, budget)
+    }
+
     fn feasible_under(&self, p: DesignPoint, budget: Budget) -> bool {
         match budget.limit_mm2() {
             None => true,
@@ -440,6 +447,53 @@ impl EvalEngine {
         objective_score(self.task.objective, raw)
     }
 
+    /// Evaluates one design point under an overridden objective and
+    /// budget (`None` on budget violation). The raw-cost cache is
+    /// objective-independent, so answering the same input under latency
+    /// *and* energy costs one cost-model run, not two. Transient: reuses
+    /// cached grids but never materialises one.
+    pub fn score_with(
+        &self,
+        input: &DseInput,
+        p: DesignPoint,
+        objective: Objective,
+        budget: Budget,
+    ) -> Option<f64> {
+        if !self.feasible_under(p, budget) {
+            return None;
+        }
+        Some(self.score_unchecked_with(input, p, objective))
+    }
+
+    /// Budget-ignoring variant of [`EvalEngine::score_with`].
+    pub fn score_unchecked_with(
+        &self,
+        input: &DseInput,
+        p: DesignPoint,
+        objective: Objective,
+    ) -> f64 {
+        let raw = self.raw_cost_transient(input, self.space().flat_index(p));
+        objective_score(objective, raw)
+    }
+
+    /// Scores a batch of `(input, point)` queries in parallel under an
+    /// overridden objective and budget (`None` marks budget violations)
+    /// — the batch entry point of the serving layer, which coalesces
+    /// queued requests sharing an objective/budget into one fan-out over
+    /// the pool. Identical caching behaviour to
+    /// [`EvalEngine::eval_batch`].
+    pub fn score_many_inputs(
+        &self,
+        queries: &[(DseInput, DesignPoint)],
+        objective: Objective,
+        budget: Budget,
+    ) -> Vec<Option<f64>> {
+        self.pool.map(queries.len(), |i| {
+            let (input, p) = &queries[i];
+            self.score_with(input, *p, objective, budget)
+        })
+    }
+
     // ----------------------------------------------------------------
     // grid queries
 
@@ -545,19 +599,37 @@ impl EvalEngine {
     /// [`DseTask::score_unchecked`]; deployment methods filter candidate
     /// points for feasibility before calling this.
     pub fn model_latency(&self, layers: &[Layer], point: DesignPoint) -> f64 {
+        self.model_cost_with(layers, point, self.task.objective)
+    }
+
+    /// [`EvalEngine::model_latency`] for many candidate points at once,
+    /// fanned out over the pool.
+    pub fn model_latency_batch(&self, layers: &[Layer], points: &[DesignPoint]) -> Vec<f64> {
+        self.model_cost_batch_with(layers, points, self.task.objective)
+    }
+
+    /// Model-level cost under an overridden objective: the same
+    /// per-layer best-dataflow fold as [`EvalEngine::model_latency`]
+    /// (which it is bit-identical to when `objective` equals the task's),
+    /// but scoring each layer under `objective` — so a serving query can
+    /// ask for an energy- or EDP-optimal whole-model deployment without
+    /// rebuilding the engine. Layer grids are materialised (point-query
+    /// path): deployment sweeps revisit the same few layer inputs for
+    /// every candidate point, which is exactly what a retained grid pays
+    /// for.
+    pub fn model_cost_with(&self, layers: &[Layer], point: DesignPoint, o: Objective) -> f64 {
+        let flat = self.space().flat_index(point);
         layers
             .iter()
             .map(|layer| {
                 let best_df = ai2_maestro::Dataflow::ALL
                     .iter()
                     .map(|&df| {
-                        self.score_unchecked(
-                            &DseInput {
-                                gemm: layer.gemm,
-                                dataflow: df,
-                            },
-                            point,
-                        )
+                        let input = DseInput {
+                            gemm: layer.gemm,
+                            dataflow: df,
+                        };
+                        objective_score(o, self.raw_cost(&input, flat))
                     })
                     .fold(f64::INFINITY, f64::min);
                 best_df * layer.count as f64
@@ -565,11 +637,16 @@ impl EvalEngine {
             .sum()
     }
 
-    /// [`EvalEngine::model_latency`] for many candidate points at once,
-    /// fanned out over the pool.
-    pub fn model_latency_batch(&self, layers: &[Layer], points: &[DesignPoint]) -> Vec<f64> {
+    /// [`EvalEngine::model_cost_with`] for many candidate points at
+    /// once, fanned out over the pool.
+    pub fn model_cost_batch_with(
+        &self,
+        layers: &[Layer],
+        points: &[DesignPoint],
+        o: Objective,
+    ) -> Vec<f64> {
         self.pool
-            .map(points.len(), |i| self.model_latency(layers, points[i]))
+            .map(points.len(), |i| self.model_cost_with(layers, points[i], o))
     }
 }
 
@@ -705,6 +782,76 @@ mod tests {
         let inp = input(16, 64, 32, Dataflow::WeightStationary);
         assert_eq!(engine.oracle(&inp), task.oracle(&inp));
         assert_eq!(engine.stats().grid_entries, 0);
+    }
+
+    #[test]
+    fn score_with_overrides_match_a_rebuilt_task() {
+        // score_with(objective, budget) must agree bit-for-bit with an
+        // engine/task built natively for that objective and budget
+        let engine = EvalEngine::table_i_default();
+        let mut alt = DseTask::table_i_default();
+        alt.objective = Objective::Energy;
+        alt.budget = Budget::Cloud;
+        let inp = input(96, 410, 170, Dataflow::RowStationary);
+        for p in engine.space().iter_points().step_by(31) {
+            let via_override = engine.score_with(&inp, p, Objective::Energy, Budget::Cloud);
+            let direct = alt.score(&inp, p);
+            match (via_override, direct) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                other => panic!("feasibility disagreement at {p:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn score_many_inputs_matches_scalar_score_with() {
+        let engine = EvalEngine::table_i_default();
+        let queries: Vec<(DseInput, DesignPoint)> = (1..20u64)
+            .map(|i| {
+                (
+                    input(i * 7, i * 31, i * 13, Dataflow::from_index(i as usize % 3)),
+                    DesignPoint {
+                        pe_idx: (i as usize * 5) % 64,
+                        buf_idx: (i as usize * 3) % 12,
+                    },
+                )
+            })
+            .collect();
+        for (objective, budget) in [
+            (Objective::Latency, Budget::Edge),
+            (Objective::Edp, Budget::Unbounded),
+        ] {
+            let batch = engine.score_many_inputs(&queries, objective, budget);
+            for ((inp, p), s) in queries.iter().zip(&batch) {
+                assert_eq!(*s, engine.score_with(inp, *p, objective, budget));
+            }
+        }
+        // like eval_batch, the batch path must not pin grid capacity
+        assert_eq!(engine.stats().grid_entries, 0);
+    }
+
+    #[test]
+    fn model_cost_with_task_objective_is_model_latency() {
+        let engine = EvalEngine::table_i_default();
+        let layers = vec![
+            Layer::new("a", GemmWorkload::new(64, 256, 128)),
+            Layer::repeated("b", GemmWorkload::new(8, 1024, 512), 3),
+        ];
+        let points: Vec<DesignPoint> = (0..6)
+            .map(|i| DesignPoint {
+                pe_idx: i * 9,
+                buf_idx: i,
+            })
+            .collect();
+        let lat = engine.model_latency_batch(&layers, &points);
+        let gen = engine.model_cost_batch_with(&layers, &points, Objective::Latency);
+        for (a, b) in lat.iter().zip(&gen) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // a different objective must actually change the ranking input
+        let energy = engine.model_cost_batch_with(&layers, &points, Objective::Energy);
+        assert!(lat.iter().zip(&energy).any(|(a, b)| a != b));
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! The standalone recommendation server.
+//!
+//! Trains a model (or loads a checkpoint), starts the sharded service,
+//! binds the NDJSON TCP endpoint and prints one machine-readable line
+//!
+//! ```text
+//! SERVE_ADDR=127.0.0.1:PORT
+//! ```
+//!
+//! to stdout so scripts (the CI smoke test, the load generator) can
+//! discover the ephemeral port. Runs until killed.
+//!
+//! ```text
+//! serve [--port N]            listen port (default 0 = ephemeral)
+//!       [--shards N]          worker shards (default 2)
+//!       [--max-batch N]       micro-batch bound (default 32)
+//!       [--cache N]           LRU response-cache entries (default 1024)
+//!       [--samples N]         training-set size when training (default 2000)
+//!       [--seed N]            dataset seed (default 0xA12C)
+//!       [--quick]             smoke-test sizes (300 samples)
+//!       [--checkpoint PATH]   serve this checkpoint instead of training
+//!       [--save-checkpoint P] write the trained checkpoint to P
+//! ```
+
+use std::sync::Arc;
+
+use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig};
+use ai2_serve::{RecommendService, ServeConfig};
+use airchitect::train::TrainConfig;
+use airchitect::{Airchitect2, ModelCheckpoint, ModelConfig};
+
+struct Args {
+    port: u16,
+    cfg: ServeConfig,
+    samples: usize,
+    seed: u64,
+    checkpoint: Option<String>,
+    save_checkpoint: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 0,
+        cfg: ServeConfig::default(),
+        samples: 2000,
+        seed: 0xA12C,
+        checkpoint: None,
+        save_checkpoint: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| panic!("{} takes a value", argv[*i - 1]))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--port" => args.port = value(&mut i).parse().expect("--port takes a port number"),
+            "--shards" => args.cfg.shards = value(&mut i).parse().expect("--shards takes a count"),
+            "--max-batch" => {
+                args.cfg.max_batch = value(&mut i).parse().expect("--max-batch takes a count");
+            }
+            "--cache" => {
+                args.cfg.cache_capacity = value(&mut i).parse().expect("--cache takes a count");
+            }
+            "--samples" => args.samples = value(&mut i).parse().expect("--samples takes a count"),
+            "--seed" => args.seed = value(&mut i).parse().expect("--seed takes a number"),
+            "--quick" => args.samples = 300,
+            "--checkpoint" => args.checkpoint = Some(value(&mut i)),
+            "--save-checkpoint" => args.save_checkpoint = Some(value(&mut i)),
+            other => panic!("unknown argument {other:?} (see src/bin/serve.rs for usage)"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let engine = EvalEngine::shared(DseTask::table_i_default());
+
+    let ckpt = match &args.checkpoint {
+        Some(path) => {
+            eprintln!("[serve] loading checkpoint {path}");
+            ModelCheckpoint::load(path).expect("load checkpoint")
+        }
+        None => {
+            eprintln!(
+                "[serve] generating {} oracle-labeled samples (seed {:#x})…",
+                args.samples, args.seed
+            );
+            let ds = DseDataset::generate_with(
+                &engine,
+                &GenerateConfig {
+                    num_samples: args.samples,
+                    seed: args.seed,
+                    threads: 0,
+                    ..GenerateConfig::default()
+                },
+            );
+            eprintln!("[serve] training the predictor (quick schedule)…");
+            let mut model =
+                Airchitect2::with_engine(&ModelConfig::default(), Arc::clone(&engine), &ds);
+            model.fit(&ds, &TrainConfig::quick());
+            model.checkpoint()
+        }
+    };
+    if let Some(path) = &args.save_checkpoint {
+        ckpt.save(path).expect("save checkpoint");
+        eprintln!("[serve] wrote checkpoint {path}");
+    }
+
+    let mut service = RecommendService::start(args.cfg.clone(), engine, ckpt);
+    let addr = service
+        .listen(("127.0.0.1", args.port))
+        .expect("bind listen port");
+    eprintln!(
+        "[serve] {} shards, max batch {}, cache {} entries",
+        args.cfg.shards, args.cfg.max_batch, args.cfg.cache_capacity
+    );
+    // machine-readable discovery line; scripts poll stdout for it
+    println!("SERVE_ADDR={addr}");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

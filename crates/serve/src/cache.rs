@@ -1,0 +1,110 @@
+//! A small LRU map for canonical-query → recommendation caching.
+//!
+//! Kept deliberately simple and std-only: a `HashMap` for O(1) lookup
+//! plus a `BTreeMap` recency index keyed by a monotonically increasing
+//! logical clock, so eviction removes the least-recently-used entry in
+//! O(log n) without unsafe linked-list plumbing.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A fixed-capacity least-recently-used map. Capacity `0` disables
+/// caching (every lookup misses, every insert is dropped).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+    clock: u64,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks `key` up and, on a hit, marks it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (value, stamp) = self.map.get_mut(key)?;
+        self.recency.remove(&*stamp);
+        *stamp = clock;
+        let value = value.clone();
+        self.recency.insert(clock, key.clone());
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if let Some((_, old_stamp)) = self.map.get(&key) {
+            self.recency.remove(old_stamp);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.recency.iter().next() {
+                let victim = self.recency.remove(&oldest).expect("stamp just seen");
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key.clone(), (value, self.clock));
+        self.recency.insert(self.clock, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some("a")); // 1 is now fresher than 2
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some("a"));
+        assert_eq!(c.get(&3), Some("c"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh, not a third entry
+        assert_eq!(c.len(), 2);
+        c.insert(3, 30); // evicts 2 (1 was refreshed)
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! `ai2_serve` — a batched, sharded recommendation service over the
+//! [`EvalEngine`](ai2_dse::EvalEngine) and the trained AIrchitect v2
+//! predictor.
+//!
+//! The paper's pitch is that a trained predictor answers design-space
+//! queries orders of magnitude faster than search; this crate puts a
+//! service in front of that claim. Clients ask *"what hardware should
+//! run this GEMM (or this whole model) under this objective and area
+//! budget?"* over a newline-delimited-JSON protocol, and get back a
+//! design point with its engine-verified cost.
+//!
+//! * [`protocol`] — the wire types ([`Request`], [`Response`],
+//!   [`Recommendation`], [`ServeStats`]) and the canonical [`QueryKey`].
+//! * [`recommend`] — the pure batched kernel: one coalesced forward
+//!   pass per micro-batch, grouped engine verification, Method-1-style
+//!   whole-model deployment folds.
+//! * [`server`] — the runtime: admission queue, micro-batching worker
+//!   shards (each a warm model replica restored from one
+//!   [`ModelCheckpoint`](airchitect::ModelCheckpoint)), an LRU response
+//!   cache keyed by canonical query, per-request deadlines, a TCP
+//!   listener plus in-process [`Client`], and a `stats` endpoint with
+//!   throughput and p50/p95/p99 latency.
+//!
+//! # Quickstart (in-process)
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ai2_dse::{Budget, DseDataset, DseTask, EvalEngine, GenerateConfig, Objective};
+//! use ai2_serve::{Query, RecommendRequest, RecommendService, ServeConfig};
+//! use airchitect::{train::TrainConfig, Airchitect2, ModelConfig};
+//!
+//! // train (or load) a model, snapshot it, start the service
+//! let task = DseTask::table_i_default();
+//! let ds = DseDataset::generate(&task, &GenerateConfig::default());
+//! let engine = EvalEngine::shared(task);
+//! let mut model = Airchitect2::with_engine(&ModelConfig::default(), Arc::clone(&engine), &ds);
+//! model.fit(&ds, &TrainConfig::quick());
+//! let mut service = RecommendService::start(ServeConfig::default(), engine, model.checkpoint());
+//!
+//! let addr = service.listen("127.0.0.1:0").unwrap(); // TCP front end
+//! let resp = service.client().recommend(RecommendRequest {
+//!     id: 1,
+//!     query: Query::Gemm { m: 64, n: 512, k: 256, dataflow: "ws".into() },
+//!     objective: Objective::Latency,
+//!     budget: Budget::Edge,
+//!     deadline_ms: Some(50),
+//! });
+//! println!("{resp:?} (also serving on {addr})");
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod recommend;
+pub mod server;
+
+pub use protocol::{
+    Query, QueryKey, RecommendRequest, Recommendation, Request, Response, ServeStats,
+};
+pub use recommend::recommend_batch;
+pub use server::{Client, Pending, RecommendService, ServeConfig, TcpClient};

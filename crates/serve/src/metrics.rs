@@ -1,0 +1,163 @@
+//! Service observability: lock-light counters plus a bounded latency
+//! reservoir feeding the `stats` endpoint's percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ai2_tensor::stats::percentile_sorted;
+
+/// How many recent request latencies the percentile window keeps. A ring
+/// buffer: once full, new samples overwrite the oldest, so p50/p95/p99
+/// always describe recent traffic instead of the whole uptime.
+const LATENCY_WINDOW: usize = 1 << 16;
+
+/// Counters and the latency window of one service instance.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started: Instant,
+    served: AtomicU64,
+    cache_hits: AtomicU64,
+    deadline_expired: AtomicU64,
+    errors: AtomicU64,
+    window: Mutex<LatencyWindow>,
+}
+
+#[derive(Debug)]
+struct LatencyWindow {
+    samples_us: Vec<f64>,
+    next: usize,
+}
+
+/// A point-in-time metrics snapshot (pre-percentile aggregation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Recommendations answered, including cache hits.
+    pub served: u64,
+    /// Answers straight from the response cache.
+    pub cache_hits: u64,
+    /// Requests dropped because their deadline had expired.
+    pub deadline_expired: u64,
+    /// Error responses issued.
+    pub errors: u64,
+    /// Milliseconds since service start.
+    pub uptime_ms: u64,
+    /// Served requests per second over the uptime.
+    pub throughput_rps: f64,
+    /// Median latency over the recent window (µs).
+    pub p50_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics, clock started now.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            started: Instant::now(),
+            served: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            window: Mutex::new(LatencyWindow {
+                samples_us: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one served recommendation and its admission→response
+    /// latency.
+    pub fn record_served(&self, latency_us: f64, from_cache: bool) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        if from_cache {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut w = self.window.lock().expect("latency window poisoned");
+        if w.samples_us.len() < LATENCY_WINDOW {
+            w.samples_us.push(latency_us);
+        } else {
+            let next = w.next;
+            w.samples_us[next] = latency_us;
+            w.next = (next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Records a request dropped for an expired deadline.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an error response (bad query, unknown model …).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregates counters and window percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut samples = {
+            let w = self.window.lock().expect("latency window poisoned");
+            w.samples_us.clone()
+        };
+        // one sort serves all three quantiles
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let served = self.served.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        let secs = uptime.as_secs_f64();
+        MetricsSnapshot {
+            served,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            uptime_ms: uptime.as_millis() as u64,
+            throughput_rps: if secs > 0.0 {
+                served as f64 / secs
+            } else {
+                0.0
+            },
+            p50_us: percentile_sorted(&samples, 50.0),
+            p95_us: percentile_sorted(&samples, 95.0),
+            p99_us: percentile_sorted(&samples, 99.0),
+        }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_percentiles_aggregate() {
+        let m = ServiceMetrics::new();
+        for i in 1..=100 {
+            m.record_served(i as f64, i % 4 == 0);
+        }
+        m.record_deadline_expired();
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.served, 100);
+        assert_eq!(s.cache_hits, 25);
+        assert_eq!(s.deadline_expired, 1);
+        assert_eq!(s.errors, 2);
+        // samples 1..=100 → p50 interpolates to 50.5
+        assert!((s.p50_us - 50.5).abs() < 1e-9, "p50 {}", s.p50_us);
+        assert!(s.p95_us > s.p50_us && s.p99_us >= s.p95_us);
+        assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn empty_window_reports_nan_percentiles_not_panics() {
+        let s = ServiceMetrics::new().snapshot();
+        assert_eq!(s.served, 0);
+        assert!(s.p50_us.is_nan());
+    }
+}

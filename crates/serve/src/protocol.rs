@@ -1,0 +1,348 @@
+//! The newline-delimited-JSON wire protocol of the recommendation
+//! service.
+//!
+//! Every request and response is one JSON document on one line
+//! (externally-tagged enums, the vendored serde encoding). All fields are
+//! required; optional semantics use explicit `null` (the stub codec has
+//! no `#[serde(default)]`).
+//!
+//! Requests are *canonicalised* into a [`QueryKey`] — the response-cache
+//! key and the identity under which two textually different requests
+//! (case-folded model names, identical GEMM dims) are recognised as the
+//! same question.
+
+use std::str::FromStr;
+
+use ai2_dse::{Budget, DesignPoint, Objective};
+use ai2_maestro::Dataflow;
+use ai2_workloads::generator::DseInput;
+use serde::{Deserialize, Serialize};
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// A design-space recommendation query.
+    Recommend(RecommendRequest),
+    /// Service counters and latency percentiles.
+    Stats {
+        /// Echoed in the response.
+        id: u64,
+    },
+}
+
+/// A recommendation query: *what hardware should run this workload?*
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// The workload to recommend hardware for.
+    pub query: Query,
+    /// Optimization metric.
+    pub objective: Objective,
+    /// Area budget the recommendation is checked against.
+    pub budget: Budget,
+    /// Per-request deadline in milliseconds from admission; an expired
+    /// request answers with an error instead of occupying a shard.
+    pub deadline_ms: Option<u64>,
+}
+
+/// The workload of a [`RecommendRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// A single GEMM layer — the paper's per-layer DSE input.
+    Gemm {
+        /// Rows of `A`/`C`.
+        m: u64,
+        /// Columns of `B`/`C`.
+        n: u64,
+        /// Contraction dimension.
+        k: u64,
+        /// Mapping dataflow, as `"ws"` / `"os"` / `"rs"` (or the long
+        /// names [`Dataflow`] parses).
+        dataflow: String,
+    },
+    /// A whole zoo model by name (`"resnet50"`, `"llama2_7b"` …):
+    /// per-layer recommendations folded into one deployment
+    /// configuration, Method-1 style.
+    Model {
+        /// Zoo model name, matched case-insensitively.
+        name: String,
+    },
+}
+
+impl Query {
+    /// The GEMM query as a [`DseInput`], if it is one and is valid:
+    /// all dimensions ≥ 1 (a zero dimension would assert inside
+    /// `GemmWorkload::new` — wire input must never reach a panic) and a
+    /// parsable dataflow.
+    pub fn as_dse_input(&self) -> Option<DseInput> {
+        match self {
+            Query::Gemm { m, n, k, dataflow } => {
+                if *m == 0 || *n == 0 || *k == 0 {
+                    return None;
+                }
+                Some(DseInput {
+                    gemm: ai2_maestro::GemmWorkload::new(*m, *n, *k),
+                    dataflow: Dataflow::from_str(dataflow).ok()?,
+                })
+            }
+            Query::Model { .. } => None,
+        }
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A served recommendation.
+    Recommendation(Recommendation),
+    /// The stats snapshot.
+    Stats(ServeStats),
+    /// The request could not be served (unknown model, bad dataflow,
+    /// expired deadline, malformed line — the message says which).
+    Error {
+        /// Echo of the request id (`0` when the line never parsed).
+        id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// A served hardware recommendation with its engine-verified cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Recommended design point (indices into the Table I grid).
+    pub point: DesignPoint,
+    /// Concrete hardware: number of processing elements.
+    pub num_pes: u32,
+    /// Concrete hardware: shared L2 scratchpad bytes.
+    pub l2_bytes: u64,
+    /// Cost of the recommendation under the requested objective,
+    /// verified through the [`ai2_dse::EvalEngine`] (cycles, pJ, or
+    /// cycles·pJ). For model queries: the whole-model cost with each
+    /// layer on its best dataflow.
+    pub cost: f64,
+    /// Whether the recommendation fits the requested area budget.
+    pub feasible: bool,
+    /// Layer entries folded into the answer (1 for GEMM queries).
+    pub layers: usize,
+}
+
+/// Service counters and latency percentiles (the `stats` endpoint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Recommendations answered, including cache hits.
+    pub served: u64,
+    /// Answers straight from the response cache.
+    pub cache_hits: u64,
+    /// Requests dropped at dequeue because their deadline had expired.
+    pub deadline_expired: u64,
+    /// Error responses issued.
+    pub errors: u64,
+    /// Worker shards.
+    pub shards: usize,
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+    /// Served requests per second over the uptime.
+    pub throughput_rps: f64,
+    /// Median request latency (admission → response), microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Raw-cost evaluations answered from the engine's grid cache.
+    pub engine_point_hits: u64,
+    /// Raw-cost evaluations that ran the cost model.
+    pub engine_point_misses: u64,
+}
+
+/// The canonical identity of a recommendation query — the response-cache
+/// key. Objective and budget are part of the identity; the request id and
+/// deadline are not.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    kind: KeyKind,
+    objective: u8,
+    /// `f64::to_bits` of the area limit; `u64::MAX` for unbounded.
+    budget_bits: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyKind {
+    Gemm(u64, u64, u64, u8),
+    Model(String),
+}
+
+impl QueryKey {
+    /// Canonicalises a request. `None` when the query can never be
+    /// served (zero GEMM dimension, unparsable dataflow) — those get
+    /// error responses, not cache slots.
+    pub fn of(req: &RecommendRequest) -> Option<QueryKey> {
+        let kind = match &req.query {
+            Query::Gemm { m, n, k, dataflow } => {
+                req.query.as_dse_input()?;
+                let df = Dataflow::from_str(dataflow).ok()?;
+                KeyKind::Gemm(*m, *n, *k, df.index() as u8)
+            }
+            Query::Model { name } => KeyKind::Model(name.to_ascii_lowercase()),
+        };
+        Some(QueryKey {
+            kind,
+            objective: match req.objective {
+                Objective::Latency => 0,
+                Objective::Energy => 1,
+                Objective::Edp => 2,
+            },
+            budget_bits: match req.budget.limit_mm2() {
+                Some(limit) => limit.to_bits(),
+                None => u64::MAX,
+            },
+        })
+    }
+}
+
+/// Renders one protocol value as its wire line (no trailing newline).
+pub fn encode_line<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("protocol types always serialize")
+}
+
+/// Parses one wire line.
+///
+/// # Errors
+///
+/// Returns the codec error on malformed input.
+pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, serde_json::Error> {
+    serde_json::from_str(line.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_req(id: u64) -> RecommendRequest {
+        RecommendRequest {
+            id,
+            query: Query::Gemm {
+                m: 64,
+                n: 512,
+                k: 256,
+                dataflow: "ws".into(),
+            },
+            objective: Objective::Latency,
+            budget: Budget::Edge,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_the_wire() {
+        let reqs = [
+            Request::Recommend(gemm_req(7)),
+            Request::Recommend(RecommendRequest {
+                id: 8,
+                query: Query::Model {
+                    name: "llama2_7b \"edge\"".into(),
+                },
+                objective: Objective::Edp,
+                budget: Budget::Custom(0.31),
+                deadline_ms: Some(250),
+            }),
+            Request::Stats { id: 9 },
+        ];
+        for req in &reqs {
+            let line = encode_line(req);
+            assert!(!line.contains('\n'), "wire lines must be single lines");
+            let back: Request = decode_line(&line).unwrap();
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_the_wire() {
+        let resp = Response::Recommendation(Recommendation {
+            id: 3,
+            point: DesignPoint {
+                pe_idx: 12,
+                buf_idx: 4,
+            },
+            num_pes: 104,
+            l2_bytes: 1 << 20,
+            cost: 123456.75,
+            feasible: true,
+            layers: 1,
+        });
+        let back: Response = decode_line(&encode_line(&resp)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn query_key_canonicalises_equivalent_requests() {
+        let a = QueryKey::of(&gemm_req(1)).unwrap();
+        let b = QueryKey::of(&gemm_req(999)).unwrap(); // id differs
+        assert_eq!(a, b);
+        let mut long_name = gemm_req(1);
+        long_name.query = Query::Gemm {
+            m: 64,
+            n: 512,
+            k: 256,
+            dataflow: "weight-stationary".into(),
+        };
+        assert_eq!(QueryKey::of(&long_name).unwrap(), a);
+        // objective is part of the identity
+        let mut energy = gemm_req(1);
+        energy.objective = Objective::Energy;
+        assert_ne!(QueryKey::of(&energy).unwrap(), a);
+        // model names fold case
+        let upper = RecommendRequest {
+            id: 1,
+            query: Query::Model {
+                name: "ResNet50".into(),
+            },
+            objective: Objective::Latency,
+            budget: Budget::Edge,
+            deadline_ms: None,
+        };
+        let lower = RecommendRequest {
+            query: Query::Model {
+                name: "resnet50".into(),
+            },
+            ..upper.clone()
+        };
+        assert_eq!(QueryKey::of(&upper), QueryKey::of(&lower));
+    }
+
+    #[test]
+    fn bad_dataflow_has_no_key() {
+        let mut req = gemm_req(1);
+        req.query = Query::Gemm {
+            m: 1,
+            n: 1,
+            k: 1,
+            dataflow: "zigzag".into(),
+        };
+        assert!(QueryKey::of(&req).is_none());
+        assert!(req.query.as_dse_input().is_none());
+    }
+
+    #[test]
+    fn zero_dimension_gemm_is_invalid_not_a_panic() {
+        // wire input: a zero dimension must be rejected here, never
+        // reach GemmWorkload::new's assert inside a shard
+        for (m, n, k) in [(0, 1, 1), (1, 0, 1), (1, 1, 0)] {
+            let mut req = gemm_req(1);
+            req.query = Query::Gemm {
+                m,
+                n,
+                k,
+                dataflow: "ws".into(),
+            };
+            assert!(req.query.as_dse_input().is_none(), "({m},{n},{k})");
+            assert!(QueryKey::of(&req).is_none(), "({m},{n},{k})");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The pure recommendation kernel: a batch of parsed requests against
+//! one warm [`Airchitect2`] and one [`EvalEngine`], no queues or sockets.
+//!
+//! This is the function the worker shards call on every micro-batch, and
+//! the function tests call directly to establish the ground truth the
+//! served path must match bit-for-bit. Per-row model inference is
+//! batch-invariant (each row's forward pass touches only its own
+//! activations), so coalescing requests into one `predict` call returns
+//! exactly what per-request calls would.
+
+use std::collections::HashSet;
+
+use ai2_dse::{DesignPoint, EvalEngine, Objective};
+use ai2_maestro::Dataflow;
+use ai2_workloads::generator::DseInput;
+use ai2_workloads::zoo;
+use airchitect::Airchitect2;
+
+use crate::protocol::{Query, RecommendRequest, Recommendation, Response};
+
+/// Answers a batch of recommendation requests: one coalesced
+/// `Predictor` forward pass for all GEMM queries, grouped
+/// [`EvalEngine::score_many_inputs`] verification per objective, and a
+/// Method-1-style deployment fold per model query. Responses come back
+/// in request order.
+pub fn recommend_batch(
+    model: &Airchitect2,
+    engine: &EvalEngine,
+    reqs: &[RecommendRequest],
+) -> Vec<Response> {
+    let mut out: Vec<Option<Response>> = vec![None; reqs.len()];
+
+    // -- partition ----------------------------------------------------
+    let mut gemm: Vec<(usize, DseInput)> = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        match &req.query {
+            Query::Gemm { dataflow, .. } => match req.query.as_dse_input() {
+                Some(input) => gemm.push((i, input)),
+                None => {
+                    out[i] = Some(Response::Error {
+                        id: req.id,
+                        message: format!(
+                            "invalid GEMM query (dimensions must be ≥ 1; dataflow {dataflow:?} \
+                             must be ws, os or rs)"
+                        ),
+                    });
+                }
+            },
+            Query::Model { name } => match zoo::model_by_name(name) {
+                Some(workload) => {
+                    let (point, cost, feasible, layers) =
+                        recommend_model(model, engine, &workload, req.objective, req.budget);
+                    out[i] = Some(recommendation(engine, req, point, cost, feasible, layers));
+                }
+                None => {
+                    out[i] = Some(Response::Error {
+                        id: req.id,
+                        message: format!("unknown model {name:?}"),
+                    });
+                }
+            },
+        }
+    }
+
+    // -- one forward pass for every GEMM query ------------------------
+    let inputs: Vec<DseInput> = gemm.iter().map(|&(_, input)| input).collect();
+    let points = model.predict(&inputs);
+
+    // -- engine verification, grouped by objective --------------------
+    for objective in [Objective::Latency, Objective::Energy, Objective::Edp] {
+        let group: Vec<usize> = (0..gemm.len())
+            .filter(|&g| reqs[gemm[g].0].objective == objective)
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let queries: Vec<(DseInput, DesignPoint)> =
+            group.iter().map(|&g| (gemm[g].1, points[g])).collect();
+        // unbounded: infeasible recommendations still get their true
+        // cost reported, with `feasible: false`
+        let costs = engine.score_many_inputs(&queries, objective, ai2_dse::Budget::Unbounded);
+        for (&g, cost) in group.iter().zip(&costs) {
+            let (i, _) = gemm[g];
+            let req = &reqs[i];
+            let point = points[g];
+            let feasible = engine.is_feasible_under(point, req.budget);
+            let cost = cost.expect("unbounded scoring always answers");
+            out[i] = Some(recommendation(engine, req, point, cost, feasible, 1));
+        }
+    }
+
+    out.into_iter()
+        .map(|r| r.expect("every request answered"))
+        .collect()
+}
+
+/// Whole-model recommendation: predict a design point for every
+/// `(layer, dataflow)` input in one forward pass, deduplicate the
+/// candidates, and adopt the one minimising the engine-verified
+/// whole-model cost under the requested objective (the paper's
+/// deployment Method 1, generalised to arbitrary objectives and
+/// budgets).
+fn recommend_model(
+    model: &Airchitect2,
+    engine: &EvalEngine,
+    workload: &ai2_workloads::ModelWorkload,
+    objective: Objective,
+    budget: ai2_dse::Budget,
+) -> (DesignPoint, f64, bool, usize) {
+    let layers = workload.to_dse_layers();
+    let mut inputs = Vec::with_capacity(layers.len() * Dataflow::ALL.len());
+    for layer in &layers {
+        for df in Dataflow::ALL {
+            inputs.push(DseInput {
+                gemm: layer.gemm,
+                dataflow: df,
+            });
+        }
+    }
+    let preds = model.predict(&inputs);
+    let mut seen: HashSet<DesignPoint> = HashSet::new();
+    let mut cands: Vec<DesignPoint> = Vec::new();
+    for p in preds {
+        if engine.is_feasible_under(p, budget) && seen.insert(p) {
+            cands.push(p);
+        }
+    }
+    if cands.is_empty() {
+        // every per-layer recommendation violated the budget: fall back
+        // to the smallest configuration
+        cands.push(DesignPoint {
+            pe_idx: 0,
+            buf_idx: 0,
+        });
+    }
+    let costs = engine.model_cost_batch_with(&layers, &cands, objective);
+    let mut best = 0usize;
+    for (i, cost) in costs.iter().enumerate() {
+        if *cost < costs[best] {
+            best = i;
+        }
+    }
+    (
+        cands[best],
+        costs[best],
+        engine.is_feasible_under(cands[best], budget),
+        layers.len(),
+    )
+}
+
+fn recommendation(
+    engine: &EvalEngine,
+    req: &RecommendRequest,
+    point: DesignPoint,
+    cost: f64,
+    feasible: bool,
+    layers: usize,
+) -> Response {
+    let hw = engine.space().config(point);
+    Response::Recommendation(Recommendation {
+        id: req.id,
+        point,
+        num_pes: hw.num_pes,
+        l2_bytes: hw.l2_bytes,
+        cost,
+        feasible,
+        layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Query, RecommendRequest};
+    use ai2_dse::{Budget, DseDataset, DseTask, GenerateConfig};
+    use airchitect::train::TrainConfig;
+    use airchitect::ModelConfig;
+    use std::sync::Arc;
+
+    fn trained() -> (Arc<EvalEngine>, Airchitect2) {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(
+            &task,
+            &GenerateConfig {
+                num_samples: 50,
+                seed: 11,
+                threads: 2,
+                ..GenerateConfig::default()
+            },
+        );
+        let engine = EvalEngine::shared(task);
+        let mut model = Airchitect2::with_engine(&ModelConfig::tiny(), Arc::clone(&engine), &ds);
+        model.fit(&ds, &TrainConfig::quick());
+        (engine, model)
+    }
+
+    fn gemm(id: u64, m: u64, objective: Objective) -> RecommendRequest {
+        RecommendRequest {
+            id,
+            query: Query::Gemm {
+                m,
+                n: 256,
+                k: 128,
+                dataflow: "os".into(),
+            },
+            objective,
+            budget: Budget::Edge,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn batched_answers_match_singleton_answers() {
+        let (engine, model) = trained();
+        let reqs: Vec<RecommendRequest> = (0..8)
+            .map(|i| {
+                gemm(
+                    i,
+                    16 + i * 13,
+                    [Objective::Latency, Objective::Energy, Objective::Edp][i as usize % 3],
+                )
+            })
+            .collect();
+        let batched = recommend_batch(&model, &engine, &reqs);
+        for (req, expect) in reqs.iter().zip(&batched) {
+            let single = recommend_batch(&model, &engine, std::slice::from_ref(req));
+            assert_eq!(&single[0], expect, "batching changed the answer");
+        }
+    }
+
+    #[test]
+    fn gemm_cost_is_engine_verified() {
+        let (engine, model) = trained();
+        let req = gemm(5, 64, Objective::Latency);
+        let resp = recommend_batch(&model, &engine, std::slice::from_ref(&req));
+        let Response::Recommendation(rec) = &resp[0] else {
+            panic!("expected recommendation, got {resp:?}");
+        };
+        assert_eq!(rec.id, 5);
+        assert_eq!(rec.layers, 1);
+        let input = req.query.as_dse_input().unwrap();
+        let direct = engine.score_unchecked_with(&input, rec.point, Objective::Latency);
+        assert_eq!(rec.cost.to_bits(), direct.to_bits());
+        assert_eq!(rec.feasible, engine.is_feasible(rec.point));
+    }
+
+    #[test]
+    fn model_query_returns_feasible_deployment() {
+        let (engine, model) = trained();
+        let req = RecommendRequest {
+            id: 9,
+            query: Query::Model {
+                name: "resnet18".into(),
+            },
+            objective: Objective::Latency,
+            budget: Budget::Edge,
+            deadline_ms: None,
+        };
+        let resp = recommend_batch(&model, &engine, &[req]);
+        let Response::Recommendation(rec) = &resp[0] else {
+            panic!("expected recommendation, got {resp:?}");
+        };
+        assert!(rec.feasible);
+        assert!(rec.cost > 0.0);
+        assert_eq!(rec.layers, zoo::resnet18().to_dse_layers().len());
+    }
+
+    #[test]
+    fn unknown_model_and_bad_dataflow_are_errors() {
+        let (engine, model) = trained();
+        let bad_model = RecommendRequest {
+            id: 1,
+            query: Query::Model {
+                name: "skynet".into(),
+            },
+            objective: Objective::Latency,
+            budget: Budget::Edge,
+            deadline_ms: None,
+        };
+        let mut bad_df = gemm(2, 10, Objective::Latency);
+        bad_df.query = Query::Gemm {
+            m: 1,
+            n: 1,
+            k: 1,
+            dataflow: "zigzag".into(),
+        };
+        let resp = recommend_batch(&model, &engine, &[bad_model, bad_df]);
+        assert!(matches!(&resp[0], Response::Error { id: 1, .. }));
+        assert!(matches!(&resp[1], Response::Error { id: 2, .. }));
+    }
+}

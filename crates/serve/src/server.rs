@@ -1,0 +1,695 @@
+//! The concurrent service: an admission queue with micro-batching, N
+//! worker shards answering from warm [`Airchitect2`] replicas over one
+//! shared [`EvalEngine`], an LRU response cache, per-request deadlines,
+//! and a newline-delimited-JSON TCP front end.
+//!
+//! # Anatomy of a request
+//!
+//! 1. **Admission** — [`Client::recommend`] (in-process) or a TCP
+//!    connection line pushes a [`Job`] onto the shared queue and wakes a
+//!    shard.
+//! 2. **Micro-batching** — the woken shard drains up to
+//!    [`ServeConfig::max_batch`] queued jobs in one go. Deadline-expired
+//!    jobs are answered with an error immediately; cached canonical
+//!    queries are answered from the LRU; the rest are coalesced into
+//!    **one** [`recommend_batch`] call — a single `Predictor` forward
+//!    pass for every GEMM query in the batch, regardless of how many
+//!    clients they came from.
+//! 3. **Verification** — costs come from the shared engine
+//!    ([`EvalEngine::score_many_inputs`] /
+//!    [`EvalEngine::model_cost_batch_with`]), so every shard's answers
+//!    land in (and reuse) the same raw-cost cache.
+//! 4. **Response** — each job's `mpsc` slot receives its [`Response`];
+//!    the metrics window records the admission→response latency that the
+//!    `stats` endpoint aggregates into p50/p95/p99.
+//!
+//! Shards hold *replicas* of the model (rebuilt from the same
+//! [`ModelCheckpoint`], hence bit-identical) because the autograd store
+//! is not `Sync`; they share one engine because the raw-cost cache is.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ai2_dse::EvalEngine;
+use airchitect::{Airchitect2, ModelCheckpoint};
+
+use crate::cache::LruCache;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{
+    decode_line, encode_line, QueryKey, RecommendRequest, Recommendation, Request, Response,
+    ServeStats,
+};
+use crate::recommend::recommend_batch;
+
+/// Service sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards (each holds a warm model replica). Minimum 1.
+    pub shards: usize,
+    /// Upper bound on jobs coalesced into one micro-batch.
+    pub max_batch: usize,
+    /// LRU response-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            max_batch: 32,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// One admitted request waiting for a shard.
+struct Job {
+    req: RecommendRequest,
+    key: Option<QueryKey>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<Response>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    engine: Arc<EvalEngine>,
+    ckpt: ModelCheckpoint,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+    cache: Mutex<LruCache<QueryKey, Recommendation>>,
+    metrics: ServiceMetrics,
+}
+
+impl Inner {
+    fn submit(&self, req: RecommendRequest) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        let admitted = Instant::now();
+        let job = Job {
+            key: QueryKey::of(&req),
+            // checked: an absurd deadline_ms (e.g. u64::MAX from a
+            // hostile client) must degrade to "no deadline", not panic
+            // the Instant addition
+            deadline: req
+                .deadline_ms
+                .and_then(|ms| admitted.checked_add(Duration::from_millis(ms))),
+            admitted,
+            req,
+            tx,
+        };
+        self.queue
+            .lock()
+            .expect("admission queue poisoned")
+            .push_back(job);
+        self.available.notify_one();
+        rx
+    }
+
+    fn serve_stats(&self, id: u64) -> ServeStats {
+        let snap = self.metrics.snapshot();
+        let engine = self.engine.stats();
+        ServeStats {
+            id,
+            served: snap.served,
+            cache_hits: snap.cache_hits,
+            deadline_expired: snap.deadline_expired,
+            errors: snap.errors,
+            shards: self.cfg.shards,
+            uptime_ms: snap.uptime_ms,
+            throughput_rps: snap.throughput_rps,
+            p50_us: snap.p50_us,
+            p95_us: snap.p95_us,
+            p99_us: snap.p99_us,
+            engine_point_hits: engine.point_hits,
+            engine_point_misses: engine.point_misses,
+        }
+    }
+}
+
+/// The running service. Dropping it without [`RecommendService::shutdown`]
+/// leaks the shard threads; call `shutdown` for a clean stop.
+pub struct RecommendService {
+    inner: Arc<Inner>,
+    shards: Vec<JoinHandle<()>>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl RecommendService {
+    /// Starts the shards from a trained model checkpoint. Every shard
+    /// restores its own replica (predictions are bit-identical across
+    /// replicas by the checkpoint round-trip guarantee) over the one
+    /// shared engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not apply to a freshly built model
+    /// (missing parameters / shape mismatch) — a serving process wants
+    /// that failure at startup, not on the first query.
+    pub fn start(cfg: ServeConfig, engine: Arc<EvalEngine>, ckpt: ModelCheckpoint) -> Self {
+        // fail fast on a bad checkpoint before spawning anything
+        Airchitect2::from_checkpoint(Arc::clone(&engine), &ckpt)
+            .expect("checkpoint must apply to the configured model");
+        let cfg = ServeConfig {
+            shards: cfg.shards.max(1),
+            max_batch: cfg.max_batch.max(1),
+            ..cfg
+        };
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            cfg,
+            engine,
+            ckpt,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            metrics: ServiceMetrics::new(),
+        });
+        let shards = (0..inner.cfg.shards)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ai2-serve-shard-{i}"))
+                    .spawn(move || shard_main(&inner))
+                    .expect("spawn shard")
+            })
+            .collect();
+        RecommendService {
+            inner,
+            shards,
+            acceptors: Vec::new(),
+        }
+    }
+
+    /// An in-process client (no sockets) — the test and bench path.
+    pub fn client(&self) -> Client {
+        Client {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Binds a TCP listener (use port 0 for an ephemeral port) and
+    /// starts accepting NDJSON connections. Returns the bound address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name("ai2-serve-accept".into())
+            .spawn(move || accept_main(&inner, &listener))
+            .expect("spawn acceptor");
+        self.acceptors.push(handle);
+        Ok(local)
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.inner.cfg.shards
+    }
+
+    /// The current stats snapshot (same content as the wire `stats`
+    /// endpoint).
+    pub fn stats(&self) -> ServeStats {
+        self.inner.serve_stats(0)
+    }
+
+    /// Stops accepting, drains nothing further, joins every shard, and
+    /// fails any still-queued request with a shutdown error.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        for h in self.shards.drain(..) {
+            h.join().expect("shard panicked");
+        }
+        for h in self.acceptors.drain(..) {
+            h.join().expect("acceptor panicked");
+        }
+        // pending jobs: dropping the senders unblocks their receivers
+        self.inner
+            .queue
+            .lock()
+            .expect("admission queue poisoned")
+            .clear();
+    }
+}
+
+/// In-process handle submitting requests straight to the admission
+/// queue — what the benches and tests drive, and the reference for what
+/// the TCP path must reproduce byte-for-byte.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<Inner>,
+}
+
+impl Client {
+    /// Submits one recommendation request and blocks for the response.
+    pub fn recommend(&self, req: RecommendRequest) -> Response {
+        self.submit(req).wait()
+    }
+
+    /// Submits without blocking — the pipelining path: enqueue a burst,
+    /// then [`Pending::wait`] for the answers while shards coalesce the
+    /// backlog into micro-batches.
+    pub fn submit(&self, req: RecommendRequest) -> Pending {
+        Pending(self.inner.submit(req))
+    }
+
+    /// Submits any protocol request (`Stats` is answered inline without
+    /// occupying a shard).
+    pub fn request(&self, req: Request) -> Response {
+        match req {
+            Request::Recommend(r) => self.recommend(r),
+            Request::Stats { id } => Response::Stats(self.inner.serve_stats(id)),
+        }
+    }
+}
+
+/// A response that has been admitted but not necessarily computed yet.
+pub struct Pending(mpsc::Receiver<Response>);
+
+impl Pending {
+    /// Blocks until the shard answers.
+    pub fn wait(self) -> Response {
+        match self.0.recv() {
+            Ok(resp) => resp,
+            Err(_) => Response::Error {
+                id: 0,
+                message: "service shut down before answering".into(),
+            },
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// shard workers
+
+fn shard_main(inner: &Inner) {
+    let model = Airchitect2::from_checkpoint(Arc::clone(&inner.engine), &inner.ckpt)
+        .expect("checkpoint validated at startup");
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = inner.queue.lock().expect("admission queue poisoned");
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = inner.available.wait(q).expect("admission queue poisoned");
+            }
+            // a fair share of the backlog: deep queues still coalesce
+            // into full micro-batches, but a light queue is spread over
+            // idle shards instead of being drained whole by the first
+            // one awake (which would serialize compute behind it)
+            let take = q
+                .len()
+                .div_ceil(inner.cfg.shards)
+                .clamp(1, inner.cfg.max_batch);
+            q.drain(..take).collect()
+        };
+        // more work may remain; pass the baton before computing
+        inner.available.notify_one();
+        process_batch(inner, &model, batch);
+    }
+}
+
+fn process_batch(inner: &Inner, model: &Airchitect2, batch: Vec<Job>) {
+    let now = Instant::now();
+    let mut compute: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if let Some(deadline) = job.deadline {
+            if now >= deadline {
+                inner.metrics.record_deadline_expired();
+                let _ = job.tx.send(Response::Error {
+                    id: job.req.id,
+                    message: format!(
+                        "deadline of {} ms expired before a shard picked the request up",
+                        job.req.deadline_ms.unwrap_or(0)
+                    ),
+                });
+                continue;
+            }
+        }
+        if let Some(key) = &job.key {
+            let hit = inner.cache.lock().expect("cache poisoned").get(key);
+            if let Some(mut rec) = hit {
+                rec.id = job.req.id;
+                inner
+                    .metrics
+                    .record_served(job.admitted.elapsed().as_secs_f64() * 1e6, true);
+                let _ = job.tx.send(Response::Recommendation(rec));
+                continue;
+            }
+        }
+        compute.push(job);
+    }
+    if compute.is_empty() {
+        return;
+    }
+    let reqs: Vec<RecommendRequest> = compute.iter().map(|j| j.req.clone()).collect();
+    let responses = recommend_batch(model, &inner.engine, &reqs);
+    for (job, resp) in compute.into_iter().zip(responses) {
+        match &resp {
+            Response::Recommendation(rec) => {
+                if let Some(key) = job.key {
+                    inner
+                        .cache
+                        .lock()
+                        .expect("cache poisoned")
+                        .insert(key, rec.clone());
+                }
+                inner
+                    .metrics
+                    .record_served(job.admitted.elapsed().as_secs_f64() * 1e6, false);
+            }
+            Response::Error { .. } => inner.metrics.record_error(),
+            Response::Stats(_) => unreachable!("stats never routes through shards"),
+        }
+        let _ = job.tx.send(resp);
+    }
+}
+
+// --------------------------------------------------------------------
+// TCP front end
+
+fn accept_main(inner: &Arc<Inner>, listener: &TcpListener) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                // detached: the handler exits on EOF or service stop
+                let _ = std::thread::Builder::new()
+                    .name("ai2-serve-conn".into())
+                    .spawn(move || {
+                        let _ = connection_main(&inner, stream);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn connection_main(inner: &Inner, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // `line` is cleared only after a complete line is handled: a
+        // read timeout mid-line leaves the partial fragment in place so
+        // the next read_line call appends the rest (a slow writer must
+        // not have its request torn in half).
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {
+                let resp = if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                } else {
+                    match decode_line::<Request>(&line) {
+                        Ok(Request::Recommend(req)) => match inner.submit(req).recv() {
+                            Ok(resp) => resp,
+                            Err(_) => Response::Error {
+                                id: 0,
+                                message: "service shut down before answering".into(),
+                            },
+                        },
+                        Ok(Request::Stats { id }) => Response::Stats(inner.serve_stats(id)),
+                        Err(e) => {
+                            inner.metrics.record_error();
+                            Response::Error {
+                                id: 0,
+                                message: format!("malformed request line: {e}"),
+                            }
+                        }
+                    }
+                };
+                line.clear();
+                writer.write_all(encode_line(&resp).as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll the stop flag, then keep reading
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A blocking NDJSON client over one TCP connection — what the load
+/// generator and the CI smoke test speak.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a running service.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(TcpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and blocks for its response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or an unparsable response.
+    pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        self.writer.write_all(encode_line(req).as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        decode_line(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Query;
+    use ai2_dse::{Budget, DseDataset, DseTask, GenerateConfig, Objective};
+    use airchitect::train::TrainConfig;
+    use airchitect::ModelConfig;
+
+    fn trained_checkpoint() -> (Arc<EvalEngine>, ModelCheckpoint) {
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(
+            &task,
+            &GenerateConfig {
+                num_samples: 50,
+                seed: 33,
+                threads: 2,
+                ..GenerateConfig::default()
+            },
+        );
+        let engine = EvalEngine::shared(task);
+        let mut model = Airchitect2::with_engine(&ModelConfig::tiny(), Arc::clone(&engine), &ds);
+        model.fit(&ds, &TrainConfig::quick());
+        (engine, model.checkpoint())
+    }
+
+    fn gemm_req(id: u64, m: u64) -> RecommendRequest {
+        RecommendRequest {
+            id,
+            query: Query::Gemm {
+                m,
+                n: 300,
+                k: 150,
+                dataflow: "ws".into(),
+            },
+            objective: Objective::Latency,
+            budget: Budget::Edge,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn service_answers_and_counts() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service = RecommendService::start(
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+            engine,
+            ckpt,
+        );
+        let client = service.client();
+        for i in 0..6 {
+            let resp = client.recommend(gemm_req(i, 16 + i));
+            assert!(
+                matches!(resp, Response::Recommendation(ref r) if r.id == i),
+                "unexpected {resp:?}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 6);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.p50_us > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_response_cache() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+        let client = service.client();
+        let first = client.recommend(gemm_req(1, 64));
+        let second = client.recommend(gemm_req(2, 64)); // same canonical query
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        // identical content modulo the echoed id
+        let (Response::Recommendation(a), Response::Recommendation(b)) = (&first, &second) else {
+            panic!("expected recommendations");
+        };
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(b.id, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_requests_expire() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+        let client = service.client();
+        let mut req = gemm_req(42, 32);
+        req.deadline_ms = Some(0);
+        let resp = client.recommend(req);
+        assert!(
+            matches!(resp, Response::Error { id: 42, ref message } if message.contains("deadline")),
+            "unexpected {resp:?}"
+        );
+        assert_eq!(service.stats().deadline_expired, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn hostile_inputs_do_not_kill_the_service() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service = RecommendService::start(
+            ServeConfig {
+                shards: 1, // a single shard: one panic would deadlock everything
+                ..ServeConfig::default()
+            },
+            engine,
+            ckpt,
+        );
+        let client = service.client();
+        // zero-dimension GEMM: error response, not a shard panic
+        let mut zero = gemm_req(1, 10);
+        zero.query = Query::Gemm {
+            m: 0,
+            n: 1,
+            k: 1,
+            dataflow: "ws".into(),
+        };
+        let resp = client.recommend(zero);
+        assert!(
+            matches!(resp, Response::Error { id: 1, ref message } if message.contains("invalid")),
+            "unexpected {resp:?}"
+        );
+        // absurd deadline: no Instant overflow, treated as unbounded
+        let mut forever = gemm_req(2, 20);
+        forever.deadline_ms = Some(u64::MAX);
+        assert!(matches!(
+            client.recommend(forever),
+            Response::Recommendation(_)
+        ));
+        // the lone shard is still alive and answering
+        assert!(matches!(
+            client.recommend(gemm_req(3, 30)),
+            Response::Recommendation(_)
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn slow_writers_are_not_torn_by_read_timeouts() {
+        let (engine, ckpt) = trained_checkpoint();
+        let mut service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+        let addr = service.listen("127.0.0.1:0").unwrap();
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // write the request in two halves with a pause longer than the
+        // connection read timeout; the fragment must survive the timeout
+        let wire = encode_line(&Request::Recommend(gemm_req(7, 55))) + "\n";
+        let (head, tail) = wire.split_at(wire.len() / 2);
+        writer.write_all(head.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(450));
+        writer.write_all(tail.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: Response = decode_line(&line).unwrap();
+        assert!(
+            matches!(resp, Response::Recommendation(ref r) if r.id == 7),
+            "torn request: {resp:?}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn tcp_roundtrip_matches_in_process_answers() {
+        let (engine, ckpt) = trained_checkpoint();
+        let mut service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+        let addr = service.listen("127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(addr).unwrap();
+        let req = gemm_req(5, 48);
+        let over_wire = tcp.send(&Request::Recommend(req.clone())).unwrap();
+        let in_process = service.client().recommend(gemm_req(6, 48));
+        let (Response::Recommendation(a), Response::Recommendation(b)) = (&over_wire, &in_process)
+        else {
+            panic!("expected recommendations: {over_wire:?} / {in_process:?}");
+        };
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        let stats = tcp.send(&Request::Stats { id: 9 }).unwrap();
+        assert!(matches!(stats, Response::Stats(ref s) if s.id == 9 && s.served == 2));
+        // malformed lines answer an error instead of killing the link
+        tcp.writer.write_all(b"{not json}\n").unwrap();
+        let mut line = String::new();
+        tcp.reader.read_line(&mut line).unwrap();
+        let garbage: Response = decode_line(&line).unwrap();
+        assert!(matches!(garbage, Response::Error { .. }));
+        service.shutdown();
+    }
+}

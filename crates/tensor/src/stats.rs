@@ -130,6 +130,100 @@ pub fn mean_std(values: &[f32]) -> (f32, f32) {
     (mean, var.sqrt())
 }
 
+/// Linearly interpolated percentile of a sample, `q` in `[0, 100]`
+/// (the numpy `linear` convention: rank `q/100 · (n-1)` interpolated
+/// between its floor and ceiling order statistics). Used by the serving
+/// stats endpoint for p50/p95/p99 latency. `NaN` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return percentile_sorted(values, q);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in sample"));
+    percentile_sorted(&sorted, q)
+}
+
+/// [`percentile`] over an already ascending-sorted sample — callers
+/// reading several percentiles off one sample (p50/p95/p99 of a latency
+/// window) sort once and index, instead of re-sorting per quantile.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile: q={q} out of range");
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A uniform-bin histogram over `[lo, hi]` (degenerate samples collapse
+/// to a single-bin range). The last bin is closed so `hi` itself is
+/// counted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Right edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts, `bins` entries.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Total counted samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Bins a sample into `bins` uniform buckets spanning its min..=max.
+/// Every finite value lands in exactly one bin.
+///
+/// # Panics
+///
+/// Panics if `bins` is zero or any value is non-finite.
+pub fn histogram(values: &[f64], bins: usize) -> Histogram {
+    assert!(bins > 0, "histogram: zero bins");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "histogram: non-finite value"
+    );
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if values.is_empty() || lo == hi {
+        let mut counts = vec![0; bins];
+        counts[0] = values.len();
+        let base = if values.is_empty() { 0.0 } else { lo };
+        return Histogram {
+            lo: base,
+            hi: base,
+            counts,
+        };
+    }
+    let mut counts = vec![0usize; bins];
+    let scale = bins as f64 / (hi - lo);
+    for &v in values {
+        let idx = (((v - lo) * scale) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    Histogram { lo, hi, counts }
+}
+
 /// Pearson correlation of two equal-length slices (0 when degenerate).
 ///
 /// # Panics
@@ -227,6 +321,53 @@ mod tests {
     fn minmax_basics() {
         assert_eq!(minmax_normalize(&[2.0, 4.0]), vec![0.0, 1.0]);
         assert_eq!(minmax_normalize(&[3.0, 3.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn percentile_hand_computed_values() {
+        // sorted: [1, 2, 3, 4]; ranks at n-1 = 3
+        let v = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        // p50 → rank 1.5 → midpoint of 2 and 3
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        // p25 → rank 0.75 → 1 + 0.75·(2-1)
+        assert_eq!(percentile(&v, 25.0), 1.75);
+        // five elements: p95 → rank 3.8 → 4 + 0.8·(5-4)
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((percentile(&w, 95.0) - 4.8).abs() < 1e-12);
+        // singletons and empties
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_q() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn histogram_hand_computed_counts() {
+        // range [0, 10], 5 bins of width 2
+        let v = [0.0, 1.9, 2.0, 5.0, 9.9, 10.0, 10.0];
+        let h = histogram(&v, 5);
+        assert_eq!(h.lo, 0.0);
+        assert_eq!(h.hi, 10.0);
+        assert_eq!(h.bin_width(), 2.0);
+        // 0.0,1.9 → bin 0; 2.0 → bin 1; 5.0 → bin 2; 9.9,10,10 → bin 4
+        assert_eq!(h.counts, vec![2, 1, 1, 0, 3]);
+        assert_eq!(h.total(), v.len());
+    }
+
+    #[test]
+    fn histogram_degenerate_samples() {
+        let constant = histogram(&[3.0, 3.0, 3.0], 4);
+        assert_eq!(constant.counts, vec![3, 0, 0, 0]);
+        assert_eq!(constant.lo, constant.hi);
+        let empty = histogram(&[], 2);
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.counts.len(), 2);
     }
 
     #[test]

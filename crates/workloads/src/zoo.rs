@@ -429,6 +429,23 @@ pub fn evaluation_models() -> Vec<ModelWorkload> {
     ]
 }
 
+/// Every zoo model (training pool then evaluation models) — the lookup
+/// universe of name-addressed consumers like the serving layer.
+pub fn all_models() -> Vec<ModelWorkload> {
+    let mut models = training_models();
+    models.extend(evaluation_models());
+    models
+}
+
+/// Looks a zoo model up by its canonical name (`"resnet50"`,
+/// `"llama2_7b"` …), case-insensitively. `None` for unknown names — the
+/// serving layer turns that into a protocol error instead of a panic.
+pub fn model_by_name(name: &str) -> Option<ModelWorkload> {
+    all_models()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +498,17 @@ mod tests {
             (1_300_000_000_000..2_200_000_000_000).contains(&macs),
             "llama2 macs {macs}"
         );
+    }
+
+    #[test]
+    fn model_by_name_finds_every_zoo_model() {
+        for m in all_models() {
+            let found = model_by_name(&m.name).expect("zoo model must resolve");
+            assert_eq!(found, m);
+        }
+        // case-insensitive, and unknown names answer None
+        assert_eq!(model_by_name("ResNet50").unwrap().name, "resnet50");
+        assert!(model_by_name("not_a_model").is_none());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`dse`] | `ai2-dse` | design space, oracle, search baselines, dataset |
 //! | [`uov`] | `ai2-uov` | Unified Ordinal Vectors |
 //! | [`airchitect`] | `airchitect` | the paper's encoder–decoder model |
+//! | [`serve`] | `ai2-serve` | batched, sharded recommendation service |
 //! | [`baselines`] | `ai2-baselines` | AIrchitect v1, GANDSE, VAESA |
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow and the
@@ -24,6 +25,7 @@ pub use ai2_baselines as baselines;
 pub use ai2_dse as dse;
 pub use ai2_maestro as maestro;
 pub use ai2_nn as nn;
+pub use ai2_serve as serve;
 pub use ai2_systolic as systolic;
 pub use ai2_tensor as tensor;
 pub use ai2_uov as uov;

@@ -188,6 +188,22 @@ impl Parser<'_> {
         Ok(Value::Number(text.to_string()))
     }
 
+    /// Reads exactly four hex digits at the cursor (the payload of a
+    /// `\uXXXX` escape) and advances past them.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .s
+            .get(self.i..self.i + 4)
+            .ok_or_else(|| Error("short \\u escape".into()))?;
+        if !hex.iter().all(u8::is_ascii_hexdigit) {
+            return Err(Error("bad \\u escape".into()));
+        }
+        let code = u32::from_str_radix(std::str::from_utf8(hex).expect("ascii hex"), 16)
+            .expect("4 hex digits fit u32");
+        self.i += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, Error> {
         self.eat(b'"')?;
         let mut out = String::new();
@@ -210,21 +226,45 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .s
-                                .get(self.i + 1..self.i + 5)
-                                .ok_or_else(|| Error("short \\u escape".into()))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| Error("bad \\u escape".into()))?,
-                                16,
-                            )
-                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.i += 1;
+                            let hi = self.hex4()?;
+                            let code = match hi {
+                                // High surrogate: a low surrogate must
+                                // follow (JSON escapes non-BMP chars as
+                                // UTF-16 surrogate pairs).
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(Error(
+                                            "high surrogate not followed by \\u escape".into(),
+                                        ));
+                                    }
+                                    self.i += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(Error(
+                                            "high surrogate not followed by \\u escape".into(),
+                                        ));
+                                    }
+                                    self.i += 1;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(Error(format!(
+                                            "expected low surrogate after \\u{hi:04x}, got \\u{lo:04x}"
+                                        )));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(Error(format!("lone low surrogate \\u{hi:04x}")));
+                                }
+                                c => c,
+                            };
                             out.push(
                                 char::from_u32(code)
                                     .ok_or_else(|| Error("bad \\u code point".into()))?,
                             );
-                            self.i += 4;
+                            // hex4 consumed everything; skip the shared
+                            // escape-length increment below
+                            continue;
                         }
                         other => {
                             return Err(Error(format!("bad escape {other:?}")));
@@ -331,5 +371,55 @@ mod tests {
         assert!(from_str::<Vec<u64>>("[1,,2]").is_err());
         assert!(from_str::<Vec<u64>>("[1] trailing").is_err());
         assert!(from_str::<String>("\"open").is_err());
+    }
+
+    #[test]
+    fn escaped_strings_from_foreign_encoders_parse() {
+        // every escape a spec-conforming encoder may emit
+        let s: String = from_str(r#""q\" b\\ s\/ n\n r\r t\t bs\b ff\f ué""#).unwrap();
+        assert_eq!(s, "q\" b\\ s/ n\n r\r t\t bs\u{8} ff\u{c} u\u{e9}");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_chars() {
+        // ensure_ascii-style encoders escape non-BMP chars as UTF-16
+        // surrogate pairs: U+1F600 (grinning face), U+1D11E (G clef)
+        let s: String = from_str(r#""\ud83d\ude00 \ud834\udd1e""#).unwrap();
+        assert_eq!(s, "\u{1F600} \u{1D11E}");
+        // uppercase hex is equally valid
+        let s: String = from_str(r#""\uD83D\uDE00""#).unwrap();
+        assert_eq!(s, "\u{1F600}");
+    }
+
+    #[test]
+    fn lone_or_malformed_surrogates_are_rejected() {
+        assert!(from_str::<String>(r#""\ud83d""#).is_err()); // lone high
+        assert!(from_str::<String>(r#""\ude00""#).is_err()); // lone low
+        assert!(from_str::<String>(r#""\ud83dx""#).is_err()); // high + raw char
+        assert!(from_str::<String>(r#""\ud83d\n""#).is_err()); // high + other escape
+        assert!(from_str::<String>(r#""\ud83d\ud83d""#).is_err()); // high + high
+        assert!(from_str::<String>(r#""\u12g4""#).is_err()); // bad hex
+        assert!(from_str::<String>(r#""\u+123""#).is_err()); // sign is not hex
+        assert!(from_str::<String>(r#""\u12""#).is_err()); // short
+    }
+
+    #[test]
+    fn arbitrary_model_names_roundtrip_the_wire() {
+        // the serving protocol carries user-supplied model names; any
+        // Unicode content must survive encode → decode bit-exactly
+        let names = [
+            "resnet50",
+            "llama2_7b \"edge\" build",
+            "path\\to\\model",
+            "tab\tnewline\nreturn\r",
+            "ctrl\u{1}\u{1f}",
+            "emoji\u{1F600}\u{1D11E}",
+            "中文名 + ünïcödé",
+        ];
+        for name in names {
+            let wire = to_string(&name.to_string()).unwrap();
+            let back: String = from_str(&wire).unwrap();
+            assert_eq!(back, name, "wire form {wire}");
+        }
     }
 }
