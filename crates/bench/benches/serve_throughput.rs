@@ -52,6 +52,7 @@ fn gemm(id: u64, m: u64, n: u64, k: u64, objective: Objective) -> RecommendReque
         objective,
         budget: Budget::Edge,
         deadline_ms: None,
+        backend: None,
     }
 }
 

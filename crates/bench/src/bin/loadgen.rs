@@ -14,6 +14,10 @@
 //!         [--concurrency C]                        worker connections (default 8)
 //!         [--models]                               include whole-model queries
 //!         [--deadline-ms N]                        per-request deadline
+//!         [--backend NAME]                         cost backend on every query
+//!                                                  ("analytic" / "systolic")
+//!         [--json PATH]                            write a machine-readable
+//!                                                  BENCH_*.json result file
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +26,7 @@ use std::time::Instant;
 
 use ai2_serve::{Query, RecommendRequest, Recommendation, Request, Response, TcpClient};
 use ai2_tensor::stats::percentile;
+use serde::Serialize;
 
 struct Args {
     addr: String,
@@ -29,6 +34,22 @@ struct Args {
     concurrency: usize,
     models: bool,
     deadline_ms: Option<u64>,
+    backend: Option<String>,
+    json: Option<String>,
+}
+
+/// Machine-readable result record (the perf-trajectory artifact).
+#[derive(Debug, Serialize)]
+struct LoadgenResult {
+    requests: u64,
+    deadline_expired: u64,
+    elapsed_s: f64,
+    client_rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    server_served: u64,
+    server_cache_hits: u64,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +59,8 @@ fn parse_args() -> Args {
         concurrency: 8,
         models: false,
         deadline_ms: None,
+        backend: None,
+        json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let value = |i: &mut usize| -> String {
@@ -58,6 +81,8 @@ fn parse_args() -> Args {
             "--deadline-ms" => {
                 args.deadline_ms = Some(value(&mut i).parse().expect("--deadline-ms"))
             }
+            "--backend" => args.backend = Some(value(&mut i)),
+            "--json" => args.json = Some(value(&mut i)),
             other => panic!("unknown argument {other:?} (see src/bin/loadgen.rs for usage)"),
         }
         i += 1;
@@ -71,7 +96,12 @@ fn parse_args() -> Args {
 /// all three objectives; every fourth query (starting with the second)
 /// is a zoo model when `--models` is on — so a two-request smoke run
 /// covers one GEMM and one whole-model query.
-fn nth_query(n: u64, models: bool, deadline_ms: Option<u64>) -> RecommendRequest {
+fn nth_query(
+    n: u64,
+    models: bool,
+    deadline_ms: Option<u64>,
+    backend: Option<&str>,
+) -> RecommendRequest {
     const ZOO: [&str; 4] = ["resnet18", "resnet50", "bert_base", "mobilenet_v2"];
     const OBJECTIVES: [ai2_dse::Objective; 3] = [
         ai2_dse::Objective::Latency,
@@ -97,6 +127,7 @@ fn nth_query(n: u64, models: bool, deadline_ms: Option<u64>) -> RecommendRequest
         objective: OBJECTIVES[(n / 2) as usize % 3],
         budget: ai2_dse::Budget::Edge,
         deadline_ms,
+        backend: backend.map(str::to_string),
     }
 }
 
@@ -148,7 +179,7 @@ fn main() {
                     if n >= args.requests as u64 {
                         return;
                     }
-                    let req = nth_query(n, args.models, args.deadline_ms);
+                    let req = nth_query(n, args.models, args.deadline_ms, args.backend.as_deref());
                     let sent = Instant::now();
                     match client.send(&Request::Recommend(req)) {
                         Ok(resp) => match check(&resp, args.deadline_ms.is_some()) {
@@ -179,33 +210,65 @@ fn main() {
     }
 
     let lats = latencies.lock().unwrap();
+    let (p50, p95, p99) = if lats.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            percentile(&lats, 50.0),
+            percentile(&lats, 95.0),
+            percentile(&lats, 99.0),
+        )
+    };
     println!(
         "loadgen: {} ok ({} deadline-expired) in {:.3}s → {:.1} req/s | client latency p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs",
         lats.len(),
         expired.load(Ordering::Relaxed),
         elapsed,
         lats.len() as f64 / elapsed,
-        percentile(&lats, 50.0),
-        percentile(&lats, 95.0),
-        percentile(&lats, 99.0),
+        p50,
+        p95,
+        p99,
     );
 
-    // the server's own view
-    match TcpClient::connect(&args.addr).and_then(|mut c| c.send(&Request::Stats { id: 0 })) {
-        Ok(Response::Stats(s)) => println!(
-            "server stats: served {} (cache hits {}) | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m",
-            s.served,
-            s.cache_hits,
-            s.throughput_rps,
-            s.p50_us,
-            s.p95_us,
-            s.p99_us,
-            s.engine_point_hits,
-            s.engine_point_misses,
-        ),
+    // the server's own view (`None` percentiles print as 0: the server
+    // is cold only when every request expired client-side)
+    let server = match TcpClient::connect(&args.addr)
+        .and_then(|mut c| c.send(&Request::Stats { id: 0 }))
+    {
+        Ok(Response::Stats(s)) => {
+            println!(
+                "server stats: served {} (cache hits {}) | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m",
+                s.served,
+                s.cache_hits,
+                s.throughput_rps,
+                s.p50_us.unwrap_or(0.0),
+                s.p95_us.unwrap_or(0.0),
+                s.p99_us.unwrap_or(0.0),
+                s.engine_point_hits,
+                s.engine_point_misses,
+            );
+            s
+        }
         other => {
             eprintln!("[loadgen] stats endpoint failed: {other:?}");
             std::process::exit(1);
         }
+    };
+
+    if let Some(path) = &args.json {
+        let result = LoadgenResult {
+            requests: lats.len() as u64,
+            deadline_expired: expired.load(Ordering::Relaxed),
+            elapsed_s: elapsed,
+            client_rps: lats.len() as f64 / elapsed,
+            p50_us: p50,
+            p95_us: p95,
+            p99_us: p99,
+            server_served: server.served,
+            server_cache_hits: server.cache_hits,
+        };
+        let body = serde_json::to_string(&result).expect("serialize loadgen result");
+        std::fs::write(path, body).expect("write --json result file");
+        eprintln!("[loadgen] wrote {path}");
     }
 }

@@ -21,6 +21,7 @@ fn main() {
     // VAESA's per-input BO is expensive; score it on a capped subset.
     let vaesa_test = if test.len() > 400 {
         ai2_dse::DseDataset {
+            backend: test.backend,
             samples: test.samples[..400].to_vec(),
         }
     } else {

@@ -336,7 +336,10 @@ mod tests {
     #[test]
     fn empty_dataset_yields_empty_report() {
         let (engine, _) = setup();
-        let ds = DseDataset { samples: vec![] };
+        let ds = DseDataset {
+            backend: ai2_dse::BackendId::Analytic,
+            samples: vec![],
+        };
         let rep = evaluate_of(
             &ConstantPredictor(DesignPoint {
                 pe_idx: 0,

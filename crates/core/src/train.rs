@@ -102,6 +102,11 @@ pub struct TrainReport {
     pub stage2: Vec<f32>,
 }
 
+/// Shuffled minibatch index lists for one epoch. Every sample index
+/// appears in exactly one batch — `chunks` keeps the final partial batch
+/// when `n % batch != 0` (pinned by `epoch_batches_partition_every_index`
+/// below). Batch sizes below 2 are widened to 2: the contrastive loss
+/// needs at least one in-batch pair to contrast against.
 fn epoch_batches(n: usize, batch: usize, rng: &mut rand::rngs::StdRng) -> Vec<Vec<usize>> {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);
@@ -313,6 +318,41 @@ mod tests {
             },
         );
         (task, ds)
+    }
+
+    #[test]
+    fn epoch_batches_partition_every_index() {
+        // exhaustive over small (n, batch) combinations including every
+        // n % batch != 0 case: each sample index must appear exactly
+        // once per epoch — a dropped final partial batch would silently
+        // starve up to batch-1 samples of gradient signal every epoch
+        let mut r = rng::seeded(0xBA7C);
+        for n in 1..=33usize {
+            for batch in 1..=9usize {
+                let batches = epoch_batches(n, batch, &mut r);
+                let effective = batch.max(2);
+                assert_eq!(
+                    batches.len(),
+                    n.div_ceil(effective),
+                    "n {n} batch {batch}: wrong batch count"
+                );
+                assert!(
+                    batches.iter().all(|b| !b.is_empty()),
+                    "n {n} batch {batch}: empty batch"
+                );
+                assert!(
+                    batches.iter().all(|b| b.len() <= effective),
+                    "n {n} batch {batch}: oversized batch"
+                );
+                let mut seen: Vec<usize> = batches.into_iter().flatten().collect();
+                seen.sort_unstable();
+                assert_eq!(
+                    seen,
+                    (0..n).collect::<Vec<_>>(),
+                    "n {n} batch {batch}: indices not a permutation of 0..n"
+                );
+            }
+        }
     }
 
     #[test]

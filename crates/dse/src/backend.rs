@@ -1,0 +1,362 @@
+//! Pluggable cost backends: one interface, many evaluators.
+//!
+//! AIrchitect v2 learns from an oracle cost model, and the fidelity of
+//! that oracle bounds everything downstream. This module abstracts *what
+//! answers a cost query* behind the [`CostBackend`] trait so the engine,
+//! dataset generation and the serving layer are all indifferent to it:
+//!
+//! * [`AnalyticBackend`] — the MAESTRO-style closed-form model
+//!   ([`ai2_maestro::CostModel`]), the default. Answers through this
+//!   backend are **bit-identical** to the direct [`DseTask`] paths
+//!   (property-tested in `tests/engine_consistency.rs`).
+//! * [`SystolicBackend`] — cycle-accurate latency from the
+//!   [`ai2_systolic`] simulator's exact schedule accounting
+//!   ([`GemmSimulation::dry_run`], itself pinned bit-for-bit against the
+//!   cycle-stepped simulation), with energy derived from the simulated
+//!   activity counts priced at the analytic model's per-access constants.
+//!
+//! Both backends share the task's [`AreaModel`] (silicon area does not
+//! depend on how a workload is evaluated), so feasibility under an area
+//! budget is backend-independent. Each [`EvalEngine`] owns exactly one
+//! backend; caches therefore can never mix labels from different
+//! backends — to compare backends, build one engine per backend over the
+//! same task (see `EvalEngine::for_backend`).
+//!
+//! [`DseTask`]: crate::DseTask
+//! [`EvalEngine`]: crate::EvalEngine
+//! [`AreaModel`]: ai2_maestro::AreaModel
+//! [`GemmSimulation::dry_run`]: ai2_systolic::GemmSimulation::dry_run
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use ai2_maestro::{AcceleratorConfig, CostModel};
+use ai2_systolic::{ArrayConfig, GemmSimulation};
+use ai2_workloads::generator::DseInput;
+use serde::{Deserialize, Serialize};
+
+/// Raw, objective-independent cost of one `(input, config)` evaluation:
+/// `(latency_cycles, energy_pj)`.
+pub type RawCost = (u64, f64);
+
+/// Stable identity of a cost backend — the cache-partitioning key and
+/// the value of the wire protocol's optional `"backend"` query field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BackendId {
+    /// The MAESTRO-style analytical model (`ai2-maestro`).
+    #[default]
+    Analytic,
+    /// The cycle-accurate systolic-array schedule (`ai2-systolic`).
+    Systolic,
+}
+
+impl BackendId {
+    /// Every selectable backend.
+    pub const ALL: [BackendId; 2] = [BackendId::Analytic, BackendId::Systolic];
+
+    /// The wire spelling (`"analytic"` / `"systolic"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendId::Analytic => "analytic",
+            BackendId::Systolic => "systolic",
+        }
+    }
+}
+
+impl fmt::Display for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a backend name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError(String);
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown cost backend {:?} (expected \"analytic\" or \"systolic\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for BackendId {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "analytic" | "analytical" | "maestro" => Ok(BackendId::Analytic),
+            "systolic" | "cycle" | "cycle-accurate" | "sim" => Ok(BackendId::Systolic),
+            _ => Err(ParseBackendError(s.to_string())),
+        }
+    }
+}
+
+/// Costs a `(workload, hardware)` pair into latency, energy and area.
+///
+/// Implementations must be pure functions of their inputs (the engine
+/// memoizes and replays results across threads) and cheap enough to
+/// sweep the full design-space grid per workload.
+pub trait CostBackend: fmt::Debug + Send + Sync {
+    /// The backend's stable identity.
+    fn id(&self) -> BackendId;
+
+    /// Raw `(latency_cycles, energy_pj)` of running `input` on `hw`.
+    fn raw_cost(&self, input: &DseInput, hw: &AcceleratorConfig) -> RawCost;
+
+    /// Silicon area of `hw` in mm² (used for budget feasibility).
+    fn area_mm2(&self, hw: &AcceleratorConfig) -> f64;
+}
+
+/// Builds the backend named by `id`, sharing the analytic model's
+/// calibration constants (energy prices, area model) so both backends
+/// answer in the same units against the same silicon.
+pub fn backend_for(id: BackendId, model: CostModel) -> Arc<dyn CostBackend> {
+    match id {
+        BackendId::Analytic => Arc::new(AnalyticBackend::new(model)),
+        BackendId::Systolic => Arc::new(SystolicBackend::new(model)),
+    }
+}
+
+/// The MAESTRO-style analytical backend — a thin adapter over
+/// [`CostModel::evaluate`], preserving its arithmetic exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticBackend {
+    model: CostModel,
+}
+
+impl AnalyticBackend {
+    /// Wraps an analytic cost model.
+    pub fn new(model: CostModel) -> Self {
+        AnalyticBackend { model }
+    }
+}
+
+impl CostBackend for AnalyticBackend {
+    fn id(&self) -> BackendId {
+        BackendId::Analytic
+    }
+
+    fn raw_cost(&self, input: &DseInput, hw: &AcceleratorConfig) -> RawCost {
+        let report = self.model.evaluate(&input.gemm, input.dataflow, hw);
+        (report.latency_cycles, report.energy_pj)
+    }
+
+    fn area_mm2(&self, hw: &AcceleratorConfig) -> f64 {
+        self.model.area_mm2(hw)
+    }
+}
+
+/// The cycle-accurate backend: the array-side latency is the exact cycle
+/// count of the output-stationary systolic schedule
+/// ([`GemmSimulation::dry_run`], bit-identical to the stepped
+/// simulation) on the squarest array the PE budget factors into; the
+/// end-to-end latency is that schedule under a DRAM-bandwidth roofline
+/// (`max(array_cycles, dram_cycles)` — an accelerator is not magically
+/// operand-fed, and without the roofline the backend would claim more
+/// PEs always help even hopelessly memory-bound layers).
+///
+/// DRAM traffic follows the simulated loop nest (`i0` outer, `j0`
+/// inner) with L2-gated inter-tile reuse, Scale-Sim style: an `A`
+/// row-block (`tr × K`) is fetched once per row sweep when it fits its
+/// half of the L2 (else refetched per tile), the `B` panel (`K × N`) is
+/// fetched once when it fits (else refetched per tile row), and `C`
+/// drains exactly once — partial sums live in the PE accumulators, never
+/// in memory.
+///
+/// Fidelity gaps vs. the analytic backend are *by design* — they are
+/// what the `fidelity` report measures:
+///
+/// * the simulated array is output-stationary regardless of the query's
+///   dataflow (the dataflow input only affects the analytic backend),
+/// * the schedule streams the full `K` reduction per tile (accumulators
+///   live in the PEs), so there is no K-tiling and no psum spill
+///   traffic,
+/// * fill/drain skew is counted exactly per tile rather than
+///   approximated per pass, and reuse is all-or-nothing per operand
+///   rather than the analytic model's fractional tiling.
+///
+/// Energy prices the simulated activity with the analytic model's
+/// constants: MAC and L1 energy per counted MAC, DRAM energy per
+/// fetched element, and leakage over the end-to-end cycle count.
+#[derive(Debug, Clone, Copy)]
+pub struct SystolicBackend {
+    model: CostModel,
+}
+
+impl SystolicBackend {
+    /// Wraps the analytic model whose energy/area constants price the
+    /// simulated activity.
+    pub fn new(model: CostModel) -> Self {
+        SystolicBackend { model }
+    }
+
+    /// The array shape a PE budget maps onto.
+    pub fn array_for(hw: &AcceleratorConfig) -> ArrayConfig {
+        ArrayConfig::squarest(hw.num_pes as usize)
+    }
+}
+
+impl CostBackend for SystolicBackend {
+    fn id(&self) -> BackendId {
+        BackendId::Systolic
+    }
+
+    fn raw_cost(&self, input: &DseInput, hw: &AcceleratorConfig) -> RawCost {
+        let (m, n, k) = (
+            input.gemm.m as usize,
+            input.gemm.n as usize,
+            input.gemm.k as usize,
+        );
+        let cfg = Self::array_for(hw);
+        let report = GemmSimulation::dry_run(&cfg, m, n, k);
+        let p = &self.model.params;
+        // DRAM traffic of the simulated loop nest (i0 outer, j0 inner)
+        // with L2-gated inter-tile reuse: each operand is either resident
+        // across its reuse loop or refetched every revisit
+        let tiles_m = m.div_ceil(cfg.rows) as u64;
+        let tiles_n = n.div_ceil(cfg.cols) as u64;
+        let (m64, n64, k64) = (input.gemm.m, input.gemm.n, input.gemm.k);
+        let words = (hw.l2_bytes / p.elem_bytes as u64).max(4);
+        // the A row-block (tr×K) is reused by every j0 tile of its row
+        let a_traffic = if cfg.rows as u64 * k64 <= words / 2 {
+            m64 * k64
+        } else {
+            m64 * k64 * tiles_n
+        };
+        // the B panel (K×N) is revisited on every i0 iteration
+        let b_traffic = if k64 * n64 <= words / 2 {
+            k64 * n64
+        } else {
+            k64 * n64 * tiles_m
+        };
+        let dram_traffic_elems = a_traffic + b_traffic + m64 * n64;
+        let dram_cycles = ((dram_traffic_elems * p.elem_bytes as u64) as f64
+            / p.dram_bw_bytes_per_cycle)
+            .ceil() as u64;
+        let latency_cycles = report.total_cycles.max(dram_cycles);
+        let l1_accesses = 3 * report.macs; // two operand reads + one psum update
+        let energy_pj = report.macs as f64 * p.e_mac_pj
+            + l1_accesses as f64 * p.e_l1_pj
+            + dram_traffic_elems as f64 * p.e_dram_pj
+            + latency_cycles as f64 * hw.num_pes as f64 * p.leak_pj_per_pe_cycle;
+        (latency_cycles, energy_pj)
+    }
+
+    fn area_mm2(&self, hw: &AcceleratorConfig) -> f64 {
+        self.model.area_mm2(hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_maestro::{Dataflow, GemmWorkload};
+
+    fn input(m: u64, n: u64, k: u64, df: Dataflow) -> DseInput {
+        DseInput {
+            gemm: GemmWorkload::new(m, n, k),
+            dataflow: df,
+        }
+    }
+
+    #[test]
+    fn backend_id_parses_and_round_trips() {
+        for id in BackendId::ALL {
+            assert_eq!(id.as_str().parse::<BackendId>().unwrap(), id);
+        }
+        assert_eq!(
+            "ANALYTIC".parse::<BackendId>().unwrap(),
+            BackendId::Analytic
+        );
+        assert_eq!("cycle".parse::<BackendId>().unwrap(), BackendId::Systolic);
+        let err = "rtl".parse::<BackendId>().unwrap_err();
+        assert!(err.to_string().contains("rtl"));
+        assert_eq!(BackendId::default(), BackendId::Analytic);
+    }
+
+    #[test]
+    fn analytic_backend_reproduces_cost_model_exactly() {
+        let model = CostModel::default();
+        let backend = AnalyticBackend::new(model);
+        let hw = AcceleratorConfig::new(128, 64 * 1024);
+        for df in Dataflow::ALL {
+            let inp = input(48, 333, 210, df);
+            let (lat, energy) = backend.raw_cost(&inp, &hw);
+            let report = model.evaluate(&inp.gemm, df, &hw);
+            assert_eq!(lat, report.latency_cycles);
+            assert_eq!(energy.to_bits(), report.energy_pj.to_bits());
+        }
+        assert_eq!(
+            backend.area_mm2(&hw).to_bits(),
+            model.area_mm2(&hw).to_bits()
+        );
+    }
+
+    #[test]
+    fn systolic_backend_matches_stepped_simulation_latency() {
+        let backend = SystolicBackend::new(CostModel::default());
+        let hw = AcceleratorConfig::new(16, 4 * 1024);
+        let inp = input(7, 9, 5, Dataflow::OutputStationary);
+        let (lat, energy) = backend.raw_cost(&inp, &hw);
+        let cfg = ArrayConfig::squarest(16);
+        let a = vec![1.0f32; 7 * 5];
+        let b = vec![1.0f32; 5 * 9];
+        let full = GemmSimulation::run(&cfg, &a, &b, 7, 9, 5).report();
+        assert_eq!(lat, full.total_cycles);
+        assert!(energy.is_finite() && energy > 0.0);
+    }
+
+    #[test]
+    fn systolic_backend_ignores_dataflow_but_honors_the_buffer() {
+        // documented fidelity gap: the simulated schedule is OS-only, so
+        // the dataflow input never changes the answer…
+        let backend = SystolicBackend::new(CostModel::default());
+        let hw = AcceleratorConfig::new(64, 1024);
+        let ws = backend.raw_cost(&input(20, 30, 40, Dataflow::WeightStationary), &hw);
+        let os = backend.raw_cost(&input(20, 30, 40, Dataflow::OutputStationary), &hw);
+        let rs = backend.raw_cost(&input(20, 30, 40, Dataflow::RowStationary), &hw);
+        assert_eq!(ws, os);
+        assert_eq!(os, rs);
+        // …but the L2 size gates inter-tile operand reuse: a starved
+        // buffer refetches operands, costing DRAM energy (and latency
+        // once the roofline binds)
+        let big = input(256, 1500, 900, Dataflow::OutputStationary);
+        let starved = backend.raw_cost(&big, &AcceleratorConfig::new(256, 1024));
+        let roomy = backend.raw_cost(&big, &AcceleratorConfig::new(256, 2 * 1024 * 1024));
+        assert!(
+            starved.0 > roomy.0 && starved.1 > roomy.1,
+            "starved {starved:?} should cost more than roomy {roomy:?}"
+        );
+        // area still distinguishes the buffers too
+        assert!(
+            backend.area_mm2(&AcceleratorConfig::new(256, 2 * 1024 * 1024))
+                > backend.area_mm2(&AcceleratorConfig::new(256, 1024))
+        );
+    }
+
+    #[test]
+    fn backends_disagree_on_latency() {
+        // the whole point of two backends: they answer differently
+        let analytic = AnalyticBackend::new(CostModel::default());
+        let systolic = SystolicBackend::new(CostModel::default());
+        let hw = AcceleratorConfig::new(128, 64 * 1024);
+        let inp = input(64, 500, 300, Dataflow::OutputStationary);
+        let a = analytic.raw_cost(&inp, &hw);
+        let s = systolic.raw_cost(&inp, &hw);
+        assert_ne!(a.0, s.0, "backends should not agree exactly");
+    }
+
+    #[test]
+    fn backend_for_builds_the_named_backend() {
+        for id in BackendId::ALL {
+            assert_eq!(backend_for(id, CostModel::default()).id(), id);
+        }
+    }
+}

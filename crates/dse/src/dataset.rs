@@ -10,6 +10,7 @@ use ai2_tensor::rng;
 use ai2_workloads::generator::{DseInput, SamplingStrategy, WorkloadSampler};
 use serde::{Deserialize, Serialize};
 
+use crate::backend::BackendId;
 use crate::engine::EvalEngine;
 use crate::objective::DseTask;
 use crate::space::DesignPoint;
@@ -62,6 +63,10 @@ pub struct GenerateConfig {
     pub threads: usize,
     /// Sampling strategy over the Table I input space.
     pub strategy: SamplingStrategy,
+    /// Cost backend labeling the samples ([`DseDataset::generate`]
+    /// only; [`DseDataset::generate_with`] labels with the caller's
+    /// engine, whatever its backend).
+    pub backend: BackendId,
 }
 
 impl Default for GenerateConfig {
@@ -71,6 +76,7 @@ impl Default for GenerateConfig {
             seed: 0xA12C,
             threads: 0,
             strategy: SamplingStrategy::default(),
+            backend: BackendId::Analytic,
         }
     }
 }
@@ -79,6 +85,11 @@ impl Default for GenerateConfig {
 /// configuration).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DseDataset {
+    /// The cost backend whose oracle produced `best_score`/`optimal` —
+    /// label provenance, persisted with the samples so a saved
+    /// systolic-labeled corpus can never be mistaken for an analytic
+    /// one after a `load`.
+    pub backend: BackendId,
     /// Samples in generation order.
     pub samples: Vec<DseSample>,
 }
@@ -134,7 +145,9 @@ impl DseDataset {
         // The transient engine keeps only oracle labels (no grids): the
         // inputs of a generation run are almost all distinct, so caching
         // their grids would cost memory without saving work.
-        let engine = EvalEngine::with_threads(task.clone(), config.threads).with_grid_capacity(0);
+        let backend = crate::backend::backend_for(config.backend, task.cost_model);
+        let engine = EvalEngine::with_backend_threads(task.clone(), backend, config.threads)
+            .with_grid_capacity(0);
         Self::generate_with(&engine, config)
     }
 
@@ -146,6 +159,7 @@ impl DseDataset {
         let inputs = sampler.sample_n(&mut r, config.num_samples);
         let labels = engine.oracle_batch(&inputs);
         DseDataset {
+            backend: engine.backend_id(),
             samples: inputs
                 .iter()
                 .zip(&labels)
@@ -188,6 +202,7 @@ impl DseDataset {
         idx.shuffle(&mut r);
         let cut = ((self.samples.len() as f64) * train_frac).round() as usize;
         let take = |ids: &[usize]| DseDataset {
+            backend: self.backend,
             samples: ids.iter().map(|&i| self.samples[i]).collect(),
         };
         (take(&idx[..cut]), take(&idx[cut..]))
@@ -203,13 +218,32 @@ impl DseDataset {
         Ok(())
     }
 
-    /// Loads from JSON.
+    /// Loads from JSON. Files written before label provenance existed
+    /// carry no `backend` key; they were all analytic-labeled, so they
+    /// load as [`BackendId::Analytic`] rather than erroring (any other
+    /// parse failure — including a present-but-corrupt `backend` value —
+    /// still errors).
     ///
     /// # Errors
     ///
     /// Returns an error if the file cannot be read or parsed.
     pub fn load(path: impl AsRef<Path>) -> Result<DseDataset, DatasetError> {
-        Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+        let text = fs::read_to_string(path)?;
+        match serde_json::from_str::<DseDataset>(&text) {
+            Ok(ds) => Ok(ds),
+            Err(e) if e.to_string().contains("missing field `backend`") => {
+                #[derive(Deserialize)]
+                struct LegacyDataset {
+                    samples: Vec<DseSample>,
+                }
+                let legacy: LegacyDataset = serde_json::from_str(&text)?;
+                Ok(DseDataset {
+                    backend: BackendId::Analytic,
+                    samples: legacy.samples,
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -250,6 +284,28 @@ mod tests {
     }
 
     #[test]
+    fn systolic_backend_labels_come_from_the_systolic_engine() {
+        let task = DseTask::table_i_default();
+        let cfg = GenerateConfig {
+            backend: BackendId::Systolic,
+            ..tiny_config(10)
+        };
+        let ds = DseDataset::generate(&task, &cfg);
+        assert_eq!(ds.backend, BackendId::Systolic);
+        let engine = EvalEngine::for_backend(task.clone(), BackendId::Systolic);
+        let mut any_differs = false;
+        for s in &ds.samples {
+            let oracle = engine.oracle(&s.input());
+            assert_eq!(s.optimal, oracle.best_point);
+            assert_eq!(s.best_score.to_bits(), oracle.best_score.to_bits());
+            if s.best_score.to_bits() != task.oracle(&s.input()).best_score.to_bits() {
+                any_differs = true;
+            }
+        }
+        assert!(any_differs, "systolic labels never diverged from analytic");
+    }
+
+    #[test]
     fn split_partitions_everything() {
         let task = DseTask::table_i_default();
         let ds = DseDataset::generate(&task, &tiny_config(30));
@@ -274,6 +330,39 @@ mod tests {
         ds.save(&path).unwrap();
         let back = DseDataset::load(&path).unwrap();
         assert_eq!(ds, back);
+        assert_eq!(back.backend, BackendId::Analytic); // provenance survives
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn legacy_files_without_provenance_load_as_analytic() {
+        // corpora saved before the backend field existed were all
+        // analytic-labeled; they must keep loading
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(&task, &tiny_config(4));
+        let full = serde_json::to_string(&ds).unwrap();
+        let json_value: serde_json::JsonValue = serde_json::from_str(&full).unwrap();
+        // strip the backend key to reconstruct the legacy shape
+        let serde::Value::Object(entries) = &json_value else {
+            panic!("dataset serializes as an object");
+        };
+        let legacy_value = serde::Value::Object(
+            entries
+                .iter()
+                .filter(|(k, _)| k != "backend")
+                .cloned()
+                .collect(),
+        );
+        let dir = std::env::temp_dir().join("ai2_dse_ds_legacy_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        fs::write(&path, serde_json::to_string(&legacy_value).unwrap()).unwrap();
+        let back = DseDataset::load(&path).unwrap();
+        assert_eq!(back.backend, BackendId::Analytic);
+        assert_eq!(back.samples, ds.samples);
+        // …but a present-and-corrupt backend value still errors
+        fs::write(&path, full.replace("\"Analytic\"", "\"Rtl\"")).unwrap();
+        assert!(DseDataset::load(&path).is_err());
         fs::remove_file(path).ok();
     }
 

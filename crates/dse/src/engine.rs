@@ -33,8 +33,13 @@
 //!   fan out over one self-balancing [`WorkPool`] instead of each call
 //!   site growing its own thread machinery.
 //!
-//! Results are **bit-identical** to the direct [`DseTask`] methods: the
-//! engine caches the raw `(latency_cycles, energy_pj)` outputs of
+//! Raw costs come from a pluggable [`CostBackend`]
+//! (see [`crate::backend`]): the default analytic backend, or the
+//! cycle-accurate systolic backend via [`EvalEngine::for_backend`]. Each
+//! engine owns exactly one backend, so its caches can never mix labels
+//! from different backends. Under the default analytic backend, results
+//! are **bit-identical** to the direct [`DseTask`] methods: the engine
+//! caches the raw `(latency_cycles, energy_pj)` outputs of
 //! [`ai2_maestro::CostModel::evaluate`] and re-derives scores, areas and
 //! tie-breaks with exactly the arithmetic `DseTask` uses (property-tested
 //! in `tests/engine_consistency.rs`).
@@ -54,12 +59,10 @@ use std::sync::{Arc, OnceLock, RwLock};
 use ai2_workloads::generator::DseInput;
 use ai2_workloads::Layer;
 
+use crate::backend::{backend_for, AnalyticBackend, BackendId, CostBackend, RawCost};
 use crate::objective::{Budget, DseTask, Objective, OracleResult};
 use crate::pool::WorkPool;
 use crate::space::{DesignPoint, DesignSpace};
-
-/// Raw, objective-independent cost of one `(input, point)` evaluation.
-type RawCost = (u64, f64); // (latency_cycles, energy_pj)
 
 /// One input's lazily filled cost grid.
 struct GridEntry {
@@ -147,7 +150,12 @@ pub struct EngineStats {
 /// to call concurrently.
 pub struct EvalEngine {
     task: DseTask,
-    /// Area of every grid point under the task's cost model, flat-indexed.
+    /// The cost backend answering every raw-cost query. One backend per
+    /// engine: the grid/oracle caches below are therefore keyed by a
+    /// single backend and can never mix labels across backends.
+    backend: Arc<dyn CostBackend>,
+    /// Area of every grid point under the backend's area model,
+    /// flat-indexed.
     areas: Vec<f64>,
     pool: WorkPool,
     grid_capacity: usize,
@@ -163,6 +171,7 @@ impl std::fmt::Debug for EvalEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EvalEngine")
             .field("task", &self.task)
+            .field("backend", &self.backend.id())
             .field("threads", &self.pool.threads())
             .field("grid_capacity", &self.grid_capacity)
             .field("stats", &self.stats())
@@ -174,20 +183,42 @@ impl EvalEngine {
     /// Default number of cached per-input grids (≈ 20 MiB).
     pub const DEFAULT_GRID_CAPACITY: usize = 1024;
 
-    /// An engine over `task` with a machine-sized worker pool.
+    /// An engine over `task` with a machine-sized worker pool and the
+    /// default analytic backend (bit-identical to [`DseTask`]).
     pub fn new(task: DseTask) -> EvalEngine {
         Self::with_threads(task, 0)
     }
 
     /// An engine with an explicit worker count (`0` = available
-    /// parallelism).
+    /// parallelism) and the default analytic backend.
     pub fn with_threads(task: DseTask, threads: usize) -> EvalEngine {
+        let backend = Arc::new(AnalyticBackend::new(task.cost_model));
+        Self::with_backend_threads(task, backend, threads)
+    }
+
+    /// An engine whose raw costs come from the named [`BackendId`],
+    /// built over the task's cost-model constants (see
+    /// [`crate::backend::backend_for`]). The analytic backend preserves
+    /// [`DseTask`] answers bit-for-bit; other backends answer the same
+    /// queries from their own evaluator.
+    pub fn for_backend(task: DseTask, id: BackendId) -> EvalEngine {
+        let backend = backend_for(id, task.cost_model);
+        Self::with_backend_threads(task, backend, 0)
+    }
+
+    /// An engine over an arbitrary [`CostBackend`] implementation.
+    pub fn with_backend_threads(
+        task: DseTask,
+        backend: Arc<dyn CostBackend>,
+        threads: usize,
+    ) -> EvalEngine {
         let areas = task
             .space()
             .iter_points()
-            .map(|p| task.cost_model.area_mm2(&task.space().config(p)))
+            .map(|p| backend.area_mm2(&task.space().config(p)))
             .collect();
         EvalEngine {
+            backend,
             areas,
             pool: WorkPool::new(threads),
             grid_capacity: Self::DEFAULT_GRID_CAPACITY,
@@ -222,6 +253,11 @@ impl EvalEngine {
     /// The task under evaluation.
     pub fn task(&self) -> &DseTask {
         &self.task
+    }
+
+    /// The identity of the cost backend answering this engine's queries.
+    pub fn backend_id(&self) -> BackendId {
+        self.backend.id()
     }
 
     /// The output design space.
@@ -285,11 +321,7 @@ impl EvalEngine {
 
     fn compute_raw(&self, input: &DseInput, flat: usize) -> RawCost {
         let p = self.space().from_flat(flat);
-        let report =
-            self.task
-                .cost_model
-                .evaluate(&input.gemm, input.dataflow, &self.space().config(p));
-        (report.latency_cycles, report.energy_pj)
+        self.backend.raw_cost(input, &self.space().config(p))
     }
 
     /// The cached grid for `input`, if one already exists.
@@ -852,6 +884,59 @@ mod tests {
         // a different objective must actually change the ranking input
         let energy = engine.model_cost_batch_with(&layers, &points, Objective::Energy);
         assert!(lat.iter().zip(&energy).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn per_engine_backends_keep_caches_apart() {
+        // same task, two engines, two backends: answers differ, and each
+        // engine's caches only ever see its own backend's labels
+        let task = DseTask::table_i_default();
+        let analytic = EvalEngine::for_backend(task.clone(), BackendId::Analytic);
+        let systolic = EvalEngine::for_backend(task.clone(), BackendId::Systolic);
+        assert_eq!(analytic.backend_id(), BackendId::Analytic);
+        assert_eq!(systolic.backend_id(), BackendId::Systolic);
+        let inp = input(48, 300, 200, Dataflow::OutputStationary);
+        let a = analytic.oracle(&inp);
+        let s = systolic.oracle(&inp);
+        assert_eq!(a, task.oracle(&inp), "analytic backend must match DseTask");
+        assert_ne!(
+            a.best_score.to_bits(),
+            s.best_score.to_bits(),
+            "backends should answer differently"
+        );
+        // feasibility is backend-independent (shared area model)
+        assert_eq!(a.feasible_points, s.feasible_points);
+        // warming one engine leaves the other's caches untouched
+        let before = analytic.stats();
+        systolic.oracle(&inp);
+        systolic.score(
+            &inp,
+            DesignPoint {
+                pe_idx: 3,
+                buf_idx: 3,
+            },
+        );
+        assert_eq!(analytic.stats(), before);
+        assert_eq!(systolic.stats().oracle_hits, 1);
+    }
+
+    #[test]
+    fn systolic_engine_oracle_is_the_grid_argmin() {
+        // the systolic engine must be self-consistent: its memoized
+        // oracle equals the argmin over its own score grid
+        let engine = EvalEngine::for_backend(DseTask::table_i_default(), BackendId::Systolic);
+        let inp = input(40, 220, 90, Dataflow::WeightStationary);
+        let res = engine.oracle(&inp);
+        let grid = engine.score_grid(&inp);
+        let best = grid
+            .iter()
+            .filter(|s| !s.is_nan())
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        assert_eq!(res.best_score.to_bits(), best.to_bits());
+        assert_eq!(
+            res.best_score.to_bits(),
+            grid[engine.space().flat_index(res.best_point)].to_bits()
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`engine`] — the unified [`EvalEngine`]: every cost query of every
 //!   subsystem (oracle labeling, searchers, deployment, metrics) flows
 //!   through one concurrency-safe, memoizing, parallel substrate.
+//! * [`backend`] — pluggable [`CostBackend`]s behind the engine: the
+//!   analytic MAESTRO-style model (default, bit-identical to
+//!   [`DseTask`]) and the cycle-accurate systolic-schedule backend.
 //! * [`search`] — the iterative searchers of the paper's Fig. 1 and §V:
 //!   random search, simulated annealing, a GAMMA-style genetic algorithm,
 //!   a ConfuciuX-style REINFORCE + GA fine-tune, and Bayesian
@@ -40,11 +43,13 @@ mod dataset;
 mod objective;
 mod space;
 
+pub mod backend;
 pub mod engine;
 pub mod pool;
 pub mod search;
 pub mod stats;
 
+pub use backend::{AnalyticBackend, BackendId, CostBackend, ParseBackendError, SystolicBackend};
 pub use dataset::{DatasetError, DseDataset, DseSample, GenerateConfig};
 pub use engine::{EngineStats, EvalEngine};
 pub use objective::{Budget, DseTask, Objective, OracleResult};

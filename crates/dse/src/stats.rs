@@ -104,6 +104,7 @@ mod tests {
 
     fn ds_with_labels(labels: &[(usize, usize)]) -> DseDataset {
         DseDataset {
+            backend: crate::BackendId::Analytic,
             samples: labels
                 .iter()
                 .map(|&(pe, buf)| DseSample {

@@ -4,6 +4,17 @@
 //! plus a `BTreeMap` recency index keyed by a monotonically increasing
 //! logical clock, so eviction removes the least-recently-used entry in
 //! O(log n) without unsafe linked-list plumbing.
+//!
+//! # Invariants
+//!
+//! * every map entry has **exactly one** recency entry (same stamp both
+//!   ways), and the two indices always hold the same number of entries;
+//! * the logical clock only advances on operations that change recency
+//!   (hits and inserts) — **misses are side-effect-free**;
+//! * `len() ≤ capacity` at all times.
+//!
+//! These are `debug_assert`ed after every mutating call and pinned by a
+//! seeded randomized-operations test against a naive reference LRU.
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
@@ -40,19 +51,24 @@ impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
     }
 
     /// Looks `key` up and, on a hit, marks it most recently used.
+    /// A miss is completely side-effect-free: it neither advances the
+    /// logical clock nor touches the recency index.
     pub fn get(&mut self, key: &K) -> Option<V> {
-        self.clock += 1;
-        let clock = self.clock;
         let (value, stamp) = self.map.get_mut(key)?;
+        // hit confirmed — only now does the clock advance
+        self.clock += 1;
         self.recency.remove(&*stamp);
-        *stamp = clock;
+        *stamp = self.clock;
         let value = value.clone();
-        self.recency.insert(clock, key.clone());
+        self.recency.insert(self.clock, key.clone());
+        self.debug_check_invariants();
         Some(value)
     }
 
     /// Inserts (or refreshes) `key`, evicting the least-recently-used
-    /// entry when full.
+    /// entry when full. Refreshing an existing key never evicts: the
+    /// entry count does not grow, so the capacity check only applies to
+    /// genuinely new keys.
     pub fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
@@ -68,6 +84,26 @@ impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
         }
         self.map.insert(key.clone(), (value, self.clock));
         self.recency.insert(self.clock, key);
+        self.debug_check_invariants();
+    }
+
+    /// Debug-build audit of the map ↔ recency invariants.
+    fn debug_check_invariants(&self) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.map.len() <= self.capacity.max(1), "over capacity");
+            debug_assert_eq!(
+                self.map.len(),
+                self.recency.len(),
+                "map and recency index diverged"
+            );
+            for (key, (_, stamp)) in &self.map {
+                debug_assert!(
+                    self.recency.get(stamp).is_some_and(|k| k == key),
+                    "map entry without a matching recency entry"
+                );
+            }
+        }
     }
 }
 
@@ -106,5 +142,112 @@ mod tests {
         c.insert(1, 10);
         assert!(c.is_empty());
         assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn misses_are_side_effect_free() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // 1 is the LRU entry; a storm of misses must not disturb that
+        for k in 100..200 {
+            assert_eq!(c.get(&k), None);
+        }
+        let clock_after_misses = c.clock;
+        c.insert(3, 30); // evicts 1, not 2
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(20));
+        assert_eq!(c.get(&3), Some(30));
+        // the miss storm advanced nothing: only the insert and two hits did
+        assert_eq!(c.clock, clock_after_misses + 3);
+    }
+
+    /// Naive reference LRU: a recency-ordered `Vec`, most recent last.
+    struct NaiveLru<K, V> {
+        capacity: usize,
+        entries: Vec<(K, V)>,
+    }
+
+    impl<K: Clone + PartialEq, V: Clone> NaiveLru<K, V> {
+        fn new(capacity: usize) -> Self {
+            NaiveLru {
+                capacity,
+                entries: Vec::new(),
+            }
+        }
+
+        fn get(&mut self, key: &K) -> Option<V> {
+            let pos = self.entries.iter().position(|(k, _)| k == key)?;
+            let entry = self.entries.remove(pos);
+            let value = entry.1.clone();
+            self.entries.push(entry);
+            Some(value)
+        }
+
+        fn insert(&mut self, key: K, value: V) {
+            if self.capacity == 0 {
+                return;
+            }
+            if let Some(pos) = self.entries.iter().position(|(k, _)| k == &key) {
+                self.entries.remove(pos);
+            } else if self.entries.len() >= self.capacity {
+                self.entries.remove(0);
+            }
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Tiny standalone LCG so this test needs no RNG dependency.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    #[test]
+    fn randomized_ops_match_a_naive_reference_lru() {
+        // every (seed, capacity) pair replays 2000 mixed get/insert ops
+        // on both implementations; results, lengths and eviction choices
+        // must agree at every step
+        for (seed, capacity) in [(1u64, 1usize), (2, 2), (3, 3), (4, 7), (5, 16), (6, 0)] {
+            let mut lru: LruCache<u32, u64> = LruCache::new(capacity);
+            let mut reference = NaiveLru::new(capacity);
+            let mut g = Lcg(seed);
+            for step in 0..2000 {
+                // a small key universe so hits, misses, refreshes and
+                // evictions all occur frequently
+                let key = (g.next() % (capacity as u64 * 2 + 4)) as u32;
+                if g.next().is_multiple_of(3) {
+                    let value = g.next();
+                    lru.insert(key, value);
+                    reference.insert(key, value);
+                } else {
+                    assert_eq!(
+                        lru.get(&key),
+                        reference.get(&key),
+                        "seed {seed} capacity {capacity} step {step} key {key}"
+                    );
+                }
+                assert_eq!(
+                    lru.len(),
+                    reference.entries.len(),
+                    "seed {seed} capacity {capacity} step {step}"
+                );
+            }
+            // final sweep: both caches hold exactly the same keys
+            for key in 0..(capacity as u32 * 2 + 4) {
+                assert_eq!(
+                    lru.get(&key).is_some(),
+                    reference.get(&key).is_some(),
+                    "seed {seed} capacity {capacity} final key {key}"
+                );
+            }
+        }
     }
 }

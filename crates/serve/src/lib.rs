@@ -44,6 +44,7 @@
 //!     objective: Objective::Latency,
 //!     budget: Budget::Edge,
 //!     deadline_ms: Some(50),
+//!     backend: None, // or Some("systolic".into()) for cycle-accurate costs
 //! });
 //! println!("{resp:?} (also serving on {addr})");
 //! ```
@@ -57,5 +58,5 @@ pub mod server;
 pub use protocol::{
     Query, QueryKey, RecommendRequest, Recommendation, Request, Response, ServeStats,
 };
-pub use recommend::recommend_batch;
+pub use recommend::{recommend_batch, BackendEngines};
 pub use server::{Client, Pending, RecommendService, ServeConfig, TcpClient};

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ai2_tensor::stats::percentile_sorted;
+use ai2_tensor::stats::try_percentile_sorted;
 
 /// How many recent request latencies the percentile window keeps. A ring
 /// buffer: once full, new samples overwrite the oldest, so p50/p95/p99
@@ -44,12 +44,14 @@ pub struct MetricsSnapshot {
     pub uptime_ms: u64,
     /// Served requests per second over the uptime.
     pub throughput_rps: f64,
-    /// Median latency over the recent window (µs).
-    pub p50_us: f64,
-    /// 95th percentile (µs).
-    pub p95_us: f64,
-    /// 99th percentile (µs).
-    pub p99_us: f64,
+    /// Median latency over the recent window (µs); `None` while the
+    /// window is empty (a cold server has no percentiles — and `NaN` is
+    /// not legal JSON, so the wire shows `null` instead).
+    pub p50_us: Option<f64>,
+    /// 95th percentile (µs); `None` on an empty window.
+    pub p95_us: Option<f64>,
+    /// 99th percentile (µs); `None` on an empty window.
+    pub p99_us: Option<f64>,
 }
 
 impl ServiceMetrics {
@@ -118,9 +120,9 @@ impl ServiceMetrics {
             } else {
                 0.0
             },
-            p50_us: percentile_sorted(&samples, 50.0),
-            p95_us: percentile_sorted(&samples, 95.0),
-            p99_us: percentile_sorted(&samples, 99.0),
+            p50_us: try_percentile_sorted(&samples, 50.0),
+            p95_us: try_percentile_sorted(&samples, 95.0),
+            p99_us: try_percentile_sorted(&samples, 99.0),
         }
     }
 }
@@ -149,15 +151,24 @@ mod tests {
         assert_eq!(s.deadline_expired, 1);
         assert_eq!(s.errors, 2);
         // samples 1..=100 → p50 interpolates to 50.5
-        assert!((s.p50_us - 50.5).abs() < 1e-9, "p50 {}", s.p50_us);
-        assert!(s.p95_us > s.p50_us && s.p99_us >= s.p95_us);
+        let (p50, p95, p99) = (
+            s.p50_us.expect("non-empty window"),
+            s.p95_us.expect("non-empty window"),
+            s.p99_us.expect("non-empty window"),
+        );
+        assert!((p50 - 50.5).abs() < 1e-9, "p50 {p50}");
+        assert!(p95 > p50 && p99 >= p95);
         assert!(s.throughput_rps > 0.0);
     }
 
     #[test]
-    fn empty_window_reports_nan_percentiles_not_panics() {
+    fn empty_window_reports_no_percentiles_not_nan() {
+        // NaN is not legal JSON: a cold server's percentiles must be
+        // absent (None → null on the wire), never NaN
         let s = ServiceMetrics::new().snapshot();
         assert_eq!(s.served, 0);
-        assert!(s.p50_us.is_nan());
+        assert_eq!(s.p50_us, None);
+        assert_eq!(s.p95_us, None);
+        assert_eq!(s.p99_us, None);
     }
 }

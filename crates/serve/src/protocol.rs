@@ -2,18 +2,21 @@
 //! service.
 //!
 //! Every request and response is one JSON document on one line
-//! (externally-tagged enums, the vendored serde encoding). All fields are
-//! required; optional semantics use explicit `null` (the stub codec has
-//! no `#[serde(default)]`).
+//! (externally-tagged enums, the vendored serde encoding). `Option`
+//! fields are optional on the wire: they may be omitted or sent as
+//! explicit `null` (the vendored codec treats a missing `Option` field
+//! as `None`, like real serde).
 //!
 //! Requests are *canonicalised* into a [`QueryKey`] — the response-cache
 //! key and the identity under which two textually different requests
 //! (case-folded model names, identical GEMM dims) are recognised as the
-//! same question.
+//! same question. The cost backend is part of that identity: the same
+//! GEMM asked under `"analytic"` and `"systolic"` are different
+//! questions with differently cached answers.
 
 use std::str::FromStr;
 
-use ai2_dse::{Budget, DesignPoint, Objective};
+use ai2_dse::{BackendId, Budget, DesignPoint, Objective, ParseBackendError};
 use ai2_maestro::Dataflow;
 use ai2_workloads::generator::DseInput;
 use serde::{Deserialize, Serialize};
@@ -44,6 +47,22 @@ pub struct RecommendRequest {
     /// Per-request deadline in milliseconds from admission; an expired
     /// request answers with an error instead of occupying a shard.
     pub deadline_ms: Option<u64>,
+    /// Cost backend verifying the recommendation: `"analytic"` (the
+    /// default when omitted or `null`) or `"systolic"`. Unknown names
+    /// are rejected with an error response.
+    pub backend: Option<String>,
+}
+
+impl RecommendRequest {
+    /// The requested cost backend; the parse error (which must answer
+    /// an error response, never a panic or a silent default) carries the
+    /// canonical "unknown cost backend …" message.
+    pub fn backend_id(&self) -> Result<BackendId, ParseBackendError> {
+        match &self.backend {
+            None => Ok(BackendId::Analytic),
+            Some(name) => BackendId::from_str(name),
+        }
+    }
 }
 
 /// The workload of a [`RecommendRequest`].
@@ -128,6 +147,10 @@ pub struct Recommendation {
     pub feasible: bool,
     /// Layer entries folded into the answer (1 for GEMM queries).
     pub layers: usize,
+    /// The cost backend that verified `cost` (`"analytic"` /
+    /// `"systolic"`), echoed so clients can tell which evaluator
+    /// answered.
+    pub backend: String,
 }
 
 /// Service counters and latency percentiles (the `stats` endpoint).
@@ -150,14 +173,18 @@ pub struct ServeStats {
     /// Served requests per second over the uptime.
     pub throughput_rps: f64,
     /// Median request latency (admission → response), microseconds.
-    pub p50_us: f64,
-    /// 95th-percentile latency, microseconds.
-    pub p95_us: f64,
-    /// 99th-percentile latency, microseconds.
-    pub p99_us: f64,
-    /// Raw-cost evaluations answered from the engine's grid cache.
+    /// `null` until the first request has been served — `NaN` is not
+    /// legal JSON, so a cold server's percentiles are absent, not NaN.
+    pub p50_us: Option<f64>,
+    /// 95th-percentile latency, microseconds (`null` while cold).
+    pub p95_us: Option<f64>,
+    /// 99th-percentile latency, microseconds (`null` while cold).
+    pub p99_us: Option<f64>,
+    /// Raw-cost evaluations answered from a grid cache, summed over the
+    /// per-backend engines.
     pub engine_point_hits: u64,
-    /// Raw-cost evaluations that ran the cost model.
+    /// Raw-cost evaluations that ran a cost backend, summed over the
+    /// per-backend engines.
     pub engine_point_misses: u64,
 }
 
@@ -170,6 +197,9 @@ pub struct QueryKey {
     objective: u8,
     /// `f64::to_bits` of the area limit; `u64::MAX` for unbounded.
     budget_bits: u64,
+    /// The verifying cost backend — cached answers from one backend must
+    /// never be served for another.
+    backend: BackendId,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -180,9 +210,10 @@ enum KeyKind {
 
 impl QueryKey {
     /// Canonicalises a request. `None` when the query can never be
-    /// served (zero GEMM dimension, unparsable dataflow) — those get
-    /// error responses, not cache slots.
+    /// served (zero GEMM dimension, unparsable dataflow, unknown
+    /// backend) — those get error responses, not cache slots.
     pub fn of(req: &RecommendRequest) -> Option<QueryKey> {
+        let backend = req.backend_id().ok()?;
         let kind = match &req.query {
             Query::Gemm { m, n, k, dataflow } => {
                 req.query.as_dse_input()?;
@@ -202,6 +233,7 @@ impl QueryKey {
                 Some(limit) => limit.to_bits(),
                 None => u64::MAX,
             },
+            backend,
         })
     }
 }
@@ -236,6 +268,7 @@ mod tests {
             objective: Objective::Latency,
             budget: Budget::Edge,
             deadline_ms: None,
+            backend: None,
         }
     }
 
@@ -251,6 +284,7 @@ mod tests {
                 objective: Objective::Edp,
                 budget: Budget::Custom(0.31),
                 deadline_ms: Some(250),
+                backend: Some("systolic".into()),
             }),
             Request::Stats { id: 9 },
         ];
@@ -275,6 +309,7 @@ mod tests {
             cost: 123456.75,
             feasible: true,
             layers: 1,
+            backend: "analytic".into(),
         });
         let back: Response = decode_line(&encode_line(&resp)).unwrap();
         assert_eq!(back, resp);
@@ -306,6 +341,7 @@ mod tests {
             objective: Objective::Latency,
             budget: Budget::Edge,
             deadline_ms: None,
+            backend: None,
         };
         let lower = RecommendRequest {
             query: Query::Model {
@@ -314,6 +350,48 @@ mod tests {
             ..upper.clone()
         };
         assert_eq!(QueryKey::of(&upper), QueryKey::of(&lower));
+    }
+
+    #[test]
+    fn backend_field_is_optional_on_the_wire() {
+        // a pre-backend client line (no "backend" key at all) must still
+        // parse, defaulting to the analytic backend
+        let line = r#"{"Recommend":{"id":3,"query":{"Gemm":{"m":8,"n":8,"k":8,"dataflow":"os"}},"objective":"Latency","budget":"Edge","deadline_ms":null}}"#;
+        let req: Request = decode_line(line).unwrap();
+        let Request::Recommend(req) = req else {
+            panic!("expected recommend, got {req:?}");
+        };
+        assert_eq!(req.backend, None);
+        assert_eq!(req.backend_id(), Ok(BackendId::Analytic));
+        // and explicit spellings parse case-insensitively
+        let mut sys = gemm_req(1);
+        sys.backend = Some("Systolic".into());
+        assert_eq!(sys.backend_id(), Ok(BackendId::Systolic));
+    }
+
+    #[test]
+    fn backend_is_part_of_the_cache_identity() {
+        let analytic = QueryKey::of(&gemm_req(1)).unwrap();
+        let mut req = gemm_req(1);
+        req.backend = Some("systolic".into());
+        let systolic = QueryKey::of(&req).unwrap();
+        assert_ne!(
+            analytic, systolic,
+            "cached answers must never cross backends"
+        );
+        // the explicit default spelling canonicalises onto the implicit one
+        let mut explicit = gemm_req(1);
+        explicit.backend = Some("analytic".into());
+        assert_eq!(QueryKey::of(&explicit).unwrap(), analytic);
+    }
+
+    #[test]
+    fn unknown_backend_has_no_key() {
+        let mut req = gemm_req(1);
+        req.backend = Some("rtl".into());
+        let err = req.backend_id().unwrap_err();
+        assert!(err.to_string().contains("rtl"), "{err}");
+        assert!(QueryKey::of(&req).is_none());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The pure recommendation kernel: a batch of parsed requests against
-//! one warm [`Airchitect2`] and one [`EvalEngine`], no queues or sockets.
+//! one warm [`Airchitect2`] and one [`EvalEngine`] per cost backend
+//! ([`BackendEngines`]), no queues or sockets.
 //!
 //! This is the function the worker shards call on every micro-batch, and
 //! the function tests call directly to establish the ground truth the
@@ -9,8 +10,9 @@
 //! exactly what per-request calls would.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
-use ai2_dse::{DesignPoint, EvalEngine, Objective};
+use ai2_dse::{BackendId, DesignPoint, EvalEngine, Objective};
 use ai2_maestro::Dataflow;
 use ai2_workloads::generator::DseInput;
 use ai2_workloads::zoo;
@@ -18,24 +20,82 @@ use airchitect::Airchitect2;
 
 use crate::protocol::{Query, RecommendRequest, Recommendation, Response};
 
+/// One [`EvalEngine`] per cost backend over the same task. Each engine
+/// owns its backend, so grid/oracle caches can never mix labels across
+/// backends; feasibility is identical across engines (shared area
+/// model).
+#[derive(Debug, Clone)]
+pub struct BackendEngines {
+    analytic: Arc<EvalEngine>,
+    systolic: Arc<EvalEngine>,
+    primary: BackendId,
+}
+
+impl BackendEngines {
+    /// Wraps the primary engine — the one the model was trained over and
+    /// predicts through, whatever its backend — and builds a sibling
+    /// engine over the same task for every other backend, so queries can
+    /// select either evaluator regardless of which one trained the
+    /// model.
+    pub fn new(primary: Arc<EvalEngine>) -> BackendEngines {
+        let primary_id = primary.backend_id();
+        let task = primary.task().clone();
+        let sibling = |id: BackendId| -> Arc<EvalEngine> {
+            if id == primary_id {
+                Arc::clone(&primary)
+            } else {
+                Arc::new(EvalEngine::for_backend(task.clone(), id))
+            }
+        };
+        BackendEngines {
+            analytic: sibling(BackendId::Analytic),
+            systolic: sibling(BackendId::Systolic),
+            primary: primary_id,
+        }
+    }
+
+    /// The engine answering queries for `id`.
+    pub fn get(&self, id: BackendId) -> &Arc<EvalEngine> {
+        match id {
+            BackendId::Analytic => &self.analytic,
+            BackendId::Systolic => &self.systolic,
+        }
+    }
+
+    /// The primary engine (the model's training/prediction substrate).
+    pub fn primary(&self) -> &Arc<EvalEngine> {
+        self.get(self.primary)
+    }
+}
+
 /// Answers a batch of recommendation requests: one coalesced
 /// `Predictor` forward pass for all GEMM queries, grouped
-/// [`EvalEngine::score_many_inputs`] verification per objective, and a
-/// Method-1-style deployment fold per model query. Responses come back
-/// in request order.
+/// [`EvalEngine::score_many_inputs`] verification per
+/// `(backend, objective)` group, and a Method-1-style deployment fold
+/// per model query. Responses come back in request order.
 pub fn recommend_batch(
     model: &Airchitect2,
-    engine: &EvalEngine,
+    engines: &BackendEngines,
     reqs: &[RecommendRequest],
 ) -> Vec<Response> {
     let mut out: Vec<Option<Response>> = vec![None; reqs.len()];
 
     // -- partition ----------------------------------------------------
-    let mut gemm: Vec<(usize, DseInput)> = Vec::new();
+    let mut gemm: Vec<(usize, DseInput, BackendId)> = Vec::new();
     for (i, req) in reqs.iter().enumerate() {
+        let backend = match req.backend_id() {
+            Ok(backend) => backend,
+            Err(e) => {
+                out[i] = Some(Response::Error {
+                    id: req.id,
+                    message: e.to_string(),
+                });
+                continue;
+            }
+        };
         match &req.query {
             Query::Gemm { dataflow, .. } => match req.query.as_dse_input() {
-                Some(input) => gemm.push((i, input)),
+                Some(input) => gemm.push((i, input, backend)),
                 None => {
                     out[i] = Some(Response::Error {
                         id: req.id,
@@ -48,9 +108,12 @@ pub fn recommend_batch(
             },
             Query::Model { name } => match zoo::model_by_name(name) {
                 Some(workload) => {
+                    let engine = engines.get(backend);
                     let (point, cost, feasible, layers) =
                         recommend_model(model, engine, &workload, req.objective, req.budget);
-                    out[i] = Some(recommendation(engine, req, point, cost, feasible, layers));
+                    out[i] = Some(recommendation(
+                        engine, req, point, cost, feasible, layers, backend,
+                    ));
                 }
                 None => {
                     out[i] = Some(Response::Error {
@@ -63,29 +126,34 @@ pub fn recommend_batch(
     }
 
     // -- one forward pass for every GEMM query ------------------------
-    let inputs: Vec<DseInput> = gemm.iter().map(|&(_, input)| input).collect();
+    let inputs: Vec<DseInput> = gemm.iter().map(|&(_, input, _)| input).collect();
     let points = model.predict(&inputs);
 
-    // -- engine verification, grouped by objective --------------------
-    for objective in [Objective::Latency, Objective::Energy, Objective::Edp] {
-        let group: Vec<usize> = (0..gemm.len())
-            .filter(|&g| reqs[gemm[g].0].objective == objective)
-            .collect();
-        if group.is_empty() {
-            continue;
-        }
-        let queries: Vec<(DseInput, DesignPoint)> =
-            group.iter().map(|&g| (gemm[g].1, points[g])).collect();
-        // unbounded: infeasible recommendations still get their true
-        // cost reported, with `feasible: false`
-        let costs = engine.score_many_inputs(&queries, objective, ai2_dse::Budget::Unbounded);
-        for (&g, cost) in group.iter().zip(&costs) {
-            let (i, _) = gemm[g];
-            let req = &reqs[i];
-            let point = points[g];
-            let feasible = engine.is_feasible_under(point, req.budget);
-            let cost = cost.expect("unbounded scoring always answers");
-            out[i] = Some(recommendation(engine, req, point, cost, feasible, 1));
+    // -- engine verification, grouped by (backend, objective) ---------
+    for backend in BackendId::ALL {
+        for objective in [Objective::Latency, Objective::Energy, Objective::Edp] {
+            let group: Vec<usize> = (0..gemm.len())
+                .filter(|&g| gemm[g].2 == backend && reqs[gemm[g].0].objective == objective)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let engine = engines.get(backend);
+            let queries: Vec<(DseInput, DesignPoint)> =
+                group.iter().map(|&g| (gemm[g].1, points[g])).collect();
+            // unbounded: infeasible recommendations still get their true
+            // cost reported, with `feasible: false`
+            let costs = engine.score_many_inputs(&queries, objective, ai2_dse::Budget::Unbounded);
+            for (&g, cost) in group.iter().zip(&costs) {
+                let (i, _, _) = gemm[g];
+                let req = &reqs[i];
+                let point = points[g];
+                let feasible = engine.is_feasible_under(point, req.budget);
+                let cost = cost.expect("unbounded scoring always answers");
+                out[i] = Some(recommendation(
+                    engine, req, point, cost, feasible, 1, backend,
+                ));
+            }
         }
     }
 
@@ -155,6 +223,7 @@ fn recommendation(
     cost: f64,
     feasible: bool,
     layers: usize,
+    backend: BackendId,
 ) -> Response {
     let hw = engine.space().config(point);
     Response::Recommendation(Recommendation {
@@ -165,6 +234,7 @@ fn recommendation(
         cost,
         feasible,
         layers,
+        backend: backend.as_str().to_string(),
     })
 }
 
@@ -177,7 +247,7 @@ mod tests {
     use airchitect::ModelConfig;
     use std::sync::Arc;
 
-    fn trained() -> (Arc<EvalEngine>, Airchitect2) {
+    fn trained() -> (BackendEngines, Airchitect2) {
         let task = DseTask::table_i_default();
         let ds = DseDataset::generate(
             &task,
@@ -191,7 +261,7 @@ mod tests {
         let engine = EvalEngine::shared(task);
         let mut model = Airchitect2::with_engine(&ModelConfig::tiny(), Arc::clone(&engine), &ds);
         model.fit(&ds, &TrainConfig::quick());
-        (engine, model)
+        (BackendEngines::new(engine), model)
     }
 
     fn gemm(id: u64, m: u64, objective: Objective) -> RecommendRequest {
@@ -206,47 +276,91 @@ mod tests {
             objective,
             budget: Budget::Edge,
             deadline_ms: None,
+            backend: None,
         }
     }
 
     #[test]
     fn batched_answers_match_singleton_answers() {
-        let (engine, model) = trained();
+        let (engines, model) = trained();
         let reqs: Vec<RecommendRequest> = (0..8)
             .map(|i| {
-                gemm(
+                let mut req = gemm(
                     i,
                     16 + i * 13,
                     [Objective::Latency, Objective::Energy, Objective::Edp][i as usize % 3],
-                )
+                );
+                // mix backends so batching crosses the routing groups
+                if i % 2 == 1 {
+                    req.backend = Some("systolic".into());
+                }
+                req
             })
             .collect();
-        let batched = recommend_batch(&model, &engine, &reqs);
+        let batched = recommend_batch(&model, &engines, &reqs);
         for (req, expect) in reqs.iter().zip(&batched) {
-            let single = recommend_batch(&model, &engine, std::slice::from_ref(req));
+            let single = recommend_batch(&model, &engines, std::slice::from_ref(req));
             assert_eq!(&single[0], expect, "batching changed the answer");
         }
     }
 
     #[test]
     fn gemm_cost_is_engine_verified() {
-        let (engine, model) = trained();
+        let (engines, model) = trained();
         let req = gemm(5, 64, Objective::Latency);
-        let resp = recommend_batch(&model, &engine, std::slice::from_ref(&req));
+        let resp = recommend_batch(&model, &engines, std::slice::from_ref(&req));
         let Response::Recommendation(rec) = &resp[0] else {
             panic!("expected recommendation, got {resp:?}");
         };
         assert_eq!(rec.id, 5);
         assert_eq!(rec.layers, 1);
+        assert_eq!(rec.backend, "analytic");
         let input = req.query.as_dse_input().unwrap();
+        let engine = engines.primary();
         let direct = engine.score_unchecked_with(&input, rec.point, Objective::Latency);
         assert_eq!(rec.cost.to_bits(), direct.to_bits());
         assert_eq!(rec.feasible, engine.is_feasible(rec.point));
     }
 
     #[test]
+    fn systolic_backend_routes_to_the_systolic_engine() {
+        let (engines, model) = trained();
+        let mut sys_req = gemm(7, 64, Objective::Latency);
+        sys_req.backend = Some("systolic".into());
+        let ana_req = gemm(8, 64, Objective::Latency);
+        let resp = recommend_batch(&model, &engines, &[sys_req.clone(), ana_req]);
+        let (Response::Recommendation(sys), Response::Recommendation(ana)) = (&resp[0], &resp[1])
+        else {
+            panic!("expected recommendations, got {resp:?}");
+        };
+        assert_eq!(sys.backend, "systolic");
+        assert_eq!(ana.backend, "analytic");
+        // the predicted point is backend-independent; its verified cost
+        // is not
+        assert_eq!(sys.point, ana.point);
+        assert_ne!(sys.cost.to_bits(), ana.cost.to_bits());
+        let input = sys_req.query.as_dse_input().unwrap();
+        let direct = engines
+            .get(ai2_dse::BackendId::Systolic)
+            .score_unchecked_with(&input, sys.point, Objective::Latency);
+        assert_eq!(sys.cost.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn unknown_backend_is_a_clean_error() {
+        let (engines, model) = trained();
+        let mut req = gemm(3, 32, Objective::Latency);
+        req.backend = Some("rtl".into());
+        let resp = recommend_batch(&model, &engines, &[req]);
+        assert!(
+            matches!(&resp[0], Response::Error { id: 3, message } if message.contains("backend")),
+            "unexpected {resp:?}"
+        );
+    }
+
+    #[test]
     fn model_query_returns_feasible_deployment() {
-        let (engine, model) = trained();
+        let (engines, model) = trained();
         let req = RecommendRequest {
             id: 9,
             query: Query::Model {
@@ -255,8 +369,9 @@ mod tests {
             objective: Objective::Latency,
             budget: Budget::Edge,
             deadline_ms: None,
+            backend: None,
         };
-        let resp = recommend_batch(&model, &engine, &[req]);
+        let resp = recommend_batch(&model, &engines, &[req]);
         let Response::Recommendation(rec) = &resp[0] else {
             panic!("expected recommendation, got {resp:?}");
         };
@@ -267,7 +382,7 @@ mod tests {
 
     #[test]
     fn unknown_model_and_bad_dataflow_are_errors() {
-        let (engine, model) = trained();
+        let (engines, model) = trained();
         let bad_model = RecommendRequest {
             id: 1,
             query: Query::Model {
@@ -276,6 +391,7 @@ mod tests {
             objective: Objective::Latency,
             budget: Budget::Edge,
             deadline_ms: None,
+            backend: None,
         };
         let mut bad_df = gemm(2, 10, Objective::Latency);
         bad_df.query = Query::Gemm {
@@ -284,7 +400,7 @@ mod tests {
             k: 1,
             dataflow: "zigzag".into(),
         };
-        let resp = recommend_batch(&model, &engine, &[bad_model, bad_df]);
+        let resp = recommend_batch(&model, &engines, &[bad_model, bad_df]);
         assert!(matches!(&resp[0], Response::Error { id: 1, .. }));
         assert!(matches!(&resp[1], Response::Error { id: 2, .. }));
     }

@@ -15,10 +15,11 @@
 //!    **one** [`recommend_batch`] call — a single `Predictor` forward
 //!    pass for every GEMM query in the batch, regardless of how many
 //!    clients they came from.
-//! 3. **Verification** — costs come from the shared engine
+//! 3. **Verification** — costs come from the shared per-backend engines
 //!    ([`EvalEngine::score_many_inputs`] /
-//!    [`EvalEngine::model_cost_batch_with`]), so every shard's answers
-//!    land in (and reuse) the same raw-cost cache.
+//!    [`EvalEngine::model_cost_batch_with`] on the engine the query's
+//!    `"backend"` field selects), so every shard's answers land in (and
+//!    reuse) the same per-backend raw-cost caches.
 //! 4. **Response** — each job's `mpsc` slot receives its [`Response`];
 //!    the metrics window records the admission→response latency that the
 //!    `stats` endpoint aggregates into p50/p95/p99.
@@ -44,7 +45,7 @@ use crate::protocol::{
     decode_line, encode_line, QueryKey, RecommendRequest, Recommendation, Request, Response,
     ServeStats,
 };
-use crate::recommend::recommend_batch;
+use crate::recommend::{recommend_batch, BackendEngines};
 
 /// Service sizing knobs.
 #[derive(Debug, Clone)]
@@ -78,7 +79,7 @@ struct Job {
 
 struct Inner {
     cfg: ServeConfig,
-    engine: Arc<EvalEngine>,
+    engines: BackendEngines,
     ckpt: ModelCheckpoint,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
@@ -113,7 +114,16 @@ impl Inner {
 
     fn serve_stats(&self, id: u64) -> ServeStats {
         let snap = self.metrics.snapshot();
-        let engine = self.engine.stats();
+        // summed across the per-backend engines (each keeps its own
+        // caches; the counters are additive)
+        let engine = ai2_dse::BackendId::ALL
+            .iter()
+            .map(|&b| self.engines.get(b).stats())
+            .fold(ai2_dse::EngineStats::default(), |mut acc, s| {
+                acc.point_hits += s.point_hits;
+                acc.point_misses += s.point_misses;
+                acc
+            });
         ServeStats {
             id,
             served: snap.served,
@@ -163,7 +173,7 @@ impl RecommendService {
         let inner = Arc::new(Inner {
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             cfg,
-            engine,
+            engines: BackendEngines::new(engine),
             ckpt,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -294,7 +304,7 @@ impl Pending {
 // shard workers
 
 fn shard_main(inner: &Inner) {
-    let model = Airchitect2::from_checkpoint(Arc::clone(&inner.engine), &inner.ckpt)
+    let model = Airchitect2::from_checkpoint(Arc::clone(inner.engines.primary()), &inner.ckpt)
         .expect("checkpoint validated at startup");
     loop {
         let batch: Vec<Job> = {
@@ -358,7 +368,7 @@ fn process_batch(inner: &Inner, model: &Airchitect2, batch: Vec<Job>) {
         return;
     }
     let reqs: Vec<RecommendRequest> = compute.iter().map(|j| j.req.clone()).collect();
-    let responses = recommend_batch(model, &inner.engine, &reqs);
+    let responses = recommend_batch(model, &inner.engines, &reqs);
     for (job, resp) in compute.into_iter().zip(responses) {
         match &resp {
             Response::Recommendation(rec) => {
@@ -536,6 +546,7 @@ mod tests {
             objective: Objective::Latency,
             budget: Budget::Edge,
             deadline_ms: None,
+            backend: None,
         }
     }
 
@@ -561,7 +572,64 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.served, 6);
         assert_eq!(stats.errors, 0);
-        assert!(stats.p50_us > 0.0);
+        assert!(stats.p50_us.expect("warm percentiles") > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cold_server_stats_round_trip_as_legal_json() {
+        // before any request is served the latency window is empty; the
+        // percentiles must cross the wire as `null` (never the bare
+        // `NaN` literal, which is not legal JSON) and decode back
+        let (engine, ckpt) = trained_checkpoint();
+        let mut service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+        let addr = service.listen("127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(addr).unwrap();
+
+        let line = encode_line(&Response::Stats(service.stats()));
+        assert!(!line.contains("NaN"), "NaN leaked onto the wire: {line}");
+        assert!(line.contains("\"p50_us\":null"), "expected null: {line}");
+
+        let resp = tcp.send(&Request::Stats { id: 4 }).unwrap();
+        let Response::Stats(s) = resp else {
+            panic!("expected stats, got {resp:?}");
+        };
+        assert_eq!(s.id, 4);
+        assert_eq!(s.served, 0);
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us), (None, None, None));
+        service.shutdown();
+    }
+
+    #[test]
+    fn response_cache_never_mixes_backends() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+        let client = service.client();
+        let mut sys = gemm_req(1, 64);
+        sys.backend = Some("systolic".into());
+        let ana = gemm_req(2, 64); // same canonical GEMM, analytic backend
+        let first_sys = client.recommend(sys.clone());
+        let first_ana = client.recommend(ana.clone());
+        // different backends: the second answer must NOT come from the
+        // first one's cache slot
+        assert_eq!(service.stats().cache_hits, 0);
+        let (Response::Recommendation(s), Response::Recommendation(a)) = (&first_sys, &first_ana)
+        else {
+            panic!("expected recommendations: {first_sys:?} / {first_ana:?}");
+        };
+        assert_eq!(s.backend, "systolic");
+        assert_eq!(a.backend, "analytic");
+        assert_ne!(s.cost.to_bits(), a.cost.to_bits());
+        // repeating each query hits its own per-backend slot
+        let mut sys2 = sys.clone();
+        sys2.id = 3;
+        let again = client.recommend(sys2);
+        assert_eq!(service.stats().cache_hits, 1);
+        let Response::Recommendation(s2) = &again else {
+            panic!("expected recommendation: {again:?}");
+        };
+        assert_eq!(s2.cost.to_bits(), s.cost.to_bits());
+        assert_eq!(s2.backend, "systolic");
         service.shutdown();
     }
 

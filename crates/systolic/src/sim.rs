@@ -111,6 +111,56 @@ impl GemmSimulation {
         }
     }
 
+    /// The exact cycle/work accounting of [`GemmSimulation::run`] for
+    /// these dimensions, **without** executing any MACs or touching
+    /// operand data.
+    ///
+    /// The simulator's cycle count is data-independent: each output tile
+    /// of shape `tr × tc` streams its operands for exactly
+    /// `k + tr + tc + 1` cycles (skew fill, `K` streaming, flush) plus a
+    /// `tc`-cycle drain. Folding that per-tile cost over the tile grid in
+    /// closed form reproduces `run(..).report()` bit-for-bit (pinned by
+    /// `dry_run_matches_full_simulation` below) at `O(1)` cost — which is
+    /// what lets the cycle-accurate cost backend sweep full design-space
+    /// grids over Table-I-sized GEMMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn dry_run(cfg: &ArrayConfig, m: usize, n: usize, k: usize) -> SimReport {
+        assert!(m > 0 && n > 0 && k > 0, "GemmSimulation: zero dimension");
+        let (rows, cols) = (cfg.rows, cfg.cols);
+        // tile-shape histogram: full and ragged extents along each axis
+        let (full_m, rag_m) = (m / rows, m % rows);
+        let (full_n, rag_n) = (n / cols, n % cols);
+        let mut stream_cycles = 0u64;
+        let mut drain_cycles = 0u64;
+        let mut tiles = 0u64;
+        for (tr, count_m) in [(rows, full_m), (rag_m, 1)] {
+            if count_m == 0 || tr == 0 {
+                continue;
+            }
+            for (tc, count_n) in [(cols, full_n), (rag_n, 1)] {
+                if count_n == 0 || tc == 0 {
+                    continue;
+                }
+                let count = (count_m * count_n) as u64;
+                stream_cycles += count * (k + tr + tc + 1) as u64;
+                drain_cycles += count * tc as u64;
+                tiles += count;
+            }
+        }
+        let total = stream_cycles + drain_cycles;
+        let macs = (m * n * k) as u64;
+        SimReport {
+            total_cycles: total,
+            drain_cycles,
+            macs,
+            tiles,
+            utilization: macs as f64 / (total as f64 * cfg.num_pes() as f64),
+        }
+    }
+
     /// The accounting report.
     pub fn report(&self) -> SimReport {
         self.report
@@ -208,6 +258,49 @@ mod tests {
             ragged.report().utilization
         );
         assert!(full.report().utilization <= 1.0);
+    }
+
+    #[test]
+    fn dry_run_matches_full_simulation() {
+        // the closed-form accounting must reproduce the cycle-stepped
+        // simulation exactly — every field, bit-for-bit — across full,
+        // ragged and degenerate tilings
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (4, 4, 8),
+            (7, 9, 5),
+            (3, 3, 64),
+            (8, 8, 64),
+            (13, 2, 17),
+            (1, 20, 6),
+            (20, 1, 6),
+            (5, 5, 1),
+        ];
+        let arrays = [(1usize, 1usize), (2, 2), (3, 4), (4, 3), (8, 8), (2, 7)];
+        for &(m, n, k) in &shapes {
+            for &(r, c) in &arrays {
+                let cfg = ArrayConfig::new(r, c);
+                let a = vec![1.0f32; m * k];
+                let b = vec![1.0f32; k * n];
+                let full = GemmSimulation::run(&cfg, &a, &b, m, n, k).report();
+                let dry = GemmSimulation::dry_run(&cfg, m, n, k);
+                assert_eq!(
+                    dry.total_cycles, full.total_cycles,
+                    "{m}x{n}x{k} on {r}x{c}"
+                );
+                assert_eq!(
+                    dry.drain_cycles, full.drain_cycles,
+                    "{m}x{n}x{k} on {r}x{c}"
+                );
+                assert_eq!(dry.macs, full.macs, "{m}x{n}x{k} on {r}x{c}");
+                assert_eq!(dry.tiles, full.tiles, "{m}x{n}x{k} on {r}x{c}");
+                assert_eq!(
+                    dry.utilization.to_bits(),
+                    full.utilization.to_bits(),
+                    "{m}x{n}x{k} on {r}x{c}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -151,19 +151,33 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
 /// reading several percentiles off one sample (p50/p95/p99 of a latency
 /// window) sort once and index, instead of re-sorting per quantile.
 ///
+/// Returns `NaN` for an empty sample; callers that must never emit NaN
+/// (JSON serializers — NaN is not legal JSON) should use
+/// [`try_percentile_sorted`] instead.
+///
 /// # Panics
 ///
 /// Panics if `q` is outside `[0, 100]`.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    try_percentile_sorted(sorted, q).unwrap_or(f64::NAN)
+}
+
+/// [`percentile_sorted`] with the empty-sample case made explicit:
+/// `None` instead of `NaN`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn try_percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&q), "percentile: q={q} out of range");
     if sorted.is_empty() {
-        return f64::NAN;
+        return None;
     }
     let rank = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
 /// A uniform-bin histogram over `[lo, hi]` (degenerate samples collapse
@@ -339,6 +353,8 @@ mod tests {
         // singletons and empties
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
         assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(try_percentile_sorted(&[], 50.0), None);
+        assert_eq!(try_percentile_sorted(&[7.0], 99.0), Some(7.0));
     }
 
     #[test]

@@ -44,24 +44,36 @@ impl Discretization {
         match kind {
             DiscretizationKind::Uniform => {
                 for i in 0..=k {
-                    boundaries.push(c * i as f32 / k as f32);
+                    boundaries.push((num_choices as f64 * i as f64 / k as f64) as f32);
                 }
             }
             DiscretizationKind::SpaceIncreasing => {
                 // width_i = 1 cell + extra ∝ (i + 1): every bucket holds at
-                // least one choice and widths strictly increase.
-                let extra = c - k as f32;
-                let total = (k * (k + 1)) as f32 / 2.0;
-                let mut acc = 0.0f32;
-                boundaries.push(0.0);
-                for i in 0..k {
-                    acc += 1.0 + extra * (i + 1) as f32 / total;
-                    boundaries.push(acc);
+                // least one choice and widths strictly increase. Boundary
+                // `i` comes from the closed form in f64 — the previous
+                // running f32 accumulation drifted for large `C`, letting
+                // the final boundary miss `C` and the top choice fall
+                // outside the last bucket.
+                let extra = (num_choices - k) as f64;
+                let total = (k * (k + 1)) as f64 / 2.0;
+                for i in 0..=k {
+                    let tri = (i * (i + 1)) as f64 / 2.0;
+                    boundaries.push((i as f64 + extra * tri / total) as f32);
                 }
             }
         }
-        // guard: strictly ascending and exact end point
+        // pin the end point to exactly C, then guard every interior
+        // boundary so each bucket keeps at least one whole choice cell —
+        // which also keeps the sequence strictly ascending after any
+        // f64→f32 rounding
         *boundaries.last_mut().expect("non-empty") = c;
+        for (i, b) in boundaries.iter_mut().enumerate().take(k).skip(1) {
+            *b = b.clamp(i as f32, (num_choices - (k - i)) as f32);
+        }
+        debug_assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries not strictly ascending: {boundaries:?}"
+        );
         Discretization {
             boundaries,
             num_choices,

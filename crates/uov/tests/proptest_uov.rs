@@ -128,6 +128,62 @@ fn uniform_and_sid_both_roundtrip() {
 }
 
 #[test]
+fn every_choice_lives_in_its_own_bucket_for_many_k_c_pairs() {
+    // the f32 boundary accumulation used to drift for large C, letting
+    // the final boundary miss C exactly and the top choices fall outside
+    // the last bucket; every index 0..C must encode/decode through its
+    // own bucket for both kinds
+    use ai2_uov::Discretization;
+    let mut g = Lcg(0x0077);
+    let mut cases: Vec<(usize, usize)> = (0..CASES)
+        .map(|_| {
+            let c = g.range(2, 3000);
+            let k = g.range(1, c + 1);
+            (k, c)
+        })
+        .collect();
+    // pinned stress shapes: many buckets over a huge axis (worst f32
+    // accumulation drift), degenerate one-per-choice, single bucket
+    cases.extend([(512, 4096), (1000, 1001), (4096, 4096), (1, 4096)]);
+    for (k, c) in cases {
+        for kind in [
+            DiscretizationKind::Uniform,
+            DiscretizationKind::SpaceIncreasing,
+        ] {
+            let d = Discretization::new(kind, k, c);
+            assert_eq!(d.num_choices(), c);
+            // boundaries end exactly at C and strictly ascend
+            let anchors = d.anchors();
+            assert_eq!(anchors[0], 0.0, "kind {kind:?} k {k} c {c}");
+            assert!(
+                anchors.windows(2).all(|w| w[0] < w[1]),
+                "anchors not ascending: kind {kind:?} k {k} c {c}"
+            );
+            let mut prev_bucket = 0usize;
+            for i in 0..c {
+                let b = d.bucket_of(i);
+                assert!(b < d.num_buckets(), "kind {kind:?} k {k} c {c} i {i}");
+                assert!(b >= prev_bucket, "buckets not monotone at {i}");
+                prev_bucket = b;
+                let t = d.coordinate_of(i);
+                assert!(
+                    t.is_finite() && (0.0..d.num_buckets() as f32).contains(&t),
+                    "coordinate {t} out of range: kind {kind:?} k {k} c {c} i {i}"
+                );
+                assert_eq!(
+                    d.index_of_coordinate(t),
+                    i,
+                    "roundtrip failed: kind {kind:?} k {k} c {c} i {i}"
+                );
+            }
+            // the extremes land in the first and last bucket
+            assert_eq!(d.bucket_of(0), 0);
+            assert_eq!(d.bucket_of(c - 1), d.num_buckets() - 1);
+        }
+    }
+}
+
+#[test]
 fn one_hot_and_regression_roundtrip() {
     let mut g = Lcg(0x0076);
     for _ in 0..CASES {

@@ -113,6 +113,7 @@ fn all_methods_produce_valid_predictions_and_v2_is_competitive() {
     // --- VAESA's search interface works (scored on a small subset: BO
     //     per input is expensive)
     let sub = DseDataset {
+        backend: test.backend,
         samples: test.samples[..20.min(test.samples.len())].to_vec(),
     };
     let acc_vae = bucket_accuracy_of(&vae, &engine, &sub);

@@ -10,8 +10,8 @@ use std::sync::Arc;
 use airchitect_repro::airchitect::{train::TrainConfig, Airchitect2, ModelCheckpoint, ModelConfig};
 use airchitect_repro::dse::{Budget, DseDataset, DseTask, EvalEngine, GenerateConfig, Objective};
 use airchitect_repro::serve::{
-    recommend_batch, Query, RecommendRequest, RecommendService, Recommendation, Request, Response,
-    ServeConfig, TcpClient,
+    recommend_batch, BackendEngines, Query, RecommendRequest, RecommendService, Recommendation,
+    Request, Response, ServeConfig, TcpClient,
 };
 use airchitect_repro::workloads::generator::DseInput;
 use airchitect_repro::workloads::zoo;
@@ -56,6 +56,7 @@ fn mixed_queries() -> Vec<RecommendRequest> {
                 Budget::Edge
             },
             deadline_ms: None,
+            backend: None,
         });
     }
     for (j, (name, objective)) in MODELS
@@ -69,6 +70,7 @@ fn mixed_queries() -> Vec<RecommendRequest> {
             objective,
             budget: Budget::Edge,
             deadline_ms: None,
+            backend: None,
         });
     }
     assert_eq!(reqs.len(), 64);
@@ -88,6 +90,7 @@ fn assert_bit_identical(served: &Recommendation, direct: &Recommendation, what: 
     );
     assert_eq!(served.feasible, direct.feasible, "{what}: feasibility");
     assert_eq!(served.layers, direct.layers, "{what}: layer count");
+    assert_eq!(served.backend, direct.backend, "{what}: backend");
 }
 
 #[test]
@@ -140,6 +143,7 @@ fn concurrent_tcp_queries_match_direct_predictor_engine_calls() {
     let fresh_engine = EvalEngine::shared(DseTask::table_i_default());
     let replica =
         Airchitect2::from_checkpoint(Arc::clone(&fresh_engine), &ckpt).expect("restore replica");
+    let fresh_engines = BackendEngines::new(Arc::clone(&fresh_engine));
 
     for req in &reqs {
         let rec = &served[&req.id];
@@ -159,12 +163,13 @@ fn concurrent_tcp_queries_match_direct_predictor_engine_calls() {
                     cost,
                     feasible,
                     layers: 1,
+                    backend: "analytic".into(),
                 };
                 assert_bit_identical(rec, &direct, &format!("gemm query {}", req.id));
             }
             Query::Model { name } => {
                 // direct call: the pure kernel on a singleton batch
-                let direct = recommend_batch(&replica, &fresh_engine, std::slice::from_ref(req));
+                let direct = recommend_batch(&replica, &fresh_engines, std::slice::from_ref(req));
                 let Response::Recommendation(direct) = &direct[0] else {
                     panic!("direct model query {name} failed: {direct:?}");
                 };
@@ -182,7 +187,11 @@ fn concurrent_tcp_queries_match_direct_predictor_engine_calls() {
     assert_eq!(stats.served, 64, "every query served: {stats:?}");
     assert_eq!(stats.errors, 0, "no errors: {stats:?}");
     assert_eq!(stats.shards, 2);
-    assert!(stats.p50_us > 0.0 && stats.p99_us >= stats.p50_us);
+    let (p50, p99) = (
+        stats.p50_us.expect("warm percentiles"),
+        stats.p99_us.expect("warm percentiles"),
+    );
+    assert!(p50 > 0.0 && p99 >= p50);
     assert!(stats.throughput_rps > 0.0);
 
     service.shutdown();
@@ -206,6 +215,7 @@ fn served_answers_are_stable_across_cache_and_shards() {
         objective: Objective::Edp,
         budget: Budget::Edge,
         deadline_ms: Some(5_000),
+        backend: None,
     };
     let mut a = TcpClient::connect(addr).unwrap();
     let mut b = TcpClient::connect(addr).unwrap();

@@ -72,6 +72,14 @@ pub trait Deserialize: Sized {
     ///
     /// Returns a [`DeError`] when `v` has the wrong shape.
     fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a struct field is absent from the document.
+    /// `None` (the default) makes the field required; `Option<T>`
+    /// overrides this so an omitted field reads as `None` — matching
+    /// real serde's treatment of `Option` fields.
+    fn from_missing() -> Option<Self> {
+        None
+    }
 }
 
 /// Extracts and deserializes a struct field (used by the derive macro).
@@ -83,7 +91,7 @@ pub trait Deserialize: Sized {
 pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
     match v.get(key) {
         Some(field) => T::from_value(field),
-        None => Err(DeError(format!("missing field `{key}`"))),
+        None => T::from_missing().ok_or_else(|| DeError(format!("missing field `{key}`"))),
     }
 }
 
@@ -208,6 +216,18 @@ impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -223,6 +243,10 @@ impl<T: Deserialize> Deserialize for Option<T> {
             Value::Null => Ok(None),
             other => Ok(Some(T::from_value(other)?)),
         }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
     }
 }
 
