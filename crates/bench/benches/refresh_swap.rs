@@ -1,0 +1,132 @@
+//! Criterion bench: the cost of a live model swap.
+//!
+//! * `swap/publish_validate_adopt` — one full in-process swap: validate
+//!   the candidate checkpoint, publish it through the registry, and
+//!   force a shard to adopt it by answering one cold query. This is the
+//!   end-to-end latency an operator's `swap` admin line pays.
+//! * `swap/serve_across_swaps` — a burst of 16 pipelined queries with a
+//!   swap published in the middle: what steady-state traffic costs
+//!   while the fleet is rolling replicas. Compare against the
+//!   swap-free burst to read the swap overhead (one checkpoint restore
+//!   per shard, amortised over the batch).
+//! * `swap/burst16_no_swap` — the same burst without any swap, the
+//!   control measurement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ai2_dse::{Budget, DseDataset, DseTask, EvalEngine, GenerateConfig, Objective};
+use ai2_serve::{Query, RecommendRequest, RecommendService, Response, ServeConfig};
+use airchitect::train::TrainConfig;
+use airchitect::{Airchitect2, ModelCheckpoint, ModelConfig};
+
+fn trained_checkpoint() -> (Arc<EvalEngine>, ModelCheckpoint) {
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 120,
+            seed: 0xF1E5,
+            threads: 0,
+            ..GenerateConfig::default()
+        },
+    );
+    let engine = EvalEngine::shared(task);
+    let mut model = Airchitect2::with_engine(&ModelConfig::tiny(), Arc::clone(&engine), &ds);
+    model.fit(&ds, &TrainConfig::quick());
+    (engine, model.checkpoint().with_version(1))
+}
+
+fn gemm(id: u64, m: u64) -> RecommendRequest {
+    RecommendRequest {
+        id,
+        query: Query::Gemm {
+            m,
+            n: 1 + (id * 131) % 900,
+            k: 1 + (id * 89) % 700,
+            dataflow: ["ws", "os", "rs"][id as usize % 3].into(),
+        },
+        objective: [Objective::Latency, Objective::Energy, Objective::Edp][id as usize % 3],
+        budget: Budget::Edge,
+        deadline_ms: None,
+        backend: None,
+    }
+}
+
+fn bench_refresh_swap(c: &mut Criterion) {
+    let (engine, ckpt) = trained_checkpoint();
+
+    let mut group = c.benchmark_group("swap");
+
+    {
+        let service = RecommendService::start(
+            ServeConfig {
+                shards: 1,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&engine),
+            ckpt.clone(),
+        );
+        let client = service.client();
+        let version = AtomicU64::new(2);
+        let salt = AtomicU64::new(1);
+        group.bench_function("publish_validate_adopt", |b| {
+            b.iter(|| {
+                let v = version.fetch_add(1, Ordering::Relaxed);
+                service
+                    .swap_checkpoint(ckpt.clone().with_version(v), false)
+                    .expect("publish");
+                // a cold query forces the shard through the rebuild path
+                let s = salt.fetch_add(1, Ordering::Relaxed);
+                let resp = client.recommend(gemm(s, 1 + s % 256));
+                assert!(matches!(resp, Response::Recommendation(_)));
+                black_box(resp)
+            });
+        });
+        service.shutdown();
+    }
+
+    for (name, swap_every_iter) in [("burst16_no_swap", false), ("serve_across_swaps", true)] {
+        let service = RecommendService::start(
+            ServeConfig {
+                shards: 2,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&engine),
+            ckpt.clone(),
+        );
+        let client = service.client();
+        let version = AtomicU64::new(2);
+        let salt = AtomicU64::new(1_000_000);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let s = salt.fetch_add(16, Ordering::Relaxed);
+                let pending: Vec<_> = (0..8u64)
+                    .map(|i| client.submit(gemm(s + i, 1 + (s + i) % 256)))
+                    .collect();
+                if swap_every_iter {
+                    let v = version.fetch_add(1, Ordering::Relaxed);
+                    service
+                        .swap_checkpoint(ckpt.clone().with_version(v), false)
+                        .expect("publish");
+                }
+                let tail: Vec<_> = (8..16u64)
+                    .map(|i| client.submit(gemm(s + i, 1 + (s + i) % 256)))
+                    .collect();
+                for p in pending.into_iter().chain(tail) {
+                    assert!(matches!(p.wait(), Response::Recommendation(_)));
+                }
+            });
+        });
+        service.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh_swap);
+criterion_main!(benches);

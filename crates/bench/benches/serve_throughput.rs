@@ -67,6 +67,7 @@ fn bench_serving(c: &mut Criterion) {
                 max_batch: 16,
                 // cold keys per burst: measure compute, not the LRU
                 cache_capacity: 0,
+                ..ServeConfig::default()
             },
             Arc::clone(&engine),
             ckpt.clone(),

@@ -1,0 +1,130 @@
+//! CI perf-regression gate over `loadgen --json` result files.
+//!
+//! Compares a fresh `BENCH_loadgen*.json` against a committed baseline
+//! and fails (exit 1) when the p95 client latency regressed by more
+//! than the allowed fraction. The gate **keys on configuration, not
+//! just numbers**: the two records must describe the same backend and
+//! shard count, otherwise the comparison is refused (exit 2) — a
+//! 4-shard systolic run "regressing" against a 1-shard analytic
+//! baseline is a configuration mismatch, not a perf signal.
+//!
+//! ```text
+//! bench_gate --baseline ci/BENCH_baseline.json
+//!            --current  BENCH_loadgen.json
+//!            [--max-p95-regress 0.25]   allowed fractional p95 growth
+//! ```
+//!
+//! Throughput and model version are reported for context but not
+//! gated: rps is noisy on shared CI runners, and the model version
+//! legitimately moves (every refresh publishes a new one).
+
+use ai2_bench::LoadgenResult;
+
+struct Args {
+    baseline: String,
+    current: String,
+    max_p95_regress: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: String::new(),
+        current: String::new(),
+        max_p95_regress: 0.25,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| panic!("{} takes a value", argv[*i - 1]))
+            .clone()
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => args.baseline = value(&mut i),
+            "--current" => args.current = value(&mut i),
+            "--max-p95-regress" => {
+                args.max_p95_regress = value(&mut i).parse().expect("--max-p95-regress fraction");
+            }
+            other => panic!("unknown argument {other:?} (see src/bin/bench_gate.rs for usage)"),
+        }
+        i += 1;
+    }
+    assert!(!args.baseline.is_empty(), "--baseline PATH is required");
+    assert!(!args.current.is_empty(), "--current PATH is required");
+    assert!(
+        args.max_p95_regress > 0.0,
+        "--max-p95-regress must be positive"
+    );
+    args
+}
+
+fn load(path: &str) -> LoadgenResult {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path:?}: {e}"));
+    serde_json::from_str(&body)
+        .unwrap_or_else(|e| panic!("bench_gate: {path:?} is not a loadgen result: {e}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = load(&args.baseline);
+    let current = load(&args.current);
+
+    // -- configuration key: refuse apples-vs-oranges comparisons ------
+    if baseline.backend != current.backend || baseline.shards != current.shards {
+        eprintln!(
+            "bench_gate: CONFIGURATION MISMATCH — baseline ran backend={} shards={}, \
+             current ran backend={} shards={}; regenerate the baseline for this configuration",
+            baseline.backend, baseline.shards, current.backend, current.shards
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "bench_gate: config backend={} shards={} | model v{} → v{}",
+        current.backend, current.shards, baseline.model_version, current.model_version
+    );
+    println!(
+        "bench_gate: p95 {:.0}µs (baseline) vs {:.0}µs (current) | rps {:.1} vs {:.1}",
+        baseline.p95_us, current.p95_us, baseline.client_rps, current.client_rps
+    );
+
+    if !(baseline.p95_us.is_finite() && baseline.p95_us > 0.0) {
+        println!(
+            "bench_gate: baseline p95 is degenerate ({}); nothing to gate against — PASS",
+            baseline.p95_us
+        );
+        return;
+    }
+    if !(current.p95_us.is_finite() && current.p95_us > 0.0) {
+        eprintln!(
+            "bench_gate: current p95 is degenerate ({}); the run answered nothing",
+            current.p95_us
+        );
+        std::process::exit(1);
+    }
+
+    let limit = baseline.p95_us * (1.0 + args.max_p95_regress);
+    if current.p95_us > limit {
+        eprintln!(
+            "bench_gate: FAIL — p95 {:.0}µs exceeds baseline {:.0}µs by more than {:.0}% \
+             (limit {:.0}µs)",
+            current.p95_us,
+            baseline.p95_us,
+            args.max_p95_regress * 100.0,
+            limit
+        );
+        eprintln!(
+            "bench_gate: if this is a hardware change rather than a code regression, \
+             regenerate the baseline on the gating machine (see ci/README.md)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_gate: PASS — p95 within {:.0}% of baseline ({:+.1}%)",
+        args.max_p95_regress * 100.0,
+        (current.p95_us / baseline.p95_us - 1.0) * 100.0
+    );
+}

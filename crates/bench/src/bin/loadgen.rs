@@ -6,6 +6,16 @@
 //! arrived. Prints client-side throughput and p50/p95/p99 latency, then
 //! the server's own `stats` line.
 //!
+//! With `--refresh`, the run additionally performs a **live checkpoint
+//! swap under load**: once a quarter of the requests have completed, a
+//! side thread sends an admin `swap` (re-publishing `--swap-checkpoint`
+//! at a bumped version) while the workers keep hammering the server
+//! (the swap itself takes a while — checkpoint load + validation — so
+//! the early trigger maximises the traffic crossing it). The run
+//! fails unless the swap is acknowledged, the post-run stats report the
+//! bumped version, and — as always — every response is a well-formed
+//! recommendation (a swap must drop zero requests).
+//!
 //! Exits non-zero if any response is malformed or an unexpected error —
 //! which is what the CI smoke test asserts.
 //!
@@ -16,17 +26,20 @@
 //!         [--deadline-ms N]                        per-request deadline
 //!         [--backend NAME]                         cost backend on every query
 //!                                                  ("analytic" / "systolic")
+//!         [--refresh]                              swap the checkpoint mid-run
+//!         [--swap-checkpoint PATH]                 server-side checkpoint path
+//!                                                  the swap publishes
 //!         [--json PATH]                            write a machine-readable
 //!                                                  BENCH_*.json result file
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use ai2_bench::LoadgenResult;
 use ai2_serve::{Query, RecommendRequest, Recommendation, Request, Response, TcpClient};
 use ai2_tensor::stats::percentile;
-use serde::Serialize;
 
 struct Args {
     addr: String,
@@ -35,21 +48,9 @@ struct Args {
     models: bool,
     deadline_ms: Option<u64>,
     backend: Option<String>,
+    refresh: bool,
+    swap_checkpoint: Option<String>,
     json: Option<String>,
-}
-
-/// Machine-readable result record (the perf-trajectory artifact).
-#[derive(Debug, Serialize)]
-struct LoadgenResult {
-    requests: u64,
-    deadline_expired: u64,
-    elapsed_s: f64,
-    client_rps: f64,
-    p50_us: f64,
-    p95_us: f64,
-    p99_us: f64,
-    server_served: u64,
-    server_cache_hits: u64,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +61,8 @@ fn parse_args() -> Args {
         models: false,
         deadline_ms: None,
         backend: None,
+        refresh: false,
+        swap_checkpoint: None,
         json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -82,6 +85,8 @@ fn parse_args() -> Args {
                 args.deadline_ms = Some(value(&mut i).parse().expect("--deadline-ms"))
             }
             "--backend" => args.backend = Some(value(&mut i)),
+            "--refresh" => args.refresh = true,
+            "--swap-checkpoint" => args.swap_checkpoint = Some(value(&mut i)),
             "--json" => args.json = Some(value(&mut i)),
             other => panic!("unknown argument {other:?} (see src/bin/loadgen.rs for usage)"),
         }
@@ -89,6 +94,12 @@ fn parse_args() -> Args {
     }
     assert!(!args.addr.is_empty(), "--addr HOST:PORT is required");
     assert!(args.requests > 0 && args.concurrency > 0);
+    if args.refresh {
+        assert!(
+            args.swap_checkpoint.is_some(),
+            "--refresh needs --swap-checkpoint PATH (a server-side checkpoint file)"
+        );
+    }
     args
 }
 
@@ -151,17 +162,59 @@ fn check(resp: &Response, deadline_set: bool) -> Result<Option<f64>, String> {
     }
 }
 
+/// Waits until `trigger_at` requests completed, then swaps the
+/// checkpoint under load. Returns the acknowledged version.
+fn swap_mid_run(
+    addr: &str,
+    path: &str,
+    completed: &AtomicU64,
+    trigger_at: u64,
+    deadline: Duration,
+) -> Result<u64, String> {
+    let started = Instant::now();
+    while completed.load(Ordering::Relaxed) < trigger_at {
+        if started.elapsed() > deadline {
+            return Err(format!(
+                "workers never reached the {trigger_at}-request mark for the swap"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut admin = TcpClient::connect(addr).map_err(|e| format!("swap connect: {e}"))?;
+    let resp = admin
+        .send(&Request::Swap {
+            id: u64::MAX,
+            path: path.to_string(),
+            bump: Some(true),
+        })
+        .map_err(|e| format!("swap transport: {e}"))?;
+    match resp {
+        Response::Admin(ack) if ack.op == "swap" => {
+            eprintln!(
+                "[loadgen] swap ok mid-run → model v{} (completed {} requests before the ack)",
+                ack.model_version,
+                completed.load(Ordering::Relaxed)
+            );
+            Ok(ack.model_version)
+        }
+        other => Err(format!("swap rejected: {other:?}")),
+    }
+}
+
 fn main() {
     let args = parse_args();
     let next = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
     let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
     let expired = Arc::new(AtomicU64::new(0));
     let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let swapped_version: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
 
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..args.concurrency {
             let next = Arc::clone(&next);
+            let completed = Arc::clone(&completed);
             let latencies = Arc::clone(&latencies);
             let expired = Arc::clone(&expired);
             let failures = Arc::clone(&failures);
@@ -194,6 +247,33 @@ fn main() {
                         },
                         Err(e) => failures.lock().unwrap().push(format!("transport: {e}")),
                     }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        if args.refresh {
+            // the swap rides alongside the workers: requests before it
+            // are answered by the old replica, requests after by the
+            // new one, and none may fail either way
+            let path = args.swap_checkpoint.clone().expect("checked in parse_args");
+            let addr = args.addr.clone();
+            let completed = Arc::clone(&completed);
+            let failures = Arc::clone(&failures);
+            let swapped_version = Arc::clone(&swapped_version);
+            // fire at the quarter mark: the swap (checkpoint load +
+            // validation) takes a while, so an early trigger maximises
+            // the traffic that actually crosses it
+            let trigger_at = (args.requests as u64) / 4;
+            scope.spawn(move || {
+                match swap_mid_run(
+                    &addr,
+                    &path,
+                    &completed,
+                    trigger_at,
+                    Duration::from_secs(120),
+                ) {
+                    Ok(version) => *swapped_version.lock().unwrap() = Some(version),
+                    Err(e) => failures.lock().unwrap().push(e),
                 }
             });
         }
@@ -237,9 +317,11 @@ fn main() {
     {
         Ok(Response::Stats(s)) => {
             println!(
-                "server stats: served {} (cache hits {}) | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m",
+                "server stats: served {} (cache hits {}) | model v{}{} | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m",
                 s.served,
                 s.cache_hits,
+                s.model_version,
+                if s.frozen { " FROZEN" } else { "" },
                 s.throughput_rps,
                 s.p50_us.unwrap_or(0.0),
                 s.p95_us.unwrap_or(0.0),
@@ -255,6 +337,23 @@ fn main() {
         }
     };
 
+    let swapped_version = *swapped_version.lock().unwrap();
+    if args.refresh {
+        // the swap must have landed and the server must still be on (or
+        // past) the acknowledged version
+        let Some(acked) = swapped_version else {
+            eprintln!("[loadgen] --refresh run finished without a swap acknowledgement");
+            std::process::exit(1);
+        };
+        if server.model_version < acked {
+            eprintln!(
+                "[loadgen] stats report model v{} but the swap acknowledged v{acked}",
+                server.model_version
+            );
+            std::process::exit(1);
+        }
+    }
+
     if let Some(path) = &args.json {
         let result = LoadgenResult {
             requests: lats.len() as u64,
@@ -266,6 +365,13 @@ fn main() {
             p99_us: p99,
             server_served: server.served,
             server_cache_hits: server.cache_hits,
+            backend: args
+                .backend
+                .clone()
+                .unwrap_or_else(|| "analytic".to_string()),
+            shards: server.shards,
+            model_version: server.model_version,
+            swapped: swapped_version.is_some(),
         };
         let body = serde_json::to_string(&result).expect("serialize loadgen result");
         std::fs::write(path, body).expect("write --json result file");

@@ -16,6 +16,8 @@
 
 pub mod plot;
 
+use serde::{Deserialize, Serialize};
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -25,6 +27,48 @@ use ai2_baselines::{AirchitectV1, Gandse, GandseConfig, V1Config, Vaesa, VaesaCo
 use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig};
 use airchitect::train::TrainConfig;
 use airchitect::{Airchitect2, ModelConfig};
+
+/// The machine-readable result record the `loadgen` binary writes with
+/// `--json` and the `bench_gate` binary reads back — the CI perf
+/// trajectory artifact.
+///
+/// Besides the latency numbers, the record carries the **configuration
+/// the numbers were measured under** (backend, shard count, model
+/// version): a regression gate that compares a 4-shard systolic run
+/// against a 1-shard analytic baseline would report noise, not
+/// regressions, so the `bench_gate` binary refuses mismatched
+/// configurations instead of comparing their numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenResult {
+    /// Successfully answered requests.
+    pub requests: u64,
+    /// Requests that expired client-side (only with `--deadline-ms`).
+    pub deadline_expired: u64,
+    /// Wall-clock of the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Client-observed requests per second.
+    pub client_rps: f64,
+    /// Client-observed median latency, microseconds.
+    pub p50_us: f64,
+    /// Client-observed 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// Client-observed 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// The server's own served counter after the run.
+    pub server_served: u64,
+    /// The server's response-cache hits after the run.
+    pub server_cache_hits: u64,
+    /// Cost backend every query requested (`"analytic"` when none was
+    /// passed — the server default).
+    pub backend: String,
+    /// Worker shards the server ran.
+    pub shards: usize,
+    /// Model lineage version live when the run finished.
+    pub model_version: u64,
+    /// Whether this run performed a live checkpoint swap mid-load
+    /// (`--refresh`).
+    pub swapped: bool,
+}
 
 /// Experiment sizing parsed from the command line.
 #[derive(Debug, Clone)]

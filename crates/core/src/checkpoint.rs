@@ -1,7 +1,8 @@
 //! Whole-model checkpoints: everything a serving process needs to answer
 //! queries from a trained [`Airchitect2`] without re-training — the
 //! architecture configuration, the fitted feature statistics, and every
-//! parameter tensor.
+//! parameter tensor — plus the lineage metadata the online-refresh
+//! pipeline hangs replica management on.
 //!
 //! [`ai2_nn::checkpoint::Checkpoint`] alone is not enough to *serve*: a
 //! restored parameter store still needs the [`FeatureEncoder`] fitted on
@@ -10,6 +11,24 @@
 //! change the output decoding). [`ModelCheckpoint`] bundles all three, so
 //! `save` on the training side and [`Airchitect2::from_checkpoint`] on
 //! the serving side reproduce bit-identical predictions.
+//!
+//! # Versioning
+//!
+//! Two independent numbers travel with every checkpoint:
+//!
+//! * [`ModelCheckpoint::version`] — the **model lineage** version, a
+//!   monotonically increasing counter the serving registry bumps every
+//!   time a refreshed replica is published. Files written before
+//!   versioning existed load as version 0 (they all predate every
+//!   published refresh, so 0 orders them correctly).
+//! * [`ModelCheckpoint::format`] — the **file format** revision
+//!   ([`CHECKPOINT_FORMAT`]). A file stamped with a *newer* format than
+//!   this build understands is rejected with
+//!   [`CheckpointError::UnsupportedFormat`] — a clean error, never a
+//!   panic or a silent misread of re-purposed fields.
+//!
+//! [`Provenance`] records where the weights came from: which cost
+//! backend labeled the training corpus and how many samples it held.
 
 use std::fs;
 use std::path::Path;
@@ -21,9 +40,41 @@ use crate::config::ModelConfig;
 use crate::features::FeatureEncoder;
 use crate::model::Airchitect2;
 
+/// The newest checkpoint file-format revision this build reads/writes.
+/// Revision 0 is the implicit format of legacy files (no `format` key).
+pub const CHECKPOINT_FORMAT: u64 = 1;
+
+/// Where a checkpoint's weights came from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Label of the cost backend whose oracle labeled the training
+    /// corpus (`"analytic"` / `"systolic"`; `"unknown"` for legacy
+    /// files that predate provenance).
+    pub backend: String,
+    /// Number of labeled samples the weights were (last) trained on.
+    pub training_samples: u64,
+}
+
+impl Provenance {
+    /// The provenance recorded on files that predate provenance.
+    pub fn unknown() -> Provenance {
+        Provenance {
+            backend: "unknown".to_string(),
+            training_samples: 0,
+        }
+    }
+}
+
 /// A self-contained snapshot of a trained [`Airchitect2`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModelCheckpoint {
+    /// File-format revision (see [`CHECKPOINT_FORMAT`]).
+    pub format: u64,
+    /// Monotonically increasing model lineage version; 0 for legacy
+    /// files and fresh snapshots that were never published.
+    pub version: u64,
+    /// Training provenance (backend label, corpus size).
+    pub provenance: Provenance,
     /// Architecture hyperparameters (head kind, widths, seed).
     pub config: ModelConfig,
     /// Feature / performance statistics fitted on the training split.
@@ -32,14 +83,54 @@ pub struct ModelCheckpoint {
     pub params: Checkpoint,
 }
 
+/// The pre-versioning on-disk shape: config + features + params only.
+/// Kept as a named type (not an inline struct in `load`) so the
+/// compat tests can write bit-faithful legacy files.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LegacyModelCheckpoint {
+    /// Architecture hyperparameters.
+    pub config: ModelConfig,
+    /// Fitted feature statistics.
+    pub features: FeatureEncoder,
+    /// Parameter tensors.
+    pub params: Checkpoint,
+}
+
 impl ModelCheckpoint {
-    /// Snapshots a trained model.
+    /// Snapshots a trained model at lineage version 0 with provenance
+    /// naming the model's evaluation backend. Callers that know the
+    /// training-set size or are publishing a refresh refine the
+    /// metadata with [`ModelCheckpoint::with_version`] /
+    /// [`ModelCheckpoint::with_provenance`].
     pub fn from_model(model: &Airchitect2) -> ModelCheckpoint {
         ModelCheckpoint {
+            format: CHECKPOINT_FORMAT,
+            version: 0,
+            provenance: Provenance {
+                backend: model.engine().backend_id().as_str().to_string(),
+                training_samples: 0,
+            },
             config: *model.config(),
             features: model.feature_encoder().clone(),
             params: Checkpoint::from_store(model.store()),
         }
+    }
+
+    /// Returns the checkpoint re-stamped at lineage `version`.
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> ModelCheckpoint {
+        self.version = version;
+        self
+    }
+
+    /// Returns the checkpoint with its provenance replaced.
+    #[must_use]
+    pub fn with_provenance(mut self, backend: &str, training_samples: u64) -> ModelCheckpoint {
+        self.provenance = Provenance {
+            backend: backend.to_string(),
+            training_samples,
+        };
+        self
     }
 
     /// Writes the checkpoint as JSON to `path`.
@@ -55,12 +146,49 @@ impl ModelCheckpoint {
 
     /// Reads a checkpoint from a JSON file.
     ///
+    /// Files written before versioning existed (no `format` key) load as
+    /// format 0 / lineage version 0 with unknown provenance. Files
+    /// stamped with a format *newer* than [`CHECKPOINT_FORMAT`] are
+    /// rejected with [`CheckpointError::UnsupportedFormat`].
+    ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be read or parsed.
+    /// Returns an error if the file cannot be read or parsed, or was
+    /// written by a newer format revision.
     pub fn load(path: impl AsRef<Path>) -> Result<ModelCheckpoint, CheckpointError> {
         let json = fs::read_to_string(path)?;
-        Ok(serde_json::from_str(&json)?)
+        let ck = match serde_json::from_str::<ModelCheckpoint>(&json) {
+            Ok(ck) => ck,
+            Err(e) => {
+                // fall back to the legacy shape only for genuinely
+                // pre-versioning files — detected structurally by the
+                // absent `format` key, not by matching error text. A
+                // corrupt *modern* file (has `format`, bad elsewhere)
+                // must keep erroring, not sneak in as version 0.
+                let is_legacy = serde_json::from_str::<serde_json::JsonValue>(&json)
+                    .map(|v| v.get("format").is_none())
+                    .unwrap_or(false);
+                if !is_legacy {
+                    return Err(e.into());
+                }
+                let legacy: LegacyModelCheckpoint = serde_json::from_str(&json)?;
+                ModelCheckpoint {
+                    format: 0,
+                    version: 0,
+                    provenance: Provenance::unknown(),
+                    config: legacy.config,
+                    features: legacy.features,
+                    params: legacy.params,
+                }
+            }
+        };
+        if ck.format > CHECKPOINT_FORMAT {
+            return Err(CheckpointError::UnsupportedFormat {
+                found: ck.format,
+                supported: CHECKPOINT_FORMAT,
+            });
+        }
+        Ok(ck)
     }
 }
 
@@ -103,9 +231,22 @@ mod tests {
         let dir = std::env::temp_dir().join("ai2_core_model_ckpt_test");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.json");
-        ModelCheckpoint::from_model(&model).save(&path).unwrap();
+        ModelCheckpoint::from_model(&model)
+            .with_version(7)
+            .with_provenance("analytic", 40)
+            .save(&path)
+            .unwrap();
         let loaded = ModelCheckpoint::load(&path).unwrap();
         assert_eq!(loaded.config, *model.config());
+        assert_eq!(loaded.format, CHECKPOINT_FORMAT);
+        assert_eq!(loaded.version, 7);
+        assert_eq!(
+            loaded.provenance,
+            Provenance {
+                backend: "analytic".into(),
+                training_samples: 40
+            }
+        );
         let restored = Airchitect2::from_checkpoint(engine, &loaded).unwrap();
         let inputs: Vec<_> = ds.samples.iter().map(|s| s.input()).collect();
         assert_eq!(model.predict(&inputs), restored.predict(&inputs));

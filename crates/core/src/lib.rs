@@ -44,7 +44,7 @@ pub mod embedding;
 pub mod predictor;
 pub mod train;
 
-pub use checkpoint::ModelCheckpoint;
+pub use checkpoint::{ModelCheckpoint, Provenance, CHECKPOINT_FORMAT};
 pub use config::{HeadKind, ModelConfig};
 pub use features::{FeatureEncoder, PreparedBatch, PreparedDataset, NUM_FEATURES};
 pub use model::Airchitect2;

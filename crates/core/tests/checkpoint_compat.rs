@@ -1,0 +1,122 @@
+//! Checkpoint forward/backward file compatibility.
+//!
+//! * **Backward**: files written before versioning existed (no `format`
+//!   / `version` / `provenance` keys) must load as lineage version 0
+//!   with unknown provenance — and still restore a bit-identical model.
+//! * **Forward**: a file stamped with a *newer* format revision than
+//!   this build understands must be rejected with a clean
+//!   [`CheckpointError::UnsupportedFormat`] — never a panic, never a
+//!   silent misread.
+
+use std::fs;
+use std::sync::Arc;
+
+use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig};
+use ai2_nn::checkpoint::CheckpointError;
+use airchitect::checkpoint::LegacyModelCheckpoint;
+use airchitect::train::TrainConfig;
+use airchitect::{Airchitect2, ModelCheckpoint, ModelConfig, Provenance, CHECKPOINT_FORMAT};
+
+fn trained_tiny() -> (Arc<EvalEngine>, DseDataset, Airchitect2) {
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 40,
+            seed: 0xC0DE,
+            threads: 2,
+            ..GenerateConfig::default()
+        },
+    );
+    let engine = EvalEngine::shared(task);
+    let mut model = Airchitect2::with_engine(&ModelConfig::tiny(), Arc::clone(&engine), &ds);
+    model.fit(&ds, &TrainConfig::quick());
+    (engine, ds, model)
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ai2_core_ckpt_compat");
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn legacy_file_without_version_keys_loads_as_version_zero() {
+    let (engine, ds, model) = trained_tiny();
+    // a bit-faithful pre-versioning file: exactly the three legacy keys
+    let legacy = LegacyModelCheckpoint {
+        config: *model.config(),
+        features: model.feature_encoder().clone(),
+        params: ai2_nn::checkpoint::Checkpoint::from_store(model.store()),
+    };
+    let path = temp_path("legacy.json");
+    fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
+
+    let loaded = ModelCheckpoint::load(&path).expect("legacy file must load");
+    assert_eq!(loaded.format, 0, "legacy files are format 0");
+    assert_eq!(loaded.version, 0, "legacy files are lineage version 0");
+    assert_eq!(loaded.provenance, Provenance::unknown());
+
+    // and it still restores a bit-identical model
+    let restored = Airchitect2::from_checkpoint(engine, &loaded).expect("restore");
+    let inputs: Vec<_> = ds.samples.iter().map(|s| s.input()).collect();
+    assert_eq!(model.predict(&inputs), restored.predict(&inputs));
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn future_format_is_rejected_with_a_clean_error() {
+    let (_, _, model) = trained_tiny();
+    let future = ModelCheckpoint::from_model(&model);
+    let mut future = future;
+    future.format = CHECKPOINT_FORMAT + 41;
+    let path = temp_path("future.json");
+    // save() writes whatever is stamped — the guard lives on the read
+    // side, where a file from a newer build actually arrives
+    future.save(&path).unwrap();
+
+    let err = ModelCheckpoint::load(&path).expect_err("future format must not load");
+    match &err {
+        CheckpointError::UnsupportedFormat { found, supported } => {
+            assert_eq!(*found, CHECKPOINT_FORMAT + 41);
+            assert_eq!(*supported, CHECKPOINT_FORMAT);
+        }
+        other => panic!("expected UnsupportedFormat, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("newer") && msg.contains("format"),
+        "error message should explain the rejection: {msg}"
+    );
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn current_format_roundtrips_with_lineage_metadata() {
+    let (_, _, model) = trained_tiny();
+    let path = temp_path("current.json");
+    ModelCheckpoint::from_model(&model)
+        .with_version(3)
+        .with_provenance("systolic", 123)
+        .save(&path)
+        .unwrap();
+    let loaded = ModelCheckpoint::load(&path).unwrap();
+    assert_eq!(loaded.format, CHECKPOINT_FORMAT);
+    assert_eq!(loaded.version, 3);
+    assert_eq!(loaded.provenance.backend, "systolic");
+    assert_eq!(loaded.provenance.training_samples, 123);
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn garbage_and_truncated_files_error_not_panic() {
+    let path = temp_path("garbage.json");
+    fs::write(&path, "{\"format\": 1, \"version\": ").unwrap();
+    assert!(matches!(
+        ModelCheckpoint::load(&path),
+        Err(CheckpointError::Parse(_))
+    ));
+    fs::write(&path, "not json at all").unwrap();
+    assert!(ModelCheckpoint::load(&path).is_err());
+    fs::remove_file(path).ok();
+}

@@ -157,7 +157,20 @@ impl DseDataset {
         let sampler = WorkloadSampler::with_strategy(config.strategy);
         let mut r = rng::seeded(config.seed);
         let inputs = sampler.sample_n(&mut r, config.num_samples);
-        let labels = engine.oracle_batch(&inputs);
+        Self::label_inputs(engine, &inputs)
+    }
+
+    /// Labels a caller-provided list of inputs through `engine`'s
+    /// oracle — the online-refresh entry point: the serving layer's
+    /// replay buffer holds *observed* queries (not sampled ones), and
+    /// this turns them into a training corpus with the same provenance
+    /// guarantees as a generated dataset.
+    ///
+    /// Labels land in (and reuse) the engine's shared caches, so
+    /// re-labeling queries the serving path already verified is nearly
+    /// free.
+    pub fn label_inputs(engine: &EvalEngine, inputs: &[DseInput]) -> DseDataset {
+        let labels = engine.oracle_batch(inputs);
         DseDataset {
             backend: engine.backend_id(),
             samples: inputs
@@ -303,6 +316,27 @@ mod tests {
             }
         }
         assert!(any_differs, "systolic labels never diverged from analytic");
+    }
+
+    #[test]
+    fn label_inputs_matches_generated_labels() {
+        // labeling observed inputs directly must agree bit-for-bit with
+        // the sampled-generation path over the same inputs — the
+        // online-refresh worker relies on this equivalence
+        let task = DseTask::table_i_default();
+        let ds = DseDataset::generate(&task, &tiny_config(12));
+        let inputs: Vec<_> = ds.samples.iter().map(DseSample::input).collect();
+        let engine = EvalEngine::with_threads(task, 2);
+        let relabeled = DseDataset::label_inputs(&engine, &inputs);
+        assert_eq!(relabeled.backend, BackendId::Analytic);
+        assert_eq!(relabeled.samples.len(), ds.samples.len());
+        for (a, b) in relabeled.samples.iter().zip(&ds.samples) {
+            assert_eq!(a.optimal, b.optimal);
+            assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+            assert_eq!((a.m, a.n, a.k, a.dataflow), (b.m, b.n, b.k, b.dataflow));
+        }
+        // empty input list → empty dataset, no panic
+        assert!(DseDataset::label_inputs(&engine, &[]).is_empty());
     }
 
     #[test]

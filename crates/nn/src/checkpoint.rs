@@ -49,6 +49,15 @@ pub enum CheckpointError {
         /// Shape found in the checkpoint.
         found: Vec<usize>,
     },
+    /// The file was written by a newer format revision than this build
+    /// understands. Rejected cleanly instead of misreading fields a
+    /// future writer may have re-purposed.
+    UnsupportedFormat {
+        /// Format revision found in the file.
+        found: u64,
+        /// Newest revision this build can read.
+        supported: u64,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -64,6 +73,11 @@ impl fmt::Display for CheckpointError {
             } => write!(
                 f,
                 "checkpoint shape mismatch for {name:?}: expected {expected:?}, found {found:?}"
+            ),
+            CheckpointError::UnsupportedFormat { found, supported } => write!(
+                f,
+                "checkpoint format {found} is newer than this build supports (max {supported}); \
+                 upgrade the reader instead of re-saving the file"
             ),
         }
     }

@@ -20,12 +20,14 @@
 //!       [--quick]             smoke-test sizes (300 samples)
 //!       [--checkpoint PATH]   serve this checkpoint instead of training
 //!       [--save-checkpoint P] write the trained checkpoint to P
+//!       [--refresh-secs N]    background refresh loop every N seconds
+//!                             (fine-tune on the replay buffer, publish)
 //! ```
 
 use std::sync::Arc;
 
 use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig};
-use ai2_serve::{RecommendService, ServeConfig};
+use ai2_serve::{RecommendService, RefreshConfig, ServeConfig};
 use airchitect::train::TrainConfig;
 use airchitect::{Airchitect2, ModelCheckpoint, ModelConfig};
 
@@ -70,6 +72,13 @@ fn parse_args() -> Args {
             "--quick" => args.samples = 300,
             "--checkpoint" => args.checkpoint = Some(value(&mut i)),
             "--save-checkpoint" => args.save_checkpoint = Some(value(&mut i)),
+            "--refresh-secs" => {
+                let secs: u64 = value(&mut i).parse().expect("--refresh-secs takes seconds");
+                args.cfg.refresh = Some(RefreshConfig {
+                    interval: std::time::Duration::from_secs(secs),
+                    ..RefreshConfig::default()
+                });
+            }
             other => panic!("unknown argument {other:?} (see src/bin/serve.rs for usage)"),
         }
         i += 1;
@@ -104,9 +113,17 @@ fn main() {
             let mut model =
                 Airchitect2::with_engine(&ModelConfig::default(), Arc::clone(&engine), &ds);
             model.fit(&ds, &TrainConfig::quick());
-            model.checkpoint()
+            // freshly trained checkpoints start the lineage at version 1
+            model
+                .checkpoint()
+                .with_version(1)
+                .with_provenance(engine.backend_id().as_str(), ds.len() as u64)
         }
     };
+    eprintln!(
+        "[serve] checkpoint v{} (backend {}, {} training samples)",
+        ckpt.version, ckpt.provenance.backend, ckpt.provenance.training_samples
+    );
     if let Some(path) = &args.save_checkpoint {
         ckpt.save(path).expect("save checkpoint");
         eprintln!("[serve] wrote checkpoint {path}");
@@ -117,8 +134,14 @@ fn main() {
         .listen(("127.0.0.1", args.port))
         .expect("bind listen port");
     eprintln!(
-        "[serve] {} shards, max batch {}, cache {} entries",
-        args.cfg.shards, args.cfg.max_batch, args.cfg.cache_capacity
+        "[serve] {} shards, max batch {}, cache {} entries{}",
+        args.cfg.shards,
+        args.cfg.max_batch,
+        args.cfg.cache_capacity,
+        match &args.cfg.refresh {
+            Some(r) => format!(", refresh every {:?}", r.interval),
+            None => String::new(),
+        }
     );
     // machine-readable discovery line; scripts poll stdout for it
     println!("SERVE_ADDR={addr}");

@@ -87,6 +87,15 @@ impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
         self.debug_check_invariants();
     }
 
+    /// Drops every entry (capacity unchanged). Called on a model swap:
+    /// cached recommendations were computed by the outgoing replica and
+    /// must not outlive it.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+        self.debug_check_invariants();
+    }
+
     /// Debug-build audit of the map ↔ recency invariants.
     fn debug_check_invariants(&self) {
         #[cfg(debug_assertions)]
@@ -134,6 +143,20 @@ mod tests {
         c.insert(3, 30); // evicts 2 (1 was refreshed)
         assert_eq!(c.get(&2), None);
         assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn clear_empties_and_the_cache_keeps_working() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        // still usable after the flush
+        c.insert(3, "c");
+        assert_eq!(c.get(&3), Some("c"));
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!   cache keyed by canonical query, per-request deadlines, a TCP
 //!   listener plus in-process [`Client`], and a `stats` endpoint with
 //!   throughput and p50/p95/p99 latency.
+//! * [`registry`] — the live-model slot: versioned checkpoints are
+//!   published atomically (monotonic lineage versions, freezable) and
+//!   worker shards hot-swap onto them at micro-batch boundaries without
+//!   dropping a request.
+//! * [`refresh`] — the online-learning loop: a replay buffer of served
+//!   queries, oracle labeling through the shared engine, active-learning
+//!   selection of the most-disagreeing queries, a stage-2 fine-tune, and
+//!   a publish through the registry.
 //!
 //! # Quickstart (in-process)
 //!
@@ -53,10 +61,14 @@ pub mod cache;
 pub mod metrics;
 pub mod protocol;
 pub mod recommend;
+pub mod refresh;
+pub mod registry;
 pub mod server;
 
 pub use protocol::{
-    Query, QueryKey, RecommendRequest, Recommendation, Request, Response, ServeStats,
+    AdminAck, Query, QueryKey, RecommendRequest, Recommendation, Request, Response, ServeStats,
 };
 pub use recommend::{recommend_batch, BackendEngines};
+pub use refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer, ReplayEntry};
+pub use registry::{ModelRegistry, PublishError};
 pub use server::{Client, Pending, RecommendService, ServeConfig, TcpClient};

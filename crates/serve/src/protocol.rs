@@ -31,6 +31,34 @@ pub enum Request {
         /// Echoed in the response.
         id: u64,
     },
+    /// Admin: load a checkpoint from a **server-side** path and publish
+    /// it through the model registry. Worker shards pick the new
+    /// replica up at their next micro-batch boundary; in-flight
+    /// requests finish on the old one. Answered inline with
+    /// [`Response::Admin`] (or an error naming the rejection:
+    /// unreadable file, frozen registry, non-advancing version).
+    Swap {
+        /// Echoed in the response.
+        id: u64,
+        /// Server-side checkpoint path (the file `serve
+        /// --save-checkpoint` or the refresh worker wrote).
+        path: String,
+        /// When `true`, re-stamp the loaded checkpoint at
+        /// `live_version + 1` before publishing — the operator path for
+        /// re-publishing existing weights (or legacy version-0 files)
+        /// without hand-editing version numbers. Omitted/`null` means
+        /// the file's own version must advance the live one.
+        bump: Option<bool>,
+    },
+    /// Admin: freeze (`true`) or unfreeze (`false`) publishing. A
+    /// frozen registry rejects both admin swaps and background
+    /// refreshes; serving is unaffected.
+    Freeze {
+        /// Echoed in the response.
+        id: u64,
+        /// Desired freeze state.
+        frozen: bool,
+    },
 }
 
 /// A recommendation query: *what hardware should run this workload?*
@@ -117,6 +145,8 @@ pub enum Response {
     Recommendation(Recommendation),
     /// The stats snapshot.
     Stats(ServeStats),
+    /// Acknowledgement of an admin `swap` / `freeze`.
+    Admin(AdminAck),
     /// The request could not be served (unknown model, bad dataflow,
     /// expired deadline, malformed line — the message says which).
     Error {
@@ -125,6 +155,19 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+}
+
+/// Acknowledgement of a successful admin operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdminAck {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Which operation this acknowledges (`"swap"` / `"freeze"`).
+    pub op: String,
+    /// Lineage version live after the operation.
+    pub model_version: u64,
+    /// Freeze state after the operation.
+    pub frozen: bool,
 }
 
 /// A served hardware recommendation with its engine-verified cost.
@@ -168,6 +211,18 @@ pub struct ServeStats {
     pub errors: u64,
     /// Worker shards.
     pub shards: usize,
+    /// Lineage version of the live model replica (bumped by every
+    /// published swap/refresh; 0 until a versioned checkpoint is
+    /// published).
+    pub model_version: u64,
+    /// Whether the model registry is frozen (publishes rejected).
+    pub frozen: bool,
+    /// Checkpoints published over this service's lifetime (admin swaps
+    /// plus background refreshes).
+    pub swaps: u64,
+    /// Served GEMM queries currently held in the replay buffer,
+    /// awaiting the next refresh.
+    pub replay_len: usize,
     /// Milliseconds since the service started.
     pub uptime_ms: u64,
     /// Served requests per second over the uptime.
@@ -287,6 +342,15 @@ mod tests {
                 backend: Some("systolic".into()),
             }),
             Request::Stats { id: 9 },
+            Request::Swap {
+                id: 10,
+                path: "/var/ckpt/model_v3.json".into(),
+                bump: Some(true),
+            },
+            Request::Freeze {
+                id: 11,
+                frozen: true,
+            },
         ];
         for req in &reqs {
             let line = encode_line(req);
@@ -294,6 +358,29 @@ mod tests {
             let back: Request = decode_line(&line).unwrap();
             assert_eq!(&back, req);
         }
+    }
+
+    #[test]
+    fn admin_messages_roundtrip_and_bump_is_optional() {
+        // `bump` omitted on the wire (a pre-refresh client) parses as None
+        let line = r#"{"Swap":{"id":4,"path":"ck.json"}}"#;
+        let req: Request = decode_line(line).unwrap();
+        assert_eq!(
+            req,
+            Request::Swap {
+                id: 4,
+                path: "ck.json".into(),
+                bump: None,
+            }
+        );
+        let ack = Response::Admin(AdminAck {
+            id: 4,
+            op: "swap".into(),
+            model_version: 2,
+            frozen: false,
+        });
+        let back: Response = decode_line(&encode_line(&ack)).unwrap();
+        assert_eq!(back, ack);
     }
 
     #[test]

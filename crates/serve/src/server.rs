@@ -27,6 +27,17 @@
 //! Shards hold *replicas* of the model (rebuilt from the same
 //! [`ModelCheckpoint`], hence bit-identical) because the autograd store
 //! is not `Sync`; they share one engine because the raw-cost cache is.
+//!
+//! # Live model refresh
+//!
+//! The checkpoint lives behind a [`ModelRegistry`]: shards compare the
+//! registry's **epoch** at every micro-batch boundary and rebuild their
+//! replica when a new checkpoint was published (an admin `swap` line,
+//! an in-process [`RecommendService::swap_checkpoint`], or the
+//! background refresh worker). In-flight batches finish on the old
+//! replica — a swap drops zero requests — and the response cache is
+//! **epoch-tagged** so an old-replica batch that straggles past the
+//! swap can never poison the cache with outgoing-model answers.
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
@@ -42,10 +53,12 @@ use airchitect::{Airchitect2, ModelCheckpoint};
 use crate::cache::LruCache;
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{
-    decode_line, encode_line, QueryKey, RecommendRequest, Recommendation, Request, Response,
-    ServeStats,
+    decode_line, encode_line, AdminAck, QueryKey, RecommendRequest, Recommendation, Request,
+    Response, ServeStats,
 };
 use crate::recommend::{recommend_batch, BackendEngines};
+use crate::refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer};
+use crate::registry::ModelRegistry;
 
 /// Service sizing knobs.
 #[derive(Debug, Clone)]
@@ -56,6 +69,12 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// LRU response-cache entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Served-query replay-buffer entries feeding the refresh loop
+    /// (0 disables recording).
+    pub replay_capacity: usize,
+    /// Background refresh loop; `None` leaves refreshing to explicit
+    /// [`RecommendService::refresh_now`] calls and admin swaps.
+    pub refresh: Option<RefreshConfig>,
 }
 
 impl Default for ServeConfig {
@@ -64,8 +83,19 @@ impl Default for ServeConfig {
             shards: 2,
             max_batch: 32,
             cache_capacity: 1024,
+            replay_capacity: 4096,
+            refresh: None,
         }
     }
+}
+
+/// The LRU response cache tagged with the registry epoch its entries
+/// were computed under. Inserts stamped with an older epoch are
+/// dropped: a pre-swap batch finishing after the swap must not publish
+/// outgoing-replica answers into the post-swap cache.
+struct EpochCache {
+    epoch: u64,
+    lru: LruCache<QueryKey, Recommendation>,
 }
 
 /// One admitted request waiting for a shard.
@@ -80,11 +110,12 @@ struct Job {
 struct Inner {
     cfg: ServeConfig,
     engines: BackendEngines,
-    ckpt: ModelCheckpoint,
+    registry: ModelRegistry,
+    replay: ReplayBuffer,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     stop: AtomicBool,
-    cache: Mutex<LruCache<QueryKey, Recommendation>>,
+    cache: Mutex<EpochCache>,
     metrics: ServiceMetrics,
 }
 
@@ -131,6 +162,10 @@ impl Inner {
             deadline_expired: snap.deadline_expired,
             errors: snap.errors,
             shards: self.cfg.shards,
+            model_version: self.registry.version(),
+            frozen: self.registry.frozen(),
+            swaps: self.registry.swaps(),
+            replay_len: self.replay.len(),
             uptime_ms: snap.uptime_ms,
             throughput_rps: snap.throughput_rps,
             p50_us: snap.p50_us,
@@ -138,6 +173,77 @@ impl Inner {
             p99_us: snap.p99_us,
             engine_point_hits: engine.point_hits,
             engine_point_misses: engine.point_misses,
+        }
+    }
+
+    /// Validates and publishes `ckpt` as the live checkpoint, flushing
+    /// the (now stale) response cache. With `bump`, the registry
+    /// re-stamps the checkpoint at `live_version + 1` under its own
+    /// lock (so a concurrent publish cannot turn the bump into a
+    /// spurious version rejection). Returns the version that went live.
+    fn install_checkpoint(&self, ckpt: ModelCheckpoint, bump: bool) -> Result<u64, String> {
+        // a checkpoint that cannot restore must never become live — the
+        // shards would die trying to rebuild from it
+        Airchitect2::from_checkpoint(Arc::clone(self.engines.primary()), &ckpt)
+            .map_err(|e| format!("checkpoint does not restore: {e}"))?;
+        let publish = if bump {
+            self.registry.publish_bumped(ckpt)
+        } else {
+            self.registry.publish(ckpt)
+        };
+        let version = publish.map_err(|e| e.to_string())?;
+        self.flush_cache();
+        Ok(version)
+    }
+
+    /// Clears the response cache and re-tags it with the current
+    /// registry epoch (stale-epoch inserts are dropped from here on).
+    fn flush_cache(&self) {
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        cache.lru.clear();
+        cache.epoch = self.registry.epoch();
+    }
+
+    /// Answers the admin wire messages (`swap` / `freeze`) inline.
+    fn handle_admin(&self, req: &Request) -> Response {
+        match req {
+            Request::Swap { id, path, bump } => {
+                let ckpt = match ModelCheckpoint::load(path) {
+                    Ok(ckpt) => ckpt,
+                    Err(e) => {
+                        self.metrics.record_error();
+                        return Response::Error {
+                            id: *id,
+                            message: format!("swap rejected: cannot load {path:?}: {e}"),
+                        };
+                    }
+                };
+                match self.install_checkpoint(ckpt, bump.unwrap_or(false)) {
+                    Ok(version) => Response::Admin(AdminAck {
+                        id: *id,
+                        op: "swap".into(),
+                        model_version: version,
+                        frozen: self.registry.frozen(),
+                    }),
+                    Err(message) => {
+                        self.metrics.record_error();
+                        Response::Error {
+                            id: *id,
+                            message: format!("swap rejected: {message}"),
+                        }
+                    }
+                }
+            }
+            Request::Freeze { id, frozen } => {
+                self.registry.set_frozen(*frozen);
+                Response::Admin(AdminAck {
+                    id: *id,
+                    op: "freeze".into(),
+                    model_version: self.registry.version(),
+                    frozen: *frozen,
+                })
+            }
+            _ => unreachable!("handle_admin only receives admin requests"),
         }
     }
 }
@@ -148,6 +254,7 @@ pub struct RecommendService {
     inner: Arc<Inner>,
     shards: Vec<JoinHandle<()>>,
     acceptors: Vec<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
 }
 
 impl RecommendService {
@@ -171,10 +278,14 @@ impl RecommendService {
             ..cfg
         };
         let inner = Arc::new(Inner {
-            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            cache: Mutex::new(EpochCache {
+                epoch: 0,
+                lru: LruCache::new(cfg.cache_capacity),
+            }),
+            replay: ReplayBuffer::new(cfg.replay_capacity),
             cfg,
             engines: BackendEngines::new(engine),
-            ckpt,
+            registry: ModelRegistry::new(ckpt),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -189,10 +300,18 @@ impl RecommendService {
                     .expect("spawn shard")
             })
             .collect();
+        let refresher = inner.cfg.refresh.as_ref().map(|_| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ai2-serve-refresh".into())
+                .spawn(move || refresh_main(&inner))
+                .expect("spawn refresh worker")
+        });
         RecommendService {
             inner,
             shards,
             acceptors: Vec::new(),
+            refresher,
         }
     }
 
@@ -227,6 +346,57 @@ impl RecommendService {
         self.inner.cfg.shards
     }
 
+    /// Lineage version of the live model replica.
+    pub fn model_version(&self) -> u64 {
+        self.inner.registry.version()
+    }
+
+    /// Snapshot of the live checkpoint — what a shard restoring right
+    /// now would serve from (tests restore independent replicas from
+    /// it; operators save it for later `swap`s).
+    pub fn current_checkpoint(&self) -> Arc<ModelCheckpoint> {
+        self.inner.registry.current()
+    }
+
+    /// Validates and publishes a new checkpoint in-process (the wire
+    /// `swap` message without the file round-trip). With `bump`, the
+    /// checkpoint is re-stamped at `live_version + 1` first. Shards
+    /// adopt it at their next micro-batch boundary; the response cache
+    /// is flushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason (checkpoint fails to restore,
+    /// registry frozen, version does not advance).
+    pub fn swap_checkpoint(&self, ckpt: ModelCheckpoint, bump: bool) -> Result<u64, String> {
+        self.inner.install_checkpoint(ckpt, bump)
+    }
+
+    /// Runs one refresh cycle synchronously (label the replay buffer,
+    /// fine-tune, publish) using the configured [`RefreshConfig`] or
+    /// its default — the deterministic-test and script entry point; the
+    /// background worker calls the same function on a timer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason the refresh could not run or publish.
+    pub fn refresh_now(&self) -> Result<RefreshOutcome, String> {
+        let cfg = self.inner.cfg.refresh.clone().unwrap_or_default();
+        let outcome = refresh_once(
+            self.inner.engines.primary(),
+            &self.inner.registry,
+            &self.inner.replay,
+            &cfg,
+        )?;
+        self.inner.flush_cache();
+        Ok(outcome)
+    }
+
+    /// Served GEMM queries waiting in the replay buffer.
+    pub fn replay_len(&self) -> usize {
+        self.inner.replay.len()
+    }
+
     /// The current stats snapshot (same content as the wire `stats`
     /// endpoint).
     pub fn stats(&self) -> ServeStats {
@@ -243,6 +413,9 @@ impl RecommendService {
         }
         for h in self.acceptors.drain(..) {
             h.join().expect("acceptor panicked");
+        }
+        if let Some(h) = self.refresher.take() {
+            h.join().expect("refresh worker panicked");
         }
         // pending jobs: dropping the senders unblocks their receivers
         self.inner
@@ -274,12 +447,15 @@ impl Client {
         Pending(self.inner.submit(req))
     }
 
-    /// Submits any protocol request (`Stats` is answered inline without
-    /// occupying a shard).
+    /// Submits any protocol request (`Stats` and the admin messages are
+    /// answered inline without occupying a shard).
     pub fn request(&self, req: Request) -> Response {
         match req {
             Request::Recommend(r) => self.recommend(r),
             Request::Stats { id } => Response::Stats(self.inner.serve_stats(id)),
+            admin @ (Request::Swap { .. } | Request::Freeze { .. }) => {
+                self.inner.handle_admin(&admin)
+            }
         }
     }
 }
@@ -304,8 +480,12 @@ impl Pending {
 // shard workers
 
 fn shard_main(inner: &Inner) {
-    let model = Airchitect2::from_checkpoint(Arc::clone(inner.engines.primary()), &inner.ckpt)
-        .expect("checkpoint validated at startup");
+    let mut epoch = inner.registry.epoch();
+    let mut model = Airchitect2::from_checkpoint(
+        Arc::clone(inner.engines.primary()),
+        &inner.registry.current(),
+    )
+    .expect("checkpoint validated at startup");
     loop {
         let batch: Vec<Job> = {
             let mut q = inner.queue.lock().expect("admission queue poisoned");
@@ -330,11 +510,23 @@ fn shard_main(inner: &Inner) {
         };
         // more work may remain; pass the baton before computing
         inner.available.notify_one();
-        process_batch(inner, &model, batch);
+        // micro-batch boundary: adopt a newly published replica before
+        // computing, so everything drained after a swap is answered by
+        // a model freshly restored from the published checkpoint
+        let now = inner.registry.epoch();
+        if now != epoch {
+            model = Airchitect2::from_checkpoint(
+                Arc::clone(inner.engines.primary()),
+                &inner.registry.current(),
+            )
+            .expect("published checkpoints are validated before publish");
+            epoch = now;
+        }
+        process_batch(inner, &model, epoch, batch);
     }
 }
 
-fn process_batch(inner: &Inner, model: &Airchitect2, batch: Vec<Job>) {
+fn process_batch(inner: &Inner, model: &Airchitect2, epoch: u64, batch: Vec<Job>) {
     let now = Instant::now();
     let mut compute: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
@@ -352,7 +544,18 @@ fn process_batch(inner: &Inner, model: &Airchitect2, batch: Vec<Job>) {
             }
         }
         if let Some(key) = &job.key {
-            let hit = inner.cache.lock().expect("cache poisoned").get(key);
+            // the epoch guard on reads mirrors the one on inserts: in
+            // the window between a publish and its cache flush, a shard
+            // that already adopted the new replica must not serve
+            // entries the outgoing replica computed
+            let hit = {
+                let mut cache = inner.cache.lock().expect("cache poisoned");
+                if cache.epoch == epoch {
+                    cache.lru.get(key)
+                } else {
+                    None
+                }
+            };
             if let Some(mut rec) = hit {
                 rec.id = job.req.id;
                 inner
@@ -373,20 +576,82 @@ fn process_batch(inner: &Inner, model: &Airchitect2, batch: Vec<Job>) {
         match &resp {
             Response::Recommendation(rec) => {
                 if let Some(key) = job.key {
-                    inner
-                        .cache
-                        .lock()
-                        .expect("cache poisoned")
-                        .insert(key, rec.clone());
+                    let mut cache = inner.cache.lock().expect("cache poisoned");
+                    // an old-replica batch straggling past a swap must
+                    // not publish outgoing-model answers post-flush
+                    if cache.epoch == epoch {
+                        cache.lru.insert(key, rec.clone());
+                    }
+                }
+                // feed the refresh loop: computed GEMM answers are the
+                // queries the next fine-tune can learn from (cache hits
+                // and model folds carry no fresh per-layer signal)
+                if let Some(input) = job.req.query.as_dse_input() {
+                    inner.replay.record(input, rec.point);
                 }
                 inner
                     .metrics
                     .record_served(job.admitted.elapsed().as_secs_f64() * 1e6, false);
             }
             Response::Error { .. } => inner.metrics.record_error(),
-            Response::Stats(_) => unreachable!("stats never routes through shards"),
+            Response::Stats(_) | Response::Admin(_) => {
+                unreachable!("stats/admin never route through shards")
+            }
         }
         let _ = job.tx.send(resp);
+    }
+}
+
+// --------------------------------------------------------------------
+// background refresh worker
+
+/// Periodically folds the replay buffer back into the model. Errors
+/// (buffer not full enough yet, registry frozen, lost publish race) are
+/// expected between ticks and simply retried at the next interval.
+fn refresh_main(inner: &Inner) {
+    let cfg = inner
+        .cfg
+        .refresh
+        .clone()
+        .expect("refresh worker spawned only when configured");
+    let mut last = Instant::now();
+    let mut last_skip_reason = String::new();
+    while !inner.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(20));
+        if last.elapsed() < cfg.interval {
+            continue;
+        }
+        last = Instant::now();
+        match refresh_once(
+            inner.engines.primary(),
+            &inner.registry,
+            &inner.replay,
+            &cfg,
+        ) {
+            Ok(outcome) => {
+                inner.flush_cache();
+                last_skip_reason.clear();
+                eprintln!(
+                    "[serve] refresh published v{} ({} replayed, {} trained on, \
+                     disagreement {:.4} → {:.4})",
+                    outcome.version,
+                    outcome.replayed,
+                    outcome.trained_on,
+                    outcome.disagreement_before,
+                    outcome.disagreement_after
+                );
+            }
+            // expected between ticks (buffer filling, frozen registry)
+            // but surfaced on every change of reason: a loop that
+            // silently never publishes is indistinguishable from a
+            // healthy idle one otherwise
+            Err(reason) => {
+                if reason != last_skip_reason {
+                    eprintln!("[serve] refresh skipped: {reason}");
+                    last_skip_reason = reason;
+                }
+            }
+        }
     }
 }
 
@@ -445,6 +710,9 @@ fn connection_main(inner: &Inner, stream: TcpStream) -> io::Result<()> {
                             },
                         },
                         Ok(Request::Stats { id }) => Response::Stats(inner.serve_stats(id)),
+                        Ok(admin @ (Request::Swap { .. } | Request::Freeze { .. })) => {
+                            inner.handle_admin(&admin)
+                        }
                         Err(e) => {
                             inner.metrics.record_error();
                             Response::Error {
@@ -705,6 +973,173 @@ mod tests {
             client.recommend(gemm_req(3, 30)),
             Response::Recommendation(_)
         ));
+        service.shutdown();
+    }
+
+    /// A second, differently-seeded trained checkpoint over the same
+    /// task (predicts differently from `trained_checkpoint`).
+    fn other_checkpoint(engine: &Arc<EvalEngine>) -> ModelCheckpoint {
+        let ds = DseDataset::generate(
+            engine.task(),
+            &GenerateConfig {
+                num_samples: 60,
+                seed: 77,
+                threads: 2,
+                ..GenerateConfig::default()
+            },
+        );
+        let mut model = Airchitect2::with_engine(
+            &ModelConfig {
+                seed: 99,
+                ..ModelConfig::tiny()
+            },
+            Arc::clone(engine),
+            &ds,
+        );
+        model.fit(&ds, &TrainConfig::quick());
+        model.checkpoint()
+    }
+
+    #[test]
+    fn swap_adopts_the_new_replica_and_flushes_the_cache() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service =
+            RecommendService::start(ServeConfig::default(), Arc::clone(&engine), ckpt.clone());
+        let client = service.client();
+        assert_eq!(service.model_version(), 0);
+
+        // warm the cache on the seed replica
+        let before = client.recommend(gemm_req(1, 64));
+        let Response::Recommendation(before) = &before else {
+            panic!("expected recommendation: {before:?}");
+        };
+
+        // publish a different model at version 1
+        let next = other_checkpoint(&engine).with_version(1);
+        let version = service.swap_checkpoint(next.clone(), false).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(service.model_version(), 1);
+        assert_eq!(service.stats().swaps, 1);
+
+        // the same canonical query must now be answered by the new
+        // replica, not the stale cache slot
+        let after = client.recommend(gemm_req(2, 64));
+        let Response::Recommendation(after) = &after else {
+            panic!("expected recommendation: {after:?}");
+        };
+        assert_eq!(
+            service.stats().cache_hits,
+            0,
+            "swap must flush the response cache"
+        );
+        let replica = Airchitect2::from_checkpoint(Arc::clone(&engine), &next).unwrap();
+        let input = gemm_req(2, 64).query.as_dse_input().unwrap();
+        let expect = replica.predict(std::slice::from_ref(&input))[0];
+        assert_eq!(
+            after.point, expect,
+            "post-swap answers come from the new replica"
+        );
+        // (the two models may happen to agree on some inputs; the cache
+        // assertion above is the load-bearing one)
+        let _ = before;
+        service.shutdown();
+    }
+
+    #[test]
+    fn stale_version_and_frozen_swaps_are_rejected() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service =
+            RecommendService::start(ServeConfig::default(), Arc::clone(&engine), ckpt.clone());
+        // version 0 does not advance version 0
+        let err = service.swap_checkpoint(ckpt.clone(), false).unwrap_err();
+        assert!(err.contains("does not advance"), "{err}");
+        // bump overrides: re-stamps at live+1
+        assert_eq!(service.swap_checkpoint(ckpt.clone(), true).unwrap(), 1);
+        // freeze gates further publishes
+        let client = service.client();
+        let ack = client.request(Request::Freeze {
+            id: 5,
+            frozen: true,
+        });
+        assert!(
+            matches!(&ack, Response::Admin(a) if a.frozen && a.id == 5 && a.op == "freeze"),
+            "unexpected {ack:?}"
+        );
+        assert!(service.stats().frozen);
+        let err = service.swap_checkpoint(ckpt.clone(), true).unwrap_err();
+        assert!(err.contains("frozen"), "{err}");
+        // serving is unaffected by the freeze
+        assert!(matches!(
+            client.recommend(gemm_req(9, 40)),
+            Response::Recommendation(_)
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn swap_and_freeze_work_over_tcp() {
+        let (engine, ckpt) = trained_checkpoint();
+        let mut service =
+            RecommendService::start(ServeConfig::default(), Arc::clone(&engine), ckpt.clone());
+        let addr = service.listen("127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(addr).unwrap();
+
+        let dir = std::env::temp_dir().join("ai2_serve_swap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("next.json");
+        other_checkpoint(&engine)
+            .with_version(3)
+            .save(&path)
+            .unwrap();
+
+        // a missing file answers an error, not a dead connection
+        let bad = tcp
+            .send(&Request::Swap {
+                id: 1,
+                path: dir.join("nope.json").to_string_lossy().into_owned(),
+                bump: None,
+            })
+            .unwrap();
+        assert!(
+            matches!(&bad, Response::Error { id: 1, message } if message.contains("swap rejected")),
+            "unexpected {bad:?}"
+        );
+
+        let ack = tcp
+            .send(&Request::Swap {
+                id: 2,
+                path: path.to_string_lossy().into_owned(),
+                bump: None,
+            })
+            .unwrap();
+        assert!(
+            matches!(&ack, Response::Admin(a) if a.id == 2 && a.op == "swap" && a.model_version == 3),
+            "unexpected {ack:?}"
+        );
+        let stats = tcp.send(&Request::Stats { id: 3 }).unwrap();
+        assert!(
+            matches!(&stats, Response::Stats(s) if s.model_version == 3 && s.swaps == 1),
+            "unexpected {stats:?}"
+        );
+        // queries still answer across the connection that swapped
+        let resp = tcp.send(&Request::Recommend(gemm_req(4, 33))).unwrap();
+        assert!(matches!(resp, Response::Recommendation(_)));
+        std::fs::remove_file(path).ok();
+        service.shutdown();
+    }
+
+    #[test]
+    fn served_gemm_queries_land_in_the_replay_buffer() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+        let client = service.client();
+        for i in 0..5 {
+            client.recommend(gemm_req(i, 16 + i));
+        }
+        // a cache hit must not re-record
+        client.recommend(gemm_req(9, 16));
+        assert_eq!(service.replay_len(), 5);
+        assert_eq!(service.stats().replay_len, 5);
         service.shutdown();
     }
 

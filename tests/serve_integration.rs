@@ -101,6 +101,7 @@ fn concurrent_tcp_queries_match_direct_predictor_engine_calls() {
             shards: 2,
             max_batch: 16,
             cache_capacity: 256,
+            ..ServeConfig::default()
         },
         engine,
         ckpt.clone(),
