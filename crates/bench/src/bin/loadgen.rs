@@ -38,7 +38,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ai2_bench::LoadgenResult;
-use ai2_serve::{Query, RecommendRequest, Recommendation, Request, Response, TcpClient};
+use ai2_serve::{Recommendation, Request, Response, TcpClient};
 use ai2_tensor::stats::percentile;
 
 struct Args {
@@ -103,44 +103,7 @@ fn parse_args() -> Args {
     args
 }
 
-/// Deterministic query mix: GEMM dims sweep the Table I ranges across
-/// all three objectives; every fourth query (starting with the second)
-/// is a zoo model when `--models` is on — so a two-request smoke run
-/// covers one GEMM and one whole-model query.
-fn nth_query(
-    n: u64,
-    models: bool,
-    deadline_ms: Option<u64>,
-    backend: Option<&str>,
-) -> RecommendRequest {
-    const ZOO: [&str; 4] = ["resnet18", "resnet50", "bert_base", "mobilenet_v2"];
-    const OBJECTIVES: [ai2_dse::Objective; 3] = [
-        ai2_dse::Objective::Latency,
-        ai2_dse::Objective::Energy,
-        ai2_dse::Objective::Edp,
-    ];
-    const DATAFLOWS: [&str; 3] = ["ws", "os", "rs"];
-    let query = if models && n % 4 == 1 {
-        Query::Model {
-            name: ZOO[(n / 4) as usize % ZOO.len()].to_string(),
-        }
-    } else {
-        Query::Gemm {
-            m: 1 + (n * 37) % 256,
-            n: 1 + (n * 131) % 1677,
-            k: 1 + (n * 89) % 1185,
-            dataflow: DATAFLOWS[n as usize % 3].to_string(),
-        }
-    };
-    RecommendRequest {
-        id: n,
-        query,
-        objective: OBJECTIVES[(n / 2) as usize % 3],
-        budget: ai2_dse::Budget::Edge,
-        deadline_ms,
-        backend: backend.map(str::to_string),
-    }
-}
+use ai2_bench::queries::nth_query;
 
 fn check(resp: &Response, deadline_set: bool) -> Result<Option<f64>, String> {
     match resp {

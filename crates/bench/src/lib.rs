@@ -15,6 +15,7 @@
 //! reuse the same corpus.
 
 pub mod plot;
+pub mod queries;
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,101 @@
+//! Deterministic query builders shared by the closed-loop load
+//! generator (`loadgen`) and the deterministic simulation harness
+//! (`ai2_simtest`).
+//!
+//! One function, one contract: query `n` is always the same request —
+//! same GEMM dimensions, same dataflow, same objective — no matter who
+//! builds it or when. The loadgen walks `n` sequentially to sweep the
+//! space; the simulation harness draws `n` from a seeded RNG over a
+//! small universe so canonical repeats (cache hits, cross-swap
+//! re-asks) are guaranteed.
+
+use ai2_serve::{Query, RecommendRequest};
+
+/// Zoo models the `--models` mix cycles through.
+pub const ZOO_MIX: [&str; 4] = ["resnet18", "resnet50", "bert_base", "mobilenet_v2"];
+
+/// Deterministic query mix: GEMM dims sweep the Table I ranges across
+/// all three objectives; every fourth query (starting with the second)
+/// is a zoo model when `models` is on — so a two-request smoke run
+/// covers one GEMM and one whole-model query.
+pub fn nth_query(
+    n: u64,
+    models: bool,
+    deadline_ms: Option<u64>,
+    backend: Option<&str>,
+) -> RecommendRequest {
+    const OBJECTIVES: [ai2_dse::Objective; 3] = [
+        ai2_dse::Objective::Latency,
+        ai2_dse::Objective::Energy,
+        ai2_dse::Objective::Edp,
+    ];
+    const DATAFLOWS: [&str; 3] = ["ws", "os", "rs"];
+    let query = if models && n % 4 == 1 {
+        Query::Model {
+            name: ZOO_MIX[(n / 4) as usize % ZOO_MIX.len()].to_string(),
+        }
+    } else {
+        Query::Gemm {
+            m: 1 + (n * 37) % 256,
+            n: 1 + (n * 131) % 1677,
+            k: 1 + (n * 89) % 1185,
+            dataflow: DATAFLOWS[n as usize % 3].to_string(),
+        }
+    };
+    RecommendRequest {
+        id: n,
+        query,
+        objective: OBJECTIVES[(n / 2) as usize % 3],
+        budget: ai2_dse::Budget::Edge,
+        deadline_ms,
+        backend: backend.map(str::to_string),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_query_is_a_pure_function_of_n() {
+        for n in 0..64 {
+            let a = nth_query(n, true, Some(5), Some("systolic"));
+            let b = nth_query(n, true, Some(5), Some("systolic"));
+            assert_eq!(a, b, "query {n} must be deterministic");
+            assert_eq!(a.id, n);
+        }
+    }
+
+    #[test]
+    fn the_mix_covers_models_objectives_and_dataflows() {
+        let reqs: Vec<RecommendRequest> = (0..24).map(|n| nth_query(n, true, None, None)).collect();
+        let model_names: Vec<&str> = reqs
+            .iter()
+            .filter_map(|r| match &r.query {
+                Query::Model { name } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            ZOO_MIX.iter().all(|z| model_names.contains(z)),
+            "24 queries must cycle through the whole zoo mix: {model_names:?}"
+        );
+        for objective in [
+            ai2_dse::Objective::Latency,
+            ai2_dse::Objective::Energy,
+            ai2_dse::Objective::Edp,
+        ] {
+            assert!(reqs.iter().any(|r| r.objective == objective));
+        }
+        // all dims are ≥ 1 (a zero dim would be rejected server-side)
+        for r in &reqs {
+            if let Query::Gemm { m, n, k, .. } = &r.query {
+                assert!(*m >= 1 && *n >= 1 && *k >= 1);
+            }
+        }
+        // without the models flag everything is a GEMM
+        assert!((0..24)
+            .map(|n| nth_query(n, false, None, None))
+            .all(|r| matches!(r.query, Query::Gemm { .. })));
+    }
+}

@@ -20,6 +20,14 @@
 //!   cache keyed by canonical query, per-request deadlines, a TCP
 //!   listener plus in-process [`Client`], and a `stats` endpoint with
 //!   throughput and p50/p95/p99 latency.
+//! * [`transport`] — pluggable line transports over one shared
+//!   [`Endpoint`](server::Endpoint) seam: the production TCP front end
+//!   and the deterministic in-process [`VirtualTransport`] the
+//!   `ai2_simtest` harness drives (seeded delivery order, injectable
+//!   delays and disconnects, no sockets).
+//! * [`clock`] — the service's notion of time behind a trait:
+//!   [`WallClock`] in production, [`VirtualClock`] under simulation so
+//!   deadline expiry replays deterministically.
 //! * [`registry`] — the live-model slot: versioned checkpoints are
 //!   published atomically (monotonic lineage versions, freezable) and
 //!   worker shards hot-swap onto them at micro-batch boundaries without
@@ -58,17 +66,21 @@
 //! ```
 
 pub mod cache;
+pub mod clock;
 pub mod metrics;
 pub mod protocol;
 pub mod recommend;
 pub mod refresh;
 pub mod registry;
 pub mod server;
+pub mod transport;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use protocol::{
     AdminAck, Query, QueryKey, RecommendRequest, Recommendation, Request, Response, ServeStats,
 };
 pub use recommend::{recommend_batch, BackendEngines};
 pub use refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer, ReplayEntry};
 pub use registry::{ModelRegistry, PublishError};
-pub use server::{Client, Pending, RecommendService, ServeConfig, TcpClient};
+pub use server::{Client, Driver, Endpoint, Pending, RecommendService, ServeConfig, Submission};
+pub use transport::{Delivery, TcpClient, TcpTransport, Transport, VirtualTransport};

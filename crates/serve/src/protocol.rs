@@ -22,7 +22,14 @@ use ai2_workloads::generator::DseInput;
 use serde::{Deserialize, Serialize};
 
 /// One request line.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Decoding is **strict for the admin surface**: `Stats`, `Swap` and
+/// `Freeze` payloads reject unknown fields with the canonical parse
+/// error (see [`decode_line`]), because a typo'd operator knob —
+/// `"bmup"` for `"bump"` — silently ignored would publish a checkpoint
+/// under the wrong version policy. `Recommend` payloads stay lenient:
+/// query traffic from newer clients must keep parsing.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Request {
     /// A design-space recommendation query.
     Recommend(RecommendRequest),
@@ -59,6 +66,79 @@ pub enum Request {
         /// Desired freeze state.
         frozen: bool,
     },
+}
+
+/// Rejects a payload object carrying fields outside `known` — the
+/// strict half of the admin wire contract. The message follows the
+/// vendored codec's canonical parse-error shape, so a strict rejection
+/// reads exactly like any other malformed-line error on the wire.
+fn deny_unknown_fields(
+    content: &serde::Value,
+    what: &str,
+    known: &[&str],
+) -> Result<(), serde::DeError> {
+    if let serde::Value::Object(entries) = content {
+        for (key, _) in entries {
+            if !known.contains(&key.as_str()) {
+                return Err(serde::DeError(format!(
+                    "unknown field {key:?} in {what} (expected {})",
+                    known.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+// Hand-rolled (the vendored derive has no `deny_unknown_fields`): the
+// admin variants are strict, `Recommend` delegates to the lenient
+// derived decoding of its payload.
+impl serde::Deserialize for Request {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Object(entries) if entries.len() == 1 => {
+                let (tag, content) = &entries[0];
+                match tag.as_str() {
+                    "Recommend" => Ok(Request::Recommend(serde::Deserialize::from_value(content)?)),
+                    "Stats" => {
+                        deny_unknown_fields(content, "Stats", &["id"])?;
+                        Ok(Request::Stats {
+                            id: serde::de_field(content, "id")?,
+                        })
+                    }
+                    "Swap" => {
+                        deny_unknown_fields(content, "Swap", &["id", "path", "bump"])?;
+                        Ok(Request::Swap {
+                            id: serde::de_field(content, "id")?,
+                            path: serde::de_field(content, "path")?,
+                            bump: serde::de_field(content, "bump")?,
+                        })
+                    }
+                    "Freeze" => {
+                        deny_unknown_fields(content, "Freeze", &["id", "frozen"])?;
+                        Ok(Request::Freeze {
+                            id: serde::de_field(content, "id")?,
+                            frozen: serde::de_field(content, "frozen")?,
+                        })
+                    }
+                    other => Err(serde::DeError(format!("unknown Request variant {other:?}"))),
+                }
+            }
+            other => Err(serde::DeError(format!("expected Request, got {other:?}"))),
+        }
+    }
+}
+
+impl serde::Deserialize for AdminAck {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        deny_unknown_fields(v, "AdminAck", &["id", "op", "model_version", "frozen"])?;
+        Ok(AdminAck {
+            id: serde::de_field(v, "id")?,
+            op: serde::de_field(v, "op")?,
+            model_version: serde::de_field(v, "model_version")?,
+            frozen: serde::de_field(v, "frozen")?,
+        })
+    }
 }
 
 /// A recommendation query: *what hardware should run this workload?*
@@ -157,8 +237,11 @@ pub enum Response {
     },
 }
 
-/// Acknowledgement of a successful admin operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Acknowledgement of a successful admin operation. Like the admin
+/// requests it answers, decoding rejects unknown fields: an admin
+/// client must notice — not silently drop — acknowledgement content it
+/// does not understand.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct AdminAck {
     /// Echo of the request id.
     pub id: u64,
@@ -492,6 +575,57 @@ mod tests {
         };
         assert!(QueryKey::of(&req).is_none());
         assert!(req.query.as_dse_input().is_none());
+    }
+
+    #[test]
+    fn unknown_admin_fields_are_rejected_with_the_canonical_parse_error() {
+        // a typo'd operator knob must fail loudly, not be silently
+        // dropped: `bmup` for `bump` would otherwise publish under the
+        // wrong version policy
+        let cases = [
+            (
+                r#"{"Swap":{"id":1,"path":"ck.json","bmup":true}}"#,
+                "bmup",
+                "Swap",
+            ),
+            (
+                r#"{"Freeze":{"id":2,"frozen":true,"force":true}}"#,
+                "force",
+                "Freeze",
+            ),
+            (r#"{"Stats":{"id":3,"verbose":true}}"#, "verbose", "Stats"),
+        ];
+        for (line, field, what) in cases {
+            let err = decode_line::<Request>(line).unwrap_err().to_string();
+            assert!(
+                err.contains("unknown field") && err.contains(field) && err.contains(what),
+                "{line} → {err}"
+            );
+        }
+        // the client side of the admin exchange is equally strict
+        let ack = r#"{"Admin":{"id":4,"op":"swap","model_version":2,"frozen":false,"extra":1}}"#;
+        let err = decode_line::<Response>(ack).unwrap_err().to_string();
+        assert!(
+            err.contains("unknown field") && err.contains("extra") && err.contains("AdminAck"),
+            "{err}"
+        );
+        // the valid spellings (with and without the optional bump)
+        // still parse — strictness must not break the happy path
+        assert!(decode_line::<Request>(r#"{"Swap":{"id":1,"path":"ck.json"}}"#).is_ok());
+        assert!(
+            decode_line::<Request>(r#"{"Swap":{"id":1,"path":"ck.json","bump":true}}"#).is_ok()
+        );
+        assert!(decode_line::<Request>(r#"{"Freeze":{"id":2,"frozen":false}}"#).is_ok());
+        assert!(decode_line::<Request>(r#"{"Stats":{"id":3}}"#).is_ok());
+    }
+
+    #[test]
+    fn recommend_decoding_stays_lenient_for_forward_compat() {
+        // query traffic is the opposite contract: a *newer* client
+        // sending fields this server predates must keep being served
+        let line = r#"{"Recommend":{"id":3,"query":{"Gemm":{"m":8,"n":8,"k":8,"dataflow":"os"}},"objective":"Latency","budget":"Edge","deadline_ms":null,"priority":"high"}}"#;
+        let req: Request = decode_line(line).unwrap();
+        assert!(matches!(req, Request::Recommend(r) if r.id == 3));
     }
 
     #[test]

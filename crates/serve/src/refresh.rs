@@ -432,6 +432,158 @@ mod tests {
         assert_eq!(ms, vec![100, 101, 102]);
     }
 
+    /// Tiny standalone LCG so these tests need no RNG dependency
+    /// (mirrors the `LruCache` reference-model test).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    #[test]
+    fn randomized_record_snapshot_drain_never_double_labels_or_skips() {
+        // the labeling contract: across any interleaving of records,
+        // snapshots and sequence-range drains, every recorded entry is
+        // labeled at most once (no double-label) and an entry only
+        // vanishes unlabeled by eviction — never by a drain eating
+        // post-snapshot arrivals (no skip). Entries carry a unique `m`
+        // so dedup never collapses them and each one is traceable.
+        for (seed, capacity) in [(1u64, 2usize), (2, 4), (3, 7), (4, 16), (5, 1)] {
+            let buf = ReplayBuffer::new(capacity);
+            let mut g = Lcg(seed);
+            let mut next_m = 1u64;
+            let mut recorded = 0u64; // total records ever
+            let mut evictions = 0u64; // capacity-bound drops
+            let mut labeled: Vec<u64> = Vec::new(); // drained (= labeled) m values
+            let mut open_snapshot: Option<(Vec<u64>, u64)> = None;
+            for step in 0..3000 {
+                match g.next() % 4 {
+                    // record (twice as likely so the ring actually fills)
+                    0 | 1 => {
+                        if buf.len() == capacity && capacity > 0 {
+                            evictions += 1;
+                        }
+                        buf.record(
+                            input(next_m, 1, 1, 0),
+                            DesignPoint {
+                                pe_idx: 0,
+                                buf_idx: 0,
+                            },
+                        );
+                        next_m += 1;
+                        recorded += 1;
+                    }
+                    // take a snapshot (a refresh starting to label)
+                    2 => {
+                        let (snap, upto) = buf.snapshot_distinct();
+                        open_snapshot = Some((snap.iter().map(|e| e.input.gemm.m).collect(), upto));
+                    }
+                    // drain the snapshotted range (the refresh publishing)
+                    _ => {
+                        if let Some((ms, upto)) = open_snapshot.take() {
+                            // whatever survives of the snapshot in the
+                            // ring right now is about to be labeled
+                            let (before, _) = buf.snapshot_distinct();
+                            let surviving: Vec<u64> = before
+                                .iter()
+                                .map(|e| e.input.gemm.m)
+                                .filter(|m| ms.contains(m))
+                                .collect();
+                            buf.consume_upto(upto);
+                            let (after, _) = buf.snapshot_distinct();
+                            for m in &surviving {
+                                assert!(
+                                    !after.iter().any(|e| e.input.gemm.m == *m),
+                                    "seed {seed} cap {capacity} step {step}: drained entry \
+                                     m={m} still buffered (would be labeled twice)"
+                                );
+                                assert!(
+                                    !labeled.contains(m),
+                                    "seed {seed} cap {capacity} step {step}: entry m={m} \
+                                     labeled twice across drains"
+                                );
+                                labeled.push(*m);
+                            }
+                            // post-snapshot arrivals must all survive
+                            for e in &after {
+                                assert!(
+                                    !ms.contains(&e.input.gemm.m)
+                                        || !surviving.contains(&e.input.gemm.m),
+                                    "inconsistent drain bookkeeping"
+                                );
+                            }
+                        }
+                    }
+                }
+                assert!(buf.len() <= capacity, "ring over capacity");
+            }
+            // conservation: every record was labeled once, evicted, or
+            // is still buffered — nothing double-counted, nothing lost
+            assert_eq!(
+                labeled.len() as u64 + evictions + buf.len() as u64,
+                recorded,
+                "seed {seed} cap {capacity}: {} labeled + {evictions} evicted + {} buffered \
+                 != {recorded} recorded",
+                labeled.len(),
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_record_and_drain_label_every_entry_exactly_once() {
+        // real-thread version of the same contract, capacity large
+        // enough that nothing is evicted: a recorder hammers the buffer
+        // while a drainer snapshots + consumes; at the end every entry
+        // must have been drained exactly once or still be buffered
+        const N: u64 = 2000;
+        let buf = std::sync::Arc::new(ReplayBuffer::new(N as usize));
+        let drained = std::sync::Arc::new(Mutex::new(Vec::<u64>::new()));
+        std::thread::scope(|scope| {
+            let recorder = {
+                let buf = std::sync::Arc::clone(&buf);
+                scope.spawn(move || {
+                    for m in 1..=N {
+                        buf.record(
+                            input(m, 1, 1, 0),
+                            DesignPoint {
+                                pe_idx: 0,
+                                buf_idx: 0,
+                            },
+                        );
+                    }
+                })
+            };
+            let buf = std::sync::Arc::clone(&buf);
+            let drained = std::sync::Arc::clone(&drained);
+            scope.spawn(move || {
+                while !recorder.is_finished() {
+                    let (snap, upto) = buf.snapshot_distinct();
+                    buf.consume_upto(upto);
+                    drained
+                        .lock()
+                        .unwrap()
+                        .extend(snap.iter().map(|e| e.input.gemm.m));
+                }
+            });
+        });
+        let mut seen = drained.lock().unwrap().clone();
+        let (rest, _) = buf.snapshot_distinct();
+        seen.extend(rest.iter().map(|e| e.input.gemm.m));
+        seen.sort_unstable();
+        let expect: Vec<u64> = (1..=N).collect();
+        assert_eq!(
+            seen, expect,
+            "every recorded entry drained or buffered exactly once"
+        );
+    }
+
     #[test]
     fn refresh_requires_a_filled_buffer_and_respects_freeze() {
         let task = DseTask::table_i_default();

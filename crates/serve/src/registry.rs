@@ -269,6 +269,114 @@ mod tests {
         assert_eq!(registry.version(), 2);
     }
 
+    /// Naive single-lock reference registry: one struct, one implicit
+    /// lock (exclusive `&mut` access), no atomics — trivially correct
+    /// by inspection (mirrors the `LruCache` reference-model test).
+    struct NaiveRegistry {
+        version: u64,
+        epoch: u64,
+        swaps: u64,
+        frozen: bool,
+    }
+
+    impl NaiveRegistry {
+        fn publish(&mut self, candidate_version: u64, bump: bool) -> Result<u64, PublishError> {
+            if self.frozen {
+                return Err(PublishError::Frozen);
+            }
+            let version = if bump {
+                self.version + 1
+            } else if candidate_version <= self.version {
+                return Err(PublishError::NotNewer {
+                    published: candidate_version,
+                    current: self.version,
+                });
+            } else {
+                candidate_version
+            };
+            self.version = version;
+            self.swaps += 1;
+            self.epoch += 1;
+            Ok(version)
+        }
+    }
+
+    /// Tiny standalone LCG so this test needs no RNG dependency.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    #[test]
+    fn randomized_publish_bump_freeze_ops_match_the_reference_registry() {
+        // every seed replays 600 mixed publish/bump/freeze/read ops on
+        // both implementations; results, versions, epochs, swap counts
+        // and the live checkpoint's stamped version must agree at every
+        // step
+        let base = tiny_checkpoint(0);
+        for seed in [1u64, 2, 3, 4, 5] {
+            let registry = ModelRegistry::new(base.clone().with_version(1));
+            let mut reference = NaiveRegistry {
+                version: 1,
+                epoch: 0,
+                swaps: 0,
+                frozen: false,
+            };
+            let mut g = Lcg(seed);
+            for step in 0..600 {
+                match g.next() % 5 {
+                    // plain publish at a random version near the live one
+                    // (below, equal, and above all occur)
+                    0 | 1 => {
+                        let v = reference.version.saturating_sub(2) + g.next() % 5;
+                        let got = registry.publish(base.clone().with_version(v));
+                        let want = reference.publish(v, false);
+                        assert_eq!(got, want, "seed {seed} step {step}: publish({v})");
+                    }
+                    // bumped publish (version on the candidate is noise)
+                    2 => {
+                        let v = g.next() % 4;
+                        let got = registry.publish_bumped(base.clone().with_version(v));
+                        let want = reference.publish(v, true);
+                        assert_eq!(got, want, "seed {seed} step {step}: bump({v})");
+                    }
+                    // freeze / unfreeze
+                    3 => {
+                        let frozen = g.next().is_multiple_of(2);
+                        registry.set_frozen(frozen);
+                        reference.frozen = frozen;
+                    }
+                    // pure reads must never disturb state
+                    _ => {}
+                }
+                assert_eq!(
+                    registry.version(),
+                    reference.version,
+                    "seed {seed} step {step}"
+                );
+                assert_eq!(registry.epoch(), reference.epoch, "seed {seed} step {step}");
+                assert_eq!(registry.swaps(), reference.swaps, "seed {seed} step {step}");
+                assert_eq!(
+                    registry.frozen(),
+                    reference.frozen,
+                    "seed {seed} step {step}"
+                );
+                assert_eq!(
+                    registry.current().version,
+                    reference.version,
+                    "seed {seed} step {step}: live checkpoint stamp diverged"
+                );
+            }
+        }
+    }
+
     #[test]
     fn concurrent_readers_always_see_a_consistent_checkpoint() {
         let registry = std::sync::Arc::new(ModelRegistry::new(tiny_checkpoint(1)));

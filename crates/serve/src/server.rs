@@ -1,13 +1,13 @@
 //! The concurrent service: an admission queue with micro-batching, N
 //! worker shards answering from warm [`Airchitect2`] replicas over one
 //! shared [`EvalEngine`], an LRU response cache, per-request deadlines,
-//! and a newline-delimited-JSON TCP front end.
+//! and pluggable line transports (TCP in production, a deterministic
+//! virtual transport under simulation — see [`crate::transport`]).
 //!
 //! # Anatomy of a request
 //!
-//! 1. **Admission** — [`Client::recommend`] (in-process) or a TCP
-//!    connection line pushes a [`Job`] onto the shared queue and wakes a
-//!    shard.
+//! 1. **Admission** — [`Client::recommend`] (in-process) or a transport
+//!    line pushes a [`Job`] onto the shared queue and wakes a shard.
 //! 2. **Micro-batching** — the woken shard drains up to
 //!    [`ServeConfig::max_batch`] queued jobs in one go. Deadline-expired
 //!    jobs are answered with an error immediately; cached canonical
@@ -28,6 +28,19 @@
 //! [`ModelCheckpoint`], hence bit-identical) because the autograd store
 //! is not `Sync`; they share one engine because the raw-cost cache is.
 //!
+//! # Drivers: threaded and stepped
+//!
+//! The shard loop is one pure function, [`shard_try_step`]: drain a
+//! fair share of the queue, adopt a newly published replica if the
+//! registry epoch moved, process the batch. Under
+//! [`Driver::Threaded`] (production) each shard runs that function in
+//! its own thread behind a condvar. Under [`Driver::Manual`] no threads
+//! are spawned at all: the caller invokes
+//! [`RecommendService::step_shard`] explicitly, and all time comes from
+//! the [`Clock`] the service was started with — so a whole server run
+//! becomes a deterministic function of the step sequence, which is what
+//! the `ai2_simtest` harness replays from a seed.
+//!
 //! # Live model refresh
 //!
 //! The checkpoint lives behind a [`ModelRegistry`]: shards compare the
@@ -40,8 +53,8 @@
 //! swap can never poison the cache with outgoing-model answers.
 
 use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -51,14 +64,29 @@ use ai2_dse::EvalEngine;
 use airchitect::{Airchitect2, ModelCheckpoint};
 
 use crate::cache::LruCache;
+use crate::clock::{Clock, WallClock};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{
-    decode_line, encode_line, AdminAck, QueryKey, RecommendRequest, Recommendation, Request,
-    Response, ServeStats,
+    decode_line, AdminAck, QueryKey, RecommendRequest, Recommendation, Request, Response,
+    ServeStats,
 };
 use crate::recommend::{recommend_batch, BackendEngines};
 use crate::refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer};
 use crate::registry::ModelRegistry;
+use crate::transport::{TcpTransport, Transport};
+
+/// How shard work gets scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Driver {
+    /// One thread per shard behind a condvar (production).
+    #[default]
+    Threaded,
+    /// No threads: the owner calls [`RecommendService::step_shard`]
+    /// explicitly. Combined with a [`crate::clock::VirtualClock`] and
+    /// the virtual transport, a whole server run is a deterministic
+    /// function of the step sequence.
+    Manual,
+}
 
 /// Service sizing knobs.
 #[derive(Debug, Clone)]
@@ -73,8 +101,13 @@ pub struct ServeConfig {
     /// (0 disables recording).
     pub replay_capacity: usize,
     /// Background refresh loop; `None` leaves refreshing to explicit
-    /// [`RecommendService::refresh_now`] calls and admin swaps.
+    /// [`RecommendService::refresh_now`] calls and admin swaps. Under
+    /// [`Driver::Manual`] no background worker is spawned either way:
+    /// this only supplies the [`RefreshConfig`] that `refresh_now`
+    /// uses.
     pub refresh: Option<RefreshConfig>,
+    /// Shard scheduling: threaded (default) or manually stepped.
+    pub driver: Driver,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +118,7 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             replay_capacity: 4096,
             refresh: None,
+            driver: Driver::Threaded,
         }
     }
 }
@@ -98,17 +132,21 @@ struct EpochCache {
     lru: LruCache<QueryKey, Recommendation>,
 }
 
-/// One admitted request waiting for a shard.
+/// One admitted request waiting for a shard. Timestamps come from the
+/// service [`Clock`] (nanoseconds since its epoch), never from
+/// [`Instant`], so deadline expiry replays deterministically under a
+/// virtual clock.
 struct Job {
     req: RecommendRequest,
     key: Option<QueryKey>,
-    admitted: Instant,
-    deadline: Option<Instant>,
+    admitted_ns: u64,
+    deadline_ns: Option<u64>,
     tx: mpsc::Sender<Response>,
 }
 
 struct Inner {
     cfg: ServeConfig,
+    clock: Arc<dyn Clock>,
     engines: BackendEngines,
     registry: ModelRegistry,
     replay: ReplayBuffer,
@@ -122,16 +160,17 @@ struct Inner {
 impl Inner {
     fn submit(&self, req: RecommendRequest) -> mpsc::Receiver<Response> {
         let (tx, rx) = mpsc::channel();
-        let admitted = Instant::now();
+        let admitted_ns = self.clock.now_ns();
         let job = Job {
             key: QueryKey::of(&req),
             // checked: an absurd deadline_ms (e.g. u64::MAX from a
-            // hostile client) must degrade to "no deadline", not panic
-            // the Instant addition
-            deadline: req
+            // hostile client) must degrade to "no deadline", not wrap
+            // the nanosecond arithmetic
+            deadline_ns: req
                 .deadline_ms
-                .and_then(|ms| admitted.checked_add(Duration::from_millis(ms))),
-            admitted,
+                .and_then(|ms| ms.checked_mul(1_000_000))
+                .and_then(|ns| admitted_ns.checked_add(ns)),
+            admitted_ns,
             req,
             tx,
         };
@@ -248,20 +287,79 @@ impl Inner {
     }
 }
 
+/// What one wire line turned into — the transport-facing half of the
+/// service. Transports hand every received line to
+/// [`Endpoint::handle_line`] and route the result back to their client.
+pub enum Submission {
+    /// Blank line: no response is owed.
+    Ignored,
+    /// Answered inline without occupying a shard (`stats`, admin
+    /// messages, malformed lines).
+    Ready(Response),
+    /// A recommendation admitted to the shard queue; the answer arrives
+    /// through the [`Pending`].
+    Queued(Pending),
+}
+
+/// The service's line-level entry point, shared by every transport: one
+/// wire line in, one [`Submission`] out. The TCP transport and the
+/// deterministic virtual transport both dispatch through this exact
+/// function, so they cannot diverge in decoding, admin handling, or
+/// error behavior.
+#[derive(Clone)]
+pub struct Endpoint {
+    inner: Arc<Inner>,
+}
+
+impl Endpoint {
+    /// Decodes and dispatches one wire line (without its trailing
+    /// newline). `stats` and the admin messages are answered inline;
+    /// recommendations are admitted to the shard queue; malformed lines
+    /// answer the canonical parse error.
+    pub fn handle_line(&self, line: &str) -> Submission {
+        if line.trim().is_empty() {
+            return Submission::Ignored;
+        }
+        match decode_line::<Request>(line) {
+            Ok(Request::Recommend(req)) => Submission::Queued(Pending(self.inner.submit(req))),
+            Ok(Request::Stats { id }) => {
+                Submission::Ready(Response::Stats(self.inner.serve_stats(id)))
+            }
+            Ok(admin @ (Request::Swap { .. } | Request::Freeze { .. })) => {
+                Submission::Ready(self.inner.handle_admin(&admin))
+            }
+            Err(e) => {
+                self.inner.metrics.record_error();
+                Submission::Ready(Response::Error {
+                    id: 0,
+                    message: format!("malformed request line: {e}"),
+                })
+            }
+        }
+    }
+
+    /// Whether the service has been shut down (transports drain and
+    /// exit when this turns true).
+    pub fn stopped(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+}
+
 /// The running service. Dropping it without [`RecommendService::shutdown`]
 /// leaks the shard threads; call `shutdown` for a clean stop.
 pub struct RecommendService {
     inner: Arc<Inner>,
     shards: Vec<JoinHandle<()>>,
-    acceptors: Vec<JoinHandle<()>>,
+    /// Per-shard replica state under [`Driver::Manual`] (empty when
+    /// threaded — each thread owns its state locally).
+    stepped_shards: Vec<Mutex<ShardState>>,
+    transports: Vec<Box<dyn Transport>>,
     refresher: Option<JoinHandle<()>>,
 }
 
 impl RecommendService {
-    /// Starts the shards from a trained model checkpoint. Every shard
-    /// restores its own replica (predictions are bit-identical across
-    /// replicas by the checkpoint round-trip guarantee) over the one
-    /// shared engine.
+    /// Starts the service on the production wall clock. See
+    /// [`RecommendService::start_with`].
     ///
     /// # Panics
     ///
@@ -269,6 +367,26 @@ impl RecommendService {
     /// (missing parameters / shape mismatch) — a serving process wants
     /// that failure at startup, not on the first query.
     pub fn start(cfg: ServeConfig, engine: Arc<EvalEngine>, ckpt: ModelCheckpoint) -> Self {
+        Self::start_with(cfg, engine, ckpt, Arc::new(WallClock::new()))
+    }
+
+    /// Starts the shards from a trained model checkpoint over an
+    /// explicit [`Clock`]. Every shard restores its own replica
+    /// (predictions are bit-identical across replicas by the checkpoint
+    /// round-trip guarantee) over the one shared engine. Under
+    /// [`Driver::Manual`] no threads are spawned; drive the service
+    /// with [`RecommendService::step_shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not apply to a freshly built
+    /// model.
+    pub fn start_with(
+        cfg: ServeConfig,
+        engine: Arc<EvalEngine>,
+        ckpt: ModelCheckpoint,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         // fail fast on a bad checkpoint before spawning anything
         Airchitect2::from_checkpoint(Arc::clone(&engine), &ckpt)
             .expect("checkpoint must apply to the configured model");
@@ -284,6 +402,7 @@ impl RecommendService {
             }),
             replay: ReplayBuffer::new(cfg.replay_capacity),
             cfg,
+            clock,
             engines: BackendEngines::new(engine),
             registry: ModelRegistry::new(ckpt),
             queue: Mutex::new(VecDeque::new()),
@@ -291,35 +410,75 @@ impl RecommendService {
             stop: AtomicBool::new(false),
             metrics: ServiceMetrics::new(),
         });
-        let shards = (0..inner.cfg.shards)
-            .map(|i| {
+        let (shards, stepped_shards) = match inner.cfg.driver {
+            Driver::Threaded => {
+                let handles = (0..inner.cfg.shards)
+                    .map(|i| {
+                        let inner = Arc::clone(&inner);
+                        std::thread::Builder::new()
+                            .name(format!("ai2-serve-shard-{i}"))
+                            .spawn(move || shard_main(&inner))
+                            .expect("spawn shard")
+                    })
+                    .collect();
+                (handles, Vec::new())
+            }
+            Driver::Manual => {
+                let states = (0..inner.cfg.shards)
+                    .map(|_| Mutex::new(ShardState::new(&inner)))
+                    .collect();
+                (Vec::new(), states)
+            }
+        };
+        let refresher = match inner.cfg.driver {
+            Driver::Threaded => inner.cfg.refresh.as_ref().map(|_| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("ai2-serve-shard-{i}"))
-                    .spawn(move || shard_main(&inner))
-                    .expect("spawn shard")
-            })
-            .collect();
-        let refresher = inner.cfg.refresh.as_ref().map(|_| {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("ai2-serve-refresh".into())
-                .spawn(move || refresh_main(&inner))
-                .expect("spawn refresh worker")
-        });
+                    .name("ai2-serve-refresh".into())
+                    .spawn(move || refresh_main(&inner))
+                    .expect("spawn refresh worker")
+            }),
+            // manual runs refresh only through explicit refresh_now
+            // calls — a background timer would break determinism
+            Driver::Manual => None,
+        };
         RecommendService {
             inner,
             shards,
-            acceptors: Vec::new(),
+            stepped_shards,
+            transports: Vec::new(),
             refresher,
         }
     }
 
     /// An in-process client (no sockets) — the test and bench path.
+    /// Under [`Driver::Manual`], pair [`Client::submit`] with
+    /// [`Pending::poll`] and [`RecommendService::step_shard`] — a
+    /// blocking [`Client::recommend`] would wait forever with no shard
+    /// threads to answer it.
     pub fn client(&self) -> Client {
         Client {
             inner: Arc::clone(&self.inner),
         }
+    }
+
+    /// The line-level entry point transports dispatch through.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Starts a transport against this service's [`Endpoint`] and owns
+    /// it until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport's startup error (e.g. a bind failure).
+    pub fn attach(&mut self, mut transport: Box<dyn Transport>) -> io::Result<()> {
+        transport.start(self.endpoint())?;
+        self.transports.push(transport);
+        Ok(())
     }
 
     /// Binds a TCP listener (use port 0 for an ephemeral port) and
@@ -329,16 +488,39 @@ impl RecommendService {
     ///
     /// Returns the bind error.
     pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let inner = Arc::clone(&self.inner);
-        let handle = std::thread::Builder::new()
-            .name("ai2-serve-accept".into())
-            .spawn(move || accept_main(&inner, &listener))
-            .expect("spawn acceptor");
-        self.acceptors.push(handle);
+        let transport = TcpTransport::bind(addr)?;
+        let local = transport.local_addr();
+        self.attach(Box::new(transport))?;
         Ok(local)
+    }
+
+    /// Runs one micro-batch on shard `shard` ([`Driver::Manual`] only):
+    /// drain a fair share of the queue, adopt a newly published replica
+    /// if the registry epoch moved, compute, answer. Returns `false`
+    /// when the queue was empty (nothing to do).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the service runs the threaded driver or `shard` is
+    /// out of range.
+    pub fn step_shard(&self, shard: usize) -> bool {
+        assert!(
+            !self.stepped_shards.is_empty(),
+            "step_shard requires ServeConfig {{ driver: Driver::Manual }}"
+        );
+        let mut state = self.stepped_shards[shard]
+            .lock()
+            .expect("shard state poisoned");
+        shard_try_step(&self.inner, &mut state)
+    }
+
+    /// Jobs admitted but not yet drained by any shard.
+    pub fn queued(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .expect("admission queue poisoned")
+            .len()
     }
 
     /// Number of worker shards.
@@ -411,8 +593,8 @@ impl RecommendService {
         for h in self.shards.drain(..) {
             h.join().expect("shard panicked");
         }
-        for h in self.acceptors.drain(..) {
-            h.join().expect("acceptor panicked");
+        for t in &mut self.transports {
+            t.stop();
         }
         if let Some(h) = self.refresher.take() {
             h.join().expect("refresh worker panicked");
@@ -428,7 +610,7 @@ impl RecommendService {
 
 /// In-process handle submitting requests straight to the admission
 /// queue — what the benches and tests drive, and the reference for what
-/// the TCP path must reproduce byte-for-byte.
+/// the transport paths must reproduce byte-for-byte.
 #[derive(Clone)]
 pub struct Client {
     inner: Arc<Inner>,
@@ -474,20 +656,88 @@ impl Pending {
             },
         }
     }
+
+    /// Non-blocking completion check — the stepped-driver companion to
+    /// [`Pending::wait`]: `None` while a shard still owes the answer. A
+    /// service that shut down before answering yields the same error
+    /// response `wait` would.
+    pub fn poll(&self) -> Option<Response> {
+        match self.0.try_recv() {
+            Ok(resp) => Some(resp),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Response::Error {
+                id: 0,
+                message: "service shut down before answering".into(),
+            }),
+        }
+    }
 }
 
 // --------------------------------------------------------------------
 // shard workers
 
+/// One shard's mutable state: which registry epoch its replica was
+/// restored under, and the replica itself.
+struct ShardState {
+    epoch: u64,
+    model: Airchitect2,
+}
+
+impl ShardState {
+    fn new(inner: &Inner) -> ShardState {
+        ShardState {
+            epoch: inner.registry.epoch(),
+            model: Airchitect2::from_checkpoint(
+                Arc::clone(inner.engines.primary()),
+                &inner.registry.current(),
+            )
+            .expect("checkpoint validated at startup"),
+        }
+    }
+}
+
+/// One micro-batch step, shared verbatim by the threaded and the
+/// manually stepped drivers: drain a fair share of the backlog, adopt a
+/// newly published replica at this batch boundary, process. Returns
+/// `false` when the queue was empty.
+fn shard_try_step(inner: &Inner, state: &mut ShardState) -> bool {
+    let batch: Vec<Job> = {
+        let mut q = inner.queue.lock().expect("admission queue poisoned");
+        if q.is_empty() {
+            return false;
+        }
+        // a fair share of the backlog: deep queues still coalesce
+        // into full micro-batches, but a light queue is spread over
+        // idle shards instead of being drained whole by the first
+        // one awake (which would serialize compute behind it)
+        let take = q
+            .len()
+            .div_ceil(inner.cfg.shards)
+            .clamp(1, inner.cfg.max_batch);
+        q.drain(..take).collect()
+    };
+    // more work may remain; pass the baton before computing
+    inner.available.notify_one();
+    // micro-batch boundary: adopt a newly published replica before
+    // computing, so everything drained after a swap is answered by
+    // a model freshly restored from the published checkpoint
+    let now = inner.registry.epoch();
+    if now != state.epoch {
+        state.model = Airchitect2::from_checkpoint(
+            Arc::clone(inner.engines.primary()),
+            &inner.registry.current(),
+        )
+        .expect("published checkpoints are validated before publish");
+        state.epoch = now;
+    }
+    process_batch(inner, &state.model, state.epoch, batch);
+    true
+}
+
 fn shard_main(inner: &Inner) {
-    let mut epoch = inner.registry.epoch();
-    let mut model = Airchitect2::from_checkpoint(
-        Arc::clone(inner.engines.primary()),
-        &inner.registry.current(),
-    )
-    .expect("checkpoint validated at startup");
+    let mut state = ShardState::new(inner);
     loop {
-        let batch: Vec<Job> = {
+        {
             let mut q = inner.queue.lock().expect("admission queue poisoned");
             loop {
                 if !q.is_empty() {
@@ -498,40 +748,20 @@ fn shard_main(inner: &Inner) {
                 }
                 q = inner.available.wait(q).expect("admission queue poisoned");
             }
-            // a fair share of the backlog: deep queues still coalesce
-            // into full micro-batches, but a light queue is spread over
-            // idle shards instead of being drained whole by the first
-            // one awake (which would serialize compute behind it)
-            let take = q
-                .len()
-                .div_ceil(inner.cfg.shards)
-                .clamp(1, inner.cfg.max_batch);
-            q.drain(..take).collect()
-        };
-        // more work may remain; pass the baton before computing
-        inner.available.notify_one();
-        // micro-batch boundary: adopt a newly published replica before
-        // computing, so everything drained after a swap is answered by
-        // a model freshly restored from the published checkpoint
-        let now = inner.registry.epoch();
-        if now != epoch {
-            model = Airchitect2::from_checkpoint(
-                Arc::clone(inner.engines.primary()),
-                &inner.registry.current(),
-            )
-            .expect("published checkpoints are validated before publish");
-            epoch = now;
         }
-        process_batch(inner, &model, epoch, batch);
+        // the lock is released between the wakeup and the drain; a
+        // sibling shard may win the race, in which case this step is a
+        // cheap no-op and the loop re-waits
+        shard_try_step(inner, &mut state);
     }
 }
 
 fn process_batch(inner: &Inner, model: &Airchitect2, epoch: u64, batch: Vec<Job>) {
-    let now = Instant::now();
+    let now_ns = inner.clock.now_ns();
     let mut compute: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
-        if let Some(deadline) = job.deadline {
-            if now >= deadline {
+        if let Some(deadline_ns) = job.deadline_ns {
+            if now_ns >= deadline_ns {
                 inner.metrics.record_deadline_expired();
                 let _ = job.tx.send(Response::Error {
                     id: job.req.id,
@@ -558,9 +788,8 @@ fn process_batch(inner: &Inner, model: &Airchitect2, epoch: u64, batch: Vec<Job>
             };
             if let Some(mut rec) = hit {
                 rec.id = job.req.id;
-                inner
-                    .metrics
-                    .record_served(job.admitted.elapsed().as_secs_f64() * 1e6, true);
+                let latency_us = inner.clock.now_ns().saturating_sub(job.admitted_ns) as f64 / 1e3;
+                inner.metrics.record_served(latency_us, true);
                 let _ = job.tx.send(Response::Recommendation(rec));
                 continue;
             }
@@ -589,9 +818,8 @@ fn process_batch(inner: &Inner, model: &Airchitect2, epoch: u64, batch: Vec<Job>
                 if let Some(input) = job.req.query.as_dse_input() {
                     inner.replay.record(input, rec.point);
                 }
-                inner
-                    .metrics
-                    .record_served(job.admitted.elapsed().as_secs_f64() * 1e6, false);
+                let latency_us = inner.clock.now_ns().saturating_sub(job.admitted_ns) as f64 / 1e3;
+                inner.metrics.record_served(latency_us, false);
             }
             Response::Error { .. } => inner.metrics.record_error(),
             Response::Stats(_) | Response::Admin(_) => {
@@ -655,135 +883,16 @@ fn refresh_main(inner: &Inner) {
     }
 }
 
-// --------------------------------------------------------------------
-// TCP front end
-
-fn accept_main(inner: &Arc<Inner>, listener: &TcpListener) {
-    while !inner.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let inner = Arc::clone(inner);
-                // detached: the handler exits on EOF or service stop
-                let _ = std::thread::Builder::new()
-                    .name("ai2-serve-conn".into())
-                    .spawn(move || {
-                        let _ = connection_main(&inner, stream);
-                    });
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-fn connection_main(inner: &Inner, stream: TcpStream) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(Duration::from_millis(200)))
-        .ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        if inner.stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        // `line` is cleared only after a complete line is handled: a
-        // read timeout mid-line leaves the partial fragment in place so
-        // the next read_line call appends the rest (a slow writer must
-        // not have its request torn in half).
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client hung up
-            Ok(_) => {
-                let resp = if line.trim().is_empty() {
-                    line.clear();
-                    continue;
-                } else {
-                    match decode_line::<Request>(&line) {
-                        Ok(Request::Recommend(req)) => match inner.submit(req).recv() {
-                            Ok(resp) => resp,
-                            Err(_) => Response::Error {
-                                id: 0,
-                                message: "service shut down before answering".into(),
-                            },
-                        },
-                        Ok(Request::Stats { id }) => Response::Stats(inner.serve_stats(id)),
-                        Ok(admin @ (Request::Swap { .. } | Request::Freeze { .. })) => {
-                            inner.handle_admin(&admin)
-                        }
-                        Err(e) => {
-                            inner.metrics.record_error();
-                            Response::Error {
-                                id: 0,
-                                message: format!("malformed request line: {e}"),
-                            }
-                        }
-                    }
-                };
-                line.clear();
-                writer.write_all(encode_line(&resp).as_bytes())?;
-                writer.write_all(b"\n")?;
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue; // poll the stop flag, then keep reading
-            }
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// A blocking NDJSON client over one TCP connection — what the load
-/// generator and the CI smoke test speak.
-pub struct TcpClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl TcpClient {
-    /// Connects to a running service.
-    ///
-    /// # Errors
-    ///
-    /// Returns the connection error.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(TcpClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
-    }
-
-    /// Sends one request line and blocks for its response line.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on transport failure or an unparsable response.
-    pub fn send(&mut self, req: &Request) -> io::Result<Response> {
-        self.writer.write_all(encode_line(req).as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        decode_line(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::Query;
+    use crate::clock::VirtualClock;
+    use crate::protocol::{encode_line, Query};
+    use crate::transport::TcpClient;
     use ai2_dse::{Budget, DseDataset, DseTask, GenerateConfig, Objective};
     use airchitect::train::TrainConfig;
     use airchitect::ModelConfig;
+    use std::io::{BufRead, BufReader, Write};
 
     fn trained_checkpoint() -> (Arc<EvalEngine>, ModelCheckpoint) {
         let task = DseTask::table_i_default();
@@ -961,7 +1070,7 @@ mod tests {
             matches!(resp, Response::Error { id: 1, ref message } if message.contains("invalid")),
             "unexpected {resp:?}"
         );
-        // absurd deadline: no Instant overflow, treated as unbounded
+        // absurd deadline: no nanosecond overflow, treated as unbounded
         let mut forever = gemm_req(2, 20);
         forever.deadline_ms = Some(u64::MAX);
         assert!(matches!(
@@ -1193,6 +1302,89 @@ mod tests {
         tcp.reader.read_line(&mut line).unwrap();
         let garbage: Response = decode_line(&line).unwrap();
         assert!(matches!(garbage, Response::Error { .. }));
+        service.shutdown();
+    }
+
+    // ----------------------------------------------------------------
+    // manually stepped driver
+
+    fn manual_service() -> (RecommendService, Arc<VirtualClock>) {
+        let (engine, ckpt) = trained_checkpoint();
+        let clock = Arc::new(VirtualClock::new());
+        let service = RecommendService::start_with(
+            ServeConfig {
+                shards: 2,
+                driver: Driver::Manual,
+                ..ServeConfig::default()
+            },
+            engine,
+            ckpt,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        (service, clock)
+    }
+
+    #[test]
+    fn stepped_driver_answers_bit_identically_to_threaded() {
+        let (engine, ckpt) = trained_checkpoint();
+        let threaded =
+            RecommendService::start(ServeConfig::default(), Arc::clone(&engine), ckpt.clone());
+        let expected: Vec<Response> = (0..4)
+            .map(|i| threaded.client().recommend(gemm_req(i, 20 + 7 * i)))
+            .collect();
+        threaded.shutdown();
+
+        let (service, _clock) = manual_service();
+        let client = service.client();
+        let pendings: Vec<Pending> = (0..4)
+            .map(|i| client.submit(gemm_req(i, 20 + 7 * i)))
+            .collect();
+        // nothing answers until a step runs
+        assert!(pendings.iter().all(|p| p.poll().is_none()));
+        let mut guard = 0;
+        while service.queued() > 0 {
+            service.step_shard(guard % service.shards());
+            guard += 1;
+            assert!(guard < 100, "stepping never drained the queue");
+        }
+        for (pending, expect) in pendings.iter().zip(&expected) {
+            let got = pending.poll().expect("answered after stepping");
+            let (Response::Recommendation(a), Response::Recommendation(b)) = (&got, expect) else {
+                panic!("expected recommendations: {got:?} / {expect:?}");
+            };
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+        // an empty queue steps as a no-op
+        assert!(!service.step_shard(0));
+        service.shutdown();
+    }
+
+    #[test]
+    fn stepped_deadlines_expire_only_when_the_virtual_clock_passes_them() {
+        let (service, clock) = manual_service();
+        let client = service.client();
+        let mut before = gemm_req(1, 31);
+        before.deadline_ms = Some(5);
+        let mut after = gemm_req(2, 33);
+        after.deadline_ms = Some(5);
+
+        let p1 = client.submit(before);
+        service.step_shard(0);
+        assert!(
+            matches!(p1.poll(), Some(Response::Recommendation(_))),
+            "clock has not moved: the deadline cannot have expired"
+        );
+
+        let p2 = client.submit(after);
+        clock.advance_ms(6); // past the 5 ms deadline
+        service.step_shard(0);
+        let got = p2.poll().expect("answered");
+        assert!(
+            matches!(got, Response::Error { id: 2, ref message } if message.contains("deadline")),
+            "unexpected {got:?}"
+        );
+        assert_eq!(service.stats().deadline_expired, 1);
         service.shutdown();
     }
 }

@@ -1,0 +1,335 @@
+//! The invariant checker: after every simulation step, the system's
+//! observable behavior is compared against independently reconstructed
+//! ground truth.
+//!
+//! The checker owns its **own** oracle substrate — a fresh
+//! [`BackendEngines`] over the same task and a fresh [`Airchitect2`]
+//! replica per published checkpoint version — deliberately separate
+//! from the engines and replicas inside the service under test. Every
+//! completed response is recomputed through the pure
+//! [`recommend_batch`] kernel on the replica version that answered and
+//! must match **bit for bit** (costs compared as `f64::to_bits`).
+//!
+//! Invariants ([`INVARIANTS`], each with a coverage counter so the
+//! corpus test can assert every one is actually exercised):
+//!
+//! * `bit_identity` — responses identical to a fresh Predictor +
+//!   EvalEngine oracle for the version that answered (errors included:
+//!   invalid queries must produce the oracle's exact error).
+//! * `monotonic_version` — the observable `model_version` (stats lines,
+//!   admin acks, registry reads) never moves backwards.
+//! * `cache_epoch_isolation` — a canonical query re-asked across a
+//!   version change must be answered by the *new* version's oracle:
+//!   the epoch-tagged cache may never leak a cross-version answer.
+//! * `zero_drops` — every admitted request completes exactly once, no
+//!   matter how many swaps/freezes/refreshes the run interleaved.
+//! * `backend_isolation` — the same canonical GEMM asked under both
+//!   cost backends is verified against each backend's own oracle
+//!   engine; per-backend caches never cross.
+//! * `deadline_honored` — a deadline error is only ever issued at or
+//!   after the request's deadline on the virtual clock.
+//! * `frozen_rejects_publish` — while frozen, swaps and refreshes are
+//!   rejected with the frozen error (and serving continues).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use ai2_dse::{DseTask, EvalEngine};
+use ai2_serve::{
+    recommend_batch, AdminAck, BackendEngines, QueryKey, RecommendRequest, Response, ServeStats,
+};
+use airchitect::{Airchitect2, ModelCheckpoint};
+
+/// Every invariant the checker tracks, by coverage-counter name.
+pub const INVARIANTS: [&str; 7] = [
+    "bit_identity",
+    "monotonic_version",
+    "cache_epoch_isolation",
+    "zero_drops",
+    "backend_isolation",
+    "deadline_honored",
+    "frozen_rejects_publish",
+];
+
+/// The canonical identity of a request with the backend stripped —
+/// under this key the analytic and systolic answers to the same
+/// question meet for the `backend_isolation` check.
+fn canon_no_backend(req: &RecommendRequest) -> Option<QueryKey> {
+    let mut r = req.clone();
+    r.backend = None;
+    QueryKey::of(&r)
+}
+
+/// Independently reconstructed ground truth plus the invariant
+/// counters. See the module docs for the invariant list.
+pub struct Checker {
+    engines: BackendEngines,
+    oracle_engine: Arc<EvalEngine>,
+    /// One fresh replica per published checkpoint version.
+    replicas: HashMap<u64, Airchitect2>,
+    last_version: u64,
+    /// Recommendations completed (the server's `served` must agree).
+    pub completed_recs: u64,
+    /// Successful publishes seen (the server's `swaps` must agree).
+    pub publishes: u64,
+    /// Last answer per exact canonical key, with the version that gave
+    /// it — the cross-version repeat detector.
+    exact: HashMap<QueryKey, u64>,
+    /// Backends seen per backend-stripped canonical key (bit 1 =
+    /// analytic, bit 2 = systolic).
+    backend_pairs: HashMap<QueryKey, u8>,
+    coverage: BTreeMap<&'static str, u64>,
+}
+
+impl Checker {
+    /// A checker with its own oracle engines over `task`, primed with
+    /// the version-0 checkpoint the service started from.
+    pub fn new(task: DseTask, initial: &ModelCheckpoint) -> Checker {
+        let oracle_engine = EvalEngine::shared(task);
+        let mut checker = Checker {
+            engines: BackendEngines::new(Arc::clone(&oracle_engine)),
+            oracle_engine,
+            replicas: HashMap::new(),
+            last_version: initial.version,
+            completed_recs: 0,
+            publishes: 0,
+            exact: HashMap::new(),
+            backend_pairs: HashMap::new(),
+            coverage: INVARIANTS.iter().map(|&name| (name, 0)).collect(),
+        };
+        checker.register_replica(initial.version, initial);
+        checker
+    }
+
+    fn bump(&mut self, invariant: &'static str) {
+        *self
+            .coverage
+            .get_mut(invariant)
+            .expect("unknown invariant name") += 1;
+    }
+
+    /// Coverage counters in deterministic (alphabetical) order.
+    pub fn coverage(&self) -> Vec<(String, u64)> {
+        self.coverage
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// Builds the fresh oracle replica for a published version.
+    fn register_replica(&mut self, version: u64, ckpt: &ModelCheckpoint) {
+        let replica = Airchitect2::from_checkpoint(Arc::clone(&self.oracle_engine), ckpt)
+            .expect("published checkpoints restore by construction");
+        self.replicas.insert(version, replica);
+    }
+
+    /// Checks an observed `model_version` against monotonicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation when the version moved backwards.
+    pub fn observe_version(&mut self, version: u64) -> Result<(), String> {
+        if version < self.last_version {
+            return Err(format!(
+                "model_version moved backwards: {} after {}",
+                version, self.last_version
+            ));
+        }
+        self.last_version = version;
+        self.bump("monotonic_version");
+        Ok(())
+    }
+
+    /// Records a successful publish (admin swap ack or refresh outcome)
+    /// of `ckpt` at `version` and builds its oracle replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation when the published version does not
+    /// strictly advance the last observed one.
+    pub fn note_publish(&mut self, version: u64, ckpt: &ModelCheckpoint) -> Result<(), String> {
+        if version <= self.last_version {
+            return Err(format!(
+                "publish acknowledged v{version} but v{} was already live",
+                self.last_version
+            ));
+        }
+        self.observe_version(version)?;
+        self.publishes += 1;
+        self.register_replica(version, ckpt);
+        Ok(())
+    }
+
+    /// Records a rejected publish while frozen (the expected outcome).
+    pub fn note_frozen_rejection(&mut self) {
+        self.bump("frozen_rejects_publish");
+    }
+
+    /// Checks one completed shard answer against the oracle for
+    /// `live_version` (the version the answering replica was restored
+    /// from). Returns a one-line transcript summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the invariant violation.
+    pub fn check_completion(
+        &mut self,
+        req: &RecommendRequest,
+        deadline_ns: Option<u64>,
+        resp: &Response,
+        live_version: u64,
+        now_ns: u64,
+    ) -> Result<String, String> {
+        self.observe_version(live_version)?;
+        // deadline expiry happens in the shard, above the recommend
+        // kernel — checked against the virtual clock instead
+        if let Response::Error { id, message } = resp {
+            if message.contains("deadline") {
+                if *id != req.id {
+                    return Err(format!(
+                        "deadline error echoed id {id}, expected {}",
+                        req.id
+                    ));
+                }
+                let deadline = deadline_ns.ok_or_else(|| {
+                    format!(
+                        "id {}: deadline error on a request without a deadline",
+                        req.id
+                    )
+                })?;
+                if now_ns < deadline {
+                    return Err(format!(
+                        "id {}: deadline error at t={now_ns}ns, {}ns before the deadline",
+                        req.id,
+                        deadline - now_ns
+                    ));
+                }
+                self.bump("deadline_honored");
+                return Ok(format!("id={} deadline-expired ok", req.id));
+            }
+        }
+        let replica = self.replicas.get(&live_version).ok_or_else(|| {
+            format!("no oracle replica registered for live version {live_version}")
+        })?;
+        let expected = recommend_batch(replica, &self.engines, std::slice::from_ref(req))
+            .pop()
+            .expect("one request, one answer");
+        if &expected != resp {
+            return Err(format!(
+                "id {}: answer diverged from the fresh v{live_version} oracle\n    got:      \
+                 {resp:?}\n    expected: {expected:?}",
+                req.id
+            ));
+        }
+        self.bump("bit_identity");
+        let Response::Recommendation(rec) = resp else {
+            // the oracle agreed this query is an error (zero-dim GEMM,
+            // unknown model/backend) — bit-identity covered it
+            return Ok(format!("id={} expected-error ok", req.id));
+        };
+        self.completed_recs += 1;
+        let mut notes = String::new();
+        if let Some(key) = QueryKey::of(req) {
+            if let Some(prev_version) = self.exact.insert(key, live_version) {
+                if prev_version != live_version {
+                    // a canonical repeat across a swap: the oracle match
+                    // above proves the epoch-tagged cache did not leak
+                    // the old version's answer
+                    self.bump("cache_epoch_isolation");
+                    notes.push_str(" cross-version-repeat");
+                }
+            }
+        }
+        if let Some(canon) = canon_no_backend(req) {
+            let mask = self.backend_pairs.entry(canon).or_insert(0);
+            let bit = if rec.backend == "systolic" { 2u8 } else { 1u8 };
+            if *mask & bit == 0 {
+                *mask |= bit;
+                if *mask == 3 {
+                    // both backends answered the same canonical GEMM,
+                    // each verified against its own oracle engine
+                    self.bump("backend_isolation");
+                    notes.push_str(" both-backends");
+                }
+            }
+        }
+        Ok(format!(
+            "id={} rec point=({},{}) cost={:016x} v={} {}{}",
+            req.id,
+            rec.point.pe_idx,
+            rec.point.buf_idx,
+            rec.cost.to_bits(),
+            live_version,
+            rec.backend,
+            notes
+        ))
+    }
+
+    /// Cross-checks a wire `stats` snapshot against the checker's own
+    /// books. Returns a transcript summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first counter that disagrees.
+    pub fn check_stats(&mut self, s: &ServeStats, expected_frozen: bool) -> Result<String, String> {
+        self.observe_version(s.model_version)?;
+        if s.served != self.completed_recs {
+            return Err(format!(
+                "stats served={} but the checker saw {} completed recommendations",
+                s.served, self.completed_recs
+            ));
+        }
+        if s.swaps != self.publishes {
+            return Err(format!(
+                "stats swaps={} but the checker saw {} publishes",
+                s.swaps, self.publishes
+            ));
+        }
+        if s.frozen != expected_frozen {
+            return Err(format!(
+                "stats frozen={} but the last acknowledged freeze state was {}",
+                s.frozen, expected_frozen
+            ));
+        }
+        Ok(format!(
+            "stats ok served={} cache_hits={} swaps={} v={} frozen={}",
+            s.served, s.cache_hits, s.swaps, s.model_version, s.frozen
+        ))
+    }
+
+    /// Checks a freeze acknowledgement (version must not move).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation.
+    pub fn check_freeze_ack(&mut self, ack: &AdminAck, requested: bool) -> Result<String, String> {
+        if ack.op != "freeze" || ack.frozen != requested {
+            return Err(format!(
+                "unexpected freeze ack {ack:?} (requested {requested})"
+            ));
+        }
+        self.observe_version(ack.model_version)?;
+        Ok(format!(
+            "freeze ack frozen={} v={}",
+            ack.frozen, ack.model_version
+        ))
+    }
+
+    /// Declares the end-of-run drain complete with `outstanding`
+    /// requests unanswered (must be zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns the dropped-request violation.
+    pub fn check_zero_drops(&mut self, outstanding: &[u64]) -> Result<(), String> {
+        if !outstanding.is_empty() {
+            return Err(format!(
+                "{} requests were dropped (never answered): ids {:?}",
+                outstanding.len(),
+                outstanding
+            ));
+        }
+        self.bump("zero_drops");
+        Ok(())
+    }
+}

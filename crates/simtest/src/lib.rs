@@ -1,0 +1,39 @@
+//! `ai2_simtest` — the deterministic simulation harness for the
+//! AIrchitect v2 serving stack.
+//!
+//! TCP-based integration tests can show that the sharded server, the
+//! per-backend caches and the hot-swap/refresh loop work on *one*
+//! interleaving per run — whichever one the OS scheduler happens to
+//! produce. This crate scripts **thousands of adversarial
+//! interleavings from a single seed** and replays any failure
+//! bit-for-bit:
+//!
+//! * the service runs with `Driver::Manual` (no shard threads), a
+//!   `VirtualClock` (no wall time) and the `VirtualTransport` (no
+//!   sockets), so a whole server run is a pure function of
+//!   `(seed, scenario, steps)`;
+//! * a [`scenario::Scenario`] declares the mix — client query streams
+//!   across both cost backends and all three objectives, admin
+//!   swap/freeze bursts, refresh ticks, deadline pressure, cache-size
+//!   pressure, hostile input, stragglers and disconnects;
+//! * the [`checker::Checker`] re-derives ground truth after every step
+//!   from its own fresh Predictor + EvalEngine oracle and asserts the
+//!   core invariants (bit-identical answers per replica version,
+//!   monotonic `model_version`, epoch-tagged cache isolation, zero
+//!   dropped requests across swaps, per-backend cache isolation,
+//!   honored deadlines, frozen registries rejecting publishes);
+//! * the `simtest` binary (`--seed`, `--scenarios`, `--steps`,
+//!   `--shrink`) runs the curated corpus or randomized soaks and, on
+//!   failure, prints the minimal replay command.
+//!
+//! Dropping a new scenario into [`scenario::corpus`] is one struct
+//! literal — every future serving feature inherits this harness instead
+//! of writing a bespoke integration test.
+
+pub mod checker;
+pub mod harness;
+pub mod scenario;
+
+pub use checker::{Checker, INVARIANTS};
+pub use harness::{fixture, run_scenario, Fixture, SimFailure, SimReport};
+pub use scenario::{corpus, Scenario, Weights};
