@@ -3,10 +3,12 @@
 //! Compares a fresh `BENCH_loadgen*.json` against a committed baseline
 //! and fails (exit 1) when the p95 client latency regressed by more
 //! than the allowed fraction. The gate **keys on configuration, not
-//! just numbers**: the two records must describe the same backend and
-//! shard count, otherwise the comparison is refused (exit 2) — a
-//! 4-shard systolic run "regressing" against a 1-shard analytic
-//! baseline is a configuration mismatch, not a perf signal.
+//! just numbers**: the two records must describe the same backend,
+//! shard count and inference kernel, otherwise the comparison is
+//! refused (exit 2) — a 4-shard systolic run "regressing" against a
+//! 1-shard analytic baseline is a configuration mismatch, not a perf
+//! signal, and an AVX2 run "improving" on a scalar baseline is the
+//! dispatcher picking a different code path, not a code change.
 //!
 //! ```text
 //! bench_gate --baseline ci/BENCH_baseline.json
@@ -73,18 +75,31 @@ fn main() {
     let current = load(&args.current);
 
     // -- configuration key: refuse apples-vs-oranges comparisons ------
-    if baseline.backend != current.backend || baseline.shards != current.shards {
+    if baseline.backend != current.backend
+        || baseline.shards != current.shards
+        || baseline.kernel != current.kernel
+    {
         eprintln!(
-            "bench_gate: CONFIGURATION MISMATCH — baseline ran backend={} shards={}, \
-             current ran backend={} shards={}; regenerate the baseline for this configuration",
-            baseline.backend, baseline.shards, current.backend, current.shards
+            "bench_gate: CONFIGURATION MISMATCH — baseline ran backend={} shards={} kernel={}, \
+             current ran backend={} shards={} kernel={}; regenerate the baseline for this \
+             configuration (force a kernel with AI2_KERNEL=scalar|sse2|avx2)",
+            baseline.backend,
+            baseline.shards,
+            baseline.kernel,
+            current.backend,
+            current.shards,
+            current.kernel
         );
         std::process::exit(2);
     }
 
     println!(
-        "bench_gate: config backend={} shards={} | model v{} → v{}",
-        current.backend, current.shards, baseline.model_version, current.model_version
+        "bench_gate: config backend={} shards={} kernel={} | model v{} → v{}",
+        current.backend,
+        current.shards,
+        current.kernel,
+        baseline.model_version,
+        current.model_version
     );
     println!(
         "bench_gate: p95 {:.0}µs (baseline) vs {:.0}µs (current) | rps {:.1} vs {:.1}",

@@ -28,21 +28,34 @@
 //!   backend's best point under the systolic backend's scores (the
 //!   Apollo-style cross-cost-model transfer gap): 0 = lossless transfer.
 //!
+//! The report also carries a **quantized-decoder fidelity** section:
+//! how well does the int8 checkpoint flavor preserve the f32 decoder's
+//! head-output ordering? A quick-trained model (cached dataset) is
+//! compared against its own quantized twin on the sampled workloads —
+//! Spearman rank correlation of the flattened pe/buf head surfaces
+//! plus top-1 agreement of the decoded design points. Same contract as
+//! the backend comparison above, one layer down: the flavor is usable
+//! exactly when it *orders* designs like the f32 decoder does.
+//!
 //! Writes a machine-readable `BENCH_fidelity.json` into `--out` (default
 //! `results/`) and prints one `FIDELITY_JSON=path` discovery line, so CI
 //! can track the fidelity trajectory. With `--min-rho X` the process
 //! exits non-zero if any objective's `cross_workload_rho` falls below
 //! `X` — the backend-parity smoke gate. (The full-grid `mean_rho` is
 //! reported but not gated: it legitimately sinks in the L2-starvation
-//! regime where the two architectures genuinely disagree.)
+//! regime where the two architectures genuinely disagree.) With
+//! `--min-quant-rho X` it likewise exits non-zero if either quantized
+//! head surface rank-correlates below `X` with its f32 twin — the
+//! int8-flavor fidelity gate.
 //!
 //! ```text
-//! fidelity [--workloads N]   sampled DSE inputs (default 24)
-//!          [--points N]      sampled grid points (default 96)
-//!          [--seed N]        workload-sampling seed (default 0xF1DE)
-//!          [--out DIR]       output directory (default results/)
-//!          [--min-rho X]     fail below this cross-workload rank correlation
-//!          [--quick]         smoke sizes (8 workloads × 48 points)
+//! fidelity [--workloads N]      sampled DSE inputs (default 24)
+//!          [--points N]         sampled grid points (default 96)
+//!          [--seed N]           workload-sampling seed (default 0xF1DE)
+//!          [--out DIR]          output directory (default results/)
+//!          [--min-rho X]        fail below this cross-workload rank correlation
+//!          [--min-quant-rho X]  fail below this int8-vs-f32 rank correlation
+//!          [--quick]            smoke sizes (8 workloads × 48 points)
 //! ```
 
 use std::path::PathBuf;
@@ -59,6 +72,8 @@ struct Args {
     seed: u64,
     out: PathBuf,
     min_rho: Option<f64>,
+    min_quant_rho: Option<f64>,
+    quick: bool,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +83,8 @@ fn parse_args() -> Args {
         seed: 0xF1DE,
         out: PathBuf::from("results"),
         min_rho: None,
+        min_quant_rho: None,
+        quick: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let value = |i: &mut usize| -> String {
@@ -84,9 +101,13 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(&mut i).parse().expect("--seed number"),
             "--out" => args.out = PathBuf::from(value(&mut i)),
             "--min-rho" => args.min_rho = Some(value(&mut i).parse().expect("--min-rho number")),
+            "--min-quant-rho" => {
+                args.min_quant_rho = Some(value(&mut i).parse().expect("--min-quant-rho number"));
+            }
             "--quick" => {
                 args.workloads = 8;
                 args.points = 48;
+                args.quick = true;
             }
             other => panic!("unknown argument {other:?} (see src/bin/fidelity.rs for usage)"),
         }
@@ -115,6 +136,20 @@ struct ObjectiveFidelity {
     mean_transfer_regret: f64,
 }
 
+/// Int8 decoder-flavor fidelity: rank agreement between a trained f32
+/// decoder and its own quantized twin on the sampled workloads.
+#[derive(Debug, Serialize)]
+struct QuantFidelity {
+    /// Workloads the head surfaces were compared on.
+    workloads: usize,
+    /// Spearman rank correlation of the flattened pe-head outputs.
+    rho_pe: f64,
+    /// Spearman rank correlation of the flattened buf-head outputs.
+    rho_buf: f64,
+    /// Fraction of workloads where both flavors decode the same point.
+    top1_agreement: f64,
+}
+
 /// The full machine-readable report (`BENCH_fidelity.json`).
 #[derive(Debug, Serialize)]
 struct FidelityReport {
@@ -122,6 +157,7 @@ struct FidelityReport {
     points: usize,
     seed: u64,
     objectives: Vec<ObjectiveFidelity>,
+    quantized_decoder: QuantFidelity,
 }
 
 fn main() {
@@ -248,11 +284,49 @@ fn main() {
         "analytic backend diverged from DseTask — bit-identicality broken"
     );
 
+    // -- int8 decoder-flavor fidelity ---------------------------------
+    // a quick-trained model is enough: the measure is quantization
+    // error over a structured decoder surface, not model quality, and
+    // the dataset is cached across runs
+    let sizes = ai2_bench::Sizes {
+        samples: if args.quick { 300 } else { 600 },
+        stage1_epochs: if args.quick { 6 } else { 10 },
+        stage2_epochs: if args.quick { 8 } else { 12 },
+        out_dir: args.out.clone(),
+        ..ai2_bench::Sizes::default()
+    };
+    let model_engine = ai2_bench::default_engine();
+    let train = ai2_bench::load_or_generate(&model_engine, &sizes);
+    let mut model = ai2_bench::train_v2(&model_engine, &train, &sizes);
+    let feats = model.feature_encoder().encode_inputs(&inputs);
+    let z = model.embeddings(&feats);
+    let (pe_f32, buf_f32) = model.head_outputs(&z);
+    let points_f32 = model.decode_embedding_batch(&z);
+    model.quantize_decoder();
+    let (pe_q, buf_q) = model.head_outputs(&z);
+    let points_q = model.decode_embedding_batch(&z);
+    let quantized_decoder = QuantFidelity {
+        workloads: inputs.len(),
+        rho_pe: spearman(pe_f32.as_slice(), pe_q.as_slice()) as f64,
+        rho_buf: spearman(buf_f32.as_slice(), buf_q.as_slice()) as f64,
+        top1_agreement: points_f32
+            .iter()
+            .zip(&points_q)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / points_f32.len() as f64,
+    };
+    println!(
+        "fidelity quantized-decoder: rho_pe {:.3} rho_buf {:.3} top1 {:.2}",
+        quantized_decoder.rho_pe, quantized_decoder.rho_buf, quantized_decoder.top1_agreement
+    );
+
     let report = FidelityReport {
         workloads: inputs.len(),
         points: points.len(),
         seed: args.seed,
         objectives,
+        quantized_decoder,
     };
     std::fs::create_dir_all(&args.out).expect("create output dir");
     let path = args.out.join("BENCH_fidelity.json");
@@ -275,6 +349,19 @@ fn main() {
         }
         eprintln!(
             "[fidelity] all objectives above the {floor} cross-workload rank-correlation floor"
+        );
+    }
+    if let Some(floor) = args.min_quant_rho {
+        let q = &report.quantized_decoder;
+        if q.rho_pe < floor || q.rho_buf < floor {
+            eprintln!(
+                "[fidelity] FAIL: quantized decoder rho_pe {:.3} / rho_buf {:.3} below the {floor} floor",
+                q.rho_pe, q.rho_buf
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[fidelity] quantized decoder above the {floor} int8-vs-f32 rank-correlation floor"
         );
     }
 }

@@ -280,7 +280,7 @@ fn main() {
     {
         Ok(Response::Stats(s)) => {
             println!(
-                "server stats: served {} (cache hits {}) | model v{}{} | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m",
+                "server stats: served {} (cache hits {}) | model v{}{} | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m | kernel {}{}",
                 s.served,
                 s.cache_hits,
                 s.model_version,
@@ -291,6 +291,12 @@ fn main() {
                 s.p99_us.unwrap_or(0.0),
                 s.engine_point_hits,
                 s.engine_point_misses,
+                s.kernel,
+                if s.quantized_shards > 0 {
+                    format!(" ({} int8 shard{})", s.quantized_shards, if s.quantized_shards == 1 { "" } else { "s" })
+                } else {
+                    String::new()
+                },
             );
             s
         }
@@ -333,6 +339,11 @@ fn main() {
                 .clone()
                 .unwrap_or_else(|| "analytic".to_string()),
             shards: server.shards,
+            kernel: if server.quantized_shards > 0 {
+                "quantized".to_string()
+            } else {
+                server.kernel.clone()
+            },
             model_version: server.model_version,
             swapped: swapped_version.is_some(),
         };

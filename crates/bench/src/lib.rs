@@ -34,11 +34,12 @@ use airchitect::{Airchitect2, ModelConfig};
 /// trajectory artifact.
 ///
 /// Besides the latency numbers, the record carries the **configuration
-/// the numbers were measured under** (backend, shard count, model
-/// version): a regression gate that compares a 4-shard systolic run
-/// against a 1-shard analytic baseline would report noise, not
-/// regressions, so the `bench_gate` binary refuses mismatched
-/// configurations instead of comparing their numbers.
+/// the numbers were measured under** (backend, shard count, kernel,
+/// model version): a regression gate that compares a 4-shard systolic
+/// run against a 1-shard analytic baseline — or an AVX2 run against a
+/// scalar baseline — would report noise, not regressions, so the
+/// `bench_gate` binary refuses mismatched configurations instead of
+/// comparing their numbers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoadgenResult {
     /// Successfully answered requests.
@@ -64,6 +65,13 @@ pub struct LoadgenResult {
     pub backend: String,
     /// Worker shards the server ran.
     pub shards: usize,
+    /// Inference kernel the numbers were measured under: the server's
+    /// active SIMD level (`"scalar"` / `"sse2"` / `"avx2"`), or
+    /// `"quantized"` when any shard served the int8 decoder flavor.
+    /// Baselines written before kernel dispatch existed need
+    /// regenerating — their numbers were all-scalar and are not
+    /// comparable to a dispatched build's.
+    pub kernel: String,
     /// Model lineage version live when the run finished.
     pub model_version: u64,
     /// Whether this run performed a live checkpoint swap mid-load

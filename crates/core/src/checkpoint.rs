@@ -39,10 +39,13 @@ use serde::{Deserialize, Serialize};
 use crate::config::ModelConfig;
 use crate::features::FeatureEncoder;
 use crate::model::Airchitect2;
+use crate::quant::{QuantBlob, QuantTensor};
 
 /// The newest checkpoint file-format revision this build reads/writes.
-/// Revision 0 is the implicit format of legacy files (no `format` key).
-pub const CHECKPOINT_FORMAT: u64 = 1;
+/// Revision 0 is the implicit format of legacy files (no `format` key);
+/// revision 2 added the optional int8 decoder flavor (`flavor` key), which
+/// revision-1 files simply lack — they keep loading as `f32`.
+pub const CHECKPOINT_FORMAT: u64 = 2;
 
 /// Where a checkpoint's weights came from.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,6 +84,11 @@ pub struct ModelCheckpoint {
     pub features: FeatureEncoder,
     /// Every parameter tensor, keyed by registration name.
     pub params: Checkpoint,
+    /// `Some` marks the int8 decoder flavor: alongside the full `f32`
+    /// parameters, the blob carries pre-quantized decoder weights that a
+    /// restore reuses verbatim (format revision ≥ 2; absent in older
+    /// files, which load as plain `f32`).
+    pub flavor: Option<QuantBlob>,
 }
 
 /// The pre-versioning on-disk shape: config + features + params only.
@@ -103,6 +111,10 @@ impl ModelCheckpoint {
     /// metadata with [`ModelCheckpoint::with_version`] /
     /// [`ModelCheckpoint::with_provenance`].
     pub fn from_model(model: &Airchitect2) -> ModelCheckpoint {
+        let params = Checkpoint::from_store(model.store());
+        let flavor = model
+            .quantized_decoder()
+            .then(|| Self::quantize_params(&params));
         ModelCheckpoint {
             format: CHECKPOINT_FORMAT,
             version: 0,
@@ -112,8 +124,43 @@ impl ModelCheckpoint {
             },
             config: *model.config(),
             features: model.feature_encoder().clone(),
-            params: Checkpoint::from_store(model.store()),
+            params,
+            flavor,
         }
+    }
+
+    /// Int8-quantizes every decoder matmul weight of `params` (names
+    /// `dec.….w`; layer norms, biases and the positional row stay `f32`).
+    /// Deterministic: one set of `f32` weights always yields one blob.
+    fn quantize_params(params: &Checkpoint) -> QuantBlob {
+        let mut blob = QuantBlob::default();
+        for (name, saved) in &params.params {
+            if !(name.starts_with("dec.") && name.ends_with(".w")) {
+                continue;
+            }
+            let w = ai2_tensor::Tensor::from_vec(saved.data.clone(), &saved.shape)
+                .expect("checkpoint params are shape-consistent");
+            let q = ai2_nn::quant::QuantizedLinear::from_weight(&w);
+            blob.tensors
+                .insert(name.clone(), QuantTensor::from_linear(&q));
+        }
+        blob
+    }
+
+    /// Returns the checkpoint re-published as the int8 decoder flavor.
+    /// A no-op when the blob is already present (stored `i8` data is
+    /// never re-derived).
+    #[must_use]
+    pub fn quantized(mut self) -> ModelCheckpoint {
+        if self.flavor.is_none() {
+            self.flavor = Some(Self::quantize_params(&self.params));
+        }
+        self
+    }
+
+    /// Whether this checkpoint carries the int8 decoder flavor.
+    pub fn is_quantized(&self) -> bool {
+        self.flavor.is_some()
     }
 
     /// Returns the checkpoint re-stamped at lineage `version`.
@@ -179,6 +226,7 @@ impl ModelCheckpoint {
                     config: legacy.config,
                     features: legacy.features,
                     params: legacy.params,
+                    flavor: None,
                 }
             }
         };
@@ -248,6 +296,65 @@ mod tests {
             }
         );
         let restored = Airchitect2::from_checkpoint(engine, &loaded).unwrap();
+        let inputs: Vec<_> = ds.samples.iter().map(|s| s.input()).collect();
+        assert_eq!(model.predict(&inputs), restored.predict(&inputs));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn quantized_flavor_roundtrips_through_file() {
+        let (engine, ds, model) = trained_tiny();
+        let ck = ModelCheckpoint::from_model(&model).quantized();
+        assert!(ck.is_quantized());
+        let dir = std::env::temp_dir().join("ai2_core_model_ckpt_quant_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model_int8.json");
+        ck.save(&path).unwrap();
+        let loaded = ModelCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded.flavor, ck.flavor);
+
+        let a = Airchitect2::from_checkpoint(std::sync::Arc::clone(&engine), &ck).unwrap();
+        let b = Airchitect2::from_checkpoint(engine, &loaded).unwrap();
+        assert!(a.quantized_decoder() && b.quantized_decoder());
+        let inputs: Vec<_> = ds.samples.iter().map(|s| s.input()).collect();
+        // Two replicas of one published int8 flavor answer bit-identically.
+        assert_eq!(a.predict(&inputs), b.predict(&inputs));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn format1_file_without_flavor_key_loads_as_f32() {
+        // A revision-1 writer never emitted the `flavor` key; this build
+        // must keep reading such files (as plain f32 checkpoints).
+        #[derive(Serialize)]
+        struct V1File {
+            format: u64,
+            version: u64,
+            provenance: Provenance,
+            config: ModelConfig,
+            features: FeatureEncoder,
+            params: Checkpoint,
+        }
+        let (engine, ds, model) = trained_tiny();
+        let modern = ModelCheckpoint::from_model(&model);
+        let v1 = V1File {
+            format: 1,
+            version: 3,
+            provenance: modern.provenance.clone(),
+            config: modern.config,
+            features: modern.features.clone(),
+            params: modern.params.clone(),
+        };
+        let dir = std::env::temp_dir().join("ai2_core_model_ckpt_v1_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model_v1.json");
+        fs::write(&path, serde_json::to_string(&v1).unwrap()).unwrap();
+        let loaded = ModelCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded.format, 1);
+        assert_eq!(loaded.version, 3);
+        assert!(loaded.flavor.is_none());
+        let restored = Airchitect2::from_checkpoint(engine, &loaded).unwrap();
+        assert!(!restored.quantized_decoder());
         let inputs: Vec<_> = ds.samples.iter().map(|s| s.input()).collect();
         assert_eq!(model.predict(&inputs), restored.predict(&inputs));
         fs::remove_file(path).ok();

@@ -42,10 +42,12 @@ pub mod checkpoint;
 pub mod deploy;
 pub mod embedding;
 pub mod predictor;
+pub mod quant;
 pub mod train;
 
 pub use checkpoint::{ModelCheckpoint, Provenance, CHECKPOINT_FORMAT};
 pub use config::{HeadKind, ModelConfig};
 pub use features::{FeatureEncoder, PreparedBatch, PreparedDataset, NUM_FEATURES};
-pub use model::Airchitect2;
+pub use model::{Airchitect2, InferenceScratch, QuantizedDecoder};
 pub use predictor::{EvalReport, Predictor};
+pub use quant::{QuantBlob, QuantTensor};

@@ -1,0 +1,77 @@
+//! The int8 decoder checkpoint flavor.
+//!
+//! A quantized-flavor [`crate::checkpoint::ModelCheckpoint`] carries,
+//! alongside its full `f32` parameters, an int8 copy of every decoder
+//! matmul weight ([`QuantBlob`]). A model restored from such a checkpoint
+//! serves decoder inference through [`ai2_nn::quant::QuantizedLinear`]
+//! layers rebuilt from the *stored* `i8` data — never re-quantized — so
+//! every replica of one published checkpoint answers bit-identically,
+//! which is exactly the invariant the serving checker asserts per flavor.
+//!
+//! Quantization itself is deterministic (symmetric per-output-channel,
+//! round-to-nearest), so publishing the flavor twice from the same `f32`
+//! weights also produces identical blobs.
+
+use std::collections::BTreeMap;
+
+use ai2_nn::quant::QuantizedLinear;
+use serde::{Deserialize, Serialize};
+
+/// Serialized form of one [`QuantizedLinear`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantTensor {
+    /// Input feature count of the original `[in_dim, out_dim]` weight.
+    pub in_dim: usize,
+    /// Output feature count.
+    pub out_dim: usize,
+    /// Per-output-channel dequantization scales (`out_dim` entries).
+    pub scales: Vec<f32>,
+    /// Transposed `[out_dim, in_dim]` int8 weight data.
+    pub data: Vec<i8>,
+}
+
+impl QuantTensor {
+    /// Captures a quantized layer for serialization.
+    pub fn from_linear(q: &QuantizedLinear) -> QuantTensor {
+        QuantTensor {
+            in_dim: q.in_dim(),
+            out_dim: q.out_dim(),
+            scales: q.scales().to_vec(),
+            data: q.weights_i8().to_vec(),
+        }
+    }
+
+    /// Rebuilds the runtime layer from stored data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree with the dimensions.
+    pub fn to_linear(&self) -> QuantizedLinear {
+        QuantizedLinear::from_parts(
+            self.data.clone(),
+            self.scales.clone(),
+            self.in_dim,
+            self.out_dim,
+        )
+    }
+}
+
+/// Every int8 decoder weight of a quantized-flavor checkpoint, keyed by
+/// the weight's parameter-store name (`"dec.blk0.attn.wq.w"`, …).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantBlob {
+    /// Name → quantized tensor.
+    pub tensors: BTreeMap<String, QuantTensor>,
+}
+
+impl QuantBlob {
+    /// Number of quantized tensors in the blob.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the blob holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use ai2_tensor::kernel;
 use ai2_tensor::Tensor;
 
 use crate::params::{ParamId, ParamStore};
@@ -132,14 +133,51 @@ impl Gradients {
     }
 }
 
+/// A reusable pool of activation buffers and tape storage for repeated
+/// inference-mode forward passes.
+///
+/// Steady-state serving runs the same graph shape every batch; an `Arena`
+/// keeps every tensor (and the tape's node vector and parameter cache)
+/// alive between passes so a warm forward performs **zero heap
+/// allocations**. Build a graph over it with [`Graph::with_arena`], and
+/// hand the storage back with [`Graph::into_arena`] when the pass's
+/// outputs have been copied out.
+#[derive(Default)]
+pub struct Arena {
+    free: Vec<Tensor>,
+    nodes: Vec<Node>,
+    param_cache: HashMap<ParamId, VarId>,
+    qbuf: Vec<i8>,
+}
+
+impl Arena {
+    /// An empty arena; buffers are grown on the first (warm-up) pass.
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Number of pooled buffers currently available.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// A single forward/backward tape over a [`ParamStore`].
 ///
 /// Create one `Graph` per training step; recording is cheap relative to
-/// the tensor math. See the crate-level example.
+/// the tensor math. See the crate-level example. For allocation-free
+/// repeated inference, see [`Graph::with_arena`].
 pub struct Graph<'s> {
     store: &'s ParamStore,
     nodes: Vec<Node>,
     param_cache: HashMap<ParamId, VarId>,
+    free: Vec<Tensor>,
+    /// Reusable scratch for int8-quantized activation rows
+    /// ([`Graph::quant_linear`]); capacity survives arena recycling.
+    qbuf: Vec<i8>,
+    /// Whether backward-pass bookkeeping (`saved` tensors, `needs_grad`
+    /// propagation) is recorded. Off in arena/inference mode.
+    record_grads: bool,
 }
 
 impl<'s> Graph<'s> {
@@ -149,7 +187,96 @@ impl<'s> Graph<'s> {
             store,
             nodes: Vec::with_capacity(64),
             param_cache: HashMap::new(),
+            free: Vec::new(),
+            qbuf: Vec::new(),
+            record_grads: true,
         }
+    }
+
+    /// Starts an inference-only tape whose activation buffers are drawn
+    /// from (and returned to) `arena`.
+    ///
+    /// Gradients are not recorded: [`Graph::backward`] on such a graph
+    /// returns no gradients. After reading the outputs, call
+    /// [`Graph::into_arena`] to recycle every buffer for the next pass.
+    pub fn with_arena(store: &'s ParamStore, arena: Arena) -> Self {
+        Graph {
+            store,
+            nodes: arena.nodes,
+            param_cache: arena.param_cache,
+            free: arena.free,
+            qbuf: arena.qbuf,
+            record_grads: false,
+        }
+    }
+
+    /// Tears down the tape, returning every buffer to the arena pool.
+    pub fn into_arena(mut self) -> Arena {
+        for node in self.nodes.drain(..) {
+            self.free.push(node.value);
+            for t in node.saved {
+                self.free.push(t);
+            }
+        }
+        self.param_cache.clear();
+        Arena {
+            free: self.free,
+            nodes: self.nodes,
+            param_cache: self.param_cache,
+            qbuf: self.qbuf,
+        }
+    }
+
+    /// A zeroed tensor of `shape`, recycled from the pool when possible.
+    fn buf(&mut self, shape: &[usize]) -> Tensor {
+        let len: usize = shape.iter().product();
+        // Best fit (smallest sufficient capacity, first on ties), removed
+        // without disturbing pool order. The first pass allocates every
+        // buffer at exactly its request size, so from the second pass of
+        // a fixed op sequence onward best-fit hands each request its
+        // exact buffer back — the steady state allocates nothing and the
+        // pool is bit-stable across passes.
+        let fit = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.data_capacity() >= len)
+            .min_by_key(|(_, t)| t.data_capacity())
+            .map(|(pos, _)| pos);
+        if let Some(pos) = fit {
+            let mut t = self.free.remove(pos);
+            t.reset_zeros(shape);
+            return t;
+        }
+        if let Some(mut t) = self.free.pop() {
+            // Warm-up: grow an undersized buffer rather than abandoning it.
+            t.reset_zeros(shape);
+            return t;
+        }
+        Tensor::zeros(shape)
+    }
+
+    /// Returns a scratch tensor to the pool (arena mode) or drops it.
+    fn recycle(&mut self, t: Tensor) {
+        if !self.record_grads {
+            self.free.push(t);
+        }
+    }
+
+    /// Shape of a node's value as a stack array (rank ≤ 4), so callers can
+    /// request buffers without borrowing the node across the call.
+    fn shape_of(&self, v: VarId) -> ([usize; 4], usize) {
+        let shape = self.nodes[v.0].value.shape();
+        assert!(shape.len() <= 4, "shape_of: rank {} > 4", shape.len());
+        let mut dims = [0usize; 4];
+        dims[..shape.len()].copy_from_slice(shape);
+        (dims, shape.len())
+    }
+
+    /// A zeroed buffer shaped like node `v`.
+    fn buf_like(&mut self, v: VarId) -> Tensor {
+        let (dims, rank) = self.shape_of(v);
+        self.buf(&dims[..rank])
     }
 
     fn push(&mut self, value: Tensor, op: Op, saved: Vec<Tensor>, needs_grad: bool) -> VarId {
@@ -157,7 +284,7 @@ impl<'s> Graph<'s> {
             value,
             op,
             saved,
-            needs_grad,
+            needs_grad: needs_grad && self.record_grads,
             param: None,
         });
         VarId(self.nodes.len() - 1)
@@ -168,8 +295,67 @@ impl<'s> Graph<'s> {
     }
 
     /// Inserts a non-trainable input (no gradient is tracked).
+    ///
+    /// The tensor is adopted as-is; in arena mode prefer [`Graph::input`],
+    /// which copies into a pooled buffer instead of donating a fresh
+    /// allocation to the pool.
     pub fn constant(&mut self, value: Tensor) -> VarId {
         self.push(value, Op::Leaf, vec![], false)
+    }
+
+    /// Inserts a non-trainable input by copying it into a pooled buffer.
+    pub fn input(&mut self, value: &Tensor) -> VarId {
+        let mut out = self.buf(value.shape());
+        out.as_mut_slice().copy_from_slice(value.as_slice());
+        self.push(out, Op::Leaf, vec![], false)
+    }
+
+    /// Inserts rows `start..end` of a rank-2 tensor by copying them into
+    /// a pooled buffer — the chunked-inference entry point that avoids
+    /// materialising the row slice as a fresh tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not rank 2 or the range is out of bounds.
+    pub fn input_rows(&mut self, value: &Tensor, start: usize, end: usize) -> VarId {
+        assert!(start <= end && end <= value.rows(), "input_rows: bad range");
+        let cols = value.cols();
+        let mut out = self.buf(&[end - start, cols]);
+        out.as_mut_slice()
+            .copy_from_slice(&value.as_slice()[start * cols..end * cols]);
+        self.push(out, Op::Leaf, vec![], false)
+    }
+
+    /// Int8 matmul against a quantized weight:
+    /// `out[r, j] = Σ_k x[r, k]·w[k, j]` with `i32` accumulation.
+    ///
+    /// Inference-only — the int8 path has no backward rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a gradient-recording graph or if `x`'s width differs
+    /// from `q.in_dim()`.
+    pub fn quant_linear(&mut self, x: VarId, q: &crate::quant::QuantizedLinear) -> VarId {
+        assert!(
+            !self.record_grads,
+            "quant_linear: int8 layers are inference-only; use Graph::with_arena"
+        );
+        let rows = self.nodes[x.0].value.rows();
+        assert_eq!(
+            self.nodes[x.0].value.cols(),
+            q.in_dim(),
+            "quant_linear: input width mismatch"
+        );
+        let mut out = self.buf(&[rows, q.out_dim()]);
+        let mut qbuf = std::mem::take(&mut self.qbuf);
+        q.forward_into(
+            self.nodes[x.0].value.as_slice(),
+            rows,
+            out.as_mut_slice(),
+            &mut qbuf,
+        );
+        self.qbuf = qbuf;
+        self.push(out, Op::Leaf, vec![], false)
     }
 
     /// Inserts (or reuses) the leaf node for a trainable parameter.
@@ -177,7 +363,16 @@ impl<'s> Graph<'s> {
         if let Some(&v) = self.param_cache.get(&id) {
             return v;
         }
-        let value = self.store.get(id).clone();
+        let value = if self.record_grads {
+            self.store.get(id).clone()
+        } else {
+            // Inference: copy into a pooled buffer so repeated passes
+            // don't allocate.
+            let src = self.store.get(id);
+            let mut out = self.buf(src.shape());
+            out.as_mut_slice().copy_from_slice(src.as_slice());
+            out
+        };
         let v = self.push(value, Op::Leaf, vec![], true);
         self.nodes[v.0].param = Some(id);
         self.param_cache.insert(id, v);
@@ -212,164 +407,278 @@ impl<'s> Graph<'s> {
 
     // ---- elementwise & linear ops -------------------------------------
 
+    /// Elementwise binary op into a pooled buffer.
+    fn ew_binary(&mut self, a: VarId, b: VarId, op: Op, f: impl Fn(f32, f32) -> f32) -> VarId {
+        assert_eq!(
+            self.nodes[a.0].value.shape(),
+            self.nodes[b.0].value.shape(),
+            "elementwise op: shape mismatch"
+        );
+        let mut out = self.buf_like(a);
+        {
+            let av = self.nodes[a.0].value.as_slice();
+            let bv = self.nodes[b.0].value.as_slice();
+            for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(av).zip(bv) {
+                *o = f(x, y);
+            }
+        }
+        let ng = self.ng(a) || self.ng(b);
+        self.push(out, op, vec![], ng)
+    }
+
+    /// Elementwise unary op into a pooled buffer.
+    fn ew_unary(&mut self, a: VarId, op: Op, f: impl Fn(f32) -> f32) -> VarId {
+        let mut out = self.buf_like(a);
+        {
+            let av = self.nodes[a.0].value.as_slice();
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(av) {
+                *o = f(x);
+            }
+        }
+        let ng = self.ng(a);
+        self.push(out, op, vec![], ng)
+    }
+
     /// Elementwise sum.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).add(self.value(b));
-        let ng = self.ng(a) || self.ng(b);
-        self.push(v, Op::Add(a, b), vec![], ng)
+        self.ew_binary(a, b, Op::Add(a, b), |x, y| x + y)
     }
 
     /// Elementwise difference `a - b`.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).sub(self.value(b));
-        let ng = self.ng(a) || self.ng(b);
-        self.push(v, Op::Sub(a, b), vec![], ng)
+        self.ew_binary(a, b, Op::Sub(a, b), |x, y| x - y)
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).mul(self.value(b));
-        let ng = self.ng(a) || self.ng(b);
-        self.push(v, Op::Mul(a, b), vec![], ng)
+        self.ew_binary(a, b, Op::Mul(a, b), |x, y| x * y)
     }
 
     /// Adds a row vector `b` (`[C]`) to every row of `a` (`[R, C]`).
     pub fn add_row(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).add_row_broadcast(self.value(b));
+        let c = self.nodes[a.0].value.cols();
+        assert_eq!(
+            self.nodes[b.0].value.len(),
+            c,
+            "add_row: row length {} != cols {c}",
+            self.nodes[b.0].value.len()
+        );
+        let mut out = self.buf_like(a);
+        {
+            let av = self.nodes[a.0].value.as_slice();
+            let rv = self.nodes[b.0].value.as_slice();
+            for (orow, arow) in out.as_mut_slice().chunks_mut(c).zip(av.chunks(c)) {
+                for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(rv) {
+                    *o = x + y;
+                }
+            }
+        }
         let ng = self.ng(a) || self.ng(b);
-        self.push(v, Op::AddRow(a, b), vec![], ng)
+        self.push(out, Op::AddRow(a, b), vec![], ng)
     }
 
     /// Multiplies every element by a compile-time constant.
     pub fn scale(&mut self, a: VarId, c: f32) -> VarId {
-        let v = self.value(a).scale(c);
-        let ng = self.ng(a);
-        self.push(v, Op::Scale(a, c), vec![], ng)
+        self.ew_unary(a, Op::Scale(a, c), |x| x * c)
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: VarId, c: f32) -> VarId {
-        let v = self.value(a).add_scalar(c);
-        let ng = self.ng(a);
-        self.push(v, Op::AddScalar(a), vec![], ng)
+        self.ew_unary(a, Op::AddScalar(a), |x| x + c)
     }
 
-    /// Matrix product `a × b`.
+    /// Matrix product `a × b`, through the runtime-dispatched SIMD GEMM.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).matmul(self.value(b));
+        let (m, k) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+        let (k2, n) = (self.nodes[b.0].value.rows(), self.nodes[b.0].value.cols());
+        assert_eq!(
+            k,
+            k2,
+            "matmul: inner dimensions differ: {:?} × {:?}",
+            self.nodes[a.0].value.shape(),
+            self.nodes[b.0].value.shape()
+        );
+        let mut out = self.buf(&[m, n]);
+        kernel::gemm(
+            kernel::active(),
+            self.nodes[a.0].value.as_slice(),
+            self.nodes[b.0].value.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
         let ng = self.ng(a) || self.ng(b);
-        self.push(v, Op::Matmul(a, b), vec![], ng)
+        self.push(out, Op::Matmul(a, b), vec![], ng)
     }
 
     // ---- activations ----------------------------------------------------
 
-    /// Rectified linear unit.
+    /// Rectified linear unit (vectorized; bit-exact across kernel levels).
     pub fn relu(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let mut out = self.buf_like(a);
+        kernel::relu_to(
+            kernel::active(),
+            self.nodes[a.0].value.as_slice(),
+            out.as_mut_slice(),
+        );
         let ng = self.ng(a);
-        self.push(v, Op::Relu(a), vec![], ng)
+        self.push(out, Op::Relu(a), vec![], ng)
     }
 
     /// Leaky ReLU with negative slope `slope` (used by the GANDSE baseline).
     pub fn leaky_relu(&mut self, a: VarId, slope: f32) -> VarId {
-        let v = self.value(a).map(|x| if x >= 0.0 { x } else { slope * x });
+        let mut out = self.buf_like(a);
+        kernel::leaky_relu_to(
+            kernel::active(),
+            self.nodes[a.0].value.as_slice(),
+            slope,
+            out.as_mut_slice(),
+        );
         let ng = self.ng(a);
-        self.push(v, Op::LeakyRelu(a, slope), vec![], ng)
+        self.push(out, Op::LeakyRelu(a, slope), vec![], ng)
     }
 
-    /// Gaussian error linear unit (tanh approximation).
+    /// Gaussian error linear unit (tanh approximation, vectorized).
     pub fn gelu(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(gelu_fwd);
+        let mut out = self.buf_like(a);
+        kernel::gelu_to(
+            kernel::active(),
+            self.nodes[a.0].value.as_slice(),
+            out.as_mut_slice(),
+        );
         let ng = self.ng(a);
-        self.push(v, Op::Gelu(a), vec![], ng)
+        self.push(out, Op::Gelu(a), vec![], ng)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f32::tanh);
-        let ng = self.ng(a);
-        self.push(v, Op::Tanh(a), vec![], ng)
+        self.ew_unary(a, Op::Tanh(a), f32::tanh)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(sigmoid_fwd);
-        let ng = self.ng(a);
-        self.push(v, Op::Sigmoid(a), vec![], ng)
+        self.ew_unary(a, Op::Sigmoid(a), sigmoid_fwd)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f32::exp);
-        let ng = self.ng(a);
-        self.push(v, Op::Exp(a), vec![], ng)
+        self.ew_unary(a, Op::Exp(a), f32::exp)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).softmax_rows();
+        let mut out = self.buf_like(a);
+        {
+            let xv = self.nodes[a.0].value.as_slice();
+            let c = self.nodes[a.0].value.cols();
+            for (orow, xrow) in out.as_mut_slice().chunks_mut(c).zip(xv.chunks(c)) {
+                let m = xrow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0;
+                for (o, &x) in orow.iter_mut().zip(xrow) {
+                    *o = (x - m).exp();
+                    z += *o;
+                }
+                for o in orow.iter_mut() {
+                    *o /= z;
+                }
+            }
+        }
         let ng = self.ng(a);
-        let saved = vec![v.clone()];
-        self.push(v, Op::SoftmaxRows(a), saved, ng)
+        let saved = if self.record_grads {
+            vec![out.clone()]
+        } else {
+            Vec::new()
+        };
+        self.push(out, Op::SoftmaxRows(a), saved, ng)
     }
 
     // ---- normalisation ---------------------------------------------------
 
     /// Layer normalisation over each row, with gain `gamma` and bias
-    /// `beta` (both `[C]`).
+    /// `beta` (both `[C]`). Row reductions (mean, variance) run through
+    /// the vectorized kernels.
     pub fn layer_norm(&mut self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
-        let xv = self.value(x);
-        let (r, c) = (xv.rows(), xv.cols());
-        let gm = self.value(gamma).clone();
-        let bt = self.value(beta).clone();
-        let mut xhat = Tensor::zeros(&[r, c]);
-        let mut inv_std = Tensor::zeros(&[r]);
-        let mut out = Tensor::zeros(&[r, c]);
-        for i in 0..r {
-            let row = xv.row(i);
-            let mu: f32 = row.iter().sum::<f32>() / c as f32;
-            let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / c as f32;
-            let is = 1.0 / (var + eps).sqrt();
-            inv_std.as_mut_slice()[i] = is;
-            for j in 0..c {
-                let xh = (row[j] - mu) * is;
-                xhat[(i, j)] = xh;
-                out[(i, j)] = gm.at(j) * xh + bt.at(j);
-            }
-        }
+        let (r, c) = {
+            let xv = &self.nodes[x.0].value;
+            (xv.rows(), xv.cols())
+        };
+        let kn = kernel::active();
         let ng = self.ng(x) || self.ng(gamma) || self.ng(beta);
-        self.push(
-            out,
-            Op::LayerNorm { x, gamma, beta },
-            vec![xhat, inv_std],
-            ng,
-        )
+        let mut out = self.buf(&[r, c]);
+        if self.record_grads {
+            // Training path: also materialise x̂ and 1/σ for backward.
+            let mut xhat = Tensor::zeros(&[r, c]);
+            let mut inv_std = Tensor::zeros(&[r]);
+            {
+                let xv = &self.nodes[x.0].value;
+                let gm = &self.nodes[gamma.0].value;
+                let bt = &self.nodes[beta.0].value;
+                for i in 0..r {
+                    let row = xv.row(i);
+                    let mu = kernel::sum(kn, row) / c as f32;
+                    let var = kernel::sq_dev_sum(kn, row, mu) / c as f32;
+                    let is = 1.0 / (var + eps).sqrt();
+                    inv_std.as_mut_slice()[i] = is;
+                    for j in 0..c {
+                        let xh = (row[j] - mu) * is;
+                        xhat[(i, j)] = xh;
+                        out[(i, j)] = gm.at(j) * xh + bt.at(j);
+                    }
+                }
+            }
+            self.push(
+                out,
+                Op::LayerNorm { x, gamma, beta },
+                vec![xhat, inv_std],
+                ng,
+            )
+        } else {
+            {
+                let xv = &self.nodes[x.0].value;
+                let gm = self.nodes[gamma.0].value.as_slice();
+                let bt = self.nodes[beta.0].value.as_slice();
+                for (i, orow) in out.as_mut_slice().chunks_mut(c).enumerate() {
+                    let row = xv.row(i);
+                    let mu = kernel::sum(kn, row) / c as f32;
+                    let var = kernel::sq_dev_sum(kn, row, mu) / c as f32;
+                    let is = 1.0 / (var + eps).sqrt();
+                    kernel::layernorm_row(kn, row, gm, bt, mu, is, orow);
+                }
+            }
+            self.push(out, Op::LayerNorm { x, gamma, beta }, Vec::new(), ng)
+        }
     }
 
     /// Normalises each row to unit L2 norm (contrastive embeddings).
     pub fn normalize_rows(&mut self, a: VarId) -> VarId {
-        let xv = self.value(a);
-        let r = xv.rows();
-        let mut norms = Tensor::zeros(&[r]);
-        for i in 0..r {
-            let n = xv
-                .row(i)
-                .iter()
-                .map(|v| v * v)
-                .sum::<f32>()
-                .sqrt()
-                .max(1e-8);
-            norms.as_mut_slice()[i] = n;
-        }
-        let mut out = xv.clone();
-        for i in 0..r {
-            let n = norms.at(i);
-            for v in out.row_mut(i) {
-                *v /= n;
+        let r = self.nodes[a.0].value.rows();
+        let mut norms = self.buf(&[r]);
+        let mut out = self.buf_like(a);
+        {
+            let xv = &self.nodes[a.0].value;
+            let c = xv.cols();
+            for (i, (orow, nslot)) in out
+                .as_mut_slice()
+                .chunks_mut(c)
+                .zip(norms.as_mut_slice())
+                .enumerate()
+            {
+                let row = xv.row(i);
+                let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+                *nslot = n;
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    *o = v / n;
+                }
             }
         }
         let ng = self.ng(a);
-        let saved = vec![out.clone(), norms];
+        let saved = if self.record_grads {
+            vec![out.clone(), norms]
+        } else {
+            self.recycle(norms);
+            Vec::new()
+        };
         self.push(out, Op::NormalizeRows(a), saved, ng)
     }
 
@@ -381,24 +690,29 @@ impl<'s> Graph<'s> {
     ///
     /// Panics if the row count is not a multiple of `tokens`.
     pub fn mean_pool_tokens(&mut self, x: VarId, tokens: usize) -> VarId {
-        let xv = self.value(x);
-        let (rt, d) = (xv.rows(), xv.cols());
+        let (rt, d) = {
+            let xv = &self.nodes[x.0].value;
+            (xv.rows(), xv.cols())
+        };
         assert_eq!(
             rt % tokens,
             0,
             "mean_pool_tokens: {rt} rows not divisible by {tokens}"
         );
         let b = rt / tokens;
-        let mut out = Tensor::zeros(&[b, d]);
-        for bi in 0..b {
-            for t in 0..tokens {
-                let row = xv.row(bi * tokens + t);
-                for (o, &v) in out.row_mut(bi).iter_mut().zip(row) {
-                    *o += v;
+        let mut out = self.buf(&[b, d]);
+        {
+            let xv = &self.nodes[x.0].value;
+            for (bi, orow) in out.as_mut_slice().chunks_mut(d).enumerate() {
+                for t in 0..tokens {
+                    let row = xv.row(bi * tokens + t);
+                    for (o, &v) in orow.iter_mut().zip(row) {
+                        *o += v;
+                    }
                 }
-            }
-            for o in out.row_mut(bi) {
-                *o /= tokens as f32;
+                for o in orow.iter_mut() {
+                    *o /= tokens as f32;
+                }
             }
         }
         let ng = self.ng(x);
@@ -408,12 +722,15 @@ impl<'s> Graph<'s> {
     /// Repeats each row of `[batch, d]` `tokens` times → `[batch·tokens, d]`
     /// (the decoder's upsampling stage).
     pub fn repeat_tokens(&mut self, x: VarId, tokens: usize) -> VarId {
-        let xv = self.value(x);
-        let (b, d) = (xv.rows(), xv.cols());
-        let mut out = Tensor::zeros(&[b * tokens, d]);
-        for bi in 0..b {
-            for t in 0..tokens {
-                out.row_mut(bi * tokens + t).copy_from_slice(xv.row(bi));
+        let (b, d) = {
+            let xv = &self.nodes[x.0].value;
+            (xv.rows(), xv.cols())
+        };
+        let mut out = self.buf(&[b * tokens, d]);
+        {
+            let xv = &self.nodes[x.0].value;
+            for (r, orow) in out.as_mut_slice().chunks_mut(d).enumerate() {
+                orow.copy_from_slice(xv.row(r / tokens));
             }
         }
         let ng = self.ng(x);
@@ -439,58 +756,75 @@ impl<'s> Graph<'s> {
         heads: usize,
         tokens: usize,
     ) -> VarId {
-        let qv = self.value(q);
-        let kv = self.value(k);
-        let vv = self.value(v);
-        let d = qv.cols();
-        assert_eq!(qv.rows(), batch * tokens, "attention: q rows");
-        assert_eq!(kv.shape(), qv.shape(), "attention: k shape");
-        assert_eq!(vv.shape(), qv.shape(), "attention: v shape");
-        assert_eq!(
-            d % heads,
-            0,
-            "attention: d_model {d} not divisible by {heads} heads"
-        );
+        let d = {
+            let qv = &self.nodes[q.0].value;
+            let kv = &self.nodes[k.0].value;
+            let vv = &self.nodes[v.0].value;
+            let d = qv.cols();
+            assert_eq!(qv.rows(), batch * tokens, "attention: q rows");
+            assert_eq!(kv.shape(), qv.shape(), "attention: k shape");
+            assert_eq!(vv.shape(), qv.shape(), "attention: v shape");
+            assert_eq!(
+                d % heads,
+                0,
+                "attention: d_model {d} not divisible by {heads} heads"
+            );
+            d
+        };
         let dh = d / heads;
         let scale = 1.0 / (dh as f32).sqrt();
+        let kn = kernel::active();
 
-        let mut out = Tensor::zeros(&[batch * tokens, d]);
+        let mut out = self.buf(&[batch * tokens, d]);
         // probs laid out as [batch * heads * tokens, tokens]
-        let mut probs = Tensor::zeros(&[batch * heads * tokens, tokens]);
-        let mut scores = vec![0.0f32; tokens];
-        for b in 0..batch {
-            for h in 0..heads {
-                let hs = h * dh;
-                for i in 0..tokens {
-                    let qrow = &qv.row(b * tokens + i)[hs..hs + dh];
-                    for (j, s) in scores.iter_mut().enumerate() {
-                        let krow = &kv.row(b * tokens + j)[hs..hs + dh];
-                        *s = qrow.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale;
-                    }
-                    // softmax
-                    let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    let mut z = 0.0;
-                    for s in scores.iter_mut() {
-                        *s = (*s - m).exp();
-                        z += *s;
-                    }
-                    let prow = probs.row_mut((b * heads + h) * tokens + i);
-                    for (p, s) in prow.iter_mut().zip(&scores) {
-                        *p = s / z;
-                    }
-                    // out_i = Σ_j p_ij v_j
-                    let prow = probs.row((b * heads + h) * tokens + i).to_vec();
-                    let orow = &mut out.row_mut(b * tokens + i)[hs..hs + dh];
-                    for (j, &p) in prow.iter().enumerate() {
-                        let vrow = &vv.row(b * tokens + j)[hs..hs + dh];
-                        for (o, &x) in orow.iter_mut().zip(vrow) {
-                            *o += p * x;
+        let mut probs = self.buf(&[batch * heads * tokens, tokens]);
+        let mut scores_t = self.buf(&[tokens]);
+        {
+            let qv = &self.nodes[q.0].value;
+            let kv = &self.nodes[k.0].value;
+            let vv = &self.nodes[v.0].value;
+            let scores = scores_t.as_mut_slice();
+            for b in 0..batch {
+                for h in 0..heads {
+                    let hs = h * dh;
+                    for i in 0..tokens {
+                        let qrow = &qv.row(b * tokens + i)[hs..hs + dh];
+                        for (j, s) in scores.iter_mut().enumerate() {
+                            let krow = &kv.row(b * tokens + j)[hs..hs + dh];
+                            *s = kernel::dot(kn, qrow, krow) * scale;
+                        }
+                        // softmax
+                        let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        let mut z = 0.0;
+                        for s in scores.iter_mut() {
+                            *s = (*s - m).exp();
+                            z += *s;
+                        }
+                        let prow = probs.row_mut((b * heads + h) * tokens + i);
+                        for (p, s) in prow.iter_mut().zip(scores.iter()) {
+                            *p = s / z;
+                        }
+                        // out_i = Σ_j p_ij v_j
+                        let prow = probs.row((b * heads + h) * tokens + i);
+                        let orow = &mut out.row_mut(b * tokens + i)[hs..hs + dh];
+                        for (j, &p) in prow.iter().enumerate() {
+                            let vrow = &vv.row(b * tokens + j)[hs..hs + dh];
+                            for (o, &x) in orow.iter_mut().zip(vrow) {
+                                *o += p * x;
+                            }
                         }
                     }
                 }
             }
         }
+        self.recycle(scores_t);
         let ng = self.ng(q) || self.ng(k) || self.ng(v);
+        let saved = if self.record_grads {
+            vec![probs]
+        } else {
+            self.recycle(probs);
+            Vec::new()
+        };
         self.push(
             out,
             Op::Attention {
@@ -501,7 +835,7 @@ impl<'s> Graph<'s> {
                 heads,
                 tokens,
             },
-            vec![probs],
+            saved,
             ng,
         )
     }
@@ -512,9 +846,18 @@ impl<'s> Graph<'s> {
     ///
     /// Panics if the element count changes.
     pub fn reshape(&mut self, a: VarId, shape: &[usize]) -> VarId {
-        let v = self.value(a).reshape(shape);
+        assert_eq!(
+            self.nodes[a.0].value.len(),
+            shape.iter().product::<usize>(),
+            "reshape: cannot view {:?} as {:?}",
+            self.nodes[a.0].value.shape(),
+            shape
+        );
+        let mut out = self.buf(shape);
+        out.as_mut_slice()
+            .copy_from_slice(self.nodes[a.0].value.as_slice());
         let ng = self.ng(a);
-        self.push(v, Op::Reshape(a), vec![], ng)
+        self.push(out, Op::Reshape(a), vec![], ng)
     }
 
     // ---- reductions & losses ----------------------------------------------
@@ -1120,11 +1463,6 @@ fn sigmoid_fwd(x: f32) -> f32 {
     }
 }
 
-fn gelu_fwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6; // √(2/π)
-    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
-}
-
 fn gelu_grad(x: f32) -> f32 {
     const C: f32 = 0.797_884_6;
     let u = C * (x + 0.044715 * x * x * x);
@@ -1323,6 +1661,98 @@ mod tests {
         let loss = g.bce_with_logits_loss(x, Tensor::from_slice(&[1.0]));
         // -ln(σ(0)) = ln 2
         assert!((g.scalar(loss) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arena_forward_matches_fresh_graph_bit_for_bit() {
+        let mut s = store();
+        let w = s.add("w", Tensor::from_rows(&[&[0.3, -0.2], &[0.1, 0.7]]));
+        let b = s.add("b", Tensor::from_slice(&[0.05, -0.4]));
+        let gm = s.add("gm", Tensor::ones(&[2]));
+        let bt = s.add("bt", Tensor::zeros(&[2]));
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[-0.5, 0.25], &[3.0, -1.0], &[0.0, 0.0]]);
+
+        let run = |g: &mut Graph| -> Tensor {
+            let xi = g.input(&x);
+            let wv = g.param(w);
+            let bv = g.param(b);
+            let h = g.matmul(xi, wv);
+            let h = g.add_row(h, bv);
+            let h = g.gelu(h);
+            let gmv = g.param(gm);
+            let btv = g.param(bt);
+            let h = g.layer_norm(h, gmv, btv, 1e-5);
+            let h = g.attention(h, h, h, 2, 1, 2);
+            let pooled = g.mean_pool_tokens(h, 2);
+            let out = g.sigmoid(pooled);
+            g.value(out).clone()
+        };
+
+        let mut fresh = Graph::new(&s);
+        let expect = run(&mut fresh);
+
+        let mut arena = Arena::new();
+        let mut first_pass: Option<Tensor> = None;
+        for pass in 0..3 {
+            let mut g = Graph::with_arena(&s, arena);
+            let got = run(&mut g);
+            // Inference mode matches the training-mode forward to rounding
+            // (the fused layernorm kernel rounds once where the training
+            // path rounds twice)…
+            assert!(
+                got.max_abs_diff(&expect) <= 1e-6,
+                "arena pass {pass} diverged from fresh graph"
+            );
+            // …and repeated arena passes are bit-identical to each other.
+            match &first_pass {
+                None => first_pass = Some(got),
+                Some(reference) => assert_eq!(
+                    got.as_slice(),
+                    reference.as_slice(),
+                    "arena pass {pass} not reproducible"
+                ),
+            }
+            arena = g.into_arena();
+            assert!(arena.pooled() > 0);
+        }
+    }
+
+    #[test]
+    fn arena_graph_records_no_gradients() {
+        let mut s = store();
+        let w = s.add("w", Tensor::from_slice(&[2.0]));
+        let mut g = Graph::with_arena(&s, Arena::new());
+        let wv = g.param(w);
+        let y = g.mul(wv, wv);
+        let loss = g.mse_loss(y, Tensor::zeros(&[1]));
+        let grads = g.backward(loss);
+        assert!(grads.is_empty());
+    }
+
+    #[test]
+    fn arena_pool_is_stable_after_warmup() {
+        let mut s = store();
+        let w = s.add("w", Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut arena = Arena::new();
+        let mut pooled_after_warmup = 0;
+        for pass in 0..4 {
+            let mut g = Graph::with_arena(&s, arena);
+            let xi = g.input(&x);
+            let wv = g.param(w);
+            let y = g.matmul(xi, wv);
+            let _ = g.relu(y);
+            arena = g.into_arena();
+            if pass == 0 {
+                pooled_after_warmup = arena.pooled();
+            } else {
+                assert_eq!(
+                    arena.pooled(),
+                    pooled_after_warmup,
+                    "pool grew on pass {pass}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,10 @@
 
 use crate::graph::{Graph, VarId};
 use crate::params::{ParamId, ParamStore};
+use crate::quant::{
+    QuantError, QuantSource, QuantizedAttention, QuantizedBlock, QuantizedFeedForward,
+    QuantizedLinear,
+};
 
 /// Fully connected layer `y = x W (+ b)`.
 #[derive(Debug, Clone)]
@@ -60,6 +64,47 @@ impl Linear {
     /// Output feature count.
     pub fn out_dim(&self) -> usize {
         self.out_dim
+    }
+
+    /// The weight parameter handle (checkpoint / quantization bookkeeping).
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// Builds the int8 view of this layer's weight through `src`,
+    /// validating the produced dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's error, or reports a shape mismatch.
+    pub fn quantized(
+        &self,
+        store: &ParamStore,
+        src: &mut QuantSource<'_>,
+    ) -> Result<QuantizedLinear, QuantError> {
+        let name = store.name(self.w);
+        let q = src(name, store.get(self.w))?;
+        if (q.in_dim(), q.out_dim()) != (self.in_dim, self.out_dim) {
+            return Err(QuantError::ShapeMismatch {
+                name: name.to_string(),
+                expected: (self.in_dim, self.out_dim),
+                found: (q.in_dim(), q.out_dim()),
+            });
+        }
+        Ok(q)
+    }
+
+    /// Applies the layer with an int8 weight (`q`) in place of the `f32`
+    /// matmul; the bias, when present, stays `f32`.
+    pub fn forward_quant(&self, g: &mut Graph<'_>, x: VarId, q: &QuantizedLinear) -> VarId {
+        let y = g.quant_linear(x, q);
+        match self.b {
+            Some(b) => {
+                let bv = g.param(b);
+                g.add_row(y, bv)
+            }
+            None => y,
+        }
     }
 }
 
@@ -151,6 +196,29 @@ impl FeedForward {
         let h = self.act.apply(g, h);
         self.lin2.forward(g, h)
     }
+
+    /// Int8 views of both layers' weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's error.
+    pub fn quantized(
+        &self,
+        store: &ParamStore,
+        src: &mut QuantSource<'_>,
+    ) -> Result<QuantizedFeedForward, QuantError> {
+        Ok(QuantizedFeedForward {
+            l1: self.lin1.quantized(store, src)?,
+            l2: self.lin2.quantized(store, src)?,
+        })
+    }
+
+    /// Applies both layers with int8 weights.
+    pub fn forward_quant(&self, g: &mut Graph<'_>, x: VarId, q: &QuantizedFeedForward) -> VarId {
+        let h = self.lin1.forward_quant(g, x, &q.l1);
+        let h = self.act.apply(g, h);
+        self.lin2.forward_quant(g, h, &q.l2)
+    }
 }
 
 /// Multi-head self-attention with learned Q/K/V/output projections.
@@ -193,6 +261,41 @@ impl MultiHeadSelfAttention {
         let a = g.attention(q, k, v, batch, self.heads, tokens);
         self.wo.forward(g, a)
     }
+
+    /// Int8 views of the four projection weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's error.
+    pub fn quantized(
+        &self,
+        store: &ParamStore,
+        src: &mut QuantSource<'_>,
+    ) -> Result<QuantizedAttention, QuantError> {
+        Ok(QuantizedAttention {
+            wq: self.wq.quantized(store, src)?,
+            wk: self.wk.quantized(store, src)?,
+            wv: self.wv.quantized(store, src)?,
+            wo: self.wo.quantized(store, src)?,
+        })
+    }
+
+    /// Attention with int8 projection weights (the softmax·V core stays
+    /// `f32`).
+    pub fn forward_quant(
+        &self,
+        g: &mut Graph<'_>,
+        x: VarId,
+        batch: usize,
+        tokens: usize,
+        qw: &QuantizedAttention,
+    ) -> VarId {
+        let q = self.wq.forward_quant(g, x, &qw.wq);
+        let k = self.wk.forward_quant(g, x, &qw.wk);
+        let v = self.wv.forward_quant(g, x, &qw.wv);
+        let a = g.attention(q, k, v, batch, self.heads, tokens);
+        self.wo.forward_quant(g, a, &qw.wo)
+    }
 }
 
 /// Pre-norm transformer block: `x + Attn(LN(x))` then `x + FFN(LN(x))`.
@@ -232,6 +335,40 @@ impl TransformerBlock {
         let x = g.add(x, h);
         let h = self.ln2.forward(g, x);
         let h = self.ffn.forward(g, h);
+        g.add(x, h)
+    }
+
+    /// Int8 views of every matmul weight in the block (layer-norm
+    /// parameters stay `f32`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's error.
+    pub fn quantized(
+        &self,
+        store: &ParamStore,
+        src: &mut QuantSource<'_>,
+    ) -> Result<QuantizedBlock, QuantError> {
+        Ok(QuantizedBlock {
+            attn: self.attn.quantized(store, src)?,
+            ffn: self.ffn.quantized(store, src)?,
+        })
+    }
+
+    /// Applies the block with int8 matmul weights.
+    pub fn forward_quant(
+        &self,
+        g: &mut Graph<'_>,
+        x: VarId,
+        batch: usize,
+        tokens: usize,
+        q: &QuantizedBlock,
+    ) -> VarId {
+        let h = self.ln1.forward(g, x);
+        let h = self.attn.forward_quant(g, h, batch, tokens, &q.attn);
+        let x = g.add(x, h);
+        let h = self.ln2.forward(g, x);
+        let h = self.ffn.forward_quant(g, h, &q.ffn);
         g.add(x, h)
     }
 }

@@ -9,6 +9,10 @@
 //! * [`Graph`] is a per-step tape. A forward pass records nodes; calling
 //!   [`Graph::backward`] walks the tape in reverse and returns a
 //!   [`Gradients`] map from parameter to gradient tensor.
+//! * [`Arena`] is a recycled buffer pool for inference:
+//!   [`Graph::with_arena`] builds a gradient-free tape whose activations
+//!   live in pooled storage, and [`Graph::into_arena`] hands the storage
+//!   back so steady-state serving performs no per-batch heap allocation.
 //! * [`layers`] provides [`layers::Linear`], [`layers::LayerNorm`],
 //!   [`layers::MultiHeadSelfAttention`], [`layers::FeedForward`] and
 //!   [`layers::TransformerBlock`] (pre-norm residual blocks as used by the
@@ -46,6 +50,7 @@ pub mod checkpoint;
 pub mod gradcheck;
 pub mod layers;
 pub mod optim;
+pub mod quant;
 
-pub use graph::{Gradients, Graph, VarId};
+pub use graph::{Arena, Gradients, Graph, VarId};
 pub use params::{ParamId, ParamStore};

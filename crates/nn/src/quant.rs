@@ -1,0 +1,279 @@
+//! Int8 symmetric weight quantization for inference-only linear layers.
+//!
+//! A [`QuantizedLinear`] stores a layer's weight matrix transposed as
+//! `[out_dim, in_dim]` rows of `i8` with one `f32` scale per output row
+//! (symmetric per-output-channel quantization, `w ≈ q · scale`). At
+//! inference each activation row is quantized symmetrically on the fly,
+//! the product accumulates in `i32` via [`kernel::dot_i8`], and the
+//! result is rescaled to `f32` — the serving-side int8 decoder flavor.
+//!
+//! Quantized modules are built through the `quantized` methods on the
+//! [`crate::layers`] modules, which pull each weight through a caller
+//! supplied [`QuantSource`]. Two sources exist in practice: *fresh*
+//! quantization of the `f32` store (publishing a checkpoint flavor) and
+//! restore from previously stored `i8` data (never re-quantized, so a
+//! restored replica is bit-identical to its publisher).
+
+use ai2_tensor::kernel;
+use ai2_tensor::Tensor;
+
+/// Why a quantized module could not be built from checkpoint data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The quantized blob holds no tensor under this parameter name.
+    Missing(String),
+    /// The stored tensor's dimensions disagree with the module's.
+    ShapeMismatch {
+        /// Parameter name of the offending weight.
+        name: String,
+        /// `(in_dim, out_dim)` the module expects.
+        expected: (usize, usize),
+        /// `(in_dim, out_dim)` the source produced.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::Missing(name) => {
+                write!(f, "quantized blob is missing tensor {name:?}")
+            }
+            QuantError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "quantized tensor {name:?} has dims {found:?}, module expects {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Where a quantized module draws its weights from. Called once per
+/// linear layer with the weight's registered name and its `f32` value.
+pub type QuantSource<'a> = dyn FnMut(&str, &Tensor) -> Result<QuantizedLinear, QuantError> + 'a;
+
+/// An int8 per-output-channel quantized view of a `[in_dim, out_dim]`
+/// linear weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedLinear {
+    /// Transposed weight `[out_dim, in_dim]`: row `j` is column `j` of
+    /// the original matrix, so the inner product over `in_dim` is a
+    /// contiguous [`kernel::dot_i8`].
+    wt: Vec<i8>,
+    /// One dequantization scale per output channel.
+    scales: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantizes an `f32` weight of shape `[in_dim, out_dim]`.
+    ///
+    /// Deterministic: the same weight always produces the same `i8` data,
+    /// so independently quantized copies of one checkpoint agree
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank 2.
+    pub fn from_weight(w: &Tensor) -> QuantizedLinear {
+        let (in_dim, out_dim) = (w.rows(), w.cols());
+        let src = w.as_slice();
+        let mut scales = vec![0.0f32; out_dim];
+        for (j, s) in scales.iter_mut().enumerate() {
+            let mut amax = 0.0f32;
+            for i in 0..in_dim {
+                amax = amax.max(src[i * out_dim + j].abs());
+            }
+            *s = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+        }
+        let mut wt = vec![0i8; in_dim * out_dim];
+        for j in 0..out_dim {
+            let s = scales[j];
+            for i in 0..in_dim {
+                let q = (src[i * out_dim + j] / s).round().clamp(-127.0, 127.0);
+                wt[j * in_dim + i] = q as i8;
+            }
+        }
+        QuantizedLinear {
+            wt,
+            scales,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Rebuilds a layer from stored data (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree with the dimensions.
+    pub fn from_parts(
+        wt: Vec<i8>,
+        scales: Vec<f32>,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> QuantizedLinear {
+        assert_eq!(wt.len(), in_dim * out_dim, "QuantizedLinear: weight size");
+        assert_eq!(scales.len(), out_dim, "QuantizedLinear: scale count");
+        QuantizedLinear {
+            wt,
+            scales,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The transposed `[out_dim, in_dim]` int8 weight data.
+    pub fn weights_i8(&self) -> &[i8] {
+        &self.wt
+    }
+
+    /// Per-output-channel dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// `out[r, j] = Σ_k x[r, k]·w[k, j]`, accumulated in `i32`.
+    ///
+    /// `qrow` is reusable scratch for the quantized activation row; its
+    /// capacity is retained across calls so warm passes do not allocate.
+    pub fn forward_into(&self, x: &[f32], rows: usize, out: &mut [f32], qrow: &mut Vec<i8>) {
+        debug_assert_eq!(x.len(), rows * self.in_dim);
+        debug_assert_eq!(out.len(), rows * self.out_dim);
+        let kn = kernel::active();
+        let k = self.in_dim;
+        qrow.clear();
+        qrow.resize(k, 0);
+        for r in 0..rows {
+            let xr = &x[r * k..(r + 1) * k];
+            let mut amax = 0.0f32;
+            for &v in xr {
+                amax = amax.max(v.abs());
+            }
+            let xs = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+            let inv = 1.0 / xs;
+            for (q, &v) in qrow.iter_mut().zip(xr) {
+                *q = (v * inv).round().clamp(-127.0, 127.0) as i8;
+            }
+            let orow = &mut out[r * self.out_dim..(r + 1) * self.out_dim];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let acc = kernel::dot_i8(kn, qrow, &self.wt[j * k..(j + 1) * k]);
+                *o = acc as f32 * (xs * self.scales[j]);
+            }
+        }
+    }
+}
+
+/// Quantized weights of a [`crate::layers::MultiHeadSelfAttention`].
+#[derive(Debug, Clone)]
+pub struct QuantizedAttention {
+    pub(crate) wq: QuantizedLinear,
+    pub(crate) wk: QuantizedLinear,
+    pub(crate) wv: QuantizedLinear,
+    pub(crate) wo: QuantizedLinear,
+}
+
+/// Quantized weights of a [`crate::layers::FeedForward`].
+#[derive(Debug, Clone)]
+pub struct QuantizedFeedForward {
+    pub(crate) l1: QuantizedLinear,
+    pub(crate) l2: QuantizedLinear,
+}
+
+/// Quantized weights of a [`crate::layers::TransformerBlock`] (the
+/// layer-norm gains/biases stay `f32`; only the matmul weights shrink).
+#[derive(Debug, Clone)]
+pub struct QuantizedBlock {
+    pub(crate) attn: QuantizedAttention,
+    pub(crate) ffn: QuantizedFeedForward,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai2_tensor::rng;
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_one_step() {
+        let mut r = rng::seeded(3);
+        let w = rng::rand_uniform(&mut r, &[24, 17], -2.0, 2.0);
+        let q = QuantizedLinear::from_weight(&w);
+        let wd = w.as_slice();
+        for j in 0..17 {
+            let s = q.scales()[j];
+            for i in 0..24 {
+                let deq = f32::from(q.weights_i8()[j * 24 + i]) * s;
+                assert!(
+                    (deq - wd[i * 17 + j]).abs() <= s * 0.5 + 1e-7,
+                    "dequantized value off by more than half a step"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_tracks_f32_matmul() {
+        let mut r = rng::seeded(5);
+        let w = rng::rand_uniform(&mut r, &[32, 16], -1.0, 1.0);
+        let x = rng::rand_uniform(&mut r, &[4, 32], -1.0, 1.0);
+        let q = QuantizedLinear::from_weight(&w);
+        let mut out = vec![0.0f32; 4 * 16];
+        let mut scratch = Vec::new();
+        q.forward_into(x.as_slice(), 4, &mut out, &mut scratch);
+        let want = x.matmul(&w);
+        for (got, want) in out.iter().zip(want.as_slice()) {
+            // Two int8 quantizations (activation + weight) over unit-range
+            // data on k = 32: generous absolute bound.
+            assert!(
+                (got - want).abs() < 0.15,
+                "quantized forward drifted: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_restores_bit_identical_forward() {
+        let mut r = rng::seeded(7);
+        let w = rng::rand_uniform(&mut r, &[12, 9], -1.0, 1.0);
+        let x = rng::rand_uniform(&mut r, &[3, 12], -1.0, 1.0);
+        let q = QuantizedLinear::from_weight(&w);
+        let q2 = QuantizedLinear::from_parts(
+            q.weights_i8().to_vec(),
+            q.scales().to_vec(),
+            q.in_dim(),
+            q.out_dim(),
+        );
+        let (mut a, mut b) = (vec![0.0f32; 27], vec![0.0f32; 27]);
+        let mut scratch = Vec::new();
+        q.forward_into(x.as_slice(), 3, &mut a, &mut scratch);
+        q2.forward_into(x.as_slice(), 3, &mut b, &mut scratch);
+        assert_eq!(a, b, "restored layer must be bit-identical");
+    }
+
+    #[test]
+    fn zero_rows_and_zero_weights_are_exact() {
+        let w = Tensor::zeros(&[5, 3]);
+        let q = QuantizedLinear::from_weight(&w);
+        let x = vec![0.0f32; 10];
+        let mut out = vec![9.0f32; 6];
+        let mut scratch = Vec::new();
+        q.forward_into(&x, 2, &mut out, &mut scratch);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

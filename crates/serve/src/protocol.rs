@@ -324,6 +324,15 @@ pub struct ServeStats {
     /// Raw-cost evaluations that ran a cost backend, summed over the
     /// per-backend engines.
     pub engine_point_misses: u64,
+    /// The SIMD dispatch level running this host's f32 tensor kernels
+    /// (`"scalar"` / `"sse2"` / `"avx2"` — see `ai2_tensor::kernel`).
+    /// Latency baselines recorded under one kernel are not comparable
+    /// to runs under another; `bench_gate` refuses the comparison.
+    pub kernel: String,
+    /// Worker shards serving the int8-quantized decoder flavor
+    /// ([`crate::ServeConfig::quantized_shards`]); 0 means every shard
+    /// runs the full-precision f32 decoder.
+    pub quantized_shards: usize,
 }
 
 /// The canonical identity of a recommendation query — the response-cache

@@ -16,7 +16,7 @@ use ai2_dse::{BackendId, DesignPoint, EvalEngine, Objective};
 use ai2_maestro::Dataflow;
 use ai2_workloads::generator::DseInput;
 use ai2_workloads::zoo;
-use airchitect::Airchitect2;
+use airchitect::{Airchitect2, InferenceScratch};
 
 use crate::protocol::{Query, RecommendRequest, Recommendation, Response};
 
@@ -78,6 +78,23 @@ pub fn recommend_batch(
     engines: &BackendEngines,
     reqs: &[RecommendRequest],
 ) -> Vec<Response> {
+    let mut scratch = InferenceScratch::new();
+    recommend_batch_with(model, engines, reqs, &mut scratch)
+}
+
+/// [`recommend_batch`] with a caller-owned [`InferenceScratch`] — the
+/// shard hot path. A shard that keeps its scratch across micro-batches
+/// reuses the same activation buffers on every forward pass, so the
+/// steady-state serving loop performs zero heap allocations inside the
+/// model (see the `zero_alloc` test in the `airchitect` crate). Answers
+/// are bit-identical to the fresh-scratch path: the scratch holds
+/// capacity, never values.
+pub fn recommend_batch_with(
+    model: &Airchitect2,
+    engines: &BackendEngines,
+    reqs: &[RecommendRequest],
+    scratch: &mut InferenceScratch,
+) -> Vec<Response> {
     let mut out: Vec<Option<Response>> = vec![None; reqs.len()];
 
     // -- partition ----------------------------------------------------
@@ -109,8 +126,14 @@ pub fn recommend_batch(
             Query::Model { name } => match zoo::model_by_name(name) {
                 Some(workload) => {
                     let engine = engines.get(backend);
-                    let (point, cost, feasible, layers) =
-                        recommend_model(model, engine, &workload, req.objective, req.budget);
+                    let (point, cost, feasible, layers) = recommend_model(
+                        model,
+                        engine,
+                        &workload,
+                        req.objective,
+                        req.budget,
+                        scratch,
+                    );
                     out[i] = Some(recommendation(
                         engine, req, point, cost, feasible, layers, backend,
                     ));
@@ -127,7 +150,7 @@ pub fn recommend_batch(
 
     // -- one forward pass for every GEMM query ------------------------
     let inputs: Vec<DseInput> = gemm.iter().map(|&(_, input, _)| input).collect();
-    let points = model.predict(&inputs);
+    let points = model.predict_with(&inputs, scratch);
 
     // -- engine verification, grouped by (backend, objective) ---------
     for backend in BackendId::ALL {
@@ -174,6 +197,7 @@ fn recommend_model(
     workload: &ai2_workloads::ModelWorkload,
     objective: Objective,
     budget: ai2_dse::Budget,
+    scratch: &mut InferenceScratch,
 ) -> (DesignPoint, f64, bool, usize) {
     let layers = workload.to_dse_layers();
     let mut inputs = Vec::with_capacity(layers.len() * Dataflow::ALL.len());
@@ -185,7 +209,7 @@ fn recommend_model(
             });
         }
     }
-    let preds = model.predict(&inputs);
+    let preds = model.predict_with(&inputs, scratch);
     let mut seen: HashSet<DesignPoint> = HashSet::new();
     let mut cands: Vec<DesignPoint> = Vec::new();
     for p in preds {
@@ -301,6 +325,23 @@ mod tests {
         for (req, expect) in reqs.iter().zip(&batched) {
             let single = recommend_batch(&model, &engines, std::slice::from_ref(req));
             assert_eq!(&single[0], expect, "batching changed the answer");
+        }
+    }
+
+    #[test]
+    fn reused_scratch_answers_bit_identically() {
+        // the shard hot path keeps one InferenceScratch across
+        // micro-batches; recycled activation buffers must never change
+        // an answer, batch after batch
+        let (engines, model) = trained();
+        let mut scratch = InferenceScratch::new();
+        for round in 0..3 {
+            let reqs: Vec<RecommendRequest> = (0..6)
+                .map(|i| gemm(i, 8 + i * 11 + round, Objective::Latency))
+                .collect();
+            let fresh = recommend_batch(&model, &engines, &reqs);
+            let reused = recommend_batch_with(&model, &engines, &reqs, &mut scratch);
+            assert_eq!(fresh, reused, "round {round}");
         }
     }
 

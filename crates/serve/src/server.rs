@@ -61,7 +61,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ai2_dse::EvalEngine;
-use airchitect::{Airchitect2, ModelCheckpoint};
+use airchitect::{Airchitect2, InferenceScratch, ModelCheckpoint};
 
 use crate::cache::LruCache;
 use crate::clock::{Clock, WallClock};
@@ -70,7 +70,7 @@ use crate::protocol::{
     decode_line, AdminAck, QueryKey, RecommendRequest, Recommendation, Request, Response,
     ServeStats,
 };
-use crate::recommend::{recommend_batch, BackendEngines};
+use crate::recommend::{recommend_batch_with, BackendEngines};
 use crate::refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer};
 use crate::registry::ModelRegistry;
 use crate::transport::{TcpTransport, Transport};
@@ -108,6 +108,15 @@ pub struct ServeConfig {
     pub refresh: Option<RefreshConfig>,
     /// Shard scheduling: threaded (default) or manually stepped.
     pub driver: Driver,
+    /// Shard indices serving the **int8-quantized decoder flavor**
+    /// instead of the full-precision f32 decoder. A listed shard
+    /// quantizes its replica deterministically after every restore (or
+    /// adopts the checkpoint's stored int8 blob when one is published),
+    /// so all replicas of one flavor stay bit-identical to each other;
+    /// unlisted shards always clear any stored flavor and serve f32.
+    /// Empty (the default) serves f32 everywhere. Out-of-range indices
+    /// are ignored.
+    pub quantized_shards: Vec<usize>,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +128,7 @@ impl Default for ServeConfig {
             replay_capacity: 4096,
             refresh: None,
             driver: Driver::Threaded,
+            quantized_shards: Vec::new(),
         }
     }
 }
@@ -212,6 +222,10 @@ impl Inner {
             p99_us: snap.p99_us,
             engine_point_hits: engine.point_hits,
             engine_point_misses: engine.point_misses,
+            kernel: ai2_tensor::kernel::active().name().to_string(),
+            quantized_shards: (0..self.cfg.shards)
+                .filter(|s| self.cfg.quantized_shards.contains(s))
+                .count(),
         }
     }
 
@@ -417,7 +431,7 @@ impl RecommendService {
                         let inner = Arc::clone(&inner);
                         std::thread::Builder::new()
                             .name(format!("ai2-serve-shard-{i}"))
-                            .spawn(move || shard_main(&inner))
+                            .spawn(move || shard_main(&inner, i))
                             .expect("spawn shard")
                     })
                     .collect();
@@ -425,7 +439,7 @@ impl RecommendService {
             }
             Driver::Manual => {
                 let states = (0..inner.cfg.shards)
-                    .map(|_| Mutex::new(ShardState::new(&inner)))
+                    .map(|i| Mutex::new(ShardState::new(&inner, i)))
                     .collect();
                 (Vec::new(), states)
             }
@@ -676,24 +690,48 @@ impl Pending {
 // --------------------------------------------------------------------
 // shard workers
 
-/// One shard's mutable state: which registry epoch its replica was
-/// restored under, and the replica itself.
+/// One shard's mutable state: its index (which decides the decoder
+/// flavor it serves), which registry epoch its replica was restored
+/// under, the replica itself, and the reusable inference scratch that
+/// makes the steady-state forward pass allocation-free.
 struct ShardState {
+    shard: usize,
     epoch: u64,
     model: Airchitect2,
+    scratch: InferenceScratch,
 }
 
 impl ShardState {
-    fn new(inner: &Inner) -> ShardState {
+    fn new(inner: &Inner, shard: usize) -> ShardState {
         ShardState {
+            shard,
             epoch: inner.registry.epoch(),
-            model: Airchitect2::from_checkpoint(
-                Arc::clone(inner.engines.primary()),
-                &inner.registry.current(),
-            )
-            .expect("checkpoint validated at startup"),
+            model: shard_replica(inner, shard),
+            scratch: InferenceScratch::new(),
         }
     }
+}
+
+/// Restores a fresh replica from the live checkpoint and applies the
+/// shard's configured decoder flavor. Quantization is deterministic
+/// (and restores of a stored int8 blob are bit-exact), so every
+/// replica of a given flavor answers bit-identically; an unlisted
+/// shard clears any flavor the checkpoint carried, so per-shard config
+/// — not the publisher — decides what precision each shard serves.
+fn shard_replica(inner: &Inner, shard: usize) -> Airchitect2 {
+    let mut model = Airchitect2::from_checkpoint(
+        Arc::clone(inner.engines.primary()),
+        &inner.registry.current(),
+    )
+    .expect("checkpoints are validated before they become live");
+    if inner.cfg.quantized_shards.contains(&shard) {
+        if !model.quantized_decoder() {
+            model.quantize_decoder();
+        }
+    } else {
+        model.clear_quantized_decoder();
+    }
+    model
 }
 
 /// One micro-batch step, shared verbatim by the threaded and the
@@ -723,19 +761,15 @@ fn shard_try_step(inner: &Inner, state: &mut ShardState) -> bool {
     // a model freshly restored from the published checkpoint
     let now = inner.registry.epoch();
     if now != state.epoch {
-        state.model = Airchitect2::from_checkpoint(
-            Arc::clone(inner.engines.primary()),
-            &inner.registry.current(),
-        )
-        .expect("published checkpoints are validated before publish");
+        state.model = shard_replica(inner, state.shard);
         state.epoch = now;
     }
-    process_batch(inner, &state.model, state.epoch, batch);
+    process_batch(inner, &state.model, &mut state.scratch, state.epoch, batch);
     true
 }
 
-fn shard_main(inner: &Inner) {
-    let mut state = ShardState::new(inner);
+fn shard_main(inner: &Inner, shard: usize) {
+    let mut state = ShardState::new(inner, shard);
     loop {
         {
             let mut q = inner.queue.lock().expect("admission queue poisoned");
@@ -756,7 +790,13 @@ fn shard_main(inner: &Inner) {
     }
 }
 
-fn process_batch(inner: &Inner, model: &Airchitect2, epoch: u64, batch: Vec<Job>) {
+fn process_batch(
+    inner: &Inner,
+    model: &Airchitect2,
+    scratch: &mut InferenceScratch,
+    epoch: u64,
+    batch: Vec<Job>,
+) {
     let now_ns = inner.clock.now_ns();
     let mut compute: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
@@ -800,7 +840,7 @@ fn process_batch(inner: &Inner, model: &Airchitect2, epoch: u64, batch: Vec<Job>
         return;
     }
     let reqs: Vec<RecommendRequest> = compute.iter().map(|j| j.req.clone()).collect();
-    let responses = recommend_batch(model, &inner.engines, &reqs);
+    let responses = recommend_batch_with(model, &inner.engines, &reqs, scratch);
     for (job, resp) in compute.into_iter().zip(responses) {
         match &resp {
             Response::Recommendation(rec) => {
@@ -1151,6 +1191,85 @@ mod tests {
         // (the two models may happen to agree on some inputs; the cache
         // assertion above is the load-bearing one)
         let _ = before;
+        service.shutdown();
+    }
+
+    #[test]
+    fn quantized_shards_serve_the_int8_flavor() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service = RecommendService::start(
+            ServeConfig {
+                shards: 1,
+                quantized_shards: vec![0],
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&engine),
+            ckpt.clone(),
+        );
+        let client = service.client();
+        // reference: an independent replica under the same deterministic
+        // quantization — the shard's answers must match it exactly
+        let mut replica = Airchitect2::from_checkpoint(Arc::clone(&engine), &ckpt).unwrap();
+        replica.quantize_decoder();
+        for i in 0..5 {
+            let req = gemm_req(i, 16 + 9 * i);
+            let input = req.query.as_dse_input().unwrap();
+            let expect = replica.predict(std::slice::from_ref(&input))[0];
+            let resp = client.recommend(req);
+            let Response::Recommendation(rec) = &resp else {
+                panic!("expected recommendation: {resp:?}");
+            };
+            assert_eq!(rec.point, expect, "request {i}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.quantized_shards, 1);
+        assert_eq!(stats.kernel, ai2_tensor::kernel::active().name());
+
+        // a swap re-applies the shard's flavor to the incoming replica
+        let next = other_checkpoint(&engine).with_version(1);
+        service.swap_checkpoint(next.clone(), false).unwrap();
+        let mut next_replica = Airchitect2::from_checkpoint(Arc::clone(&engine), &next).unwrap();
+        next_replica.quantize_decoder();
+        let req = gemm_req(9, 77);
+        let input = req.query.as_dse_input().unwrap();
+        let expect = next_replica.predict(std::slice::from_ref(&input))[0];
+        let resp = client.recommend(req);
+        let Response::Recommendation(rec) = &resp else {
+            panic!("expected recommendation: {resp:?}");
+        };
+        assert_eq!(rec.point, expect, "post-swap answers stay quantized");
+        service.shutdown();
+    }
+
+    #[test]
+    fn published_flavor_respects_per_shard_config() {
+        let (engine, ckpt) = trained_checkpoint();
+        // a checkpoint *carrying* an int8 blob handed to an f32-only
+        // service: the unlisted shard must clear the flavor and answer
+        // in full precision — per-shard config, not the publisher,
+        // decides serving precision
+        let flavored = ckpt.clone().quantized();
+        assert!(flavored.is_quantized());
+        let service = RecommendService::start(
+            ServeConfig {
+                shards: 1,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&engine),
+            flavored,
+        );
+        let f32_replica = Airchitect2::from_checkpoint(Arc::clone(&engine), &ckpt).unwrap();
+        let req = gemm_req(1, 64);
+        let input = req.query.as_dse_input().unwrap();
+        let expect = f32_replica.predict(std::slice::from_ref(&input))[0];
+        let resp = service.client().recommend(req);
+        let Response::Recommendation(rec) = &resp else {
+            panic!("expected recommendation: {resp:?}");
+        };
+        assert_eq!(rec.point, expect, "flavor must not leak onto an f32 shard");
+        assert_eq!(service.stats().quantized_shards, 0);
         service.shutdown();
     }
 

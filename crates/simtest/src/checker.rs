@@ -30,6 +30,11 @@
 //!   after the request's deadline on the virtual clock.
 //! * `frozen_rejects_publish` — while frozen, swaps and refreshes are
 //!   rejected with the frozen error (and serving continues).
+//! * `flavor_scoped_identity` — under a quantized scenario the oracle
+//!   replicas carry the int8 decoder flavor too, so the bit-identity
+//!   check is scoped *within* the flavor: an int8 shard is held to the
+//!   int8 oracle, never to the f32 one (and stats must report every
+//!   shard as quantized).
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -41,7 +46,7 @@ use ai2_serve::{
 use airchitect::{Airchitect2, ModelCheckpoint};
 
 /// Every invariant the checker tracks, by coverage-counter name.
-pub const INVARIANTS: [&str; 7] = [
+pub const INVARIANTS: [&str; 8] = [
     "bit_identity",
     "monotonic_version",
     "cache_epoch_isolation",
@@ -49,6 +54,7 @@ pub const INVARIANTS: [&str; 7] = [
     "backend_isolation",
     "deadline_honored",
     "frozen_rejects_publish",
+    "flavor_scoped_identity",
 ];
 
 /// The canonical identity of a request with the backend stripped —
@@ -78,13 +84,21 @@ pub struct Checker {
     /// Backends seen per backend-stripped canonical key (bit 1 =
     /// analytic, bit 2 = systolic).
     backend_pairs: HashMap<QueryKey, u8>,
+    /// Whether the service under test serves the int8 decoder flavor on
+    /// every shard; oracle replicas mirror the same flavor so
+    /// bit-identity stays scoped per flavor.
+    quantized: bool,
     coverage: BTreeMap<&'static str, u64>,
 }
 
 impl Checker {
     /// A checker with its own oracle engines over `task`, primed with
-    /// the version-0 checkpoint the service started from.
-    pub fn new(task: DseTask, initial: &ModelCheckpoint) -> Checker {
+    /// the version-0 checkpoint the service started from. With
+    /// `quantized`, every oracle replica serves the int8 decoder flavor
+    /// (adopting a published blob when the checkpoint carries one,
+    /// quantizing deterministically otherwise) — exactly what each
+    /// shard of an all-quantized service does.
+    pub fn new(task: DseTask, initial: &ModelCheckpoint, quantized: bool) -> Checker {
         let oracle_engine = EvalEngine::shared(task);
         let mut checker = Checker {
             engines: BackendEngines::new(Arc::clone(&oracle_engine)),
@@ -95,6 +109,7 @@ impl Checker {
             publishes: 0,
             exact: HashMap::new(),
             backend_pairs: HashMap::new(),
+            quantized,
             coverage: INVARIANTS.iter().map(|&name| (name, 0)).collect(),
         };
         checker.register_replica(initial.version, initial);
@@ -116,10 +131,18 @@ impl Checker {
             .collect()
     }
 
-    /// Builds the fresh oracle replica for a published version.
+    /// Builds the fresh oracle replica for a published version,
+    /// mirroring the per-shard flavor policy of the service under test.
     fn register_replica(&mut self, version: u64, ckpt: &ModelCheckpoint) {
-        let replica = Airchitect2::from_checkpoint(Arc::clone(&self.oracle_engine), ckpt)
+        let mut replica = Airchitect2::from_checkpoint(Arc::clone(&self.oracle_engine), ckpt)
             .expect("published checkpoints restore by construction");
+        if self.quantized {
+            if !replica.quantized_decoder() {
+                replica.quantize_decoder();
+            }
+        } else {
+            replica.clear_quantized_decoder();
+        }
         self.replicas.insert(version, replica);
     }
 
@@ -222,6 +245,11 @@ impl Checker {
             ));
         }
         self.bump("bit_identity");
+        if self.quantized {
+            // the oracle that just agreed bit-for-bit carries the int8
+            // flavor: identity was established within the flavor
+            self.bump("flavor_scoped_identity");
+        }
         let Response::Recommendation(rec) = resp else {
             // the oracle agreed this query is an error (zero-dim GEMM,
             // unknown model/backend) — bit-identity covered it
@@ -291,9 +319,29 @@ impl Checker {
                 s.frozen, expected_frozen
             ));
         }
+        let expected_quantized = if self.quantized { s.shards } else { 0 };
+        if s.quantized_shards != expected_quantized {
+            return Err(format!(
+                "stats quantized_shards={} but the scenario configured {}",
+                s.quantized_shards, expected_quantized
+            ));
+        }
+        if s.kernel != ai2_tensor::kernel::active().name() {
+            return Err(format!(
+                "stats kernel={:?} but this process dispatches {:?}",
+                s.kernel,
+                ai2_tensor::kernel::active().name()
+            ));
+        }
         Ok(format!(
-            "stats ok served={} cache_hits={} swaps={} v={} frozen={}",
-            s.served, s.cache_hits, s.swaps, s.model_version, s.frozen
+            "stats ok served={} cache_hits={} swaps={} v={} frozen={} kernel={} q={}",
+            s.served,
+            s.cache_hits,
+            s.swaps,
+            s.model_version,
+            s.frozen,
+            s.kernel,
+            s.quantized_shards
         ))
     }
 

@@ -46,6 +46,14 @@ pub struct Fixture {
     pub alts: Vec<ModelCheckpoint>,
     /// Where the alternates are saved (server-side `swap` paths).
     pub alt_paths: Vec<PathBuf>,
+    /// `base` with a stored int8 decoder blob (quantized scenarios
+    /// start from this flavor).
+    pub base_q: ModelCheckpoint,
+    /// The alternates with stored int8 decoder blobs.
+    pub alts_q: Vec<ModelCheckpoint>,
+    /// Where the flavored alternates are saved (quantized-scenario
+    /// `swap` paths).
+    pub alt_paths_q: Vec<PathBuf>,
 }
 
 /// The process-wide fixture (trained once, shared by every scenario).
@@ -88,11 +96,26 @@ pub fn fixture() -> &'static Fixture {
                 path
             })
             .collect();
+        let base_q = base.clone().quantized();
+        let alts_q: Vec<ModelCheckpoint> =
+            alts.iter().map(|ckpt| ckpt.clone().quantized()).collect();
+        let alt_paths_q: Vec<PathBuf> = alts_q
+            .iter()
+            .enumerate()
+            .map(|(i, ckpt)| {
+                let path = dir.join(format!("alt{i}_q.json"));
+                ckpt.save(&path).expect("save flavored fixture checkpoint");
+                path
+            })
+            .collect();
         Fixture {
             task,
             base,
             alts,
             alt_paths,
+            base_q,
+            alts_q,
+            alt_paths_q,
         }
     })
 }
@@ -192,6 +215,11 @@ struct SimDriver<'s> {
 pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
     let fx = fixture();
     let clock = Arc::new(VirtualClock::new());
+    let initial = if sc.quantized {
+        fx.base_q.clone()
+    } else {
+        fx.base.clone()
+    };
     let service = RecommendService::start_with(
         ServeConfig {
             shards: sc.shards,
@@ -210,9 +238,14 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
                 interval: Duration::from_secs(3600),
             }),
             driver: Driver::Manual,
+            quantized_shards: if sc.quantized {
+                (0..sc.shards).collect()
+            } else {
+                Vec::new()
+            },
         },
         EvalEngine::shared(fx.task.clone()),
-        fx.base.clone(),
+        initial.clone(),
         Arc::clone(&clock) as Arc<dyn Clock>,
     );
     let mut vt = VirtualTransport::new();
@@ -221,7 +254,7 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
     let mut driver = SimDriver {
         rng: StdRng::seed_from_u64(seed),
         clock,
-        checker: Checker::new(fx.task.clone(), &fx.base),
+        checker: Checker::new(fx.task.clone(), &initial, sc.quantized),
         meta: (0..sc.clients + 1).map(|_| VecDeque::new()).collect(),
         pending: HashMap::new(),
         next_id: 1,
@@ -414,15 +447,31 @@ impl SimDriver<'_> {
         Ok(())
     }
 
+    /// The alternate checkpoint a swap publishes, in the scenario's
+    /// flavor (quantized scenarios swap flavored files so the published
+    /// blob — not a re-quantization — is what shards restore).
+    fn alt_ckpt(&self, alt: usize) -> &'static ModelCheckpoint {
+        if self.sc.quantized {
+            &fixture().alts_q[alt]
+        } else {
+            &fixture().alts[alt]
+        }
+    }
+
     fn ev_swap(&mut self, step: usize) -> Result<(), String> {
         let alt = self.rng.random_range(0..fixture().alts.len() as u64) as usize;
         let id = self.fresh_id();
         let admin = self.admin_conn();
+        let path = if self.sc.quantized {
+            &fixture().alt_paths_q[alt]
+        } else {
+            &fixture().alt_paths[alt]
+        };
         self.vt.enqueue(
             admin,
             encode_line(&Request::Swap {
                 id,
-                path: fixture().alt_paths[alt].to_string_lossy().into_owned(),
+                path: path.to_string_lossy().into_owned(),
                 bump: Some(true),
             }),
             0,
@@ -650,8 +699,8 @@ impl SimDriver<'_> {
                             ack.model_version
                         ));
                     }
-                    self.checker
-                        .note_publish(ack.model_version, &fixture().alts[alt])?;
+                    let published = self.alt_ckpt(alt);
+                    self.checker.note_publish(ack.model_version, published)?;
                     Ok(format!("conn={conn} swap ack v{}", ack.model_version))
                 }
                 Response::Error { id: eid, message } if *eid == id => {

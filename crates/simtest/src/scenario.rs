@@ -104,6 +104,13 @@ pub struct Scenario {
     /// Client 0 is a straggler: every line it sends is delayed by the
     /// full `max_delay_ms`.
     pub straggler: bool,
+    /// Serve the **int8-quantized decoder flavor** on every shard: the
+    /// service runs with all shards listed in
+    /// `ServeConfig::quantized_shards`, the initial and swapped
+    /// checkpoints carry stored int8 blobs, and the checker's oracle
+    /// replicas quantize identically — bit-identity is checked *within*
+    /// the flavor, never across flavors.
+    pub quantized: bool,
     /// Event weights.
     pub weights: Weights,
 }
@@ -133,6 +140,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 0,
             max_advance_ms: 2,
             straggler: false,
+            quantized: false,
             weights: STEADY,
         },
         Scenario {
@@ -150,6 +158,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 0,
             max_advance_ms: 2,
             straggler: false,
+            quantized: false,
             weights: Weights {
                 swap: 6,
                 stats: 5,
@@ -171,6 +180,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 0,
             max_advance_ms: 2,
             straggler: false,
+            quantized: false,
             weights: Weights {
                 swap: 8,
                 freeze: 8,
@@ -193,6 +203,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 2,
             max_advance_ms: 6,
             straggler: false,
+            quantized: false,
             weights: Weights {
                 advance: 18,
                 ..STEADY
@@ -213,6 +224,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 0,
             max_advance_ms: 2,
             straggler: false,
+            quantized: false,
             weights: Weights {
                 refresh: 4,
                 stats: 5,
@@ -234,6 +246,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 0,
             max_advance_ms: 2,
             straggler: false,
+            quantized: false,
             weights: Weights {
                 refresh: 6,
                 freeze: 6,
@@ -256,6 +269,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 0,
             max_advance_ms: 2,
             straggler: false,
+            quantized: false,
             weights: Weights {
                 submit: 36,
                 deliver: 36,
@@ -278,6 +292,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 40,
             max_advance_ms: 10,
             straggler: true,
+            quantized: false,
             weights: Weights {
                 advance: 14,
                 disconnect: 2,
@@ -299,6 +314,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 0,
             max_advance_ms: 2,
             straggler: false,
+            quantized: false,
             weights: Weights {
                 submit: 16,
                 deliver: 16,
@@ -324,9 +340,33 @@ pub fn corpus() -> &'static [Scenario] {
             max_delay_ms: 0,
             max_advance_ms: 2,
             straggler: false,
+            quantized: false,
             weights: Weights {
                 swap: 3,
                 garbage: 4,
+                ..STEADY
+            },
+        },
+        Scenario {
+            name: "quantized-swap",
+            about: "all shards serve the int8 decoder flavor; flavored checkpoints swap and refresh under load",
+            shards: 2,
+            max_batch: 8,
+            cache_capacity: 64,
+            clients: 3,
+            default_steps: 280,
+            universe: 10,
+            models: true,
+            mixed_backends: true,
+            deadline_ms: None,
+            max_delay_ms: 0,
+            max_advance_ms: 2,
+            straggler: false,
+            quantized: true,
+            weights: Weights {
+                swap: 5,
+                refresh: 3,
+                stats: 5,
                 ..STEADY
             },
         },

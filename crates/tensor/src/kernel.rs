@@ -1,0 +1,1133 @@
+//! Runtime-dispatched CPU micro-kernels: the SIMD substrate under every
+//! matrix product and element-wise activation in the workspace.
+//!
+//! One [`Kernel`] level is selected per process (see [`active`]): AVX2+FMA
+//! where the host supports it, SSE2 on any other x86-64, and a portable
+//! scalar path everywhere else. The scalar path is always compiled and can
+//! be forced with `AI2_KERNEL=scalar` (likewise `sse2` / `avx2`), which is
+//! how the CI `kernel-parity` job runs the whole tensor/nn test suite once
+//! per level and how any host can reproduce the exact numbers of another.
+//!
+//! All GEMM entry points **accumulate** (`out += …`) over row-major slices,
+//! so the same kernels serve the forward pass (into zeroed buffers) and the
+//! backward pass (into existing gradient buffers).
+//!
+//! Numerical contract: for a fixed output element, every kernel level sums
+//! over the contraction dimension in the same order, so SIMD results differ
+//! from scalar only by FMA rounding (`gemm`/`gemm_tn`) or by lane-parallel
+//! re-association (`gemm_nt`, `matvec`, reductions) — bounded well under
+//! `1e-5` absolute for unit-scale data, and pinned by the seeded parity
+//! property tests at the bottom of this file. `relu_to` / `leaky_relu_to`
+//! are bit-exact across levels.
+
+use std::sync::OnceLock;
+
+/// Cache block edge for the scalar GEMM kernel, chosen so three `BLOCK²`
+/// f32 tiles fit comfortably in a 32 KiB L1 cache.
+const BLOCK: usize = 48;
+
+/// One instruction-set level of the micro-kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Portable scalar loops (cache-blocked); compiled everywhere.
+    Scalar,
+    /// 4-lane SSE2 — the x86-64 baseline, available on every x86-64.
+    Sse2,
+    /// 8-lane AVX2 with FMA.
+    Avx2,
+}
+
+impl Kernel {
+    /// Every level, in increasing width order.
+    pub const ALL: [Kernel; 3] = [Kernel::Scalar, Kernel::Sse2, Kernel::Avx2];
+
+    /// The wire/stats/env name of this level.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Sse2 => "sse2",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses an `AI2_KERNEL` spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Kernel> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Kernel::Scalar),
+            "sse2" => Some(Kernel::Sse2),
+            "avx2" => Some(Kernel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether this level can run on the current host.
+    pub fn is_available(self) -> bool {
+        match self {
+            Kernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// The widest level the host supports.
+pub fn best_available() -> Kernel {
+    if Kernel::Avx2.is_available() {
+        Kernel::Avx2
+    } else if Kernel::Sse2.is_available() {
+        Kernel::Sse2
+    } else {
+        Kernel::Scalar
+    }
+}
+
+static ACTIVE: OnceLock<Kernel> = OnceLock::new();
+
+/// The process-wide kernel level, detected once: the `AI2_KERNEL`
+/// environment override when set (and runnable on this host — an
+/// unavailable or unknown spelling falls back with a warning), otherwise
+/// [`best_available`].
+pub fn active() -> Kernel {
+    *ACTIVE.get_or_init(|| match std::env::var("AI2_KERNEL") {
+        Ok(spec) => match Kernel::parse(&spec) {
+            Some(k) if k.is_available() => k,
+            Some(k) => {
+                eprintln!(
+                    "[ai2-tensor] AI2_KERNEL={} is not available on this host; using {}",
+                    k.name(),
+                    best_available().name()
+                );
+                best_available()
+            }
+            None => {
+                eprintln!(
+                    "[ai2-tensor] unknown AI2_KERNEL {spec:?} (expected scalar|sse2|avx2); \
+                     using {}",
+                    best_available().name()
+                );
+                best_available()
+            }
+        },
+        Err(_) => best_available(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: out += a × b (all row-major, accumulating)
+// ---------------------------------------------------------------------------
+
+/// `out += a × b` with `a: [m,k]`, `b: [k,n]`, `out: [m,n]`.
+pub fn gemm(kn: Kernel, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(kn.is_available());
+    // a(i, kk) = a[i*k + kk*1]
+    dispatch_gemm(kn, a, b, out, m, k, n, k, 1);
+}
+
+/// `out += aᵀ × b` with `a: [k,m]`, `b: [k,n]`, `out: [m,n]` — the
+/// transpose is never formed.
+pub fn gemm_tn(kn: Kernel, a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(kn.is_available());
+    // aᵀ(i, kk) = a[kk*m + i]
+    dispatch_gemm(kn, a, b, out, m, k, n, 1, m);
+}
+
+/// The broadcast-A kernels, generic over A's element stride:
+/// `A(i, kk) = a[i*ra + kk*ca]`.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_gemm(
+    kn: Kernel,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ra: usize,
+    ca: usize,
+) {
+    match kn {
+        Kernel::Scalar => gemm_scalar(a, b, out, m, k, n, ra, ca),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => gemm_sse2(a, b, out, m, k, n, ra, ca),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Kernel::Avx2 is only handed out when avx2+fma are
+        // detected (see `Kernel::is_available` / `active`).
+        Kernel::Avx2 => unsafe { gemm_avx2(a, b, out, m, k, n, ra, ca) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => gemm_scalar(a, b, out, m, k, n, ra, ca),
+    }
+}
+
+/// `out += a × bᵀ` with `a: [m,k]`, `b: [n,k]`, `out: [m,n]` — every
+/// output element is a dot product of two contiguous rows.
+pub fn gemm_nt(kn: Kernel, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(kn.is_available());
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o += dot(kn, arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// `out[i] += a_row_i · v` with `a: [m,k]`, `v: [k]`, `out: [m]`.
+pub fn matvec(kn: Kernel, a: &[f32], v: &[f32], out: &mut [f32], m: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(v.len(), k);
+    debug_assert_eq!(out.len(), m);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o += dot(kn, &a[i * k..(i + 1) * k], v);
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(kn: Kernel, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match kn {
+        Kernel::Scalar => dot_scalar(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => dot_sse2(a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies detected avx2+fma.
+        Kernel::Avx2 => unsafe { dot_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dot_scalar(a, b),
+    }
+}
+
+/// Dot product of two equal-length `i8` slices with `i32` accumulation —
+/// the inner loop of the int8 quantized decoder.
+pub fn dot_i8(kn: Kernel, a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    match kn {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies detected avx2+fma.
+        Kernel::Avx2 => unsafe { dot_i8_avx2(a, b) },
+        _ => dot_i8_scalar(a, b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise activations and row reductions
+// ---------------------------------------------------------------------------
+
+/// `out[i] = max(x[i], 0)` — bit-exact across kernel levels.
+pub fn relu_to(kn: Kernel, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    match kn {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => relu_sse2(x, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies detected avx2+fma.
+        Kernel::Avx2 => unsafe { relu_avx2(x, out) },
+        _ => {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = v.max(0.0);
+            }
+        }
+    }
+}
+
+/// `out[i] = x[i] >= 0 ? x[i] : slope·x[i]` — bit-exact across levels
+/// (the SIMD form `max(x,0) + slope·min(x,0)` produces the same bits for
+/// every finite input).
+pub fn leaky_relu_to(kn: Kernel, x: &[f32], slope: f32, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    match kn {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => leaky_relu_sse2(x, slope, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies detected avx2+fma.
+        Kernel::Avx2 => unsafe { leaky_relu_avx2(x, slope, out) },
+        _ => {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = if v >= 0.0 { v } else { slope * v };
+            }
+        }
+    }
+}
+
+/// GELU (tanh approximation), matching the scalar formula
+/// `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))` to ≤ 1e-5 absolute.
+pub fn gelu_to(kn: Kernel, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    match kn {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies detected avx2+fma.
+        Kernel::Avx2 => unsafe { gelu_avx2(x, out) },
+        _ => {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = gelu_scalar(v);
+            }
+        }
+    }
+}
+
+/// The scalar GELU forward (tanh approximation) every level approximates.
+#[inline]
+pub fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // √(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Sum of a slice (lane-parallel on SIMD levels).
+pub fn sum(kn: Kernel, x: &[f32]) -> f32 {
+    match kn {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies detected avx2+fma.
+        Kernel::Avx2 => unsafe { sum_avx2(x) },
+        _ => x.iter().sum(),
+    }
+}
+
+/// Sum of squared deviations from `mean` — the layernorm variance
+/// numerator.
+pub fn sq_dev_sum(kn: Kernel, x: &[f32], mean: f32) -> f32 {
+    match kn {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies detected avx2+fma.
+        Kernel::Avx2 => unsafe { sq_dev_sum_avx2(x, mean) },
+        _ => x.iter().map(|v| (v - mean) * (v - mean)).sum(),
+    }
+}
+
+/// One layernorm row: `out[j] = (x[j] − mean)·inv_std·gamma[j] + beta[j]`.
+pub fn layernorm_row(
+    kn: Kernel,
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    mean: f32,
+    inv_std: f32,
+    out: &mut [f32],
+) {
+    debug_assert!(x.len() == gamma.len() && x.len() == beta.len() && x.len() == out.len());
+    match kn {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies detected avx2+fma.
+        Kernel::Avx2 => unsafe { layernorm_row_avx2(x, gamma, beta, mean, inv_std, out) },
+        _ => {
+            for ((o, &v), (&g, &bt)) in out.iter_mut().zip(x).zip(gamma.iter().zip(beta)) {
+                *o = (v - mean) * inv_std * g + bt;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_scalar(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ra: usize,
+    ca: usize,
+) {
+    for i0 in (0..m).step_by(BLOCK) {
+        let imax = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let kmax = (k0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let jmax = (j0 + BLOCK).min(n);
+                for i in i0..imax {
+                    let orow = &mut out[i * n + j0..i * n + jmax];
+                    for kk in k0..kmax {
+                        let av = a[i * ra + kk * ca];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n + j0..kk * n + jmax];
+                        for (ov, &bv) in orow.iter_mut().zip(brow) {
+                            *ov += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| i32::from(x) * i32::from(y))
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 kernels (baseline x86-64: the intrinsics are statically available)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use std::arch::x86_64::*;
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn gemm_sse2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        ra: usize,
+        ca: usize,
+    ) {
+        // SAFETY: SSE2 is part of the x86-64 baseline; all pointer
+        // arithmetic stays within the slice bounds established by the
+        // callers' debug asserts and the loop limits below.
+        unsafe {
+            let bp = b.as_ptr();
+            let op = out.as_mut_ptr();
+            let mut j = 0;
+            while j + 8 <= n {
+                for i in 0..m {
+                    let mut acc0 = _mm_setzero_ps();
+                    let mut acc1 = _mm_setzero_ps();
+                    for kk in 0..k {
+                        let av = _mm_set1_ps(*a.get_unchecked(i * ra + kk * ca));
+                        let b0 = _mm_loadu_ps(bp.add(kk * n + j));
+                        let b1 = _mm_loadu_ps(bp.add(kk * n + j + 4));
+                        acc0 = _mm_add_ps(acc0, _mm_mul_ps(av, b0));
+                        acc1 = _mm_add_ps(acc1, _mm_mul_ps(av, b1));
+                    }
+                    let p = op.add(i * n + j);
+                    _mm_storeu_ps(p, _mm_add_ps(_mm_loadu_ps(p), acc0));
+                    _mm_storeu_ps(p.add(4), _mm_add_ps(_mm_loadu_ps(p.add(4)), acc1));
+                }
+                j += 8;
+            }
+            if j < n {
+                for i in 0..m {
+                    for kk in 0..k {
+                        let av = *a.get_unchecked(i * ra + kk * ca);
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for jj in j..n {
+                            *op.add(i * n + jj) += av * *bp.add(kk * n + jj);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len();
+        // SAFETY: SSE2 baseline; bounds respected by the chunked loop.
+        unsafe {
+            let (ap, bp) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = _mm_setzero_ps();
+            let mut acc1 = _mm_setzero_ps();
+            let mut kk = 0;
+            while kk + 8 <= k {
+                acc0 = _mm_add_ps(
+                    acc0,
+                    _mm_mul_ps(_mm_loadu_ps(ap.add(kk)), _mm_loadu_ps(bp.add(kk))),
+                );
+                acc1 = _mm_add_ps(
+                    acc1,
+                    _mm_mul_ps(_mm_loadu_ps(ap.add(kk + 4)), _mm_loadu_ps(bp.add(kk + 4))),
+                );
+                kk += 8;
+            }
+            let mut acc = _mm_add_ps(acc0, acc1);
+            // horizontal sum
+            acc = _mm_add_ps(acc, _mm_movehl_ps(acc, acc));
+            acc = _mm_add_ss(acc, _mm_shuffle_ps(acc, acc, 1));
+            let mut total = _mm_cvtss_f32(acc);
+            while kk < k {
+                total += *ap.add(kk) * *bp.add(kk);
+                kk += 1;
+            }
+            total
+        }
+    }
+
+    pub(super) fn relu_sse2(x: &[f32], out: &mut [f32]) {
+        // SAFETY: SSE2 baseline; bounds respected by the chunked loop.
+        unsafe {
+            let zero = _mm_setzero_ps();
+            let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+            let mut i = 0;
+            while i + 4 <= x.len() {
+                _mm_storeu_ps(op.add(i), _mm_max_ps(_mm_loadu_ps(xp.add(i)), zero));
+                i += 4;
+            }
+            while i < x.len() {
+                *op.add(i) = (*xp.add(i)).max(0.0);
+                i += 1;
+            }
+        }
+    }
+
+    pub(super) fn leaky_relu_sse2(x: &[f32], slope: f32, out: &mut [f32]) {
+        // SAFETY: SSE2 baseline; bounds respected by the chunked loop.
+        unsafe {
+            let zero = _mm_setzero_ps();
+            let sl = _mm_set1_ps(slope);
+            let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+            let mut i = 0;
+            while i + 4 <= x.len() {
+                let v = _mm_loadu_ps(xp.add(i));
+                let pos = _mm_max_ps(v, zero);
+                let neg = _mm_mul_ps(sl, _mm_min_ps(v, zero));
+                _mm_storeu_ps(op.add(i), _mm_add_ps(pos, neg));
+                i += 4;
+            }
+            while i < x.len() {
+                let v = *xp.add(i);
+                *op.add(i) = if v >= 0.0 { v } else { slope * v };
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use sse2::{dot_sse2, gemm_sse2, leaky_relu_sse2, relu_sse2};
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA kernels
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// 4-row × 16-column register-tiled GEMM strip with A broadcast:
+    /// `A(i, kk) = a[i*ra + kk*ca]`. Accumulation over `kk` happens in the
+    /// same order as the scalar kernel for every output element.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2+fma; slice dims must satisfy the caller contracts of
+    /// [`super::gemm`] / [`super::gemm_tn`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn gemm_avx2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        ra: usize,
+        ca: usize,
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut i = 0;
+            while i + 4 <= m {
+                let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+                for kk in 0..k {
+                    let b0 = _mm256_loadu_ps(bp.add(kk * n + j));
+                    let b1 = _mm256_loadu_ps(bp.add(kk * n + j + 8));
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let av = _mm256_set1_ps(*ap.add((i + r) * ra + kk * ca));
+                        acc_r[0] = _mm256_fmadd_ps(av, b0, acc_r[0]);
+                        acc_r[1] = _mm256_fmadd_ps(av, b1, acc_r[1]);
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    let p = op.add((i + r) * n + j);
+                    _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), acc_r[0]));
+                    _mm256_storeu_ps(p.add(8), _mm256_add_ps(_mm256_loadu_ps(p.add(8)), acc_r[1]));
+                }
+                i += 4;
+            }
+            while i < m {
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                for kk in 0..k {
+                    let av = _mm256_set1_ps(*ap.add(i * ra + kk * ca));
+                    acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(kk * n + j)), acc0);
+                    acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(kk * n + j + 8)), acc1);
+                }
+                let p = op.add(i * n + j);
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), acc0));
+                _mm256_storeu_ps(p.add(8), _mm256_add_ps(_mm256_loadu_ps(p.add(8)), acc1));
+                i += 1;
+            }
+            j += 16;
+        }
+        while j + 8 <= n {
+            for i in 0..m {
+                let mut acc = _mm256_setzero_ps();
+                for kk in 0..k {
+                    let av = _mm256_set1_ps(*ap.add(i * ra + kk * ca));
+                    acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(kk * n + j)), acc);
+                }
+                let p = op.add(i * n + j);
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), acc));
+            }
+            j += 8;
+        }
+        if j < n {
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = *ap.add(i * ra + kk * ca);
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for jj in j..n {
+                        *op.add(i * n + jj) += av * *bp.add(kk * n + jj);
+                    }
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx2+fma; `a.len() == b.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut kk = 0;
+        while kk + 16 <= k {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(kk)),
+                _mm256_loadu_ps(bp.add(kk)),
+                acc0,
+            );
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(kk + 8)),
+                _mm256_loadu_ps(bp.add(kk + 8)),
+                acc1,
+            );
+            kk += 16;
+        }
+        while kk + 8 <= k {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(kk)),
+                _mm256_loadu_ps(bp.add(kk)),
+                acc0,
+            );
+            kk += 8;
+        }
+        let mut total = hsum256(_mm256_add_ps(acc0, acc1));
+        while kk < k {
+            total += *ap.add(kk) * *bp.add(kk);
+            kk += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx2; `a.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+        let k = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_si256();
+        let mut kk = 0;
+        while kk + 16 <= k {
+            let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(kk).cast()));
+            let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(kk).cast()));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+            kk += 16;
+        }
+        let lo = _mm256_castsi256_si128(acc);
+        let hi = _mm256_extracti128_si256(acc, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_11_10));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        let mut total = _mm_cvtsi128_si32(s);
+        while kk < k {
+            total += i32::from(*ap.add(kk)) * i32::from(*bp.add(kk));
+            kk += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx2; `x.len() == out.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn relu_avx2(x: &[f32], out: &mut [f32]) {
+        let zero = _mm256_setzero_ps();
+        let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= x.len() {
+            _mm256_storeu_ps(op.add(i), _mm256_max_ps(_mm256_loadu_ps(xp.add(i)), zero));
+            i += 8;
+        }
+        while i < x.len() {
+            *op.add(i) = (*xp.add(i)).max(0.0);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx2; `x.len() == out.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn leaky_relu_avx2(x: &[f32], slope: f32, out: &mut [f32]) {
+        let zero = _mm256_setzero_ps();
+        let sl = _mm256_set1_ps(slope);
+        let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= x.len() {
+            let v = _mm256_loadu_ps(xp.add(i));
+            let pos = _mm256_max_ps(v, zero);
+            let neg = _mm256_mul_ps(sl, _mm256_min_ps(v, zero));
+            _mm256_storeu_ps(op.add(i), _mm256_add_ps(pos, neg));
+            i += 8;
+        }
+        while i < x.len() {
+            let v = *xp.add(i);
+            *op.add(i) = if v >= 0.0 { v } else { slope * v };
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx2+fma; `x.len() == out.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gelu_avx2(x: &[f32], out: &mut [f32]) {
+        const C: f32 = 0.797_884_6; // √(2/π)
+        let c = _mm256_set1_ps(C);
+        let c3 = _mm256_set1_ps(0.044715);
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= x.len() {
+            let v = _mm256_loadu_ps(xp.add(i));
+            // u = C·(x + 0.044715·x³)
+            let v2 = _mm256_mul_ps(v, v);
+            let inner = _mm256_fmadd_ps(_mm256_mul_ps(c3, v2), v, v);
+            let u = _mm256_mul_ps(c, inner);
+            let t = tanh256(u);
+            let y = _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t));
+            _mm256_storeu_ps(op.add(i), y);
+            i += 8;
+        }
+        while i < x.len() {
+            *op.add(i) = super::gelu_scalar(*xp.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn sum_avx2(x: &[f32]) -> f32 {
+        let xp = x.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= x.len() {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(xp.add(i)));
+            i += 8;
+        }
+        let mut total = hsum256(acc);
+        while i < x.len() {
+            total += *xp.add(i);
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn sq_dev_sum_avx2(x: &[f32], mean: f32) -> f32 {
+        let mu = _mm256_set1_ps(mean);
+        let xp = x.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= x.len() {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), mu);
+            acc = _mm256_fmadd_ps(d, d, acc);
+            i += 8;
+        }
+        let mut total = hsum256(acc);
+        while i < x.len() {
+            let d = *xp.add(i) - mean;
+            total += d * d;
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx2+fma; all slices equal length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn layernorm_row_avx2(
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        mean: f32,
+        inv_std: f32,
+        out: &mut [f32],
+    ) {
+        let mu = _mm256_set1_ps(mean);
+        let is = _mm256_set1_ps(inv_std);
+        let (xp, gp, btp, op) = (x.as_ptr(), gamma.as_ptr(), beta.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= x.len() {
+            let xh = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), mu), is);
+            let y = _mm256_fmadd_ps(xh, _mm256_loadu_ps(gp.add(i)), _mm256_loadu_ps(btp.add(i)));
+            _mm256_storeu_ps(op.add(i), y);
+            i += 8;
+        }
+        while i < x.len() {
+            *op.add(i) = (*xp.add(i) - mean) * inv_std * *gp.add(i) + *btp.add(i);
+            i += 1;
+        }
+    }
+
+    #[inline]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let mut s = _mm_add_ps(lo, hi);
+        s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Vector tanh via the exponential identity
+    /// `tanh(u) = 1 − 2/(e^{2u} + 1)`, with a Cephes-style `expf`.
+    #[inline]
+    unsafe fn tanh256(u: __m256) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        let two = _mm256_set1_ps(2.0);
+        let e = exp256(_mm256_mul_ps(two, u));
+        _mm256_sub_ps(one, _mm256_div_ps(two, _mm256_add_ps(e, one)))
+    }
+
+    /// Cephes-style vectorized `expf`: range-reduced degree-5 polynomial,
+    /// ~1 ulp over the clamped domain.
+    #[inline]
+    unsafe fn exp256(x: __m256) -> __m256 {
+        let hi = _mm256_set1_ps(88.376_26);
+        let lo = _mm256_set1_ps(-87.336_54);
+        let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
+        let ln2_hi = _mm256_set1_ps(0.693_359_4);
+        let ln2_lo = _mm256_set1_ps(-2.121_944_4e-4);
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+
+        let x = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+        // n = round(x / ln 2)
+        let n = _mm256_floor_ps(_mm256_fmadd_ps(x, log2e, half));
+        // r = x − n·ln2 (split constant for accuracy)
+        let r = _mm256_fnmadd_ps(n, ln2_hi, x);
+        let r = _mm256_fnmadd_ps(n, ln2_lo, r);
+        // polynomial e^r ≈ 1 + r + r²·P(r)
+        let c0 = _mm256_set1_ps(1.987_569_1e-4);
+        let c1 = _mm256_set1_ps(1.398_199_9e-3);
+        let c2 = _mm256_set1_ps(8.333_452e-3);
+        let c3 = _mm256_set1_ps(4.166_579_6e-2);
+        let c4 = _mm256_set1_ps(1.666_666_6e-1);
+        let c5 = _mm256_set1_ps(0.5);
+        let mut p = c0;
+        p = _mm256_fmadd_ps(p, r, c1);
+        p = _mm256_fmadd_ps(p, r, c2);
+        p = _mm256_fmadd_ps(p, r, c3);
+        p = _mm256_fmadd_ps(p, r, c4);
+        p = _mm256_fmadd_ps(p, r, c5);
+        let r2 = _mm256_mul_ps(r, r);
+        let e = _mm256_add_ps(_mm256_fmadd_ps(p, r2, r), one);
+        // scale by 2^n
+        let n_i = _mm256_cvtps_epi32(n);
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32(
+            _mm256_add_epi32(n_i, _mm256_set1_epi32(127)),
+            23,
+        ));
+        _mm256_mul_ps(e, pow2)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{
+    dot_avx2, dot_i8_avx2, gelu_avx2, gemm_avx2, layernorm_row_avx2, leaky_relu_avx2, relu_avx2,
+    sq_dev_sum_avx2, sum_avx2,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use crate::Tensor;
+
+    /// Every level the host can actually run (scalar always; the property
+    /// tests exercise whatever SIMD the machine has).
+    fn runnable() -> Vec<Kernel> {
+        Kernel::ALL
+            .into_iter()
+            .filter(|k| k.is_available())
+            .collect()
+    }
+
+    fn rand_vec(r: &mut rand::rngs::StdRng, len: usize) -> Vec<f32> {
+        rng::rand_uniform(r, &[len.max(1)], -1.0, 1.0).into_vec()
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::parse("AVX2"), Some(Kernel::Avx2));
+        assert_eq!(Kernel::parse("neon"), None);
+    }
+
+    #[test]
+    fn active_is_available() {
+        assert!(active().is_available());
+        assert!(best_available().is_available());
+    }
+
+    /// Seeded property test: every runnable level agrees with the scalar
+    /// reference on ragged shapes from 1×1×1 up past 300 on every axis
+    /// (never a multiple of the vector width only).
+    #[test]
+    fn gemm_parity_across_kernels_on_ragged_shapes() {
+        let mut r = rng::seeded(0x51AD);
+        let shapes = [
+            (1, 1, 1),
+            (1, 7, 1),
+            (3, 5, 2),
+            (4, 16, 8),
+            (5, 9, 17),
+            (13, 31, 29),
+            (48, 48, 48),
+            (63, 129, 65),
+            (97, 51, 203),
+            (300, 300, 300),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = rand_vec(&mut r, m * k);
+            let b = rand_vec(&mut r, k * n);
+            let mut reference = vec![0.0f32; m * n];
+            gemm(Kernel::Scalar, &a, &b, &mut reference, m, k, n);
+            for kn in runnable() {
+                let mut got = vec![0.0f32; m * n];
+                gemm(kn, &a, &b, &mut got, m, k, n);
+                let max_diff = got
+                    .iter()
+                    .zip(&reference)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(
+                    max_diff <= 1e-5 * (k as f32).max(1.0).sqrt(),
+                    "{} gemm diverged on {m}×{k}×{n}: {max_diff}",
+                    kn.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_and_nt_parity_across_kernels() {
+        let mut r = rng::seeded(0x51AE);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (17, 33, 9),
+            (66, 130, 54),
+            (127, 63, 255),
+        ] {
+            let a_tn = rand_vec(&mut r, k * m); // [k, m]
+            let a_nt = rand_vec(&mut r, m * k); // [m, k]
+            let b = rand_vec(&mut r, k * n); // [k, n]
+            let b_nt = rand_vec(&mut r, n * k); // [n, k]
+            let mut ref_tn = vec![0.0f32; m * n];
+            let mut ref_nt = vec![0.0f32; m * n];
+            gemm_tn(Kernel::Scalar, &a_tn, &b, &mut ref_tn, k, m, n);
+            gemm_nt(Kernel::Scalar, &a_nt, &b_nt, &mut ref_nt, m, k, n);
+            for kn in runnable() {
+                let mut tn = vec![0.0f32; m * n];
+                let mut nt = vec![0.0f32; m * n];
+                gemm_tn(kn, &a_tn, &b, &mut tn, k, m, n);
+                gemm_nt(kn, &a_nt, &b_nt, &mut nt, m, k, n);
+                let tol = 1e-5 * (k as f32).max(1.0).sqrt();
+                for (got, reference, what) in [(&tn, &ref_tn, "tn"), (&nt, &ref_nt, "nt")] {
+                    let max_diff = got
+                        .iter()
+                        .zip(reference.iter())
+                        .map(|(x, y)| (x - y).abs())
+                        .fold(0.0f32, f32::max);
+                    assert!(
+                        max_diff <= tol,
+                        "{} gemm_{what} diverged on {m}×{k}×{n}: {max_diff}",
+                        kn.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_dot_parity() {
+        let mut r = rng::seeded(0x51AF);
+        for &(m, k) in &[(1, 1), (5, 3), (33, 65), (120, 257)] {
+            let a = rand_vec(&mut r, m * k);
+            let v = rand_vec(&mut r, k);
+            let mut reference = vec![0.0f32; m];
+            matvec(Kernel::Scalar, &a, &v, &mut reference, m, k);
+            for kn in runnable() {
+                let mut got = vec![0.0f32; m];
+                matvec(kn, &a, &v, &mut got, m, k);
+                for (x, y) in got.iter().zip(&reference) {
+                    assert!((x - y).abs() <= 1e-5, "{} matvec {m}×{k}", kn.name());
+                }
+                let d = dot(kn, &a[..k], &v);
+                assert!((d - dot(Kernel::Scalar, &a[..k], &v)).abs() <= 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_and_leaky_relu_are_bit_exact_across_kernels() {
+        let mut r = rng::seeded(0x51B0);
+        for len in [1usize, 7, 8, 31, 300] {
+            let x = rand_vec(&mut r, len);
+            let mut reference = vec![0.0f32; len];
+            relu_to(Kernel::Scalar, &x, &mut reference);
+            let mut ref_leaky = vec![0.0f32; len];
+            leaky_relu_to(Kernel::Scalar, &x, 0.2, &mut ref_leaky);
+            for kn in runnable() {
+                let mut got = vec![0.0f32; len];
+                relu_to(kn, &x, &mut got);
+                assert_eq!(got, reference, "{} relu len={len}", kn.name());
+                let mut leaky = vec![0.0f32; len];
+                leaky_relu_to(kn, &x, 0.2, &mut leaky);
+                for (a, b) in leaky.iter().zip(&ref_leaky) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} leaky len={len}", kn.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_parity_within_tolerance() {
+        let mut r = rng::seeded(0x51B1);
+        // cover the saturated tails as well as the active region
+        let mut x = rand_vec(&mut r, 301);
+        for (i, v) in x.iter_mut().enumerate() {
+            *v *= 1.0 + (i % 13) as f32;
+        }
+        x.extend_from_slice(&[-30.0, -8.0, 0.0, 8.0, 30.0]);
+        let mut reference = vec![0.0f32; x.len()];
+        gelu_to(Kernel::Scalar, &x, &mut reference);
+        for kn in runnable() {
+            let mut got = vec![0.0f32; x.len()];
+            gelu_to(kn, &x, &mut got);
+            for ((&g, &e), &v) in got.iter().zip(&reference).zip(&x) {
+                assert!(
+                    (g - e).abs() <= 1e-5,
+                    "{} gelu({v}) = {g}, scalar {e}",
+                    kn.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_and_layernorm_parity() {
+        let mut r = rng::seeded(0x51B2);
+        for len in [1usize, 5, 16, 33, 300] {
+            let x = rand_vec(&mut r, len);
+            let gamma = rand_vec(&mut r, len);
+            let beta = rand_vec(&mut r, len);
+            let mu = sum(Kernel::Scalar, &x) / len as f32;
+            let var = sq_dev_sum(Kernel::Scalar, &x, mu) / len as f32;
+            let inv_std = 1.0 / (var + 1e-5).sqrt();
+            let mut reference = vec![0.0f32; len];
+            layernorm_row(
+                Kernel::Scalar,
+                &x,
+                &gamma,
+                &beta,
+                mu,
+                inv_std,
+                &mut reference,
+            );
+            for kn in runnable() {
+                assert!((sum(kn, &x) - mu * len as f32).abs() <= 1e-4);
+                assert!((sq_dev_sum(kn, &x, mu) - var * len as f32).abs() <= 1e-4);
+                let mut got = vec![0.0f32; len];
+                layernorm_row(kn, &x, &gamma, &beta, mu, inv_std, &mut got);
+                for (a, b) in got.iter().zip(&reference) {
+                    assert!((a - b).abs() <= 1e-5, "{} layernorm len={len}", kn.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i8_matches_scalar_reference() {
+        let mut r = rng::seeded(0x51B3);
+        for len in [1usize, 15, 16, 17, 64, 301] {
+            let a: Vec<i8> = rand_vec(&mut r, len)
+                .into_iter()
+                .map(|v| (v * 127.0) as i8)
+                .collect();
+            let b: Vec<i8> = rand_vec(&mut r, len)
+                .into_iter()
+                .map(|v| (v * 127.0) as i8)
+                .collect();
+            let reference: i32 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| i32::from(x) * i32::from(y))
+                .sum();
+            for kn in runnable() {
+                assert_eq!(dot_i8(kn, &a, &b), reference, "{} len={len}", kn.name());
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_adds_onto_existing_output() {
+        let a = Tensor::eye(3);
+        for kn in runnable() {
+            let mut out = vec![1.0f32; 9];
+            gemm(kn, a.as_slice(), a.as_slice(), &mut out, 3, 3, 3);
+            // out = 1 + I
+            assert_eq!(out[0], 2.0);
+            assert_eq!(out[1], 1.0);
+            assert_eq!(out[4], 2.0, "{}", kn.name());
+        }
+    }
+}

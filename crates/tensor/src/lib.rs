@@ -28,6 +28,7 @@ mod matmul;
 mod ops;
 mod tensor;
 
+pub mod kernel;
 pub mod linalg;
 pub mod rng;
 pub mod stats;

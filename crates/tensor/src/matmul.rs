@@ -1,15 +1,12 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication entry points.
 //!
-//! A simple cache-blocked `i-k-j` kernel is fast enough for the model sizes
-//! in this repository (hidden dimensions ≤ 256): training the full
-//! AIrchitect v2 model is dominated by Rust-level op dispatch, not GEMM
-//! throughput.
+//! All four products (`matmul`, `matmul_tn`, `matmul_nt`, `matvec`) route
+//! through the shared micro-kernels in [`crate::kernel`], which dispatch
+//! once per process to the widest SIMD level the host supports (AVX2+FMA,
+//! SSE2, or the portable scalar path — see `AI2_KERNEL`).
 
+use crate::kernel;
 use crate::Tensor;
-
-/// Cache block edge for the matmul kernels, chosen so three `BLOCK²` f32
-/// tiles fit comfortably in a 32 KiB L1 cache.
-const BLOCK: usize = 48;
 
 impl Tensor {
     /// Matrix product `self × rhs` for rank-2 tensors.
@@ -28,7 +25,15 @@ impl Tensor {
             rhs.shape()
         );
         let mut out = Tensor::zeros(&[m, n]);
-        matmul_into(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
+        kernel::gemm(
+            kernel::active(),
+            self.as_slice(),
+            rhs.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
         out
     }
 
@@ -50,23 +55,16 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
-        let a = self.as_slice();
-        let b = rhs.as_slice();
         let mut out = Tensor::zeros(&[m, n]);
-        let o = out.as_mut_slice();
-        // aᵀ[i, kk] = a[kk, i]
-        for kk in 0..k {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av != 0.0 {
-                    let orow = &mut o[i * n..(i + 1) * n];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
-                }
-            }
-        }
+        kernel::gemm_tn(
+            kernel::active(),
+            self.as_slice(),
+            rhs.as_slice(),
+            out.as_mut_slice(),
+            k,
+            m,
+            n,
+        );
         out
     }
 
@@ -85,36 +83,41 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
-        let a = self.as_slice();
-        let b = rhs.as_slice();
         let mut out = Tensor::zeros(&[m, n]);
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                orow[j] = acc;
-            }
-        }
+        kernel::gemm_nt(
+            kernel::active(),
+            self.as_slice(),
+            rhs.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
         out
     }
 
-    /// Transpose of a rank-2 tensor.
+    /// Transpose of a rank-2 tensor, copied in cache-friendly square tiles
+    /// so both the source rows and destination rows stay resident while a
+    /// tile is being turned.
     ///
     /// # Panics
     ///
     /// Panics if the tensor is not rank 2.
     pub fn transpose2d(&self) -> Tensor {
+        const TILE: usize = 32;
         let (r, c) = (self.rows(), self.cols());
         let mut out = Tensor::zeros(&[c, r]);
-        for i in 0..r {
-            for j in 0..c {
-                out[(j, i)] = self[(i, j)];
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for i0 in (0..r).step_by(TILE) {
+            let imax = (i0 + TILE).min(r);
+            for j0 in (0..c).step_by(TILE) {
+                let jmax = (j0 + TILE).min(c);
+                for i in i0..imax {
+                    for j in j0..jmax {
+                        dst[j * r + i] = src[i * c + j];
+                    }
+                }
             }
         }
         out
@@ -128,45 +131,16 @@ impl Tensor {
     pub fn matvec(&self, v: &Tensor) -> Tensor {
         let (m, k) = (self.rows(), self.cols());
         assert_eq!(v.len(), k, "matvec: vector length {} != cols {k}", v.len());
-        let mut out = Vec::with_capacity(m);
-        let vv = v.as_slice();
-        for i in 0..m {
-            out.push(self.row(i).iter().zip(vv).map(|(a, b)| a * b).sum::<f32>());
-        }
-        Tensor::from_slice(&out)
-    }
-}
-
-/// `out += a × b` with `a: [m,k]`, `b: [k,n]`, `out: [m,n]`, all row-major.
-///
-/// Exposed for the `ai2-nn` backward pass, which accumulates into existing
-/// gradient buffers.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i0 in (0..m).step_by(BLOCK) {
-        let imax = (i0 + BLOCK).min(m);
-        for k0 in (0..k).step_by(BLOCK) {
-            let kmax = (k0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let jmax = (j0 + BLOCK).min(n);
-                for i in i0..imax {
-                    let arow = &a[i * k..(i + 1) * k];
-                    let orow = &mut out[i * n + j0..i * n + jmax];
-                    for kk in k0..kmax {
-                        let av = arow[kk];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[kk * n + j0..kk * n + jmax];
-                        for (ov, &bv) in orow.iter_mut().zip(brow) {
-                            *ov += av * bv;
-                        }
-                    }
-                }
-            }
-        }
+        let mut out = Tensor::zeros(&[m]);
+        kernel::matvec(
+            kernel::active(),
+            self.as_slice(),
+            v.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+        );
+        out
     }
 }
 
@@ -243,10 +217,36 @@ mod tests {
     }
 
     #[test]
+    fn transpose_blocked_matches_elementwise_on_ragged_shape() {
+        let mut r = rng::seeded(13);
+        let a = rng::rand_uniform(&mut r, &[67, 45], -1.0, 1.0);
+        let t = a.transpose2d();
+        assert_eq!(t.shape(), &[45, 67]);
+        for i in 0..67 {
+            for j in 0..45 {
+                assert_eq!(t[(j, i)], a[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
     fn matvec_matches_matmul() {
         let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let v = Tensor::from_slice(&[5.0, 6.0]);
         let got = a.matvec(&v);
         assert_eq!(got.as_slice(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn matvec_large_matches_per_row_dot() {
+        let mut r = rng::seeded(17);
+        let a = rng::rand_uniform(&mut r, &[41, 77], -1.0, 1.0);
+        let v = rng::rand_uniform(&mut r, &[77], -1.0, 1.0);
+        let got = a.matvec(&v);
+        assert_eq!(got.shape(), &[41]);
+        for i in 0..41 {
+            let want: f32 = a.row(i).iter().zip(v.as_slice()).map(|(x, y)| x * y).sum();
+            assert!((got.as_slice()[i] - want).abs() < 1e-5);
+        }
     }
 }

@@ -208,6 +208,28 @@ impl Tensor {
         self.data
     }
 
+    /// Allocated capacity of the underlying flat buffer, in elements.
+    ///
+    /// Used by the inference arena to pick a recycled buffer that can hold
+    /// a requested shape without reallocating.
+    pub fn data_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reshapes this tensor in place to `shape`, zero-filled, reusing the
+    /// existing allocations whenever their capacity suffices.
+    ///
+    /// This is the arena recycling primitive: after `reset_zeros` the
+    /// tensor is indistinguishable from `Tensor::zeros(shape)`, but no heap
+    /// traffic occurred if the buffer and shape vector were large enough.
+    pub fn reset_zeros(&mut self, shape: &[usize]) {
+        let len = shape.iter().product();
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
     /// Returns a copy with a new shape covering the same elements.
     ///
     /// # Panics
