@@ -14,18 +14,46 @@
 //! bench_gate --baseline ci/BENCH_baseline.json
 //!            --current  BENCH_loadgen.json
 //!            [--max-p95-regress 0.25]   allowed fractional p95 growth
+//!            [--json-out PATH]          write the comparison record
+//!                                       (results/BENCH_obs.json in CI)
 //! ```
+//!
+//! The `traced` field is deliberately **not** part of the configuration
+//! key: the tracing self-overhead gate *is* a traced run gated against
+//! an untraced baseline of the same backend/shards/kernel
+//! (`--max-p95-regress 0.05` in the CI `obs` job).
 //!
 //! Throughput and model version are reported for context but not
 //! gated: rps is noisy on shared CI runners, and the model version
 //! legitimately moves (every refresh publishes a new one).
 
 use ai2_bench::LoadgenResult;
+use serde::Serialize;
 
 struct Args {
     baseline: String,
     current: String,
     max_p95_regress: f64,
+    json_out: Option<String>,
+}
+
+/// The machine-readable comparison record `--json-out` writes (the
+/// `BENCH_obs.json` artifact of the CI tracing-overhead gate).
+#[derive(Debug, Serialize)]
+struct GateReport {
+    baseline_p95_us: f64,
+    current_p95_us: f64,
+    /// Fractional p95 growth, `current/baseline - 1` (negative =
+    /// faster).
+    p95_regress: f64,
+    /// The allowed fraction the gate enforced.
+    max_p95_regress: f64,
+    passed: bool,
+    backend: String,
+    shards: usize,
+    kernel: String,
+    baseline_traced: Option<bool>,
+    current_traced: Option<bool>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +61,7 @@ fn parse_args() -> Args {
         baseline: String::new(),
         current: String::new(),
         max_p95_regress: 0.25,
+        json_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let value = |i: &mut usize| -> String {
@@ -49,6 +78,7 @@ fn parse_args() -> Args {
             "--max-p95-regress" => {
                 args.max_p95_regress = value(&mut i).parse().expect("--max-p95-regress fraction");
             }
+            "--json-out" => args.json_out = Some(value(&mut i)),
             other => panic!("unknown argument {other:?} (see src/bin/bench_gate.rs for usage)"),
         }
         i += 1;
@@ -121,15 +151,37 @@ fn main() {
         std::process::exit(1);
     }
 
-    let limit = baseline.p95_us * (1.0 + args.max_p95_regress);
-    if current.p95_us > limit {
+    let regress = current.p95_us / baseline.p95_us - 1.0;
+    let passed = regress <= args.max_p95_regress;
+    if let Some(path) = &args.json_out {
+        let report = GateReport {
+            baseline_p95_us: baseline.p95_us,
+            current_p95_us: current.p95_us,
+            p95_regress: regress,
+            max_p95_regress: args.max_p95_regress,
+            passed,
+            backend: current.backend.clone(),
+            shards: current.shards,
+            kernel: current.kernel.clone(),
+            baseline_traced: baseline.traced,
+            current_traced: current.traced,
+        };
+        let body = serde_json::to_string(&report).expect("serialize gate report");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        eprintln!("bench_gate: wrote {path}");
+    }
+
+    if !passed {
         eprintln!(
             "bench_gate: FAIL — p95 {:.0}µs exceeds baseline {:.0}µs by more than {:.0}% \
              (limit {:.0}µs)",
             current.p95_us,
             baseline.p95_us,
             args.max_p95_regress * 100.0,
-            limit
+            baseline.p95_us * (1.0 + args.max_p95_regress)
         );
         eprintln!(
             "bench_gate: if this is a hardware change rather than a code regression, \
@@ -140,6 +192,6 @@ fn main() {
     println!(
         "bench_gate: PASS — p95 within {:.0}% of baseline ({:+.1}%)",
         args.max_p95_regress * 100.0,
-        (current.p95_us / baseline.p95_us - 1.0) * 100.0
+        regress * 100.0
     );
 }

@@ -31,6 +31,13 @@
 //!                                                  the swap publishes
 //!         [--json PATH]                            write a machine-readable
 //!                                                  BENCH_*.json result file
+//!         [--trace]                                enable server-side tracing
+//!                                                  before the run (the overhead
+//!                                                  gate's traced leg)
+//!         [--trace-dump PATH]                      after the run, have the server
+//!                                                  write its Chrome trace JSON to
+//!                                                  PATH (server-side; implies the
+//!                                                  capture stays enabled)
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +58,8 @@ struct Args {
     refresh: bool,
     swap_checkpoint: Option<String>,
     json: Option<String>,
+    trace: bool,
+    trace_dump: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +73,8 @@ fn parse_args() -> Args {
         refresh: false,
         swap_checkpoint: None,
         json: None,
+        trace: false,
+        trace_dump: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let value = |i: &mut usize| -> String {
@@ -88,6 +99,8 @@ fn parse_args() -> Args {
             "--refresh" => args.refresh = true,
             "--swap-checkpoint" => args.swap_checkpoint = Some(value(&mut i)),
             "--json" => args.json = Some(value(&mut i)),
+            "--trace" => args.trace = true,
+            "--trace-dump" => args.trace_dump = Some(value(&mut i)),
             other => panic!("unknown argument {other:?} (see src/bin/loadgen.rs for usage)"),
         }
         i += 1;
@@ -166,6 +179,25 @@ fn swap_mid_run(
 
 fn main() {
     let args = parse_args();
+    let tracing = args.trace || args.trace_dump.is_some();
+    if tracing {
+        // enable server-side tracing before the first worker fires so
+        // the whole run is captured (and the whole run pays the
+        // recording cost — this is the overhead gate's traced leg)
+        let resp = TcpClient::connect(&args.addr)
+            .and_then(|mut c| {
+                c.send(&Request::Trace {
+                    id: u64::MAX,
+                    enable: Some(true),
+                    path: None,
+                })
+            })
+            .unwrap_or_else(|e| panic!("--trace enable failed: {e}"));
+        match resp {
+            Response::Admin(ack) if ack.op == "trace" => eprintln!("[loadgen] tracing enabled"),
+            other => panic!("--trace enable rejected: {other:?}"),
+        }
+    }
     let next = Arc::new(AtomicU64::new(0));
     let completed = Arc::new(AtomicU64::new(0));
     let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
@@ -323,6 +355,24 @@ fn main() {
         }
     }
 
+    if let Some(path) = &args.trace_dump {
+        let resp = TcpClient::connect(&args.addr)
+            .and_then(|mut c| {
+                c.send(&Request::Trace {
+                    id: u64::MAX,
+                    enable: None,
+                    path: Some(path.clone()),
+                })
+            })
+            .unwrap_or_else(|e| panic!("--trace-dump failed: {e}"));
+        match resp {
+            Response::Admin(ack) if ack.op == "trace" => {
+                eprintln!("[loadgen] server wrote trace {path}");
+            }
+            other => panic!("--trace-dump rejected: {other:?}"),
+        }
+    }
+
     if let Some(path) = &args.json {
         let result = LoadgenResult {
             requests: lats.len() as u64,
@@ -346,6 +396,7 @@ fn main() {
             },
             model_version: server.model_version,
             swapped: swapped_version.is_some(),
+            traced: Some(tracing),
         };
         let body = serde_json::to_string(&result).expect("serialize loadgen result");
         std::fs::write(path, body).expect("write --json result file");

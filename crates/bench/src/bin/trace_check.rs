@@ -1,0 +1,129 @@
+//! Shape checker for the Chrome `trace_event` JSON the service exports
+//! (`serve --trace-out`, the `Trace` admin message, `simtest
+//! --trace-out`).
+//!
+//! Validates every file named on the command line against the subset of
+//! the trace-event format the `ai2_obs` exporter emits — the contract
+//! `chrome://tracing` and Perfetto actually load:
+//!
+//! * top level: `{"traceEvents": [...], "otherData": {"dropped": N}}`,
+//! * every event an object with string `name` (non-empty), string
+//!   `cat`, `ph` of `"X"` (complete span, requires numeric `dur`) or
+//!   `"i"` (instant, requires scope `"s"`), numeric `ts`/`pid`/`tid`,
+//!   and an `args` object carrying the numeric `span_id`,
+//! * events ordered by non-decreasing `ts` (the exporter sorts by
+//!   start time; a violation means the export is non-deterministic).
+//!
+//! Exits 0 when every file passes, 1 with the first violation
+//! otherwise — which is what the CI `obs` job asserts about the dumps
+//! it captures.
+//!
+//! ```text
+//! trace_check FILE [FILE ...]
+//! ```
+
+use serde::Value;
+
+fn field<'a>(obj: &'a Value, key: &str) -> Option<&'a Value> {
+    match obj {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn number(v: Option<&Value>) -> Option<f64> {
+    match v {
+        Some(Value::Number(text)) => text.parse().ok(),
+        _ => None,
+    }
+}
+
+fn string(v: Option<&Value>) -> Option<&str> {
+    match v {
+        Some(Value::String(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// One event's shape; the error says what is wrong and where.
+fn check_event(event: &Value, index: usize) -> Result<(), String> {
+    let at = |what: &str| format!("event #{index}: {what}");
+    if !matches!(event, Value::Object(_)) {
+        return Err(at("not an object"));
+    }
+    match string(field(event, "name")) {
+        Some(name) if !name.is_empty() => {}
+        _ => return Err(at("missing or empty string \"name\"")),
+    }
+    if string(field(event, "cat")).is_none() {
+        return Err(at("missing string \"cat\""));
+    }
+    for key in ["ts", "pid", "tid"] {
+        if number(field(event, key)).is_none() {
+            return Err(at(&format!("missing numeric {key:?}")));
+        }
+    }
+    match field(event, "args") {
+        Some(args @ Value::Object(_)) => {
+            if number(field(args, "span_id")).is_none() {
+                return Err(at("args without numeric \"span_id\""));
+            }
+        }
+        _ => return Err(at("missing \"args\" object")),
+    }
+    match string(field(event, "ph")) {
+        Some("X") => {
+            if number(field(event, "dur")).is_none() {
+                return Err(at("complete span (ph \"X\") without numeric \"dur\""));
+            }
+        }
+        Some("i") => {
+            if string(field(event, "s")).is_none() {
+                return Err(at("instant (ph \"i\") without scope \"s\""));
+            }
+        }
+        Some(other) => return Err(at(&format!("unexpected ph {other:?}"))),
+        None => return Err(at("missing string \"ph\"")),
+    }
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(usize, u64), String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let root: Value = serde_json::from_str(&body).map_err(|e| format!("{path}: not JSON: {e}"))?;
+    let Some(Value::Array(events)) = field(&root, "traceEvents") else {
+        return Err(format!("{path}: no \"traceEvents\" array"));
+    };
+    let dropped = number(field(&root, "otherData").and_then(|d| field(d, "dropped")))
+        .ok_or_else(|| format!("{path}: no \"otherData\".\"dropped\" count"))?
+        as u64;
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, event) in events.iter().enumerate() {
+        check_event(event, i).map_err(|e| format!("{path}: {e}"))?;
+        let ts = number(field(event, "ts")).expect("checked above");
+        if ts < last_ts {
+            return Err(format!(
+                "{path}: event #{i} goes back in time (ts {ts} after {last_ts}) — \
+                 the export must be sorted by start time"
+            ));
+        }
+        last_ts = ts;
+    }
+    Ok((events.len(), dropped))
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    assert!(!files.is_empty(), "usage: trace_check FILE [FILE ...]");
+    for path in &files {
+        match check_file(path) {
+            Ok((events, dropped)) => {
+                println!("trace_check: {path} ok ({events} events, {dropped} dropped)");
+            }
+            Err(e) => {
+                eprintln!("trace_check: FAIL — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -77,6 +77,12 @@ pub struct LoadgenResult {
     /// Whether this run performed a live checkpoint swap mid-load
     /// (`--refresh`).
     pub swapped: bool,
+    /// Whether server-side tracing was enabled for the run
+    /// (`--trace`). `None` on records written before the field existed.
+    /// Deliberately **not** part of the configuration identity
+    /// `bench_gate` matches on: comparing a traced run against an
+    /// untraced baseline is exactly the tracing-overhead gate.
+    pub traced: Option<bool>,
 }
 
 /// Experiment sizing parsed from the command line.

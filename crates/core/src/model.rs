@@ -478,6 +478,18 @@ impl Airchitect2 {
         features: &Tensor,
         scratch: &'a mut InferenceScratch,
     ) -> (&'a Tensor, &'a Tensor) {
+        let mut sp = ai2_obs::local_span("core.forward", "model");
+        if sp.is_recording() {
+            sp.arg("rows", features.rows());
+            sp.arg(
+                "flavor",
+                if self.quant_dec.is_some() {
+                    "int8"
+                } else {
+                    "f32"
+                },
+            );
+        }
         self.embeddings_into(features, scratch);
         self.head_outputs_scratch(scratch);
         (&scratch.pe_out, &scratch.buf_out)
@@ -514,6 +526,10 @@ impl Airchitect2 {
     ) -> Vec<DesignPoint> {
         if inputs.is_empty() {
             return Vec::new();
+        }
+        let mut sp = ai2_obs::local_span("core.predict", "model");
+        if sp.is_recording() {
+            sp.arg("batch", inputs.len());
         }
         let f = self.features.encode_inputs(inputs);
         self.forward_into(&f, scratch);

@@ -1,0 +1,35 @@
+//! `ai2_obs` — the observability substrate for the AIrchitect v2
+//! serving stack: deterministic spans and lock-free metrics, with zero
+//! crates.io dependencies (std only).
+//!
+//! Two halves:
+//!
+//! * [`trace`] — a [`Tracer`] that records RAII-guarded spans and
+//!   instant events into a bounded buffer. Timestamps come from an
+//!   injected [`TimeSource`] (the serving `Clock`), so a run under a
+//!   virtual clock produces **byte-identical** Chrome `trace_event`
+//!   JSON every replay. A thread-local tracer slot ([`scoped`] /
+//!   [`local_span`]) lets leaf crates (`ai2_tensor` kernels, the
+//!   `airchitect` forward pass) open spans without threading a tracer
+//!   through every signature; when tracing is disabled or no tracer is
+//!   installed the cost is one thread-local read and a branch — no
+//!   allocation, preserving the zero-alloc steady-state forward.
+//!
+//! * [`metrics`] — atomic [`Counter`]s / [`Gauge`]s and a fixed-bucket
+//!   log-scale [`Histogram`] (bounded memory, ~3% relative quantile
+//!   error), grouped into name-keyed [`Registry`] instances. The
+//!   serving layer keeps one registry per shard; readers merge
+//!   [`MetricsDump`] snapshots, so the hot path never contends on a
+//!   lock (registration takes a lock once at startup; updates are
+//!   `Relaxed` atomics on pre-resolved `Arc` handles).
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricValue, MetricsDump, Registry,
+};
+pub use trace::{
+    local_span, scoped, ArgValue, ScopedTracer, SpanGuard, SpanRecord, TimeSource, Tracer,
+    NO_PARENT,
+};

@@ -1,0 +1,468 @@
+//! Lock-free metrics: atomic counters, gauges and fixed-bucket
+//! log-scale histograms, grouped into name-keyed registries.
+//!
+//! A [`Histogram`] is a fixed array of [`NUM_BUCKETS`] atomic bucket
+//! counts: values below [`SUB`] get exact unit-width buckets, larger
+//! values land in log-scale buckets with [`SUB`] sub-buckets per power
+//! of two (≲3% relative quantile error). Memory is **bounded for the
+//! life of the process** — recording never allocates — which is the fix
+//! for the old serve metrics window that grew an unbounded sample
+//! `Vec`.
+//!
+//! The hot path is registration-free: resolve `Arc` handles from a
+//! [`Registry`] once at startup, then update with `Relaxed` atomics.
+//! Readers take a [`MetricsDump`] snapshot per registry and
+//! [`MetricsDump::merge`] them (the serving layer keeps one registry
+//! per shard).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sub-buckets per power of two (and the width of the exact region).
+pub const SUB: usize = 1 << SUB_BITS;
+const SUB_BITS: u32 = 5;
+/// Total bucket count covering the full `u64` range.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUB - 1);
+    (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+}
+
+/// Half-open `[lo, hi)` value range of bucket `i` (`hi` saturates at
+/// `u64::MAX` for the topmost octave).
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB {
+        return (i as u64, i as u64 + 1);
+    }
+    let octave = (i >> SUB_BITS) as u32;
+    let shift = octave - 1;
+    let sub = (i & (SUB - 1)) as u64;
+    let lo = (SUB as u64 + sub) << shift;
+    (lo, lo.saturating_add(1u64 << shift))
+}
+
+/// Monotonic atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed atomic gauge (e.g. queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket log-scale histogram of `u64` values. Recording is
+/// lock-free and allocation-free; memory is a fixed [`NUM_BUCKETS`]
+/// array regardless of how many values are recorded.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`], mergeable across shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    count: u64,
+    sum: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`), interpolated within the
+    /// containing bucket; `None` when empty. Exact for values below
+    /// [`SUB`]; ≲3% relative error above.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (below + c - 1) as f64 >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let top = (hi - 1).max(lo);
+                let within = if c == 1 {
+                    0.5
+                } else {
+                    ((rank - below as f64) / (c - 1) as f64).clamp(0.0, 1.0)
+                };
+                return Some(lo as f64 + within * (top - lo) as f64);
+            }
+            below += c;
+        }
+        // Unreachable when count equals the bucket total, but stay safe.
+        None
+    }
+}
+
+/// A named metric handle.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Snapshot value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// Name-keyed collection of metrics. Registration (get-or-create) takes
+/// a lock; the returned `Arc` handles update lock-free, so resolve them
+/// once at startup and hammer away.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().expect("metrics registry poisoned")
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted counter"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted gauge"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    pub fn snapshot(&self) -> MetricsDump {
+        let metrics = self
+            .lock()
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        MetricsDump { metrics }
+    }
+}
+
+/// Merged point-in-time view over one or more registries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsDump {
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsDump {
+    /// Merge another dump in: counters and gauges add, histograms merge
+    /// bucket-wise. Mismatched kinds under one name panic — that is a
+    /// registration bug, not a runtime condition.
+    pub fn merge(&mut self, other: &MetricsDump) {
+        for (name, v) in &other.metrics {
+            match self.metrics.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => match (e.get_mut(), v) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    (a, b) => panic!("metric {name:?} kind mismatch: {a:?} vs {b:?}"),
+                },
+            }
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_roundtrip() {
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v < hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+        for shift in 0..63 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 3, v.saturating_mul(2) - 1] {
+                let i = bucket_index(probe);
+                assert!(i < NUM_BUCKETS);
+                let (lo, hi) = bucket_bounds(i);
+                assert!(lo <= probe && (probe < hi || hi == u64::MAX));
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_have_exact_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), 5050);
+        // Exact buckets below 64, width-2 buckets up to 128: stay close
+        // to the numpy-convention reference (50.5 / 95.05 / 99.01).
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 50.5).abs() <= 1.0, "p50={p50}");
+        let p95 = s.quantile(0.95).unwrap();
+        assert!((p95 - 95.05).abs() <= 2.5, "p95={p95}");
+        assert_eq!(s.quantile(0.0).unwrap(), 1.0);
+        let top = s.quantile(1.0).unwrap();
+        assert!((99.0..=101.0).contains(&top), "p100={top}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn log_buckets_bound_relative_error() {
+        let h = Histogram::new();
+        for v in [1_000u64, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, want) in [(0.0, 1_000.0), (1.0, 1_000_000.0)] {
+            let got = s.quantile(q).unwrap();
+            assert!(
+                (got - want).abs() / want <= 0.04,
+                "q={q} got={got} want={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 7)
+            } else {
+                b.record(v * 7)
+            }
+            all.record(v * 7);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn registry_snapshot_and_dump_merge() {
+        let shard0 = Registry::new();
+        let shard1 = Registry::new();
+        shard0.counter("served").add(3);
+        shard1.counter("served").add(4);
+        shard0.gauge("depth").set(2);
+        shard1.gauge("depth").set(5);
+        shard0.histogram("lat").record(10);
+        shard1.histogram("lat").record(20);
+        let mut dump = shard0.snapshot();
+        dump.merge(&shard1.snapshot());
+        assert_eq!(dump.counter("served"), 7);
+        assert_eq!(dump.gauge("depth"), 7);
+        let lat = dump.histogram("lat").unwrap();
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.sum(), 30);
+        assert_eq!(dump.counter("missing"), 0);
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let r = Registry::new();
+        let c1 = r.counter("x");
+        let c2 = r.counter("x");
+        c1.inc();
+        c2.inc();
+        assert_eq!(r.snapshot().counter("x"), 2);
+    }
+}

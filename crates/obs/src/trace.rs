@@ -1,0 +1,646 @@
+//! Deterministic span tracing with Chrome `trace_event` export.
+//!
+//! A [`Tracer`] hands out [`SpanGuard`] RAII guards whose start/end
+//! timestamps come from an injected [`TimeSource`] closure — under the
+//! serving stack's `VirtualClock` two replays of the same scenario
+//! produce byte-identical dumps. Span ids are allocated from a single
+//! atomic sequence (reset when tracing is enabled), so id assignment is
+//! deterministic under the simulation harness's manual driver.
+//!
+//! Completed spans land in a **bounded** buffer; once full, further
+//! spans are counted as dropped rather than recorded, so the tracer can
+//! stay enabled indefinitely without growing memory. Drops are
+//! deterministic too — the same replay drops the same spans.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Nanosecond time source. Wrap the serving clock so span timestamps
+/// are deterministic under a virtual clock.
+pub type TimeSource = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Sentinel parent id for root spans.
+pub const NO_PARENT: u64 = 0;
+
+/// Default completed-span buffer capacity.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A typed span/event argument value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgValue {
+    U64(u64),
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One completed span (or instant event, when `start_ns == end_ns` and
+/// `instant` is set).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    pub id: u64,
+    /// Parent span id, or [`NO_PARENT`] for roots.
+    pub parent: u64,
+    pub name: &'static str,
+    pub cat: &'static str,
+    /// Logical thread/shard lane (Chrome `tid`).
+    pub tid: u64,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub instant: bool,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+struct Buffer {
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+}
+
+struct Inner {
+    enabled: AtomicBool,
+    time: TimeSource,
+    /// Next span id; ids start at 1 so 0 can mean "no parent".
+    next_id: AtomicU64,
+    buf: Mutex<Buffer>,
+    cap: usize,
+}
+
+/// Cheaply clonable handle to a shared trace buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("cap", &self.inner.cap)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer driven by `time` (nanoseconds), initially disabled.
+    pub fn new(time: TimeSource) -> Self {
+        Self::with_capacity(time, DEFAULT_CAPACITY)
+    }
+
+    /// Like [`Tracer::new`] with an explicit completed-span capacity.
+    pub fn with_capacity(time: TimeSource, cap: usize) -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                time,
+                next_id: AtomicU64::new(0),
+                buf: Mutex::new(Buffer {
+                    spans: Vec::new(),
+                    dropped: 0,
+                }),
+                cap,
+            }),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable recording. Enabling starts a **fresh capture**:
+    /// the buffer is cleared and the id sequence resets, so captures are
+    /// deterministic regardless of what ran before.
+    pub fn set_enabled(&self, on: bool) {
+        if on {
+            let mut buf = self.lock();
+            buf.spans.clear();
+            buf.dropped = 0;
+            self.inner.next_id.store(0, Ordering::Relaxed);
+        }
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        (self.inner.time)()
+    }
+
+    /// Allocate a fresh span id (never [`NO_PARENT`]).
+    pub fn alloc_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Buffer> {
+        self.inner.buf.lock().expect("trace buffer poisoned")
+    }
+
+    /// Number of spans dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    fn push(&self, rec: SpanRecord) {
+        let mut buf = self.lock();
+        if buf.spans.len() < self.inner.cap {
+            buf.spans.push(rec);
+        } else {
+            buf.dropped += 1;
+        }
+    }
+
+    /// Open a live span. Returns an inert guard (zero cost on drop)
+    /// when tracing is disabled.
+    pub fn span(&self, name: &'static str, cat: &'static str, tid: u64, parent: u64) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard { active: None };
+        }
+        SpanGuard {
+            active: Some(ActiveSpan {
+                tracer: self.clone(),
+                id: self.alloc_id(),
+                parent,
+                name,
+                cat,
+                tid,
+                start_ns: self.now_ns(),
+                args: Vec::new(),
+                tls_prev: None,
+            }),
+        }
+    }
+
+    /// Record a span whose interval was measured externally (e.g. queue
+    /// wait reconstructed from an admission timestamp). Returns the span
+    /// id, or [`NO_PARENT`] when tracing is disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        tid: u64,
+        parent: u64,
+        start_ns: u64,
+        end_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> u64 {
+        if !self.enabled() {
+            return NO_PARENT;
+        }
+        let id = self.alloc_id();
+        self.record_span_id(id, name, cat, tid, parent, start_ns, end_ns, args);
+        id
+    }
+
+    /// Like [`Tracer::record_span`] but with a caller-allocated id —
+    /// used when the id had to exist before the interval ended (e.g. a
+    /// request root span whose id children reference while it is still
+    /// open).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span_id(
+        &self,
+        id: u64,
+        name: &'static str,
+        cat: &'static str,
+        tid: u64,
+        parent: u64,
+        start_ns: u64,
+        end_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled() || id == NO_PARENT {
+            return;
+        }
+        self.push(SpanRecord {
+            id,
+            parent,
+            name,
+            cat,
+            tid,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            instant: false,
+            args,
+        });
+    }
+
+    /// Record an instant event at the current time.
+    pub fn instant(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        tid: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let now = self.now_ns();
+        let id = self.alloc_id();
+        self.push(SpanRecord {
+            id,
+            parent: NO_PARENT,
+            name,
+            cat,
+            tid,
+            start_ns: now,
+            end_ns: now,
+            instant: true,
+            args,
+        });
+    }
+
+    /// Snapshot of all completed spans (does not drain).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// Render the buffer as Chrome `trace_event` JSON (the format
+    /// `chrome://tracing` and Perfetto load). Events are sorted by
+    /// `(start_ns, id)`, one per line, timestamps in fractional
+    /// microseconds — the output is byte-deterministic for a given
+    /// buffer state.
+    pub fn chrome_json(&self) -> String {
+        let (mut recs, dropped) = {
+            let buf = self.lock();
+            (buf.spans.clone(), buf.dropped)
+        };
+        recs.sort_by_key(|r| (r.start_ns, r.id));
+        let mut out = String::with_capacity(64 + recs.len() * 160);
+        out.push_str("{\"traceEvents\":[");
+        for (i, r) in recs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("{\"name\":\"");
+            push_escaped(&mut out, r.name);
+            out.push_str("\",\"cat\":\"");
+            push_escaped(&mut out, r.cat);
+            if r.instant {
+                out.push_str("\",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+                push_us(&mut out, r.start_ns);
+            } else {
+                out.push_str("\",\"ph\":\"X\",\"ts\":");
+                push_us(&mut out, r.start_ns);
+                out.push_str(",\"dur\":");
+                push_us(&mut out, r.end_ns - r.start_ns);
+            }
+            let _ = write!(out, ",\"pid\":1,\"tid\":{}", r.tid);
+            let _ = write!(out, ",\"args\":{{\"span_id\":{}", r.id);
+            if r.parent != NO_PARENT {
+                let _ = write!(out, ",\"parent\":{}", r.parent);
+            }
+            for (k, v) in &r.args {
+                out.push_str(",\"");
+                push_escaped(&mut out, k);
+                out.push_str("\":");
+                match v {
+                    ArgValue::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    ArgValue::Str(s) => {
+                        out.push('"');
+                        push_escaped(&mut out, s);
+                        out.push('"');
+                    }
+                }
+            }
+            out.push_str("}}");
+        }
+        let _ = write!(out, "\n],\"otherData\":{{\"dropped\":{dropped}}}}}\n");
+        out
+    }
+}
+
+/// Microseconds with fixed 3-decimal nanosecond remainder — stable
+/// formatting (no float printing) for byte-identical dumps.
+fn push_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+struct ActiveSpan {
+    tracer: Tracer,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgValue)>,
+    /// `Some(previous_parent)` when this span installed itself as the
+    /// thread-local parent (see [`local_span`]); restored on drop.
+    tls_prev: Option<u64>,
+}
+
+/// RAII guard for a live span; records on drop. Inert (and allocation
+/// free) when tracing was disabled at creation.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing.
+    pub fn inert() -> Self {
+        SpanGuard { active: None }
+    }
+
+    /// This span's id, or [`NO_PARENT`] if inert — pass as `parent` to
+    /// children.
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(NO_PARENT, |a| a.id)
+    }
+
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attach an argument (no-op when inert).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(a) = self.active.as_mut() {
+            a.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        if let Some(prev) = a.tls_prev {
+            CURRENT.with(|c| {
+                if let Some(ctx) = c.borrow_mut().as_mut() {
+                    ctx.parent = prev;
+                }
+            });
+        }
+        let end_ns = a.tracer.now_ns().max(a.start_ns);
+        a.tracer.push(SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            cat: a.cat,
+            tid: a.tid,
+            start_ns: a.start_ns,
+            end_ns,
+            instant: false,
+            args: a.args,
+        });
+    }
+}
+
+struct LocalCtx {
+    tracer: Tracer,
+    parent: u64,
+    tid: u64,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<LocalCtx>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous thread-local tracer context on drop.
+pub struct ScopedTracer {
+    prev: Option<LocalCtx>,
+}
+
+impl Drop for ScopedTracer {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Install `tracer` as this thread's current tracer for the lifetime of
+/// the returned guard. Spans opened via [`local_span`] (e.g. inside
+/// tensor kernels) attach under `parent` on lane `tid`.
+pub fn scoped(tracer: &Tracer, parent: u64, tid: u64) -> ScopedTracer {
+    let prev = CURRENT.with(|c| {
+        c.replace(Some(LocalCtx {
+            tracer: tracer.clone(),
+            parent,
+            tid,
+        }))
+    });
+    ScopedTracer { prev }
+}
+
+/// Open a span on the thread-local tracer installed by [`scoped`].
+/// While the guard lives, it becomes the thread-local parent, so nested
+/// `local_span` calls form a well-nested tree. When no tracer is
+/// installed — or tracing is disabled — this is one thread-local read
+/// and a branch: no allocation, no atomics on the buffer.
+pub fn local_span(name: &'static str, cat: &'static str) -> SpanGuard {
+    CURRENT.with(|c| {
+        let mut b = c.borrow_mut();
+        let Some(ctx) = b.as_mut() else {
+            return SpanGuard::inert();
+        };
+        if !ctx.tracer.enabled() {
+            return SpanGuard::inert();
+        }
+        let id = ctx.tracer.alloc_id();
+        let prev = ctx.parent;
+        ctx.parent = id;
+        let start_ns = ctx.tracer.now_ns();
+        SpanGuard {
+            active: Some(ActiveSpan {
+                tracer: ctx.tracer.clone(),
+                id,
+                parent: prev,
+                name,
+                cat,
+                tid: ctx.tid,
+                start_ns,
+                args: Vec::new(),
+                tls_prev: Some(prev),
+            }),
+        }
+    })
+}
+
+/// Open a span: `span!(tracer, name, cat, tid, parent)` on an explicit
+/// tracer, or `span!(name, cat)` on the thread-local tracer installed
+/// by [`scoped`].
+#[macro_export]
+macro_rules! span {
+    ($name:expr, $cat:expr) => {
+        $crate::trace::local_span($name, $cat)
+    };
+    ($tracer:expr, $name:expr, $cat:expr, $tid:expr, $parent:expr) => {
+        $tracer.span($name, $cat, $tid, $parent)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn virtual_tracer() -> (Tracer, Arc<AtomicU64>) {
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        let time: TimeSource = Arc::new(move || t2.load(Ordering::SeqCst));
+        (Tracer::new(time), t)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_guards_are_inert() {
+        let (tr, _) = virtual_tracer();
+        {
+            let mut g = tr.span("a", "t", 0, NO_PARENT);
+            assert!(!g.is_recording());
+            assert_eq!(g.id(), NO_PARENT);
+            g.arg("k", 1u64);
+        }
+        tr.instant("i", "t", 0, Vec::new());
+        assert!(tr.records().is_empty());
+        assert_eq!(
+            tr.chrome_json(),
+            "{\"traceEvents\":[\n],\"otherData\":{\"dropped\":0}}\n"
+        );
+    }
+
+    #[test]
+    fn spans_nest_and_capture_virtual_time() {
+        let (tr, clock) = virtual_tracer();
+        tr.set_enabled(true);
+        let root_id;
+        {
+            clock.store(1000, Ordering::SeqCst);
+            let mut root = tr.span("request", "serve", 3, NO_PARENT);
+            root.arg("req", "q1");
+            root_id = root.id();
+            {
+                clock.store(2000, Ordering::SeqCst);
+                let child = tr.span("inner", "serve", 3, root.id());
+                assert_eq!(child.id(), root_id + 1);
+                clock.store(2500, Ordering::SeqCst);
+            }
+            clock.store(4000, Ordering::SeqCst);
+        }
+        let recs = tr.records();
+        assert_eq!(recs.len(), 2);
+        let child = &recs[0];
+        let root = &recs[1];
+        assert_eq!(root.id, root_id);
+        assert_eq!((root.start_ns, root.end_ns), (1000, 4000));
+        assert_eq!(child.parent, root_id);
+        assert_eq!((child.start_ns, child.end_ns), (2000, 2500));
+        assert_eq!(root.args, vec![("req", ArgValue::Str("q1".into()))]);
+    }
+
+    #[test]
+    fn local_span_uses_the_scoped_tracer_and_auto_parents() {
+        let (tr, _) = virtual_tracer();
+        // No scoped tracer installed: inert.
+        assert!(!local_span("gemm", "kernel").is_recording());
+        tr.set_enabled(true);
+        {
+            let _scope = scoped(&tr, 7, 2);
+            let outer = local_span("forward", "kernel");
+            let outer_id = outer.id();
+            {
+                let inner = local_span("gemm", "kernel");
+                assert!(inner.is_recording());
+            }
+            drop(outer);
+            let recs = tr.records();
+            assert_eq!(recs[0].name, "gemm");
+            assert_eq!(recs[0].parent, outer_id);
+            assert_eq!(recs[1].parent, 7);
+            assert_eq!(recs[1].tid, 2);
+        }
+        // Scope dropped: inert again.
+        assert!(!local_span("gemm", "kernel").is_recording());
+    }
+
+    #[test]
+    fn enabling_resets_ids_and_buffer_for_deterministic_captures() {
+        let (tr, clock) = virtual_tracer();
+        tr.set_enabled(true);
+        drop(tr.span("a", "t", 0, NO_PARENT));
+        drop(tr.span("b", "t", 0, NO_PARENT));
+        let first = tr.chrome_json();
+        tr.set_enabled(true); // fresh capture
+        clock.store(0, Ordering::SeqCst);
+        drop(tr.span("a", "t", 0, NO_PARENT));
+        drop(tr.span("b", "t", 0, NO_PARENT));
+        assert_eq!(tr.chrome_json(), first);
+    }
+
+    #[test]
+    fn bounded_buffer_counts_drops() {
+        let time: TimeSource = Arc::new(|| 0);
+        let tr = Tracer::with_capacity(time, 2);
+        tr.set_enabled(true);
+        for _ in 0..5 {
+            drop(tr.span("s", "t", 0, NO_PARENT));
+        }
+        assert_eq!(tr.records().len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        assert!(tr.chrome_json().contains("\"dropped\":3"));
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_formats_timestamps() {
+        let (tr, clock) = virtual_tracer();
+        tr.set_enabled(true);
+        clock.store(1_234_567, Ordering::SeqCst);
+        tr.instant(
+            "tick",
+            "life",
+            1,
+            vec![("path", ArgValue::Str("a\"b\\c\n".into()))],
+        );
+        let json = tr.chrome_json();
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("a\\\"b\\\\c\\n"));
+        assert!(json.ends_with("],\"otherData\":{\"dropped\":0}}\n"));
+    }
+}

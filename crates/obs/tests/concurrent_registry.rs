@@ -1,0 +1,84 @@
+//! Concurrent-writer property test for the lock-free registry: N
+//! threads hammer counters, gauges and histograms through shared `Arc`
+//! handles; the merged snapshot must equal a single-threaded reference
+//! fed the same values. Counters and histogram buckets are exact under
+//! concurrency (atomic adds), so equality is bit-exact, not
+//! approximate.
+
+use ai2_obs::{MetricsDump, Registry};
+
+/// Deterministic splitmix64 so the test needs no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn thread_values(seed: u64, thread: u64, n: usize) -> Vec<u64> {
+    let mut state = seed ^ (thread.wrapping_mul(0xa076_1d64_78bd_642f));
+    (0..n).map(|_| splitmix64(&mut state) >> 20).collect()
+}
+
+#[test]
+fn merged_concurrent_snapshot_equals_single_threaded_reference() {
+    const THREADS: usize = 8;
+    const OPS: usize = 20_000;
+    const SHARDS: usize = 4;
+
+    for seed in [1u64, 0xDEAD_BEEF, 42] {
+        // Concurrent run: THREADS writers spread across SHARDS
+        // registries, like serve shards sharing worker threads.
+        let shards: Vec<Registry> = (0..SHARDS).map(|_| Registry::new()).collect();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let reg = &shards[t % SHARDS];
+                scope.spawn(move || {
+                    let served = reg.counter("served");
+                    let depth = reg.gauge("depth");
+                    let lat = reg.histogram("latency_ns");
+                    let batch = reg.histogram("batch");
+                    for v in thread_values(seed, t as u64, OPS) {
+                        served.inc();
+                        if v % 2 == 0 {
+                            depth.add(1);
+                        } else {
+                            depth.sub(1);
+                        }
+                        lat.record(v);
+                        batch.record(v % 33);
+                    }
+                });
+            }
+        });
+        let mut merged = MetricsDump::default();
+        for reg in &shards {
+            merged.merge(&reg.snapshot());
+        }
+
+        // Single-threaded reference fed exactly the same values.
+        let reference = Registry::new();
+        {
+            let served = reference.counter("served");
+            let depth = reference.gauge("depth");
+            let lat = reference.histogram("latency_ns");
+            let batch = reference.histogram("batch");
+            for t in 0..THREADS {
+                for v in thread_values(seed, t as u64, OPS) {
+                    served.inc();
+                    if v % 2 == 0 {
+                        depth.add(1);
+                    } else {
+                        depth.sub(1);
+                    }
+                    lat.record(v);
+                    batch.record(v % 33);
+                }
+            }
+        }
+
+        assert_eq!(merged, reference.snapshot(), "seed={seed:#x}");
+        assert_eq!(merged.counter("served"), (THREADS * OPS) as u64);
+    }
+}

@@ -22,6 +22,9 @@
 //!       [--save-checkpoint P] write the trained checkpoint to P
 //!       [--refresh-secs N]    background refresh loop every N seconds
 //!                             (fine-tune on the replay buffer, publish)
+//!       [--trace-out FILE]    enable request tracing and periodically
+//!                             rewrite FILE with the Chrome trace_event
+//!                             JSON of the capture so far
 //! ```
 
 use std::sync::Arc;
@@ -38,6 +41,7 @@ struct Args {
     seed: u64,
     checkpoint: Option<String>,
     save_checkpoint: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +52,7 @@ fn parse_args() -> Args {
         seed: 0xA12C,
         checkpoint: None,
         save_checkpoint: None,
+        trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,6 +77,7 @@ fn parse_args() -> Args {
             "--quick" => args.samples = 300,
             "--checkpoint" => args.checkpoint = Some(value(&mut i)),
             "--save-checkpoint" => args.save_checkpoint = Some(value(&mut i)),
+            "--trace-out" => args.trace_out = Some(value(&mut i)),
             "--refresh-secs" => {
                 let secs: u64 = value(&mut i).parse().expect("--refresh-secs takes seconds");
                 args.cfg.refresh = Some(RefreshConfig {
@@ -143,9 +149,26 @@ fn main() {
             None => String::new(),
         }
     );
+    if let Some(path) = &args.trace_out {
+        service.set_tracing(true);
+        eprintln!("[serve] tracing enabled, dumping to {path}");
+    }
     // machine-readable discovery line; scripts poll stdout for it
     println!("SERVE_ADDR={addr}");
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(std::time::Duration::from_secs(
+            if args.trace_out.is_some() { 1 } else { 3600 },
+        ));
+        if let Some(path) = &args.trace_out {
+            // periodic rewrite: the file always holds a complete, valid
+            // Chrome trace of the capture so far (kill -9 safe)
+            let tmp = format!("{path}.tmp");
+            if std::fs::write(&tmp, service.trace_json())
+                .and_then(|()| std::fs::rename(&tmp, path))
+                .is_err()
+            {
+                eprintln!("[serve] cannot write trace file {path}");
+            }
+        }
     }
 }

@@ -36,6 +36,11 @@
 //!   queries, oracle labeling through the shared engine, active-learning
 //!   selection of the most-disagreeing queries, a stage-2 fine-tune, and
 //!   a publish through the registry.
+//! * [`metrics`] — service observability over the [`ai2_obs`] substrate:
+//!   one lock-free registry per shard merged on read, bounded log-scale
+//!   latency histograms, and the per-request span tree (admission →
+//!   queue wait → batch → kernel) exported as Chrome `trace_event`
+//!   JSON through the `Trace` admin message or `serve --trace-out`.
 //!
 //! # Quickstart (in-process)
 //!
@@ -76,6 +81,7 @@ pub mod server;
 pub mod transport;
 
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use metrics::{MetricsSnapshot, ServiceMetrics, ShardMetrics};
 pub use protocol::{
     AdminAck, Query, QueryKey, RecommendRequest, Recommendation, Request, Response, ServeStats,
 };

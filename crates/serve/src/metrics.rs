@@ -1,35 +1,118 @@
-//! Service observability: lock-light counters plus a bounded latency
-//! reservoir feeding the `stats` endpoint's percentiles.
+//! Service observability over the `ai2_obs` substrate: one lock-free
+//! metrics [`Registry`] per shard (plus one service-level registry for
+//! cross-shard state like queue depth), merged on read into the
+//! [`MetricsSnapshot`] the `stats` endpoint serves.
+//!
+//! Latency percentiles come from the bounded log-scale
+//! [`Histogram`](ai2_obs::Histogram) — fixed memory for the life of the
+//! process (the old implementation kept an unbounded sample `Vec`;
+//! `ai2_obs`'s `steady_state` test pins the allocation-free fix) at the
+//! price of ≲3% quantile error.
+//!
+//! Metric names (the glossary the README documents):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `serve.served` | counter | recommendations answered, incl. cache hits |
+//! | `serve.cache_hits` | counter | answers straight from the response cache |
+//! | `serve.deadline_expired` | counter | requests dropped past their deadline |
+//! | `serve.errors` | counter | error responses issued |
+//! | `serve.queue_depth` | gauge | jobs admitted but not yet drained |
+//! | `serve.latency_ns` | histogram | admission→response latency |
+//! | `serve.latency_ns.analytic` / `.systolic` | histogram | same, split by cost backend |
+//! | `serve.latency_ns.f32` / `.int8` | histogram | same, split by decoder flavor |
+//! | `serve.batch_size` | histogram | drained micro-batch sizes |
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
-use ai2_tensor::stats::try_percentile_sorted;
+use ai2_obs::{Counter, Gauge, Histogram, MetricsDump, Registry};
 
-/// How many recent request latencies the percentile window keeps. A ring
-/// buffer: once full, new samples overwrite the oldest, so p50/p95/p99
-/// always describe recent traffic instead of the whole uptime.
-const LATENCY_WINDOW: usize = 1 << 16;
-
-/// Counters and the latency window of one service instance.
+/// Per-service metrics: a service-level registry plus one registry per
+/// shard, all updated lock-free through pre-resolved handles.
 #[derive(Debug)]
 pub struct ServiceMetrics {
     started: Instant,
-    served: AtomicU64,
-    cache_hits: AtomicU64,
-    deadline_expired: AtomicU64,
-    errors: AtomicU64,
-    window: Mutex<LatencyWindow>,
+    service: Registry,
+    queue_depth: Arc<Gauge>,
+    errors: Arc<Counter>,
+    shards: Vec<ShardMetrics>,
 }
 
+/// One shard's metric handles (backed by that shard's own registry, so
+/// recording never contends with siblings).
 #[derive(Debug)]
-struct LatencyWindow {
-    samples_us: Vec<f64>,
-    next: usize,
+pub struct ShardMetrics {
+    registry: Registry,
+    served: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency_ns: Arc<Histogram>,
+    latency_analytic: Arc<Histogram>,
+    latency_systolic: Arc<Histogram>,
+    latency_f32: Arc<Histogram>,
+    latency_int8: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
 }
 
-/// A point-in-time metrics snapshot (pre-percentile aggregation).
+impl ShardMetrics {
+    fn new() -> ShardMetrics {
+        let registry = Registry::new();
+        ShardMetrics {
+            served: registry.counter("serve.served"),
+            cache_hits: registry.counter("serve.cache_hits"),
+            deadline_expired: registry.counter("serve.deadline_expired"),
+            errors: registry.counter("serve.errors"),
+            latency_ns: registry.histogram("serve.latency_ns"),
+            latency_analytic: registry.histogram("serve.latency_ns.analytic"),
+            latency_systolic: registry.histogram("serve.latency_ns.systolic"),
+            latency_f32: registry.histogram("serve.latency_ns.f32"),
+            latency_int8: registry.histogram("serve.latency_ns.int8"),
+            batch_size: registry.histogram("serve.batch_size"),
+            registry,
+        }
+    }
+
+    /// Records one served recommendation: its admission→response
+    /// latency, the cost backend that verified it, and the decoder
+    /// flavor of the replica that answered.
+    pub fn record_served(&self, latency_ns: u64, from_cache: bool, backend: &str, int8: bool) {
+        self.served.inc();
+        if from_cache {
+            self.cache_hits.inc();
+        }
+        self.latency_ns.record(latency_ns);
+        if backend == "systolic" {
+            self.latency_systolic.record(latency_ns);
+        } else {
+            self.latency_analytic.record(latency_ns);
+        }
+        if int8 {
+            self.latency_int8.record(latency_ns);
+        } else {
+            self.latency_f32.record(latency_ns);
+        }
+    }
+
+    /// Records the size of one drained micro-batch.
+    pub fn record_batch(&self, size: usize) {
+        self.batch_size.record(size as u64);
+    }
+
+    /// Records a request dropped for an expired deadline.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.inc();
+        self.errors.inc();
+    }
+
+    /// Records an error response (bad query, unknown model …).
+    pub fn record_error(&self) {
+        self.errors.inc();
+    }
+}
+
+/// A point-in-time metrics snapshot (merged across every shard).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Recommendations answered, including cache hits.
@@ -44,92 +127,99 @@ pub struct MetricsSnapshot {
     pub uptime_ms: u64,
     /// Served requests per second over the uptime.
     pub throughput_rps: f64,
-    /// Median latency over the recent window (µs); `None` while the
-    /// window is empty (a cold server has no percentiles — and `NaN` is
-    /// not legal JSON, so the wire shows `null` instead).
+    /// Jobs admitted but not yet drained by any shard.
+    pub queue_depth: u64,
+    /// Median latency (µs); `None` before any request was served (a
+    /// cold server has no percentiles — and `NaN` is not legal JSON, so
+    /// the wire shows `null` instead).
     pub p50_us: Option<f64>,
-    /// 95th percentile (µs); `None` on an empty window.
+    /// 95th percentile (µs); `None` on a cold server.
     pub p95_us: Option<f64>,
-    /// 99th percentile (µs); `None` on an empty window.
+    /// 99th percentile (µs); `None` on a cold server.
     pub p99_us: Option<f64>,
+    /// Median drained micro-batch size; `None` before any batch ran.
+    pub batch_size_p50: Option<f64>,
+    /// 95th-percentile micro-batch size; `None` before any batch ran.
+    pub batch_size_p95: Option<f64>,
 }
 
 impl ServiceMetrics {
-    /// Fresh metrics, clock started now.
-    pub fn new() -> ServiceMetrics {
+    /// Fresh metrics for `shards` worker shards, clock started now.
+    pub fn new(shards: usize) -> ServiceMetrics {
+        let service = Registry::new();
         ServiceMetrics {
             started: Instant::now(),
-            served: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            window: Mutex::new(LatencyWindow {
-                samples_us: Vec::new(),
-                next: 0,
-            }),
+            queue_depth: service.gauge("serve.queue_depth"),
+            errors: service.counter("serve.errors"),
+            service,
+            shards: (0..shards.max(1)).map(|_| ShardMetrics::new()).collect(),
         }
     }
 
-    /// Records one served recommendation and its admission→response
-    /// latency.
-    pub fn record_served(&self, latency_us: f64, from_cache: bool) {
-        self.served.fetch_add(1, Ordering::Relaxed);
-        if from_cache {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        let mut w = self.window.lock().expect("latency window poisoned");
-        if w.samples_us.len() < LATENCY_WINDOW {
-            w.samples_us.push(latency_us);
-        } else {
-            let next = w.next;
-            w.samples_us[next] = latency_us;
-            w.next = (next + 1) % LATENCY_WINDOW;
-        }
+    /// The metric handles of shard `i`.
+    pub fn shard(&self, i: usize) -> &ShardMetrics {
+        &self.shards[i]
     }
 
-    /// Records a request dropped for an expired deadline.
-    pub fn record_deadline_expired(&self) {
-        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
-        self.errors.fetch_add(1, Ordering::Relaxed);
+    /// Tracks admissions (`+n`) and drains (`-n`) of the shared queue.
+    pub fn queue_depth_add(&self, n: i64) {
+        self.queue_depth.add(n);
     }
 
-    /// Records an error response (bad query, unknown model …).
+    /// Records a service-level error response (malformed line, rejected
+    /// admin message) that no shard owns.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
-    /// Aggregates counters and window percentiles.
+    /// The merged raw dump across the service and every shard registry.
+    pub fn dump(&self) -> MetricsDump {
+        let mut dump = self.service.snapshot();
+        for shard in &self.shards {
+            dump.merge(&shard.registry.snapshot());
+        }
+        dump
+    }
+
+    /// Aggregates counters and histogram percentiles across shards.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut samples = {
-            let w = self.window.lock().expect("latency window poisoned");
-            w.samples_us.clone()
-        };
-        // one sort serves all three quantiles
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let served = self.served.load(Ordering::Relaxed);
+        let dump = self.dump();
+        let served = dump.counter("serve.served");
         let uptime = self.started.elapsed();
         let secs = uptime.as_secs_f64();
+        let latency = dump.histogram("serve.latency_ns");
+        let lat_us = |q: f64| {
+            latency
+                .filter(|h| !h.is_empty())
+                .and_then(|h| h.quantile(q))
+                .map(|ns| ns / 1e3)
+        };
+        let batch = dump.histogram("serve.batch_size");
+        let batch_q = |q: f64| batch.filter(|h| !h.is_empty()).and_then(|h| h.quantile(q));
         MetricsSnapshot {
             served,
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits: dump.counter("serve.cache_hits"),
+            deadline_expired: dump.counter("serve.deadline_expired"),
+            errors: dump.counter("serve.errors"),
             uptime_ms: uptime.as_millis() as u64,
             throughput_rps: if secs > 0.0 {
                 served as f64 / secs
             } else {
                 0.0
             },
-            p50_us: try_percentile_sorted(&samples, 50.0),
-            p95_us: try_percentile_sorted(&samples, 95.0),
-            p99_us: try_percentile_sorted(&samples, 99.0),
+            queue_depth: dump.gauge("serve.queue_depth").max(0) as u64,
+            p50_us: lat_us(0.50),
+            p95_us: lat_us(0.95),
+            p99_us: lat_us(0.99),
+            batch_size_p50: batch_q(0.50),
+            batch_size_p95: batch_q(0.95),
         }
     }
 }
 
 impl Default for ServiceMetrics {
     fn default() -> Self {
-        ServiceMetrics::new()
+        ServiceMetrics::new(1)
     }
 }
 
@@ -138,25 +228,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counters_and_percentiles_aggregate() {
-        let m = ServiceMetrics::new();
-        for i in 1..=100 {
-            m.record_served(i as f64, i % 4 == 0);
+    fn counters_and_percentiles_aggregate_across_shards() {
+        let m = ServiceMetrics::new(2);
+        for i in 1..=100u64 {
+            // spread over both shards; latencies 1..=100 µs
+            m.shard((i % 2) as usize)
+                .record_served(i * 1_000, i % 4 == 0, "analytic", false);
         }
-        m.record_deadline_expired();
+        m.shard(0).record_deadline_expired();
         m.record_error();
         let s = m.snapshot();
         assert_eq!(s.served, 100);
         assert_eq!(s.cache_hits, 25);
         assert_eq!(s.deadline_expired, 1);
         assert_eq!(s.errors, 2);
-        // samples 1..=100 → p50 interpolates to 50.5
+        // samples 1..=100 µs → the exact p50 is 50.5; the log-scale
+        // histogram interpolates within its bucket (≲3% error)
         let (p50, p95, p99) = (
-            s.p50_us.expect("non-empty window"),
-            s.p95_us.expect("non-empty window"),
-            s.p99_us.expect("non-empty window"),
+            s.p50_us.expect("warm percentiles"),
+            s.p95_us.expect("warm percentiles"),
+            s.p99_us.expect("warm percentiles"),
         );
-        assert!((p50 - 50.5).abs() < 1e-9, "p50 {p50}");
+        assert!((p50 - 50.5).abs() <= 2.0, "p50 {p50}");
+        assert!((p95 - 95.05).abs() <= 5.0, "p95 {p95}");
         assert!(p95 > p50 && p99 >= p95);
         assert!(s.throughput_rps > 0.0);
     }
@@ -165,10 +259,47 @@ mod tests {
     fn empty_window_reports_no_percentiles_not_nan() {
         // NaN is not legal JSON: a cold server's percentiles must be
         // absent (None → null on the wire), never NaN
-        let s = ServiceMetrics::new().snapshot();
+        let s = ServiceMetrics::new(2).snapshot();
         assert_eq!(s.served, 0);
         assert_eq!(s.p50_us, None);
         assert_eq!(s.p95_us, None);
         assert_eq!(s.p99_us, None);
+        assert_eq!(s.batch_size_p50, None);
+        assert_eq!(s.batch_size_p95, None);
+        assert_eq!(s.queue_depth, 0);
+    }
+
+    #[test]
+    fn queue_depth_and_batch_sizes_surface_in_the_snapshot() {
+        let m = ServiceMetrics::new(1);
+        m.queue_depth_add(5);
+        m.queue_depth_add(-2);
+        for size in [4u64, 4, 4, 8] {
+            m.shard(0).record_batch(size as usize);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.queue_depth, 3);
+        let p50 = s.batch_size_p50.expect("batches recorded");
+        assert!((p50 - 4.0).abs() < 0.5, "p50 {p50}");
+        assert!(s.batch_size_p95.expect("batches recorded") >= p50);
+    }
+
+    #[test]
+    fn latency_splits_by_backend_and_flavor() {
+        let m = ServiceMetrics::new(1);
+        m.shard(0).record_served(1_000, false, "analytic", false);
+        m.shard(0).record_served(2_000, false, "systolic", true);
+        let dump = m.dump();
+        assert_eq!(dump.histogram("serve.latency_ns").unwrap().count(), 2);
+        assert_eq!(
+            dump.histogram("serve.latency_ns.analytic").unwrap().count(),
+            1
+        );
+        assert_eq!(
+            dump.histogram("serve.latency_ns.systolic").unwrap().count(),
+            1
+        );
+        assert_eq!(dump.histogram("serve.latency_ns.f32").unwrap().count(), 1);
+        assert_eq!(dump.histogram("serve.latency_ns.int8").unwrap().count(), 1);
     }
 }

@@ -66,6 +66,22 @@ pub enum Request {
         /// Desired freeze state.
         frozen: bool,
     },
+    /// Admin: control the in-process tracer. `enable: true` starts a
+    /// fresh capture (prior spans are discarded so two captures of the
+    /// same deterministic run are byte-identical); `enable: false`
+    /// stops recording without discarding. `path` writes the current
+    /// capture as Chrome `trace_event` JSON to a **server-side** file
+    /// (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
+    /// Both fields are optional and independent; an unwritable path
+    /// answers an error naming the OS failure.
+    Trace {
+        /// Echoed in the response.
+        id: u64,
+        /// Desired tracer state; omitted/`null` leaves it unchanged.
+        enable: Option<bool>,
+        /// Server-side file to dump the Chrome trace JSON to.
+        path: Option<String>,
+    },
 }
 
 /// Rejects a payload object carrying fields outside `known` — the
@@ -119,6 +135,14 @@ impl serde::Deserialize for Request {
                         Ok(Request::Freeze {
                             id: serde::de_field(content, "id")?,
                             frozen: serde::de_field(content, "frozen")?,
+                        })
+                    }
+                    "Trace" => {
+                        deny_unknown_fields(content, "Trace", &["id", "enable", "path"])?;
+                        Ok(Request::Trace {
+                            id: serde::de_field(content, "id")?,
+                            enable: serde::de_field(content, "enable")?,
+                            path: serde::de_field(content, "path")?,
                         })
                     }
                     other => Err(serde::DeError(format!("unknown Request variant {other:?}"))),
@@ -310,6 +334,9 @@ pub struct ServeStats {
     pub uptime_ms: u64,
     /// Served requests per second over the uptime.
     pub throughput_rps: f64,
+    /// Jobs admitted to the shared queue but not yet drained by any
+    /// shard — the instantaneous backlog.
+    pub queue_depth: u64,
     /// Median request latency (admission → response), microseconds.
     /// `null` until the first request has been served — `NaN` is not
     /// legal JSON, so a cold server's percentiles are absent, not NaN.
@@ -318,6 +345,10 @@ pub struct ServeStats {
     pub p95_us: Option<f64>,
     /// 99th-percentile latency, microseconds (`null` while cold).
     pub p99_us: Option<f64>,
+    /// Median drained micro-batch size (`null` until a batch has run).
+    pub batch_size_p50: Option<f64>,
+    /// 95th-percentile micro-batch size (`null` while cold).
+    pub batch_size_p95: Option<f64>,
     /// Raw-cost evaluations answered from a grid cache, summed over the
     /// per-backend engines.
     pub engine_point_hits: u64,
@@ -442,6 +473,16 @@ mod tests {
             Request::Freeze {
                 id: 11,
                 frozen: true,
+            },
+            Request::Trace {
+                id: 12,
+                enable: Some(true),
+                path: Some("/tmp/trace.json".into()),
+            },
+            Request::Trace {
+                id: 13,
+                enable: None,
+                path: None,
             },
         ];
         for req in &reqs {
@@ -603,6 +644,11 @@ mod tests {
                 "Freeze",
             ),
             (r#"{"Stats":{"id":3,"verbose":true}}"#, "verbose", "Stats"),
+            (
+                r#"{"Trace":{"id":5,"enable":true,"file":"t.json"}}"#,
+                "file",
+                "Trace",
+            ),
         ];
         for (line, field, what) in cases {
             let err = decode_line::<Request>(line).unwrap_err().to_string();
@@ -626,6 +672,16 @@ mod tests {
         );
         assert!(decode_line::<Request>(r#"{"Freeze":{"id":2,"frozen":false}}"#).is_ok());
         assert!(decode_line::<Request>(r#"{"Stats":{"id":3}}"#).is_ok());
+        // both Trace knobs are optional on the wire
+        assert_eq!(
+            decode_line::<Request>(r#"{"Trace":{"id":6,"enable":false}}"#).unwrap(),
+            Request::Trace {
+                id: 6,
+                enable: Some(false),
+                path: None,
+            }
+        );
+        assert!(decode_line::<Request>(r#"{"Trace":{"id":7,"path":"t.json"}}"#).is_ok());
     }
 
     #[test]

@@ -61,6 +61,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ai2_dse::EvalEngine;
+use ai2_obs::{ArgValue, SpanRecord, Tracer, NO_PARENT};
 use airchitect::{Airchitect2, InferenceScratch, ModelCheckpoint};
 
 use crate::cache::LruCache;
@@ -151,6 +152,9 @@ struct Job {
     key: Option<QueryKey>,
     admitted_ns: u64,
     deadline_ns: Option<u64>,
+    /// Root `serve.request` span id, allocated at admission so children
+    /// can reference it; [`NO_PARENT`] when tracing was off.
+    span_id: u64,
     tx: mpsc::Sender<Response>,
 }
 
@@ -165,6 +169,7 @@ struct Inner {
     stop: AtomicBool,
     cache: Mutex<EpochCache>,
     metrics: ServiceMetrics,
+    tracer: Tracer,
 }
 
 impl Inner {
@@ -181,9 +186,18 @@ impl Inner {
                 .and_then(|ms| ms.checked_mul(1_000_000))
                 .and_then(|ns| admitted_ns.checked_add(ns)),
             admitted_ns,
+            // the root span id is allocated at admission (its record is
+            // written when the response is sent), so ids follow
+            // admission order — deterministic under the manual driver
+            span_id: if self.tracer.enabled() {
+                self.tracer.alloc_id()
+            } else {
+                NO_PARENT
+            },
             req,
             tx,
         };
+        self.metrics.queue_depth_add(1);
         self.queue
             .lock()
             .expect("admission queue poisoned")
@@ -217,9 +231,12 @@ impl Inner {
             replay_len: self.replay.len(),
             uptime_ms: snap.uptime_ms,
             throughput_rps: snap.throughput_rps,
+            queue_depth: snap.queue_depth,
             p50_us: snap.p50_us,
             p95_us: snap.p95_us,
             p99_us: snap.p99_us,
+            batch_size_p50: snap.batch_size_p50,
+            batch_size_p95: snap.batch_size_p95,
             engine_point_hits: engine.point_hits,
             engine_point_misses: engine.point_misses,
             kernel: ai2_tensor::kernel::active().name().to_string(),
@@ -246,6 +263,12 @@ impl Inner {
         };
         let version = publish.map_err(|e| e.to_string())?;
         self.flush_cache();
+        self.tracer.instant(
+            "serve.swap",
+            "lifecycle",
+            0,
+            vec![("version", ArgValue::U64(version))],
+        );
         Ok(version)
     }
 
@@ -289,11 +312,37 @@ impl Inner {
             }
             Request::Freeze { id, frozen } => {
                 self.registry.set_frozen(*frozen);
+                self.tracer.instant(
+                    "serve.freeze",
+                    "lifecycle",
+                    0,
+                    vec![("frozen", ArgValue::U64(u64::from(*frozen)))],
+                );
                 Response::Admin(AdminAck {
                     id: *id,
                     op: "freeze".into(),
                     model_version: self.registry.version(),
                     frozen: *frozen,
+                })
+            }
+            Request::Trace { id, enable, path } => {
+                if let Some(on) = enable {
+                    self.tracer.set_enabled(*on);
+                }
+                if let Some(path) = path {
+                    if let Err(e) = std::fs::write(path, self.tracer.chrome_json()) {
+                        self.metrics.record_error();
+                        return Response::Error {
+                            id: *id,
+                            message: format!("trace rejected: cannot write {path:?}: {e}"),
+                        };
+                    }
+                }
+                Response::Admin(AdminAck {
+                    id: *id,
+                    op: "trace".into(),
+                    model_version: self.registry.version(),
+                    frozen: self.registry.frozen(),
                 })
             }
             _ => unreachable!("handle_admin only receives admin requests"),
@@ -304,6 +353,9 @@ impl Inner {
 /// What one wire line turned into — the transport-facing half of the
 /// service. Transports hand every received line to
 /// [`Endpoint::handle_line`] and route the result back to their client.
+// a `Ready` response is built once and serialized immediately, so the
+// size skew against `Ignored` never lives past one handler frame
+#[allow(clippy::large_enum_variant)]
 pub enum Submission {
     /// Blank line: no response is owed.
     Ignored,
@@ -339,7 +391,7 @@ impl Endpoint {
             Ok(Request::Stats { id }) => {
                 Submission::Ready(Response::Stats(self.inner.serve_stats(id)))
             }
-            Ok(admin @ (Request::Swap { .. } | Request::Freeze { .. })) => {
+            Ok(admin @ (Request::Swap { .. } | Request::Freeze { .. } | Request::Trace { .. })) => {
                 Submission::Ready(self.inner.handle_admin(&admin))
             }
             Err(e) => {
@@ -409,12 +461,17 @@ impl RecommendService {
             max_batch: cfg.max_batch.max(1),
             ..cfg
         };
+        let tracer = {
+            let clock = Arc::clone(&clock);
+            Tracer::new(Arc::new(move || clock.now_ns()))
+        };
         let inner = Arc::new(Inner {
             cache: Mutex::new(EpochCache {
                 epoch: 0,
                 lru: LruCache::new(cfg.cache_capacity),
             }),
             replay: ReplayBuffer::new(cfg.replay_capacity),
+            metrics: ServiceMetrics::new(cfg.shards),
             cfg,
             clock,
             engines: BackendEngines::new(engine),
@@ -422,7 +479,7 @@ impl RecommendService {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             stop: AtomicBool::new(false),
-            metrics: ServiceMetrics::new(),
+            tracer,
         });
         let (shards, stepped_shards) = match inner.cfg.driver {
             Driver::Threaded => {
@@ -585,6 +642,15 @@ impl RecommendService {
             &cfg,
         )?;
         self.inner.flush_cache();
+        self.inner.tracer.instant(
+            "serve.refresh",
+            "lifecycle",
+            0,
+            vec![
+                ("version", ArgValue::U64(outcome.version)),
+                ("trained_on", ArgValue::U64(outcome.trained_on as u64)),
+            ],
+        );
         Ok(outcome)
     }
 
@@ -597,6 +663,28 @@ impl RecommendService {
     /// endpoint).
     pub fn stats(&self) -> ServeStats {
         self.inner.serve_stats(0)
+    }
+
+    /// The service tracer — `Clock`-driven, so captures replay
+    /// byte-identically under a virtual clock.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Enable (starting a fresh capture) or disable span recording —
+    /// the in-process equivalent of the admin `trace` wire message.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.tracer.set_enabled(on);
+    }
+
+    /// Completed spans captured so far (does not drain).
+    pub fn trace_records(&self) -> Vec<SpanRecord> {
+        self.inner.tracer.records()
+    }
+
+    /// The capture rendered as Chrome `trace_event` JSON.
+    pub fn trace_json(&self) -> String {
+        self.inner.tracer.chrome_json()
     }
 
     /// Stops accepting, drains nothing further, joins every shard, and
@@ -649,7 +737,7 @@ impl Client {
         match req {
             Request::Recommend(r) => self.recommend(r),
             Request::Stats { id } => Response::Stats(self.inner.serve_stats(id)),
-            admin @ (Request::Swap { .. } | Request::Freeze { .. }) => {
+            admin @ (Request::Swap { .. } | Request::Freeze { .. } | Request::Trace { .. }) => {
                 self.inner.handle_admin(&admin)
             }
         }
@@ -739,6 +827,9 @@ fn shard_replica(inner: &Inner, shard: usize) -> Airchitect2 {
 /// newly published replica at this batch boundary, process. Returns
 /// `false` when the queue was empty.
 fn shard_try_step(inner: &Inner, state: &mut ShardState) -> bool {
+    let tid = state.shard as u64;
+    let tracing = inner.tracer.enabled();
+    let t0 = if tracing { inner.clock.now_ns() } else { 0 };
     let batch: Vec<Job> = {
         let mut q = inner.queue.lock().expect("admission queue poisoned");
         if q.is_empty() {
@@ -754,17 +845,60 @@ fn shard_try_step(inner: &Inner, state: &mut ShardState) -> bool {
             .clamp(1, inner.cfg.max_batch);
         q.drain(..take).collect()
     };
+    inner.metrics.queue_depth_add(-(batch.len() as i64));
     // more work may remain; pass the baton before computing
     inner.available.notify_one();
+    // the per-shard batch tree: serve.batch wraps assembly, replica
+    // adoption and the whole process_batch body on this shard's lane
+    let batch_span = if tracing {
+        inner.tracer.alloc_id()
+    } else {
+        NO_PARENT
+    };
+    if tracing {
+        inner.tracer.record_span(
+            "serve.batch_assemble",
+            "serve",
+            tid,
+            batch_span,
+            t0,
+            inner.clock.now_ns(),
+            vec![("size", ArgValue::U64(batch.len() as u64))],
+        );
+    }
     // micro-batch boundary: adopt a newly published replica before
     // computing, so everything drained after a swap is answered by
     // a model freshly restored from the published checkpoint
     let now = inner.registry.epoch();
     if now != state.epoch {
+        let mut sp = inner
+            .tracer
+            .span("serve.adopt_replica", "lifecycle", tid, batch_span);
+        sp.arg("epoch", now);
         state.model = shard_replica(inner, state.shard);
         state.epoch = now;
     }
-    process_batch(inner, &state.model, &mut state.scratch, state.epoch, batch);
+    process_batch(
+        inner,
+        &state.model,
+        &mut state.scratch,
+        state.epoch,
+        state.shard,
+        batch_span,
+        batch,
+    );
+    if tracing {
+        inner.tracer.record_span_id(
+            batch_span,
+            "serve.batch",
+            "serve",
+            tid,
+            NO_PARENT,
+            t0,
+            inner.clock.now_ns(),
+            vec![("shard", ArgValue::U64(tid))],
+        );
+    }
     true
 }
 
@@ -790,26 +924,74 @@ fn shard_main(inner: &Inner, shard: usize) {
     }
 }
 
+/// Writes the per-request span pair at completion: the reconstructed
+/// `serve.queue_wait` child (admission → batch drain) and the root
+/// `serve.request` span (admission → response sent) under the id
+/// allocated at admission.
+fn finish_request(inner: &Inner, tid: u64, job: &Job, drained_ns: u64, end_ns: u64, outcome: &str) {
+    if job.span_id == NO_PARENT || !inner.tracer.enabled() {
+        return;
+    }
+    inner.tracer.record_span(
+        "serve.queue_wait",
+        "serve",
+        tid,
+        job.span_id,
+        job.admitted_ns,
+        drained_ns,
+        Vec::new(),
+    );
+    inner.tracer.record_span_id(
+        job.span_id,
+        "serve.request",
+        "serve",
+        tid,
+        NO_PARENT,
+        job.admitted_ns,
+        end_ns,
+        vec![
+            ("req", ArgValue::U64(job.req.id)),
+            ("outcome", ArgValue::Str(outcome.to_string())),
+        ],
+    );
+}
+
 fn process_batch(
     inner: &Inner,
     model: &Airchitect2,
     scratch: &mut InferenceScratch,
     epoch: u64,
+    shard: usize,
+    batch_span: u64,
     batch: Vec<Job>,
 ) {
     let now_ns = inner.clock.now_ns();
+    let tid = shard as u64;
+    let tracing = inner.tracer.enabled();
+    let sm = inner.metrics.shard(shard);
+    let int8 = model.quantized_decoder();
+    sm.record_batch(batch.len());
     let mut compute: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
         if let Some(deadline_ns) = job.deadline_ns {
             if now_ns >= deadline_ns {
-                inner.metrics.record_deadline_expired();
-                let _ = job.tx.send(Response::Error {
+                sm.record_deadline_expired();
+                let resp = Response::Error {
                     id: job.req.id,
                     message: format!(
                         "deadline of {} ms expired before a shard picked the request up",
                         job.req.deadline_ms.unwrap_or(0)
                     ),
-                });
+                };
+                let _ = job.tx.send(resp);
+                finish_request(
+                    inner,
+                    tid,
+                    &job,
+                    now_ns,
+                    inner.clock.now_ns(),
+                    "deadline_expired",
+                );
                 continue;
             }
         }
@@ -818,6 +1000,9 @@ fn process_batch(
             // the window between a publish and its cache flush, a shard
             // that already adopted the new replica must not serve
             // entries the outgoing replica computed
+            let mut lookup = inner
+                .tracer
+                .span("serve.cache_lookup", "serve", tid, job.span_id);
             let hit = {
                 let mut cache = inner.cache.lock().expect("cache poisoned");
                 if cache.epoch == epoch {
@@ -826,11 +1011,34 @@ fn process_batch(
                     None
                 }
             };
+            lookup.arg("hit", hit.is_some());
+            drop(lookup);
             if let Some(mut rec) = hit {
                 rec.id = job.req.id;
-                let latency_us = inner.clock.now_ns().saturating_sub(job.admitted_ns) as f64 / 1e3;
-                inner.metrics.record_served(latency_us, true);
+                let end_ns = inner.clock.now_ns();
+                sm.record_served(
+                    end_ns.saturating_sub(job.admitted_ns),
+                    true,
+                    &rec.backend,
+                    int8,
+                );
+                let send_start = if tracing { inner.clock.now_ns() } else { 0 };
                 let _ = job.tx.send(Response::Recommendation(rec));
+                if tracing {
+                    let sent = inner.clock.now_ns();
+                    if job.span_id != NO_PARENT {
+                        inner.tracer.record_span(
+                            "serve.respond",
+                            "serve",
+                            tid,
+                            job.span_id,
+                            send_start,
+                            sent,
+                            Vec::new(),
+                        );
+                    }
+                    finish_request(inner, tid, &job, now_ns, sent, "cache_hit");
+                }
                 continue;
             }
         }
@@ -840,16 +1048,27 @@ fn process_batch(
         return;
     }
     let reqs: Vec<RecommendRequest> = compute.iter().map(|j| j.req.clone()).collect();
-    let responses = recommend_batch_with(model, &inner.engines, &reqs, scratch);
+    let mut rec_span = inner
+        .tracer
+        .span("serve.recommend", "serve", tid, batch_span);
+    rec_span.arg("n", reqs.len());
+    rec_span.arg("flavor", if int8 { "int8" } else { "f32" });
+    let responses = {
+        // kernel- and model-level spans (tensor.gemm, core.forward …)
+        // attach under serve.recommend via the thread-local tracer
+        let _scope = ai2_obs::scoped(&inner.tracer, rec_span.id(), tid);
+        recommend_batch_with(model, &inner.engines, &reqs, scratch)
+    };
+    drop(rec_span);
     for (job, resp) in compute.into_iter().zip(responses) {
-        match &resp {
+        let outcome = match &resp {
             Response::Recommendation(rec) => {
-                if let Some(key) = job.key {
+                if let Some(key) = &job.key {
                     let mut cache = inner.cache.lock().expect("cache poisoned");
                     // an old-replica batch straggling past a swap must
                     // not publish outgoing-model answers post-flush
                     if cache.epoch == epoch {
-                        cache.lru.insert(key, rec.clone());
+                        cache.lru.insert(key.clone(), rec.clone());
                     }
                 }
                 // feed the refresh loop: computed GEMM answers are the
@@ -858,15 +1077,39 @@ fn process_batch(
                 if let Some(input) = job.req.query.as_dse_input() {
                     inner.replay.record(input, rec.point);
                 }
-                let latency_us = inner.clock.now_ns().saturating_sub(job.admitted_ns) as f64 / 1e3;
-                inner.metrics.record_served(latency_us, false);
+                sm.record_served(
+                    inner.clock.now_ns().saturating_sub(job.admitted_ns),
+                    false,
+                    &rec.backend,
+                    int8,
+                );
+                "computed"
             }
-            Response::Error { .. } => inner.metrics.record_error(),
+            Response::Error { .. } => {
+                sm.record_error();
+                "error"
+            }
             Response::Stats(_) | Response::Admin(_) => {
                 unreachable!("stats/admin never route through shards")
             }
-        }
+        };
+        let send_start = if tracing { inner.clock.now_ns() } else { 0 };
         let _ = job.tx.send(resp);
+        if tracing {
+            let sent = inner.clock.now_ns();
+            if job.span_id != NO_PARENT {
+                inner.tracer.record_span(
+                    "serve.respond",
+                    "serve",
+                    tid,
+                    job.span_id,
+                    send_start,
+                    sent,
+                    Vec::new(),
+                );
+            }
+            finish_request(inner, tid, &job, now_ns, sent, outcome);
+        }
     }
 }
 
@@ -898,6 +1141,12 @@ fn refresh_main(inner: &Inner) {
         ) {
             Ok(outcome) => {
                 inner.flush_cache();
+                inner.tracer.instant(
+                    "serve.refresh",
+                    "lifecycle",
+                    0,
+                    vec![("version", ArgValue::U64(outcome.version))],
+                );
                 last_skip_reason.clear();
                 eprintln!(
                     "[serve] refresh published v{} ({} replayed, {} trained on, \
@@ -1504,6 +1753,159 @@ mod tests {
             "unexpected {got:?}"
         );
         assert_eq!(service.stats().deadline_expired, 1);
+        service.shutdown();
+    }
+
+    // ----------------------------------------------------------------
+    // tracing
+
+    #[test]
+    fn tracing_captures_the_request_tree() {
+        let (service, _clock) = manual_service();
+        service.set_tracing(true);
+        let client = service.client();
+
+        let p1 = client.submit(gemm_req(1, 64));
+        assert_eq!(service.stats().queue_depth, 1, "admitted but not drained");
+        while service.queued() > 0 {
+            service.step_shard(0);
+        }
+        let p2 = client.submit(gemm_req(2, 64)); // same canonical query → cache hit
+        while service.queued() > 0 {
+            service.step_shard(0);
+        }
+        assert!(matches!(p1.poll(), Some(Response::Recommendation(_))));
+        assert!(matches!(p2.poll(), Some(Response::Recommendation(_))));
+
+        let stats = service.stats();
+        assert_eq!(stats.queue_depth, 0);
+        assert!(stats.batch_size_p50.expect("batches ran") >= 1.0);
+        assert!(stats.batch_size_p95.is_some());
+
+        let records = service.trace_records();
+        let named = |n: &str| records.iter().filter(|r| r.name == n).collect::<Vec<_>>();
+        let str_arg = |r: &SpanRecord, key: &str| {
+            r.args.iter().find_map(|(k, v)| match v {
+                ArgValue::Str(s) if *k == key => Some(s.clone()),
+                _ => None,
+            })
+        };
+
+        // one request root per admission, tagged with its outcome
+        let requests = named("serve.request");
+        assert_eq!(requests.len(), 2, "{records:#?}");
+        let mut outcomes: Vec<String> = requests
+            .iter()
+            .filter_map(|r| str_arg(r, "outcome"))
+            .collect();
+        outcomes.sort();
+        assert_eq!(outcomes, ["cache_hit", "computed"]);
+        for root in &requests {
+            assert_eq!(root.parent, ai2_obs::NO_PARENT);
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.name == "serve.queue_wait" && r.parent == root.id),
+                "request root without a queue_wait child"
+            );
+        }
+
+        // the computed request went through the model under a
+        // serve.recommend span, with the kernel sections nested inside
+        let recommend = named("serve.recommend");
+        assert_eq!(recommend.len(), 1);
+        assert!(records
+            .iter()
+            .any(|r| r.name == "core.predict" && r.parent == recommend[0].id));
+        assert!(!named("tensor.gemm").is_empty() || !named("tensor.gemm_tn").is_empty());
+
+        // every drained batch is a root with an assembly child
+        let batches = named("serve.batch");
+        assert!(!batches.is_empty());
+        for batch in &batches {
+            assert_eq!(batch.parent, ai2_obs::NO_PARENT);
+            assert!(records
+                .iter()
+                .any(|r| r.name == "serve.batch_assemble" && r.parent == batch.id));
+        }
+        assert!(records
+            .iter()
+            .any(|r| r.name == "serve.cache_lookup" && !r.instant));
+
+        // the export is the Chrome trace_event shape, one event per line
+        let json = service.trace_json();
+        assert!(json.starts_with("{\"traceEvents\":[\n"), "{json}");
+        assert!(json.contains("\"serve.request\""));
+        assert!(json.ends_with("}\n"), "{json}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn trace_admin_toggles_and_dumps_over_the_wire() {
+        let (engine, ckpt) = trained_checkpoint();
+        let mut service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+        let addr = service.listen("127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(addr).unwrap();
+
+        let ack = tcp
+            .send(&Request::Trace {
+                id: 1,
+                enable: Some(true),
+                path: None,
+            })
+            .unwrap();
+        assert!(
+            matches!(&ack, Response::Admin(a) if a.id == 1 && a.op == "trace"),
+            "unexpected {ack:?}"
+        );
+
+        let resp = tcp.send(&Request::Recommend(gemm_req(2, 48))).unwrap();
+        assert!(matches!(resp, Response::Recommendation(_)));
+        // the response reaches the client before the shard records the
+        // request's root span (the span covers the response write); wait
+        // for it so the dump below is complete
+        for _ in 0..200 {
+            if service
+                .trace_records()
+                .iter()
+                .any(|r| r.name == "serve.request")
+            {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        let dir = std::env::temp_dir().join("ai2_serve_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let ack = tcp
+            .send(&Request::Trace {
+                id: 3,
+                enable: None,
+                path: Some(path.to_string_lossy().into_owned()),
+            })
+            .unwrap();
+        assert!(matches!(&ack, Response::Admin(a) if a.id == 3), "{ack:?}");
+        let dumped = std::fs::read_to_string(&path).unwrap();
+        assert!(dumped.starts_with("{\"traceEvents\":["), "{dumped}");
+        assert!(dumped.contains("\"serve.request\""), "{dumped}");
+
+        // an unwritable path answers an error, not a dead connection
+        let bad = tcp
+            .send(&Request::Trace {
+                id: 4,
+                enable: None,
+                path: Some(
+                    dir.join("no/such/dir/t.json")
+                        .to_string_lossy()
+                        .into_owned(),
+                ),
+            })
+            .unwrap();
+        assert!(
+            matches!(&bad, Response::Error { id: 4, message } if message.contains("trace rejected")),
+            "unexpected {bad:?}"
+        );
         service.shutdown();
     }
 }

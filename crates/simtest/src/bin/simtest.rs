@@ -7,6 +7,9 @@
 //!         [--shrink]             on failure, minimize the step count first
 //!         [--soak-secs S]        keep running fresh seeds for ~S seconds
 //!         [--transcript DIR]     write each run's checker transcript to DIR
+//!         [--trace-out DIR]      write each run's Chrome trace JSON to DIR
+//!                                (TRACE_{scenario}_{seed}_{steps}.json;
+//!                                byte-identical across replays)
 //!         [--list]               print the corpus and exit
 //! ```
 //!
@@ -25,6 +28,7 @@ struct Args {
     shrink: bool,
     soak_secs: Option<u64>,
     transcript_dir: Option<String>,
+    trace_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +39,7 @@ fn parse_args() -> Args {
         shrink: false,
         soak_secs: None,
         transcript_dir: None,
+        trace_dir: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let value = |i: &mut usize| -> String {
@@ -68,6 +73,7 @@ fn parse_args() -> Args {
             "--shrink" => args.shrink = true,
             "--soak-secs" => args.soak_secs = Some(value(&mut i).parse().expect("--soak-secs S")),
             "--transcript" => args.transcript_dir = Some(value(&mut i)),
+            "--trace-out" => args.trace_dir = Some(value(&mut i)),
             "--list" => {
                 for s in corpus() {
                     println!("{:24} {}", s.name, s.about);
@@ -83,13 +89,25 @@ fn parse_args() -> Args {
 
 /// Runs one `(scenario, seed)` pair, reporting and optionally shrinking
 /// a failure. Returns whether it passed.
-fn run_one(sc: &Scenario, seed: u64, steps: usize, shrink: bool, dir: Option<&str>) -> bool {
+fn run_one(
+    sc: &Scenario,
+    seed: u64,
+    steps: usize,
+    shrink: bool,
+    dir: Option<&str>,
+    trace_dir: Option<&str>,
+) -> bool {
     let started = Instant::now();
     let report = run_scenario(sc, seed, steps);
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).expect("create --transcript dir");
         let path = format!("{dir}/{}_{seed}_{steps}.transcript", sc.name);
         std::fs::write(&path, &report.transcript).expect("write transcript");
+    }
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir).expect("create --trace-out dir");
+        let path = format!("{dir}/TRACE_{}_{seed}_{steps}.json", sc.name);
+        std::fs::write(&path, &report.trace_json).expect("write trace");
     }
     match &report.failure {
         None => {
@@ -154,7 +172,14 @@ fn main() {
                     "soak: simtest --seed {seed} --scenarios {} --steps {steps}",
                     sc.name
                 );
-                if !run_one(sc, seed, steps, args.shrink, args.transcript_dir.as_deref()) {
+                if !run_one(
+                    sc,
+                    seed,
+                    steps,
+                    args.shrink,
+                    args.transcript_dir.as_deref(),
+                    args.trace_dir.as_deref(),
+                ) {
                     failures += 1;
                 }
                 runs += 1;
@@ -174,6 +199,7 @@ fn main() {
                 steps,
                 args.shrink,
                 args.transcript_dir.as_deref(),
+                args.trace_dir.as_deref(),
             ) {
                 failures += 1;
             }

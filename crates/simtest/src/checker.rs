@@ -35,6 +35,12 @@
 //!   check is scoped *within* the flavor: an int8 shard is held to the
 //!   int8 oracle, never to the f32 one (and stats must report every
 //!   shard as quantized).
+//! * `trace_well_nested` — the span tree the run's trace capture
+//!   recorded is structurally sound: every child span lies within its
+//!   parent's `[start, end]` window, siblings under one parent never
+//!   *partially* overlap (one strictly starting inside another and
+//!   ending after it), and every non-root parent id resolves to a
+//!   recorded span.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -46,7 +52,7 @@ use ai2_serve::{
 use airchitect::{Airchitect2, ModelCheckpoint};
 
 /// Every invariant the checker tracks, by coverage-counter name.
-pub const INVARIANTS: [&str; 8] = [
+pub const INVARIANTS: [&str; 9] = [
     "bit_identity",
     "monotonic_version",
     "cache_epoch_isolation",
@@ -55,6 +61,7 @@ pub const INVARIANTS: [&str; 8] = [
     "deadline_honored",
     "frozen_rejects_publish",
     "flavor_scoped_identity",
+    "trace_well_nested",
 ];
 
 /// The canonical identity of a request with the backend stripped —
@@ -360,6 +367,92 @@ impl Checker {
         Ok(format!(
             "freeze ack frozen={} v={}",
             ack.frozen, ack.model_version
+        ))
+    }
+
+    /// Checks the structural soundness of the run's trace capture:
+    /// every parent id resolves, children lie within their parent's
+    /// time window, and siblings under one parent never partially
+    /// overlap (request roots from different requests may — they run
+    /// concurrently by design). Returns a transcript summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation.
+    pub fn check_trace(&mut self, records: &[ai2_obs::SpanRecord]) -> Result<String, String> {
+        let mut by_id: HashMap<u64, &ai2_obs::SpanRecord> = HashMap::new();
+        for r in records {
+            if r.end_ns < r.start_ns {
+                return Err(format!("span {} ({}) ends before it starts", r.id, r.name));
+            }
+            if by_id.insert(r.id, r).is_some() {
+                return Err(format!("duplicate span id {}", r.id));
+            }
+        }
+        let mut children: HashMap<u64, Vec<&ai2_obs::SpanRecord>> = HashMap::new();
+        for r in records {
+            if r.parent == ai2_obs::NO_PARENT {
+                continue;
+            }
+            let parent = by_id.get(&r.parent).ok_or_else(|| {
+                format!(
+                    "span {} ({}) has dangling parent {}",
+                    r.id, r.name, r.parent
+                )
+            })?;
+            if parent.instant {
+                return Err(format!(
+                    "span {} ({}) is parented to instant {} ({})",
+                    r.id, r.name, parent.id, parent.name
+                ));
+            }
+            if r.start_ns < parent.start_ns || r.end_ns > parent.end_ns {
+                return Err(format!(
+                    "span {} ({}) [{}, {}] escapes parent {} ({}) [{}, {}]",
+                    r.id,
+                    r.name,
+                    r.start_ns,
+                    r.end_ns,
+                    parent.id,
+                    parent.name,
+                    parent.start_ns,
+                    parent.end_ns
+                ));
+            }
+            if !r.instant {
+                children.entry(r.parent).or_default().push(r);
+            }
+        }
+        for siblings in children.values() {
+            for (i, a) in siblings.iter().enumerate() {
+                for b in &siblings[i + 1..] {
+                    let (first, second) = if a.start_ns <= b.start_ns {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
+                    // strict partial overlap: the later sibling starts
+                    // inside the earlier one and outlives it
+                    if second.start_ns > first.start_ns
+                        && second.start_ns < first.end_ns
+                        && second.end_ns > first.end_ns
+                    {
+                        return Err(format!(
+                            "siblings {} ({}) and {} ({}) partially overlap",
+                            first.id, first.name, second.id, second.name
+                        ));
+                    }
+                }
+            }
+        }
+        self.bump("trace_well_nested");
+        Ok(format!(
+            "trace ok {} spans ({} roots)",
+            records.len(),
+            records
+                .iter()
+                .filter(|r| r.parent == ai2_obs::NO_PARENT)
+                .count()
         ))
     }
 

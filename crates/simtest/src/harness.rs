@@ -144,6 +144,11 @@ pub struct SimReport {
     pub steps: usize,
     /// The full checker transcript (deterministic, byte-for-byte).
     pub transcript: String,
+    /// The run's span capture as Chrome `trace_event` JSON — every run
+    /// traces (span ids are allocated in admission order and timestamps
+    /// come off the virtual clock, so two replays of the same triple
+    /// produce **byte-identical** trace files).
+    pub trace_json: String,
     /// Invariant coverage counters, alphabetical.
     pub coverage: Vec<(String, u64)>,
     /// The first invariant violation, if any.
@@ -248,6 +253,10 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
         initial.clone(),
         Arc::clone(&clock) as Arc<dyn Clock>,
     );
+    // every run traces: the drain checks the span tree's structure
+    // (`trace_well_nested`) and the capture rides along in the report
+    // for replay byte-identity checks
+    service.set_tracing(true);
     let mut vt = VirtualTransport::new();
     vt.start(service.endpoint())
         .expect("virtual transport start is infallible");
@@ -301,12 +310,14 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
         if failure.is_none() { "PASS" } else { "FAIL" }
     ));
     let transcript = driver.transcript.join("\n") + "\n";
+    let trace_json = driver.service.trace_json();
     driver.service.shutdown();
     SimReport {
         scenario: sc.name.to_string(),
         seed,
         steps,
         transcript,
+        trace_json,
         coverage,
         failure,
     }
@@ -779,6 +790,9 @@ impl SimDriver<'_> {
         let mut outstanding: Vec<u64> = self.pending.keys().copied().collect();
         outstanding.sort_unstable();
         self.checker.check_zero_drops(&outstanding)?;
+        let records = self.service.trace_records();
+        let summary = self.checker.check_trace(&records)?;
+        self.log(step, format!("drain: {summary}"));
         let stats = self.service.stats();
         let summary = self.checker.check_stats(&stats, self.expected_frozen)?;
         self.log(step, format!("drain: complete; {summary}"));

@@ -74,11 +74,26 @@ fn same_seed_same_scenario_produces_byte_identical_transcripts() {
         a.transcript, b.transcript,
         "two runs of the same (seed, scenario, steps) diverged"
     );
+    // the trace capture is under the same contract: span ids are
+    // allocated in admission order and timestamps come off the virtual
+    // clock, so the Chrome trace exports cannot differ either
+    assert_eq!(
+        a.trace_json, b.trace_json,
+        "two runs of the same (seed, scenario, steps) produced different traces"
+    );
+    assert!(
+        a.trace_json.contains("\"serve.request\""),
+        "the fixture run traced nothing"
+    );
     // and a different seed genuinely produces a different interleaving
     let c = run_scenario(sc, 0xA1C3, 200);
     assert_ne!(
         a.transcript, c.transcript,
         "different seeds must explore different interleavings"
+    );
+    assert_ne!(
+        a.trace_json, c.trace_json,
+        "different seeds must produce different traces"
     );
 }
 

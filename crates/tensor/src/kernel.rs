@@ -126,6 +126,12 @@ pub fn gemm(kn: Kernel, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     debug_assert!(kn.is_available());
+    let mut sp = ai2_obs::local_span("tensor.gemm", "kernel");
+    if sp.is_recording() {
+        sp.arg("m", m);
+        sp.arg("k", k);
+        sp.arg("n", n);
+    }
     // a(i, kk) = a[i*k + kk*1]
     dispatch_gemm(kn, a, b, out, m, k, n, k, 1);
 }
@@ -137,6 +143,12 @@ pub fn gemm_tn(kn: Kernel, a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: u
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     debug_assert!(kn.is_available());
+    let mut sp = ai2_obs::local_span("tensor.gemm_tn", "kernel");
+    if sp.is_recording() {
+        sp.arg("m", m);
+        sp.arg("k", k);
+        sp.arg("n", n);
+    }
     // aᵀ(i, kk) = a[kk*m + i]
     dispatch_gemm(kn, a, b, out, m, k, n, 1, m);
 }
