@@ -52,6 +52,7 @@ fn gemm(id: u64, m: u64) -> RecommendRequest {
         budget: Budget::Edge,
         deadline_ms: None,
         backend: None,
+        pipeline: None,
     }
 }
 

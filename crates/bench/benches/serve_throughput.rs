@@ -53,6 +53,7 @@ fn gemm(id: u64, m: u64, n: u64, k: u64, objective: Objective) -> RecommendReque
         budget: Budget::Edge,
         deadline_ms: None,
         backend: None,
+        pipeline: None,
     }
 }
 

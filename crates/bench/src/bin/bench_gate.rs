@@ -4,11 +4,15 @@
 //! and fails (exit 1) when the p95 client latency regressed by more
 //! than the allowed fraction. The gate **keys on configuration, not
 //! just numbers**: the two records must describe the same backend,
-//! shard count and inference kernel, otherwise the comparison is
-//! refused (exit 2) — a 4-shard systolic run "regressing" against a
-//! 1-shard analytic baseline is a configuration mismatch, not a perf
-//! signal, and an AVX2 run "improving" on a scalar baseline is the
-//! dispatcher picking a different code path, not a code change.
+//! shard count, inference kernel and recommendation pipeline,
+//! otherwise the comparison is refused (exit 2) — a 4-shard systolic
+//! run "regressing" against a 1-shard analytic baseline is a
+//! configuration mismatch, not a perf signal, an AVX2 run "improving"
+//! on a scalar baseline is the dispatcher picking a different code
+//! path, not a code change, and a staged predict→refine→verify run
+//! "regressing" against a one-shot baseline is the pipeline doing
+//! strictly more work per query by design. A missing `pipeline` field
+//! (records written before pipelines existed) matches `"default"`.
 //!
 //! ```text
 //! bench_gate --baseline ci/BENCH_baseline.json
@@ -52,6 +56,7 @@ struct GateReport {
     backend: String,
     shards: usize,
     kernel: String,
+    pipeline: String,
     baseline_traced: Option<bool>,
     current_traced: Option<bool>,
 }
@@ -105,29 +110,38 @@ fn main() {
     let current = load(&args.current);
 
     // -- configuration key: refuse apples-vs-oranges comparisons ------
+    // `pipeline` is normalized: a record with no pipeline field (or an
+    // explicit null) ran the server's built-in "default"
+    let norm = |r: &LoadgenResult| r.pipeline.clone().unwrap_or_else(|| "default".to_string());
+    let (baseline_pipeline, current_pipeline) = (norm(&baseline), norm(&current));
     if baseline.backend != current.backend
         || baseline.shards != current.shards
         || baseline.kernel != current.kernel
+        || baseline_pipeline != current_pipeline
     {
         eprintln!(
-            "bench_gate: CONFIGURATION MISMATCH — baseline ran backend={} shards={} kernel={}, \
-             current ran backend={} shards={} kernel={}; regenerate the baseline for this \
-             configuration (force a kernel with AI2_KERNEL=scalar|sse2|avx2)",
+            "bench_gate: CONFIGURATION MISMATCH — baseline ran backend={} shards={} kernel={} \
+             pipeline={}, current ran backend={} shards={} kernel={} pipeline={}; regenerate \
+             the baseline for this configuration (force a kernel with \
+             AI2_KERNEL=scalar|sse2|avx2)",
             baseline.backend,
             baseline.shards,
             baseline.kernel,
+            baseline_pipeline,
             current.backend,
             current.shards,
-            current.kernel
+            current.kernel,
+            current_pipeline
         );
         std::process::exit(2);
     }
 
     println!(
-        "bench_gate: config backend={} shards={} kernel={} | model v{} → v{}",
+        "bench_gate: config backend={} shards={} kernel={} pipeline={} | model v{} → v{}",
         current.backend,
         current.shards,
         current.kernel,
+        current_pipeline,
         baseline.model_version,
         current.model_version
     );
@@ -163,6 +177,7 @@ fn main() {
             backend: current.backend.clone(),
             shards: current.shards,
             kernel: current.kernel.clone(),
+            pipeline: current_pipeline.clone(),
             baseline_traced: baseline.traced,
             current_traced: current.traced,
         };

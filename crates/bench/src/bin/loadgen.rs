@@ -26,6 +26,11 @@
 //!         [--deadline-ms N]                        per-request deadline
 //!         [--backend NAME]                         cost backend on every query
 //!                                                  ("analytic" / "systolic")
+//!         [--pipeline NAME]                        recommendation pipeline on
+//!                                                  every GEMM query (a name the
+//!                                                  server has registered, e.g.
+//!                                                  "staged"; model queries stay
+//!                                                  on "default")
 //!         [--refresh]                              swap the checkpoint mid-run
 //!         [--swap-checkpoint PATH]                 server-side checkpoint path
 //!                                                  the swap publishes
@@ -55,6 +60,7 @@ struct Args {
     models: bool,
     deadline_ms: Option<u64>,
     backend: Option<String>,
+    pipeline: Option<String>,
     refresh: bool,
     swap_checkpoint: Option<String>,
     json: Option<String>,
@@ -70,6 +76,7 @@ fn parse_args() -> Args {
         models: false,
         deadline_ms: None,
         backend: None,
+        pipeline: None,
         refresh: false,
         swap_checkpoint: None,
         json: None,
@@ -96,6 +103,7 @@ fn parse_args() -> Args {
                 args.deadline_ms = Some(value(&mut i).parse().expect("--deadline-ms"))
             }
             "--backend" => args.backend = Some(value(&mut i)),
+            "--pipeline" => args.pipeline = Some(value(&mut i)),
             "--refresh" => args.refresh = true,
             "--swap-checkpoint" => args.swap_checkpoint = Some(value(&mut i)),
             "--json" => args.json = Some(value(&mut i)),
@@ -227,7 +235,13 @@ fn main() {
                     if n >= args.requests as u64 {
                         return;
                     }
-                    let req = nth_query(n, args.models, args.deadline_ms, args.backend.as_deref());
+                    let req = nth_query(
+                        n,
+                        args.models,
+                        args.deadline_ms,
+                        args.backend.as_deref(),
+                        args.pipeline.as_deref(),
+                    );
                     let sent = Instant::now();
                     match client.send(&Request::Recommend(req)) {
                         Ok(resp) => match check(&resp, args.deadline_ms.is_some()) {
@@ -388,6 +402,7 @@ fn main() {
                 .backend
                 .clone()
                 .unwrap_or_else(|| "analytic".to_string()),
+            pipeline: args.pipeline.clone(),
             shards: server.shards,
             kernel: if server.quantized_shards > 0 {
                 "quantized".to_string()

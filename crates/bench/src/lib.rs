@@ -63,6 +63,14 @@ pub struct LoadgenResult {
     /// Cost backend every query requested (`"analytic"` when none was
     /// passed — the server default).
     pub backend: String,
+    /// Recommendation pipeline every GEMM query selected (`--pipeline`).
+    /// `None` — including on records written before pipelines existed —
+    /// means the server's built-in `"default"` and is matched as such.
+    /// Part of the configuration identity `bench_gate` refuses to mix:
+    /// a staged predict → refine → verify run does strictly more work
+    /// per query than a one-shot run, so comparing across pipelines
+    /// reports workload differences, not regressions.
+    pub pipeline: Option<String>,
     /// Worker shards the server ran.
     pub shards: usize,
     /// Inference kernel the numbers were measured under: the server's

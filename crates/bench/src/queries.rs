@@ -23,6 +23,7 @@ pub fn nth_query(
     models: bool,
     deadline_ms: Option<u64>,
     backend: Option<&str>,
+    pipeline: Option<&str>,
 ) -> RecommendRequest {
     const OBJECTIVES: [ai2_dse::Objective; 3] = [
         ai2_dse::Objective::Latency,
@@ -42,6 +43,12 @@ pub fn nth_query(
             dataflow: DATAFLOWS[n as usize % 3].to_string(),
         }
     };
+    // staged pipelines apply to GEMM queries only; a model query keeps
+    // its default pipeline so `--pipeline` mixes stay servable
+    let pipeline = match &query {
+        Query::Gemm { .. } => pipeline.map(str::to_string),
+        Query::Model { .. } => None,
+    };
     RecommendRequest {
         id: n,
         query,
@@ -49,6 +56,7 @@ pub fn nth_query(
         budget: ai2_dse::Budget::Edge,
         deadline_ms,
         backend: backend.map(str::to_string),
+        pipeline,
     }
 }
 
@@ -59,16 +67,23 @@ mod tests {
     #[test]
     fn nth_query_is_a_pure_function_of_n() {
         for n in 0..64 {
-            let a = nth_query(n, true, Some(5), Some("systolic"));
-            let b = nth_query(n, true, Some(5), Some("systolic"));
+            let a = nth_query(n, true, Some(5), Some("systolic"), Some("staged"));
+            let b = nth_query(n, true, Some(5), Some("systolic"), Some("staged"));
             assert_eq!(a, b, "query {n} must be deterministic");
             assert_eq!(a.id, n);
+            // pipelines ride on GEMM queries only
+            match &a.query {
+                Query::Gemm { .. } => assert_eq!(a.pipeline.as_deref(), Some("staged")),
+                Query::Model { .. } => assert_eq!(a.pipeline, None),
+            }
         }
     }
 
     #[test]
     fn the_mix_covers_models_objectives_and_dataflows() {
-        let reqs: Vec<RecommendRequest> = (0..24).map(|n| nth_query(n, true, None, None)).collect();
+        let reqs: Vec<RecommendRequest> = (0..24)
+            .map(|n| nth_query(n, true, None, None, None))
+            .collect();
         let model_names: Vec<&str> = reqs
             .iter()
             .filter_map(|r| match &r.query {
@@ -95,7 +110,7 @@ mod tests {
         }
         // without the models flag everything is a GEMM
         assert!((0..24)
-            .map(|n| nth_query(n, false, None, None))
+            .map(|n| nth_query(n, false, None, None, None))
             .all(|r| matches!(r.query, Query::Gemm { .. })));
     }
 }

@@ -45,6 +45,7 @@ mod space;
 
 pub mod backend;
 pub mod engine;
+pub mod pipeline;
 pub mod pool;
 pub mod search;
 pub mod stats;
@@ -53,5 +54,9 @@ pub use backend::{AnalyticBackend, BackendId, CostBackend, ParseBackendError, Sy
 pub use dataset::{DatasetError, DseDataset, DseSample, GenerateConfig};
 pub use engine::{EngineStats, EvalEngine};
 pub use objective::{Budget, DseTask, Objective, OracleResult};
+pub use pipeline::{
+    BackendEngines, Candidate, Pipeline, PipelineAnswer, PipelineCfg, PipelineError, PipelineQuery,
+    PipelineSet, PipelinesFile, Stage, StageCfg,
+};
 pub use pool::WorkPool;
 pub use space::{DesignPoint, DesignSpace};

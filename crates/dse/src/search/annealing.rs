@@ -17,6 +17,8 @@ pub struct AnnealingSearcher {
     t0_frac: f64,
     /// Per-step temperature decay.
     decay: f64,
+    /// Warm start: begin the walk here instead of at a random point.
+    start: Option<DesignPoint>,
 }
 
 impl AnnealingSearcher {
@@ -26,6 +28,7 @@ impl AnnealingSearcher {
             seed,
             t0_frac: 0.3,
             decay: 0.97,
+            start: None,
         }
     }
 
@@ -44,24 +47,32 @@ impl AnnealingSearcher {
         self.decay = decay;
         self
     }
-}
 
-impl Searcher for AnnealingSearcher {
-    fn search(
-        &mut self,
-        engine: &EvalEngine,
-        input: DseInput,
-        budget_evals: usize,
-    ) -> SearchResult {
+    /// Seeds the walk at `p` (a pipeline's incoming best candidate)
+    /// instead of a random point. The seed is evaluated first, so a
+    /// warm-started search can never report worse than its seed.
+    /// Without a start point the walk behaves exactly as before.
+    pub fn with_start(mut self, p: DesignPoint) -> Self {
+        self.start = Some(p);
+        self
+    }
+
+    /// The annealing loop over a caller-built context — the pipeline
+    /// entry point, where the context carries a per-request goal
+    /// ([`SearchContext::with_goal`]) rather than the engine task's.
+    pub fn search_in(&self, ctx: &mut SearchContext<'_>, budget_evals: usize) {
         let mut r = rng::seeded(self.seed);
-        let mut ctx = SearchContext::new(engine, input);
+        let engine = ctx.engine();
         let space = engine.space();
         if budget_evals == 0 {
-            return SearchResult::from_context(ctx);
+            return;
         }
-        let mut current = DesignPoint {
-            pe_idx: r.random_range(0..space.num_pe_choices()),
-            buf_idx: r.random_range(0..space.num_buf_choices()),
+        let mut current = match self.start {
+            Some(p) => p,
+            None => DesignPoint {
+                pe_idx: r.random_range(0..space.num_pe_choices()),
+                buf_idx: r.random_range(0..space.num_buf_choices()),
+            },
         };
         let mut current_score = ctx.evaluate(current);
         let mut temp = current_score * self.t0_frac;
@@ -81,6 +92,18 @@ impl Searcher for AnnealingSearcher {
             }
             temp *= self.decay;
         }
+    }
+}
+
+impl Searcher for AnnealingSearcher {
+    fn search(
+        &mut self,
+        engine: &EvalEngine,
+        input: DseInput,
+        budget_evals: usize,
+    ) -> SearchResult {
+        let mut ctx = SearchContext::new(engine, input);
+        self.search_in(&mut ctx, budget_evals);
         SearchResult::from_context(ctx)
     }
 

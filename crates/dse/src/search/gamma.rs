@@ -17,6 +17,8 @@ pub struct GammaSearcher {
     population: usize,
     mutation_rate: f64,
     elite: usize,
+    /// Warm start: the first population member, instead of random.
+    start: Option<DesignPoint>,
 }
 
 impl GammaSearcher {
@@ -28,6 +30,7 @@ impl GammaSearcher {
             population: 20,
             mutation_rate: 0.25,
             elite: 2,
+            start: None,
         }
     }
 
@@ -39,6 +42,16 @@ impl GammaSearcher {
     pub fn with_population(mut self, population: usize) -> Self {
         assert!(population >= 2, "GammaSearcher: population must be ≥ 2");
         self.population = population;
+        self
+    }
+
+    /// Seeds the initial population with `p` (a pipeline's incoming best
+    /// candidate) as its first member; the rest stay random. The seed is
+    /// evaluated like any member, so a warm-started run can never report
+    /// worse than its seed. Without a start point the GA behaves exactly
+    /// as before.
+    pub fn with_start(mut self, p: DesignPoint) -> Self {
+        self.start = Some(p);
         self
     }
 
@@ -55,24 +68,25 @@ impl GammaSearcher {
     }
 }
 
-impl Searcher for GammaSearcher {
-    fn search(
-        &mut self,
-        engine: &EvalEngine,
-        input: DseInput,
-        budget_evals: usize,
-    ) -> SearchResult {
+impl GammaSearcher {
+    /// The GA loop over a caller-built context — the pipeline entry
+    /// point, where the context carries a per-request goal
+    /// ([`SearchContext::with_goal`]) rather than the engine task's.
+    pub fn search_in(&self, ctx: &mut SearchContext<'_>, budget_evals: usize) {
         let mut r = rng::seeded(self.seed);
-        let mut ctx = SearchContext::new(engine, input);
+        let engine = ctx.engine();
         let space = engine.space();
         let pop_size = self.population.min(budget_evals.max(2));
 
-        // initial population
+        // initial population (the warm start, when present, claims slot 0)
         let mut pop: Vec<(DesignPoint, f64)> = (0..pop_size)
-            .map(|_| {
-                let p = DesignPoint {
-                    pe_idx: r.random_range(0..space.num_pe_choices()),
-                    buf_idx: r.random_range(0..space.num_buf_choices()),
+            .map(|i| {
+                let p = match (i, self.start) {
+                    (0, Some(p)) => p,
+                    _ => DesignPoint {
+                        pe_idx: r.random_range(0..space.num_pe_choices()),
+                        buf_idx: r.random_range(0..space.num_buf_choices()),
+                    },
                 };
                 let s = ctx.evaluate(p);
                 (p, s)
@@ -115,6 +129,18 @@ impl Searcher for GammaSearcher {
             }
             pop = next;
         }
+    }
+}
+
+impl Searcher for GammaSearcher {
+    fn search(
+        &mut self,
+        engine: &EvalEngine,
+        input: DseInput,
+        budget_evals: usize,
+    ) -> SearchResult {
+        let mut ctx = SearchContext::new(engine, input);
+        self.search_in(&mut ctx, budget_evals);
         SearchResult::from_context(ctx)
     }
 

@@ -34,6 +34,7 @@ pub use random::RandomSearcher;
 use ai2_workloads::generator::DseInput;
 
 use crate::engine::EvalEngine;
+use crate::objective::{Budget, Objective};
 use crate::space::DesignPoint;
 
 /// Evaluation bookkeeping shared by every searcher: scores design points
@@ -43,6 +44,11 @@ use crate::space::DesignPoint;
 pub struct SearchContext<'e> {
     engine: &'e EvalEngine,
     input: DseInput,
+    /// Objective/budget override for searches ran on behalf of a serving
+    /// query rather than the engine's own task (`None` = task goal,
+    /// scored through the grid-materialising [`EvalEngine::score`] path
+    /// exactly as before the override existed).
+    goal: Option<(Objective, Budget)>,
     evals: usize,
     best: Option<(f64, DesignPoint)>,
     trace: Vec<f64>,
@@ -54,14 +60,34 @@ impl<'e> SearchContext<'e> {
         SearchContext {
             engine,
             input,
+            goal: None,
             evals: 0,
             best: None,
             trace: Vec::new(),
         }
     }
 
-    /// The evaluation substrate under search.
-    pub fn engine(&self) -> &EvalEngine {
+    /// A context scoring under an arbitrary objective and budget instead
+    /// of the engine task's own — the pipeline refinement path, where a
+    /// per-request goal searches through an engine whose task may want
+    /// something else. Scoring goes through the transient
+    /// [`EvalEngine::score_with`] path, so one-shot serving queries never
+    /// pin grid-cache capacity.
+    pub fn with_goal(
+        engine: &'e EvalEngine,
+        input: DseInput,
+        objective: Objective,
+        budget: Budget,
+    ) -> Self {
+        SearchContext {
+            goal: Some((objective, budget)),
+            ..SearchContext::new(engine, input)
+        }
+    }
+
+    /// The evaluation substrate under search (borrowing the engine, not
+    /// the context, so searchers can hold it across `evaluate` calls).
+    pub fn engine(&self) -> &'e EvalEngine {
         self.engine
     }
 
@@ -74,13 +100,24 @@ impl<'e> SearchContext<'e> {
     /// the query count and the best-so-far trace.
     pub fn evaluate(&mut self, p: DesignPoint) -> f64 {
         self.evals += 1;
-        let score = match self.engine.score(&self.input, p) {
-            Some(s) => s,
-            // soft penalty keeps population methods moving instead of
-            // stalling on the feasibility boundary
-            None => self.engine.score_unchecked(&self.input, p) * 10.0,
+        let score = match self.goal {
+            None => match self.engine.score(&self.input, p) {
+                Some(s) => s,
+                // soft penalty keeps population methods moving instead of
+                // stalling on the feasibility boundary
+                None => self.engine.score_unchecked(&self.input, p) * 10.0,
+            },
+            Some((objective, budget)) => {
+                match self.engine.score_with(&self.input, p, objective, budget) {
+                    Some(s) => s,
+                    None => self.engine.score_unchecked_with(&self.input, p, objective) * 10.0,
+                }
+            }
         };
-        let feasible = self.engine.is_feasible(p);
+        let feasible = match self.goal {
+            None => self.engine.is_feasible(p),
+            Some((_, budget)) => self.engine.is_feasible_under(p, budget),
+        };
         if feasible {
             match self.best {
                 Some((b, _)) if b <= score => {}
@@ -132,7 +169,13 @@ impl SearchResult {
                 pe_idx: 0,
                 buf_idx: 0,
             };
-            (ctx.engine.score(&ctx.input, p).unwrap_or(f64::INFINITY), p)
+            let score = match ctx.goal {
+                None => ctx.engine.score(&ctx.input, p),
+                Some((objective, budget)) => {
+                    ctx.engine.score_with(&ctx.input, p, objective, budget)
+                }
+            };
+            (score.unwrap_or(f64::INFINITY), p)
         });
         SearchResult {
             best_point,

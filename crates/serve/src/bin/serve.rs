@@ -22,6 +22,10 @@
 //!       [--save-checkpoint P] write the trained checkpoint to P
 //!       [--refresh-secs N]    background refresh loop every N seconds
 //!                             (fine-tune on the replay buffer, publish)
+//!       [--pipelines FILE]    register named recommendation pipelines
+//!                             from a JSON file ({"pipelines":[{"name":…,
+//!                             "stages":[{"stage":"predict"},…]},…]});
+//!                             the built-in "default" is always present
 //!       [--trace-out FILE]    enable request tracing and periodically
 //!                             rewrite FILE with the Chrome trace_event
 //!                             JSON of the capture so far
@@ -29,7 +33,7 @@
 
 use std::sync::Arc;
 
-use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig};
+use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig, PipelineSet, PipelinesFile};
 use ai2_serve::{RecommendService, RefreshConfig, ServeConfig};
 use airchitect::train::TrainConfig;
 use airchitect::{Airchitect2, ModelCheckpoint, ModelConfig};
@@ -84,6 +88,15 @@ fn parse_args() -> Args {
                     interval: std::time::Duration::from_secs(secs),
                     ..RefreshConfig::default()
                 });
+            }
+            "--pipelines" => {
+                let path = value(&mut i);
+                let body = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("--pipelines: cannot read {path:?}: {e}"));
+                let file: PipelinesFile = serde_json::from_str(&body)
+                    .unwrap_or_else(|e| panic!("--pipelines: {path:?}: {e}"));
+                args.cfg.pipelines = PipelineSet::with(&file.pipelines)
+                    .unwrap_or_else(|e| panic!("--pipelines: {path:?}: {e}"));
             }
             other => panic!("unknown argument {other:?} (see src/bin/serve.rs for usage)"),
         }
@@ -140,10 +153,11 @@ fn main() {
         .listen(("127.0.0.1", args.port))
         .expect("bind listen port");
     eprintln!(
-        "[serve] {} shards, max batch {}, cache {} entries{}",
+        "[serve] {} shards, max batch {}, cache {} entries, pipelines [{}]{}",
         args.cfg.shards,
         args.cfg.max_batch,
         args.cfg.cache_capacity,
+        args.cfg.pipelines.names().join(", "),
         match &args.cfg.refresh {
             Some(r) => format!(", refresh every {:?}", r.interval),
             None => String::new(),

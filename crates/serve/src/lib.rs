@@ -11,9 +11,13 @@
 //!
 //! * [`protocol`] — the wire types ([`Request`], [`Response`],
 //!   [`Recommendation`], [`ServeStats`]) and the canonical [`QueryKey`].
-//! * [`recommend`] — the pure batched kernel: one coalesced forward
-//!   pass per micro-batch, grouped engine verification, Method-1-style
-//!   whole-model deployment folds.
+//! * [`recommend`] — the pure batched kernel, now the **pipeline
+//!   executor**: requests are grouped per selected
+//!   [`PipelineSet`](ai2_dse::PipelineSet) entry and each group runs
+//!   its stage graph over one coalesced micro-batch; requests that name
+//!   no pipeline run the degenerate single-stage `"default"` pipeline,
+//!   bit-identical to the historical one-shot path. Model queries run
+//!   the Method-1-style whole-model deployment fold.
 //! * [`server`] — the runtime: admission queue, micro-batching worker
 //!   shards (each a warm model replica restored from one
 //!   [`ModelCheckpoint`](airchitect::ModelCheckpoint)), an LRU response
@@ -66,6 +70,7 @@
 //!     budget: Budget::Edge,
 //!     deadline_ms: Some(50),
 //!     backend: None, // or Some("systolic".into()) for cycle-accurate costs
+//!     pipeline: None, // or Some("staged".into()) for a configured stage graph
 //! });
 //! println!("{resp:?} (also serving on {addr})");
 //! ```
@@ -85,7 +90,7 @@ pub use metrics::{MetricsSnapshot, ServiceMetrics, ShardMetrics};
 pub use protocol::{
     AdminAck, Query, QueryKey, RecommendRequest, Recommendation, Request, Response, ServeStats,
 };
-pub use recommend::{recommend_batch, BackendEngines};
+pub use recommend::{recommend_batch, recommend_batch_in, recommend_batch_with, BackendEngines};
 pub use refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer, ReplayEntry};
 pub use registry::{ModelRegistry, PublishError};
 pub use server::{Client, Driver, Endpoint, Pending, RecommendService, ServeConfig, Submission};

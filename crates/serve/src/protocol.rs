@@ -66,6 +66,14 @@ pub enum Request {
         /// Desired freeze state.
         frozen: bool,
     },
+    /// Admin: list the named recommendation pipelines this server
+    /// compiled at startup (`serve --pipelines FILE` plus the built-in
+    /// `"default"`), each with its stage kinds in execution order.
+    /// Answered with [`Response::Pipelines`].
+    Pipelines {
+        /// Echoed in the response.
+        id: u64,
+    },
     /// Admin: control the in-process tracer. `enable: true` starts a
     /// fresh capture (prior spans are discarded so two captures of the
     /// same deterministic run are byte-identical); `enable: false`
@@ -137,6 +145,12 @@ impl serde::Deserialize for Request {
                             frozen: serde::de_field(content, "frozen")?,
                         })
                     }
+                    "Pipelines" => {
+                        deny_unknown_fields(content, "Pipelines", &["id"])?;
+                        Ok(Request::Pipelines {
+                            id: serde::de_field(content, "id")?,
+                        })
+                    }
                     "Trace" => {
                         deny_unknown_fields(content, "Trace", &["id", "enable", "path"])?;
                         Ok(Request::Trace {
@@ -183,6 +197,11 @@ pub struct RecommendRequest {
     /// default when omitted or `null`) or `"systolic"`. Unknown names
     /// are rejected with an error response.
     pub backend: Option<String>,
+    /// Named recommendation pipeline to answer through; omitted or
+    /// `null` selects `"default"` — the degenerate single-stage
+    /// pipeline whose answers are bit-identical to the pre-pipeline
+    /// server. Unknown names are rejected with an error response.
+    pub pipeline: Option<String>,
 }
 
 impl RecommendRequest {
@@ -251,6 +270,15 @@ pub enum Response {
     Stats(ServeStats),
     /// Acknowledgement of an admin `swap` / `freeze`.
     Admin(AdminAck),
+    /// The compiled pipeline registry (answer to
+    /// [`Request::Pipelines`]).
+    Pipelines {
+        /// Echo of the request id.
+        id: u64,
+        /// Registered pipelines, registration order (`"default"`
+        /// first).
+        pipelines: Vec<PipelineInfo>,
+    },
     /// The request could not be served (unknown model, bad dataflow,
     /// expired deadline, malformed line — the message says which).
     Error {
@@ -301,6 +329,26 @@ pub struct Recommendation {
     /// `"systolic"`), echoed so clients can tell which evaluator
     /// answered.
     pub backend: String,
+}
+
+/// One compiled pipeline, as listed by [`Response::Pipelines`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineInfo {
+    /// Registry name (what `"pipeline": "<name>"` selects).
+    pub name: String,
+    /// Stage kinds in execution order (`"predict"` / `"refine"` /
+    /// `"verify"` / `"pareto"`).
+    pub stages: Vec<String>,
+}
+
+/// Per-pipeline served counter, as reported by [`ServeStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineServed {
+    /// Pipeline name.
+    pub name: String,
+    /// Recommendations answered through this pipeline, including cache
+    /// hits.
+    pub served: u64,
 }
 
 /// Service counters and latency percentiles (the `stats` endpoint).
@@ -364,6 +412,9 @@ pub struct ServeStats {
     /// ([`crate::ServeConfig::quantized_shards`]); 0 means every shard
     /// runs the full-precision f32 decoder.
     pub quantized_shards: usize,
+    /// Recommendations answered per pipeline (name-sorted, including
+    /// cache hits; pipelines that served nothing still appear with 0).
+    pub pipelines: Vec<PipelineServed>,
 }
 
 /// The canonical identity of a recommendation query — the response-cache
@@ -378,6 +429,10 @@ pub struct QueryKey {
     /// The verifying cost backend — cached answers from one backend must
     /// never be served for another.
     backend: BackendId,
+    /// The answering pipeline, normalised (`None` on the wire and an
+    /// explicit `"default"` are the same identity). Staged answers must
+    /// never be served from a one-shot cache entry or vice versa.
+    pipeline: String,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -412,6 +467,7 @@ impl QueryKey {
                 None => u64::MAX,
             },
             backend,
+            pipeline: req.pipeline.as_deref().unwrap_or("default").to_string(),
         })
     }
 }
@@ -447,6 +503,7 @@ mod tests {
             budget: Budget::Edge,
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         }
     }
 
@@ -463,8 +520,10 @@ mod tests {
                 budget: Budget::Custom(0.31),
                 deadline_ms: Some(250),
                 backend: Some("systolic".into()),
+                pipeline: Some("staged".into()),
             }),
             Request::Stats { id: 9 },
+            Request::Pipelines { id: 14 },
             Request::Swap {
                 id: 10,
                 path: "/var/ckpt/model_v3.json".into(),
@@ -562,6 +621,7 @@ mod tests {
             budget: Budget::Edge,
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         };
         let lower = RecommendRequest {
             query: Query::Model {
@@ -603,6 +663,66 @@ mod tests {
         let mut explicit = gemm_req(1);
         explicit.backend = Some("analytic".into());
         assert_eq!(QueryKey::of(&explicit).unwrap(), analytic);
+    }
+
+    #[test]
+    fn pipeline_field_is_optional_on_the_wire() {
+        // a pre-pipeline client line (no "pipeline" key at all) must
+        // still parse, selecting the default pipeline
+        let line = r#"{"Recommend":{"id":3,"query":{"Gemm":{"m":8,"n":8,"k":8,"dataflow":"os"}},"objective":"Latency","budget":"Edge","deadline_ms":null,"backend":null}}"#;
+        let req: Request = decode_line(line).unwrap();
+        let Request::Recommend(req) = req else {
+            panic!("expected recommend, got {req:?}");
+        };
+        assert_eq!(req.pipeline, None);
+    }
+
+    #[test]
+    fn pipeline_is_part_of_the_cache_identity() {
+        let default = QueryKey::of(&gemm_req(1)).unwrap();
+        let mut staged = gemm_req(1);
+        staged.pipeline = Some("staged".into());
+        assert_ne!(
+            default,
+            QueryKey::of(&staged).unwrap(),
+            "staged answers must never be served from the one-shot cache"
+        );
+        // the explicit default spelling canonicalises onto the implicit
+        // one: both hit the same cache entry
+        let mut explicit = gemm_req(1);
+        explicit.pipeline = Some("default".into());
+        assert_eq!(QueryKey::of(&explicit).unwrap(), default);
+    }
+
+    #[test]
+    fn pipelines_listing_roundtrips_and_is_strict() {
+        let resp = Response::Pipelines {
+            id: 21,
+            pipelines: vec![
+                PipelineInfo {
+                    name: "default".into(),
+                    stages: vec!["predict".into()],
+                },
+                PipelineInfo {
+                    name: "staged".into(),
+                    stages: vec!["predict".into(), "refine".into(), "verify".into()],
+                },
+            ],
+        };
+        let back: Response = decode_line(&encode_line(&resp)).unwrap();
+        assert_eq!(back, resp);
+        // the request side is admin-strict
+        assert_eq!(
+            decode_line::<Request>(r#"{"Pipelines":{"id":5}}"#).unwrap(),
+            Request::Pipelines { id: 5 }
+        );
+        let err = decode_line::<Request>(r#"{"Pipelines":{"id":5,"verbose":true}}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("unknown field") && err.contains("verbose") && err.contains("Pipelines"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,18 +1,25 @@
-//! The pure recommendation kernel: a batch of parsed requests against
-//! one warm [`Airchitect2`] and one [`EvalEngine`] per cost backend
-//! ([`BackendEngines`]), no queues or sockets.
+//! The pure recommendation kernel — now the **pipeline executor**: a
+//! batch of parsed requests against one warm [`Airchitect2`], one
+//! [`EvalEngine`] per cost backend ([`BackendEngines`]), and a
+//! [`PipelineSet`] of named stage graphs, no queues or sockets.
 //!
 //! This is the function the worker shards call on every micro-batch, and
 //! the function tests call directly to establish the ground truth the
-//! served path must match bit-for-bit. Per-row model inference is
-//! batch-invariant (each row's forward pass touches only its own
-//! activations), so coalescing requests into one `predict` call returns
-//! exactly what per-request calls would.
+//! served path must match bit-for-bit. Requests that select no pipeline
+//! run the registry's built-in `"default"` — the degenerate single-stage
+//! [`PredictorOneShot`](ai2_dse::pipeline::PredictorOneShot) pipeline,
+//! whose answers are bit-identical to the historical one-shot path (the
+//! per-(backend, objective) grouping that used to live here moved into
+//! that stage, where it now exists exactly once). Per-row model
+//! inference is batch-invariant (each row's forward pass touches only
+//! its own activations), so coalescing or splitting requests across
+//! `predict` calls — which pipeline grouping does — returns exactly what
+//! per-request calls would.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use ai2_dse::{BackendId, DesignPoint, EvalEngine, Objective};
+use ai2_dse::{DesignPoint, EvalEngine, Objective, Pipeline, PipelineQuery, PipelineSet};
 use ai2_maestro::Dataflow;
 use ai2_workloads::generator::DseInput;
 use ai2_workloads::zoo;
@@ -20,59 +27,12 @@ use airchitect::{Airchitect2, InferenceScratch};
 
 use crate::protocol::{Query, RecommendRequest, Recommendation, Response};
 
-/// One [`EvalEngine`] per cost backend over the same task. Each engine
-/// owns its backend, so grid/oracle caches can never mix labels across
-/// backends; feasibility is identical across engines (shared area
-/// model).
-#[derive(Debug, Clone)]
-pub struct BackendEngines {
-    analytic: Arc<EvalEngine>,
-    systolic: Arc<EvalEngine>,
-    primary: BackendId,
-}
+pub use ai2_dse::BackendEngines;
 
-impl BackendEngines {
-    /// Wraps the primary engine — the one the model was trained over and
-    /// predicts through, whatever its backend — and builds a sibling
-    /// engine over the same task for every other backend, so queries can
-    /// select either evaluator regardless of which one trained the
-    /// model.
-    pub fn new(primary: Arc<EvalEngine>) -> BackendEngines {
-        let primary_id = primary.backend_id();
-        let task = primary.task().clone();
-        let sibling = |id: BackendId| -> Arc<EvalEngine> {
-            if id == primary_id {
-                Arc::clone(&primary)
-            } else {
-                Arc::new(EvalEngine::for_backend(task.clone(), id))
-            }
-        };
-        BackendEngines {
-            analytic: sibling(BackendId::Analytic),
-            systolic: sibling(BackendId::Systolic),
-            primary: primary_id,
-        }
-    }
-
-    /// The engine answering queries for `id`.
-    pub fn get(&self, id: BackendId) -> &Arc<EvalEngine> {
-        match id {
-            BackendId::Analytic => &self.analytic,
-            BackendId::Systolic => &self.systolic,
-        }
-    }
-
-    /// The primary engine (the model's training/prediction substrate).
-    pub fn primary(&self) -> &Arc<EvalEngine> {
-        self.get(self.primary)
-    }
-}
-
-/// Answers a batch of recommendation requests: one coalesced
-/// `Predictor` forward pass for all GEMM queries, grouped
-/// [`EvalEngine::score_many_inputs`] verification per
-/// `(backend, objective)` group, and a Method-1-style deployment fold
-/// per model query. Responses come back in request order.
+/// Answers a batch of recommendation requests against the built-in
+/// default registry (requests selecting a named pipeline get an error;
+/// the serving layer passes its configured set through
+/// [`recommend_batch_in`]).
 pub fn recommend_batch(
     model: &Airchitect2,
     engines: &BackendEngines,
@@ -95,10 +55,30 @@ pub fn recommend_batch_with(
     reqs: &[RecommendRequest],
     scratch: &mut InferenceScratch,
 ) -> Vec<Response> {
+    recommend_batch_in(model, engines, &PipelineSet::default(), reqs, scratch)
+}
+
+/// The full executor: answers a batch against a configured
+/// [`PipelineSet`]. GEMM queries are grouped per selected pipeline and
+/// each group runs its stage graph over one coalesced micro-batch;
+/// model (whole-network) queries run the Method-1 deployment fold and
+/// accept only the default pipeline. Responses come back in request
+/// order.
+pub fn recommend_batch_in(
+    model: &Airchitect2,
+    engines: &BackendEngines,
+    pipelines: &PipelineSet,
+    reqs: &[RecommendRequest],
+    scratch: &mut InferenceScratch,
+) -> Vec<Response> {
     let mut out: Vec<Option<Response>> = vec![None; reqs.len()];
 
     // -- partition ----------------------------------------------------
-    let mut gemm: Vec<(usize, DseInput, BackendId)> = Vec::new();
+    // GEMM queries, grouped by selected pipeline in first-appearance
+    // order (each entry: the pipeline and its member queries, as
+    // (request index, compiled query) pairs).
+    type Group = (Arc<Pipeline>, Vec<(usize, PipelineQuery)>);
+    let mut groups: Vec<Group> = Vec::new();
     for (i, req) in reqs.iter().enumerate() {
         let backend = match req.backend_id() {
             Ok(backend) => backend,
@@ -110,9 +90,31 @@ pub fn recommend_batch_with(
                 continue;
             }
         };
+        let Some(pipeline) = pipelines.get(req.pipeline.as_deref()) else {
+            let name = req.pipeline.as_deref().unwrap_or(PipelineSet::DEFAULT);
+            out[i] = Some(Response::Error {
+                id: req.id,
+                message: format!(
+                    "unknown pipeline {name:?} (expected one of {})",
+                    pipelines.names().join(", ")
+                ),
+            });
+            continue;
+        };
         match &req.query {
             Query::Gemm { dataflow, .. } => match req.query.as_dse_input() {
-                Some(input) => gemm.push((i, input, backend)),
+                Some(input) => {
+                    let q = PipelineQuery {
+                        input,
+                        objective: req.objective,
+                        budget: req.budget,
+                        backend,
+                    };
+                    match groups.iter_mut().find(|(p, _)| p.name() == pipeline.name()) {
+                        Some((_, members)) => members.push((i, q)),
+                        None => groups.push((Arc::clone(pipeline), vec![(i, q)])),
+                    }
+                }
                 None => {
                     out[i] = Some(Response::Error {
                         id: req.id,
@@ -123,60 +125,61 @@ pub fn recommend_batch_with(
                     });
                 }
             },
-            Query::Model { name } => match zoo::model_by_name(name) {
-                Some(workload) => {
-                    let engine = engines.get(backend);
-                    let (point, cost, feasible, layers) = recommend_model(
-                        model,
-                        engine,
-                        &workload,
-                        req.objective,
-                        req.budget,
-                        scratch,
-                    );
-                    out[i] = Some(recommendation(
-                        engine, req, point, cost, feasible, layers, backend,
-                    ));
-                }
-                None => {
+            Query::Model { name } => {
+                if !pipeline.is_one_shot() {
                     out[i] = Some(Response::Error {
                         id: req.id,
-                        message: format!("unknown model {name:?}"),
+                        message: format!(
+                            "pipeline {:?} cannot serve model queries (staged pipelines apply \
+                             to GEMM queries)",
+                            pipeline.name()
+                        ),
                     });
+                    continue;
                 }
-            },
+                match zoo::model_by_name(name) {
+                    Some(workload) => {
+                        let engine = engines.get(backend);
+                        let (point, cost, feasible, layers) = recommend_model(
+                            model,
+                            engine,
+                            &workload,
+                            req.objective,
+                            req.budget,
+                            scratch,
+                        );
+                        out[i] = Some(recommendation(
+                            engine, req, point, cost, feasible, layers, backend,
+                        ));
+                    }
+                    None => {
+                        out[i] = Some(Response::Error {
+                            id: req.id,
+                            message: format!("unknown model {name:?}"),
+                        });
+                    }
+                }
+            }
         }
     }
 
-    // -- one forward pass for every GEMM query ------------------------
-    let inputs: Vec<DseInput> = gemm.iter().map(|&(_, input, _)| input).collect();
-    let points = model.predict_with(&inputs, scratch);
-
-    // -- engine verification, grouped by (backend, objective) ---------
-    for backend in BackendId::ALL {
-        for objective in [Objective::Latency, Objective::Energy, Objective::Edp] {
-            let group: Vec<usize> = (0..gemm.len())
-                .filter(|&g| gemm[g].2 == backend && reqs[gemm[g].0].objective == objective)
-                .collect();
-            if group.is_empty() {
-                continue;
-            }
-            let engine = engines.get(backend);
-            let queries: Vec<(DseInput, DesignPoint)> =
-                group.iter().map(|&g| (gemm[g].1, points[g])).collect();
-            // unbounded: infeasible recommendations still get their true
-            // cost reported, with `feasible: false`
-            let costs = engine.score_many_inputs(&queries, objective, ai2_dse::Budget::Unbounded);
-            for (&g, cost) in group.iter().zip(&costs) {
-                let (i, _, _) = gemm[g];
-                let req = &reqs[i];
-                let point = points[g];
-                let feasible = engine.is_feasible_under(point, req.budget);
-                let cost = cost.expect("unbounded scoring always answers");
-                out[i] = Some(recommendation(
-                    engine, req, point, cost, feasible, 1, backend,
-                ));
-            }
+    // -- one stage-graph run per pipeline group -----------------------
+    let mut predict = |inputs: &[DseInput]| model.predict_with(inputs, scratch);
+    for (pipeline, members) in &groups {
+        let queries: Vec<PipelineQuery> = members.iter().map(|&(_, q)| q).collect();
+        let answers = pipeline.run_batch(engines, &queries, &mut predict);
+        for (&(i, _), answer) in members.iter().zip(&answers) {
+            let best = answer.best;
+            let engine = engines.get(best.backend);
+            out[i] = Some(recommendation(
+                engine,
+                &reqs[i],
+                best.point,
+                best.cost,
+                best.feasible,
+                1,
+                best.backend,
+            ));
         }
     }
 
@@ -247,7 +250,7 @@ fn recommendation(
     cost: f64,
     feasible: bool,
     layers: usize,
-    backend: BackendId,
+    backend: ai2_dse::BackendId,
 ) -> Response {
     let hw = engine.space().config(point);
     Response::Recommendation(Recommendation {
@@ -266,7 +269,8 @@ fn recommendation(
 mod tests {
     use super::*;
     use crate::protocol::{Query, RecommendRequest};
-    use ai2_dse::{Budget, DseDataset, DseTask, GenerateConfig};
+    use ai2_dse::pipeline::{RefineMethod, StageCfg};
+    use ai2_dse::{BackendId, Budget, DseDataset, DseTask, GenerateConfig, PipelineCfg};
     use airchitect::train::TrainConfig;
     use airchitect::ModelConfig;
     use std::sync::Arc;
@@ -301,7 +305,28 @@ mod tests {
             budget: Budget::Edge,
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         }
+    }
+
+    fn staged_set() -> PipelineSet {
+        PipelineSet::with(&[PipelineCfg {
+            name: "staged".into(),
+            stages: vec![
+                StageCfg::Predict { backend: None },
+                StageCfg::Refine {
+                    method: RefineMethod::Annealing,
+                    budget: 24,
+                    seed: 5,
+                    backend: None,
+                },
+                StageCfg::Verify {
+                    k: 2,
+                    backend: BackendId::Systolic,
+                },
+            ],
+        }])
+        .unwrap()
     }
 
     #[test]
@@ -411,6 +436,7 @@ mod tests {
             budget: Budget::Edge,
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         };
         let resp = recommend_batch(&model, &engines, &[req]);
         let Response::Recommendation(rec) = &resp[0] else {
@@ -433,6 +459,7 @@ mod tests {
             budget: Budget::Edge,
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         };
         let mut bad_df = gemm(2, 10, Objective::Latency);
         bad_df.query = Query::Gemm {
@@ -444,5 +471,118 @@ mod tests {
         let resp = recommend_batch(&model, &engines, &[bad_model, bad_df]);
         assert!(matches!(&resp[0], Response::Error { id: 1, .. }));
         assert!(matches!(&resp[1], Response::Error { id: 2, .. }));
+    }
+
+    #[test]
+    fn explicit_default_pipeline_answers_bit_identically_to_none() {
+        let (engines, model) = trained();
+        let mut scratch = InferenceScratch::new();
+        let set = staged_set();
+        let reqs: Vec<RecommendRequest> = (0..6)
+            .map(|i| {
+                gemm(
+                    i,
+                    12 + i * 17,
+                    [Objective::Latency, Objective::Energy, Objective::Edp][i as usize % 3],
+                )
+            })
+            .collect();
+        let implicit = recommend_batch_in(&model, &engines, &set, &reqs, &mut scratch);
+        let explicit: Vec<RecommendRequest> = reqs
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.pipeline = Some("default".into());
+                r
+            })
+            .collect();
+        let named = recommend_batch_in(&model, &engines, &set, &explicit, &mut scratch);
+        assert_eq!(implicit, named);
+        // and both match the registry-less legacy entry point
+        let legacy = recommend_batch(&model, &engines, &reqs);
+        assert_eq!(implicit, legacy);
+    }
+
+    #[test]
+    fn staged_pipeline_verifies_through_systolic_and_never_regresses() {
+        let (engines, model) = trained();
+        let mut scratch = InferenceScratch::new();
+        let set = staged_set();
+        for (i, objective) in [Objective::Latency, Objective::Energy, Objective::Edp]
+            .into_iter()
+            .enumerate()
+        {
+            let mut staged_req = gemm(i as u64, 40 + i as u64 * 9, objective);
+            staged_req.pipeline = Some("staged".into());
+            let one_shot_req = gemm(100 + i as u64, 40 + i as u64 * 9, objective);
+            let resp = recommend_batch_in(
+                &model,
+                &engines,
+                &set,
+                &[staged_req.clone(), one_shot_req],
+                &mut scratch,
+            );
+            let (Response::Recommendation(staged), Response::Recommendation(os)) =
+                (&resp[0], &resp[1])
+            else {
+                panic!("expected recommendations, got {resp:?}");
+            };
+            // staged answers come from the verify stage's backend
+            assert_eq!(staged.backend, "systolic");
+            assert!(staged.feasible);
+            // never worse than the one-shot point under the same
+            // objective and backend (the clamp invariant)
+            let input = staged_req.query.as_dse_input().unwrap();
+            let sys = engines.get(BackendId::Systolic);
+            let os_cost = sys.score_unchecked_with(&input, os.point, objective);
+            assert!(
+                staged.cost <= os_cost,
+                "{objective:?}: staged {} vs one-shot {os_cost}",
+                staged.cost
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_pipeline_and_model_through_staged_are_errors() {
+        let (engines, model) = trained();
+        let mut scratch = InferenceScratch::new();
+        let set = staged_set();
+        let mut bad = gemm(4, 32, Objective::Latency);
+        bad.pipeline = Some("warp".into());
+        let mut model_staged = RecommendRequest {
+            id: 6,
+            query: Query::Model {
+                name: "resnet18".into(),
+            },
+            objective: Objective::Latency,
+            budget: Budget::Edge,
+            deadline_ms: None,
+            backend: None,
+            pipeline: Some("staged".into()),
+        };
+        let resp = recommend_batch_in(
+            &model,
+            &engines,
+            &set,
+            &[bad, model_staged.clone()],
+            &mut scratch,
+        );
+        assert!(
+            matches!(&resp[0], Response::Error { id: 4, message }
+                if message.contains("unknown pipeline") && message.contains("warp")),
+            "unexpected {:?}",
+            resp[0]
+        );
+        assert!(
+            matches!(&resp[1], Response::Error { id: 6, message }
+                if message.contains("model queries")),
+            "unexpected {:?}",
+            resp[1]
+        );
+        // the same model query through the default pipeline still works
+        model_staged.pipeline = None;
+        let ok = recommend_batch_in(&model, &engines, &set, &[model_staged], &mut scratch);
+        assert!(matches!(&ok[0], Response::Recommendation(_)));
     }
 }

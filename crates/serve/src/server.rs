@@ -52,7 +52,7 @@
 //! **epoch-tagged** so an old-replica batch that straggles past the
 //! swap can never poison the cache with outgoing-model answers.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,7 +60,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ai2_dse::EvalEngine;
+use ai2_dse::{EvalEngine, PipelineSet};
 use ai2_obs::{ArgValue, SpanRecord, Tracer, NO_PARENT};
 use airchitect::{Airchitect2, InferenceScratch, ModelCheckpoint};
 
@@ -68,10 +68,10 @@ use crate::cache::LruCache;
 use crate::clock::{Clock, WallClock};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{
-    decode_line, AdminAck, QueryKey, RecommendRequest, Recommendation, Request, Response,
-    ServeStats,
+    decode_line, AdminAck, PipelineInfo, PipelineServed, QueryKey, RecommendRequest,
+    Recommendation, Request, Response, ServeStats,
 };
-use crate::recommend::{recommend_batch_with, BackendEngines};
+use crate::recommend::{recommend_batch_in, BackendEngines};
 use crate::refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer};
 use crate::registry::ModelRegistry;
 use crate::transport::{TcpTransport, Transport};
@@ -118,6 +118,13 @@ pub struct ServeConfig {
     /// Empty (the default) serves f32 everywhere. Out-of-range indices
     /// are ignored.
     pub quantized_shards: Vec<usize>,
+    /// The named recommendation pipelines this service answers through
+    /// (`serve --pipelines FILE` compiles its config file into this
+    /// set). Always contains the built-in `"default"` — the degenerate
+    /// single-stage pipeline whose answers are bit-identical to the
+    /// pre-pipeline server — which is what every request without a
+    /// `"pipeline"` field runs.
+    pub pipelines: PipelineSet,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +137,7 @@ impl Default for ServeConfig {
             refresh: None,
             driver: Driver::Threaded,
             quantized_shards: Vec::new(),
+            pipelines: PipelineSet::default(),
         }
     }
 }
@@ -170,6 +178,10 @@ struct Inner {
     cache: Mutex<EpochCache>,
     metrics: ServiceMetrics,
     tracer: Tracer,
+    /// Recommendations answered per pipeline name (cache hits
+    /// included), keyed over every registered pipeline from startup so
+    /// idle pipelines still report 0.
+    pipeline_served: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Inner {
@@ -243,7 +255,30 @@ impl Inner {
             quantized_shards: (0..self.cfg.shards)
                 .filter(|s| self.cfg.quantized_shards.contains(s))
                 .count(),
+            pipelines: self
+                .pipeline_served
+                .lock()
+                .expect("pipeline counters poisoned")
+                .iter()
+                .map(|(name, &served)| PipelineServed {
+                    name: name.clone(),
+                    served,
+                })
+                .collect(),
         }
+    }
+
+    /// Counts one answered recommendation against its pipeline (`None`
+    /// on the wire is the default pipeline).
+    fn record_pipeline_served(&self, pipeline: Option<&str>) {
+        let name = pipeline.unwrap_or(PipelineSet::DEFAULT);
+        let mut counts = self
+            .pipeline_served
+            .lock()
+            .expect("pipeline counters poisoned");
+        // unknown names get error responses and are never counted here,
+        // but stay defensive: an uncounted serve is worse than a new row
+        *counts.entry(name.to_string()).or_insert(0) += 1;
     }
 
     /// Validates and publishes `ckpt` as the live checkpoint, flushing
@@ -325,6 +360,18 @@ impl Inner {
                     frozen: *frozen,
                 })
             }
+            Request::Pipelines { id } => Response::Pipelines {
+                id: *id,
+                pipelines: self
+                    .cfg
+                    .pipelines
+                    .iter()
+                    .map(|p| PipelineInfo {
+                        name: p.name().to_string(),
+                        stages: p.stage_names().iter().map(|s| s.to_string()).collect(),
+                    })
+                    .collect(),
+            },
             Request::Trace { id, enable, path } => {
                 if let Some(on) = enable {
                     self.tracer.set_enabled(*on);
@@ -391,9 +438,12 @@ impl Endpoint {
             Ok(Request::Stats { id }) => {
                 Submission::Ready(Response::Stats(self.inner.serve_stats(id)))
             }
-            Ok(admin @ (Request::Swap { .. } | Request::Freeze { .. } | Request::Trace { .. })) => {
-                Submission::Ready(self.inner.handle_admin(&admin))
-            }
+            Ok(
+                admin @ (Request::Swap { .. }
+                | Request::Freeze { .. }
+                | Request::Trace { .. }
+                | Request::Pipelines { .. }),
+            ) => Submission::Ready(self.inner.handle_admin(&admin)),
             Err(e) => {
                 self.inner.metrics.record_error();
                 Submission::Ready(Response::Error {
@@ -472,6 +522,13 @@ impl RecommendService {
             }),
             replay: ReplayBuffer::new(cfg.replay_capacity),
             metrics: ServiceMetrics::new(cfg.shards),
+            pipeline_served: Mutex::new(
+                cfg.pipelines
+                    .names()
+                    .into_iter()
+                    .map(|n| (n.to_string(), 0))
+                    .collect(),
+            ),
             cfg,
             clock,
             engines: BackendEngines::new(engine),
@@ -737,9 +794,10 @@ impl Client {
         match req {
             Request::Recommend(r) => self.recommend(r),
             Request::Stats { id } => Response::Stats(self.inner.serve_stats(id)),
-            admin @ (Request::Swap { .. } | Request::Freeze { .. } | Request::Trace { .. }) => {
-                self.inner.handle_admin(&admin)
-            }
+            admin @ (Request::Swap { .. }
+            | Request::Freeze { .. }
+            | Request::Trace { .. }
+            | Request::Pipelines { .. }) => self.inner.handle_admin(&admin),
         }
     }
 }
@@ -1022,6 +1080,7 @@ fn process_batch(
                     &rec.backend,
                     int8,
                 );
+                inner.record_pipeline_served(job.req.pipeline.as_deref());
                 let send_start = if tracing { inner.clock.now_ns() } else { 0 };
                 let _ = job.tx.send(Response::Recommendation(rec));
                 if tracing {
@@ -1057,7 +1116,7 @@ fn process_batch(
         // kernel- and model-level spans (tensor.gemm, core.forward …)
         // attach under serve.recommend via the thread-local tracer
         let _scope = ai2_obs::scoped(&inner.tracer, rec_span.id(), tid);
-        recommend_batch_with(model, &inner.engines, &reqs, scratch)
+        recommend_batch_in(model, &inner.engines, &inner.cfg.pipelines, &reqs, scratch)
     };
     drop(rec_span);
     for (job, resp) in compute.into_iter().zip(responses) {
@@ -1083,13 +1142,14 @@ fn process_batch(
                     &rec.backend,
                     int8,
                 );
+                inner.record_pipeline_served(job.req.pipeline.as_deref());
                 "computed"
             }
             Response::Error { .. } => {
                 sm.record_error();
                 "error"
             }
-            Response::Stats(_) | Response::Admin(_) => {
+            Response::Stats(_) | Response::Admin(_) | Response::Pipelines { .. } => {
                 unreachable!("stats/admin never route through shards")
             }
         };
@@ -1213,6 +1273,7 @@ mod tests {
             budget: Budget::Edge,
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         }
     }
 
@@ -1315,6 +1376,107 @@ mod tests {
         assert_eq!(a.point, b.point);
         assert_eq!(a.cost.to_bits(), b.cost.to_bits());
         assert_eq!(b.id, 2);
+        service.shutdown();
+    }
+
+    fn staged_pipelines() -> PipelineSet {
+        use ai2_dse::pipeline::{RefineMethod, StageCfg};
+        PipelineSet::with(&[ai2_dse::PipelineCfg {
+            name: "staged".into(),
+            stages: vec![
+                StageCfg::Predict { backend: None },
+                StageCfg::Refine {
+                    method: RefineMethod::Annealing,
+                    budget: 16,
+                    seed: 3,
+                    backend: None,
+                },
+                StageCfg::Verify {
+                    k: 2,
+                    backend: ai2_dse::BackendId::Systolic,
+                },
+            ],
+        }])
+        .unwrap()
+    }
+
+    #[test]
+    fn pipelines_are_listed_counted_and_cached_separately() {
+        let (engine, ckpt) = trained_checkpoint();
+        let service = RecommendService::start(
+            ServeConfig {
+                pipelines: staged_pipelines(),
+                ..ServeConfig::default()
+            },
+            engine,
+            ckpt,
+        );
+        let client = service.client();
+
+        // the admin listing names every compiled pipeline with its stages
+        let listing = client.request(Request::Pipelines { id: 11 });
+        let Response::Pipelines { id: 11, pipelines } = &listing else {
+            panic!("expected pipelines listing, got {listing:?}");
+        };
+        assert_eq!(
+            pipelines
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>(),
+            ["default", "staged"]
+        );
+        assert_eq!(pipelines[1].stages, ["predict", "refine", "verify"]);
+
+        // same canonical GEMM through both pipelines: two distinct cache
+        // identities, answered and counted separately
+        let default_resp = client.recommend(gemm_req(1, 64));
+        let mut staged_req = gemm_req(2, 64);
+        staged_req.pipeline = Some("staged".into());
+        let staged_resp = client.recommend(staged_req.clone());
+        assert_eq!(
+            service.stats().cache_hits,
+            0,
+            "staged answers must not come from the default pipeline's slot"
+        );
+        let (Response::Recommendation(d), Response::Recommendation(s)) =
+            (&default_resp, &staged_resp)
+        else {
+            panic!("expected recommendations: {default_resp:?} / {staged_resp:?}");
+        };
+        assert_eq!(d.backend, "analytic");
+        assert_eq!(s.backend, "systolic", "verify stage re-scored the top-k");
+
+        // repeating the staged query hits its own cache slot
+        let mut again = staged_req.clone();
+        again.id = 3;
+        let hit = client.recommend(again);
+        assert_eq!(service.stats().cache_hits, 1);
+        let Response::Recommendation(h) = &hit else {
+            panic!("expected recommendation: {hit:?}");
+        };
+        assert_eq!(h.cost.to_bits(), s.cost.to_bits());
+
+        // per-pipeline served counts (cache hits included)
+        let stats = service.stats();
+        let count = |name: &str| {
+            stats
+                .pipelines
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.served)
+        };
+        assert_eq!(count("default"), Some(1));
+        assert_eq!(count("staged"), Some(2));
+
+        // an unknown pipeline answers an error and counts nowhere
+        let mut bad = gemm_req(4, 64);
+        bad.pipeline = Some("warp".into());
+        let err = client.recommend(bad);
+        assert!(
+            matches!(&err, Response::Error { id: 4, message } if message.contains("unknown pipeline")),
+            "unexpected {err:?}"
+        );
+        assert_eq!(service.stats().errors, 1);
         service.shutdown();
     }
 

@@ -418,6 +418,7 @@ mod tests {
             budget: Budget::Edge,
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         }
     }
 

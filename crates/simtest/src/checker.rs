@@ -3,12 +3,13 @@
 //! ground truth.
 //!
 //! The checker owns its **own** oracle substrate — a fresh
-//! [`BackendEngines`] over the same task and a fresh [`Airchitect2`]
-//! replica per published checkpoint version — deliberately separate
-//! from the engines and replicas inside the service under test. Every
-//! completed response is recomputed through the pure
-//! [`recommend_batch`] kernel on the replica version that answered and
-//! must match **bit for bit** (costs compared as `f64::to_bits`).
+//! [`BackendEngines`] over the same task, a fresh [`Airchitect2`]
+//! replica per published checkpoint version, and its own compilation of
+//! the scenario's [`PipelineSet`] — deliberately separate from the
+//! engines, replicas, and pipelines inside the service under test.
+//! Every completed response is recomputed through the pure
+//! [`recommend_batch_in`] executor on the replica version that answered
+//! and must match **bit for bit** (costs compared as `f64::to_bits`).
 //!
 //! Invariants ([`INVARIANTS`], each with a coverage counter so the
 //! corpus test can assert every one is actually exercised):
@@ -41,18 +42,27 @@
 //!   *partially* overlap (one strictly starting inside another and
 //!   ending after it), and every non-root parent id resolves to a
 //!   recorded span.
+//! * `pipeline_identity` — requests on the default pipeline (named or
+//!   implicit) are additionally recomputed through the pre-pipeline
+//!   one-shot [`recommend_batch`] entry point and must still match bit
+//!   for bit (the refactor's degenerate-pipeline contract); requests on
+//!   a staged pipeline must beat-or-tie the one-shot answer's point
+//!   re-scored under the staged backend (feasibility first, then cost —
+//!   the executor's never-worse clamp). Per-pipeline `served` counters
+//!   in stats snapshots are cross-checked against the checker's books.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use ai2_dse::{DseTask, EvalEngine};
+use ai2_dse::{BackendId, DseTask, EvalEngine, PipelineSet};
 use ai2_serve::{
-    recommend_batch, AdminAck, BackendEngines, QueryKey, RecommendRequest, Response, ServeStats,
+    recommend_batch, recommend_batch_in, AdminAck, BackendEngines, QueryKey, RecommendRequest,
+    Response, ServeStats,
 };
-use airchitect::{Airchitect2, ModelCheckpoint};
+use airchitect::{Airchitect2, InferenceScratch, ModelCheckpoint};
 
 /// Every invariant the checker tracks, by coverage-counter name.
-pub const INVARIANTS: [&str; 9] = [
+pub const INVARIANTS: [&str; 10] = [
     "bit_identity",
     "monotonic_version",
     "cache_epoch_isolation",
@@ -62,6 +72,7 @@ pub const INVARIANTS: [&str; 9] = [
     "frozen_rejects_publish",
     "flavor_scoped_identity",
     "trace_well_nested",
+    "pipeline_identity",
 ];
 
 /// The canonical identity of a request with the backend stripped —
@@ -73,11 +84,93 @@ fn canon_no_backend(req: &RecommendRequest) -> Option<QueryKey> {
     QueryKey::of(&r)
 }
 
+/// The `pipeline_identity` recompute (see the module docs): default
+/// answers must equal the pre-pipeline one-shot kernel bit for bit;
+/// staged answers must beat-or-tie the one-shot pick re-scored under
+/// the staged backend. Returns whether this completion exercised the
+/// invariant.
+fn pipeline_identity_check(
+    engines: &BackendEngines,
+    req: &RecommendRequest,
+    resp: &Response,
+    replica: &Airchitect2,
+) -> Result<bool, String> {
+    match req.pipeline.as_deref() {
+        None | Some("default") => {
+            // the degenerate-pipeline contract: selecting no pipeline
+            // (or naming the built-in) is the historical one-shot path
+            let mut one_shot = req.clone();
+            one_shot.pipeline = None;
+            let legacy = recommend_batch(replica, engines, std::slice::from_ref(&one_shot))
+                .pop()
+                .expect("one request, one answer");
+            if &legacy != resp {
+                return Err(format!(
+                    "id {}: default-pipeline answer diverged from the one-shot kernel\n    \
+                     got:      {resp:?}\n    expected: {legacy:?}",
+                    req.id
+                ));
+            }
+            Ok(true)
+        }
+        Some(_) => {
+            let Response::Recommendation(rec) = resp else {
+                // staged errors (unknown pipeline, model-through-staged)
+                // are already pinned bit-for-bit by `bit_identity`
+                return Ok(false);
+            };
+            let mut one_shot = req.clone();
+            one_shot.pipeline = None;
+            let os = recommend_batch(replica, engines, std::slice::from_ref(&one_shot))
+                .pop()
+                .expect("one request, one answer");
+            let Response::Recommendation(os) = os else {
+                return Err(format!(
+                    "id {}: staged answered a query the one-shot kernel rejects: {os:?}",
+                    req.id
+                ));
+            };
+            let input = req
+                .query
+                .as_dse_input()
+                .expect("a staged recommendation implies a valid GEMM");
+            let backend: BackendId = rec.backend.parse().map_err(|e| {
+                format!("id {}: unparseable backend {:?}: {e}", req.id, rec.backend)
+            })?;
+            let engine = engines.get(backend);
+            let os_cost = engine.score_unchecked_with(&input, os.point, req.objective);
+            let os_feasible = engine.is_feasible_under(os.point, req.budget);
+            // the executor's clamp rank: feasibility first, then cost
+            let worse = (!rec.feasible && os_feasible)
+                || (rec.feasible == os_feasible && rec.cost > os_cost);
+            if worse {
+                return Err(format!(
+                    "id {}: staged answer is worse than the one-shot pick under {:?} on {}: \
+                     staged (feasible={}, cost={}) vs one-shot point ({},{}) (feasible={}, \
+                     cost={os_cost})",
+                    req.id,
+                    req.objective,
+                    rec.backend,
+                    rec.feasible,
+                    rec.cost,
+                    os.point.pe_idx,
+                    os.point.buf_idx,
+                    os_feasible
+                ));
+            }
+            Ok(true)
+        }
+    }
+}
+
 /// Independently reconstructed ground truth plus the invariant
 /// counters. See the module docs for the invariant list.
 pub struct Checker {
     engines: BackendEngines,
     oracle_engine: Arc<EvalEngine>,
+    /// The checker's own compilation of the scenario's pipeline
+    /// registry (always carries the built-in `"default"`).
+    pipelines: PipelineSet,
     /// One fresh replica per published checkpoint version.
     replicas: HashMap<u64, Airchitect2>,
     last_version: u64,
@@ -95,6 +188,9 @@ pub struct Checker {
     /// every shard; oracle replicas mirror the same flavor so
     /// bit-identity stays scoped per flavor.
     quantized: bool,
+    /// Recommendations completed per normalized pipeline name (the
+    /// server's per-pipeline `served` rows must agree).
+    served_by_pipeline: BTreeMap<String, u64>,
     coverage: BTreeMap<&'static str, u64>,
 }
 
@@ -104,12 +200,20 @@ impl Checker {
     /// `quantized`, every oracle replica serves the int8 decoder flavor
     /// (adopting a published blob when the checkpoint carries one,
     /// quantizing deterministically otherwise) — exactly what each
-    /// shard of an all-quantized service does.
-    pub fn new(task: DseTask, initial: &ModelCheckpoint, quantized: bool) -> Checker {
+    /// shard of an all-quantized service does. `pipelines` must be
+    /// compiled from the same configs as the service's registry (the
+    /// harness builds both from one recipe).
+    pub fn new(
+        task: DseTask,
+        initial: &ModelCheckpoint,
+        quantized: bool,
+        pipelines: PipelineSet,
+    ) -> Checker {
         let oracle_engine = EvalEngine::shared(task);
         let mut checker = Checker {
             engines: BackendEngines::new(Arc::clone(&oracle_engine)),
             oracle_engine,
+            pipelines,
             replicas: HashMap::new(),
             last_version: initial.version,
             completed_recs: 0,
@@ -117,6 +221,7 @@ impl Checker {
             exact: HashMap::new(),
             backend_pairs: HashMap::new(),
             quantized,
+            served_by_pipeline: BTreeMap::new(),
             coverage: INVARIANTS.iter().map(|&name| (name, 0)).collect(),
         };
         checker.register_replica(initial.version, initial);
@@ -241,9 +346,16 @@ impl Checker {
         let replica = self.replicas.get(&live_version).ok_or_else(|| {
             format!("no oracle replica registered for live version {live_version}")
         })?;
-        let expected = recommend_batch(replica, &self.engines, std::slice::from_ref(req))
-            .pop()
-            .expect("one request, one answer");
+        let mut scratch = InferenceScratch::new();
+        let expected = recommend_batch_in(
+            replica,
+            &self.engines,
+            &self.pipelines,
+            std::slice::from_ref(req),
+            &mut scratch,
+        )
+        .pop()
+        .expect("one request, one answer");
         if &expected != resp {
             return Err(format!(
                 "id {}: answer diverged from the fresh v{live_version} oracle\n    got:      \
@@ -251,18 +363,27 @@ impl Checker {
                 req.id
             ));
         }
+        let pipeline_covered = pipeline_identity_check(&self.engines, req, resp, replica)?;
         self.bump("bit_identity");
         if self.quantized {
             // the oracle that just agreed bit-for-bit carries the int8
             // flavor: identity was established within the flavor
             self.bump("flavor_scoped_identity");
         }
+        if pipeline_covered {
+            self.bump("pipeline_identity");
+        }
         let Response::Recommendation(rec) = resp else {
             // the oracle agreed this query is an error (zero-dim GEMM,
-            // unknown model/backend) — bit-identity covered it
+            // unknown model/backend/pipeline) — bit-identity covered it
             return Ok(format!("id={} expected-error ok", req.id));
         };
         self.completed_recs += 1;
+        let pipeline_name = req.pipeline.as_deref().unwrap_or(PipelineSet::DEFAULT);
+        *self
+            .served_by_pipeline
+            .entry(pipeline_name.to_string())
+            .or_insert(0) += 1;
         let mut notes = String::new();
         if let Some(key) = QueryKey::of(req) {
             if let Some(prev_version) = self.exact.insert(key, live_version) {
@@ -318,6 +439,22 @@ impl Checker {
             return Err(format!(
                 "stats swaps={} but the checker saw {} publishes",
                 s.swaps, self.publishes
+            ));
+        }
+        for row in &s.pipelines {
+            let expected = self.served_by_pipeline.get(&row.name).copied().unwrap_or(0);
+            if row.served != expected {
+                return Err(format!(
+                    "stats pipeline {:?} served={} but the checker saw {expected}",
+                    row.name, row.served
+                ));
+            }
+        }
+        let reported: u64 = s.pipelines.iter().map(|row| row.served).sum();
+        if reported != self.completed_recs {
+            return Err(format!(
+                "per-pipeline served rows sum to {reported} but {} recommendations completed",
+                self.completed_recs
             ));
         }
         if s.frozen != expected_frozen {

@@ -14,7 +14,10 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use ai2_bench::queries::nth_query;
-use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig};
+use ai2_dse::pipeline::{RefineMethod, StageCfg};
+use ai2_dse::{
+    BackendId, DseDataset, DseTask, EvalEngine, GenerateConfig, PipelineCfg, PipelineSet,
+};
 use ai2_serve::protocol::encode_line;
 use ai2_serve::{
     Clock, Delivery, Driver, Query, RecommendRequest, RecommendService, RefreshConfig, Request,
@@ -54,6 +57,35 @@ pub struct Fixture {
     /// Where the flavored alternates are saved (quantized-scenario
     /// `swap` paths).
     pub alt_paths_q: Vec<PathBuf>,
+}
+
+/// The pipeline registry a scenario runs under. With `pipelines` off
+/// this is just the built-in `"default"`; with it on, a `"staged"`
+/// predict → refine(annealing) → verify(systolic) graph is registered
+/// alongside. Called twice per run — once for the service's
+/// [`ServeConfig`], once for the checker's oracle — so both sides
+/// compile the identical recipe.
+pub fn sim_pipelines(enabled: bool) -> PipelineSet {
+    if !enabled {
+        return PipelineSet::default();
+    }
+    PipelineSet::with(&[PipelineCfg {
+        name: "staged".into(),
+        stages: vec![
+            StageCfg::Predict { backend: None },
+            StageCfg::Refine {
+                method: RefineMethod::Annealing,
+                budget: 16,
+                seed: 3,
+                backend: None,
+            },
+            StageCfg::Verify {
+                k: 2,
+                backend: BackendId::Systolic,
+            },
+        ],
+    }])
+    .expect("the harness pipeline recipe compiles")
 }
 
 /// The process-wide fixture (trained once, shared by every scenario).
@@ -248,6 +280,7 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
             } else {
                 Vec::new()
             },
+            pipelines: sim_pipelines(sc.pipelines),
         },
         EvalEngine::shared(fx.task.clone()),
         initial.clone(),
@@ -263,7 +296,12 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
     let mut driver = SimDriver {
         rng: StdRng::seed_from_u64(seed),
         clock,
-        checker: Checker::new(fx.task.clone(), &initial, sc.quantized),
+        checker: Checker::new(
+            fx.task.clone(),
+            &initial,
+            sc.quantized,
+            sim_pipelines(sc.pipelines),
+        ),
         meta: (0..sc.clients + 1).map(|_| VecDeque::new()).collect(),
         pending: HashMap::new(),
         next_id: 1,
@@ -400,7 +438,12 @@ impl SimDriver<'_> {
         } else {
             None
         };
-        let mut req = nth_query(n, self.sc.models, self.sc.deadline_ms, backend);
+        let pipeline = if self.sc.pipelines && self.rng.random_bool(0.5) {
+            Some("staged")
+        } else {
+            None
+        };
+        let mut req = nth_query(n, self.sc.models, self.sc.deadline_ms, backend, pipeline);
         req.id = self.fresh_id();
         let delay_ms = if self.sc.straggler && conn == 0 {
             self.sc.max_delay_ms
@@ -416,10 +459,14 @@ impl SimDriver<'_> {
             not_before,
         );
         let id = req.id;
+        let pipe_note = match req.pipeline.as_deref() {
+            Some(name) => format!(" pipeline={name}"),
+            None => String::new(),
+        };
         self.meta[conn].push_back(LineMeta::Recommend { id, req });
         self.log(
             step,
-            format!("submit conn={conn} id={id} n={n} delay_ms={delay_ms}"),
+            format!("submit conn={conn} id={id} n={n} delay_ms={delay_ms}{pipe_note}"),
         );
         Ok(())
     }
@@ -555,7 +602,7 @@ impl SimDriver<'_> {
             self.log(step, "garbage: all clients disconnected".into());
             return Ok(());
         };
-        let variant = self.rng.random_range(0..5u64);
+        let variant = self.rng.random_range(0..6u64);
         let (desc, line, meta) = match variant {
             0 => ("raw", "{not json}".to_string(), LineMeta::Malformed),
             1 => (
@@ -567,7 +614,7 @@ impl SimDriver<'_> {
             // oracle error by the shard path
             _ => {
                 let id = self.fresh_id();
-                let mut req = nth_query(0, false, self.sc.deadline_ms, None);
+                let mut req = nth_query(0, false, self.sc.deadline_ms, None, None);
                 req.id = id;
                 let desc = match variant {
                     2 => {
@@ -585,9 +632,13 @@ impl SimDriver<'_> {
                         };
                         "unknown-model"
                     }
-                    _ => {
+                    4 => {
                         req.backend = Some("rtl".into());
                         "unknown-backend"
+                    }
+                    _ => {
+                        req.pipeline = Some("warp".into());
+                        "unknown-pipeline"
                     }
                 };
                 (

@@ -35,5 +35,5 @@ pub mod harness;
 pub mod scenario;
 
 pub use checker::{Checker, INVARIANTS};
-pub use harness::{fixture, run_scenario, Fixture, SimFailure, SimReport};
+pub use harness::{fixture, run_scenario, sim_pipelines, Fixture, SimFailure, SimReport};
 pub use scenario::{corpus, Scenario, Weights};

@@ -111,6 +111,14 @@ pub struct Scenario {
     /// replicas quantize identically — bit-identity is checked *within*
     /// the flavor, never across flavors.
     pub quantized: bool,
+    /// Register the harness's `"staged"` pipeline
+    /// (predict → refine → verify) alongside the built-in `"default"`
+    /// and route roughly half of all GEMM submissions through it. The
+    /// checker's oracle compiles the identical [`PipelineSet`], so
+    /// staged answers are bit-checked too, and the `pipeline_identity`
+    /// invariant additionally pins default answers to the pre-pipeline
+    /// one-shot kernel and staged answers to the never-worse contract.
+    pub pipelines: bool,
     /// Event weights.
     pub weights: Weights,
 }
@@ -141,6 +149,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: STEADY,
         },
         Scenario {
@@ -159,6 +168,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 swap: 6,
                 stats: 5,
@@ -181,6 +191,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 swap: 8,
                 freeze: 8,
@@ -204,6 +215,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 6,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 advance: 18,
                 ..STEADY
@@ -225,6 +237,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 refresh: 4,
                 stats: 5,
@@ -247,6 +260,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 refresh: 6,
                 freeze: 6,
@@ -270,6 +284,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 submit: 36,
                 deliver: 36,
@@ -293,6 +308,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 10,
             straggler: true,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 advance: 14,
                 disconnect: 2,
@@ -315,6 +331,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 submit: 16,
                 deliver: 16,
@@ -341,6 +358,7 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: false,
+            pipelines: false,
             weights: Weights {
                 swap: 3,
                 garbage: 4,
@@ -363,10 +381,35 @@ pub fn corpus() -> &'static [Scenario] {
             max_advance_ms: 2,
             straggler: false,
             quantized: true,
+            pipelines: false,
             weights: Weights {
                 swap: 5,
                 refresh: 3,
                 stats: 5,
+                ..STEADY
+            },
+        },
+        Scenario {
+            name: "pipeline-mixed",
+            about: "default and staged (predict→refine→verify) pipelines interleave: per-pipeline caching, one-shot identity, staged never-worse",
+            shards: 2,
+            max_batch: 8,
+            cache_capacity: 32,
+            clients: 3,
+            default_steps: 220,
+            universe: 8,
+            models: true,
+            mixed_backends: false,
+            deadline_ms: None,
+            max_delay_ms: 0,
+            max_advance_ms: 2,
+            straggler: false,
+            quantized: false,
+            pipelines: true,
+            weights: Weights {
+                swap: 3,
+                stats: 5,
+                garbage: 3,
                 ..STEADY
             },
         },

@@ -27,6 +27,7 @@ fn gemm_req(id: u64, backend: Option<&str>) -> RecommendRequest {
         budget: Budget::Edge,
         deadline_ms: None,
         backend: backend.map(str::to_string),
+        pipeline: None,
     }
 }
 
@@ -125,6 +126,7 @@ fn systolic_backend_is_reachable_over_tcp_with_isolated_caches() {
         budget: Budget::Edge,
         deadline_ms: None,
         backend: Some("systolic".into()),
+        pipeline: None,
     };
     let deployed = tcp.send(&Request::Recommend(model_req)).unwrap();
     let Response::Recommendation(deployed) = &deployed else {

@@ -61,6 +61,7 @@ fn gemm_req(id: u64, m: u64, n: u64, k: u64) -> RecommendRequest {
         budget: Budget::Edge,
         deadline_ms: None,
         backend: None,
+        pipeline: None,
     }
 }
 

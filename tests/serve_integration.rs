@@ -57,6 +57,7 @@ fn mixed_queries() -> Vec<RecommendRequest> {
             },
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         });
     }
     for (j, (name, objective)) in MODELS
@@ -71,6 +72,7 @@ fn mixed_queries() -> Vec<RecommendRequest> {
             budget: Budget::Edge,
             deadline_ms: None,
             backend: None,
+            pipeline: None,
         });
     }
     assert_eq!(reqs.len(), 64);
@@ -217,6 +219,7 @@ fn served_answers_are_stable_across_cache_and_shards() {
         budget: Budget::Edge,
         deadline_ms: Some(5_000),
         backend: None,
+        pipeline: None,
     };
     let mut a = TcpClient::connect(addr).unwrap();
     let mut b = TcpClient::connect(addr).unwrap();
