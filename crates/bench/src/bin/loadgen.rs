@@ -1,10 +1,25 @@
-//! Closed-loop load generator for the `ai2_serve` TCP endpoint.
+//! Load generator for the `ai2_serve` TCP endpoint.
 //!
-//! Spawns `--concurrency` worker threads, each with its own connection,
-//! firing a deterministic mix of GEMM and (optionally) whole-model
-//! queries across all three objectives until `--requests` responses have
-//! arrived. Prints client-side throughput and p50/p95/p99 latency, then
-//! the server's own `stats` line.
+//! The default mode is **closed-loop**: `--concurrency` worker threads,
+//! each with its own connection, fire a deterministic mix of GEMM and
+//! (optionally) whole-model queries across all three objectives until
+//! `--requests` responses have arrived, then print client-side
+//! throughput and p50/p95/p99 latency plus the server's own `stats`
+//! line.
+//!
+//! Two adversarial modes exercise the event front end's connection
+//! handling:
+//!
+//! * `--open-loop` floods: every worker writes its whole share of
+//!   requests before reading a single response, so queue depth on the
+//!   server is bounded only by its admission policy. Under a shed
+//!   policy (`serve --shed-high-water N`) the refused requests come
+//!   back as `"shedding"` errors — counted, not failed — and
+//!   `--min-sheds N` turns the count into an assertion.
+//! * `--slow-loris` dribbles every request line a few bytes at a time
+//!   with pauses in between: a front end that ties a thread (or a
+//!   shard) to a half-written line collapses here, one that buffers
+//!   per-connection does not.
 //!
 //! With `--refresh`, the run additionally performs a **live checkpoint
 //! swap under load**: once a quarter of the requests have completed, a
@@ -22,6 +37,13 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:PORT [--requests N]     total requests (default 64)
 //!         [--concurrency C]                        worker connections (default 8)
+//!         [--connections N]                        alias for --concurrency, the
+//!                                                  connection-scale spelling
+//!         [--open-loop]                            flood: write everything, then
+//!                                                  read everything
+//!         [--slow-loris]                           dribble request bytes slowly
+//!         [--min-sheds N]                          fail unless the server shed at
+//!                                                  least N requests
 //!         [--models]                               include whole-model queries
 //!         [--deadline-ms N]                        per-request deadline
 //!         [--backend NAME]                         cost backend on every query
@@ -45,18 +67,24 @@
 //!                                                  capture stays enabled)
 //! ```
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ai2_bench::LoadgenResult;
-use ai2_serve::{Recommendation, Request, Response, TcpClient};
+use ai2_serve::protocol::{decode_line, encode_line};
+use ai2_serve::{AdminRequest, Recommendation, Request, Response, TcpClient};
 use ai2_tensor::stats::percentile;
 
 struct Args {
     addr: String,
     requests: usize,
     concurrency: usize,
+    open_loop: bool,
+    slow_loris: bool,
+    min_sheds: u64,
     models: bool,
     deadline_ms: Option<u64>,
     backend: Option<String>,
@@ -73,6 +101,9 @@ fn parse_args() -> Args {
         addr: String::new(),
         requests: 64,
         concurrency: 8,
+        open_loop: false,
+        slow_loris: false,
+        min_sheds: 0,
         models: false,
         deadline_ms: None,
         backend: None,
@@ -98,6 +129,12 @@ fn parse_args() -> Args {
             "--concurrency" => {
                 args.concurrency = value(&mut i).parse().expect("--concurrency count");
             }
+            "--connections" => {
+                args.concurrency = value(&mut i).parse().expect("--connections count");
+            }
+            "--open-loop" => args.open_loop = true,
+            "--slow-loris" => args.slow_loris = true,
+            "--min-sheds" => args.min_sheds = value(&mut i).parse().expect("--min-sheds count"),
             "--models" => args.models = true,
             "--deadline-ms" => {
                 args.deadline_ms = Some(value(&mut i).parse().expect("--deadline-ms"))
@@ -120,13 +157,30 @@ fn parse_args() -> Args {
             args.swap_checkpoint.is_some(),
             "--refresh needs --swap-checkpoint PATH (a server-side checkpoint file)"
         );
+        assert!(
+            !args.open_loop && !args.slow_loris,
+            "--refresh is a closed-loop assertion; it does not compose with the flood modes"
+        );
     }
     args
 }
 
 use ai2_bench::queries::nth_query;
 
-fn check(resp: &Response, deadline_set: bool) -> Result<Option<f64>, String> {
+/// What one response turned out to be.
+enum Outcome {
+    /// A well-formed recommendation (client latency in microseconds
+    /// when the mode measures per-request latency).
+    Ok(Option<f64>),
+    /// Expired client-side (only legal with `--deadline-ms`).
+    Expired,
+    /// Refused inline by the server's shed admission policy.
+    Shed,
+    /// Anything else — the run fails.
+    Fail(String),
+}
+
+fn classify(resp: &Response, deadline_set: bool, latency_us: Option<f64>) -> Outcome {
     match resp {
         Response::Recommendation(Recommendation {
             num_pes,
@@ -137,13 +191,103 @@ fn check(resp: &Response, deadline_set: bool) -> Result<Option<f64>, String> {
         }) => {
             if *num_pes == 0 || *l2_bytes == 0 || !cost.is_finite() || *cost <= 0.0 || *layers == 0
             {
-                return Err(format!("degenerate recommendation {resp:?}"));
+                return Outcome::Fail(format!("degenerate recommendation {resp:?}"));
             }
-            Ok(Some(*cost))
+            Outcome::Ok(latency_us)
         }
-        Response::Error { message, .. } if deadline_set && message.contains("deadline") => Ok(None),
-        other => Err(format!("unexpected response {other:?}")),
+        Response::Error { message, .. } if message.contains("shedding") => Outcome::Shed,
+        Response::Error { message, .. } if deadline_set && message.contains("deadline") => {
+            Outcome::Expired
+        }
+        other => Outcome::Fail(format!("unexpected response {other:?}")),
     }
+}
+
+/// Shared tallies every worker folds its outcomes into.
+struct Tally {
+    latencies: Mutex<Vec<f64>>,
+    ok: AtomicU64,
+    expired: AtomicU64,
+    sheds: AtomicU64,
+    failures: Mutex<Vec<String>>,
+    completed: AtomicU64,
+}
+
+impl Tally {
+    fn record(&self, outcome: Outcome) {
+        match outcome {
+            Outcome::Ok(lat) => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                if let Some(us) = lat {
+                    self.latencies.lock().unwrap().push(us);
+                }
+            }
+            Outcome::Expired => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Shed => {
+                self.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Fail(msg) => self.failures.lock().unwrap().push(msg),
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A raw NDJSON connection the flood modes drive directly (the
+/// request/response lockstep of [`TcpClient::send`] is exactly what
+/// open-loop and slow-loris must *not* do).
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl RawConn {
+    fn connect(addr: &str) -> std::io::Result<RawConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(RawConn {
+            reader: BufReader::new(stream.try_clone()?),
+            stream,
+        })
+    }
+
+    /// Writes one encoded request line. With `dribble`, the bytes go
+    /// out a few at a time with pauses — the slow-loris shape.
+    fn write_line(&mut self, line: &str, dribble: bool) -> std::io::Result<()> {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        if dribble {
+            for chunk in bytes.chunks(7) {
+                self.stream.write_all(chunk)?;
+                self.stream.flush()?;
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        } else {
+            self.stream.write_all(&bytes)?;
+        }
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        decode_line(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// One worker's request ids: `worker`, `worker + C`, `worker + 2C`, …
+fn worker_share(worker: usize, concurrency: usize, requests: usize) -> Vec<u64> {
+    (worker..requests)
+        .step_by(concurrency)
+        .map(|n| n as u64)
+        .collect()
 }
 
 /// Waits until `trigger_at` requests completed, then swaps the
@@ -166,11 +310,11 @@ fn swap_mid_run(
     }
     let mut admin = TcpClient::connect(addr).map_err(|e| format!("swap connect: {e}"))?;
     let resp = admin
-        .send(&Request::Swap {
+        .send(&Request::Admin(AdminRequest::Swap {
             id: u64::MAX,
             path: path.to_string(),
             bump: Some(true),
-        })
+        }))
         .map_err(|e| format!("swap transport: {e}"))?;
     match resp {
         Response::Admin(ack) if ack.op == "swap" => {
@@ -185,6 +329,97 @@ fn swap_mid_run(
     }
 }
 
+/// The closed-loop worker: one request in flight per connection,
+/// per-request latency measured. With `--slow-loris` the request bytes
+/// dribble out, which is the whole point — the *other* connections'
+/// latency must not care.
+fn closed_loop_worker(args: &Args, next: &AtomicU64, tally: &Tally) {
+    let mut conn = match RawConn::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            tally.failures.lock().unwrap().push(format!("connect: {e}"));
+            return;
+        }
+    };
+    loop {
+        let n = next.fetch_add(1, Ordering::Relaxed);
+        if n >= args.requests as u64 {
+            return;
+        }
+        let req = nth_query(
+            n,
+            args.models,
+            args.deadline_ms,
+            args.backend.as_deref(),
+            args.pipeline.as_deref(),
+        );
+        let line = encode_line(&Request::Recommend(req));
+        let sent = Instant::now();
+        let outcome = conn
+            .write_line(&line, args.slow_loris)
+            .and_then(|()| conn.read_response());
+        match outcome {
+            Ok(resp) => tally.record(classify(
+                &resp,
+                args.deadline_ms.is_some(),
+                Some(sent.elapsed().as_secs_f64() * 1e6),
+            )),
+            Err(e) => tally.record(Outcome::Fail(format!("transport: {e}"))),
+        }
+    }
+}
+
+/// The open-loop worker: its whole share goes out before anything is
+/// read back, so the server's queue — not this client's lockstep — is
+/// what absorbs the load.
+fn open_loop_worker(args: &Args, worker: usize, tally: &Tally) {
+    let mut conn = match RawConn::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            tally.failures.lock().unwrap().push(format!("connect: {e}"));
+            return;
+        }
+    };
+    let share = worker_share(worker, args.concurrency, args.requests);
+    for &n in &share {
+        let req = nth_query(
+            n,
+            args.models,
+            args.deadline_ms,
+            args.backend.as_deref(),
+            args.pipeline.as_deref(),
+        );
+        let line = encode_line(&Request::Recommend(req));
+        if let Err(e) = conn.write_line(&line, args.slow_loris) {
+            tally
+                .failures
+                .lock()
+                .unwrap()
+                .push(format!("flood write: {e}"));
+            return;
+        }
+    }
+    if let Err(e) = conn.stream.flush() {
+        tally
+            .failures
+            .lock()
+            .unwrap()
+            .push(format!("flood flush: {e}"));
+        return;
+    }
+    for _ in &share {
+        match conn.read_response() {
+            // open-loop latency is queueing, not service time — no
+            // per-request numbers
+            Ok(resp) => tally.record(classify(&resp, args.deadline_ms.is_some(), None)),
+            Err(e) => {
+                tally.record(Outcome::Fail(format!("transport: {e}")));
+                return;
+            }
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let tracing = args.trace || args.trace_dump.is_some();
@@ -194,11 +429,11 @@ fn main() {
         // recording cost — this is the overhead gate's traced leg)
         let resp = TcpClient::connect(&args.addr)
             .and_then(|mut c| {
-                c.send(&Request::Trace {
+                c.send(&Request::Admin(AdminRequest::Trace {
                     id: u64::MAX,
                     enable: Some(true),
                     path: None,
-                })
+                }))
             })
             .unwrap_or_else(|e| panic!("--trace enable failed: {e}"));
         match resp {
@@ -206,57 +441,28 @@ fn main() {
             other => panic!("--trace enable rejected: {other:?}"),
         }
     }
-    let next = Arc::new(AtomicU64::new(0));
-    let completed = Arc::new(AtomicU64::new(0));
-    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
-    let expired = Arc::new(AtomicU64::new(0));
-    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let next = AtomicU64::new(0);
+    let tally = Tally {
+        latencies: Mutex::new(Vec::new()),
+        ok: AtomicU64::new(0),
+        expired: AtomicU64::new(0),
+        sheds: AtomicU64::new(0),
+        failures: Mutex::new(Vec::new()),
+        completed: AtomicU64::new(0),
+    };
     let swapped_version: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
 
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..args.concurrency {
-            let next = Arc::clone(&next);
-            let completed = Arc::clone(&completed);
-            let latencies = Arc::clone(&latencies);
-            let expired = Arc::clone(&expired);
-            let failures = Arc::clone(&failures);
+        for worker in 0..args.concurrency {
+            let next = &next;
+            let tally = &tally;
             let args = &args;
             scope.spawn(move || {
-                let mut client = match TcpClient::connect(&args.addr) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        failures.lock().unwrap().push(format!("connect: {e}"));
-                        return;
-                    }
-                };
-                loop {
-                    let n = next.fetch_add(1, Ordering::Relaxed);
-                    if n >= args.requests as u64 {
-                        return;
-                    }
-                    let req = nth_query(
-                        n,
-                        args.models,
-                        args.deadline_ms,
-                        args.backend.as_deref(),
-                        args.pipeline.as_deref(),
-                    );
-                    let sent = Instant::now();
-                    match client.send(&Request::Recommend(req)) {
-                        Ok(resp) => match check(&resp, args.deadline_ms.is_some()) {
-                            Ok(Some(_)) => latencies
-                                .lock()
-                                .unwrap()
-                                .push(sent.elapsed().as_secs_f64() * 1e6),
-                            Ok(None) => {
-                                expired.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(msg) => failures.lock().unwrap().push(msg),
-                        },
-                        Err(e) => failures.lock().unwrap().push(format!("transport: {e}")),
-                    }
-                    completed.fetch_add(1, Ordering::Relaxed);
+                if args.open_loop {
+                    open_loop_worker(args, worker, tally);
+                } else {
+                    closed_loop_worker(args, next, tally);
                 }
             });
         }
@@ -266,8 +472,8 @@ fn main() {
             // new one, and none may fail either way
             let path = args.swap_checkpoint.clone().expect("checked in parse_args");
             let addr = args.addr.clone();
-            let completed = Arc::clone(&completed);
-            let failures = Arc::clone(&failures);
+            let completed = &tally.completed;
+            let failures = &tally.failures;
             let swapped_version = Arc::clone(&swapped_version);
             // fire at the quarter mark: the swap (checkpoint load +
             // validation) takes a while, so an early trigger maximises
@@ -277,7 +483,7 @@ fn main() {
                 match swap_mid_run(
                     &addr,
                     &path,
-                    &completed,
+                    completed,
                     trigger_at,
                     Duration::from_secs(120),
                 ) {
@@ -289,7 +495,7 @@ fn main() {
     });
     let elapsed = started.elapsed().as_secs_f64();
 
-    let failures = failures.lock().unwrap();
+    let failures = tally.failures.lock().unwrap();
     if !failures.is_empty() {
         eprintln!("[loadgen] {} FAILURES:", failures.len());
         for f in failures.iter().take(10) {
@@ -298,7 +504,9 @@ fn main() {
         std::process::exit(1);
     }
 
-    let lats = latencies.lock().unwrap();
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let sheds = tally.sheds.load(Ordering::Relaxed);
+    let lats = tally.latencies.lock().unwrap();
     let (p50, p95, p99) = if lats.is_empty() {
         (0.0, 0.0, 0.0)
     } else {
@@ -309,11 +517,14 @@ fn main() {
         )
     };
     println!(
-        "loadgen: {} ok ({} deadline-expired) in {:.3}s → {:.1} req/s | client latency p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs",
-        lats.len(),
-        expired.load(Ordering::Relaxed),
+        "loadgen: {} ok ({} deadline-expired, {} shed) in {:.3}s → {:.1} req/s over {} conns{} | client latency p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs",
+        ok,
+        tally.expired.load(Ordering::Relaxed),
+        sheds,
         elapsed,
-        lats.len() as f64 / elapsed,
+        ok as f64 / elapsed,
+        args.concurrency,
+        if args.open_loop { " (open loop)" } else { "" },
         p50,
         p95,
         p99,
@@ -322,13 +533,14 @@ fn main() {
     // the server's own view (`None` percentiles print as 0: the server
     // is cold only when every request expired client-side)
     let server = match TcpClient::connect(&args.addr)
-        .and_then(|mut c| c.send(&Request::Stats { id: 0 }))
+        .and_then(|mut c| c.send(&Request::Admin(AdminRequest::Stats { id: 0 })))
     {
         Ok(Response::Stats(s)) => {
             println!(
-                "server stats: served {} (cache hits {}) | model v{}{} | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m | kernel {}{}",
+                "server stats: served {} (cache hits {}, sheds {}) | model v{}{} | {:.1} req/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | engine {}h/{}m | kernel {}{}",
                 s.served,
                 s.cache_hits,
+                s.sheds,
                 s.model_version,
                 if s.frozen { " FROZEN" } else { "" },
                 s.throughput_rps,
@@ -352,6 +564,22 @@ fn main() {
         }
     };
 
+    if args.min_sheds > 0 && sheds < args.min_sheds {
+        eprintln!(
+            "[loadgen] expected at least {} sheds under this load, observed {sheds} \
+             (server counted {})",
+            args.min_sheds, server.sheds
+        );
+        std::process::exit(1);
+    }
+    if sheds > server.sheds {
+        eprintln!(
+            "[loadgen] client saw {sheds} shed responses but the server only counted {}",
+            server.sheds
+        );
+        std::process::exit(1);
+    }
+
     let swapped_version = *swapped_version.lock().unwrap();
     if args.refresh {
         // the swap must have landed and the server must still be on (or
@@ -372,11 +600,11 @@ fn main() {
     if let Some(path) = &args.trace_dump {
         let resp = TcpClient::connect(&args.addr)
             .and_then(|mut c| {
-                c.send(&Request::Trace {
+                c.send(&Request::Admin(AdminRequest::Trace {
                     id: u64::MAX,
                     enable: None,
                     path: Some(path.clone()),
-                })
+                }))
             })
             .unwrap_or_else(|e| panic!("--trace-dump failed: {e}"));
         match resp {
@@ -389,10 +617,10 @@ fn main() {
 
     if let Some(path) = &args.json {
         let result = LoadgenResult {
-            requests: lats.len() as u64,
-            deadline_expired: expired.load(Ordering::Relaxed),
+            requests: ok,
+            deadline_expired: tally.expired.load(Ordering::Relaxed),
             elapsed_s: elapsed,
-            client_rps: lats.len() as f64 / elapsed,
+            client_rps: ok as f64 / elapsed,
             p50_us: p50,
             p95_us: p95,
             p99_us: p99,
@@ -411,6 +639,9 @@ fn main() {
             },
             model_version: server.model_version,
             swapped: swapped_version.is_some(),
+            sheds: Some(sheds),
+            connections: Some(args.concurrency as u64),
+            open_loop: Some(args.open_loop),
             traced: Some(tracing),
         };
         let body = serde_json::to_string(&result).expect("serialize loadgen result");

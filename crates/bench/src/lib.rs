@@ -85,12 +85,62 @@ pub struct LoadgenResult {
     /// Whether this run performed a live checkpoint swap mid-load
     /// (`--refresh`).
     pub swapped: bool,
+    /// Requests the server refused inline under its shed admission
+    /// policy (`ServeConfig::overload`); the client counts the
+    /// `"shedding"` error responses. `None` on records written before
+    /// admission control existed.
+    pub sheds: Option<u64>,
+    /// Connections the run held open (`--connections`, defaulting to
+    /// `--concurrency`). `None` on records written before the
+    /// connection-scale modes existed.
+    pub connections: Option<u64>,
+    /// Whether the run fired open-loop (`--open-loop`: every request
+    /// written before any response is read). Open-loop latency numbers
+    /// measure queueing, not service time — `bench_gate` must not
+    /// compare them against closed-loop baselines. `None` means closed
+    /// loop (records predate the flag).
+    pub open_loop: Option<bool>,
     /// Whether server-side tracing was enabled for the run
     /// (`--trace`). `None` on records written before the field existed.
     /// Deliberately **not** part of the configuration identity
     /// `bench_gate` matches on: comparing a traced run against an
     /// untraced baseline is exactly the tracing-overhead gate.
     pub traced: Option<bool>,
+}
+
+/// One measured point of the `connscale` benchmark: a front end holding
+/// `connections` mostly-idle connections while a small closed-loop mix
+/// stays active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnscaleRow {
+    /// `"threads"` or `"event"`.
+    pub frontend: String,
+    /// Open connections held during the measurement (idle + active).
+    pub connections: u64,
+    /// Server process threads before any connection was opened.
+    pub baseline_threads: u64,
+    /// Server process threads with every connection open — the claim
+    /// under test: O(connections) for the threaded front end,
+    /// O(event-loop threads) for the event front end.
+    pub resident_threads: u64,
+    /// Closed-loop median latency of the active mix, microseconds.
+    pub p50_us: f64,
+    /// Closed-loop 95th-percentile latency of the active mix,
+    /// microseconds.
+    pub p95_us: f64,
+}
+
+/// The `BENCH_connscale.json` artifact the `connscale` binary writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnscaleResult {
+    /// Event-loop threads the event front end ran.
+    pub event_threads: u64,
+    /// Connection counts the threaded front end was capped to (thread
+    ///-per-connection at five figures is the failure mode, not a
+    /// measurement).
+    pub threaded_cap: u64,
+    /// All measured points.
+    pub rows: Vec<ConnscaleRow>,
 }
 
 /// Experiment sizing parsed from the command line.

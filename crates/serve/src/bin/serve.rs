@@ -12,6 +12,15 @@
 //!
 //! ```text
 //! serve [--port N]            listen port (default 0 = ephemeral)
+//!       [--frontend NAME]     connection front end: "threads" (default,
+//!                             thread per connection) or "event" (one
+//!                             acceptor + N event-loop threads
+//!                             multiplexing every connection)
+//!       [--event-threads N]   event-loop threads with --frontend event
+//!                             (default 2)
+//!       [--shed-high-water N] shed admission control: refuse new
+//!                             recommendations inline once the queue
+//!                             holds N (default 0 = queue unboundedly)
 //!       [--shards N]          worker shards (default 2)
 //!       [--max-batch N]       micro-batch bound (default 32)
 //!       [--cache N]           LRU response-cache entries (default 1024)
@@ -34,12 +43,14 @@
 use std::sync::Arc;
 
 use ai2_dse::{DseDataset, DseTask, EvalEngine, GenerateConfig, PipelineSet, PipelinesFile};
-use ai2_serve::{RecommendService, RefreshConfig, ServeConfig};
+use ai2_serve::{OverloadPolicy, RecommendService, RefreshConfig, ServeConfig};
 use airchitect::train::TrainConfig;
 use airchitect::{Airchitect2, ModelCheckpoint, ModelConfig};
 
 struct Args {
     port: u16,
+    frontend: String,
+    event_threads: usize,
     cfg: ServeConfig,
     samples: usize,
     seed: u64,
@@ -51,6 +62,8 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         port: 0,
+        frontend: "threads".to_string(),
+        event_threads: 2,
         cfg: ServeConfig::default(),
         samples: 2000,
         seed: 0xA12C,
@@ -69,6 +82,29 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--port" => args.port = value(&mut i).parse().expect("--port takes a port number"),
+            "--frontend" => {
+                args.frontend = value(&mut i);
+                assert!(
+                    args.frontend == "threads" || args.frontend == "event",
+                    "--frontend takes \"threads\" or \"event\", not {:?}",
+                    args.frontend
+                );
+            }
+            "--event-threads" => {
+                args.event_threads = value(&mut i)
+                    .parse()
+                    .expect("--event-threads takes a count");
+            }
+            "--shed-high-water" => {
+                let high_water: usize = value(&mut i)
+                    .parse()
+                    .expect("--shed-high-water takes a queue depth");
+                args.cfg.overload = if high_water > 0 {
+                    OverloadPolicy::Shed { high_water }
+                } else {
+                    OverloadPolicy::Queue
+                };
+            }
             "--shards" => args.cfg.shards = value(&mut i).parse().expect("--shards takes a count"),
             "--max-batch" => {
                 args.cfg.max_batch = value(&mut i).parse().expect("--max-batch takes a count");
@@ -149,15 +185,26 @@ fn main() {
     }
 
     let mut service = RecommendService::start(args.cfg.clone(), engine, ckpt);
-    let addr = service
-        .listen(("127.0.0.1", args.port))
-        .expect("bind listen port");
+    let addr = if args.frontend == "event" {
+        service
+            .listen_event(("127.0.0.1", args.port), args.event_threads)
+            .expect("bind listen port")
+    } else {
+        service
+            .listen(("127.0.0.1", args.port))
+            .expect("bind listen port")
+    };
     eprintln!(
-        "[serve] {} shards, max batch {}, cache {} entries, pipelines [{}]{}",
+        "[serve] {} front end, {} shards, max batch {}, cache {} entries, pipelines [{}]{}{}",
+        args.frontend,
         args.cfg.shards,
         args.cfg.max_batch,
         args.cfg.cache_capacity,
         args.cfg.pipelines.names().join(", "),
+        match args.cfg.overload {
+            OverloadPolicy::Shed { high_water } => format!(", shed over {high_water} queued"),
+            OverloadPolicy::Queue => String::new(),
+        },
         match &args.cfg.refresh {
             Some(r) => format!(", refresh every {:?}", r.interval),
             None => String::new(),

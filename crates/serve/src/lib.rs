@@ -25,10 +25,15 @@
 //!   listener plus in-process [`Client`], and a `stats` endpoint with
 //!   throughput and p50/p95/p99 latency.
 //! * [`transport`] — pluggable line transports over one shared
-//!   [`Endpoint`](server::Endpoint) seam: the production TCP front end
-//!   and the deterministic in-process [`VirtualTransport`] the
+//!   [`Endpoint`](server::Endpoint) seam: the thread-per-connection TCP
+//!   front end and the deterministic in-process [`VirtualTransport`] the
 //!   `ai2_simtest` harness drives (seeded delivery order, injectable
 //!   delays and disconnects, no sockets).
+//! * [`event`] — the event-driven front end: one acceptor plus N
+//!   event-loop threads multiplexing every connection through a
+//!   vendored readiness poller (`mini-poll`), with per-connection write
+//!   backpressure; pairs with `ServeConfig::overload` shed-or-queue
+//!   admission control for 10k-connection scale.
 //! * [`clock`] — the service's notion of time behind a trait:
 //!   [`WallClock`] in production, [`VirtualClock`] under simulation so
 //!   deadline expiry replays deterministically.
@@ -77,6 +82,7 @@
 
 pub mod cache;
 pub mod clock;
+pub mod event;
 pub mod metrics;
 pub mod protocol;
 pub mod recommend;
@@ -86,12 +92,19 @@ pub mod server;
 pub mod transport;
 
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use event::EventTransport;
 pub use metrics::{MetricsSnapshot, ServiceMetrics, ShardMetrics};
 pub use protocol::{
-    AdminAck, Query, QueryKey, RecommendRequest, Recommendation, Request, Response, ServeStats,
+    AdminAck, AdminRequest, Query, QueryKey, RecommendRequest, Recommendation, Request, Response,
+    ServeStats,
 };
 pub use recommend::{recommend_batch, recommend_batch_in, recommend_batch_with, BackendEngines};
 pub use refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer, ReplayEntry};
 pub use registry::{ModelRegistry, PublishError};
-pub use server::{Client, Driver, Endpoint, Pending, RecommendService, ServeConfig, Submission};
-pub use transport::{Delivery, TcpClient, TcpTransport, Transport, VirtualTransport};
+pub use server::{
+    Client, Driver, Endpoint, NotifyFn, OverloadPolicy, Pending, RecommendService, ServeConfig,
+    Submission,
+};
+pub use transport::{
+    BoundAddr, Delivery, Shutdown, TcpClient, TcpTransport, Transport, VirtualTransport,
+};

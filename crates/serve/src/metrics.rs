@@ -17,12 +17,14 @@
 //! | `serve.cache_hits` | counter | answers straight from the response cache |
 //! | `serve.deadline_expired` | counter | requests dropped past their deadline |
 //! | `serve.errors` | counter | error responses issued |
+//! | `serve.sheds` | counter | requests refused at admission (overload policy) |
 //! | `serve.queue_depth` | gauge | jobs admitted but not yet drained |
 //! | `serve.latency_ns` | histogram | admission→response latency |
 //! | `serve.latency_ns.analytic` / `.systolic` | histogram | same, split by cost backend |
 //! | `serve.latency_ns.f32` / `.int8` | histogram | same, split by decoder flavor |
 //! | `serve.batch_size` | histogram | drained micro-batch sizes |
 
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -36,6 +38,12 @@ pub struct ServiceMetrics {
     service: Registry,
     queue_depth: Arc<Gauge>,
     errors: Arc<Counter>,
+    sheds: Arc<Counter>,
+    /// Mirror of the queue-depth gauge so the high-water mark can be
+    /// maintained with one `fetch_max` per admission (the gauge itself
+    /// has no read-back cheaper than a full registry snapshot).
+    depth_mirror: AtomicI64,
+    queue_high_water: AtomicU64,
     shards: Vec<ShardMetrics>,
 }
 
@@ -141,6 +149,10 @@ pub struct MetricsSnapshot {
     pub batch_size_p50: Option<f64>,
     /// 95th-percentile micro-batch size; `None` before any batch ran.
     pub batch_size_p95: Option<f64>,
+    /// Requests refused at admission by the overload policy.
+    pub sheds: u64,
+    /// Highest queue depth ever observed at an admission.
+    pub queue_high_water: u64,
 }
 
 impl ServiceMetrics {
@@ -151,6 +163,9 @@ impl ServiceMetrics {
             started: Instant::now(),
             queue_depth: service.gauge("serve.queue_depth"),
             errors: service.counter("serve.errors"),
+            sheds: service.counter("serve.sheds"),
+            depth_mirror: AtomicI64::new(0),
+            queue_high_water: AtomicU64::new(0),
             service,
             shards: (0..shards.max(1)).map(|_| ShardMetrics::new()).collect(),
         }
@@ -161,9 +176,21 @@ impl ServiceMetrics {
         &self.shards[i]
     }
 
-    /// Tracks admissions (`+n`) and drains (`-n`) of the shared queue.
+    /// Tracks admissions (`+n`) and drains (`-n`) of the shared queue,
+    /// folding the post-admission depth into the high-water mark.
     pub fn queue_depth_add(&self, n: i64) {
         self.queue_depth.add(n);
+        let depth = self.depth_mirror.fetch_add(n, Ordering::SeqCst) + n;
+        if n > 0 && depth > 0 {
+            self.queue_high_water
+                .fetch_max(depth as u64, Ordering::SeqCst);
+        }
+    }
+
+    /// Records a request refused at admission by the overload policy.
+    pub fn record_shed(&self) {
+        self.sheds.inc();
+        self.errors.inc();
     }
 
     /// Records a service-level error response (malformed line, rejected
@@ -213,6 +240,8 @@ impl ServiceMetrics {
             p99_us: lat_us(0.99),
             batch_size_p50: batch_q(0.50),
             batch_size_p95: batch_q(0.95),
+            sheds: dump.counter("serve.sheds"),
+            queue_high_water: self.queue_high_water.load(Ordering::SeqCst),
         }
     }
 }
@@ -279,9 +308,23 @@ mod tests {
         }
         let s = m.snapshot();
         assert_eq!(s.queue_depth, 3);
+        // the high-water mark keeps the +5 peak even after the drain
+        assert_eq!(s.queue_high_water, 5);
         let p50 = s.batch_size_p50.expect("batches recorded");
         assert!((p50 - 4.0).abs() < 0.5, "p50 {p50}");
         assert!(s.batch_size_p95.expect("batches recorded") >= p50);
+    }
+
+    #[test]
+    fn sheds_count_as_errors_but_keep_their_own_counter() {
+        let m = ServiceMetrics::new(1);
+        m.record_shed();
+        m.record_shed();
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.sheds, 2);
+        assert_eq!(s.errors, 3);
+        assert_eq!(s.served, 0);
     }
 
     #[test]

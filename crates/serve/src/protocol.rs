@@ -23,27 +23,42 @@ use serde::{Deserialize, Serialize};
 
 /// One request line.
 ///
-/// Decoding is **strict for the admin surface**: `Stats`, `Swap` and
-/// `Freeze` payloads reject unknown fields with the canonical parse
-/// error (see [`decode_line`]), because a typo'd operator knob —
-/// `"bmup"` for `"bump"` — silently ignored would publish a checkpoint
-/// under the wrong version policy. `Recommend` payloads stay lenient:
-/// query traffic from newer clients must keep parsing.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// Decoding is **strict for the admin surface** (see [`AdminRequest`]):
+/// admin payloads reject unknown fields with the canonical parse error,
+/// because a typo'd operator knob — `"bmup"` for `"bump"` — silently
+/// ignored would publish a checkpoint under the wrong version policy.
+/// `Recommend` payloads stay lenient: query traffic from newer clients
+/// must keep parsing.
+///
+/// On the wire the admin variants keep their historical **top-level**
+/// tags (`{"Stats":…}`, `{"Swap":…}`, …, never `{"Admin":{"Stats":…}}`),
+/// so grouping them under one enum changed no bytes — the round-trip
+/// tests below pin that.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// A design-space recommendation query.
     Recommend(RecommendRequest),
+    /// Any of the strict admin operations, decoded and dispatched as
+    /// one surface.
+    Admin(AdminRequest),
+}
+
+/// The unified admin surface: every operator message the service
+/// answers inline (no shard, no queue). One strict decoder and one
+/// dispatch point (`server.rs`) handle all five.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum AdminRequest {
     /// Service counters and latency percentiles.
     Stats {
         /// Echoed in the response.
         id: u64,
     },
-    /// Admin: load a checkpoint from a **server-side** path and publish
-    /// it through the model registry. Worker shards pick the new
-    /// replica up at their next micro-batch boundary; in-flight
-    /// requests finish on the old one. Answered inline with
-    /// [`Response::Admin`] (or an error naming the rejection:
-    /// unreadable file, frozen registry, non-advancing version).
+    /// Load a checkpoint from a **server-side** path and publish it
+    /// through the model registry. Worker shards pick the new replica
+    /// up at their next micro-batch boundary; in-flight requests finish
+    /// on the old one. Answered inline with [`Response::Admin`] (or an
+    /// error naming the rejection: unreadable file, frozen registry,
+    /// non-advancing version).
     Swap {
         /// Echoed in the response.
         id: u64,
@@ -57,31 +72,31 @@ pub enum Request {
         /// the file's own version must advance the live one.
         bump: Option<bool>,
     },
-    /// Admin: freeze (`true`) or unfreeze (`false`) publishing. A
-    /// frozen registry rejects both admin swaps and background
-    /// refreshes; serving is unaffected.
+    /// Freeze (`true`) or unfreeze (`false`) publishing. A frozen
+    /// registry rejects both admin swaps and background refreshes;
+    /// serving is unaffected.
     Freeze {
         /// Echoed in the response.
         id: u64,
         /// Desired freeze state.
         frozen: bool,
     },
-    /// Admin: list the named recommendation pipelines this server
-    /// compiled at startup (`serve --pipelines FILE` plus the built-in
+    /// List the named recommendation pipelines this server compiled at
+    /// startup (`serve --pipelines FILE` plus the built-in
     /// `"default"`), each with its stage kinds in execution order.
     /// Answered with [`Response::Pipelines`].
     Pipelines {
         /// Echoed in the response.
         id: u64,
     },
-    /// Admin: control the in-process tracer. `enable: true` starts a
-    /// fresh capture (prior spans are discarded so two captures of the
-    /// same deterministic run are byte-identical); `enable: false`
-    /// stops recording without discarding. `path` writes the current
-    /// capture as Chrome `trace_event` JSON to a **server-side** file
-    /// (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
-    /// Both fields are optional and independent; an unwritable path
-    /// answers an error naming the OS failure.
+    /// Control the in-process tracer. `enable: true` starts a fresh
+    /// capture (prior spans are discarded so two captures of the same
+    /// deterministic run are byte-identical); `enable: false` stops
+    /// recording without discarding. `path` writes the current capture
+    /// as Chrome `trace_event` JSON to a **server-side** file (load it
+    /// at `chrome://tracing` or <https://ui.perfetto.dev>). Both fields
+    /// are optional and independent; an unwritable path answers an
+    /// error naming the OS failure.
     Trace {
         /// Echoed in the response.
         id: u64,
@@ -90,6 +105,33 @@ pub enum Request {
         /// Server-side file to dump the Chrome trace JSON to.
         path: Option<String>,
     },
+}
+
+impl AdminRequest {
+    /// The client-chosen id this operation echoes.
+    pub fn id(&self) -> u64 {
+        match self {
+            AdminRequest::Stats { id }
+            | AdminRequest::Swap { id, .. }
+            | AdminRequest::Freeze { id, .. }
+            | AdminRequest::Pipelines { id }
+            | AdminRequest::Trace { id, .. } => *id,
+        }
+    }
+}
+
+// Hand-rolled so the admin variants keep their historical top-level
+// wire tags: `Admin(Stats{…})` renders as `{"Stats":…}`, exactly the
+// bytes the pre-unification enum produced.
+impl Serialize for Request {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Request::Recommend(req) => {
+                serde::Value::Object(vec![("Recommend".to_string(), req.to_value())])
+            }
+            Request::Admin(admin) => admin.to_value(),
+        }
+    }
 }
 
 /// Rejects a payload object carrying fields outside `known` — the
@@ -126,43 +168,56 @@ impl serde::Deserialize for Request {
                     "Recommend" => Ok(Request::Recommend(serde::Deserialize::from_value(content)?)),
                     "Stats" => {
                         deny_unknown_fields(content, "Stats", &["id"])?;
-                        Ok(Request::Stats {
+                        Ok(Request::Admin(AdminRequest::Stats {
                             id: serde::de_field(content, "id")?,
-                        })
+                        }))
                     }
                     "Swap" => {
                         deny_unknown_fields(content, "Swap", &["id", "path", "bump"])?;
-                        Ok(Request::Swap {
+                        Ok(Request::Admin(AdminRequest::Swap {
                             id: serde::de_field(content, "id")?,
                             path: serde::de_field(content, "path")?,
                             bump: serde::de_field(content, "bump")?,
-                        })
+                        }))
                     }
                     "Freeze" => {
                         deny_unknown_fields(content, "Freeze", &["id", "frozen"])?;
-                        Ok(Request::Freeze {
+                        Ok(Request::Admin(AdminRequest::Freeze {
                             id: serde::de_field(content, "id")?,
                             frozen: serde::de_field(content, "frozen")?,
-                        })
+                        }))
                     }
                     "Pipelines" => {
                         deny_unknown_fields(content, "Pipelines", &["id"])?;
-                        Ok(Request::Pipelines {
+                        Ok(Request::Admin(AdminRequest::Pipelines {
                             id: serde::de_field(content, "id")?,
-                        })
+                        }))
                     }
                     "Trace" => {
                         deny_unknown_fields(content, "Trace", &["id", "enable", "path"])?;
-                        Ok(Request::Trace {
+                        Ok(Request::Admin(AdminRequest::Trace {
                             id: serde::de_field(content, "id")?,
                             enable: serde::de_field(content, "enable")?,
                             path: serde::de_field(content, "path")?,
-                        })
+                        }))
                     }
                     other => Err(serde::DeError(format!("unknown Request variant {other:?}"))),
                 }
             }
             other => Err(serde::DeError(format!("expected Request, got {other:?}"))),
+        }
+    }
+}
+
+// Delegates to the `Request` decoder so the strictness rules (and their
+// error messages) exist in exactly one place.
+impl serde::Deserialize for AdminRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match Request::from_value(v)? {
+            Request::Admin(admin) => Ok(admin),
+            Request::Recommend(_) => Err(serde::DeError(
+                "expected an admin request, got Recommend".to_string(),
+            )),
         }
     }
 }
@@ -385,6 +440,13 @@ pub struct ServeStats {
     /// Jobs admitted to the shared queue but not yet drained by any
     /// shard — the instantaneous backlog.
     pub queue_depth: u64,
+    /// Requests refused at admission by the overload policy
+    /// ([`crate::OverloadPolicy::Shed`]), each answered inline with the
+    /// `"shedding"` error. 0 under the default queue-everything policy.
+    pub sheds: u64,
+    /// Highest queue depth ever observed at an admission — how close
+    /// the service has come to its shed threshold.
+    pub queue_high_water: u64,
     /// Median request latency (admission → response), microseconds.
     /// `null` until the first request has been served — `NaN` is not
     /// legal JSON, so a cold server's percentiles are absent, not NaN.
@@ -522,27 +584,27 @@ mod tests {
                 backend: Some("systolic".into()),
                 pipeline: Some("staged".into()),
             }),
-            Request::Stats { id: 9 },
-            Request::Pipelines { id: 14 },
-            Request::Swap {
+            Request::Admin(AdminRequest::Stats { id: 9 }),
+            Request::Admin(AdminRequest::Pipelines { id: 14 }),
+            Request::Admin(AdminRequest::Swap {
                 id: 10,
                 path: "/var/ckpt/model_v3.json".into(),
                 bump: Some(true),
-            },
-            Request::Freeze {
+            }),
+            Request::Admin(AdminRequest::Freeze {
                 id: 11,
                 frozen: true,
-            },
-            Request::Trace {
+            }),
+            Request::Admin(AdminRequest::Trace {
                 id: 12,
                 enable: Some(true),
                 path: Some("/tmp/trace.json".into()),
-            },
-            Request::Trace {
+            }),
+            Request::Admin(AdminRequest::Trace {
                 id: 13,
                 enable: None,
                 path: None,
-            },
+            }),
         ];
         for req in &reqs {
             let line = encode_line(req);
@@ -559,11 +621,11 @@ mod tests {
         let req: Request = decode_line(line).unwrap();
         assert_eq!(
             req,
-            Request::Swap {
+            Request::Admin(AdminRequest::Swap {
                 id: 4,
                 path: "ck.json".into(),
                 bump: None,
-            }
+            })
         );
         let ack = Response::Admin(AdminAck {
             id: 4,
@@ -714,7 +776,7 @@ mod tests {
         // the request side is admin-strict
         assert_eq!(
             decode_line::<Request>(r#"{"Pipelines":{"id":5}}"#).unwrap(),
-            Request::Pipelines { id: 5 }
+            Request::Admin(AdminRequest::Pipelines { id: 5 })
         );
         let err = decode_line::<Request>(r#"{"Pipelines":{"id":5,"verbose":true}}"#)
             .unwrap_err()
@@ -795,13 +857,68 @@ mod tests {
         // both Trace knobs are optional on the wire
         assert_eq!(
             decode_line::<Request>(r#"{"Trace":{"id":6,"enable":false}}"#).unwrap(),
-            Request::Trace {
+            Request::Admin(AdminRequest::Trace {
                 id: 6,
                 enable: Some(false),
                 path: None,
-            }
+            })
         );
         assert!(decode_line::<Request>(r#"{"Trace":{"id":7,"path":"t.json"}}"#).is_ok());
+    }
+
+    #[test]
+    fn unified_admin_enum_kept_the_wire_bytes() {
+        // grouping the admin messages under one `AdminRequest` must not
+        // move a single byte: the tags stay top-level, in the
+        // historical field order, with explicit nulls for absent
+        // options — pinned here against the exact pre-unification
+        // encodings
+        let cases: [(Request, &str); 5] = [
+            (
+                Request::Admin(AdminRequest::Stats { id: 3 }),
+                r#"{"Stats":{"id":3}}"#,
+            ),
+            (
+                Request::Admin(AdminRequest::Swap {
+                    id: 1,
+                    path: "ck.json".into(),
+                    bump: None,
+                }),
+                r#"{"Swap":{"id":1,"path":"ck.json","bump":null}}"#,
+            ),
+            (
+                Request::Admin(AdminRequest::Freeze {
+                    id: 2,
+                    frozen: true,
+                }),
+                r#"{"Freeze":{"id":2,"frozen":true}}"#,
+            ),
+            (
+                Request::Admin(AdminRequest::Pipelines { id: 4 }),
+                r#"{"Pipelines":{"id":4}}"#,
+            ),
+            (
+                Request::Admin(AdminRequest::Trace {
+                    id: 5,
+                    enable: Some(true),
+                    path: None,
+                }),
+                r#"{"Trace":{"id":5,"enable":true,"path":null}}"#,
+            ),
+        ];
+        for (req, wire) in cases {
+            assert_eq!(encode_line(&req), wire);
+            assert_eq!(decode_line::<Request>(wire).unwrap(), req);
+            // the payload also decodes standalone as an AdminRequest
+            let Request::Admin(admin) = &req else {
+                unreachable!()
+            };
+            assert_eq!(&decode_line::<AdminRequest>(wire).unwrap(), admin);
+        }
+        // and a recommendation is not an admin message
+        let rec = encode_line(&Request::Recommend(gemm_req(1)));
+        let err = decode_line::<AdminRequest>(&rec).unwrap_err().to_string();
+        assert!(err.contains("expected an admin request"), "{err}");
     }
 
     #[test]

@@ -68,13 +68,19 @@ use crate::cache::LruCache;
 use crate::clock::{Clock, WallClock};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{
-    decode_line, AdminAck, PipelineInfo, PipelineServed, QueryKey, RecommendRequest,
+    decode_line, AdminAck, AdminRequest, PipelineInfo, PipelineServed, QueryKey, RecommendRequest,
     Recommendation, Request, Response, ServeStats,
 };
 use crate::recommend::{recommend_batch_in, BackendEngines};
 use crate::refresh::{refresh_once, RefreshConfig, RefreshOutcome, ReplayBuffer};
 use crate::registry::ModelRegistry;
-use crate::transport::{TcpTransport, Transport};
+use crate::transport::{BoundAddr, TcpTransport, Transport};
+
+/// A completion hook a transport attaches to a submission: invoked
+/// (from the answering shard's thread) right after the response lands
+/// in the job's channel, so an event loop parked in its poller learns
+/// the answer is ready without busy-polling.
+pub type NotifyFn = Arc<dyn Fn() + Send + Sync>;
 
 /// How shard work gets scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,6 +93,25 @@ pub enum Driver {
     /// the virtual transport, a whole server run is a deterministic
     /// function of the step sequence.
     Manual,
+}
+
+/// What happens to a recommendation arriving while the shard queue is
+/// already deep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Queue everything (the historical behavior): latency degrades
+    /// under overload but no request is refused.
+    #[default]
+    Queue,
+    /// Refuse admissions once the queue holds `high_water` jobs: the
+    /// request is answered inline with the `"shedding"` error, counted
+    /// in [`ServeStats::sheds`], and never reaches a shard. Cheap
+    /// inline work (stats, admin, malformed lines) is never shed.
+    Shed {
+        /// Queue depth at and above which new recommendations are
+        /// refused.
+        high_water: usize,
+    },
 }
 
 /// Service sizing knobs.
@@ -125,6 +150,8 @@ pub struct ServeConfig {
     /// pre-pipeline server — which is what every request without a
     /// `"pipeline"` field runs.
     pub pipelines: PipelineSet,
+    /// Admission control under overload; the default queues everything.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +165,7 @@ impl Default for ServeConfig {
             driver: Driver::Threaded,
             quantized_shards: Vec::new(),
             pipelines: PipelineSet::default(),
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -164,6 +192,18 @@ struct Job {
     /// can reference it; [`NO_PARENT`] when tracing was off.
     span_id: u64,
     tx: mpsc::Sender<Response>,
+    /// Invoked after the response is sent (see [`NotifyFn`]).
+    notify: Option<NotifyFn>,
+}
+
+impl Job {
+    /// Sends the response and fires the transport's completion hook.
+    fn answer(&self, resp: Response) {
+        let _ = self.tx.send(resp);
+        if let Some(notify) = &self.notify {
+            notify();
+        }
+    }
 }
 
 struct Inner {
@@ -185,7 +225,24 @@ struct Inner {
 }
 
 impl Inner {
-    fn submit(&self, req: RecommendRequest) -> mpsc::Receiver<Response> {
+    /// Admission control: either queues the request (returning the
+    /// receiver its answer will land in) or refuses it inline with the
+    /// response to send instead — shutdown refusals and, under
+    /// [`OverloadPolicy::Shed`], overload sheds.
+    fn admit(
+        &self,
+        req: RecommendRequest,
+        notify: Option<NotifyFn>,
+    ) -> Result<mpsc::Receiver<Response>, Box<Response>> {
+        if self.stop.load(Ordering::SeqCst) {
+            // after shutdown begins no job may enter the queue: a
+            // queued job no shard will drain would strand whoever
+            // waits on it
+            return Err(Box::new(Response::Error {
+                id: req.id,
+                message: "service is shutting down".into(),
+            }));
+        }
         let (tx, rx) = mpsc::channel();
         let admitted_ns = self.clock.now_ns();
         let job = Job {
@@ -208,14 +265,31 @@ impl Inner {
             },
             req,
             tx,
+            notify,
         };
+        {
+            // the shed decision and the enqueue share one lock hold, so
+            // the depth a request was judged against is exact — the
+            // same admission sequence sheds the same requests on every
+            // deterministic replay
+            let mut q = self.queue.lock().expect("admission queue poisoned");
+            if let OverloadPolicy::Shed { high_water } = self.cfg.overload {
+                if q.len() >= high_water {
+                    self.metrics.record_shed();
+                    return Err(Box::new(Response::Error {
+                        id: job.req.id,
+                        message: format!(
+                            "shedding: queue depth {} at high-water mark {high_water}",
+                            q.len()
+                        ),
+                    }));
+                }
+            }
+            q.push_back(job);
+        }
         self.metrics.queue_depth_add(1);
-        self.queue
-            .lock()
-            .expect("admission queue poisoned")
-            .push_back(job);
         self.available.notify_one();
-        rx
+        Ok(rx)
     }
 
     fn serve_stats(&self, id: u64) -> ServeStats {
@@ -244,6 +318,8 @@ impl Inner {
             uptime_ms: snap.uptime_ms,
             throughput_rps: snap.throughput_rps,
             queue_depth: snap.queue_depth,
+            sheds: snap.sheds,
+            queue_high_water: snap.queue_high_water,
             p50_us: snap.p50_us,
             p95_us: snap.p95_us,
             p99_us: snap.p99_us,
@@ -315,10 +391,13 @@ impl Inner {
         cache.epoch = self.registry.epoch();
     }
 
-    /// Answers the admin wire messages (`swap` / `freeze`) inline.
-    fn handle_admin(&self, req: &Request) -> Response {
+    /// The single dispatch point for the unified admin surface: every
+    /// [`AdminRequest`] is answered here, inline, without occupying a
+    /// shard.
+    fn handle_admin(&self, req: &AdminRequest) -> Response {
         match req {
-            Request::Swap { id, path, bump } => {
+            AdminRequest::Stats { id } => Response::Stats(self.serve_stats(*id)),
+            AdminRequest::Swap { id, path, bump } => {
                 let ckpt = match ModelCheckpoint::load(path) {
                     Ok(ckpt) => ckpt,
                     Err(e) => {
@@ -345,7 +424,7 @@ impl Inner {
                     }
                 }
             }
-            Request::Freeze { id, frozen } => {
+            AdminRequest::Freeze { id, frozen } => {
                 self.registry.set_frozen(*frozen);
                 self.tracer.instant(
                     "serve.freeze",
@@ -360,7 +439,7 @@ impl Inner {
                     frozen: *frozen,
                 })
             }
-            Request::Pipelines { id } => Response::Pipelines {
+            AdminRequest::Pipelines { id } => Response::Pipelines {
                 id: *id,
                 pipelines: self
                     .cfg
@@ -372,7 +451,7 @@ impl Inner {
                     })
                     .collect(),
             },
-            Request::Trace { id, enable, path } => {
+            AdminRequest::Trace { id, enable, path } => {
                 if let Some(on) = enable {
                     self.tracer.set_enabled(*on);
                 }
@@ -392,7 +471,6 @@ impl Inner {
                     frozen: self.registry.frozen(),
                 })
             }
-            _ => unreachable!("handle_admin only receives admin requests"),
         }
     }
 }
@@ -430,20 +508,25 @@ impl Endpoint {
     /// recommendations are admitted to the shard queue; malformed lines
     /// answer the canonical parse error.
     pub fn handle_line(&self, line: &str) -> Submission {
+        self.handle_line_with_notify(line, None)
+    }
+
+    /// [`Endpoint::handle_line`] with a completion hook: when the line
+    /// queues a recommendation, `notify` fires right after its response
+    /// lands (see [`NotifyFn`]) — how the event-driven front end learns
+    /// to flush a connection without polling every pending answer.
+    /// Inline answers (stats, admin, sheds, malformed lines) never
+    /// invoke the hook; they are returned directly.
+    pub fn handle_line_with_notify(&self, line: &str, notify: Option<NotifyFn>) -> Submission {
         if line.trim().is_empty() {
             return Submission::Ignored;
         }
         match decode_line::<Request>(line) {
-            Ok(Request::Recommend(req)) => Submission::Queued(Pending(self.inner.submit(req))),
-            Ok(Request::Stats { id }) => {
-                Submission::Ready(Response::Stats(self.inner.serve_stats(id)))
-            }
-            Ok(
-                admin @ (Request::Swap { .. }
-                | Request::Freeze { .. }
-                | Request::Trace { .. }
-                | Request::Pipelines { .. }),
-            ) => Submission::Ready(self.inner.handle_admin(&admin)),
+            Ok(Request::Recommend(req)) => match self.inner.admit(req, notify) {
+                Ok(rx) => Submission::Queued(Pending(rx)),
+                Err(resp) => Submission::Ready(*resp),
+            },
+            Ok(Request::Admin(admin)) => Submission::Ready(self.inner.handle_admin(&admin)),
             Err(e) => {
                 self.inner.metrics.record_error();
                 Submission::Ready(Response::Error {
@@ -597,29 +680,52 @@ impl RecommendService {
         }
     }
 
-    /// Starts a transport against this service's [`Endpoint`] and owns
-    /// it until shutdown.
+    /// Binds a transport, starts it against this service's
+    /// [`Endpoint`], and owns it until shutdown. Returns where the
+    /// transport listens.
     ///
     /// # Errors
     ///
-    /// Returns the transport's startup error (e.g. a bind failure).
-    pub fn attach(&mut self, mut transport: Box<dyn Transport>) -> io::Result<()> {
-        transport.start(self.endpoint())?;
+    /// Returns the transport's bind or startup error.
+    pub fn attach(&mut self, mut transport: Box<dyn Transport>) -> io::Result<BoundAddr> {
+        let bound = transport.bind()?;
+        transport.run(self.endpoint())?;
         self.transports.push(transport);
-        Ok(())
+        Ok(bound)
     }
 
     /// Binds a TCP listener (use port 0 for an ephemeral port) and
-    /// starts accepting NDJSON connections. Returns the bound address.
+    /// starts accepting NDJSON connections with the thread-per-
+    /// connection front end. Returns the bound address.
     ///
     /// # Errors
     ///
     /// Returns the bind error.
     pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
-        let transport = TcpTransport::bind(addr)?;
-        let local = transport.local_addr();
-        self.attach(Box::new(transport))?;
-        Ok(local)
+        let transport = TcpTransport::new(addr)?;
+        match self.attach(Box::new(transport))? {
+            BoundAddr::Tcp(local) => Ok(local),
+            BoundAddr::InProcess => unreachable!("TCP transports always report an address"),
+        }
+    }
+
+    /// Binds an event-loop front end on `addr` with `threads` loop
+    /// threads and starts accepting NDJSON connections. Returns the
+    /// bound address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn listen_event(
+        &mut self,
+        addr: impl ToSocketAddrs,
+        threads: usize,
+    ) -> io::Result<SocketAddr> {
+        let transport = crate::event::EventTransport::new(addr, threads)?;
+        match self.attach(Box::new(transport))? {
+            BoundAddr::Tcp(local) => Ok(local),
+            BoundAddr::InProcess => unreachable!("event transports always report an address"),
+        }
     }
 
     /// Runs one micro-batch on shard `shard` ([`Driver::Manual`] only):
@@ -752,18 +858,23 @@ impl RecommendService {
         for h in self.shards.drain(..) {
             h.join().expect("shard panicked");
         }
+        // pending jobs: dropping the senders unblocks their receivers.
+        // This must happen before transports stop — transports join
+        // their connection threads, and a connection blocked on a
+        // queued job that no shard will ever pick up would deadlock the
+        // join. (`Inner::submit` answers inline once `stop` is set, so
+        // nothing re-enters the queue after this clear.)
+        self.inner
+            .queue
+            .lock()
+            .expect("admission queue poisoned")
+            .clear();
         for t in &mut self.transports {
             t.stop();
         }
         if let Some(h) = self.refresher.take() {
             h.join().expect("refresh worker panicked");
         }
-        // pending jobs: dropping the senders unblocks their receivers
-        self.inner
-            .queue
-            .lock()
-            .expect("admission queue poisoned")
-            .clear();
     }
 }
 
@@ -785,19 +896,24 @@ impl Client {
     /// then [`Pending::wait`] for the answers while shards coalesce the
     /// backlog into micro-batches.
     pub fn submit(&self, req: RecommendRequest) -> Pending {
-        Pending(self.inner.submit(req))
+        match self.inner.admit(req, None) {
+            Ok(rx) => Pending(rx),
+            Err(resp) => {
+                // refused inline (shed / shutdown): a pre-answered
+                // channel keeps the Pending contract unchanged
+                let (tx, rx) = mpsc::channel();
+                let _ = tx.send(*resp);
+                Pending(rx)
+            }
+        }
     }
 
-    /// Submits any protocol request (`Stats` and the admin messages are
-    /// answered inline without occupying a shard).
+    /// Submits any protocol request (the admin surface is answered
+    /// inline without occupying a shard).
     pub fn request(&self, req: Request) -> Response {
         match req {
             Request::Recommend(r) => self.recommend(r),
-            Request::Stats { id } => Response::Stats(self.inner.serve_stats(id)),
-            admin @ (Request::Swap { .. }
-            | Request::Freeze { .. }
-            | Request::Trace { .. }
-            | Request::Pipelines { .. }) => self.inner.handle_admin(&admin),
+            Request::Admin(admin) => self.inner.handle_admin(&admin),
         }
     }
 }
@@ -1041,7 +1157,7 @@ fn process_batch(
                         job.req.deadline_ms.unwrap_or(0)
                     ),
                 };
-                let _ = job.tx.send(resp);
+                job.answer(resp);
                 finish_request(
                     inner,
                     tid,
@@ -1082,7 +1198,7 @@ fn process_batch(
                 );
                 inner.record_pipeline_served(job.req.pipeline.as_deref());
                 let send_start = if tracing { inner.clock.now_ns() } else { 0 };
-                let _ = job.tx.send(Response::Recommendation(rec));
+                job.answer(Response::Recommendation(rec));
                 if tracing {
                     let sent = inner.clock.now_ns();
                     if job.span_id != NO_PARENT {
@@ -1154,7 +1270,7 @@ fn process_batch(
             }
         };
         let send_start = if tracing { inner.clock.now_ns() } else { 0 };
-        let _ = job.tx.send(resp);
+        job.answer(resp);
         if tracing {
             let sent = inner.clock.now_ns();
             if job.span_id != NO_PARENT {
@@ -1317,7 +1433,9 @@ mod tests {
         assert!(!line.contains("NaN"), "NaN leaked onto the wire: {line}");
         assert!(line.contains("\"p50_us\":null"), "expected null: {line}");
 
-        let resp = tcp.send(&Request::Stats { id: 4 }).unwrap();
+        let resp = tcp
+            .send(&Request::Admin(AdminRequest::Stats { id: 4 }))
+            .unwrap();
         let Response::Stats(s) = resp else {
             panic!("expected stats, got {resp:?}");
         };
@@ -1414,7 +1532,7 @@ mod tests {
         let client = service.client();
 
         // the admin listing names every compiled pipeline with its stages
-        let listing = client.request(Request::Pipelines { id: 11 });
+        let listing = client.request(Request::Admin(AdminRequest::Pipelines { id: 11 }));
         let Response::Pipelines { id: 11, pipelines } = &listing else {
             panic!("expected pipelines listing, got {listing:?}");
         };
@@ -1696,10 +1814,10 @@ mod tests {
         assert_eq!(service.swap_checkpoint(ckpt.clone(), true).unwrap(), 1);
         // freeze gates further publishes
         let client = service.client();
-        let ack = client.request(Request::Freeze {
+        let ack = client.request(Request::Admin(AdminRequest::Freeze {
             id: 5,
             frozen: true,
-        });
+        }));
         assert!(
             matches!(&ack, Response::Admin(a) if a.frozen && a.id == 5 && a.op == "freeze"),
             "unexpected {ack:?}"
@@ -1733,11 +1851,11 @@ mod tests {
 
         // a missing file answers an error, not a dead connection
         let bad = tcp
-            .send(&Request::Swap {
+            .send(&Request::Admin(AdminRequest::Swap {
                 id: 1,
                 path: dir.join("nope.json").to_string_lossy().into_owned(),
                 bump: None,
-            })
+            }))
             .unwrap();
         assert!(
             matches!(&bad, Response::Error { id: 1, message } if message.contains("swap rejected")),
@@ -1745,17 +1863,19 @@ mod tests {
         );
 
         let ack = tcp
-            .send(&Request::Swap {
+            .send(&Request::Admin(AdminRequest::Swap {
                 id: 2,
                 path: path.to_string_lossy().into_owned(),
                 bump: None,
-            })
+            }))
             .unwrap();
         assert!(
             matches!(&ack, Response::Admin(a) if a.id == 2 && a.op == "swap" && a.model_version == 3),
             "unexpected {ack:?}"
         );
-        let stats = tcp.send(&Request::Stats { id: 3 }).unwrap();
+        let stats = tcp
+            .send(&Request::Admin(AdminRequest::Stats { id: 3 }))
+            .unwrap();
         assert!(
             matches!(&stats, Response::Stats(s) if s.model_version == 3 && s.swaps == 1),
             "unexpected {stats:?}"
@@ -1824,7 +1944,9 @@ mod tests {
         };
         assert_eq!(a.point, b.point);
         assert_eq!(a.cost.to_bits(), b.cost.to_bits());
-        let stats = tcp.send(&Request::Stats { id: 9 }).unwrap();
+        let stats = tcp
+            .send(&Request::Admin(AdminRequest::Stats { id: 9 }))
+            .unwrap();
         assert!(matches!(stats, Response::Stats(ref s) if s.id == 9 && s.served == 2));
         // malformed lines answer an error instead of killing the link
         tcp.writer.write_all(b"{not json}\n").unwrap();
@@ -2010,11 +2132,11 @@ mod tests {
         let mut tcp = TcpClient::connect(addr).unwrap();
 
         let ack = tcp
-            .send(&Request::Trace {
+            .send(&Request::Admin(AdminRequest::Trace {
                 id: 1,
                 enable: Some(true),
                 path: None,
-            })
+            }))
             .unwrap();
         assert!(
             matches!(&ack, Response::Admin(a) if a.id == 1 && a.op == "trace"),
@@ -2041,11 +2163,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.json");
         let ack = tcp
-            .send(&Request::Trace {
+            .send(&Request::Admin(AdminRequest::Trace {
                 id: 3,
                 enable: None,
                 path: Some(path.to_string_lossy().into_owned()),
-            })
+            }))
             .unwrap();
         assert!(matches!(&ack, Response::Admin(a) if a.id == 3), "{ack:?}");
         let dumped = std::fs::read_to_string(&path).unwrap();
@@ -2054,7 +2176,7 @@ mod tests {
 
         // an unwritable path answers an error, not a dead connection
         let bad = tcp
-            .send(&Request::Trace {
+            .send(&Request::Admin(AdminRequest::Trace {
                 id: 4,
                 enable: None,
                 path: Some(
@@ -2062,7 +2184,7 @@ mod tests {
                         .to_string_lossy()
                         .into_owned(),
                 ),
-            })
+            }))
             .unwrap();
         assert!(
             matches!(&bad, Response::Error { id: 4, message } if message.contains("trace rejected")),

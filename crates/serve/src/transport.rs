@@ -5,10 +5,13 @@
 //! [`Endpoint::handle_line`] seam, so they cannot diverge in decoding,
 //! admin handling, or error behavior:
 //!
-//! * [`TcpTransport`] — the production front end: a non-blocking
-//!   listener thread accepting NDJSON connections, one handler thread
-//!   per connection (exactly the wire behavior the load generator and
-//!   the CI smoke test exercise).
+//! * [`TcpTransport`] — the thread-per-connection front end: a
+//!   non-blocking listener thread accepting NDJSON connections, one
+//!   handler thread per connection (exactly the wire behavior the load
+//!   generator and the CI smoke test exercise).
+//! * [`crate::EventTransport`] — the event-driven front end: one
+//!   acceptor plus a small pool of event-loop threads multiplexing all
+//!   connections through a readiness poller (see `event.rs`).
 //! * [`VirtualTransport`] — the deterministic in-process transport the
 //!   `ai2_simtest` harness drives: no sockets, no threads, no wall
 //!   clock. Scripted client lines sit in per-connection outboxes with
@@ -21,12 +24,56 @@ use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{decode_line, encode_line, Request, Response};
 use crate::server::{Endpoint, Pending, Submission};
+
+/// What a transport is reachable at after [`Transport::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundAddr {
+    /// A real socket address clients can connect to.
+    Tcp(SocketAddr),
+    /// No address: lines are injected in-process (the virtual
+    /// transport).
+    InProcess,
+}
+
+impl BoundAddr {
+    /// The socket address, when there is one.
+    pub fn tcp(&self) -> Option<SocketAddr> {
+        match self {
+            BoundAddr::Tcp(addr) => Some(*addr),
+            BoundAddr::InProcess => None,
+        }
+    }
+}
+
+/// A sharable stop signal: every transport hands clones of one
+/// `Shutdown` to the threads it spawns, and [`Transport::stop`] requests
+/// it before joining them. Cloning is cheap (an `Arc` bump) and any
+/// clone can both request and observe the signal.
+#[derive(Debug, Clone, Default)]
+pub struct Shutdown(Arc<AtomicBool>);
+
+impl Shutdown {
+    /// A fresh, un-requested signal.
+    pub fn new() -> Shutdown {
+        Shutdown::default()
+    }
+
+    /// Asks every holder of this signal to wind down. Idempotent.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// A line transport bound to a service [`Endpoint`].
 ///
@@ -34,54 +81,84 @@ use crate::server::{Endpoint, Pending, Submission};
 /// *into* [`Endpoint::handle_line`] and response lines *back* to
 /// whichever client sent them; how lines arrive (sockets, in-process
 /// queues) and when (wall clock, simulated schedule) is the
-/// implementation's business.
+/// implementation's business. The lifecycle is split so callers learn
+/// the address before any traffic flows: [`Transport::bind`] claims
+/// resources (sockets) and reports where the transport listens,
+/// [`Transport::run`] starts moving lines, [`Transport::stop`] requests
+/// the shared [`Shutdown`] signal and joins every thread the transport
+/// spawned.
 pub trait Transport: Send {
-    /// Short name for logs ("tcp" / "virtual").
+    /// Short name for logs ("tcp" / "event" / "virtual").
     fn name(&self) -> &'static str;
 
-    /// Starts moving lines against `endpoint`.
+    /// Claims the transport's resources and reports its address.
     ///
     /// # Errors
     ///
-    /// Returns the startup error (e.g. a failed socket operation).
-    fn start(&mut self, endpoint: Endpoint) -> io::Result<()>;
+    /// Returns the bind error (e.g. the port is taken), or an error if
+    /// already bound.
+    fn bind(&mut self) -> io::Result<BoundAddr>;
 
-    /// Stops the transport, joining any threads it spawned.
+    /// Starts moving lines against `endpoint`. Requires a prior
+    /// [`Transport::bind`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the startup error (e.g. thread spawn failure, run before
+    /// bind).
+    fn run(&mut self, endpoint: Endpoint) -> io::Result<()>;
+
+    /// The shared stop signal; requesting it begins a wind-down without
+    /// blocking (use [`Transport::stop`] to also join the threads).
+    fn shutdown(&self) -> Shutdown;
+
+    /// Stops the transport: requests [`Transport::shutdown`] and joins
+    /// every thread it spawned.
     fn stop(&mut self);
 }
 
 // --------------------------------------------------------------------
 // TCP
 
-/// The production NDJSON-over-TCP transport.
+/// The production thread-per-connection NDJSON-over-TCP front end.
 pub struct TcpTransport {
+    addrs: Vec<SocketAddr>,
     listener: Option<TcpListener>,
-    local: SocketAddr,
-    stop: Arc<AtomicBool>,
+    local: Option<SocketAddr>,
+    shutdown: Shutdown,
     acceptor: Option<JoinHandle<()>>,
+    /// Live connection handler threads; stop() joins them all so no
+    /// handler can outlive the transport and race a dropped endpoint.
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl TcpTransport {
-    /// Binds the listener (use port 0 for an ephemeral port). The
-    /// transport accepts nothing until [`Transport::start`] runs.
+    /// A transport that will listen on `addr` (use port 0 for an
+    /// ephemeral port). Nothing is bound until [`Transport::bind`].
     ///
     /// # Errors
     ///
-    /// Returns the bind error.
-    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
+    /// Returns the address resolution error.
+    pub fn new(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            ));
+        }
         Ok(TcpTransport {
-            listener: Some(listener),
-            local,
-            stop: Arc::new(AtomicBool::new(false)),
+            addrs,
+            listener: None,
+            local: None,
+            shutdown: Shutdown::new(),
             acceptor: None,
+            conns: Arc::new(Mutex::new(Vec::new())),
         })
     }
 
-    /// The bound address.
-    pub fn local_addr(&self) -> SocketAddr {
+    /// The bound address (`None` before [`Transport::bind`]).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
         self.local
     }
 }
@@ -91,38 +168,71 @@ impl Transport for TcpTransport {
         "tcp"
     }
 
-    fn start(&mut self, endpoint: Endpoint) -> io::Result<()> {
+    fn bind(&mut self) -> io::Result<BoundAddr> {
+        if self.listener.is_some() || self.local.is_some() {
+            return Err(io::Error::other("TcpTransport already bound"));
+        }
+        let listener = TcpListener::bind(&self.addrs[..])?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        self.listener = Some(listener);
+        self.local = Some(local);
+        Ok(BoundAddr::Tcp(local))
+    }
+
+    fn run(&mut self, endpoint: Endpoint) -> io::Result<()> {
         let listener = self
             .listener
             .take()
-            .ok_or_else(|| io::Error::other("TcpTransport already started"))?;
-        let stop = Arc::clone(&self.stop);
+            .ok_or_else(|| io::Error::other("TcpTransport not bound (or already running)"))?;
+        let shutdown = self.shutdown.clone();
+        let conns = Arc::clone(&self.conns);
         let handle = std::thread::Builder::new()
             .name("ai2-serve-accept".into())
-            .spawn(move || accept_main(&endpoint, &stop, &listener))?;
+            .spawn(move || accept_main(&endpoint, &shutdown, &listener, &conns))?;
         self.acceptor = Some(handle);
         Ok(())
     }
 
+    fn shutdown(&self) -> Shutdown {
+        self.shutdown.clone()
+    }
+
     fn stop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.shutdown.request();
         if let Some(h) = self.acceptor.take() {
             h.join().expect("acceptor panicked");
+        }
+        let handlers = std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
+        for h in handlers {
+            h.join().expect("connection handler panicked");
         }
     }
 }
 
-fn accept_main(endpoint: &Endpoint, stop: &AtomicBool, listener: &TcpListener) {
-    while !stop.load(Ordering::SeqCst) && !endpoint.stopped() {
+fn accept_main(
+    endpoint: &Endpoint,
+    shutdown: &Shutdown,
+    listener: &TcpListener,
+    conns: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    while !shutdown.requested() && !endpoint.stopped() {
         match listener.accept() {
             Ok((stream, _)) => {
                 let endpoint = endpoint.clone();
-                // detached: the handler exits on EOF or service stop
-                let _ = std::thread::Builder::new()
+                let conn_shutdown = shutdown.clone();
+                let spawned = std::thread::Builder::new()
                     .name("ai2-serve-conn".into())
                     .spawn(move || {
-                        let _ = connection_main(&endpoint, stream);
+                        let _ = connection_main(&endpoint, &conn_shutdown, stream);
                     });
+                if let Ok(handle) = spawned {
+                    let mut registry = conns.lock().expect("conn registry poisoned");
+                    // finished handlers need no join; drop them here so
+                    // the registry tracks only live connections
+                    registry.retain(|h: &JoinHandle<()>| !h.is_finished());
+                    registry.push(handle);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -132,7 +242,7 @@ fn accept_main(endpoint: &Endpoint, stop: &AtomicBool, listener: &TcpListener) {
     }
 }
 
-fn connection_main(endpoint: &Endpoint, stream: TcpStream) -> io::Result<()> {
+fn connection_main(endpoint: &Endpoint, shutdown: &Shutdown, stream: TcpStream) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream
         .set_read_timeout(Some(Duration::from_millis(200)))
@@ -141,7 +251,7 @@ fn connection_main(endpoint: &Endpoint, stream: TcpStream) -> io::Result<()> {
     let mut writer = stream;
     let mut line = String::new();
     loop {
-        if endpoint.stopped() {
+        if shutdown.requested() || endpoint.stopped() {
             return Ok(());
         }
         // `line` is cleared only after a complete line is handled: a
@@ -262,6 +372,7 @@ struct VirtualConn {
 pub struct VirtualTransport {
     endpoint: Option<Endpoint>,
     conns: Vec<VirtualConn>,
+    shutdown: Shutdown,
 }
 
 impl VirtualTransport {
@@ -385,12 +496,21 @@ impl Transport for VirtualTransport {
         "virtual"
     }
 
-    fn start(&mut self, endpoint: Endpoint) -> io::Result<()> {
+    fn bind(&mut self) -> io::Result<BoundAddr> {
+        Ok(BoundAddr::InProcess)
+    }
+
+    fn run(&mut self, endpoint: Endpoint) -> io::Result<()> {
         self.endpoint = Some(endpoint);
         Ok(())
     }
 
+    fn shutdown(&self) -> Shutdown {
+        self.shutdown.clone()
+    }
+
     fn stop(&mut self) {
+        self.shutdown.request();
         self.endpoint = None;
     }
 }
@@ -399,7 +519,7 @@ impl Transport for VirtualTransport {
 mod tests {
     use super::*;
     use crate::clock::{Clock, VirtualClock};
-    use crate::protocol::{Query, RecommendRequest};
+    use crate::protocol::{AdminRequest, Query, RecommendRequest};
     use crate::server::{Driver, RecommendService, ServeConfig};
     use ai2_dse::{Budget, DseDataset, DseTask, EvalEngine, GenerateConfig, Objective};
     use airchitect::train::TrainConfig;
@@ -459,8 +579,10 @@ mod tests {
         threaded.shutdown();
 
         let mut vt = VirtualTransport::new();
-        vt.start(stepped.endpoint()).unwrap();
+        assert_eq!(vt.bind().unwrap(), BoundAddr::InProcess);
+        vt.run(stepped.endpoint()).unwrap();
         assert_eq!(vt.name(), "virtual");
+        assert!(!vt.shutdown().requested());
         let conn = vt.open();
         vt.enqueue(
             conn,
@@ -490,13 +612,14 @@ mod tests {
         let (threaded, stepped, clock) = services();
         threaded.shutdown();
         let mut vt = VirtualTransport::new();
-        vt.start(stepped.endpoint()).unwrap();
+        vt.bind().unwrap();
+        vt.run(stepped.endpoint()).unwrap();
         let conn = vt.open();
 
         // inline answers: stats and malformed lines never occupy a shard
         vt.enqueue(
             conn,
-            crate::protocol::encode_line(&Request::Stats { id: 9 }),
+            crate::protocol::encode_line(&Request::Admin(AdminRequest::Stats { id: 9 })),
             0,
         );
         let Delivery::Answered(Response::Stats(s)) = vt.deliver_next(conn, clock.now_ns()) else {
@@ -515,7 +638,7 @@ mod tests {
         vt.enqueue(conn, "  ".into(), 0);
         vt.enqueue(
             conn,
-            crate::protocol::encode_line(&Request::Stats { id: 11 }),
+            crate::protocol::encode_line(&Request::Admin(AdminRequest::Stats { id: 11 })),
             0,
         );
         assert!(matches!(

@@ -50,6 +50,14 @@
 //!   re-scored under the staged backend (feasibility first, then cost —
 //!   the executor's never-worse clamp). Per-pipeline `served` counters
 //!   in stats snapshots are cross-checked against the checker's books.
+//! * `shed_accounting` — under a shed admission policy
+//!   (`ServeConfig::overload`), every refused request is answered
+//!   inline with the shedding error and counted exactly once, and the
+//!   books balance at drain: delivered recommendations = completions +
+//!   sheds (with `zero_drops` closing the loop — every admitted request
+//!   still completes). Stats snapshots must report the same `sheds`
+//!   count and a `queue_high_water` no lower than the configured mark
+//!   once anything has shed.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -62,7 +70,7 @@ use ai2_serve::{
 use airchitect::{Airchitect2, InferenceScratch, ModelCheckpoint};
 
 /// Every invariant the checker tracks, by coverage-counter name.
-pub const INVARIANTS: [&str; 10] = [
+pub const INVARIANTS: [&str; 11] = [
     "bit_identity",
     "monotonic_version",
     "cache_epoch_isolation",
@@ -73,6 +81,7 @@ pub const INVARIANTS: [&str; 10] = [
     "flavor_scoped_identity",
     "trace_well_nested",
     "pipeline_identity",
+    "shed_accounting",
 ];
 
 /// The canonical identity of a request with the backend stripped —
@@ -176,6 +185,15 @@ pub struct Checker {
     last_version: u64,
     /// Recommendations completed (the server's `served` must agree).
     pub completed_recs: u64,
+    /// Every completion seen, expected errors included (the shed
+    /// reconciliation counts these against deliveries).
+    pub completed_total: u64,
+    /// Requests refused inline by the shed policy (the server's `sheds`
+    /// must agree).
+    pub sheds: u64,
+    /// The scenario's configured shed high-water mark (0 = the
+    /// unbounded-queue policy; sheds are then a violation outright).
+    shed_high_water: usize,
     /// Successful publishes seen (the server's `swaps` must agree).
     pub publishes: u64,
     /// Last answer per exact canonical key, with the version that gave
@@ -208,6 +226,7 @@ impl Checker {
         initial: &ModelCheckpoint,
         quantized: bool,
         pipelines: PipelineSet,
+        shed_high_water: usize,
     ) -> Checker {
         let oracle_engine = EvalEngine::shared(task);
         let mut checker = Checker {
@@ -217,6 +236,9 @@ impl Checker {
             replicas: HashMap::new(),
             last_version: initial.version,
             completed_recs: 0,
+            completed_total: 0,
+            sheds: 0,
+            shed_high_water,
             publishes: 0,
             exact: HashMap::new(),
             backend_pairs: HashMap::new(),
@@ -300,6 +322,46 @@ impl Checker {
         self.bump("frozen_rejects_publish");
     }
 
+    /// Records one inline shed answer and checks it was legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation when the scenario configured no shed
+    /// policy, or the error did not echo the request's id.
+    pub fn note_shed(&mut self, req_id: u64, echoed_id: u64, message: &str) -> Result<(), String> {
+        if self.shed_high_water == 0 {
+            return Err(format!(
+                "id {req_id} was shed ({message:?}) but the scenario configured the \
+                 unbounded-queue policy"
+            ));
+        }
+        if echoed_id != req_id {
+            return Err(format!(
+                "shed error echoed id {echoed_id}, expected {req_id}"
+            ));
+        }
+        self.sheds += 1;
+        self.bump("shed_accounting");
+        Ok(())
+    }
+
+    /// The end-of-run shed reconciliation: every delivered
+    /// recommendation is either a completion or a counted shed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation when the books do not balance.
+    pub fn check_shed_accounting(&mut self, delivered_recommends: u64) -> Result<(), String> {
+        if self.completed_total + self.sheds != delivered_recommends {
+            return Err(format!(
+                "shed books do not balance: {} completions + {} sheds != {} delivered \
+                 recommendations",
+                self.completed_total, self.sheds, delivered_recommends
+            ));
+        }
+        Ok(())
+    }
+
     /// Checks one completed shard answer against the oracle for
     /// `live_version` (the version the answering replica was restored
     /// from). Returns a one-line transcript summary.
@@ -315,6 +377,7 @@ impl Checker {
         live_version: u64,
         now_ns: u64,
     ) -> Result<String, String> {
+        self.completed_total += 1;
         self.observe_version(live_version)?;
         // deadline expiry happens in the shard, above the recommend
         // kernel — checked against the virtual clock instead
@@ -439,6 +502,18 @@ impl Checker {
             return Err(format!(
                 "stats swaps={} but the checker saw {} publishes",
                 s.swaps, self.publishes
+            ));
+        }
+        if s.sheds != self.sheds {
+            return Err(format!(
+                "stats sheds={} but the checker saw {} inline sheds",
+                s.sheds, self.sheds
+            ));
+        }
+        if self.sheds > 0 && (s.queue_high_water as usize) < self.shed_high_water {
+            return Err(format!(
+                "stats queue_high_water={} below the configured shed mark {} despite {} sheds",
+                s.queue_high_water, self.shed_high_water, self.sheds
             ));
         }
         for row in &s.pipelines {

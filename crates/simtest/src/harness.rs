@@ -20,8 +20,9 @@ use ai2_dse::{
 };
 use ai2_serve::protocol::encode_line;
 use ai2_serve::{
-    Clock, Delivery, Driver, Query, RecommendRequest, RecommendService, RefreshConfig, Request,
-    Response, ServeConfig, Transport, VirtualClock, VirtualTransport,
+    AdminRequest, Clock, Delivery, Driver, OverloadPolicy, Query, RecommendRequest,
+    RecommendService, RefreshConfig, Request, Response, ServeConfig, Transport, VirtualClock,
+    VirtualTransport,
 };
 use airchitect::train::TrainConfig;
 use airchitect::{Airchitect2, ModelCheckpoint, ModelConfig};
@@ -242,6 +243,9 @@ struct SimDriver<'s> {
     /// Per-connection script metadata, mirroring the transport outbox.
     meta: Vec<VecDeque<LineMeta>>,
     pending: HashMap<u64, PendingInfo>,
+    /// Recommendation lines actually delivered to the endpoint
+    /// (admitted + shed) — the drain's shed-accounting denominator.
+    delivered_recs: u64,
     next_id: u64,
     expected_frozen: bool,
     transcript: Vec<String>,
@@ -281,6 +285,13 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
                 Vec::new()
             },
             pipelines: sim_pipelines(sc.pipelines),
+            overload: if sc.shed_high_water > 0 {
+                OverloadPolicy::Shed {
+                    high_water: sc.shed_high_water,
+                }
+            } else {
+                OverloadPolicy::Queue
+            },
         },
         EvalEngine::shared(fx.task.clone()),
         initial.clone(),
@@ -291,8 +302,9 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
     // for replay byte-identity checks
     service.set_tracing(true);
     let mut vt = VirtualTransport::new();
-    vt.start(service.endpoint())
-        .expect("virtual transport start is infallible");
+    vt.bind().expect("virtual transport bind is infallible");
+    vt.run(service.endpoint())
+        .expect("virtual transport run is infallible");
     let mut driver = SimDriver {
         rng: StdRng::seed_from_u64(seed),
         clock,
@@ -301,9 +313,11 @@ pub fn run_scenario(sc: &Scenario, seed: u64, steps: usize) -> SimReport {
             &initial,
             sc.quantized,
             sim_pipelines(sc.pipelines),
+            sc.shed_high_water,
         ),
         meta: (0..sc.clients + 1).map(|_| VecDeque::new()).collect(),
         pending: HashMap::new(),
+        delivered_recs: 0,
         next_id: 1,
         expected_frozen: false,
         transcript: vec![format!(
@@ -527,11 +541,11 @@ impl SimDriver<'_> {
         };
         self.vt.enqueue(
             admin,
-            encode_line(&Request::Swap {
+            encode_line(&Request::Admin(AdminRequest::Swap {
                 id,
                 path: path.to_string_lossy().into_owned(),
                 bump: Some(true),
-            }),
+            })),
             0,
         );
         self.meta[admin].push_back(LineMeta::Swap { id, alt });
@@ -544,8 +558,11 @@ impl SimDriver<'_> {
         let frozen = self.rng.random_bool(0.5);
         let id = self.fresh_id();
         let admin = self.admin_conn();
-        self.vt
-            .enqueue(admin, encode_line(&Request::Freeze { id, frozen }), 0);
+        self.vt.enqueue(
+            admin,
+            encode_line(&Request::Admin(AdminRequest::Freeze { id, frozen })),
+            0,
+        );
         self.meta[admin].push_back(LineMeta::Freeze { id, frozen });
         let line = self.deliver_one(admin)?;
         self.log(step, line);
@@ -589,8 +606,11 @@ impl SimDriver<'_> {
     fn ev_stats(&mut self, step: usize) -> Result<(), String> {
         let id = self.fresh_id();
         let admin = self.admin_conn();
-        self.vt
-            .enqueue(admin, encode_line(&Request::Stats { id }), 0);
+        self.vt.enqueue(
+            admin,
+            encode_line(&Request::Admin(AdminRequest::Stats { id })),
+            0,
+        );
         self.meta[admin].push_back(LineMeta::Stats { id });
         let line = self.deliver_one(admin)?;
         self.log(step, line);
@@ -706,6 +726,7 @@ impl SimDriver<'_> {
                 let LineMeta::Recommend { id, req } = meta else {
                     return Err("a non-recommend line was admitted to the shard queue".into());
                 };
+                self.delivered_recs += 1;
                 let deadline_ns = req
                     .deadline_ms
                     .and_then(|ms| ms.checked_mul(1_000_000))
@@ -775,9 +796,18 @@ impl SimDriver<'_> {
                 }
                 other => Err(format!("swap {id} answered {other:?}")),
             },
-            LineMeta::Recommend { id, .. } => Err(format!(
-                "recommend {id} was answered inline instead of queued"
-            )),
+            LineMeta::Recommend { id, .. } => match &resp {
+                // the only legal inline answer to a recommendation is
+                // the shed refusal (admission control over high water)
+                Response::Error { id: eid, message } if message.contains("shedding") => {
+                    self.delivered_recs += 1;
+                    self.checker.note_shed(id, *eid, message)?;
+                    Ok(format!("conn={conn} shed id={id} ok"))
+                }
+                other => Err(format!(
+                    "recommend {id} was answered inline instead of queued: {other:?}"
+                )),
+            },
         }
     }
 
@@ -841,6 +871,14 @@ impl SimDriver<'_> {
         let mut outstanding: Vec<u64> = self.pending.keys().copied().collect();
         outstanding.sort_unstable();
         self.checker.check_zero_drops(&outstanding)?;
+        self.checker.check_shed_accounting(self.delivered_recs)?;
+        self.log(
+            step,
+            format!(
+                "drain: shed books balance (delivered={} sheds={})",
+                self.delivered_recs, self.checker.sheds
+            ),
+        );
         let records = self.service.trace_records();
         let summary = self.checker.check_trace(&records)?;
         self.log(step, format!("drain: {summary}"));

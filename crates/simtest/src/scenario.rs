@@ -119,6 +119,10 @@ pub struct Scenario {
     /// invariant additionally pins default answers to the pre-pipeline
     /// one-shot kernel and staged answers to the never-worse contract.
     pub pipelines: bool,
+    /// Admission control: queue depth at which the service sheds
+    /// instead of queueing (`0` keeps the unbounded-queue policy). Maps
+    /// to `ServeConfig::overload`.
+    pub shed_high_water: usize,
     /// Event weights.
     pub weights: Weights,
 }
@@ -150,6 +154,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: STEADY,
         },
         Scenario {
@@ -169,6 +174,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 swap: 6,
                 stats: 5,
@@ -192,6 +198,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 swap: 8,
                 freeze: 8,
@@ -216,6 +223,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 advance: 18,
                 ..STEADY
@@ -238,6 +246,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 refresh: 4,
                 stats: 5,
@@ -261,6 +270,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 refresh: 6,
                 freeze: 6,
@@ -285,6 +295,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 submit: 36,
                 deliver: 36,
@@ -309,6 +320,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: true,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 advance: 14,
                 disconnect: 2,
@@ -332,6 +344,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 submit: 16,
                 deliver: 16,
@@ -359,6 +372,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 swap: 3,
                 garbage: 4,
@@ -382,6 +396,7 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: true,
             pipelines: false,
+            shed_high_water: 0,
             weights: Weights {
                 swap: 5,
                 refresh: 3,
@@ -406,10 +421,89 @@ pub fn corpus() -> &'static [Scenario] {
             straggler: false,
             quantized: false,
             pipelines: true,
+            shed_high_water: 0,
             weights: Weights {
                 swap: 3,
                 stats: 5,
                 garbage: 3,
+                ..STEADY
+            },
+        },
+        Scenario {
+            name: "connect-flood",
+            about: "a burst of clients floods submissions far faster than shards drain; shed admission keeps the queue bounded",
+            shards: 2,
+            max_batch: 4,
+            cache_capacity: 64,
+            clients: 8,
+            default_steps: 300,
+            universe: 24,
+            models: false,
+            mixed_backends: false,
+            deadline_ms: None,
+            max_delay_ms: 0,
+            max_advance_ms: 2,
+            straggler: false,
+            quantized: false,
+            pipelines: false,
+            shed_high_water: 6,
+            weights: Weights {
+                submit: 40,
+                deliver: 40,
+                step: 8,
+                stats: 6,
+                ..STEADY
+            },
+        },
+        Scenario {
+            name: "slow-loris-straggler",
+            about: "heavily delayed dribbling clients plus disconnects: partial progress must stall only the straggler, never the books",
+            shards: 2,
+            max_batch: 8,
+            cache_capacity: 64,
+            clients: 4,
+            default_steps: 280,
+            universe: 10,
+            models: false,
+            mixed_backends: false,
+            deadline_ms: None,
+            max_delay_ms: 80,
+            max_advance_ms: 12,
+            straggler: true,
+            quantized: false,
+            pipelines: false,
+            shed_high_water: 8,
+            weights: Weights {
+                advance: 16,
+                disconnect: 3,
+                garbage: 4,
+                stats: 5,
+                ..STEADY
+            },
+        },
+        Scenario {
+            name: "shed-under-saturation",
+            about: "a tiny high-water mark under saturating load: sheds must be deterministic, answered inline, and reconcile in stats",
+            shards: 1,
+            max_batch: 2,
+            cache_capacity: 16,
+            clients: 3,
+            default_steps: 280,
+            universe: 16,
+            models: false,
+            mixed_backends: false,
+            deadline_ms: None,
+            max_delay_ms: 0,
+            max_advance_ms: 2,
+            straggler: false,
+            quantized: false,
+            pipelines: false,
+            shed_high_water: 3,
+            weights: Weights {
+                submit: 42,
+                deliver: 42,
+                step: 6,
+                stats: 8,
                 ..STEADY
             },
         },

@@ -20,8 +20,8 @@ use airchitect_repro::dse::{
 };
 use airchitect_repro::serve::protocol::{encode_line, PipelineServed};
 use airchitect_repro::serve::{
-    recommend_batch, BackendEngines, Query, RecommendRequest, RecommendService, Request, Response,
-    ServeConfig, TcpClient,
+    recommend_batch, AdminRequest, BackendEngines, Query, RecommendRequest, RecommendService,
+    Request, Response, ServeConfig, TcpClient,
 };
 
 fn trained_checkpoint() -> (Arc<EvalEngine>, ModelCheckpoint) {
@@ -199,7 +199,9 @@ fn staged_requests_listing_and_per_pipeline_stats_work_over_tcp() {
     let mut tcp = TcpClient::connect(addr).expect("connect");
 
     // ---- the admin listing names every compiled pipeline ------------
-    let listing = tcp.send(&Request::Pipelines { id: 1 }).unwrap();
+    let listing = tcp
+        .send(&Request::Admin(AdminRequest::Pipelines { id: 1 }))
+        .unwrap();
     let Response::Pipelines { id: 1, pipelines } = &listing else {
         panic!("expected pipelines listing, got {listing:?}");
     };
@@ -284,7 +286,9 @@ fn staged_requests_listing_and_per_pipeline_stats_work_over_tcp() {
     );
 
     // ---- stats account recommendations per pipeline -----------------
-    let stats = tcp.send(&Request::Stats { id: 60 }).unwrap();
+    let stats = tcp
+        .send(&Request::Admin(AdminRequest::Stats { id: 60 }))
+        .unwrap();
     let Response::Stats(stats) = &stats else {
         panic!("expected stats, got {stats:?}");
     };

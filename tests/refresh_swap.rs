@@ -17,8 +17,8 @@ use airchitect_repro::airchitect::{train::TrainConfig, Airchitect2, ModelCheckpo
 use airchitect_repro::dse::{Budget, DseDataset, DseTask, EvalEngine, GenerateConfig, Objective};
 use airchitect_repro::maestro::{Dataflow, GemmWorkload};
 use airchitect_repro::serve::{
-    Query, RecommendRequest, RecommendService, Recommendation, RefreshConfig, Request, Response,
-    ServeConfig, TcpClient,
+    AdminRequest, Query, RecommendRequest, RecommendService, Recommendation, RefreshConfig,
+    Request, Response, ServeConfig, TcpClient,
 };
 use airchitect_repro::workloads::generator::DseInput;
 
@@ -135,11 +135,11 @@ fn live_swap_under_64_concurrent_queries_drops_nothing() {
             barrier.wait();
             let mut admin = TcpClient::connect(addr).expect("admin connect");
             let ack = admin
-                .send(&Request::Swap {
+                .send(&Request::Admin(AdminRequest::Swap {
                     id: 1000,
                     path: path.to_string_lossy().into_owned(),
                     bump: None,
-                })
+                }))
                 .expect("swap transport");
             assert!(
                 matches!(&ack, Response::Admin(a) if a.model_version == 2 && a.op == "swap"),

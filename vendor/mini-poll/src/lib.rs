@@ -1,0 +1,794 @@
+//! Vendored minimal readiness poller — the `mio`-shaped subset the
+//! event-driven serve front end needs, with **zero crates.io
+//! dependencies** (the build environment is offline; see
+//! `vendor/README.md`).
+//!
+//! * On Linux the backend is `epoll` through hand-declared `extern "C"`
+//!   syscall bindings (no `libc` crate in the tree).
+//! * On other Unixes the backend is portable `poll(2)`: the registered
+//!   fd set is rebuilt into a `pollfd` array on every wait. Slower per
+//!   call but semantically identical at this crate's API.
+//! * Non-Unix targets compile but every operation returns
+//!   [`std::io::ErrorKind::Unsupported`] — the serve crate gates the
+//!   event front end on the same condition.
+//!
+//! The API is level-triggered everywhere: an fd that is still readable
+//! keeps reporting readable. Callers register an fd with a `usize`
+//! token and get that token back in [`Event`]s; a [`Waker`] (self-pipe)
+//! interrupts a blocked [`Poller::wait`] from any thread.
+
+/// What readiness to watch an fd for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or a peer hangup to observe).
+    pub readable: bool,
+    /// Wake when the fd can accept writes without blocking.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Watch for nothing (the fd stays registered; useful for
+    /// backpressure: park a connection without forgetting it).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: usize,
+    /// The fd is readable (includes EOF: the read will return 0).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; reads/writes will fail or
+    /// return 0. Reported even when the registered interest was empty.
+    pub hangup: bool,
+}
+
+pub use sys::{raise_nofile_limit, Poller, Waker};
+
+// --------------------------------------------------------------------
+// Linux: epoll
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    #[allow(non_camel_case_types)]
+    type c_int = i32;
+    #[allow(non_camel_case_types)]
+    type c_void = std::ffi::c_void;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const O_CLOEXEC: c_int = 0o2000000;
+    const O_NONBLOCK: c_int = 0o4000;
+    const RLIMIT_NOFILE: c_int = 7;
+
+    // x86 kernels lay epoll_event out packed; other arches align it
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct epoll_event {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct rlimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+
+    fn mask_of(interest: Interest) -> u32 {
+        let mut mask = EPOLLRDHUP; // hangups are always observed
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// The epoll instance behind [`Poller::wait`].
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    // the epoll fd is thread-safe at the kernel level: ctl and wait may
+    // race freely
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        /// A fresh poller.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_create1` failure.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = epoll_event {
+                events: mask_of(interest),
+                data: token as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Starts watching `fd` under `token`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` failure (e.g. the fd is already
+        /// registered).
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Changes the interest (and token) of a registered fd.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` failure.
+        pub fn modify(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Stops watching `fd`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` failure.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Blocks until at least one registered fd is ready (or
+        /// `timeout_ms` elapses; `-1` blocks indefinitely), replacing
+        /// `events` with the ready set. Interrupted waits retry.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_wait` failure.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            events.clear();
+            let mut buf = [epoll_event { events: 0, data: 0 }; 256];
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms)
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// A self-pipe that interrupts a blocked [`Poller::wait`] from any
+    /// thread. Register-once: construction registers the read end under
+    /// the given token.
+    pub struct Waker {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    unsafe impl Send for Waker {}
+    unsafe impl Sync for Waker {}
+
+    impl Waker {
+        /// A waker registered on `poller` under `token`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the pipe or registration failure.
+        pub fn new(poller: &Poller, token: usize) -> io::Result<Waker> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let waker = Waker {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            };
+            poller.register(waker.read_fd, token, Interest::READABLE)?;
+            Ok(waker)
+        }
+
+        /// Interrupts the poller. A full pipe means a wake is already
+        /// pending — that is success, not an error.
+        pub fn wake(&self) {
+            let byte = 1u8;
+            unsafe { write(self.write_fd, (&raw const byte).cast::<c_void>(), 1) };
+        }
+
+        /// Drains pending wake bytes (call after the waker's token
+        /// fires, or a level-triggered poller spins on it).
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+                if n <= 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    /// Raises the process `RLIMIT_NOFILE` soft limit toward `target`
+    /// (clamped to the hard limit) and returns the soft limit actually
+    /// in effect afterwards. Benches opening thousands of sockets call
+    /// this first; failure is not fatal — the caller sizes itself to
+    /// the returned limit.
+    pub fn raise_nofile_limit(target: u64) -> u64 {
+        unsafe {
+            let mut lim = rlimit {
+                rlim_cur: 0,
+                rlim_max: 0,
+            };
+            if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+                return 1024;
+            }
+            if lim.rlim_cur >= target {
+                return lim.rlim_cur;
+            }
+            let want = rlimit {
+                rlim_cur: target.min(lim.rlim_max),
+                rlim_max: lim.rlim_max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                want.rlim_cur
+            } else {
+                lim.rlim_cur
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// other Unixes: poll(2)
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+
+    #[allow(non_camel_case_types)]
+    type c_int = i32;
+    #[allow(non_camel_case_types)]
+    type c_short = i16;
+    #[allow(non_camel_case_types)]
+    type c_ulong = u64;
+    #[allow(non_camel_case_types)]
+    type c_void = std::ffi::c_void;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const F_SETFL: c_int = 4;
+    const O_NONBLOCK: c_int = 0x0004; // BSD/macOS value
+    const RLIMIT_NOFILE: c_int = 8; // BSD/macOS value
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct pollfd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    #[repr(C)]
+    struct rlimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut pollfd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+
+    /// The registered-set poller: `poll(2)` over a rebuilt `pollfd`
+    /// array per wait.
+    pub struct Poller {
+        fds: Mutex<HashMap<RawFd, (usize, Interest)>>,
+    }
+
+    impl Poller {
+        /// A fresh poller.
+        ///
+        /// # Errors
+        ///
+        /// Infallible on this backend (signature matches Linux).
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                fds: Mutex::new(HashMap::new()),
+            })
+        }
+
+        /// Starts watching `fd` under `token`.
+        ///
+        /// # Errors
+        ///
+        /// Rejects double registration.
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut fds = self.fds.lock().expect("poller set poisoned");
+            if fds.insert(fd, (token, interest)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            Ok(())
+        }
+
+        /// Changes the interest (and token) of a registered fd.
+        ///
+        /// # Errors
+        ///
+        /// Rejects unknown fds.
+        pub fn modify(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut fds = self.fds.lock().expect("poller set poisoned");
+            match fds.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Stops watching `fd`.
+        ///
+        /// # Errors
+        ///
+        /// Rejects unknown fds.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut fds = self.fds.lock().expect("poller set poisoned");
+            match fds.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Blocks until at least one registered fd is ready (or
+        /// `timeout_ms` elapses; `-1` blocks indefinitely), replacing
+        /// `events` with the ready set.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `poll` failure.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            events.clear();
+            let (mut pfds, tokens): (Vec<pollfd>, Vec<usize>) = {
+                let fds = self.fds.lock().expect("poller set poisoned");
+                fds.iter()
+                    .map(|(&fd, &(token, interest))| {
+                        let mut ev: c_short = 0;
+                        if interest.readable {
+                            ev |= POLLIN;
+                        }
+                        if interest.writable {
+                            ev |= POLLOUT;
+                        }
+                        (
+                            pollfd {
+                                fd,
+                                events: ev,
+                                revents: 0,
+                            },
+                            token,
+                        )
+                    })
+                    .unzip()
+            };
+            let n = loop {
+                let rc = unsafe {
+                    poll(
+                        pfds.as_mut_ptr(),
+                        pfds.len() as c_ulong,
+                        timeout_ms as c_int,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for (pfd, token) in pfds.iter().zip(tokens) {
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                    hangup: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    /// A self-pipe that interrupts a blocked [`Poller::wait`] from any
+    /// thread.
+    pub struct Waker {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    unsafe impl Send for Waker {}
+    unsafe impl Sync for Waker {}
+
+    impl Waker {
+        /// A waker registered on `poller` under `token`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the pipe or registration failure.
+        pub fn new(poller: &Poller, token: usize) -> io::Result<Waker> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            unsafe {
+                fcntl(fds[0], F_SETFL, O_NONBLOCK);
+                fcntl(fds[1], F_SETFL, O_NONBLOCK);
+            }
+            let waker = Waker {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            };
+            poller.register(waker.read_fd, token, Interest::READABLE)?;
+            Ok(waker)
+        }
+
+        /// Interrupts the poller (a full pipe means a wake is already
+        /// pending).
+        pub fn wake(&self) {
+            let byte = 1u8;
+            unsafe { write(self.write_fd, (&raw const byte).cast::<c_void>(), 1) };
+        }
+
+        /// Drains pending wake bytes.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+                if n <= 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    /// Raises the `RLIMIT_NOFILE` soft limit toward `target`; returns
+    /// the limit in effect afterwards.
+    pub fn raise_nofile_limit(target: u64) -> u64 {
+        unsafe {
+            let mut lim = rlimit {
+                rlim_cur: 0,
+                rlim_max: 0,
+            };
+            if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+                return 1024;
+            }
+            if lim.rlim_cur >= target {
+                return lim.rlim_cur;
+            }
+            let want = rlimit {
+                rlim_cur: target.min(lim.rlim_max),
+                rlim_max: lim.rlim_max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                want.rlim_cur
+            } else {
+                lim.rlim_cur
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// non-Unix: stub (the event front end is gated off)
+#[cfg(not(unix))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mini-poll supports Unix targets only",
+        ))
+    }
+
+    /// Stub poller for non-Unix targets; every operation fails with
+    /// [`io::ErrorKind::Unsupported`].
+    pub struct Poller;
+
+    impl Poller {
+        /// Always fails on this target.
+        ///
+        /// # Errors
+        ///
+        /// Always `Unsupported`.
+        pub fn new() -> io::Result<Poller> {
+            unsupported()
+        }
+
+        /// Always fails on this target.
+        ///
+        /// # Errors
+        ///
+        /// Always `Unsupported`.
+        pub fn register(&self, _fd: i32, _token: usize, _interest: Interest) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Always fails on this target.
+        ///
+        /// # Errors
+        ///
+        /// Always `Unsupported`.
+        pub fn modify(&self, _fd: i32, _token: usize, _interest: Interest) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Always fails on this target.
+        ///
+        /// # Errors
+        ///
+        /// Always `Unsupported`.
+        pub fn deregister(&self, _fd: i32) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Always fails on this target.
+        ///
+        /// # Errors
+        ///
+        /// Always `Unsupported`.
+        pub fn wait(&self, _events: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    /// Stub waker for non-Unix targets.
+    pub struct Waker;
+
+    impl Waker {
+        /// Always fails on this target.
+        ///
+        /// # Errors
+        ///
+        /// Always `Unsupported`.
+        pub fn new(_poller: &Poller, _token: usize) -> io::Result<Waker> {
+            unsupported()
+        }
+
+        /// No-op on this target.
+        pub fn wake(&self) {}
+
+        /// No-op on this target.
+        pub fn drain(&self) {}
+    }
+
+    /// No-op on this target; reports a conventional default.
+    pub fn raise_nofile_limit(_target: u64) -> u64 {
+        1024
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn sockets_report_readiness_under_their_tokens() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(listener.as_raw_fd(), 7, Interest::READABLE)
+            .unwrap();
+
+        // nothing pending: a short wait times out with no events
+        let mut events = Vec::new();
+        poller.wait(&mut events, 10).unwrap();
+        assert!(events.is_empty(), "{events:?}");
+
+        // a connection attempt makes the listener readable
+        let mut client = TcpStream::connect(addr).unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "{events:?}"
+        );
+        let (mut server, _) = listener.accept().unwrap();
+
+        // a fresh socket is writable, not readable
+        server.set_nonblocking(true).unwrap();
+        poller
+            .register(server.as_raw_fd(), 8, Interest::BOTH)
+            .unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        let ev = events.iter().find(|e| e.token == 8).expect("socket event");
+        assert!(ev.writable && !ev.readable, "{ev:?}");
+
+        // bytes in flight flip it readable; NONE parks it silently
+        client.write_all(b"x").unwrap();
+        poller
+            .modify(server.as_raw_fd(), 8, Interest::READABLE)
+            .unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 8 && e.readable),
+            "{events:?}"
+        );
+        poller
+            .modify(server.as_raw_fd(), 8, Interest::NONE)
+            .unwrap();
+        poller.wait(&mut events, 10).unwrap();
+        assert!(
+            !events.iter().any(|e| e.token == 8 && e.readable),
+            "parked fd still reported: {events:?}"
+        );
+
+        // hangup: client closes; re-arm read interest and observe
+        let mut byte = [0u8; 1];
+        server.read_exact(&mut byte).unwrap();
+        drop(client);
+        poller
+            .modify(server.as_raw_fd(), 8, Interest::READABLE)
+            .unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        let ev = events.iter().find(|e| e.token == 8).expect("hangup event");
+        assert!(ev.readable, "EOF must be observable as a read: {ev:?}");
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait_from_another_thread() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::new(Waker::new(&poller, 99).unwrap());
+        let w = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake();
+            w.wake(); // double wakes coalesce harmlessly
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, 5000).unwrap();
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        waker.drain();
+        handle.join().unwrap();
+        // drained: the next short wait is quiet again
+        poller.wait(&mut events, 10).unwrap();
+        assert!(
+            !events.iter().any(|e| e.token == 99),
+            "drain left the waker hot: {events:?}"
+        );
+    }
+
+    #[test]
+    fn nofile_limit_reports_a_usable_value() {
+        let limit = raise_nofile_limit(4096);
+        assert!(limit >= 256, "implausible fd limit {limit}");
+    }
+}
