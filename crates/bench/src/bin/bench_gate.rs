@@ -98,10 +98,21 @@ fn parse_args() -> Args {
 }
 
 fn load(path: &str) -> LoadgenResult {
-    let body = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path:?}: {e}"));
-    serde_json::from_str(&body)
-        .unwrap_or_else(|e| panic!("bench_gate: {path:?} is not a loadgen result: {e}"))
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_gate: BASELINE UNREADABLE — cannot read {path:?}: {e}; regenerate the \
+             baseline for this configuration (see ci/README.md)"
+        );
+        std::process::exit(2);
+    });
+    serde_json::from_str(&body).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_gate: STALE BASELINE — {path:?} does not parse as a loadgen result ({e}); \
+             a committed record written before a result field was added gates nothing — \
+             regenerate the baseline for this configuration (see ci/README.md)"
+        );
+        std::process::exit(2);
+    })
 }
 
 fn main() {

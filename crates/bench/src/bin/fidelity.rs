@@ -37,6 +37,12 @@
 //! the backend comparison above, one layer down: the flavor is usable
 //! exactly when it *orders* designs like the f32 decoder does.
 //!
+//! A third section measures the **multi-fidelity cascade backend**: the
+//! relative regret of deploying the cascade's full-grid argmin under
+//! the true systolic scores (per objective), plus the fraction of the
+//! grid the cascade escalated to real systolic evaluation per query —
+//! the cost/accuracy trade the `"backend":"cascade"` wire option buys.
+//!
 //! Writes a machine-readable `BENCH_fidelity.json` into `--out` (default
 //! `results/`) and prints one `FIDELITY_JSON=path` discovery line, so CI
 //! can track the fidelity trajectory. With `--min-rho X` the process
@@ -46,21 +52,30 @@
 //! regime where the two architectures genuinely disagree.) With
 //! `--min-quant-rho X` it likewise exits non-zero if either quantized
 //! head surface rank-correlates below `X` with its f32 twin — the
-//! int8-flavor fidelity gate.
+//! int8-flavor fidelity gate. With `--max-cascade-regret X` /
+//! `--max-escalation X` it exits non-zero when the cascade's mean
+//! deployment regret (any objective) or worst per-query escalated
+//! fraction exceeds the ceiling — the cascade-parity gate.
 //!
 //! ```text
-//! fidelity [--workloads N]      sampled DSE inputs (default 24)
-//!          [--points N]         sampled grid points (default 96)
-//!          [--seed N]           workload-sampling seed (default 0xF1DE)
-//!          [--out DIR]          output directory (default results/)
-//!          [--min-rho X]        fail below this cross-workload rank correlation
-//!          [--min-quant-rho X]  fail below this int8-vs-f32 rank correlation
-//!          [--quick]            smoke sizes (8 workloads × 48 points)
+//! fidelity [--workloads N]          sampled DSE inputs (default 24)
+//!          [--points N]             sampled grid points (default 96)
+//!          [--seed N]               workload-sampling seed (default 0xF1DE)
+//!          [--out DIR]              output directory (default results/)
+//!          [--min-rho X]            fail below this cross-workload rank correlation
+//!          [--min-quant-rho X]      fail below this int8-vs-f32 rank correlation
+//!          [--max-cascade-regret X] fail above this cascade deployment regret
+//!          [--max-escalation X]     fail above this escalated grid fraction
+//!          [--quick]                smoke sizes (8 workloads × 48 points)
 //! ```
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use ai2_dse::{BackendId, DesignPoint, DseTask, EvalEngine, Objective};
+use ai2_dse::{
+    BackendId, CascadeBackend, CascadeConfig, CostBackend, DesignPoint, DseTask, EvalEngine,
+    Objective,
+};
 use ai2_tensor::rng;
 use ai2_tensor::stats::spearman;
 use ai2_workloads::generator::{DseInput, WorkloadSampler};
@@ -73,6 +88,8 @@ struct Args {
     out: PathBuf,
     min_rho: Option<f64>,
     min_quant_rho: Option<f64>,
+    max_cascade_regret: Option<f64>,
+    max_escalation: Option<f64>,
     quick: bool,
 }
 
@@ -84,6 +101,8 @@ fn parse_args() -> Args {
         out: PathBuf::from("results"),
         min_rho: None,
         min_quant_rho: None,
+        max_cascade_regret: None,
+        max_escalation: None,
         quick: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -103,6 +122,13 @@ fn parse_args() -> Args {
             "--min-rho" => args.min_rho = Some(value(&mut i).parse().expect("--min-rho number")),
             "--min-quant-rho" => {
                 args.min_quant_rho = Some(value(&mut i).parse().expect("--min-quant-rho number"));
+            }
+            "--max-cascade-regret" => {
+                args.max_cascade_regret =
+                    Some(value(&mut i).parse().expect("--max-cascade-regret number"));
+            }
+            "--max-escalation" => {
+                args.max_escalation = Some(value(&mut i).parse().expect("--max-escalation number"));
             }
             "--quick" => {
                 args.workloads = 8;
@@ -150,6 +176,45 @@ struct QuantFidelity {
     top1_agreement: f64,
 }
 
+/// Per-objective deployment regret of the multi-fidelity cascade
+/// against the pure systolic truth over the full grid.
+#[derive(Debug, Serialize)]
+struct CascadeObjective {
+    objective: String,
+    /// Mean relative regret of deploying the cascade's grid argmin
+    /// under true systolic scores (0 = the cascade always finds the
+    /// systolic optimum).
+    mean_regret: f64,
+    /// Worst per-workload regret.
+    max_regret: f64,
+    /// Fraction of workloads where the cascade's argmin IS the
+    /// systolic argmin.
+    top1_agreement: f64,
+}
+
+/// Multi-fidelity cascade section: accuracy (regret vs pure systolic)
+/// against cost (fraction of the grid escalated to real systolic
+/// evaluation per query).
+#[derive(Debug, Serialize)]
+struct CascadeFidelity {
+    /// Escalation knobs the cascade ran with.
+    top_k: usize,
+    disagreement: f64,
+    max_escalated: f64,
+    /// Full grid size the cascade stages over.
+    grid_points: usize,
+    /// Mean per-query fraction of the grid escalated to systolic.
+    mean_escalated_frac: f64,
+    /// Worst per-query escalated fraction (the `--max-escalation`
+    /// gate).
+    max_escalated_frac: f64,
+    /// Mean true systolic evaluations per query.
+    systolic_evals_per_query: f64,
+    /// Per-objective deployment regret (the `--max-cascade-regret`
+    /// gate applies to each `mean_regret`).
+    objectives: Vec<CascadeObjective>,
+}
+
 /// The full machine-readable report (`BENCH_fidelity.json`).
 #[derive(Debug, Serialize)]
 struct FidelityReport {
@@ -157,6 +222,7 @@ struct FidelityReport {
     points: usize,
     seed: u64,
     objectives: Vec<ObjectiveFidelity>,
+    cascade: CascadeFidelity,
     quantized_decoder: QuantFidelity,
 }
 
@@ -284,6 +350,90 @@ fn main() {
         "analytic backend diverged from DseTask — bit-identicality broken"
     );
 
+    // -- multi-fidelity cascade ---------------------------------------
+    // the cascade must order the grid like the systolic truth at a
+    // fraction of the cost: deploy its full-grid argmin, pay the true
+    // systolic bill, and count how much of the grid escalated
+    let cascade_backend = Arc::new(CascadeBackend::new(
+        &DseTask::table_i_default(),
+        CascadeConfig::default(),
+    ));
+    let cascade_engine = EvalEngine::with_backend_threads(
+        DseTask::table_i_default(),
+        Arc::clone(&cascade_backend) as Arc<dyn CostBackend>,
+        0,
+    );
+    let all_points: Vec<DesignPoint> = space.iter_points().collect();
+    eprintln!(
+        "[fidelity] cascade: {} workloads × {} grid points vs pure systolic…",
+        inputs.len(),
+        all_points.len()
+    );
+    let mut esc_fracs = Vec::with_capacity(inputs.len());
+    for input in &inputs {
+        // parallel-warm the full systolic grid (the truth reference),
+        // then build the cascade's staged grid and read its escalation
+        systolic.raw_grid(input);
+        let (esc, total) = cascade_backend.escalation(input);
+        esc_fracs.push(esc as f64 / total as f64);
+    }
+    let argmin_f64 = |v: &[f64]| -> usize {
+        let mut best = 0usize;
+        for (i, x) in v.iter().enumerate() {
+            if *x < v[best] {
+                best = i;
+            }
+        }
+        best
+    };
+    let mut cascade_objectives = Vec::new();
+    for objective in [Objective::Latency, Objective::Energy, Objective::Edp] {
+        let mut regrets = Vec::with_capacity(inputs.len());
+        let mut top1_hits = 0usize;
+        for input in &inputs {
+            let grid_scores = |engine: &EvalEngine| -> Vec<f64> {
+                all_points
+                    .iter()
+                    .map(|&p| engine.score_unchecked_with(input, p, objective))
+                    .collect()
+            };
+            let c = grid_scores(&cascade_engine);
+            let s = grid_scores(&systolic);
+            let (bc, bs) = (argmin_f64(&c), argmin_f64(&s));
+            if bc == bs {
+                top1_hits += 1;
+            }
+            regrets.push((s[bc] - s[bs]) / s[bs]);
+        }
+        let entry = CascadeObjective {
+            objective: format!("{objective:?}").to_ascii_lowercase(),
+            mean_regret: regrets.iter().sum::<f64>() / regrets.len() as f64,
+            max_regret: regrets.iter().copied().fold(0.0, f64::max),
+            top1_agreement: top1_hits as f64 / inputs.len() as f64,
+        };
+        println!(
+            "fidelity cascade {}: mean_regret {:.4} max_regret {:.4} top1 {:.2}",
+            entry.objective, entry.mean_regret, entry.max_regret, entry.top1_agreement
+        );
+        cascade_objectives.push(entry);
+    }
+    let (sys_evals, grids_built) = cascade_backend.eval_counters();
+    let cfg = cascade_backend.config();
+    let cascade = CascadeFidelity {
+        top_k: cfg.top_k,
+        disagreement: cfg.disagreement,
+        max_escalated: cfg.max_escalated,
+        grid_points: all_points.len(),
+        mean_escalated_frac: esc_fracs.iter().sum::<f64>() / esc_fracs.len() as f64,
+        max_escalated_frac: esc_fracs.iter().copied().fold(0.0, f64::max),
+        systolic_evals_per_query: sys_evals as f64 / grids_built.max(1) as f64,
+        objectives: cascade_objectives,
+    };
+    println!(
+        "fidelity cascade: mean_escalated {:.3} max_escalated {:.3} sys_evals/query {:.1}",
+        cascade.mean_escalated_frac, cascade.max_escalated_frac, cascade.systolic_evals_per_query
+    );
+
     // -- int8 decoder-flavor fidelity ---------------------------------
     // a quick-trained model is enough: the measure is quantization
     // error over a structured decoder surface, not model quality, and
@@ -326,6 +476,7 @@ fn main() {
         points: points.len(),
         seed: args.seed,
         objectives,
+        cascade,
         quantized_decoder,
     };
     std::fs::create_dir_all(&args.out).expect("create output dir");
@@ -350,6 +501,28 @@ fn main() {
         eprintln!(
             "[fidelity] all objectives above the {floor} cross-workload rank-correlation floor"
         );
+    }
+    if let Some(ceiling) = args.max_cascade_regret {
+        for o in &report.cascade.objectives {
+            if o.mean_regret > ceiling {
+                eprintln!(
+                    "[fidelity] FAIL: cascade {} mean_regret {:.4} above the {ceiling} ceiling",
+                    o.objective, o.mean_regret
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!("[fidelity] cascade regret under the {ceiling} ceiling on every objective");
+    }
+    if let Some(ceiling) = args.max_escalation {
+        let worst = report.cascade.max_escalated_frac;
+        if worst > ceiling {
+            eprintln!(
+                "[fidelity] FAIL: cascade escalated {worst:.3} of the grid, above the {ceiling} ceiling"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[fidelity] cascade escalation under the {ceiling} ceiling on every query");
     }
     if let Some(floor) = args.min_quant_rho {
         let q = &report.quantized_decoder;

@@ -210,10 +210,35 @@ struct Tally {
     expired: AtomicU64,
     sheds: AtomicU64,
     failures: Mutex<Vec<String>>,
+    /// Worker connections that never reached the server. Kept apart
+    /// from `failures`: a connect that sent no request is not a
+    /// request failure and must not dilute the request-level
+    /// percentiles or fail the run outright (the surviving workers
+    /// still drain the whole request budget in closed-loop mode).
+    connect_failures: AtomicU64,
     completed: AtomicU64,
 }
 
 impl Tally {
+    fn new() -> Tally {
+        Tally {
+            latencies: Mutex::new(Vec::new()),
+            ok: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            failures: Mutex::new(Vec::new()),
+            connect_failures: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    /// A worker whose TCP connect never reached the server: counted on
+    /// its own, no latency sample, no request completion.
+    fn record_connect_failure(&self, e: &std::io::Error) {
+        eprintln!("[loadgen] worker connect failed: {e}");
+        self.connect_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn record(&self, outcome: Outcome) {
         match outcome {
             Outcome::Ok(lat) => {
@@ -337,7 +362,7 @@ fn closed_loop_worker(args: &Args, next: &AtomicU64, tally: &Tally) {
     let mut conn = match RawConn::connect(&args.addr) {
         Ok(c) => c,
         Err(e) => {
-            tally.failures.lock().unwrap().push(format!("connect: {e}"));
+            tally.record_connect_failure(&e);
             return;
         }
     };
@@ -376,7 +401,7 @@ fn open_loop_worker(args: &Args, worker: usize, tally: &Tally) {
     let mut conn = match RawConn::connect(&args.addr) {
         Ok(c) => c,
         Err(e) => {
-            tally.failures.lock().unwrap().push(format!("connect: {e}"));
+            tally.record_connect_failure(&e);
             return;
         }
     };
@@ -442,14 +467,7 @@ fn main() {
         }
     }
     let next = AtomicU64::new(0);
-    let tally = Tally {
-        latencies: Mutex::new(Vec::new()),
-        ok: AtomicU64::new(0),
-        expired: AtomicU64::new(0),
-        sheds: AtomicU64::new(0),
-        failures: Mutex::new(Vec::new()),
-        completed: AtomicU64::new(0),
-    };
+    let tally = Tally::new();
     let swapped_version: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
 
     let started = Instant::now();
@@ -502,6 +520,17 @@ fn main() {
             eprintln!("[loadgen]   {f}");
         }
         std::process::exit(1);
+    }
+    let connect_failures = tally.connect_failures.load(Ordering::Relaxed);
+    if connect_failures > 0 {
+        eprintln!(
+            "[loadgen] {connect_failures} of {} worker connection(s) never reached the server",
+            args.concurrency
+        );
+        if connect_failures as usize >= args.concurrency {
+            eprintln!("[loadgen] no worker connected — nothing was measured");
+            std::process::exit(1);
+        }
     }
 
     let ok = tally.ok.load(Ordering::Relaxed);
@@ -643,9 +672,41 @@ fn main() {
             connections: Some(args.concurrency as u64),
             open_loop: Some(args.open_loop),
             traced: Some(tracing),
+            connect_failures: Some(connect_failures),
         };
         let body = serde_json::to_string(&result).expect("serialize loadgen result");
         std::fs::write(path, body).expect("write --json result file");
         eprintln!("[loadgen] wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_failures_stay_out_of_request_accounting() {
+        // a worker whose TCP connect never reached the server sent no
+        // request: it must not pollute the request-failure list (which
+        // fails the whole run), the latency samples (which feed
+        // p50/p95), or the completion counter (which gates the swap
+        // trigger)
+        let tally = Tally::new();
+        tally.record(Outcome::Ok(Some(120.0)));
+        tally.record(Outcome::Ok(Some(80.0)));
+        let refused = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused");
+        tally.record_connect_failure(&refused);
+        assert_eq!(tally.connect_failures.load(Ordering::Relaxed), 1);
+        assert!(
+            tally.failures.lock().unwrap().is_empty(),
+            "a connect failure is not a request failure"
+        );
+        assert_eq!(tally.latencies.lock().unwrap().len(), 2);
+        assert_eq!(tally.ok.load(Ordering::Relaxed), 2);
+        assert_eq!(tally.completed.load(Ordering::Relaxed), 2);
+        // request-level failures still land in the failure list
+        tally.record(Outcome::Fail("transport: broken pipe".into()));
+        assert_eq!(tally.failures.lock().unwrap().len(), 1);
+        assert_eq!(tally.connect_failures.load(Ordering::Relaxed), 1);
     }
 }

@@ -106,6 +106,12 @@ pub struct LoadgenResult {
     /// `bench_gate` matches on: comparing a traced run against an
     /// untraced baseline is exactly the tracing-overhead gate.
     pub traced: Option<bool>,
+    /// Worker connection attempts that never reached the server (TCP
+    /// connect refused/timed out). Counted apart from request failures:
+    /// a connect that never sent a request must not dilute the
+    /// request-level latency percentiles or failure counts. `None` on
+    /// records written before the split existed.
+    pub connect_failures: Option<u64>,
 }
 
 /// One measured point of the `connscale` benchmark: a front end holding

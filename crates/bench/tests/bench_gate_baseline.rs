@@ -1,0 +1,101 @@
+//! Pins `bench_gate`'s baseline-handling contract: a stale or
+//! unreadable baseline must be refused with exit 2 and a clear
+//! "regenerate the baseline" instruction — never a panic backtrace
+//! from a missing field. A baseline committed before a result field
+//! was added gates nothing, and the fix is operational (regenerate),
+//! not a code bug, so the message must say so.
+
+use std::process::Command;
+
+fn gate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+}
+
+/// A complete, current-schema loadgen record.
+const VALID: &str = r#"{"requests":64,"deadline_expired":0,"elapsed_s":0.05,"client_rps":1280.0,"p50_us":900.0,"p95_us":2000.0,"p99_us":5000.0,"server_served":64,"server_cache_hits":0,"backend":"analytic","pipeline":null,"shards":2,"kernel":"avx2","model_version":1,"swapped":false,"sheds":0,"connections":8,"open_loop":false,"traced":false,"connect_failures":0}"#;
+
+fn tmp(name: &str, body: Option<&str>) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ai2_bench_gate_baseline_test");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    if let Some(body) = body {
+        std::fs::write(&path, body).expect("write temp record");
+    }
+    path
+}
+
+#[test]
+fn stale_baseline_asks_for_regeneration_not_a_panic() {
+    // not a loadgen record at all — the shape of a baseline committed
+    // before a required field existed
+    let baseline = tmp("stale.json", Some(r#"{"requests": 64}"#));
+    let current = tmp("current_for_stale.json", Some(VALID));
+    let out = gate()
+        .args(["--baseline", baseline.to_str().unwrap()])
+        .args(["--current", current.to_str().unwrap()])
+        .output()
+        .expect("run bench_gate");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a stale baseline is a refused comparison (exit 2), not a crash: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("STALE BASELINE"), "{err}");
+    assert!(err.contains("regenerate the baseline"), "{err}");
+}
+
+#[test]
+fn unreadable_baseline_exits_2_with_the_regenerate_message() {
+    let baseline = tmp("does_not_exist.json", None);
+    std::fs::remove_file(&baseline).ok();
+    let current = tmp("current_for_missing.json", Some(VALID));
+    let out = gate()
+        .args(["--baseline", baseline.to_str().unwrap()])
+        .args(["--current", current.to_str().unwrap()])
+        .output()
+        .expect("run bench_gate");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("BASELINE UNREADABLE"), "{err}");
+    assert!(err.contains("regenerate the baseline"), "{err}");
+}
+
+#[test]
+fn the_committed_ci_baseline_still_parses() {
+    // the gate's own schema must keep reading the baseline this repo
+    // ships — if this fails, ci/BENCH_baseline.json needs regenerating
+    // alongside whatever field was added
+    let repo_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/BENCH_baseline.json");
+    let current = tmp("current_for_repo.json", Some(VALID));
+    let out = gate()
+        .args(["--baseline", repo_baseline])
+        .args(["--current", current.to_str().unwrap()])
+        .output()
+        .expect("run bench_gate");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_ne!(
+        out.status.code(),
+        Some(2),
+        "committed baseline must not be refused as stale/mismatched: {err}"
+    );
+}
+
+#[test]
+fn identical_records_pass_the_gate() {
+    let baseline = tmp("same_a.json", Some(VALID));
+    let current = tmp("same_b.json", Some(VALID));
+    let out = gate()
+        .args(["--baseline", baseline.to_str().unwrap()])
+        .args(["--current", current.to_str().unwrap()])
+        .output()
+        .expect("run bench_gate");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}

@@ -145,7 +145,9 @@ impl DseDataset {
         // The transient engine keeps only oracle labels (no grids): the
         // inputs of a generation run are almost all distinct, so caching
         // their grids would cost memory without saving work.
-        let backend = crate::backend::backend_for(config.backend, task.cost_model);
+        // backend_for_task: a cascade label source stages its
+        // prefilter/escalation grid over this task's own space
+        let backend = crate::backend::backend_for_task(config.backend, task);
         let engine = EvalEngine::with_backend_threads(task.clone(), backend, config.threads)
             .with_grid_capacity(0);
         Self::generate_with(&engine, config)
@@ -316,6 +318,25 @@ mod tests {
             }
         }
         assert!(any_differs, "systolic labels never diverged from analytic");
+    }
+
+    #[test]
+    fn cascade_backend_labels_come_from_the_cascade_engine() {
+        // provenance: a cascade-labeled corpus records Cascade, and its
+        // labels agree bit-for-bit with a fresh cascade engine's oracle
+        let task = DseTask::table_i_default();
+        let cfg = GenerateConfig {
+            backend: BackendId::Cascade,
+            ..tiny_config(6)
+        };
+        let ds = DseDataset::generate(&task, &cfg);
+        assert_eq!(ds.backend, BackendId::Cascade);
+        let engine = EvalEngine::for_backend(task.clone(), BackendId::Cascade);
+        for s in &ds.samples {
+            let oracle = engine.oracle(&s.input());
+            assert_eq!(s.optimal, oracle.best_point);
+            assert_eq!(s.best_score.to_bits(), oracle.best_score.to_bits());
+        }
     }
 
     #[test]

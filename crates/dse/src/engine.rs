@@ -59,7 +59,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 use ai2_workloads::generator::DseInput;
 use ai2_workloads::Layer;
 
-use crate::backend::{backend_for, AnalyticBackend, BackendId, CostBackend, RawCost};
+use crate::backend::{AnalyticBackend, BackendId, CostBackend, RawCost};
 use crate::objective::{Budget, DseTask, Objective, OracleResult};
 use crate::pool::WorkPool;
 use crate::space::{DesignPoint, DesignSpace};
@@ -113,8 +113,9 @@ fn budget_bits(b: Budget) -> u64 {
 }
 
 /// Scores a raw cost exactly as [`Objective::score`] scores a
-/// [`ai2_maestro::CostReport`].
-fn objective_score(o: Objective, (lat, energy): RawCost) -> f64 {
+/// [`ai2_maestro::CostReport`] (shared with the cascade backend's
+/// analytic prefilter, which ranks frontiers with this arithmetic).
+pub(crate) fn objective_score(o: Objective, (lat, energy): RawCost) -> f64 {
     match o {
         Objective::Latency => lat as f64,
         Objective::Energy => energy,
@@ -198,11 +199,16 @@ impl EvalEngine {
 
     /// An engine whose raw costs come from the named [`BackendId`],
     /// built over the task's cost-model constants (see
-    /// [`crate::backend::backend_for`]). The analytic backend preserves
-    /// [`DseTask`] answers bit-for-bit; other backends answer the same
-    /// queries from their own evaluator.
+    /// [`crate::backend::backend_for_task`]). The analytic backend
+    /// preserves [`DseTask`] answers bit-for-bit; other backends answer
+    /// the same queries from their own evaluator. A cascade engine owns
+    /// private per-stage engines over the same task (fresh analytic and
+    /// systolic caches) — to stage the cascade over shared sibling
+    /// engines instead, build a [`crate::backend::CascadeBackend`] with
+    /// [`crate::backend::CascadeBackend::over`] and pass it to
+    /// [`EvalEngine::with_backend_threads`].
     pub fn for_backend(task: DseTask, id: BackendId) -> EvalEngine {
-        let backend = backend_for(id, task.cost_model);
+        let backend = crate::backend::backend_for_task(id, &task);
         Self::with_backend_threads(task, backend, 0)
     }
 
@@ -390,20 +396,40 @@ impl EvalEngine {
     /// All raw costs for `input` (the full grid sweep), parallelized
     /// over the pool when possible. Reuses (and fills) an existing grid
     /// entry but never creates one — see [`EvalEngine::grid_for_points`].
+    ///
+    /// Counts point hits/misses like every other entry point: a sweep
+    /// over a warm grid is `n` hits, a cold sweep is `n` misses, and a
+    /// partially warm grid splits exactly (cascade escalation decisions
+    /// read these counters, so the sweep path may not under-report).
     fn full_raw_costs(&self, input: &DseInput) -> Vec<RawCost> {
         let n = self.space().num_points();
         match self.existing_grid(input) {
             Some(entry) => {
+                let misses = AtomicU64::new(0);
                 self.pool.run(n, |flat| {
-                    entry.cells[flat].get_or_init(|| self.compute_raw(input, flat));
+                    let mut computed = false;
+                    entry.cells[flat].get_or_init(|| {
+                        computed = true;
+                        self.compute_raw(input, flat)
+                    });
+                    if computed {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                    }
                 });
+                let misses = misses.load(Ordering::Relaxed);
+                self.point_misses.fetch_add(misses, Ordering::Relaxed);
+                self.point_hits
+                    .fetch_add(n as u64 - misses, Ordering::Relaxed);
                 entry
                     .cells
                     .iter()
                     .map(|c| *c.get().expect("filled by the sweep above"))
                     .collect()
             }
-            None => self.pool.map(n, |flat| self.compute_raw(input, flat)),
+            None => {
+                self.point_misses.fetch_add(n as u64, Ordering::Relaxed);
+                self.pool.map(n, |flat| self.compute_raw(input, flat))
+            }
         }
     }
 
@@ -477,6 +503,22 @@ impl EvalEngine {
     pub fn score_unchecked_transient(&self, input: &DseInput, p: DesignPoint) -> f64 {
         let raw = self.raw_cost_transient(input, self.space().flat_index(p));
         objective_score(self.task.objective, raw)
+    }
+
+    /// Raw `(latency_cycles, energy_pj)` of one point, transiently
+    /// cached (reuses an existing grid entry, never materialises one) —
+    /// the cascade backend's escalation path, which memoizes its own
+    /// staged grids and must not pin this engine's grid capacity.
+    pub fn raw_cost_at(&self, input: &DseInput, p: DesignPoint) -> RawCost {
+        self.raw_cost_transient(input, self.space().flat_index(p))
+    }
+
+    /// The full raw-cost grid for `input`, flat-indexed — the cascade
+    /// backend's analytic prefilter. Sweep-path caching semantics
+    /// (reuses a grid entry when present, never creates one) and exact
+    /// hit/miss accounting, like [`EvalEngine::score_grid`].
+    pub fn raw_grid(&self, input: &DseInput) -> Vec<RawCost> {
+        self.full_raw_costs(input)
     }
 
     /// Evaluates one design point under an overridden objective and
@@ -884,6 +926,58 @@ mod tests {
         // a different objective must actually change the ranking input
         let energy = engine.model_cost_batch_with(&layers, &points, Objective::Energy);
         assert!(lat.iter().zip(&energy).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn every_entry_point_counts_point_hits_and_misses() {
+        // stats accounting must be consistent across ALL entry points:
+        // transient point queries, materialising point queries, and the
+        // sweep path (which historically counted nothing) — cascade
+        // escalation decisions read these counters
+        let engine = EvalEngine::table_i_default();
+        let inp = input(36, 180, 96, Dataflow::OutputStationary);
+        let p = DesignPoint {
+            pe_idx: 7,
+            buf_idx: 3,
+        };
+        // transient single point on a cold cache: one miss, no grid
+        engine.score_unchecked_transient(&inp, p);
+        let s = engine.stats();
+        assert_eq!((s.point_hits, s.point_misses), (0, 1));
+        assert_eq!(s.grid_entries, 0);
+        // a cold full sweep counts every point as a miss
+        engine.score_grid(&inp);
+        let s = engine.stats();
+        assert_eq!((s.point_hits, s.point_misses), (0, 769));
+        // materialise the grid (the transient sweep cached nothing, so
+        // this point recomputes: one more miss)…
+        engine.score(&inp, p);
+        let s = engine.stats();
+        assert_eq!((s.point_hits, s.point_misses), (0, 770));
+        assert_eq!(s.grid_entries, 1);
+        // …a sweep over the partially warm grid splits exactly…
+        engine.score_grid(&inp);
+        let s = engine.stats();
+        assert_eq!((s.point_hits, s.point_misses), (1, 770 + 767));
+        // …and a sweep over the fully warm grid is pure hits
+        engine.score_grid(&inp);
+        let s = engine.stats();
+        assert_eq!((s.point_hits, s.point_misses), (769, 1537));
+        // raw accessors share the same accounting
+        engine.raw_cost_at(&inp, p);
+        assert_eq!(engine.stats().point_hits, 770);
+        engine.raw_grid(&inp);
+        assert_eq!(engine.stats().point_hits, 770 + 768);
+        // clear_cache drops grids and oracle labels but keeps the
+        // monotonic counters (documented contract)
+        let before = engine.stats();
+        engine.clear_cache();
+        let after = engine.stats();
+        assert_eq!(after.point_hits, before.point_hits);
+        assert_eq!(after.point_misses, before.point_misses);
+        assert_eq!(after.grid_entries, 0);
+        assert_eq!(after.cached_points, 0);
+        assert_eq!(after.oracle_entries, 0);
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub mod pool;
 pub mod search;
 pub mod stats;
 
-pub use backend::{AnalyticBackend, BackendId, CostBackend, ParseBackendError, SystolicBackend};
+pub use backend::{
+    AnalyticBackend, BackendId, CascadeBackend, CascadeConfig, CostBackend, ParseBackendError,
+    SystolicBackend,
+};
 pub use dataset::{DatasetError, DseDataset, DseSample, GenerateConfig};
 pub use engine::{EngineStats, EvalEngine};
 pub use objective::{Budget, DseTask, Objective, OracleResult};

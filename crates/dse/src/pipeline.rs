@@ -43,7 +43,7 @@ use std::sync::Arc;
 
 use ai2_workloads::generator::DseInput;
 
-use crate::backend::BackendId;
+use crate::backend::{BackendId, CascadeBackend, CascadeConfig};
 use crate::engine::EvalEngine;
 use crate::objective::{Budget, Objective};
 use crate::search::{AnnealingSearcher, GammaSearcher, SearchContext};
@@ -57,6 +57,7 @@ use crate::space::DesignPoint;
 pub struct BackendEngines {
     analytic: Arc<EvalEngine>,
     systolic: Arc<EvalEngine>,
+    cascade: Arc<EvalEngine>,
     primary: BackendId,
 }
 
@@ -64,8 +65,14 @@ impl BackendEngines {
     /// Wraps the primary engine — the one the model was trained over and
     /// predicts through, whatever its backend — and builds a sibling
     /// engine over the same task for every other backend, so queries can
-    /// select either evaluator regardless of which one trained the
-    /// model.
+    /// select any evaluator regardless of which one trained the model.
+    ///
+    /// The cascade engine is staged **over the analytic and systolic
+    /// siblings** ([`CascadeBackend::over`]): its prefilter and
+    /// escalation sub-results land in those engines' caches under their
+    /// own backend keys, while its staged answers are cached in its own
+    /// engine under the cascade key — per-stage memoization without any
+    /// cross-backend mixing.
     pub fn new(primary: Arc<EvalEngine>) -> BackendEngines {
         let primary_id = primary.backend_id();
         let task = primary.task().clone();
@@ -76,9 +83,22 @@ impl BackendEngines {
                 Arc::new(EvalEngine::for_backend(task.clone(), id))
             }
         };
+        let analytic = sibling(BackendId::Analytic);
+        let systolic = sibling(BackendId::Systolic);
+        let cascade = if primary_id == BackendId::Cascade {
+            Arc::clone(&primary)
+        } else {
+            let staged = CascadeBackend::over(
+                Arc::clone(&analytic),
+                Arc::clone(&systolic),
+                CascadeConfig::default(),
+            );
+            Arc::new(EvalEngine::with_backend_threads(task, Arc::new(staged), 0))
+        };
         BackendEngines {
-            analytic: sibling(BackendId::Analytic),
-            systolic: sibling(BackendId::Systolic),
+            analytic,
+            systolic,
+            cascade,
             primary: primary_id,
         }
     }
@@ -88,6 +108,7 @@ impl BackendEngines {
         match id {
             BackendId::Analytic => &self.analytic,
             BackendId::Systolic => &self.systolic,
+            BackendId::Cascade => &self.cascade,
         }
     }
 
@@ -97,11 +118,13 @@ impl BackendEngines {
     }
 }
 
-/// Index of a backend in per-backend counters (`[analytic, systolic]`).
+/// Index of a backend in per-backend counters
+/// (`[analytic, systolic, cascade]`).
 fn bslot(id: BackendId) -> usize {
     match id {
         BackendId::Analytic => 0,
         BackendId::Systolic => 1,
+        BackendId::Cascade => 2,
     }
 }
 
@@ -161,9 +184,9 @@ pub struct StageCtx<'a> {
     /// The shared per-backend engines.
     pub engines: &'a BackendEngines,
     /// Cost-model evaluations spent on this query, per backend
-    /// (`[analytic, systolic]`) — the verify-cycle budget the bench
-    /// report accounts.
-    pub evals: [u64; 2],
+    /// (`[analytic, systolic, cascade]`) — the verify-cycle budget the
+    /// bench report accounts.
+    pub evals: [u64; 3],
 }
 
 impl<'a> StageCtx<'a> {
@@ -174,7 +197,7 @@ impl<'a> StageCtx<'a> {
             budget: q.budget,
             backend: q.backend,
             engines,
-            evals: [0, 0],
+            evals: [0, 0, 0],
         }
     }
 
@@ -515,7 +538,7 @@ impl Stage for ParetoFilter {
 /// defaulted; unknown stage names and unknown knobs are parse errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StageCfg {
-    /// `{"stage": "predict", "backend"?: "analytic"|"systolic"}`
+    /// `{"stage": "predict", "backend"?: "analytic"|"systolic"|"cascade"}`
     Predict {
         /// Verifying backend override.
         backend: Option<BackendId>,
@@ -743,8 +766,8 @@ pub struct PipelineAnswer {
     /// The winning candidate (feasible-first, lowest cost).
     pub best: Candidate,
     /// Cost-model evaluations spent, per backend
-    /// (`[analytic, systolic]`).
-    pub evals: [u64; 2],
+    /// (`[analytic, systolic, cascade]`).
+    pub evals: [u64; 3],
 }
 
 impl PipelineAnswer {
@@ -1280,6 +1303,59 @@ mod tests {
         let line = serde_json::to_string(&file).unwrap();
         let back: PipelinesFile = serde_json::from_str(&line).unwrap();
         assert_eq!(back, file);
+    }
+
+    #[test]
+    fn cascade_engine_is_staged_over_the_siblings() {
+        let engines = engines();
+        let cascade = engines.get(BackendId::Cascade);
+        assert_eq!(cascade.backend_id(), BackendId::Cascade);
+        // a cascade query leaves its analytic prefilter and systolic
+        // escalation in the sibling engines' caches, under their keys
+        let q = query(Objective::Latency);
+        let ana_before = engines.get(BackendId::Analytic).stats();
+        let sys_before = engines.get(BackendId::Systolic).stats();
+        cascade.oracle_with(&q.input, q.objective, q.budget);
+        let ana_after = engines.get(BackendId::Analytic).stats();
+        let sys_after = engines.get(BackendId::Systolic).stats();
+        assert!(
+            ana_after.point_misses > ana_before.point_misses,
+            "the prefilter sweep must land in the analytic sibling"
+        );
+        assert!(
+            sys_after.point_misses > sys_before.point_misses,
+            "the escalation must land in the systolic sibling"
+        );
+        // far fewer systolic evals than the full grid — the whole point
+        assert!(sys_after.point_misses - sys_before.point_misses < 768 / 4);
+    }
+
+    #[test]
+    fn verify_stage_through_the_cascade_engine_compiles_and_answers() {
+        let engines = engines();
+        let cfg: PipelineCfg = serde_json::from_str(
+            r#"{"name":"cv","stages":[{"stage":"predict"},{"stage":"verify","k":3,"backend":"cascade"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.stages[1],
+            StageCfg::Verify {
+                k: 3,
+                backend: BackendId::Cascade,
+            }
+        );
+        let set = PipelineSet::with(&[cfg]).unwrap();
+        let pipeline = set.get(Some("cv")).unwrap();
+        let q = query(Objective::Latency);
+        let answer = &pipeline.run_batch(&engines, &[q], &mut fake_predict)[0];
+        assert_eq!(answer.best.backend, BackendId::Cascade);
+        assert!(answer.best.cost.is_finite() && answer.best.cost > 0.0);
+        assert!(answer.backend_evals(BackendId::Cascade) >= 1);
+        // the cascade answer is the cascade engine's own score for that
+        // point, bit for bit
+        let engine = engines.get(BackendId::Cascade);
+        let direct = engine.score_unchecked_with(&q.input, answer.best.point, q.objective);
+        assert_eq!(answer.best.cost.to_bits(), direct.to_bits());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! | `serve.sheds` | counter | requests refused at admission (overload policy) |
 //! | `serve.queue_depth` | gauge | jobs admitted but not yet drained |
 //! | `serve.latency_ns` | histogram | admission→response latency |
-//! | `serve.latency_ns.analytic` / `.systolic` | histogram | same, split by cost backend |
+//! | `serve.latency_ns.analytic` / `.systolic` / `.cascade` | histogram | same, split by cost backend |
 //! | `serve.latency_ns.f32` / `.int8` | histogram | same, split by decoder flavor |
 //! | `serve.batch_size` | histogram | drained micro-batch sizes |
 
@@ -59,6 +59,7 @@ pub struct ShardMetrics {
     latency_ns: Arc<Histogram>,
     latency_analytic: Arc<Histogram>,
     latency_systolic: Arc<Histogram>,
+    latency_cascade: Arc<Histogram>,
     latency_f32: Arc<Histogram>,
     latency_int8: Arc<Histogram>,
     batch_size: Arc<Histogram>,
@@ -75,6 +76,7 @@ impl ShardMetrics {
             latency_ns: registry.histogram("serve.latency_ns"),
             latency_analytic: registry.histogram("serve.latency_ns.analytic"),
             latency_systolic: registry.histogram("serve.latency_ns.systolic"),
+            latency_cascade: registry.histogram("serve.latency_ns.cascade"),
             latency_f32: registry.histogram("serve.latency_ns.f32"),
             latency_int8: registry.histogram("serve.latency_ns.int8"),
             batch_size: registry.histogram("serve.batch_size"),
@@ -91,10 +93,10 @@ impl ShardMetrics {
             self.cache_hits.inc();
         }
         self.latency_ns.record(latency_ns);
-        if backend == "systolic" {
-            self.latency_systolic.record(latency_ns);
-        } else {
-            self.latency_analytic.record(latency_ns);
+        match backend {
+            "systolic" => self.latency_systolic.record(latency_ns),
+            "cascade" => self.latency_cascade.record(latency_ns),
+            _ => self.latency_analytic.record(latency_ns),
         }
         if int8 {
             self.latency_int8.record(latency_ns);
@@ -332,8 +334,10 @@ mod tests {
         let m = ServiceMetrics::new(1);
         m.shard(0).record_served(1_000, false, "analytic", false);
         m.shard(0).record_served(2_000, false, "systolic", true);
+        m.shard(0).record_served(3_000, false, "cascade", false);
+        m.shard(0).record_served(4_000, false, "cascade", true);
         let dump = m.dump();
-        assert_eq!(dump.histogram("serve.latency_ns").unwrap().count(), 2);
+        assert_eq!(dump.histogram("serve.latency_ns").unwrap().count(), 4);
         assert_eq!(
             dump.histogram("serve.latency_ns.analytic").unwrap().count(),
             1
@@ -342,7 +346,11 @@ mod tests {
             dump.histogram("serve.latency_ns.systolic").unwrap().count(),
             1
         );
-        assert_eq!(dump.histogram("serve.latency_ns.f32").unwrap().count(), 1);
-        assert_eq!(dump.histogram("serve.latency_ns.int8").unwrap().count(), 1);
+        assert_eq!(
+            dump.histogram("serve.latency_ns.cascade").unwrap().count(),
+            2
+        );
+        assert_eq!(dump.histogram("serve.latency_ns.f32").unwrap().count(), 2);
+        assert_eq!(dump.histogram("serve.latency_ns.int8").unwrap().count(), 2);
     }
 }

@@ -249,8 +249,9 @@ pub struct RecommendRequest {
     /// request answers with an error instead of occupying a shard.
     pub deadline_ms: Option<u64>,
     /// Cost backend verifying the recommendation: `"analytic"` (the
-    /// default when omitted or `null`) or `"systolic"`. Unknown names
-    /// are rejected with an error response.
+    /// default when omitted or `null`), `"systolic"`, or `"cascade"`
+    /// (the multi-fidelity staged evaluator). Unknown names are
+    /// rejected with an error response.
     pub backend: Option<String>,
     /// Named recommendation pipeline to answer through; omitted or
     /// `null` selects `"default"` — the degenerate single-stage
@@ -381,8 +382,8 @@ pub struct Recommendation {
     /// Layer entries folded into the answer (1 for GEMM queries).
     pub layers: usize,
     /// The cost backend that verified `cost` (`"analytic"` /
-    /// `"systolic"`), echoed so clients can tell which evaluator
-    /// answered.
+    /// `"systolic"` / `"cascade"`), echoed so clients can tell which
+    /// evaluator answered.
     pub backend: String,
 }
 
@@ -709,6 +710,9 @@ mod tests {
         let mut sys = gemm_req(1);
         sys.backend = Some("Systolic".into());
         assert_eq!(sys.backend_id(), Ok(BackendId::Systolic));
+        let mut casc = gemm_req(1);
+        casc.backend = Some("Cascade".into());
+        assert_eq!(casc.backend_id(), Ok(BackendId::Cascade));
     }
 
     #[test]
@@ -717,10 +721,15 @@ mod tests {
         let mut req = gemm_req(1);
         req.backend = Some("systolic".into());
         let systolic = QueryKey::of(&req).unwrap();
+        let mut req = gemm_req(1);
+        req.backend = Some("cascade".into());
+        let cascade = QueryKey::of(&req).unwrap();
         assert_ne!(
             analytic, systolic,
             "cached answers must never cross backends"
         );
+        assert_ne!(analytic, cascade, "cascade keys its own cache slots");
+        assert_ne!(systolic, cascade, "cascade keys its own cache slots");
         // the explicit default spelling canonicalises onto the implicit one
         let mut explicit = gemm_req(1);
         explicit.backend = Some("analytic".into());
@@ -791,8 +800,17 @@ mod tests {
     fn unknown_backend_has_no_key() {
         let mut req = gemm_req(1);
         req.backend = Some("rtl".into());
-        let err = req.backend_id().unwrap_err();
-        assert!(err.to_string().contains("rtl"), "{err}");
+        let err = req.backend_id().unwrap_err().to_string();
+        assert!(err.contains("rtl"), "{err}");
+        // the wire error must name every selectable backend, so a
+        // client probing with a bad name learns the full menu —
+        // including variants added after it was written
+        for id in BackendId::ALL {
+            assert!(
+                err.contains(&format!("{:?}", id.as_str())),
+                "error must offer {id}: {err}"
+            );
+        }
         assert!(QueryKey::of(&req).is_none());
     }
 

@@ -24,9 +24,10 @@
 //!   the epoch-tagged cache may never leak a cross-version answer.
 //! * `zero_drops` — every admitted request completes exactly once, no
 //!   matter how many swaps/freezes/refreshes the run interleaved.
-//! * `backend_isolation` — the same canonical GEMM asked under both
-//!   cost backends is verified against each backend's own oracle
-//!   engine; per-backend caches never cross.
+//! * `backend_isolation` — the same canonical GEMM asked under more
+//!   than one cost backend (analytic, systolic, cascade) is verified
+//!   against each backend's own oracle engine; per-backend caches
+//!   never cross.
 //! * `deadline_honored` — a deadline error is only ever issued at or
 //!   after the request's deadline on the virtual clock.
 //! * `frozen_rejects_publish` — while frozen, swaps and refreshes are
@@ -50,6 +51,14 @@
 //!   re-scored under the staged backend (feasibility first, then cost —
 //!   the executor's never-worse clamp). Per-pipeline `served` counters
 //!   in stats snapshots are cross-checked against the checker's books.
+//! * `cascade_identity` — answers served through the staged cascade
+//!   backend are bit-identical to re-running the whole
+//!   prefilter → escalate → calibrate cascade against the checker's own
+//!   fresh per-stage oracles (its private analytic and systolic
+//!   engines): the oracle recompute that `bit_identity` performs goes
+//!   through the checker's own [`BackendEngines`], whose cascade is
+//!   staged over its own sibling engines, so a match proves the staged
+//!   construction is deterministic end to end.
 //! * `shed_accounting` — under a shed admission policy
 //!   (`ServeConfig::overload`), every refused request is answered
 //!   inline with the shedding error and counted exactly once, and the
@@ -70,12 +79,13 @@ use ai2_serve::{
 use airchitect::{Airchitect2, InferenceScratch, ModelCheckpoint};
 
 /// Every invariant the checker tracks, by coverage-counter name.
-pub const INVARIANTS: [&str; 11] = [
+pub const INVARIANTS: [&str; 12] = [
     "bit_identity",
     "monotonic_version",
     "cache_epoch_isolation",
     "zero_drops",
     "backend_isolation",
+    "cascade_identity",
     "deadline_honored",
     "frozen_rejects_publish",
     "flavor_scoped_identity",
@@ -200,7 +210,7 @@ pub struct Checker {
     /// it — the cross-version repeat detector.
     exact: HashMap<QueryKey, u64>,
     /// Backends seen per backend-stripped canonical key (bit 1 =
-    /// analytic, bit 2 = systolic).
+    /// analytic, bit 2 = systolic, bit 4 = cascade).
     backend_pairs: HashMap<QueryKey, u8>,
     /// Whether the service under test serves the int8 decoder flavor on
     /// every shard; oracle replicas mirror the same flavor so
@@ -442,6 +452,13 @@ impl Checker {
             return Ok(format!("id={} expected-error ok", req.id));
         };
         self.completed_recs += 1;
+        if rec.backend == "cascade" {
+            // the oracle recompute above went through the checker's own
+            // staged cascade — a fresh prefilter + escalation over its
+            // private analytic and systolic engines — so the bit match
+            // just established is the cascade-identity contract
+            self.bump("cascade_identity");
+        }
         let pipeline_name = req.pipeline.as_deref().unwrap_or(PipelineSet::DEFAULT);
         *self
             .served_by_pipeline
@@ -461,14 +478,23 @@ impl Checker {
         }
         if let Some(canon) = canon_no_backend(req) {
             let mask = self.backend_pairs.entry(canon).or_insert(0);
-            let bit = if rec.backend == "systolic" { 2u8 } else { 1u8 };
+            let bit = match rec.backend.as_str() {
+                "systolic" => 2u8,
+                "cascade" => 4u8,
+                _ => 1u8,
+            };
             if *mask & bit == 0 {
                 *mask |= bit;
-                if *mask == 3 {
-                    // both backends answered the same canonical GEMM,
+                let distinct = mask.count_ones();
+                if distinct >= 2 {
+                    // another backend answered the same canonical GEMM,
                     // each verified against its own oracle engine
                     self.bump("backend_isolation");
-                    notes.push_str(" both-backends");
+                    notes.push_str(if distinct == 3 {
+                        " all-backends"
+                    } else {
+                        " both-backends"
+                    });
                 }
             }
         }

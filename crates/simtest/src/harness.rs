@@ -447,7 +447,15 @@ impl SimDriver<'_> {
             return Ok(());
         };
         let n = self.rng.random_range(0..self.sc.universe);
-        let backend = if self.sc.mixed_backends && self.rng.random_bool(0.5) {
+        let backend = if self.sc.cascade_backends {
+            // three-way split: the staged cascade joins the mix, so the
+            // same canonical GEMM lands in all three per-backend caches
+            match self.rng.random_range(0..3u64) {
+                0 => Some("cascade"),
+                1 => Some("systolic"),
+                _ => None,
+            }
+        } else if self.sc.mixed_backends && self.rng.random_bool(0.5) {
             Some("systolic")
         } else {
             None

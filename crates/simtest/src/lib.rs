@@ -13,7 +13,8 @@
 //!   sockets), so a whole server run is a pure function of
 //!   `(seed, scenario, steps)`;
 //! * a [`scenario::Scenario`] declares the mix — client query streams
-//!   across both cost backends and all three objectives, admin
+//!   across all three cost backends (analytic, systolic, staged
+//!   cascade) and all three objectives, admin
 //!   swap/freeze bursts, refresh ticks, deadline pressure, cache-size
 //!   pressure, hostile input, stragglers and disconnects;
 //! * the [`checker::Checker`] re-derives ground truth after every step

@@ -95,6 +95,12 @@ pub struct Scenario {
     /// Randomly route queries to the systolic backend as well as the
     /// analytic one.
     pub mixed_backends: bool,
+    /// Add the staged cascade backend to the mix: submissions split
+    /// roughly three ways between analytic, systolic, and
+    /// `"backend":"cascade"`, so the same canonical GEMM is answered
+    /// through all three per-backend caches (implies the mixed routing;
+    /// `mixed_backends` is ignored when set).
+    pub cascade_backends: bool,
     /// Per-request deadline each query carries.
     pub deadline_ms: Option<u64>,
     /// Upper bound on injected delivery delay, milliseconds.
@@ -148,6 +154,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 10,
             models: true,
             mixed_backends: true,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -168,6 +175,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 8,
             models: false,
             mixed_backends: true,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -192,6 +200,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 8,
             models: false,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -217,6 +226,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 12,
             models: false,
             mixed_backends: true,
+            cascade_backends: false,
             deadline_ms: Some(4),
             max_delay_ms: 2,
             max_advance_ms: 6,
@@ -240,6 +250,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 10,
             models: false,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -264,6 +275,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 8,
             models: false,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -289,6 +301,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 8,
             models: false,
             mixed_backends: true,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -314,6 +327,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 10,
             models: false,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 40,
             max_advance_ms: 10,
@@ -338,6 +352,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 8,
             models: false,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -366,6 +381,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 8,
             models: true,
             mixed_backends: true,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -390,6 +406,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 10,
             models: true,
             mixed_backends: true,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -415,6 +432,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 8,
             models: true,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -424,6 +442,32 @@ pub fn corpus() -> &'static [Scenario] {
             shed_high_water: 0,
             weights: Weights {
                 swap: 3,
+                stats: 5,
+                garbage: 3,
+                ..STEADY
+            },
+        },
+        Scenario {
+            name: "cascade-mixed",
+            about: "analytic, systolic, and staged-cascade queries interleave across swaps: three-way per-backend cache isolation, cascade answers bit-checked against a fresh prefilter+escalate oracle",
+            shards: 2,
+            max_batch: 8,
+            cache_capacity: 64,
+            clients: 3,
+            default_steps: 240,
+            universe: 8,
+            models: true,
+            mixed_backends: true,
+            cascade_backends: true,
+            deadline_ms: None,
+            max_delay_ms: 0,
+            max_advance_ms: 2,
+            straggler: false,
+            quantized: false,
+            pipelines: false,
+            shed_high_water: 0,
+            weights: Weights {
+                swap: 4,
                 stats: 5,
                 garbage: 3,
                 ..STEADY
@@ -440,6 +484,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 24,
             models: false,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,
@@ -466,6 +511,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 10,
             models: false,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 80,
             max_advance_ms: 12,
@@ -492,6 +538,7 @@ pub fn corpus() -> &'static [Scenario] {
             universe: 16,
             models: false,
             mixed_backends: false,
+            cascade_backends: false,
             deadline_ms: None,
             max_delay_ms: 0,
             max_advance_ms: 2,

@@ -139,6 +139,94 @@ fn systolic_backend_is_reachable_over_tcp_with_isolated_caches() {
 }
 
 #[test]
+fn cascade_backend_is_reachable_over_tcp_with_isolated_caches() {
+    let task = DseTask::table_i_default();
+    let ds = DseDataset::generate(
+        &task,
+        &GenerateConfig {
+            num_samples: 40,
+            seed: 0xCA5C,
+            threads: 0,
+            ..GenerateConfig::default()
+        },
+    );
+    let engine = EvalEngine::shared(task.clone());
+    let mut model = Airchitect2::with_engine(&ModelConfig::tiny(), Arc::clone(&engine), &ds);
+    model.fit(&ds, &TrainConfig::quick());
+    let ckpt = model.checkpoint();
+
+    let mut service = RecommendService::start(ServeConfig::default(), engine, ckpt);
+    let addr = service.listen("127.0.0.1:0").expect("ephemeral port");
+    let mut tcp = TcpClient::connect(addr).unwrap();
+
+    // -- the same canonical GEMM on all three backends ----------------
+    let ana = tcp.send(&Request::Recommend(gemm_req(1, None))).unwrap();
+    let sys = tcp
+        .send(&Request::Recommend(gemm_req(2, Some("systolic"))))
+        .unwrap();
+    let cas = tcp
+        .send(&Request::Recommend(gemm_req(3, Some("cascade"))))
+        .unwrap();
+    let (
+        Response::Recommendation(ana),
+        Response::Recommendation(sys),
+        Response::Recommendation(cas),
+    ) = (&ana, &sys, &cas)
+    else {
+        panic!("expected recommendations: {ana:?} / {sys:?} / {cas:?}");
+    };
+    assert_eq!(cas.backend, "cascade");
+    // the predicted point is backend-independent; the verified cost is
+    // the cascade's systolic-calibrated cell, not the analytic number
+    assert_eq!(cas.point, ana.point);
+    assert_ne!(cas.cost.to_bits(), ana.cost.to_bits());
+
+    // -- the served cascade cost matches a fresh staged engine --------
+    let input = gemm_req(0, None).query.as_dse_input().unwrap();
+    let fresh_cascade = EvalEngine::for_backend(task.clone(), BackendId::Cascade);
+    assert_eq!(
+        cas.cost.to_bits(),
+        fresh_cascade
+            .score_unchecked_with(&input, cas.point, Objective::Latency)
+            .to_bits(),
+        "served cascade cost diverged from a fresh prefilter+escalate engine"
+    );
+
+    // -- three per-backend cache slots, no cross-talk -----------------
+    assert_eq!(service.stats().cache_hits, 0);
+    for (id, backend, expected) in [
+        (4, Some("cascade"), cas.cost),
+        (5, None, ana.cost),
+        (6, Some("systolic"), sys.cost),
+    ] {
+        let again = tcp
+            .send(&Request::Recommend(gemm_req(id, backend)))
+            .unwrap();
+        let Response::Recommendation(again) = &again else {
+            panic!("expected recommendation: {again:?}");
+        };
+        assert_eq!(again.cost.to_bits(), expected.to_bits());
+    }
+    assert_eq!(
+        service.stats().cache_hits,
+        3,
+        "each backend's repeat must hit its own cache slot"
+    );
+
+    // -- the unknown-backend error names cascade as a choice ----------
+    let bad = tcp
+        .send(&Request::Recommend(gemm_req(7, Some("rtl"))))
+        .unwrap();
+    assert!(
+        matches!(&bad, Response::Error { id: 7, message }
+            if message.contains("cascade") && message.contains("systolic")),
+        "the backend error must enumerate every valid backend: {bad:?}"
+    );
+
+    service.shutdown();
+}
+
+#[test]
 fn dataset_generation_trains_on_systolic_labels_end_to_end() {
     let task = DseTask::table_i_default();
     let analytic_cfg = GenerateConfig {
